@@ -1,0 +1,99 @@
+//! E7 (extension) — ablations of the P&R design choices DESIGN.md calls
+//! out: annealing effort, the A* bend penalty, and rip-up-and-reroute.
+//!
+//! Prints one table per ablation, then benchmarks the annealing-effort
+//! sweep so the quality/runtime trade-off is measured, not asserted.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parchmint_pnr::place::annealing::{AnnealingConfig, AnnealingPlacer};
+use parchmint_pnr::place::cost::hpwl;
+use parchmint_pnr::place::greedy::GreedyPlacer;
+use parchmint_pnr::route::grid::{AStarRouter, GridRouterConfig};
+use parchmint_pnr::{Placer, Router};
+use std::hint::black_box;
+
+fn annealing_effort_table() {
+    println!("\n=== E7a: annealing effort ablation (planar_synthetic_4) ===");
+    println!("{:<10} {:>12}", "sweeps", "hpwl_um");
+    let device = parchmint_suite::planar_synthetic(4);
+    let greedy = GreedyPlacer::new().place(&device);
+    println!("{:<10} {:>12}", "greedy", hpwl(&device, &greedy));
+    for sweeps in [10, 40, 120, 360] {
+        let placer = AnnealingPlacer::with_config(AnnealingConfig {
+            sweeps,
+            ..AnnealingConfig::default()
+        });
+        let placement = placer.place(&device);
+        println!("{:<10} {:>12}", sweeps, hpwl(&device, &placement));
+    }
+}
+
+fn bend_penalty_table() {
+    println!("\n=== E7b: A* bend-penalty ablation (planar_synthetic_3, greedy placement) ===");
+    println!("{:<14} {:>10} {:>12} {:>8}", "bend_penalty", "routed", "wire_um", "bends");
+    let mut device = parchmint_suite::planar_synthetic(3);
+    GreedyPlacer::new().place(&device).apply_to(&mut device);
+    for penalty in [0, 10, 30, 100] {
+        let router = AStarRouter::with_config(GridRouterConfig {
+            bend_penalty: penalty,
+            ..GridRouterConfig::default()
+        });
+        let result = router.route(&device);
+        println!(
+            "{:<14} {:>9.1}% {:>12} {:>8}",
+            penalty,
+            result.completion() * 100.0,
+            result.wirelength(),
+            result.bends()
+        );
+    }
+}
+
+fn ripup_table() {
+    println!("\n=== E7c: rip-up-and-reroute ablation ===");
+    println!("{:<30} {:>10} {:>12}", "benchmark", "attempts", "completion");
+    for name in ["logic_gate_or", "planar_synthetic_3", "planar_synthetic_4"] {
+        for attempts in [0, 2] {
+            let mut device = parchmint_suite::by_name(name).unwrap().device();
+            GreedyPlacer::new().place(&device).apply_to(&mut device);
+            let router = AStarRouter::with_config(GridRouterConfig {
+                reroute_attempts: attempts,
+                ..GridRouterConfig::default()
+            });
+            let result = router.route(&device);
+            println!(
+                "{:<30} {:>10} {:>11.1}%",
+                name,
+                attempts,
+                result.completion() * 100.0
+            );
+        }
+    }
+    println!();
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    annealing_effort_table();
+    bend_penalty_table();
+    ripup_table();
+
+    let device = parchmint_suite::planar_synthetic(3);
+    let mut group = c.benchmark_group("E7_annealing_effort");
+    for sweeps in [10, 40, 120] {
+        let placer = AnnealingPlacer::with_config(AnnealingConfig {
+            sweeps,
+            ..AnnealingConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(sweeps), &device, |b, d| {
+            b.iter(|| placer.place(black_box(d)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! E1 — suite characterization (the paper's Table 1 analogue).
+//!
+//! Prints the full characterization table, then benchmarks how fast a
+//! device can be characterized (statistics + graph metrics) across the
+//! synthetic scale ladder.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn print_table() {
+    println!("\n=== E1: suite characteristics ===");
+    let table = parchmint_stats::characterize_suite();
+    println!("{}", table.render_text());
+    println!("=== E1 companion: entity-class totals ===");
+    for (class, count) in table.class_totals() {
+        println!("{:<14} {count}", class.name());
+    }
+    println!();
+}
+
+fn bench_characterize(c: &mut Criterion) {
+    print_table();
+
+    let mut group = c.benchmark_group("E1_characterize");
+    for benchmark in ["rotary_pump_mixer", "chromatin_immunoprecipitation"] {
+        let device = parchmint_suite::by_name(benchmark).unwrap().device();
+        group.bench_with_input(BenchmarkId::new("assay", benchmark), &device, |b, d| {
+            b.iter(|| parchmint_stats::DeviceStats::of(black_box(d)))
+        });
+    }
+    for k in [1, 3, 5, 7] {
+        let device = parchmint_suite::planar_synthetic(k);
+        let components = device.components.len();
+        group.bench_with_input(
+            BenchmarkId::new("synthetic", components),
+            &device,
+            |b, d| b.iter(|| parchmint_stats::DeviceStats::of(black_box(d))),
+        );
+    }
+    group.finish();
+
+    let mut graph_group = c.benchmark_group("E1_graph_metrics");
+    for k in [3, 5, 7] {
+        let device = parchmint_suite::planar_synthetic(k);
+        let netlist = parchmint_graph::Netlist::from_device(&device);
+        graph_group.bench_with_input(
+            BenchmarkId::from_parameter(device.components.len()),
+            &netlist,
+            |b, n| b.iter(|| parchmint_graph::GraphMetrics::of(black_box(n.graph()))),
+        );
+    }
+    graph_group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_characterize
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! E5 — design exchange through the MINT netlist language.
+//!
+//! Prints exchange-fidelity results for the whole suite (topology must be
+//! preserved in both directions), then benchmarks each stage of the
+//! exchange pipeline: export, print, parse, rebuild.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parchmint_mint::{device_to_mint, mint_to_device, parse, print};
+use std::hint::black_box;
+
+fn print_fidelity() {
+    println!("\n=== E5: MINT design-exchange fidelity ===");
+    println!(
+        "{:<30} {:>10} {:>10} {:>10} {:>10}",
+        "benchmark", "mint_bytes", "statements", "topology", "valves"
+    );
+    for benchmark in parchmint_suite::suite() {
+        let device = benchmark.device();
+        let file = device_to_mint(&device);
+        let text = print(&file);
+        let rebuilt = mint_to_device(&parse(&text).unwrap()).unwrap();
+        let topology_ok = rebuilt.components.len() == device.components.len()
+            && rebuilt.connections.len() == device.connections.len()
+            && device.connections.iter().all(|original| {
+                rebuilt
+                    .connection(original.id.as_str())
+                    .is_some_and(|c| c.source == original.source && c.sinks == original.sinks)
+            });
+        let valves_ok = rebuilt.valves == device.valves;
+        println!(
+            "{:<30} {:>10} {:>10} {:>10} {:>10}",
+            benchmark.name(),
+            text.len(),
+            file.statement_count(),
+            topology_ok,
+            valves_ok
+        );
+        assert!(topology_ok && valves_ok, "{} exchange broken", benchmark.name());
+    }
+    println!();
+}
+
+fn bench_mint(c: &mut Criterion) {
+    print_fidelity();
+
+    let mut group = c.benchmark_group("E5_exchange");
+    for k in [1, 3, 5] {
+        let device = parchmint_suite::planar_synthetic(k);
+        let n = device.components.len();
+        let file = device_to_mint(&device);
+        let text = print(&file);
+
+        group.bench_with_input(BenchmarkId::new("export", n), &device, |b, d| {
+            b.iter(|| device_to_mint(black_box(d)))
+        });
+        group.bench_with_input(BenchmarkId::new("print", n), &file, |b, f| {
+            b.iter(|| print(black_box(f)))
+        });
+        group.bench_with_input(BenchmarkId::new("parse", n), &text, |b, t| {
+            b.iter(|| parse(black_box(t)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("rebuild", n), &file, |b, f| {
+            b.iter(|| mint_to_device(black_box(f)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_mint
+}
+criterion_main!(benches);

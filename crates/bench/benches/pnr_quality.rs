@@ -1,0 +1,89 @@
+//! E4 — algorithmic-quality analysis, the suite's motivating use case.
+//!
+//! Prints the full quality matrix (every benchmark × every placer × every
+//! router: completion, HPWL, wirelength), then benchmarks placement and
+//! routing runtimes on representative workloads.
+//!
+//! Expected shape (recorded in EXPERIMENTS.md): annealing beats greedy on
+//! HPWL everywhere with a superlinear runtime cost; the A* maze router's
+//! completion dominates the straight-line baseline, and the gap widens with
+//! benchmark density.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parchmint_pnr::{place_and_route, PlacerChoice, PnrReport, RouterChoice};
+use std::hint::black_box;
+
+/// Benchmarks included in the printed quality matrix (a mix of assay and
+/// synthetic rungs that run in seconds; the top rungs are runtime-bound).
+const MATRIX: &[&str] = &[
+    "logic_gate_or",
+    "logic_gate_and",
+    "rotary_pump_mixer",
+    "aquaflex_3b",
+    "general_purpose_mfd",
+    "molecular_gradient_generator",
+    "chromatin_immunoprecipitation",
+    "planar_synthetic_1",
+    "planar_synthetic_2",
+    "planar_synthetic_3",
+    "planar_synthetic_4",
+    "planar_synthetic_5",
+];
+
+fn print_matrix() {
+    println!("\n=== E4: placement & routing quality matrix ===");
+    println!("{}", PnrReport::header());
+    for name in MATRIX {
+        for &placer in PlacerChoice::ALL {
+            for &router in RouterChoice::ALL {
+                let mut device = parchmint_suite::by_name(name).unwrap().device();
+                let report = place_and_route(&mut device, placer, router);
+                println!("{}", report.row());
+            }
+        }
+    }
+    println!();
+}
+
+fn bench_pnr(c: &mut Criterion) {
+    print_matrix();
+
+    use parchmint_pnr::place::{annealing::AnnealingPlacer, greedy::GreedyPlacer};
+    use parchmint_pnr::route::{grid::AStarRouter, straight::StraightRouter};
+    use parchmint_pnr::{Placer, Router};
+
+    let mut placement = c.benchmark_group("E4_placement");
+    for k in [2, 3, 4] {
+        let device = parchmint_suite::planar_synthetic(k);
+        let n = device.components.len();
+        placement.bench_with_input(BenchmarkId::new("greedy", n), &device, |b, d| {
+            b.iter(|| GreedyPlacer::new().place(black_box(d)))
+        });
+        placement.bench_with_input(BenchmarkId::new("annealing", n), &device, |b, d| {
+            b.iter(|| AnnealingPlacer::new().place(black_box(d)))
+        });
+    }
+    placement.finish();
+
+    let mut routing = c.benchmark_group("E4_routing");
+    for k in [2, 3] {
+        let mut device = parchmint_suite::planar_synthetic(k);
+        let placement = GreedyPlacer::new().place(&device);
+        placement.apply_to(&mut device);
+        let n = device.connections.len();
+        routing.bench_with_input(BenchmarkId::new("straight", n), &device, |b, d| {
+            b.iter(|| StraightRouter::new().route(black_box(d)))
+        });
+        routing.bench_with_input(BenchmarkId::new("astar", n), &device, |b, d| {
+            b.iter(|| AStarRouter::new().route(black_box(d)))
+        });
+    }
+    routing.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pnr
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E3 — device-layout figure generation.
+//!
+//! Prints per-benchmark SVG sizes for both schematic (unplaced) and
+//! physical (placed-and-routed) renderings, then benchmarks render time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parchmint_pnr::{place_and_route, PlacerChoice, RouterChoice};
+use std::hint::black_box;
+
+fn print_figure_index() {
+    println!("\n=== E3: device-layout figures (SVG) ===");
+    println!("{:<30} {:>14} {:>14}", "benchmark", "schematic_b", "physical_b");
+    for name in ["logic_gate_or", "rotary_pump_mixer", "aquaflex_3b", "planar_synthetic_2"] {
+        let device = parchmint_suite::by_name(name).unwrap().device();
+        let schematic = parchmint_render::render_svg_default(&device);
+
+        let mut routed = device.clone();
+        place_and_route(&mut routed, PlacerChoice::Greedy, RouterChoice::AStar);
+        let physical = parchmint_render::render_svg_default(&routed);
+
+        assert!(schematic.starts_with("<svg"));
+        assert!(physical.contains("<polyline"), "{name}: no routed channels drawn");
+        println!("{:<30} {:>14} {:>14}", name, schematic.len(), physical.len());
+    }
+    println!();
+}
+
+fn bench_render(c: &mut Criterion) {
+    print_figure_index();
+
+    let mut group = c.benchmark_group("E3_render");
+    for k in [1, 3, 5] {
+        let device = parchmint_suite::planar_synthetic(k);
+        group.bench_with_input(
+            BenchmarkId::new("schematic", device.components.len()),
+            &device,
+            |b, d| b.iter(|| parchmint_render::render_svg_default(black_box(d))),
+        );
+    }
+    let mut routed = parchmint_suite::planar_synthetic(2);
+    place_and_route(&mut routed, PlacerChoice::Greedy, RouterChoice::AStar);
+    group.bench_with_input(
+        BenchmarkId::new("physical", routed.components.len()),
+        &routed,
+        |b, d| b.iter(|| parchmint_render::render_svg_default(black_box(d))),
+    );
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_render
+}
+criterion_main!(benches);

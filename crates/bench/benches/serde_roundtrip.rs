@@ -1,0 +1,73 @@
+//! E2 — interchange-format fidelity and throughput.
+//!
+//! Prints per-benchmark serialized sizes and verifies losslessness over the
+//! whole suite, then benchmarks serialize/parse throughput (bytes/s) across
+//! the scale ladder.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parchmint::Device;
+use std::hint::black_box;
+
+fn print_sizes() {
+    println!("\n=== E2: serialized size and round-trip fidelity ===");
+    println!("{:<30} {:>10} {:>12} {:>10}", "benchmark", "json_bytes", "pretty_bytes", "lossless");
+    for benchmark in parchmint_suite::suite() {
+        let device = benchmark.device();
+        let compact = device.to_json().unwrap();
+        let pretty = device.to_json_pretty().unwrap();
+        let lossless = Device::from_json(&compact).unwrap() == device;
+        println!(
+            "{:<30} {:>10} {:>12} {:>10}",
+            benchmark.name(),
+            compact.len(),
+            pretty.len(),
+            lossless
+        );
+        assert!(lossless, "{} must round-trip", benchmark.name());
+    }
+    println!();
+}
+
+fn bench_serde(c: &mut Criterion) {
+    print_sizes();
+
+    let mut serialize = c.benchmark_group("E2_serialize");
+    for k in [1, 3, 5, 7] {
+        let device = parchmint_suite::planar_synthetic(k);
+        let bytes = device.to_json().unwrap().len() as u64;
+        serialize.throughput(Throughput::Bytes(bytes));
+        serialize.bench_with_input(
+            BenchmarkId::from_parameter(device.components.len()),
+            &device,
+            |b, d| b.iter(|| black_box(d).to_json().unwrap()),
+        );
+    }
+    serialize.finish();
+
+    let mut parse = c.benchmark_group("E2_parse");
+    for k in [1, 3, 5, 7] {
+        let device = parchmint_suite::planar_synthetic(k);
+        let json = device.to_json().unwrap();
+        parse.throughput(Throughput::Bytes(json.len() as u64));
+        parse.bench_with_input(
+            BenchmarkId::from_parameter(device.components.len()),
+            &json,
+            |b, j| b.iter(|| Device::from_json(black_box(j)).unwrap()),
+        );
+    }
+    parse.finish();
+
+    // Valve-heavy device exercises the valveMap split/merge path.
+    let chip = parchmint_suite::by_name("chromatin_immunoprecipitation").unwrap().device();
+    let json = chip.to_json().unwrap();
+    c.bench_function("E2_parse_valve_heavy", |b| {
+        b.iter(|| Device::from_json(black_box(&json)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_serde
+}
+criterion_main!(benches);

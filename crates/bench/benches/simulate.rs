@@ -1,0 +1,100 @@
+//! E8 (extension) — hydraulic simulation.
+//!
+//! Prints the gradient-generator outlet profile (the functional
+//! verification of that benchmark) and a per-benchmark flow summary, then
+//! benchmarks network build + solve across the synthetic ladder.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parchmint::ComponentId;
+use parchmint_sim::{concentrations, FlowNetwork, Fluid};
+use std::hint::black_box;
+
+fn print_gradient_profile() {
+    println!("\n=== E8: gradient-generator functional verification ===");
+    let device = parchmint_suite::by_name("molecular_gradient_generator")
+        .unwrap()
+        .device();
+    let network = FlowNetwork::from_device(&device, Fluid::WATER);
+    let mut boundary: Vec<(ComponentId, f64)> =
+        vec![("in_a".into(), 1000.0), ("in_b".into(), 1000.0)];
+    for i in 0..7 {
+        boundary.push((format!("out_{i}").into(), 0.0));
+    }
+    let flow = network.solve(&boundary).unwrap();
+    let c = concentrations(&flow, &[("in_a".into(), 1.0), ("in_b".into(), 0.0)]).unwrap();
+    println!("{:<8} {:>12} {:>14}", "outlet", "flow_nl_s", "concentration");
+    let mut previous = f64::INFINITY;
+    for i in 0..7 {
+        let id = ComponentId::new(format!("out_{i}"));
+        let conc = c[&id];
+        println!(
+            "out_{i:<4} {:>12.2} {:>14.3}",
+            flow.net_inflow(&id) * 1e12,
+            conc
+        );
+        assert!(conc <= previous + 1e-9, "gradient must be monotone");
+        previous = conc;
+    }
+    println!();
+}
+
+fn ladder_boundary(device: &parchmint::Device) -> Vec<(ComponentId, f64)> {
+    device
+        .components_of(&parchmint::Entity::Port)
+        .enumerate()
+        .map(|(i, c)| (c.id.clone(), if i == 0 { 1000.0 } else { 0.0 }))
+        .collect()
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    print_gradient_profile();
+
+    let mut build = c.benchmark_group("E8_network_build");
+    for k in [1, 3, 5] {
+        let device = parchmint_suite::planar_synthetic(k);
+        build.bench_with_input(
+            BenchmarkId::from_parameter(device.components.len()),
+            &device,
+            |b, d| b.iter(|| FlowNetwork::from_device(black_box(d), Fluid::WATER)),
+        );
+    }
+    build.finish();
+
+    let mut solve = c.benchmark_group("E8_pressure_solve");
+    for k in [1, 3, 5] {
+        let device = parchmint_suite::planar_synthetic(k);
+        let network = FlowNetwork::from_device(&device, Fluid::WATER);
+        let boundary = ladder_boundary(&device);
+        solve.bench_with_input(
+            BenchmarkId::from_parameter(device.components.len()),
+            &(network, boundary),
+            |b, (network, boundary)| b.iter(|| network.solve(black_box(boundary)).unwrap()),
+        );
+    }
+    solve.finish();
+
+    // Concentration transport on the gradient generator.
+    let device = parchmint_suite::by_name("molecular_gradient_generator")
+        .unwrap()
+        .device();
+    let network = FlowNetwork::from_device(&device, Fluid::WATER);
+    let mut boundary: Vec<(ComponentId, f64)> =
+        vec![("in_a".into(), 1000.0), ("in_b".into(), 1000.0)];
+    for i in 0..7 {
+        boundary.push((format!("out_{i}").into(), 0.0));
+    }
+    let flow = network.solve(&boundary).unwrap();
+    c.bench_function("E8_concentration_transport", |b| {
+        b.iter(|| {
+            concentrations(black_box(&flow), &[("in_a".into(), 1.0), ("in_b".into(), 0.0)])
+                .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulate
+}
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! E6 — interchange conformance checking.
+//!
+//! Prints a defect-detection matrix: each class of seeded defect must be
+//! caught by the matching rule over every (applicable) benchmark. Then
+//! benchmarks validation throughput across the scale ladder.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parchmint::{Device, Target};
+use parchmint_verify::{validate, Rule};
+use std::hint::black_box;
+
+/// A seeded defect: mutates a device, returns the rule that must fire
+/// (`None` when the mutation is inapplicable to this device).
+type Defect = (&'static str, fn(&mut Device) -> Option<Rule>);
+
+const DEFECTS: &[Defect] = &[
+    ("dangling_sink", |device| {
+        device.connections.first_mut().map(|connection| {
+            connection.sinks.push(Target::new("ghost_component", "p"));
+            Rule::RefUnknownId
+        })
+    }),
+    ("duplicate_component", |device| {
+        device.components.first().cloned().map(|dup| {
+            device.components.push(dup);
+            Rule::RefDuplicateId
+        })
+    }),
+    ("sinkless_connection", |device| {
+        device.connections.first_mut().map(|connection| {
+            connection.sinks.clear();
+            Rule::StrEmptyConnection
+        })
+    }),
+    ("version_downgrade", |device| {
+        if device.valves.is_empty() {
+            None
+        } else {
+            device.version = parchmint::Version::V1_0;
+            Some(Rule::VerContentMismatch)
+        }
+    }),
+    ("interior_port", |device| {
+        device
+            .components
+            .iter_mut()
+            .find(|component| !component.ports.is_empty())
+            .map(|component| {
+                let span = component.span;
+                component.ports[0].x = span.x / 2;
+                component.ports[0].y = span.y / 2;
+                Rule::GeoPortOffBoundary
+            })
+    }),
+];
+
+fn print_detection_matrix() {
+    println!("\n=== E6: seeded-defect detection ===");
+    println!("{:<26} {:>10} {:>10}", "defect", "seeded", "caught");
+    for (name, mutate) in DEFECTS {
+        let mut seeded = 0;
+        let mut caught = 0;
+        for benchmark in parchmint_suite::suite() {
+            let mut device = benchmark.device();
+            let Some(expected) = mutate(&mut device) else {
+                continue;
+            };
+            seeded += 1;
+            if validate(&device).by_rule(expected).next().is_some() {
+                caught += 1;
+            }
+        }
+        println!("{name:<26} {seeded:>10} {caught:>10}");
+        assert_eq!(seeded, caught, "defect `{name}` escaped detection");
+    }
+    println!();
+}
+
+fn bench_validate(c: &mut Criterion) {
+    print_detection_matrix();
+
+    let mut group = c.benchmark_group("E6_validate");
+    for k in [1, 3, 5, 7] {
+        let device = parchmint_suite::planar_synthetic(k);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(device.components.len()),
+            &device,
+            |b, d| b.iter(|| validate(black_box(d))),
+        );
+    }
+    let chip = parchmint_suite::by_name("chromatin_immunoprecipitation").unwrap().device();
+    group.bench_with_input(BenchmarkId::new("assay", "chip"), &chip, |b, d| {
+        b.iter(|| validate(black_box(d)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_validate
+}
+criterion_main!(benches);

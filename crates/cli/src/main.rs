@@ -1,0 +1,378 @@
+//! `parchmint` — command-line tools for the ParchMint benchmark suite.
+//!
+//! ```text
+//! parchmint list                              list the benchmark suite
+//! parchmint generate <name> [-o FILE] [--mint]  emit a benchmark (JSON or MINT)
+//! parchmint validate <FILE|name>              validate a device, print diagnostics
+//! parchmint stats [--csv|--markdown]          suite characterization table (E1)
+//! parchmint render <FILE|name> -o FILE.svg [--pnr]   render a layout (E3)
+//! parchmint convert <FILE.json|FILE.mint> [-o FILE]  convert between formats (E5)
+//! parchmint pnr <name> [--placer P] [--router R] [-o FILE]   place & route (E4)
+//! parchmint plan <FILE|name> <from> <to>      valve-state control synthesis
+//! ```
+
+use parchmint::Device;
+use parchmint_pnr::{place_and_route, PlacerChoice, RouterChoice};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("list") => cmd_list(),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("render") => cmd_render(&args[1..]),
+        Some("convert") => cmd_convert(&args[1..]),
+        Some("pnr") => cmd_pnr(&args[1..]),
+        Some("plan") => cmd_plan(&args[1..]),
+        Some("schema") => {
+            println!("{}", serde_json::to_string_pretty(&parchmint::schema::json_schema())
+                .expect("schema serializes"));
+            Ok(())
+        }
+        Some("flow") => cmd_flow(&args[1..]),
+        Some("help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try `parchmint help`)")),
+    }
+}
+
+const USAGE: &str = "\
+parchmint - ParchMint microfluidics benchmark suite tools
+
+USAGE:
+  parchmint list
+  parchmint generate <benchmark> [-o FILE] [--mint]
+  parchmint validate <FILE|benchmark>
+  parchmint stats [--csv|--markdown|--json]
+  parchmint render <FILE|benchmark> -o FILE.svg [--pnr]
+  parchmint convert <FILE.json|FILE.mint> [-o FILE]
+  parchmint pnr <benchmark> [--placer greedy|annealing] [--router straight|astar] [-o FILE]
+  parchmint plan <FILE|benchmark> <from> <to>
+  parchmint flow <FILE|benchmark> <node=Pa>... (e.g. in_a=1000 out=0)
+  parchmint schema
+";
+
+/// Extracts the value following `flag` from an argument list.
+fn option_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// The first argument that is neither a flag nor a flag's value.
+fn positional(args: &[String]) -> Option<&str> {
+    let mut skip_next = false;
+    for arg in args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if matches!(arg.as_str(), "-o" | "--placer" | "--router") {
+            skip_next = true;
+            continue;
+        }
+        if arg.starts_with("--") {
+            continue;
+        }
+        return Some(arg);
+    }
+    None
+}
+
+/// Loads a device from a benchmark name, a `.json` path, or a `.mint` path.
+fn load_device(source: &str) -> Result<Device, String> {
+    if let Some(benchmark) = parchmint_suite::by_name(source) {
+        return Ok(benchmark.device());
+    }
+    let path = Path::new(source);
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read `{source}`: {e}"))?;
+    if path.extension().and_then(|e| e.to_str()) == Some("mint") {
+        let file = parchmint_mint::parse(&text).map_err(|e| format!("{source}: {e}"))?;
+        parchmint_mint::mint_to_device(&file).map_err(|e| e.to_string())
+    } else {
+        Device::from_json(&text).map_err(|e| format!("{source}: {e}"))
+    }
+}
+
+fn write_output(output: Option<&str>, content: &str) -> Result<(), String> {
+    match output {
+        Some(path) => {
+            std::fs::write(path, content).map_err(|e| format!("cannot write `{path}`: {e}"))
+        }
+        None => {
+            print!("{content}");
+            Ok(())
+        }
+    }
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("{:<30} {:<10} description", "name", "class");
+    for benchmark in parchmint_suite::suite() {
+        println!(
+            "{:<30} {:<10} {}",
+            benchmark.name(),
+            benchmark.class().name(),
+            benchmark.description()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let name = positional(args).ok_or("generate: missing benchmark name")?;
+    let device = parchmint_suite::by_name(name)
+        .ok_or_else(|| format!("unknown benchmark `{name}` (see `parchmint list`)"))?
+        .device();
+    let content = if has_flag(args, "--mint") {
+        parchmint_mint::print(&parchmint_mint::device_to_mint(&device))
+    } else {
+        device.to_json_pretty().map_err(|e| e.to_string())? + "\n"
+    };
+    write_output(option_value(args, "-o"), &content)
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    let source = positional(args).ok_or("validate: missing input")?;
+    let device = load_device(source)?;
+    let report = parchmint_verify::validate(&device);
+    print!("{report}");
+    if report.is_conformant() {
+        Ok(())
+    } else {
+        Err(format!("`{}` is not conformant", device.name))
+    }
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let table = parchmint_stats::characterize_suite();
+    let rendered = if has_flag(args, "--csv") {
+        table.render_csv()
+    } else if has_flag(args, "--markdown") {
+        table.render_markdown()
+    } else if has_flag(args, "--json") {
+        table.render_json()
+    } else {
+        table.render_text()
+    };
+    print!("{rendered}");
+    Ok(())
+}
+
+fn cmd_render(args: &[String]) -> Result<(), String> {
+    let source = positional(args).ok_or("render: missing input")?;
+    let output = option_value(args, "-o").ok_or("render: missing `-o FILE.svg`")?;
+    let mut device = load_device(source)?;
+    if has_flag(args, "--pnr") {
+        let report = place_and_route(&mut device, PlacerChoice::Annealing, RouterChoice::AStar);
+        eprintln!("{}", parchmint_pnr::PnrReport::header());
+        eprintln!("{}", report.row());
+    }
+    let svg = parchmint_render::render_svg_default(&device);
+    std::fs::write(output, svg).map_err(|e| format!("cannot write `{output}`: {e}"))?;
+    eprintln!("wrote {output}");
+    Ok(())
+}
+
+fn cmd_convert(args: &[String]) -> Result<(), String> {
+    let source = positional(args).ok_or("convert: missing input")?;
+    let device = load_device(source)?;
+    let to_mint = !source.ends_with(".mint");
+    let content = if to_mint {
+        parchmint_mint::print(&parchmint_mint::device_to_mint(&device))
+    } else {
+        device.to_json_pretty().map_err(|e| e.to_string())? + "\n"
+    };
+    write_output(option_value(args, "-o"), &content)
+}
+
+fn cmd_pnr(args: &[String]) -> Result<(), String> {
+    let name = positional(args).ok_or("pnr: missing benchmark name")?;
+    let mut device = load_device(name)?;
+    let placer = match option_value(args, "--placer").unwrap_or("annealing") {
+        "greedy" => PlacerChoice::Greedy,
+        "annealing" => PlacerChoice::Annealing,
+        other => return Err(format!("unknown placer `{other}`")),
+    };
+    let router = match option_value(args, "--router").unwrap_or("astar") {
+        "straight" => RouterChoice::Straight,
+        "astar" => RouterChoice::AStar,
+        other => return Err(format!("unknown router `{other}`")),
+    };
+    let report = place_and_route(&mut device, placer, router);
+    println!("{}", parchmint_pnr::PnrReport::header());
+    println!("{}", report.row());
+    if let Some(output) = option_value(args, "-o") {
+        let json = device.to_json_pretty().map_err(|e| e.to_string())?;
+        std::fs::write(output, json + "\n")
+            .map_err(|e| format!("cannot write `{output}`: {e}"))?;
+        eprintln!("wrote {output}");
+    }
+    Ok(())
+}
+
+fn cmd_flow(args: &[String]) -> Result<(), String> {
+    let positionals: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    let [source, conditions @ ..] = positionals.as_slice() else {
+        return Err("flow: expected <FILE|benchmark> <node=Pa>...".into());
+    };
+    if conditions.is_empty() {
+        return Err("flow: at least one boundary condition (node=Pa) required".into());
+    }
+    let device = load_device(source)?;
+    let mut boundary = Vec::new();
+    for condition in conditions {
+        let (node, pressure) = condition
+            .split_once('=')
+            .ok_or_else(|| format!("flow: bad boundary `{condition}` (want node=Pa)"))?;
+        let pressure: f64 = pressure
+            .parse()
+            .map_err(|_| format!("flow: bad pressure in `{condition}`"))?;
+        boundary.push((parchmint::ComponentId::new(node), pressure));
+    }
+    let network = parchmint_sim::FlowNetwork::from_device(&device, parchmint_sim::Fluid::WATER);
+    let solution = network.solve(&boundary).map_err(|e| e.to_string())?;
+    println!("{:<20} {:>14} {:>14}", "boundary node", "pressure_pa", "flow_nl_s");
+    for (node, pressure) in &boundary {
+        println!(
+            "{:<20} {:>14.1} {:>14.3}",
+            node,
+            pressure,
+            solution.net_inflow(node) * 1e12
+        );
+    }
+    Ok(())
+}
+
+fn cmd_plan(args: &[String]) -> Result<(), String> {
+    let positionals: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    let [source, from, to] = positionals.as_slice() else {
+        return Err("plan: expected <FILE|benchmark> <from> <to>".into());
+    };
+    let device = load_device(source)?;
+    let plan = parchmint_control::plan_flow(&device, &(*from).into(), &(*to).into())
+        .map_err(|e| e.to_string())?;
+    println!("{plan}");
+    for actuation in plan.actuations(&device) {
+        println!("  {actuation}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn option_parsing() {
+        let args = strings(&["logic_gate_or", "-o", "out.svg", "--pnr"]);
+        assert_eq!(option_value(&args, "-o"), Some("out.svg"));
+        assert!(has_flag(&args, "--pnr"));
+        assert!(!has_flag(&args, "--mint"));
+        assert_eq!(positional(&args), Some("logic_gate_or"));
+    }
+
+    #[test]
+    fn positional_skips_option_values() {
+        let args = strings(&["-o", "file", "--placer", "greedy", "bench_name"]);
+        assert_eq!(positional(&args), Some("bench_name"));
+        assert_eq!(positional(&strings(&["-o", "x"])), None);
+    }
+
+    #[test]
+    fn load_device_resolves_benchmarks() {
+        let d = load_device("logic_gate_or").unwrap();
+        assert_eq!(d.name, "logic_gate_or");
+        assert!(load_device("no_such_benchmark.json").is_err());
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&strings(&["frobnicate"])).is_err());
+        assert!(run(&strings(&["help"])).is_ok());
+        assert!(run(&[]).is_ok());
+    }
+
+    #[test]
+    fn flow_and_schema_commands_run() {
+        run(&strings(&["schema"])).unwrap();
+        run(&strings(&[
+            "flow",
+            "molecular_gradient_generator",
+            "in_a=1000",
+            "in_b=1000",
+            "out_3=0",
+        ]))
+        .unwrap();
+        assert!(run(&strings(&["flow", "logic_gate_or"])).is_err());
+        assert!(run(&strings(&["flow", "logic_gate_or", "bogus"])).is_err());
+    }
+
+    #[test]
+    fn plan_command_runs() {
+        run(&strings(&["plan", "rotary_pump_mixer", "in_a", "out"])).unwrap();
+        assert!(run(&strings(&["plan", "rotary_pump_mixer", "in_a"])).is_err());
+        assert!(run(&strings(&["plan", "rotary_pump_mixer", "ghost", "out"])).is_err());
+    }
+
+    #[test]
+    fn generate_and_validate_in_memory() {
+        let dir = std::env::temp_dir().join("parchmint_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json_path = dir.join("gate.json");
+        run(&strings(&[
+            "generate",
+            "logic_gate_or",
+            "-o",
+            json_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&strings(&["validate", json_path.to_str().unwrap()])).unwrap();
+        // MINT emission works too.
+        let mint_path = dir.join("gate.mint");
+        run(&strings(&[
+            "generate",
+            "logic_gate_or",
+            "--mint",
+            "-o",
+            mint_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&mint_path).unwrap();
+        assert!(text.starts_with("DEVICE logic_gate_or"));
+    }
+}

@@ -1,0 +1,26 @@
+//! # parchmint-control
+//!
+//! Valve-state control synthesis for ParchMint devices — the downstream
+//! consumer that makes the 1.2 valve maps actionable. Given a device and a
+//! pair of endpoints, [`plan_flow`] finds the channel path over the flow
+//! layers, opens every valve pinching it, closes every valve that would let
+//! the fluid column leak into a branch, and derives the pressure-line
+//! [`Actuation`]s from each valve's rest polarity.
+//!
+//! ```
+//! use parchmint_control::{plan_flow, ValveState};
+//!
+//! let chip = parchmint_suite::by_name("rotary_pump_mixer").unwrap().device();
+//! let plan = plan_flow(&chip, &"in_b".into(), &"out".into()).unwrap();
+//! assert_eq!(plan.valve_states.get(&parchmint::ComponentId::new("v_b")), Some(&ValveState::Open));
+//! assert_eq!(plan.valve_states.get(&parchmint::ComponentId::new("v_a")), Some(&ValveState::Closed));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod plan;
+pub mod protocol;
+
+pub use plan::{plan_flow, Actuation, ControlError, FlowPlan, ValveState};
+pub use protocol::{schedule, ProtocolError, Schedule, ScheduledStep, Step};

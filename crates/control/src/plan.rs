@@ -1,0 +1,338 @@
+//! Flow planning: which valves must open or close to drive fluid from one
+//! component to another.
+
+use parchmint::{ComponentId, ConnectionId, Device, LayerType, ValveType};
+use parchmint_graph::{shortest_path, Netlist};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The state a valve must hold during a flow step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValveState {
+    /// The valve must pass flow.
+    Open,
+    /// The valve must block flow (isolating a branch off the path).
+    Closed,
+}
+
+impl fmt::Display for ValveState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ValveState::Open => "open",
+            ValveState::Closed => "closed",
+        })
+    }
+}
+
+/// One pressure-line actuation: pressurize or vent a valve's control line.
+///
+/// Whether a desired [`ValveState`] needs pressure depends on the valve's
+/// rest polarity: a normally-open valve is *pressurized to close*; a
+/// normally-closed valve is *pressurized to open*.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Actuation {
+    /// The valve component.
+    pub component: ComponentId,
+    /// `true` to pressurize the control line, `false` to vent it.
+    pub pressurize: bool,
+}
+
+impl fmt::Display for Actuation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}",
+            if self.pressurize { "pressurize" } else { "vent" },
+            self.component
+        )
+    }
+}
+
+/// A planned fluid movement: the channel path plus the valve states that
+/// realize and isolate it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowPlan {
+    /// Source component.
+    pub from: ComponentId,
+    /// Destination component.
+    pub to: ComponentId,
+    /// Components traversed, inclusive of the endpoints.
+    pub components: Vec<ComponentId>,
+    /// Connections traversed, in order (`components.len() - 1` entries).
+    pub path: Vec<ConnectionId>,
+    /// Required state for every valve whose state matters to this step.
+    /// Valves not listed may rest.
+    pub valve_states: BTreeMap<ComponentId, ValveState>,
+}
+
+impl FlowPlan {
+    /// Number of channel hops.
+    pub fn hops(&self) -> usize {
+        self.path.len()
+    }
+
+    /// The pressure-line actuations needed to hold this plan, relative to
+    /// each valve's rest polarity. Valves already resting in their required
+    /// state are vented (no pressure), so the list covers *every* valve in
+    /// `valve_states` with its explicit line state.
+    pub fn actuations(&self, device: &Device) -> Vec<Actuation> {
+        self.valve_states
+            .iter()
+            .filter_map(|(component, desired)| {
+                let valve = device.valve_on(component)?;
+                let rest_open = valve.valve_type == ValveType::NormallyOpen;
+                let want_open = *desired == ValveState::Open;
+                Some(Actuation {
+                    component: component.clone(),
+                    pressurize: rest_open != want_open,
+                })
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for FlowPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {} via {} hops (", self.from, self.to, self.hops())?;
+        let mut first = true;
+        for (valve, state) in &self.valve_states {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{valve}:{state}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Why a flow step could not be planned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ControlError {
+    /// An endpoint component does not exist.
+    UnknownComponent(ComponentId),
+    /// No flow-layer path joins the endpoints.
+    Unreachable {
+        /// Source component.
+        from: ComponentId,
+        /// Destination component.
+        to: ComponentId,
+    },
+    /// A valve that must be both open and closed at once (the path crosses
+    /// a valve-isolated branch in two conflicting ways).
+    Conflict(ComponentId),
+}
+
+impl fmt::Display for ControlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControlError::UnknownComponent(id) => write!(f, "unknown component `{id}`"),
+            ControlError::Unreachable { from, to } => {
+                write!(f, "no flow path from `{from}` to `{to}`")
+            }
+            ControlError::Conflict(id) => {
+                write!(f, "valve `{id}` would need to be open and closed at once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ControlError {}
+
+/// Plans fluid movement from `from` to `to` over the device's flow layers.
+///
+/// The plan opens every valve pinching an on-path connection and closes
+/// every valve pinching a connection that *branches off* the path (shares a
+/// component with it without being part of it), so the fluid column cannot
+/// leak sideways.
+///
+/// # Examples
+///
+/// ```
+/// use parchmint_control::plan_flow;
+///
+/// let chip = parchmint_suite::by_name("rotary_pump_mixer").unwrap().device();
+/// let plan = plan_flow(&chip, &"in_a".into(), &"out".into()).unwrap();
+/// assert_eq!(plan.hops(), 3);
+/// // The sibling inlet must be sealed off.
+/// assert_eq!(
+///     plan.valve_states.get(&parchmint::ComponentId::new("v_b")),
+///     Some(&parchmint_control::ValveState::Closed)
+/// );
+/// ```
+pub fn plan_flow(
+    device: &Device,
+    from: &ComponentId,
+    to: &ComponentId,
+) -> Result<FlowPlan, ControlError> {
+    let netlist = Netlist::from_device_layer(device, LayerType::Flow);
+    let start = netlist
+        .node_of(from)
+        .ok_or_else(|| ControlError::UnknownComponent(from.clone()))?;
+    let goal = netlist
+        .node_of(to)
+        .ok_or_else(|| ControlError::UnknownComponent(to.clone()))?;
+
+    let node_path = shortest_path(netlist.graph(), start, goal).ok_or_else(|| {
+        ControlError::Unreachable {
+            from: from.clone(),
+            to: to.clone(),
+        }
+    })?;
+
+    // Recover the connection used for each hop: any edge between the two
+    // consecutive nodes (parallel edges are interchangeable for planning).
+    let mut path = Vec::with_capacity(node_path.len().saturating_sub(1));
+    for window in node_path.windows(2) {
+        let connection = netlist
+            .graph()
+            .incident_edges(window[0])
+            .find(|&edge| netlist.graph().opposite(window[0], edge) == window[1])
+            .map(|edge| netlist.graph().edge(edge).clone())
+            .expect("path edges exist");
+        path.push(connection);
+    }
+
+    let components: Vec<ComponentId> = node_path
+        .iter()
+        .map(|&n| netlist.component_at(n).clone())
+        .collect();
+
+    // Valve states: open on-path, closed on branches touching the path.
+    let mut valve_states = BTreeMap::new();
+    for valve in &device.valves {
+        let Some(controlled) = device.connection(valve.controls.as_str()) else {
+            continue;
+        };
+        let desired = if path.contains(&valve.controls) {
+            Some(ValveState::Open)
+        } else if controlled
+            .terminals()
+            .any(|t| components.contains(&t.component))
+        {
+            Some(ValveState::Closed)
+        } else {
+            None
+        };
+        if let Some(state) = desired {
+            match valve_states.get(&valve.component) {
+                Some(existing) if *existing != state => {
+                    return Err(ControlError::Conflict(valve.component.clone()));
+                }
+                _ => {
+                    valve_states.insert(valve.component.clone(), state);
+                }
+            }
+        }
+    }
+
+    Ok(FlowPlan {
+        from: from.clone(),
+        to: to.clone(),
+        components,
+        path,
+        valve_states,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rotary() -> Device {
+        parchmint_suite::by_name("rotary_pump_mixer").unwrap().device()
+    }
+
+    #[test]
+    fn plans_the_main_flow_path() {
+        let device = rotary();
+        let plan = plan_flow(&device, &"in_a".into(), &"out".into()).unwrap();
+        assert_eq!(plan.components.first().unwrap(), &ComponentId::new("in_a"));
+        assert_eq!(plan.components.last().unwrap(), &ComponentId::new("out"));
+        assert_eq!(plan.hops(), 3);
+        // v_a gates the first hop: open. v_b gates the sibling inlet: closed.
+        assert_eq!(plan.valve_states.get(&ComponentId::new("v_a")), Some(&ValveState::Open));
+        assert_eq!(plan.valve_states.get(&ComponentId::new("v_b")), Some(&ValveState::Closed));
+        assert_eq!(plan.valve_states.get(&ComponentId::new("v_load")), Some(&ValveState::Open));
+        assert_eq!(plan.valve_states.get(&ComponentId::new("v_drain")), Some(&ValveState::Open));
+    }
+
+    #[test]
+    fn actuations_respect_rest_polarity() {
+        let device = rotary();
+        let plan = plan_flow(&device, &"in_a".into(), &"out".into()).unwrap();
+        let actuations = plan.actuations(&device);
+        let find = |id: &str| {
+            actuations
+                .iter()
+                .find(|a| a.component == *id)
+                .unwrap_or_else(|| panic!("no actuation for {id}"))
+        };
+        // v_a is normally closed and must open → pressurize.
+        assert!(find("v_a").pressurize);
+        // v_b is normally closed and must stay closed → vent.
+        assert!(!find("v_b").pressurize);
+        // v_load is normally open and must stay open → vent.
+        assert!(!find("v_load").pressurize);
+    }
+
+    #[test]
+    fn unknown_endpoints_error() {
+        let device = rotary();
+        let err = plan_flow(&device, &"ghost".into(), &"out".into()).unwrap_err();
+        assert!(matches!(err, ControlError::UnknownComponent(_)));
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn unreachable_endpoints_error() {
+        let device = rotary();
+        // Control I/O ports are not on the flow network.
+        let err = plan_flow(&device, &"in_a".into(), &"ctl_v_a".into()).unwrap_err();
+        assert!(matches!(err, ControlError::Unreachable { .. }));
+    }
+
+    #[test]
+    fn plan_on_valve_heavy_chip_isolates_siblings() {
+        let device = parchmint_suite::by_name("chromatin_immunoprecipitation")
+            .unwrap()
+            .device();
+        let plan = plan_flow(&device, &"in_reagent_0".into(), &"out_eluate".into()).unwrap();
+        // Reagent 0's inlet valve must open; every other inlet valve whose
+        // channel touches the shared bus stays at rest or closes — at
+        // minimum the plan must not ask any sibling inlet valve to open.
+        assert_eq!(plan.valve_states.get(&ComponentId::new("v_in_0")), Some(&ValveState::Open));
+        for i in 1..8 {
+            let sibling: ComponentId = format!("v_in_{i}").into();
+            assert_ne!(
+                plan.valve_states.get(&sibling),
+                Some(&ValveState::Open),
+                "sibling inlet {i} must not open"
+            );
+        }
+        // The waste valve (normally open, touching the collect node) closes.
+        assert_eq!(plan.valve_states.get(&ComponentId::new("v_waste")), Some(&ValveState::Closed));
+    }
+
+    #[test]
+    fn plan_display_and_state_display() {
+        let device = rotary();
+        let plan = plan_flow(&device, &"in_a".into(), &"out".into()).unwrap();
+        let text = plan.to_string();
+        assert!(text.contains("in_a -> out"));
+        assert!(text.contains("v_b:closed"));
+        assert_eq!(ValveState::Open.to_string(), "open");
+    }
+
+    #[test]
+    fn valveless_devices_plan_trivially() {
+        let device = parchmint_suite::by_name("molecular_gradient_generator")
+            .unwrap()
+            .device();
+        let plan = plan_flow(&device, &"in_a".into(), &"out_0".into()).unwrap();
+        assert!(plan.valve_states.is_empty());
+        assert!(plan.hops() >= 2);
+        assert!(plan.actuations(&device).is_empty());
+    }
+}

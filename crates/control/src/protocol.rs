@@ -1,0 +1,294 @@
+//! Multi-step protocols: sequences of planned fluid movements with the
+//! pressure-line transitions between them.
+//!
+//! A wet-lab protocol on a valved chip is a sequence of flow steps (“load
+//! sample”, “wash”, “elute”). Each step is a [`FlowPlan`]; executing the
+//! protocol means holding each step's valve states in turn. The scheduler
+//! compiles the per-step plans and the *transitions* — which control lines
+//! to pressurize or vent between consecutive steps — which is what a
+//! pressure controller actually consumes.
+
+use crate::plan::{plan_flow, Actuation, ControlError, FlowPlan};
+use parchmint::{ComponentId, Device};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One named movement in a protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// Human-readable step name (“load_sample”).
+    pub name: String,
+    /// Source component.
+    pub from: ComponentId,
+    /// Destination component.
+    pub to: ComponentId,
+}
+
+impl Step {
+    /// Creates a step.
+    pub fn new(
+        name: impl Into<String>,
+        from: impl Into<ComponentId>,
+        to: impl Into<ComponentId>,
+    ) -> Self {
+        Step {
+            name: name.into(),
+            from: from.into(),
+            to: to.into(),
+        }
+    }
+}
+
+/// A compiled protocol step: the plan plus the line transitions that bring
+/// the chip from the previous step's state into this one's.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledStep {
+    /// The step as requested.
+    pub step: Step,
+    /// The planned path and valve states.
+    pub plan: FlowPlan,
+    /// Control lines that change relative to the previous step
+    /// (or relative to all-vented for the first step).
+    pub transitions: Vec<Actuation>,
+}
+
+/// A compiled multi-step protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    steps: Vec<ScheduledStep>,
+}
+
+impl Schedule {
+    /// The compiled steps, in order.
+    pub fn steps(&self) -> &[ScheduledStep] {
+        &self.steps
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True for the empty protocol.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Total line transitions across the protocol (the actuation cost a
+    /// pressure controller pays; fewer is gentler on the membranes).
+    pub fn transition_count(&self) -> usize {
+        self.steps.iter().map(|s| s.transitions.len()).sum()
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, scheduled) in self.steps.iter().enumerate() {
+            writeln!(
+                f,
+                "step {i}: {} ({} -> {}, {} transitions)",
+                scheduled.step.name, scheduled.step.from, scheduled.step.to,
+                scheduled.transitions.len()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Why a protocol could not be compiled.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolError {
+    /// A step failed to plan.
+    Step {
+        /// The failing step's name.
+        step: String,
+        /// The underlying planning failure.
+        cause: ControlError,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Step { step, cause } => write!(f, "step `{step}`: {cause}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Compiles a protocol: plans every step and computes the pressure-line
+/// transitions between consecutive steps.
+///
+/// The chip starts with every control line vented (all valves at rest);
+/// the first step's transitions pressurize whatever its plan requires.
+/// Between steps, only lines whose state *changes* appear — lines held
+/// across steps are not re-actuated.
+///
+/// # Examples
+///
+/// ```
+/// use parchmint_control::{schedule, Step};
+///
+/// let chip = parchmint_suite::by_name("rotary_pump_mixer").unwrap().device();
+/// let protocol = schedule(&chip, &[
+///     Step::new("load_a", "in_a", "out"),
+///     Step::new("load_b", "in_b", "out"),
+/// ]).unwrap();
+/// assert_eq!(protocol.len(), 2);
+/// // Switching inlets flips exactly the two inlet valves.
+/// assert_eq!(protocol.steps()[1].transitions.len(), 2);
+/// ```
+pub fn schedule(device: &Device, steps: &[Step]) -> Result<Schedule, ProtocolError> {
+    let mut compiled = Vec::with_capacity(steps.len());
+    // Line state: pressurized control lines after the previous step.
+    let mut held: BTreeMap<ComponentId, bool> = BTreeMap::new();
+
+    for step in steps {
+        let plan = plan_flow(device, &step.from, &step.to).map_err(|cause| {
+            ProtocolError::Step {
+                step: step.name.clone(),
+                cause,
+            }
+        })?;
+        let wanted: BTreeMap<ComponentId, bool> = plan
+            .actuations(device)
+            .into_iter()
+            .map(|a| (a.component, a.pressurize))
+            .collect();
+
+        let mut transitions = Vec::new();
+        // Lines this plan cares about, where the state differs from held.
+        for (component, &pressurize) in &wanted {
+            let current = held.get(component).copied().unwrap_or(false);
+            if current != pressurize {
+                transitions.push(Actuation {
+                    component: component.clone(),
+                    pressurize,
+                });
+            }
+        }
+        // Lines held pressurized by earlier steps that this plan no longer
+        // constrains are vented back to rest.
+        for (component, &pressurized) in &held {
+            if pressurized && !wanted.contains_key(component) {
+                transitions.push(Actuation {
+                    component: component.clone(),
+                    pressurize: false,
+                });
+            }
+        }
+        transitions.sort_by(|a, b| a.component.cmp(&b.component));
+
+        held = wanted;
+        compiled.push(ScheduledStep {
+            step: step.clone(),
+            plan,
+            transitions,
+        });
+    }
+    Ok(Schedule { steps: compiled })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rotary() -> Device {
+        parchmint_suite::by_name("rotary_pump_mixer").unwrap().device()
+    }
+
+    #[test]
+    fn single_step_pressurizes_from_rest() {
+        let device = rotary();
+        let protocol = schedule(&device, &[Step::new("load", "in_a", "out")]).unwrap();
+        assert_eq!(protocol.len(), 1);
+        let first = &protocol.steps()[0];
+        // From all-vented, only the lines that need pressure transition:
+        // v_a opens (NC → pressurize). v_b stays closed (rest), v_load and
+        // v_drain stay open (rest) — no transitions for those.
+        assert_eq!(
+            first.transitions,
+            vec![Actuation {
+                component: "v_a".into(),
+                pressurize: true
+            }]
+        );
+    }
+
+    #[test]
+    fn switching_inlets_flips_exactly_the_inlet_pair() {
+        let device = rotary();
+        let protocol = schedule(
+            &device,
+            &[
+                Step::new("load_a", "in_a", "out"),
+                Step::new("load_b", "in_b", "out"),
+            ],
+        )
+        .unwrap();
+        let second = &protocol.steps()[1];
+        let names: Vec<(String, bool)> = second
+            .transitions
+            .iter()
+            .map(|a| (a.component.to_string(), a.pressurize))
+            .collect();
+        assert_eq!(
+            names,
+            vec![("v_a".to_string(), false), ("v_b".to_string(), true)],
+            "only the two inlet valves flip"
+        );
+    }
+
+    #[test]
+    fn repeated_step_needs_no_transitions() {
+        let device = rotary();
+        let protocol = schedule(
+            &device,
+            &[
+                Step::new("load", "in_a", "out"),
+                Step::new("load_again", "in_a", "out"),
+            ],
+        )
+        .unwrap();
+        assert!(protocol.steps()[1].transitions.is_empty());
+        assert_eq!(protocol.transition_count(), 1);
+    }
+
+    #[test]
+    fn chip_protocol_compiles_and_reports() {
+        let device = parchmint_suite::by_name("chromatin_immunoprecipitation")
+            .unwrap()
+            .device();
+        let protocol = schedule(
+            &device,
+            &[
+                Step::new("load_sample", "in_reagent_0", "out_waste"),
+                Step::new("add_beads", "in_reagent_1", "out_waste"),
+                Step::new("elute", "in_reagent_7", "out_eluate"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(protocol.len(), 3);
+        assert!(protocol.transition_count() > 0);
+        let text = protocol.to_string();
+        assert!(text.contains("step 0: load_sample"));
+        assert!(text.contains("step 2: elute"));
+        assert!(!protocol.is_empty());
+    }
+
+    #[test]
+    fn failing_step_names_itself() {
+        let device = rotary();
+        let err = schedule(&device, &[Step::new("bad", "ghost", "out")]).unwrap_err();
+        assert!(err.to_string().contains("bad"));
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn empty_protocol_is_empty() {
+        let protocol = schedule(&rotary(), &[]).unwrap();
+        assert!(protocol.is_empty());
+        assert_eq!(protocol.transition_count(), 0);
+    }
+}

@@ -1,0 +1,513 @@
+//! Checked construction of devices.
+//!
+//! [`DeviceBuilder`] accumulates layers, components, connections, features,
+//! and valves, rejecting duplicate identifiers and dangling references at
+//! [`DeviceBuilder::build`] time. Generators in the benchmark suite go
+//! through this builder, so every generated device is referentially sound
+//! by construction.
+
+use crate::component::Component;
+use crate::connection::Connection;
+use crate::device::Device;
+use crate::error::{Error, Result};
+use crate::feature::Feature;
+use crate::geometry::Span;
+use crate::layer::Layer;
+use crate::params::Params;
+use crate::valve::{Valve, ValveType};
+use crate::version::Version;
+use std::collections::HashSet;
+
+/// Incremental, checked [`Device`] construction.
+///
+/// # Examples
+///
+/// ```
+/// use parchmint::{DeviceBuilder, Layer, LayerType, Component, Entity};
+/// use parchmint::geometry::Span;
+///
+/// let device = DeviceBuilder::new("demo")
+///     .layer(Layer::new("f0", "flow", LayerType::Flow))
+///     .component(Component::new("p1", "inlet", Entity::Port, ["f0"], Span::square(200)))
+///     .build()
+///     .unwrap();
+/// assert_eq!(device.components.len(), 1);
+/// ```
+///
+/// Dangling references fail at build time:
+///
+/// ```
+/// use parchmint::{DeviceBuilder, Component, Entity};
+/// use parchmint::geometry::Span;
+///
+/// let err = DeviceBuilder::new("bad")
+///     .component(Component::new("p1", "inlet", Entity::Port, ["ghost"], Span::square(200)))
+///     .build()
+///     .unwrap_err();
+/// assert!(err.to_string().contains("ghost"));
+/// ```
+#[derive(Debug, Default)]
+pub struct DeviceBuilder {
+    name: String,
+    version: Option<Version>,
+    layers: Vec<Layer>,
+    components: Vec<Component>,
+    connections: Vec<Connection>,
+    features: Vec<Feature>,
+    valves: Vec<Valve>,
+    params: Params,
+}
+
+impl DeviceBuilder {
+    /// Starts a builder for a device called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        DeviceBuilder {
+            name: name.into(),
+            ..DeviceBuilder::default()
+        }
+    }
+
+    /// Pins the format version (defaults to the minimum version able to
+    /// carry the accumulated content).
+    #[must_use]
+    pub fn version(mut self, version: Version) -> Self {
+        self.version = Some(version);
+        self
+    }
+
+    /// Adds a layer.
+    #[must_use]
+    pub fn layer(mut self, layer: Layer) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Adds a component.
+    #[must_use]
+    pub fn component(mut self, component: Component) -> Self {
+        self.components.push(component);
+        self
+    }
+
+    /// Adds a connection.
+    #[must_use]
+    pub fn connection(mut self, connection: Connection) -> Self {
+        self.connections.push(connection);
+        self
+    }
+
+    /// Adds a physical-design feature.
+    #[must_use]
+    pub fn feature(mut self, feature: impl Into<Feature>) -> Self {
+        self.features.push(feature.into());
+        self
+    }
+
+    /// Binds a valve component to the connection it pinches.
+    #[must_use]
+    pub fn valve(
+        mut self,
+        component: impl Into<crate::ids::ComponentId>,
+        controls: impl Into<crate::ids::ConnectionId>,
+        valve_type: ValveType,
+    ) -> Self {
+        self.valves.push(Valve::new(component, controls, valve_type));
+        self
+    }
+
+    /// Sets a device-level parameter.
+    #[must_use]
+    pub fn param(mut self, key: impl Into<String>, value: impl Into<serde_json::Value>) -> Self {
+        self.params.set(key, value);
+        self
+    }
+
+    /// Declares the die outline (`x-span` × `y-span` params).
+    #[must_use]
+    pub fn bounds(self, span: Span) -> Self {
+        self.param(crate::params::keys::X_SPAN, span.x)
+            .param(crate::params::keys::Y_SPAN, span.y)
+    }
+
+    /// Number of components added so far (useful to generators).
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Number of connections added so far.
+    pub fn connection_count(&self) -> usize {
+        self.connections.len()
+    }
+
+    /// Validates identifiers and references, then produces the device.
+    ///
+    /// # Errors
+    ///
+    /// - [`Error::DuplicateId`] when two layers, components, connections, or
+    ///   features share an id.
+    /// - [`Error::UnknownReference`] when a component names a missing layer,
+    ///   a connection names a missing layer/component/port, a feature names
+    ///   a missing component/connection/layer, or a valve names a missing
+    ///   component/connection.
+    pub fn build(self) -> Result<Device> {
+        let mut layer_ids = HashSet::new();
+        for layer in &self.layers {
+            if !layer_ids.insert(layer.id.as_str().to_owned()) {
+                return Err(Error::DuplicateId {
+                    kind: "layer",
+                    id: layer.id.to_string(),
+                });
+            }
+        }
+
+        let mut component_ids = HashSet::new();
+        for component in &self.components {
+            if !component_ids.insert(component.id.as_str().to_owned()) {
+                return Err(Error::DuplicateId {
+                    kind: "component",
+                    id: component.id.to_string(),
+                });
+            }
+            for layer in &component.layers {
+                if !layer_ids.contains(layer.as_str()) {
+                    return Err(Error::UnknownReference {
+                        kind: "layer",
+                        id: layer.to_string(),
+                    });
+                }
+            }
+            for port in &component.ports {
+                if !layer_ids.contains(port.layer.as_str()) {
+                    return Err(Error::UnknownReference {
+                        kind: "layer",
+                        id: port.layer.to_string(),
+                    });
+                }
+            }
+        }
+
+        let lookup_component = |id: &crate::ids::ComponentId| -> Result<&Component> {
+            self.components
+                .iter()
+                .find(|c| &c.id == id)
+                .ok_or_else(|| Error::UnknownReference {
+                    kind: "component",
+                    id: id.to_string(),
+                })
+        };
+
+        let mut connection_ids = HashSet::new();
+        for connection in &self.connections {
+            if !connection_ids.insert(connection.id.as_str().to_owned()) {
+                return Err(Error::DuplicateId {
+                    kind: "connection",
+                    id: connection.id.to_string(),
+                });
+            }
+            if !layer_ids.contains(connection.layer.as_str()) {
+                return Err(Error::UnknownReference {
+                    kind: "layer",
+                    id: connection.layer.to_string(),
+                });
+            }
+            for target in connection.terminals() {
+                let component = lookup_component(&target.component)?;
+                if let Some(port) = &target.port {
+                    if component.port(port.as_str()).is_none() {
+                        return Err(Error::UnknownReference {
+                            kind: "port",
+                            id: format!("{}.{}", component.id, port),
+                        });
+                    }
+                }
+            }
+        }
+
+        let mut feature_ids = HashSet::new();
+        for feature in &self.features {
+            if !feature_ids.insert(feature.id().as_str().to_owned()) {
+                return Err(Error::DuplicateId {
+                    kind: "feature",
+                    id: feature.id().to_string(),
+                });
+            }
+            if !layer_ids.contains(feature.layer().as_str()) {
+                return Err(Error::UnknownReference {
+                    kind: "layer",
+                    id: feature.layer().to_string(),
+                });
+            }
+            match feature {
+                Feature::Component(f) => {
+                    lookup_component(&f.component)?;
+                }
+                Feature::Connection(f) => {
+                    if !connection_ids.contains(f.connection.as_str()) {
+                        return Err(Error::UnknownReference {
+                            kind: "connection",
+                            id: f.connection.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+
+        for valve in &self.valves {
+            lookup_component(&valve.component)?;
+            if !connection_ids.contains(valve.controls.as_str()) {
+                return Err(Error::UnknownReference {
+                    kind: "connection",
+                    id: valve.controls.to_string(),
+                });
+            }
+        }
+
+        let mut device = Device::new(self.name);
+        device.layers = self.layers;
+        device.components = self.components;
+        device.connections = self.connections;
+        device.features = self.features;
+        // Canonical valve order (the wire format is a map keyed by
+        // component id, so only this order survives serialization) — which
+        // also means a component can bind at most one connection.
+        let mut valves = self.valves;
+        valves.sort_by(|a, b| a.component.cmp(&b.component));
+        if let Some(pair) = valves.windows(2).find(|w| w[0].component == w[1].component) {
+            return Err(Error::DuplicateId {
+                kind: "valve",
+                id: pair[0].component.to_string(),
+            });
+        }
+        device.valves = valves;
+        device.params = self.params;
+        device.version = self.version.unwrap_or_else(|| device.minimum_version());
+        Ok(device)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::Port;
+    use crate::connection::Target;
+    use crate::entity::Entity;
+    use crate::feature::{ComponentFeature, ConnectionFeature};
+    use crate::geometry::Point;
+    use crate::layer::LayerType;
+
+    fn base() -> DeviceBuilder {
+        DeviceBuilder::new("t")
+            .layer(Layer::new("f0", "flow", LayerType::Flow))
+            .component(
+                Component::new("a", "a", Entity::Port, ["f0"], Span::square(100))
+                    .with_port(Port::new("p", "f0", 100, 50)),
+            )
+            .component(
+                Component::new("b", "b", Entity::Mixer, ["f0"], Span::square(100))
+                    .with_port(Port::new("in", "f0", 0, 50)),
+            )
+            .connection(Connection::new(
+                "ch1",
+                "ch1",
+                "f0",
+                Target::new("a", "p"),
+                [Target::new("b", "in")],
+            ))
+    }
+
+    #[test]
+    fn valid_build_succeeds() {
+        let d = base().build().unwrap();
+        assert_eq!(d.components.len(), 2);
+        assert_eq!(d.version, Version::V1_0, "pre-layout defaults to 1.0");
+    }
+
+    #[test]
+    fn duplicate_layer_rejected() {
+        let err = DeviceBuilder::new("t")
+            .layer(Layer::new("f0", "a", LayerType::Flow))
+            .layer(Layer::new("f0", "b", LayerType::Control))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::DuplicateId { kind: "layer", .. }));
+    }
+
+    #[test]
+    fn duplicate_component_rejected() {
+        let err = base()
+            .component(Component::new("a", "dup", Entity::Node, ["f0"], Span::square(1)))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::DuplicateId { kind: "component", .. }));
+    }
+
+    #[test]
+    fn duplicate_connection_rejected() {
+        let err = base()
+            .connection(Connection::new(
+                "ch1",
+                "dup",
+                "f0",
+                Target::new("a", "p"),
+                [Target::new("b", "in")],
+            ))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::DuplicateId { kind: "connection", .. }));
+    }
+
+    #[test]
+    fn component_with_unknown_layer_rejected() {
+        let err = base()
+            .component(Component::new("c", "c", Entity::Node, ["ghost"], Span::square(1)))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::UnknownReference { kind: "layer", .. }));
+    }
+
+    #[test]
+    fn port_on_unknown_layer_rejected() {
+        let err = DeviceBuilder::new("t")
+            .layer(Layer::new("f0", "flow", LayerType::Flow))
+            .component(
+                Component::new("a", "a", Entity::Port, ["f0"], Span::square(1))
+                    .with_port(Port::new("p", "ghost", 0, 0)),
+            )
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::UnknownReference { kind: "layer", .. }));
+    }
+
+    #[test]
+    fn connection_to_unknown_component_rejected() {
+        let err = base()
+            .connection(Connection::new(
+                "ch2",
+                "bad",
+                "f0",
+                Target::new("a", "p"),
+                [Target::new("ghost", "in")],
+            ))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::UnknownReference { kind: "component", .. }));
+    }
+
+    #[test]
+    fn connection_to_unknown_port_rejected() {
+        let err = base()
+            .connection(Connection::new(
+                "ch2",
+                "bad",
+                "f0",
+                Target::new("a", "p"),
+                [Target::new("b", "sideways")],
+            ))
+            .build()
+            .unwrap_err();
+        match err {
+            Error::UnknownReference { kind: "port", id } => assert_eq!(id, "b.sideways"),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn feature_references_checked() {
+        let err = base()
+            .feature(ComponentFeature::new(
+                "pf",
+                "ghost",
+                "f0",
+                Point::ORIGIN,
+                Span::square(1),
+                1,
+            ))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::UnknownReference { kind: "component", .. }));
+
+        let err = base()
+            .feature(ConnectionFeature::new("rf", "ghost", "f0", 1, 1, []))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::UnknownReference { kind: "connection", .. }));
+
+        let err = base()
+            .feature(ConnectionFeature::new("rf", "ch1", "ghost", 1, 1, []))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::UnknownReference { kind: "layer", .. }));
+    }
+
+    #[test]
+    fn duplicate_feature_id_rejected() {
+        let err = base()
+            .feature(ConnectionFeature::new("f", "ch1", "f0", 1, 1, []))
+            .feature(ConnectionFeature::new("f", "ch1", "f0", 1, 1, []))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::DuplicateId { kind: "feature", .. }));
+    }
+
+    #[test]
+    fn valve_references_checked() {
+        let err = base()
+            .valve("ghost", "ch1", ValveType::NormallyOpen)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::UnknownReference { kind: "component", .. }));
+
+        let err = base()
+            .valve("a", "ghost", ValveType::NormallyOpen)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::UnknownReference { kind: "connection", .. }));
+    }
+
+    #[test]
+    fn valve_component_may_bind_only_one_connection() {
+        let err = base()
+            .connection(Connection::new(
+                "ch2",
+                "ch2",
+                "f0",
+                Target::new("a", "p"),
+                [Target::new("b", "in")],
+            ))
+            .valve("a", "ch1", ValveType::NormallyOpen)
+            .valve("a", "ch2", ValveType::NormallyOpen)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::DuplicateId { kind: "valve", .. }));
+    }
+
+    #[test]
+    fn version_defaults_to_minimum_and_can_be_pinned() {
+        let d = base()
+            .valve("a", "ch1", ValveType::NormallyOpen)
+            .build()
+            .unwrap();
+        assert_eq!(d.version, Version::V1_2);
+
+        let d = base().version(Version::V1_2).build().unwrap();
+        assert_eq!(d.version, Version::V1_2);
+    }
+
+    #[test]
+    fn bounds_and_params() {
+        let d = base()
+            .bounds(Span::new(5000, 4000))
+            .param("note", "hello")
+            .build()
+            .unwrap();
+        assert_eq!(d.declared_bounds(), Some(Span::new(5000, 4000)));
+        assert_eq!(d.params.get_str("note"), Some("hello"));
+    }
+
+    #[test]
+    fn counters() {
+        let b = base();
+        assert_eq!(b.component_count(), 2);
+        assert_eq!(b.connection_count(), 1);
+    }
+}

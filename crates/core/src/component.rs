@@ -1,0 +1,257 @@
+//! Components and their ports.
+//!
+//! A component instantiates a physical primitive (an [`Entity`]) on one or
+//! more layers, occupies an `x-span × y-span` footprint, and exposes named
+//! [`Port`]s at fixed positions on that footprint through which connections
+//! attach.
+
+use crate::entity::Entity;
+use crate::geometry::{Point, Rect, Span};
+use crate::ids::{ComponentId, LayerId, PortLabel};
+use crate::params::Params;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A named attachment point on a component's boundary.
+///
+/// Port coordinates are relative to the component's own origin (its
+/// lower-left corner), matching the ParchMint convention.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Port {
+    /// Label, unique within the owning component.
+    pub label: PortLabel,
+    /// Layer the port lives on.
+    pub layer: LayerId,
+    /// X offset from the component origin, in µm.
+    pub x: i64,
+    /// Y offset from the component origin, in µm.
+    pub y: i64,
+}
+
+impl Port {
+    /// Creates a port at `(x, y)` relative to the component origin.
+    pub fn new(label: impl Into<PortLabel>, layer: impl Into<LayerId>, x: i64, y: i64) -> Self {
+        Port {
+            label: label.into(),
+            layer: layer.into(),
+            x,
+            y,
+        }
+    }
+
+    /// The port position relative to the component origin.
+    pub fn offset(&self) -> Point {
+        Point::new(self.x, self.y)
+    }
+
+    /// True when the port lies on the boundary of a footprint of size `span`.
+    ///
+    /// ParchMint requires ports on the component perimeter so channels can
+    /// attach without crossing the component body.
+    pub fn on_boundary(&self, span: Span) -> bool {
+        let inside =
+            self.x >= 0 && self.x <= span.x && self.y >= 0 && self.y <= span.y;
+        let on_edge = self.x == 0 || self.x == span.x || self.y == 0 || self.y == span.y;
+        inside && on_edge
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}:({}, {})", self.label, self.layer, self.x, self.y)
+    }
+}
+
+/// A component instance in a device netlist.
+///
+/// # Examples
+///
+/// ```
+/// use parchmint::{Component, Entity, Port};
+/// use parchmint::geometry::Span;
+///
+/// let mixer = Component::new("m1", "mixer_1", Entity::Mixer, ["flow"], Span::new(2000, 1000))
+///     .with_port(Port::new("in", "flow", 0, 500))
+///     .with_port(Port::new("out", "flow", 2000, 500));
+/// assert_eq!(mixer.ports.len(), 2);
+/// assert!(mixer.port("in").is_some());
+/// assert!(mixer.port("sideways").is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Component {
+    /// Unique identifier.
+    pub id: ComponentId,
+    /// Human-readable instance name.
+    pub name: String,
+    /// Physical primitive this component instantiates.
+    pub entity: Entity,
+    /// Layers the component occupies (valves span flow + control).
+    pub layers: Vec<LayerId>,
+    /// Footprint extents, serialized as `x-span`/`y-span`.
+    #[serde(flatten)]
+    pub span: Span,
+    /// Attachment points for connections.
+    #[serde(default)]
+    pub ports: Vec<Port>,
+    /// Open parameters (bend counts, radii, …).
+    #[serde(default, skip_serializing_if = "Params::is_empty")]
+    pub params: Params,
+}
+
+impl Component {
+    /// Creates a component with no ports and empty parameters.
+    pub fn new(
+        id: impl Into<ComponentId>,
+        name: impl Into<String>,
+        entity: Entity,
+        layers: impl IntoIterator<Item = impl Into<LayerId>>,
+        span: Span,
+    ) -> Self {
+        Component {
+            id: id.into(),
+            name: name.into(),
+            entity,
+            layers: layers.into_iter().map(Into::into).collect(),
+            span,
+            ports: Vec::new(),
+            params: Params::new(),
+        }
+    }
+
+    /// Builder-style port attachment.
+    #[must_use]
+    pub fn with_port(mut self, port: Port) -> Self {
+        self.ports.push(port);
+        self
+    }
+
+    /// Builder-style parameter attachment.
+    #[must_use]
+    pub fn with_params(mut self, params: Params) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Looks up a port by label.
+    pub fn port(&self, label: &str) -> Option<&Port> {
+        self.ports.iter().find(|p| p.label == *label)
+    }
+
+    /// Iterates over the ports on `layer`.
+    pub fn ports_on_layer<'a>(&'a self, layer: &'a LayerId) -> impl Iterator<Item = &'a Port> {
+        self.ports.iter().filter(move |p| &p.layer == layer)
+    }
+
+    /// True when the component occupies `layer`.
+    pub fn occupies_layer(&self, layer: &LayerId) -> bool {
+        self.layers.contains(layer)
+    }
+
+    /// Footprint area in µm².
+    pub fn area(&self) -> i64 {
+        self.span.area()
+    }
+
+    /// The component's footprint as a rectangle anchored at `origin`.
+    pub fn footprint_at(&self, origin: Point) -> Rect {
+        Rect::new(origin, self.span)
+    }
+
+    /// The absolute position of `port` when the component origin is `origin`.
+    pub fn port_position(&self, port: &Port, origin: Point) -> Point {
+        origin + port.offset()
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} `{}` ({}, {})", self.entity, self.id, self.name, self.span)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Component {
+        Component::new("c1", "mixer_a", Entity::Mixer, ["flow"], Span::new(2000, 1000))
+            .with_port(Port::new("in", "flow", 0, 500))
+            .with_port(Port::new("out", "flow", 2000, 500))
+    }
+
+    #[test]
+    fn port_lookup() {
+        let c = sample();
+        assert_eq!(c.port("in").unwrap().x, 0);
+        assert_eq!(c.port("out").unwrap().x, 2000);
+        assert!(c.port("nope").is_none());
+    }
+
+    #[test]
+    fn ports_on_layer_filters() {
+        let c = Component::new("v1", "valve_1", Entity::Valve, ["flow", "ctl"], Span::square(300))
+            .with_port(Port::new("fin", "flow", 0, 150))
+            .with_port(Port::new("fout", "flow", 300, 150))
+            .with_port(Port::new("actuate", "ctl", 150, 0));
+        let flow: LayerId = "flow".into();
+        let ctl: LayerId = "ctl".into();
+        assert_eq!(c.ports_on_layer(&flow).count(), 2);
+        assert_eq!(c.ports_on_layer(&ctl).count(), 1);
+        assert!(c.occupies_layer(&flow));
+        assert!(c.occupies_layer(&ctl));
+        assert!(!c.occupies_layer(&"other".into()));
+    }
+
+    #[test]
+    fn port_boundary_check() {
+        let span = Span::new(2000, 1000);
+        assert!(Port::new("a", "l", 0, 500).on_boundary(span));
+        assert!(Port::new("b", "l", 2000, 500).on_boundary(span));
+        assert!(Port::new("c", "l", 700, 0).on_boundary(span));
+        assert!(Port::new("d", "l", 700, 1000).on_boundary(span));
+        assert!(!Port::new("e", "l", 700, 500).on_boundary(span), "interior");
+        assert!(!Port::new("f", "l", -1, 0).on_boundary(span), "outside");
+        assert!(!Port::new("g", "l", 2001, 500).on_boundary(span), "outside");
+    }
+
+    #[test]
+    fn geometry_helpers() {
+        let c = sample();
+        assert_eq!(c.area(), 2_000_000);
+        let fp = c.footprint_at(Point::new(100, 100));
+        assert_eq!(fp.max(), Point::new(2100, 1100));
+        let p = c.port("out").unwrap();
+        assert_eq!(c.port_position(p, Point::new(100, 100)), Point::new(2100, 600));
+    }
+
+    #[test]
+    fn serde_flattens_span() {
+        let c = sample();
+        let json = serde_json::to_value(&c).unwrap();
+        assert_eq!(json["x-span"], 2000);
+        assert_eq!(json["y-span"], 1000);
+        assert_eq!(json["entity"], "MIXER");
+        assert_eq!(json["ports"][0]["label"], "in");
+        let back: Component = serde_json::from_value(json).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn serde_defaults_ports_and_params() {
+        let json = r#"{
+            "id": "p1", "name": "inlet", "entity": "PORT",
+            "layers": ["flow"], "x-span": 200, "y-span": 200
+        }"#;
+        let c: Component = serde_json::from_str(json).unwrap();
+        assert!(c.ports.is_empty());
+        assert!(c.params.is_empty());
+        assert_eq!(c.entity, Entity::Port);
+    }
+
+    #[test]
+    fn display_formats() {
+        let c = sample();
+        assert_eq!(c.to_string(), "MIXER `c1` (mixer_a, 2000×1000)");
+        assert_eq!(c.port("in").unwrap().to_string(), "in@flow:(0, 500)");
+    }
+}

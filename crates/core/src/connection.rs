@@ -1,0 +1,212 @@
+//! Connections: the channels joining component ports.
+//!
+//! A ParchMint connection is a hyperedge on a single layer: one *source*
+//! terminal and one or more *sink* terminals, each naming a component and
+//! one of its ports. Physical channel geometry is carried separately by
+//! [`Feature`](crate::Feature)s so that the same netlist can exist with or
+//! without a physical design.
+
+use crate::ids::{ComponentId, ConnectionId, LayerId, PortLabel};
+use crate::params::Params;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One terminal of a connection: a component/port pair.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Target {
+    /// The component the terminal attaches to.
+    pub component: ComponentId,
+    /// The port on that component, when the component has explicit ports.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub port: Option<PortLabel>,
+}
+
+impl Target {
+    /// Creates a terminal naming an explicit port.
+    pub fn new(component: impl Into<ComponentId>, port: impl Into<PortLabel>) -> Self {
+        Target {
+            component: component.into(),
+            port: Some(port.into()),
+        }
+    }
+
+    /// Creates a terminal attaching anywhere on the component
+    /// (port left unspecified, as permitted for single-port entities).
+    pub fn component_only(component: impl Into<ComponentId>) -> Self {
+        Target {
+            component: component.into(),
+            port: None,
+        }
+    }
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.port {
+            Some(p) => write!(f, "{}.{}", self.component, p),
+            None => write!(f, "{}", self.component),
+        }
+    }
+}
+
+/// A channel net joining a source terminal to one or more sinks on a layer.
+///
+/// # Examples
+///
+/// ```
+/// use parchmint::{Connection, Target};
+///
+/// let c = Connection::new(
+///     "ch1",
+///     "inlet_to_mixer",
+///     "flow",
+///     Target::new("in1", "out"),
+///     [Target::new("m1", "in")],
+/// );
+/// assert_eq!(c.sinks.len(), 1);
+/// assert_eq!(c.terminals().count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Connection {
+    /// Unique identifier.
+    pub id: ConnectionId,
+    /// Human-readable name.
+    pub name: String,
+    /// The layer the channel is fabricated on.
+    pub layer: LayerId,
+    /// Driving terminal.
+    pub source: Target,
+    /// Driven terminals (at least one for a well-formed connection).
+    pub sinks: Vec<Target>,
+    /// Open parameters (channel width, depth, …).
+    #[serde(default, skip_serializing_if = "Params::is_empty")]
+    pub params: Params,
+}
+
+impl Connection {
+    /// Creates a connection with empty parameters.
+    pub fn new(
+        id: impl Into<ConnectionId>,
+        name: impl Into<String>,
+        layer: impl Into<LayerId>,
+        source: Target,
+        sinks: impl IntoIterator<Item = Target>,
+    ) -> Self {
+        Connection {
+            id: id.into(),
+            name: name.into(),
+            layer: layer.into(),
+            source,
+            sinks: sinks.into_iter().collect(),
+            params: Params::new(),
+        }
+    }
+
+    /// Builder-style parameter attachment.
+    #[must_use]
+    pub fn with_params(mut self, params: Params) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Iterates over all terminals: the source first, then each sink.
+    pub fn terminals(&self) -> impl Iterator<Item = &Target> {
+        std::iter::once(&self.source).chain(self.sinks.iter())
+    }
+
+    /// Number of terminals (1 + sinks).
+    pub fn degree(&self) -> usize {
+        1 + self.sinks.len()
+    }
+
+    /// True for plain two-terminal channels.
+    pub fn is_two_terminal(&self) -> bool {
+        self.sinks.len() == 1
+    }
+
+    /// True when `component` appears at any terminal.
+    pub fn touches(&self, component: &ComponentId) -> bool {
+        self.terminals().any(|t| &t.component == component)
+    }
+}
+
+impl fmt::Display for Connection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} -> ", self.id, self.source)?;
+        for (i, sink) in self.sinks.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{sink}")?;
+        }
+        write!(f, " [{}]", self.layer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fanout() -> Connection {
+        Connection::new(
+            "ch2",
+            "split",
+            "flow",
+            Target::new("t1", "out"),
+            [Target::new("a", "in"), Target::new("b", "in")],
+        )
+    }
+
+    #[test]
+    fn terminal_iteration_order() {
+        let c = fanout();
+        let terms: Vec<String> = c.terminals().map(|t| t.to_string()).collect();
+        assert_eq!(terms, vec!["t1.out", "a.in", "b.in"]);
+        assert_eq!(c.degree(), 3);
+        assert!(!c.is_two_terminal());
+    }
+
+    #[test]
+    fn touches_checks_all_terminals() {
+        let c = fanout();
+        assert!(c.touches(&"t1".into()));
+        assert!(c.touches(&"b".into()));
+        assert!(!c.touches(&"z".into()));
+    }
+
+    #[test]
+    fn component_only_target_omits_port() {
+        let t = Target::component_only("in1");
+        let json = serde_json::to_string(&t).unwrap();
+        assert_eq!(json, r#"{"component":"in1"}"#);
+        let back: Target = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.to_string(), "in1");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = fanout().with_params(Params::new().with("width", 400));
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Connection = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn serde_shape_matches_spec() {
+        let c = Connection::new("ch1", "n", "flow", Target::new("a", "p"), [Target::new("b", "q")]);
+        let v = serde_json::to_value(&c).unwrap();
+        assert_eq!(v["source"]["component"], "a");
+        assert_eq!(v["source"]["port"], "p");
+        assert_eq!(v["sinks"][0]["component"], "b");
+        assert_eq!(v["layer"], "flow");
+        assert!(v.get("params").is_none());
+    }
+
+    #[test]
+    fn display_two_terminal() {
+        let c = Connection::new("ch1", "n", "flow", Target::new("a", "p"), [Target::new("b", "q")]);
+        assert_eq!(c.to_string(), "ch1: a.p -> b.q [flow]");
+        assert!(c.is_two_terminal());
+    }
+}

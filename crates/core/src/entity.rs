@@ -1,0 +1,377 @@
+//! The entity taxonomy of continuous-flow microfluidic primitives.
+//!
+//! ParchMint inherits its component vocabulary from the MINT netlist
+//! language: every component declares an `entity` string naming the physical
+//! primitive it instantiates (a serpentine mixer, a cell trap, a valve, …).
+//! [`Entity`] enumerates the standard vocabulary and keeps unknown strings
+//! round-trippable through [`Entity::Custom`].
+
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use std::fmt;
+use std::str::FromStr;
+
+/// A microfluidic component primitive, as named by a ParchMint `entity` field.
+///
+/// The canonical serialized form is the SCREAMING-KEBAB-CASE string used by
+/// MINT (for example `"ROTARY-MIXER"`). Parsing is case-insensitive and
+/// accepts spaces or underscores in place of hyphens, since files in the
+/// wild vary; unknown entities are preserved verbatim as [`Entity::Custom`].
+///
+/// # Examples
+///
+/// ```
+/// use parchmint::Entity;
+///
+/// assert_eq!("MIXER".parse::<Entity>().unwrap(), Entity::Mixer);
+/// assert_eq!("rotary mixer".parse::<Entity>().unwrap(), Entity::RotaryMixer);
+/// assert_eq!(Entity::CellTrap.to_string(), "CELL-TRAP");
+///
+/// let exotic: Entity = "ACOUSTIC-SEPARATOR".parse().unwrap();
+/// assert_eq!(exotic, Entity::Custom("ACOUSTIC-SEPARATOR".into()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum Entity {
+    /// External I/O port: a punched inlet/outlet hole.
+    Port,
+    /// Vertical interconnect between layers.
+    Via,
+    /// A zero-area junction joining channels.
+    Node,
+    /// Serpentine mixing channel.
+    Mixer,
+    /// Curved (arc-based) mixing channel.
+    CurvedMixer,
+    /// Square-wave mixing channel.
+    SquareMixer,
+    /// Circular rotary mixing loop (valve-actuated).
+    RotaryMixer,
+    /// Diamond-shaped reaction chamber.
+    DiamondChamber,
+    /// Rectangular reaction chamber.
+    ReactionChamber,
+    /// Hydrodynamic single-cell trap.
+    CellTrap,
+    /// Elongated multi-cell trap.
+    LongCellTrap,
+    /// T-junction droplet generator.
+    DropletGenerator,
+    /// Flow-focusing nozzle droplet generator.
+    NozzleDropletGenerator,
+    /// Pillar-array filter.
+    Filter,
+    /// Binary bifurcating distribution tree.
+    Tree,
+    /// Y-shaped two-way splitter/merger.
+    YTree,
+    /// Valve-addressed multiplexer.
+    Mux,
+    /// Christmas-tree concentration-gradient generator.
+    GradientGenerator,
+    /// Monolithic membrane valve (control layer over flow layer).
+    Valve,
+    /// Three-dimensional (two-layer) valve.
+    Valve3D,
+    /// Peristaltic pump (valve triple).
+    Pump,
+    /// Three-dimensional peristaltic pump.
+    Pump3D,
+    /// Channel-crossing transposer.
+    Transposer,
+    /// Droplet-logic gate array.
+    LogicArray,
+    /// Any entity outside the standard vocabulary, stored verbatim.
+    Custom(String),
+}
+
+impl Entity {
+    /// The standard vocabulary, in canonical order (excludes `Custom`).
+    pub const STANDARD: &'static [Entity] = &[
+        Entity::Port,
+        Entity::Via,
+        Entity::Node,
+        Entity::Mixer,
+        Entity::CurvedMixer,
+        Entity::SquareMixer,
+        Entity::RotaryMixer,
+        Entity::DiamondChamber,
+        Entity::ReactionChamber,
+        Entity::CellTrap,
+        Entity::LongCellTrap,
+        Entity::DropletGenerator,
+        Entity::NozzleDropletGenerator,
+        Entity::Filter,
+        Entity::Tree,
+        Entity::YTree,
+        Entity::Mux,
+        Entity::GradientGenerator,
+        Entity::Valve,
+        Entity::Valve3D,
+        Entity::Pump,
+        Entity::Pump3D,
+        Entity::Transposer,
+        Entity::LogicArray,
+    ];
+
+    /// The canonical SCREAMING-KEBAB-CASE name of the entity.
+    pub fn name(&self) -> &str {
+        match self {
+            Entity::Port => "PORT",
+            Entity::Via => "VIA",
+            Entity::Node => "NODE",
+            Entity::Mixer => "MIXER",
+            Entity::CurvedMixer => "CURVED-MIXER",
+            Entity::SquareMixer => "SQUARE-MIXER",
+            Entity::RotaryMixer => "ROTARY-MIXER",
+            Entity::DiamondChamber => "DIAMOND-CHAMBER",
+            Entity::ReactionChamber => "REACTION-CHAMBER",
+            Entity::CellTrap => "CELL-TRAP",
+            Entity::LongCellTrap => "LONG-CELL-TRAP",
+            Entity::DropletGenerator => "DROPLET-GENERATOR",
+            Entity::NozzleDropletGenerator => "NOZZLE-DROPLET-GENERATOR",
+            Entity::Filter => "FILTER",
+            Entity::Tree => "TREE",
+            Entity::YTree => "YTREE",
+            Entity::Mux => "MUX",
+            Entity::GradientGenerator => "GRADIENT-GENERATOR",
+            Entity::Valve => "VALVE",
+            Entity::Valve3D => "VALVE3D",
+            Entity::Pump => "PUMP",
+            Entity::Pump3D => "PUMP3D",
+            Entity::Transposer => "TRANSPOSER",
+            Entity::LogicArray => "LOGIC-ARRAY",
+            Entity::Custom(name) => name,
+        }
+    }
+
+    /// True for entities that actuate flow (valves and pumps), which live on
+    /// or connect to a control layer.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Entity::Valve | Entity::Valve3D | Entity::Pump | Entity::Pump3D
+        )
+    }
+
+    /// True for the external I/O entity.
+    pub fn is_port(&self) -> bool {
+        matches!(self, Entity::Port)
+    }
+
+    /// True for entities with no physical footprint of their own
+    /// (junction nodes and vias).
+    pub fn is_virtual(&self) -> bool {
+        matches!(self, Entity::Node | Entity::Via)
+    }
+
+    /// True when the entity belongs to the standard vocabulary.
+    pub fn is_standard(&self) -> bool {
+        !matches!(self, Entity::Custom(_))
+    }
+
+    /// Broad functional class used in suite characterization histograms.
+    pub fn class(&self) -> EntityClass {
+        match self {
+            Entity::Port | Entity::Via | Entity::Node => EntityClass::Io,
+            Entity::Mixer
+            | Entity::CurvedMixer
+            | Entity::SquareMixer
+            | Entity::RotaryMixer
+            | Entity::GradientGenerator => EntityClass::Mixing,
+            Entity::DiamondChamber
+            | Entity::ReactionChamber
+            | Entity::CellTrap
+            | Entity::LongCellTrap
+            | Entity::Filter => EntityClass::Chamber,
+            Entity::DropletGenerator | Entity::NozzleDropletGenerator | Entity::LogicArray => {
+                EntityClass::Droplet
+            }
+            Entity::Tree | Entity::YTree | Entity::Mux | Entity::Transposer => {
+                EntityClass::Distribution
+            }
+            Entity::Valve | Entity::Valve3D | Entity::Pump | Entity::Pump3D => EntityClass::Control,
+            Entity::Custom(_) => EntityClass::Other,
+        }
+    }
+}
+
+impl fmt::Display for Entity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an [`Entity`] from an empty string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseEntityError;
+
+impl fmt::Display for ParseEntityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("entity name must not be empty")
+    }
+}
+
+impl std::error::Error for ParseEntityError {}
+
+impl FromStr for Entity {
+    type Err = ParseEntityError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let trimmed = s.trim();
+        if trimmed.is_empty() {
+            return Err(ParseEntityError);
+        }
+        let canonical: String = trimmed
+            .chars()
+            .map(|c| match c {
+                ' ' | '_' => '-',
+                other => other.to_ascii_uppercase(),
+            })
+            .collect();
+        for entity in Entity::STANDARD {
+            if entity.name() == canonical {
+                return Ok(entity.clone());
+            }
+        }
+        Ok(Entity::Custom(canonical))
+    }
+}
+
+impl Serialize for Entity {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self.name())
+    }
+}
+
+impl<'de> Deserialize<'de> for Entity {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse().map_err(D::Error::custom)
+    }
+}
+
+/// Broad functional grouping of entities, used for suite histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EntityClass {
+    /// Ports, vias, and junction nodes.
+    Io,
+    /// Mixers and gradient generators.
+    Mixing,
+    /// Chambers, traps, and filters.
+    Chamber,
+    /// Droplet generation and droplet logic.
+    Droplet,
+    /// Trees, multiplexers, and transposers.
+    Distribution,
+    /// Valves and pumps.
+    Control,
+    /// Custom entities.
+    Other,
+}
+
+impl EntityClass {
+    /// All classes in display order.
+    pub const ALL: &'static [EntityClass] = &[
+        EntityClass::Io,
+        EntityClass::Mixing,
+        EntityClass::Chamber,
+        EntityClass::Droplet,
+        EntityClass::Distribution,
+        EntityClass::Control,
+        EntityClass::Other,
+    ];
+
+    /// Human-readable class name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EntityClass::Io => "io",
+            EntityClass::Mixing => "mixing",
+            EntityClass::Chamber => "chamber",
+            EntityClass::Droplet => "droplet",
+            EntityClass::Distribution => "distribution",
+            EntityClass::Control => "control",
+            EntityClass::Other => "other",
+        }
+    }
+}
+
+impl fmt::Display for EntityClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_standard_entity_round_trips_through_name() {
+        for entity in Entity::STANDARD {
+            let parsed: Entity = entity.name().parse().unwrap();
+            assert_eq!(&parsed, entity, "round-trip failed for {entity}");
+        }
+    }
+
+    #[test]
+    fn parse_is_case_and_separator_insensitive() {
+        assert_eq!("mixer".parse::<Entity>().unwrap(), Entity::Mixer);
+        assert_eq!("Rotary_Mixer".parse::<Entity>().unwrap(), Entity::RotaryMixer);
+        assert_eq!("cell trap".parse::<Entity>().unwrap(), Entity::CellTrap);
+        assert_eq!("  ytree ".parse::<Entity>().unwrap(), Entity::YTree);
+    }
+
+    #[test]
+    fn unknown_entity_becomes_custom_canonicalized() {
+        let e: Entity = "magnetic bead sorter".parse().unwrap();
+        assert_eq!(e, Entity::Custom("MAGNETIC-BEAD-SORTER".into()));
+        assert!(!e.is_standard());
+        assert_eq!(e.class(), EntityClass::Other);
+    }
+
+    #[test]
+    fn empty_entity_fails_to_parse() {
+        assert_eq!("".parse::<Entity>(), Err(ParseEntityError));
+        assert_eq!("   ".parse::<Entity>(), Err(ParseEntityError));
+        assert!(!ParseEntityError.to_string().is_empty());
+    }
+
+    #[test]
+    fn control_and_virtual_predicates() {
+        assert!(Entity::Valve.is_control());
+        assert!(Entity::Pump3D.is_control());
+        assert!(!Entity::Mixer.is_control());
+        assert!(Entity::Node.is_virtual());
+        assert!(Entity::Via.is_virtual());
+        assert!(!Entity::Port.is_virtual());
+        assert!(Entity::Port.is_port());
+    }
+
+    #[test]
+    fn serde_uses_canonical_string() {
+        let json = serde_json::to_string(&Entity::NozzleDropletGenerator).unwrap();
+        assert_eq!(json, r#""NOZZLE-DROPLET-GENERATOR""#);
+        let back: Entity = serde_json::from_str(r#""nozzle-droplet-generator""#).unwrap();
+        assert_eq!(back, Entity::NozzleDropletGenerator);
+    }
+
+    #[test]
+    fn serde_rejects_empty() {
+        let err = serde_json::from_str::<Entity>(r#""""#).unwrap_err();
+        assert!(err.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn classes_partition_standard_vocabulary() {
+        for entity in Entity::STANDARD {
+            assert_ne!(
+                entity.class(),
+                EntityClass::Other,
+                "standard entity {entity} must map to a concrete class"
+            );
+        }
+        assert_eq!(EntityClass::ALL.len(), 7);
+        assert_eq!(EntityClass::Control.to_string(), "control");
+    }
+}

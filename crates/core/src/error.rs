@@ -1,0 +1,95 @@
+//! Error types for parsing and constructing ParchMint models.
+
+use std::fmt;
+
+/// Error produced while reading, writing, or assembling a ParchMint device.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// JSON syntax or type-shape error from the underlying parser.
+    Json(serde_json::Error),
+    /// The JSON was well-formed but violates a model invariant
+    /// (for example, a `valveTypeMap` entry with no `valveMap` partner).
+    InvalidModel(String),
+    /// A builder was asked to reference an identifier it has not seen.
+    UnknownReference {
+        /// The kind of object being referenced ("layer", "component", …).
+        kind: &'static str,
+        /// The missing identifier.
+        id: String,
+    },
+    /// A builder was given the same identifier twice.
+    DuplicateId {
+        /// The kind of object being defined.
+        kind: &'static str,
+        /// The duplicated identifier.
+        id: String,
+    },
+}
+
+impl Error {
+    /// Convenience constructor for [`Error::InvalidModel`].
+    pub fn invalid_model(message: impl Into<String>) -> Self {
+        Error::InvalidModel(message.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Json(e) => write!(f, "JSON error: {e}"),
+            Error::InvalidModel(msg) => write!(f, "invalid ParchMint model: {msg}"),
+            Error::UnknownReference { kind, id } => {
+                write!(f, "reference to unknown {kind} `{id}`")
+            }
+            Error::DuplicateId { kind, id } => write!(f, "duplicate {kind} id `{id}`"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<serde_json::Error> for Error {
+    fn from(e: serde_json::Error) -> Self {
+        Error::Json(e)
+    }
+}
+
+/// Result alias for this crate's fallible operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_variants() {
+        let e = Error::invalid_model("orphan valve");
+        assert_eq!(e.to_string(), "invalid ParchMint model: orphan valve");
+        let e = Error::UnknownReference { kind: "layer", id: "f9".into() };
+        assert_eq!(e.to_string(), "reference to unknown layer `f9`");
+        let e = Error::DuplicateId { kind: "component", id: "m1".into() };
+        assert_eq!(e.to_string(), "duplicate component id `m1`");
+    }
+
+    #[test]
+    fn json_error_has_source() {
+        let json_err = serde_json::from_str::<serde_json::Value>("{").unwrap_err();
+        let e = Error::from(json_err);
+        assert!(e.source().is_some());
+        assert!(e.to_string().starts_with("JSON error"));
+    }
+
+    #[test]
+    fn invalid_model_has_no_source() {
+        assert!(Error::invalid_model("x").source().is_none());
+    }
+}

@@ -1,0 +1,311 @@
+//! Physical-design features.
+//!
+//! A ParchMint netlist may exist at two fidelities: *pre-layout* (components
+//! and connections only) and *post-layout*, where `features` pin every
+//! component to an absolute location and give every connection a routed
+//! polyline with a width and depth. Features are what a fabrication backend
+//! consumes.
+
+use crate::geometry::{Point, Rect, Span};
+use crate::ids::{ComponentId, ConnectionId, FeatureId, LayerId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Placement of one component: absolute location of its lower-left corner.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ComponentFeature {
+    /// Unique feature identifier.
+    pub id: FeatureId,
+    /// Human-readable name.
+    pub name: String,
+    /// The component being placed.
+    pub component: ComponentId,
+    /// The layer this feature is drawn on.
+    pub layer: LayerId,
+    /// Absolute position of the component origin, in µm.
+    pub location: Point,
+    /// Placed extents (normally equal to the component's span, but kept here
+    /// so a feature file is self-contained), serialized as `x-span`/`y-span`.
+    #[serde(flatten)]
+    pub span: Span,
+    /// Feature depth (etch/mold), in µm.
+    pub depth: i64,
+}
+
+impl ComponentFeature {
+    /// Creates a placement feature.
+    pub fn new(
+        id: impl Into<FeatureId>,
+        component: impl Into<ComponentId>,
+        layer: impl Into<LayerId>,
+        location: Point,
+        span: Span,
+        depth: i64,
+    ) -> Self {
+        let component = component.into();
+        ComponentFeature {
+            id: id.into(),
+            name: format!("place_{component}"),
+            component,
+            layer: layer.into(),
+            location,
+            span,
+            depth,
+        }
+    }
+
+    /// The placed footprint rectangle.
+    pub fn footprint(&self) -> Rect {
+        Rect::new(self.location, self.span)
+    }
+}
+
+/// Routing of one connection: a rectilinear polyline with width and depth.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConnectionFeature {
+    /// Unique feature identifier.
+    pub id: FeatureId,
+    /// Human-readable name.
+    pub name: String,
+    /// The connection being routed.
+    pub connection: ConnectionId,
+    /// The layer this feature is drawn on.
+    pub layer: LayerId,
+    /// Channel width, in µm.
+    pub width: i64,
+    /// Channel depth, in µm.
+    pub depth: i64,
+    /// Polyline vertices from source to sink, in absolute µm.
+    pub waypoints: Vec<Point>,
+}
+
+impl ConnectionFeature {
+    /// Creates a routing feature.
+    pub fn new(
+        id: impl Into<FeatureId>,
+        connection: impl Into<ConnectionId>,
+        layer: impl Into<LayerId>,
+        width: i64,
+        depth: i64,
+        waypoints: impl IntoIterator<Item = Point>,
+    ) -> Self {
+        let connection = connection.into();
+        ConnectionFeature {
+            id: id.into(),
+            name: format!("route_{connection}"),
+            connection,
+            layer: layer.into(),
+            width,
+            depth,
+            waypoints: waypoints.into_iter().collect(),
+        }
+    }
+
+    /// Total polyline length (sum of Manhattan segment lengths), in µm.
+    pub fn length(&self) -> i64 {
+        self.waypoints
+            .windows(2)
+            .map(|w| w[0].manhattan_distance(w[1]))
+            .sum()
+    }
+
+    /// Number of direction changes along the polyline.
+    pub fn bends(&self) -> usize {
+        if self.waypoints.len() < 3 {
+            return 0;
+        }
+        self.waypoints
+            .windows(3)
+            .filter(|w| {
+                let d1 = w[1] - w[0];
+                let d2 = w[2] - w[1];
+                // A bend is a change between horizontal and vertical travel.
+                (d1.x == 0) != (d2.x == 0)
+            })
+            .count()
+    }
+
+    /// True when every segment is axis-aligned (rectilinear routing).
+    pub fn is_rectilinear(&self) -> bool {
+        self.waypoints
+            .windows(2)
+            .all(|w| w[0].x == w[1].x || w[0].y == w[1].y)
+    }
+
+    /// Bounding box of the polyline, ignoring channel width.
+    pub fn bounding_box(&self) -> Option<Rect> {
+        let first = *self.waypoints.first()?;
+        let (min, max) = self
+            .waypoints
+            .iter()
+            .fold((first, first), |(lo, hi), &p| (lo.min(p), hi.max(p)));
+        Some(Rect::from_corners(min, max))
+    }
+}
+
+/// A physical-design feature: a component placement or a connection route.
+///
+/// Serialized with an explicit `"type"` tag so a mixed `features` array is
+/// self-describing:
+///
+/// ```json
+/// {"type": "component", "id": "f1", "component": "m1", ...}
+/// {"type": "connection", "id": "f2", "connection": "ch1", ...}
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "lowercase")]
+pub enum Feature {
+    /// A component placement.
+    Component(ComponentFeature),
+    /// A connection route.
+    Connection(ConnectionFeature),
+}
+
+impl Feature {
+    /// The feature's identifier.
+    pub fn id(&self) -> &FeatureId {
+        match self {
+            Feature::Component(f) => &f.id,
+            Feature::Connection(f) => &f.id,
+        }
+    }
+
+    /// The layer the feature is drawn on.
+    pub fn layer(&self) -> &LayerId {
+        match self {
+            Feature::Component(f) => &f.layer,
+            Feature::Connection(f) => &f.layer,
+        }
+    }
+
+    /// Returns the placement when this is a component feature.
+    pub fn as_component(&self) -> Option<&ComponentFeature> {
+        match self {
+            Feature::Component(f) => Some(f),
+            Feature::Connection(_) => None,
+        }
+    }
+
+    /// Returns the route when this is a connection feature.
+    pub fn as_connection(&self) -> Option<&ConnectionFeature> {
+        match self {
+            Feature::Connection(f) => Some(f),
+            Feature::Component(_) => None,
+        }
+    }
+}
+
+impl From<ComponentFeature> for Feature {
+    fn from(f: ComponentFeature) -> Self {
+        Feature::Component(f)
+    }
+}
+
+impl From<ConnectionFeature> for Feature {
+    fn from(f: ConnectionFeature) -> Self {
+        Feature::Connection(f)
+    }
+}
+
+impl fmt::Display for Feature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Feature::Component(c) => {
+                write!(f, "feature {}: {} at {}", c.id, c.component, c.location)
+            }
+            Feature::Connection(c) => write!(
+                f,
+                "feature {}: {} via {} waypoints",
+                c.id,
+                c.connection,
+                c.waypoints.len()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn route() -> ConnectionFeature {
+        ConnectionFeature::new(
+            "f2",
+            "ch1",
+            "flow",
+            400,
+            50,
+            [
+                Point::new(0, 0),
+                Point::new(100, 0),
+                Point::new(100, 50),
+                Point::new(200, 50),
+            ],
+        )
+    }
+
+    #[test]
+    fn length_and_bends() {
+        let r = route();
+        assert_eq!(r.length(), 100 + 50 + 100);
+        assert_eq!(r.bends(), 2);
+        assert!(r.is_rectilinear());
+    }
+
+    #[test]
+    fn straight_line_has_no_bends() {
+        let r = ConnectionFeature::new("f", "c", "l", 1, 1, [Point::new(0, 0), Point::new(5, 0)]);
+        assert_eq!(r.bends(), 0);
+        let single = ConnectionFeature::new("f", "c", "l", 1, 1, [Point::new(0, 0)]);
+        assert_eq!(single.bends(), 0);
+        assert_eq!(single.length(), 0);
+    }
+
+    #[test]
+    fn diagonal_is_not_rectilinear() {
+        let r = ConnectionFeature::new("f", "c", "l", 1, 1, [Point::new(0, 0), Point::new(5, 5)]);
+        assert!(!r.is_rectilinear());
+    }
+
+    #[test]
+    fn bounding_box() {
+        let r = route();
+        let bb = r.bounding_box().unwrap();
+        assert_eq!(bb.min, Point::new(0, 0));
+        assert_eq!(bb.max(), Point::new(200, 50));
+        let empty = ConnectionFeature::new("f", "c", "l", 1, 1, std::iter::empty());
+        assert!(empty.bounding_box().is_none());
+    }
+
+    #[test]
+    fn component_feature_footprint() {
+        let f = ComponentFeature::new("f1", "m1", "flow", Point::new(100, 200), Span::new(50, 60), 45);
+        assert_eq!(f.footprint().max(), Point::new(150, 260));
+        assert_eq!(f.name, "place_m1");
+    }
+
+    #[test]
+    fn tagged_serde_round_trip() {
+        let features: Vec<Feature> = vec![
+            ComponentFeature::new("f1", "m1", "flow", Point::new(1, 2), Span::new(3, 4), 5).into(),
+            route().into(),
+        ];
+        let json = serde_json::to_string(&features).unwrap();
+        let back: Vec<Feature> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, features);
+        let v = serde_json::to_value(&features).unwrap();
+        assert_eq!(v[0]["type"], "component");
+        assert_eq!(v[1]["type"], "connection");
+        assert_eq!(v[0]["x-span"], 3, "span must flatten into the feature object");
+    }
+
+    #[test]
+    fn accessors() {
+        let f: Feature = route().into();
+        assert_eq!(f.id().as_str(), "f2");
+        assert_eq!(f.layer().as_str(), "flow");
+        assert!(f.as_connection().is_some());
+        assert!(f.as_component().is_none());
+        assert!(f.to_string().contains("4 waypoints"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Identifier newtypes for the ParchMint data model.
+//!
+//! ParchMint identifies every layer, component, connection, and feature with
+//! a string `id`, and every component port with a string `label`. Newtypes
+//! keep the different namespaces from being confused with one another while
+//! serializing transparently as JSON strings.
+
+use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
+use std::fmt;
+
+macro_rules! string_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(String);
+
+        impl $name {
+            /// Wraps a string as this identifier type.
+            pub fn new(id: impl Into<String>) -> Self {
+                $name(id.into())
+            }
+
+            /// The identifier as a string slice.
+            pub fn as_str(&self) -> &str {
+                &self.0
+            }
+
+            /// Consumes the identifier, returning the underlying string.
+            pub fn into_string(self) -> String {
+                self.0
+            }
+
+            /// True when the identifier is the empty string.
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&self.0)
+            }
+        }
+
+        impl From<&str> for $name {
+            fn from(s: &str) -> Self {
+                $name(s.to_owned())
+            }
+        }
+
+        impl From<String> for $name {
+            fn from(s: String) -> Self {
+                $name(s)
+            }
+        }
+
+        impl From<$name> for String {
+            fn from(id: $name) -> String {
+                id.0
+            }
+        }
+
+        impl AsRef<str> for $name {
+            fn as_ref(&self) -> &str {
+                &self.0
+            }
+        }
+
+        impl Borrow<str> for $name {
+            fn borrow(&self) -> &str {
+                &self.0
+            }
+        }
+
+        impl PartialEq<str> for $name {
+            fn eq(&self, other: &str) -> bool {
+                self.0 == other
+            }
+        }
+
+        impl PartialEq<&str> for $name {
+            fn eq(&self, other: &&str) -> bool {
+                self.0 == *other
+            }
+        }
+    };
+}
+
+string_id! {
+    /// Identifier of a [`Layer`](crate::Layer).
+    LayerId
+}
+
+string_id! {
+    /// Identifier of a [`Component`](crate::Component).
+    ComponentId
+}
+
+string_id! {
+    /// Identifier of a [`Connection`](crate::Connection).
+    ConnectionId
+}
+
+string_id! {
+    /// Identifier of a [`Feature`](crate::Feature).
+    FeatureId
+}
+
+string_id! {
+    /// Label of a [`Port`](crate::Port) — unique within its component, not globally.
+    PortLabel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn display_and_as_str() {
+        let id = ComponentId::new("mixer_1");
+        assert_eq!(id.to_string(), "mixer_1");
+        assert_eq!(id.as_str(), "mixer_1");
+        assert!(!id.is_empty());
+        assert!(ComponentId::default().is_empty());
+    }
+
+    #[test]
+    fn conversions() {
+        let id: LayerId = "flow".into();
+        let s: String = id.clone().into();
+        assert_eq!(s, "flow");
+        assert_eq!(id, "flow");
+        assert_eq!(LayerId::from(String::from("flow")), id);
+        assert_eq!(id.clone().into_string(), "flow");
+    }
+
+    #[test]
+    fn borrow_allows_str_lookup() {
+        let mut map: HashMap<ConnectionId, u32> = HashMap::new();
+        map.insert(ConnectionId::new("c1"), 7);
+        assert_eq!(map.get("c1"), Some(&7));
+    }
+
+    #[test]
+    fn serde_transparent() {
+        let id = PortLabel::new("inlet");
+        let json = serde_json::to_string(&id).unwrap();
+        assert_eq!(json, r#""inlet""#);
+        let back: PortLabel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, id);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut ids = [FeatureId::new("f10"), FeatureId::new("f1"), FeatureId::new("f2")];
+        ids.sort();
+        let strs: Vec<&str> = ids.iter().map(|i| i.as_str()).collect();
+        assert_eq!(strs, vec!["f1", "f10", "f2"]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Device layers.
+//!
+//! Continuous-flow LoC devices are fabricated as a stack of bonded layers.
+//! The *flow* layer carries reagents; *control* layers carry the pressure
+//! lines that actuate membrane valves; *integration* layers host vertical
+//! interconnect in 3D devices.
+
+use crate::ids::LayerId;
+use crate::params::Params;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// The functional role of a [`Layer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "UPPERCASE")]
+pub enum LayerType {
+    /// Carries reagent flow.
+    Flow,
+    /// Carries valve-actuation pressure lines.
+    Control,
+    /// Hosts inter-layer plumbing in 3D devices.
+    Integration,
+}
+
+impl LayerType {
+    /// The canonical uppercase name used in ParchMint JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            LayerType::Flow => "FLOW",
+            LayerType::Control => "CONTROL",
+            LayerType::Integration => "INTEGRATION",
+        }
+    }
+
+    /// All layer types.
+    pub const ALL: &'static [LayerType] =
+        &[LayerType::Flow, LayerType::Control, LayerType::Integration];
+}
+
+impl fmt::Display for LayerType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when a layer-type string is not recognised.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLayerTypeError(String);
+
+impl fmt::Display for ParseLayerTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown layer type `{}` (expected FLOW, CONTROL, or INTEGRATION)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseLayerTypeError {}
+
+impl FromStr for LayerType {
+    type Err = ParseLayerTypeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_uppercase().as_str() {
+            "FLOW" => Ok(LayerType::Flow),
+            "CONTROL" => Ok(LayerType::Control),
+            "INTEGRATION" => Ok(LayerType::Integration),
+            _ => Err(ParseLayerTypeError(s.to_owned())),
+        }
+    }
+}
+
+/// One fabrication layer of a device.
+///
+/// # Examples
+///
+/// ```
+/// use parchmint::{Layer, LayerType};
+///
+/// let flow = Layer::new("f0", "flow", LayerType::Flow);
+/// assert_eq!(flow.id.as_str(), "f0");
+/// assert!(flow.is_flow());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Layer {
+    /// Unique identifier.
+    pub id: LayerId,
+    /// Human-readable name.
+    pub name: String,
+    /// Functional role.
+    #[serde(rename = "type")]
+    pub layer_type: LayerType,
+    /// Open parameters (e.g. layer depth, material).
+    #[serde(default, skip_serializing_if = "Params::is_empty")]
+    pub params: Params,
+}
+
+impl Layer {
+    /// Creates a layer with empty parameters.
+    pub fn new(id: impl Into<LayerId>, name: impl Into<String>, layer_type: LayerType) -> Self {
+        Layer {
+            id: id.into(),
+            name: name.into(),
+            layer_type,
+            params: Params::new(),
+        }
+    }
+
+    /// Builder-style parameter attachment.
+    #[must_use]
+    pub fn with_params(mut self, params: Params) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// True for flow layers.
+    pub fn is_flow(&self) -> bool {
+        self.layer_type == LayerType::Flow
+    }
+
+    /// True for control layers.
+    pub fn is_control(&self) -> bool {
+        self.layer_type == LayerType::Control
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}, {})", self.id, self.name, self.layer_type)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_type_parse_round_trip() {
+        for lt in LayerType::ALL {
+            assert_eq!(lt.name().parse::<LayerType>().unwrap(), *lt);
+        }
+        assert_eq!("flow".parse::<LayerType>().unwrap(), LayerType::Flow);
+        assert_eq!(" Control ".parse::<LayerType>().unwrap(), LayerType::Control);
+    }
+
+    #[test]
+    fn layer_type_parse_rejects_unknown() {
+        let err = "MEMBRANE".parse::<LayerType>().unwrap_err();
+        assert!(err.to_string().contains("MEMBRANE"));
+    }
+
+    #[test]
+    fn layer_serde_shape() {
+        let layer = Layer::new("c0", "control", LayerType::Control);
+        let json = serde_json::to_value(&layer).unwrap();
+        assert_eq!(json["id"], "c0");
+        assert_eq!(json["type"], "CONTROL");
+        assert!(json.get("params").is_none(), "empty params must be omitted");
+        let back: Layer = serde_json::from_value(json).unwrap();
+        assert_eq!(back, layer);
+    }
+
+    #[test]
+    fn layer_params_round_trip() {
+        let layer =
+            Layer::new("f0", "flow", LayerType::Flow).with_params(Params::new().with("depth", 45));
+        let json = serde_json::to_string(&layer).unwrap();
+        let back: Layer = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.params.get_i64("depth"), Some(45));
+    }
+
+    #[test]
+    fn predicates_and_display() {
+        let layer = Layer::new("f0", "flow", LayerType::Flow);
+        assert!(layer.is_flow());
+        assert!(!layer.is_control());
+        assert_eq!(layer.to_string(), "f0 (flow, FLOW)");
+    }
+}

@@ -1,0 +1,87 @@
+//! # parchmint
+//!
+//! Data model and JSON (de)serialization for **ParchMint**, the standard
+//! interchange format for continuous-flow microfluidic
+//! laboratory-on-a-chip (LoC) devices proposed by Densmore et al. at
+//! IISWC 2018.
+//!
+//! A ParchMint [`Device`] is a netlist of [`Component`]s joined by
+//! [`Connection`]s across fabrication [`Layer`]s, optionally enriched with a
+//! physical design ([`Feature`]s: placements and routed channels) and valve
+//! bindings ([`Valve`]s). Devices serialize losslessly to and from the
+//! ParchMint JSON format, including the `valveMap`/`valveTypeMap` pair and
+//! kebab-case `x-span`/`y-span` keys used on the wire.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use parchmint::{Device, Layer, LayerType, Component, Connection, Entity, Port, Target};
+//! use parchmint::geometry::Span;
+//!
+//! // Build a two-component netlist: an inlet port feeding a mixer.
+//! let device = Device::builder("quickstart")
+//!     .layer(Layer::new("f0", "flow", LayerType::Flow))
+//!     .component(
+//!         Component::new("in1", "inlet", Entity::Port, ["f0"], Span::square(200))
+//!             .with_port(Port::new("p", "f0", 200, 100)),
+//!     )
+//!     .component(
+//!         Component::new("m1", "mixer", Entity::Mixer, ["f0"], Span::new(2000, 1000))
+//!             .with_port(Port::new("in", "f0", 0, 500)),
+//!     )
+//!     .connection(Connection::new(
+//!         "ch1", "inlet_to_mixer", "f0",
+//!         Target::new("in1", "p"),
+//!         [Target::new("m1", "in")],
+//!     ))
+//!     .build()?;
+//!
+//! // Round-trip through the interchange format.
+//! let json = device.to_json_pretty()?;
+//! assert_eq!(parchmint::Device::from_json(&json)?, device);
+//! # Ok::<(), parchmint::Error>(())
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`geometry`] | integer-µm [`Point`](geometry::Point), [`Span`](geometry::Span), [`Rect`](geometry::Rect) |
+//! | [`ids`] | identifier newtypes per namespace |
+//! | [`entity`] | the MINT component-primitive vocabulary |
+//! | [`params`] | open key/value parameter bags |
+//! | top level | [`Device`], [`Layer`], [`Component`], [`Connection`], [`Feature`], [`Valve`], [`DeviceBuilder`] |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod builder;
+pub mod component;
+pub mod connection;
+pub mod device;
+pub mod entity;
+pub mod error;
+pub mod feature;
+pub mod geometry;
+pub mod ids;
+pub mod layer;
+pub mod params;
+pub mod schema;
+pub mod valve;
+pub mod version;
+
+pub use builder::DeviceBuilder;
+pub use component::{Component, Port};
+pub use connection::{Connection, Target};
+pub use device::Device;
+pub use entity::{Entity, EntityClass};
+pub use error::{Error, Result};
+pub use feature::{ComponentFeature, ConnectionFeature, Feature};
+pub use ids::{ComponentId, ConnectionId, FeatureId, LayerId, PortLabel};
+pub use layer::{Layer, LayerType};
+pub use params::Params;
+pub use valve::{Valve, ValveType};
+pub use version::Version;
+
+#[cfg(test)]
+mod proptests;

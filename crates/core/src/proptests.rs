@@ -1,0 +1,116 @@
+//! Property-based tests on the core data structures.
+
+use crate::entity::Entity;
+use crate::geometry::{Point, Rect, Span};
+use crate::params::Params;
+use crate::valve::ValveType;
+use crate::version::Version;
+use proptest::prelude::*;
+
+fn point_strategy() -> impl Strategy<Value = Point> {
+    (-10_000i64..10_000, -10_000i64..10_000).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn rect_strategy() -> impl Strategy<Value = Rect> {
+    (point_strategy(), 0i64..5_000, 0i64..5_000)
+        .prop_map(|(min, w, h)| Rect::new(min, Span::new(w, h)))
+}
+
+proptest! {
+    // ---- geometry ------------------------------------------------------
+
+    #[test]
+    fn manhattan_distance_is_a_metric(a in point_strategy(), b in point_strategy(), c in point_strategy()) {
+        prop_assert_eq!(a.manhattan_distance(a), 0);
+        prop_assert_eq!(a.manhattan_distance(b), b.manhattan_distance(a));
+        prop_assert!(a.manhattan_distance(c) <= a.manhattan_distance(b) + b.manhattan_distance(c));
+        prop_assert!(a.manhattan_distance(b) >= 0);
+    }
+
+    #[test]
+    fn point_addition_is_commutative_and_invertible(a in point_strategy(), b in point_strategy()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!(a + b - b, a);
+        prop_assert_eq!(a + (-a), Point::ORIGIN);
+    }
+
+    #[test]
+    fn rect_union_contains_both(a in rect_strategy(), b in rect_strategy()) {
+        let u = a.union(b);
+        if !a.span.is_empty() {
+            prop_assert!(u.contains_rect(a), "union {u} misses {a}");
+        }
+        if !b.span.is_empty() {
+            prop_assert!(u.contains_rect(b), "union {u} misses {b}");
+        }
+    }
+
+    #[test]
+    fn rect_intersection_is_contained_in_both(a in rect_strategy(), b in rect_strategy()) {
+        if let Some(i) = a.intersection(b) {
+            prop_assert!(a.contains_rect(i));
+            prop_assert!(b.contains_rect(i));
+            prop_assert!(i.area() <= a.area().min(b.area()));
+        } else {
+            prop_assert!(!a.intersects(b));
+        }
+    }
+
+    #[test]
+    fn rect_intersects_is_symmetric(a in rect_strategy(), b in rect_strategy()) {
+        prop_assert_eq!(a.intersects(b), b.intersects(a));
+    }
+
+    #[test]
+    fn rect_inflate_then_deflate_round_trips(r in rect_strategy(), margin in 0i64..1000) {
+        let back = r.inflated(margin).inflated(-margin);
+        // Round-trips exactly whenever the deflation cannot clamp at zero.
+        if r.span.x > 0 && r.span.y > 0 {
+            prop_assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn contains_point_implies_intersects_unit_rect(r in rect_strategy(), p in point_strategy()) {
+        if r.contains(p) {
+            prop_assert!(r.intersects(Rect::new(p, Span::new(1, 1))));
+        }
+    }
+
+    // ---- serde ----------------------------------------------------------
+
+    #[test]
+    fn span_serde_round_trip(x in 0i64..1_000_000, y in 0i64..1_000_000) {
+        let span = Span::new(x, y);
+        let json = serde_json::to_string(&span).unwrap();
+        prop_assert_eq!(serde_json::from_str::<Span>(&json).unwrap(), span);
+    }
+
+    #[test]
+    fn entity_parse_total_on_reasonable_strings(s in "[A-Za-z][A-Za-z0-9 _-]{0,20}") {
+        // Any non-empty identifier-ish string parses (to standard or custom),
+        // and re-parsing the canonical name is a fixed point.
+        let entity: Entity = s.parse().unwrap();
+        let again: Entity = entity.name().parse().unwrap();
+        prop_assert_eq!(again, entity);
+    }
+
+    #[test]
+    fn params_round_trip(entries in proptest::collection::btree_map("[a-z]{1,8}", -1000i64..1000, 0..8)) {
+        let mut params = Params::new();
+        for (key, value) in &entries {
+            params.set(key.clone(), *value);
+        }
+        let json = serde_json::to_string(&params).unwrap();
+        let back: Params = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, params);
+    }
+
+    #[test]
+    fn valve_type_and_version_round_trip(nc in any::<bool>(), v in 0usize..3) {
+        let valve_type = if nc { ValveType::NormallyClosed } else { ValveType::NormallyOpen };
+        prop_assert_eq!(valve_type.name().parse::<ValveType>().unwrap(), valve_type);
+        let version = [Version::V1_0, Version::V1_1, Version::V1_2][v];
+        prop_assert_eq!(version.as_str().parse::<Version>().unwrap(), version);
+    }
+}

@@ -1,0 +1,298 @@
+//! JSON Schema emission for the ParchMint interchange format.
+//!
+//! An interchange standard needs a machine-readable contract that tools in
+//! other languages can validate against; the upstream ParchMint project
+//! ships one, and so does this crate: [`json_schema`] produces a JSON
+//! Schema (draft-07 dialect) describing the on-the-wire shape this crate
+//! reads and writes, generated from the same constants the serializer uses
+//! so it cannot drift silently.
+
+use crate::entity::Entity;
+use crate::version::Version;
+use serde_json::{json, Value};
+
+/// The draft-07 JSON Schema for a ParchMint device document.
+///
+/// # Examples
+///
+/// ```
+/// let schema = parchmint::schema::json_schema();
+/// assert_eq!(schema["title"], "ParchMint Device");
+/// assert!(schema["definitions"]["component"].is_object());
+/// ```
+pub fn json_schema() -> Value {
+    let id_pattern = ".+";
+    let known_versions: Vec<&str> = [Version::V1_0, Version::V1_1, Version::V1_2]
+        .iter()
+        .map(|v| v.as_str())
+        .collect();
+    let standard_entities: Vec<&str> = Entity::STANDARD.iter().map(|e| e.name()).collect();
+
+    json!({
+        "$schema": "http://json-schema.org/draft-07/schema#",
+        "title": "ParchMint Device",
+        "description": "A continuous-flow microfluidic device netlist, optionally with physical design (features, >=1.1) and valve bindings (>=1.2). All coordinates in integer micrometres.",
+        "type": "object",
+        "required": ["name"],
+        "properties": {
+            "name": { "type": "string" },
+            "version": { "enum": known_versions },
+            "layers": { "type": "array", "items": { "$ref": "#/definitions/layer" } },
+            "components": { "type": "array", "items": { "$ref": "#/definitions/component" } },
+            "connections": { "type": "array", "items": { "$ref": "#/definitions/connection" } },
+            "features": { "type": "array", "items": { "$ref": "#/definitions/feature" } },
+            "valveMap": {
+                "type": "object",
+                "description": "valve component id -> controlled connection id",
+                "additionalProperties": { "type": "string" }
+            },
+            "valveTypeMap": {
+                "type": "object",
+                "description": "valve component id -> rest polarity",
+                "additionalProperties": { "enum": ["NORMALLY_OPEN", "NORMALLY_CLOSED"] }
+            },
+            "params": { "$ref": "#/definitions/params" }
+        },
+        "definitions": {
+            "params": {
+                "type": "object",
+                "description": "Open key/value bag; conventional keys include x-span, y-span, width, depth."
+            },
+            "layer": {
+                "type": "object",
+                "required": ["id", "name", "type"],
+                "properties": {
+                    "id": { "type": "string", "pattern": id_pattern },
+                    "name": { "type": "string" },
+                    "type": { "enum": ["FLOW", "CONTROL", "INTEGRATION"] },
+                    "params": { "$ref": "#/definitions/params" }
+                }
+            },
+            "port": {
+                "type": "object",
+                "required": ["label", "layer", "x", "y"],
+                "properties": {
+                    "label": { "type": "string" },
+                    "layer": { "type": "string" },
+                    "x": { "type": "integer" },
+                    "y": { "type": "integer" }
+                }
+            },
+            "component": {
+                "type": "object",
+                "required": ["id", "name", "entity", "layers", "x-span", "y-span"],
+                "properties": {
+                    "id": { "type": "string", "pattern": id_pattern },
+                    "name": { "type": "string" },
+                    "entity": {
+                        "type": "string",
+                        "description": "A MINT entity; standard vocabulary below, custom names allowed.",
+                        "examples": standard_entities
+                    },
+                    "layers": { "type": "array", "items": { "type": "string" }, "minItems": 1 },
+                    "x-span": { "type": "integer", "minimum": 0 },
+                    "y-span": { "type": "integer", "minimum": 0 },
+                    "ports": { "type": "array", "items": { "$ref": "#/definitions/port" } },
+                    "params": { "$ref": "#/definitions/params" }
+                }
+            },
+            "target": {
+                "type": "object",
+                "required": ["component"],
+                "properties": {
+                    "component": { "type": "string" },
+                    "port": { "type": "string" }
+                }
+            },
+            "connection": {
+                "type": "object",
+                "required": ["id", "name", "layer", "source", "sinks"],
+                "properties": {
+                    "id": { "type": "string", "pattern": id_pattern },
+                    "name": { "type": "string" },
+                    "layer": { "type": "string" },
+                    "source": { "$ref": "#/definitions/target" },
+                    "sinks": {
+                        "type": "array",
+                        "items": { "$ref": "#/definitions/target" },
+                        "minItems": 1
+                    },
+                    "params": { "$ref": "#/definitions/params" }
+                }
+            },
+            "feature": {
+                "oneOf": [
+                    { "$ref": "#/definitions/componentFeature" },
+                    { "$ref": "#/definitions/connectionFeature" }
+                ]
+            },
+            "componentFeature": {
+                "type": "object",
+                "required": ["type", "id", "name", "component", "layer", "location", "x-span", "y-span", "depth"],
+                "properties": {
+                    "type": { "const": "component" },
+                    "id": { "type": "string" },
+                    "name": { "type": "string" },
+                    "component": { "type": "string" },
+                    "layer": { "type": "string" },
+                    "location": {
+                        "type": "object",
+                        "required": ["x", "y"],
+                        "properties": {
+                            "x": { "type": "integer" },
+                            "y": { "type": "integer" }
+                        }
+                    },
+                    "x-span": { "type": "integer", "minimum": 0 },
+                    "y-span": { "type": "integer", "minimum": 0 },
+                    "depth": { "type": "integer" }
+                }
+            },
+            "connectionFeature": {
+                "type": "object",
+                "required": ["type", "id", "name", "connection", "layer", "width", "depth", "waypoints"],
+                "properties": {
+                    "type": { "const": "connection" },
+                    "id": { "type": "string" },
+                    "name": { "type": "string" },
+                    "connection": { "type": "string" },
+                    "layer": { "type": "string" },
+                    "width": { "type": "integer", "minimum": 0 },
+                    "depth": { "type": "integer", "minimum": 0 },
+                    "waypoints": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["x", "y"],
+                            "properties": {
+                                "x": { "type": "integer" },
+                                "y": { "type": "integer" }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    })
+}
+
+/// Structural spot-check of a serialized device against the schema's
+/// required-property lists.
+///
+/// Not a full JSON Schema validator (use any off-the-shelf validator with
+/// [`json_schema`] for that); this covers the checks a Rust consumer wants
+/// before handing a document to [`Device::from_json`](crate::Device::from_json):
+/// required top-level/section keys are present with the right JSON types.
+/// Returns the list of violations, empty when the document is shaped right.
+pub fn check_document(document: &Value) -> Vec<String> {
+    let mut violations = Vec::new();
+    let Some(object) = document.as_object() else {
+        return vec!["document is not a JSON object".to_string()];
+    };
+    if !object.get("name").map(Value::is_string).unwrap_or(false) {
+        violations.push("missing string property `name`".to_string());
+    }
+    for (section, required) in [
+        ("layers", vec!["id", "name", "type"]),
+        ("components", vec!["id", "name", "entity", "layers", "x-span", "y-span"]),
+        ("connections", vec!["id", "name", "layer", "source", "sinks"]),
+    ] {
+        let Some(value) = object.get(section) else {
+            continue; // sections are optional
+        };
+        let Some(items) = value.as_array() else {
+            violations.push(format!("`{section}` must be an array"));
+            continue;
+        };
+        for (i, item) in items.iter().enumerate() {
+            for key in &required {
+                if item.get(key).is_none() {
+                    violations.push(format!("{section}[{i}] missing `{key}`"));
+                }
+            }
+        }
+    }
+    for map_key in ["valveMap", "valveTypeMap"] {
+        if let Some(value) = object.get(map_key) {
+            if !value.is_object() {
+                violations.push(format!("`{map_key}` must be an object"));
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_is_well_formed() {
+        let schema = json_schema();
+        assert_eq!(schema["$schema"], "http://json-schema.org/draft-07/schema#");
+        for definition in [
+            "layer",
+            "component",
+            "port",
+            "target",
+            "connection",
+            "feature",
+            "componentFeature",
+            "connectionFeature",
+            "params",
+        ] {
+            assert!(
+                schema["definitions"][definition].is_object(),
+                "missing definition `{definition}`"
+            );
+        }
+        // Versions and polarity enums come from the real constants.
+        assert_eq!(schema["properties"]["version"]["enum"][2], "1.2");
+        assert_eq!(
+            schema["properties"]["valveTypeMap"]["additionalProperties"]["enum"][1],
+            "NORMALLY_CLOSED"
+        );
+    }
+
+    #[test]
+    fn schema_lists_standard_entities() {
+        let schema = json_schema();
+        let examples = schema["definitions"]["component"]["properties"]["entity"]["examples"]
+            .as_array()
+            .unwrap();
+        assert_eq!(examples.len(), Entity::STANDARD.len());
+        assert!(examples.iter().any(|e| e == "ROTARY-MIXER"));
+    }
+
+    #[test]
+    fn serialized_devices_pass_the_structural_check() {
+        let device = crate::Device::builder("s")
+            .layer(crate::Layer::new("f", "f", crate::LayerType::Flow))
+            .component(crate::Component::new(
+                "a",
+                "a",
+                crate::Entity::Port,
+                ["f"],
+                crate::geometry::Span::square(100),
+            ))
+            .build()
+            .unwrap();
+        let document: Value = serde_json::from_str(&device.to_json().unwrap()).unwrap();
+        assert_eq!(check_document(&document), Vec::<String>::new());
+    }
+
+    #[test]
+    fn structural_check_reports_violations() {
+        let document = json!({
+            "layers": [{ "id": "f" }],
+            "components": "oops",
+            "valveMap": 7
+        });
+        let violations = check_document(&document);
+        assert!(violations.iter().any(|v| v.contains("`name`")));
+        assert!(violations.iter().any(|v| v.contains("layers[0] missing `type`")));
+        assert!(violations.iter().any(|v| v.contains("`components` must be an array")));
+        assert!(violations.iter().any(|v| v.contains("`valveMap` must be an object")));
+        assert_eq!(check_document(&json!(42)).len(), 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! Valve bindings (ParchMint 1.2).
+//!
+//! Version 1.2 of the format records which valve components actuate which
+//! flow connections via two parallel maps at the device level: `valveMap`
+//! (valve component id → controlled connection id) and `valveTypeMap`
+//! (valve component id → normally-open/closed polarity). The in-memory model
+//! groups each binding into a single [`Valve`] record; the device serializer
+//! re-splits them into the two maps for wire compatibility.
+
+use crate::ids::{ComponentId, ConnectionId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Rest-state polarity of a membrane valve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub enum ValveType {
+    /// Flow passes when unactuated (push-down valve).
+    #[default]
+    #[serde(rename = "NORMALLY_OPEN")]
+    NormallyOpen,
+    /// Flow is blocked when unactuated (push-up valve).
+    #[serde(rename = "NORMALLY_CLOSED")]
+    NormallyClosed,
+}
+
+impl ValveType {
+    /// The canonical serialized name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ValveType::NormallyOpen => "NORMALLY_OPEN",
+            ValveType::NormallyClosed => "NORMALLY_CLOSED",
+        }
+    }
+}
+
+impl fmt::Display for ValveType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when a valve-type string is not recognised.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseValveTypeError(String);
+
+impl fmt::Display for ParseValveTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown valve type `{}` (expected NORMALLY_OPEN or NORMALLY_CLOSED)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseValveTypeError {}
+
+impl FromStr for ValveType {
+    type Err = ParseValveTypeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_uppercase().replace('-', "_").as_str() {
+            "NORMALLY_OPEN" => Ok(ValveType::NormallyOpen),
+            "NORMALLY_CLOSED" => Ok(ValveType::NormallyClosed),
+            _ => Err(ParseValveTypeError(s.to_owned())),
+        }
+    }
+}
+
+/// A binding between a valve component and the flow connection it pinches.
+///
+/// # Examples
+///
+/// ```
+/// use parchmint::{Valve, ValveType};
+///
+/// let v = Valve::new("v1", "ch3", ValveType::NormallyClosed);
+/// assert_eq!(v.component.as_str(), "v1");
+/// assert_eq!(v.controls.as_str(), "ch3");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Valve {
+    /// The valve component (entity `VALVE`, `VALVE3D`, `PUMP`, …).
+    pub component: ComponentId,
+    /// The flow connection this valve actuates.
+    pub controls: ConnectionId,
+    /// Rest-state polarity.
+    #[serde(default)]
+    pub valve_type: ValveType,
+}
+
+impl Valve {
+    /// Creates a valve binding.
+    pub fn new(
+        component: impl Into<ComponentId>,
+        controls: impl Into<ConnectionId>,
+        valve_type: ValveType,
+    ) -> Self {
+        Valve {
+            component: component.into(),
+            controls: controls.into(),
+            valve_type,
+        }
+    }
+}
+
+impl fmt::Display for Valve {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} pinches {} ({})", self.component, self.controls, self.valve_type)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valve_type_parse() {
+        assert_eq!("NORMALLY_OPEN".parse::<ValveType>().unwrap(), ValveType::NormallyOpen);
+        assert_eq!("normally-closed".parse::<ValveType>().unwrap(), ValveType::NormallyClosed);
+        assert!("SOMETIMES_OPEN".parse::<ValveType>().is_err());
+    }
+
+    #[test]
+    fn valve_type_default_is_normally_open() {
+        assert_eq!(ValveType::default(), ValveType::NormallyOpen);
+    }
+
+    #[test]
+    fn valve_type_serde_names() {
+        assert_eq!(serde_json::to_string(&ValveType::NormallyClosed).unwrap(), r#""NORMALLY_CLOSED""#);
+        let v: ValveType = serde_json::from_str(r#""NORMALLY_OPEN""#).unwrap();
+        assert_eq!(v, ValveType::NormallyOpen);
+    }
+
+    #[test]
+    fn valve_round_trip_and_display() {
+        let v = Valve::new("v1", "ch1", ValveType::NormallyClosed);
+        let json = serde_json::to_string(&v).unwrap();
+        let back: Valve = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(v.to_string(), "v1 pinches ch1 (NORMALLY_CLOSED)");
+    }
+
+    #[test]
+    fn parse_error_message() {
+        let err = "ajar".parse::<ValveType>().unwrap_err();
+        assert!(err.to_string().contains("ajar"));
+    }
+}

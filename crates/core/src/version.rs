@@ -1,0 +1,129 @@
+//! Format versioning.
+//!
+//! ParchMint evolved in three published revisions: 1.0 (netlist only),
+//! 1.1 (physical-design `features`), and 1.2 (valve maps). The version field
+//! gates which sections a serializer emits and which sections a strict
+//! parser accepts.
+
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use std::fmt;
+use std::str::FromStr;
+
+/// A ParchMint format revision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Version {
+    /// 1.0 — components, connections, layers, params.
+    V1_0,
+    /// 1.1 — adds physical-design `features`.
+    V1_1,
+    /// 1.2 — adds `valveMap` / `valveTypeMap`. The current revision.
+    #[default]
+    V1_2,
+}
+
+impl Version {
+    /// The newest revision this crate understands.
+    pub const CURRENT: Version = Version::V1_2;
+
+    /// The serialized version string, e.g. `"1.2"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Version::V1_0 => "1.0",
+            Version::V1_1 => "1.1",
+            Version::V1_2 => "1.2",
+        }
+    }
+
+    /// True when this revision carries a `features` array.
+    pub fn supports_features(self) -> bool {
+        self >= Version::V1_1
+    }
+
+    /// True when this revision carries valve maps.
+    pub fn supports_valves(self) -> bool {
+        self >= Version::V1_2
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error returned when a version string is not a known revision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseVersionError(String);
+
+impl fmt::Display for ParseVersionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown ParchMint version `{}` (known: 1.0, 1.1, 1.2)", self.0)
+    }
+}
+
+impl std::error::Error for ParseVersionError {}
+
+impl FromStr for Version {
+    type Err = ParseVersionError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim() {
+            "1" | "1.0" => Ok(Version::V1_0),
+            "1.1" => Ok(Version::V1_1),
+            "1.2" => Ok(Version::V1_2),
+            other => Err(ParseVersionError(other.to_owned())),
+        }
+    }
+}
+
+impl Serialize for Version {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self.as_str())
+    }
+}
+
+impl<'de> Deserialize<'de> for Version {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse().map_err(D::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_tracks_capability() {
+        assert!(Version::V1_0 < Version::V1_1);
+        assert!(Version::V1_1 < Version::V1_2);
+        assert!(!Version::V1_0.supports_features());
+        assert!(Version::V1_1.supports_features());
+        assert!(!Version::V1_1.supports_valves());
+        assert!(Version::V1_2.supports_valves());
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for v in [Version::V1_0, Version::V1_1, Version::V1_2] {
+            assert_eq!(v.as_str().parse::<Version>().unwrap(), v);
+        }
+        assert_eq!("1".parse::<Version>().unwrap(), Version::V1_0);
+        assert!("2.0".parse::<Version>().is_err());
+    }
+
+    #[test]
+    fn default_is_current() {
+        assert_eq!(Version::default(), Version::CURRENT);
+        assert_eq!(Version::CURRENT, Version::V1_2);
+    }
+
+    #[test]
+    fn serde_as_string() {
+        assert_eq!(serde_json::to_string(&Version::V1_2).unwrap(), r#""1.2""#);
+        let v: Version = serde_json::from_str(r#""1.1""#).unwrap();
+        assert_eq!(v, Version::V1_1);
+        assert!(serde_json::from_str::<Version>(r#""3.7""#).is_err());
+    }
+}

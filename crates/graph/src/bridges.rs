@@ -1,0 +1,176 @@
+//! Bridge (cut-edge) detection.
+//!
+//! A bridge is an edge whose removal disconnects its component. In a
+//! microfluidic netlist a bridge is a single-point-of-failure channel: if
+//! it clogs, part of the chip becomes unreachable. The suite
+//! characterization reports the bridge count as a robustness metric.
+//!
+//! Tarjan's algorithm via iterative DFS with discovery times and low-links;
+//! parallel edges are handled correctly (a doubled edge is never a bridge).
+
+use crate::graph::{EdgeIx, Graph, NodeIx};
+
+/// All bridges of `graph`, in ascending edge order.
+pub fn bridges<N, E>(graph: &Graph<N, E>) -> Vec<EdgeIx> {
+    let n = graph.node_count();
+    let mut discovery = vec![usize::MAX; n];
+    let mut low = vec![usize::MAX; n];
+    let mut timer = 0usize;
+    let mut result = Vec::new();
+
+    // Iterative DFS frame: (node, incoming edge, neighbour cursor).
+    for root in graph.node_indices() {
+        if discovery[root.0] != usize::MAX {
+            continue;
+        }
+        let mut stack: Vec<(NodeIx, Option<EdgeIx>, Vec<EdgeIx>, usize)> = Vec::new();
+        discovery[root.0] = timer;
+        low[root.0] = timer;
+        timer += 1;
+        stack.push((root, None, graph.incident_edges(root).collect(), 0));
+
+        while let Some((node, via, incident, cursor)) = stack.last_mut() {
+            if *cursor >= incident.len() {
+                // Post-order: propagate low-link to the parent.
+                let node = *node;
+                let via = *via;
+                stack.pop();
+                if let (Some(edge), Some((parent, ..))) = (via, stack.last()) {
+                    let parent = *parent;
+                    low[parent.0] = low[parent.0].min(low[node.0]);
+                    if low[node.0] > discovery[parent.0] {
+                        result.push(edge);
+                    }
+                }
+                continue;
+            }
+            let edge = incident[*cursor];
+            *cursor += 1;
+            let node = *node;
+            let via = *via;
+            // Skip the edge we arrived by (once — parallel edges count).
+            if via == Some(edge) {
+                continue;
+            }
+            let next = graph.opposite(node, edge);
+            if next == node {
+                continue; // self-loop
+            }
+            if discovery[next.0] == usize::MAX {
+                discovery[next.0] = timer;
+                low[next.0] = timer;
+                timer += 1;
+                stack.push((next, Some(edge), graph.incident_edges(next).collect(), 0));
+            } else {
+                low[node.0] = low[node.0].min(discovery[next.0]);
+            }
+        }
+    }
+    result.sort_unstable();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_from(n: usize, edges: &[(usize, usize)]) -> Graph<(), ()> {
+        let mut g = Graph::new();
+        for _ in 0..n {
+            g.add_node(());
+        }
+        for &(a, b) in edges {
+            g.add_edge(NodeIx(a), NodeIx(b), ());
+        }
+        g
+    }
+
+    #[test]
+    fn every_tree_edge_is_a_bridge() {
+        let g = graph_from(5, &[(0, 1), (1, 2), (1, 3), (3, 4)]);
+        assert_eq!(bridges(&g).len(), 4);
+    }
+
+    #[test]
+    fn cycle_has_no_bridges() {
+        let g = graph_from(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(bridges(&g).is_empty());
+    }
+
+    #[test]
+    fn barbell_has_one_bridge() {
+        // Two triangles joined by one edge: only the joiner is a bridge.
+        let g = graph_from(
+            6,
+            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
+        );
+        let found = bridges(&g);
+        assert_eq!(found, vec![EdgeIx(6)]);
+    }
+
+    #[test]
+    fn parallel_edges_are_not_bridges() {
+        let g = graph_from(2, &[(0, 1), (0, 1)]);
+        assert!(bridges(&g).is_empty());
+        let single = graph_from(2, &[(0, 1)]);
+        assert_eq!(single.edge_count(), 1);
+        assert_eq!(bridges(&single), vec![EdgeIx(0)]);
+    }
+
+    #[test]
+    fn self_loops_are_not_bridges() {
+        let g = graph_from(2, &[(0, 0), (0, 1)]);
+        assert_eq!(bridges(&g), vec![EdgeIx(1)]);
+    }
+
+    #[test]
+    fn disconnected_components_each_analyzed() {
+        let g = graph_from(6, &[(0, 1), (2, 3), (3, 4), (4, 2), (4, 5)]);
+        // Bridges: (0,1) and (4,5); the triangle contributes none.
+        assert_eq!(bridges(&g).len(), 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(bridges(&Graph::<(), ()>::new()).is_empty());
+    }
+
+    /// Brute-force cross-check: an edge is a bridge iff removing it
+    /// increases the component count.
+    #[test]
+    fn agrees_with_removal_oracle() {
+        use crate::components::Components;
+        // A moderately tangled fixed graph.
+        let edges = [
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 3),
+            (5, 6),
+            (6, 7),
+            (7, 8),
+            (8, 6),
+            (1, 9),
+        ];
+        let g = graph_from(10, &edges);
+        let fast: Vec<usize> = bridges(&g).iter().map(|e| e.0).collect();
+        let base_components = Components::of(&g).count();
+        let mut oracle = Vec::new();
+        for skip in 0..edges.len() {
+            let reduced: Vec<(usize, usize)> = edges
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != skip)
+                .map(|(_, &e)| e)
+                .collect();
+            let h = graph_from(10, &reduced);
+            if Components::of(&h).count() > base_components {
+                oracle.push(skip);
+            }
+        }
+        assert_eq!(fast, oracle);
+    }
+}

@@ -1,0 +1,184 @@
+//! Connected components and forest/cycle structure.
+
+use crate::graph::{Graph, NodeIx};
+use crate::union_find::UnionFind;
+
+/// The partition of a graph into connected components.
+#[derive(Debug, Clone)]
+pub struct Components {
+    /// `labels[i]` is the component index of node `i` (0-based, dense).
+    labels: Vec<usize>,
+    count: usize,
+}
+
+impl Components {
+    /// Computes connected components via union-find.
+    pub fn of<N, E>(graph: &Graph<N, E>) -> Self {
+        let mut uf = UnionFind::new(graph.node_count());
+        for e in graph.edge_indices() {
+            let (a, b) = graph.edge_endpoints(e);
+            uf.union(a.0, b.0);
+        }
+        // Densify the root labels into 0..count.
+        let mut labels = vec![usize::MAX; graph.node_count()];
+        let mut next = 0;
+        let mut root_label = std::collections::HashMap::new();
+        for (i, slot) in labels.iter_mut().enumerate() {
+            let root = uf.find(i);
+            let label = *root_label.entry(root).or_insert_with(|| {
+                let l = next;
+                next += 1;
+                l
+            });
+            *slot = label;
+        }
+        Components { labels, count: next }
+    }
+
+    /// Number of connected components.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The component label of `node`.
+    pub fn label(&self, node: NodeIx) -> usize {
+        self.labels[node.0]
+    }
+
+    /// True when the two nodes share a component.
+    pub fn same(&self, a: NodeIx, b: NodeIx) -> bool {
+        self.labels[a.0] == self.labels[b.0]
+    }
+
+    /// Sizes of each component, indexed by label.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &l in &self.labels {
+            sizes[l] += 1;
+        }
+        sizes
+    }
+
+    /// Nodes of the largest component (ties broken by lowest label).
+    pub fn largest(&self) -> Vec<NodeIx> {
+        let sizes = self.sizes();
+        let Some((best, _)) = sizes.iter().enumerate().max_by_key(|&(i, s)| (*s, usize::MAX - i))
+        else {
+            return Vec::new();
+        };
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|&(_, l)| *l == best)
+            .map(|(i, _)| NodeIx(i))
+            .collect()
+    }
+}
+
+/// True when the graph contains no cycle (counting parallel edges and
+/// self-loops as cycles).
+pub fn is_forest<N, E>(graph: &Graph<N, E>) -> bool {
+    let mut uf = UnionFind::new(graph.node_count());
+    for e in graph.edge_indices() {
+        let (a, b) = graph.edge_endpoints(e);
+        if a == b || !uf.union(a.0, b.0) {
+            return false;
+        }
+    }
+    true
+}
+
+/// The cyclomatic number (circuit rank) `E - V + C`: the number of
+/// independent cycles.
+pub fn cyclomatic_number<N, E>(graph: &Graph<N, E>) -> usize {
+    let c = Components::of(graph).count();
+    graph.edge_count() + c - graph.node_count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_islands() -> Graph<(), ()> {
+        // Island A: 0-1-2 (path); island B: 3-4 plus isolated 5.
+        let mut g = Graph::new();
+        for _ in 0..6 {
+            g.add_node(());
+        }
+        g.add_edge(NodeIx(0), NodeIx(1), ());
+        g.add_edge(NodeIx(1), NodeIx(2), ());
+        g.add_edge(NodeIx(3), NodeIx(4), ());
+        g
+    }
+
+    #[test]
+    fn component_count_and_labels() {
+        let g = two_islands();
+        let c = Components::of(&g);
+        assert_eq!(c.count(), 3);
+        assert!(c.same(NodeIx(0), NodeIx(2)));
+        assert!(!c.same(NodeIx(0), NodeIx(3)));
+        assert!(!c.same(NodeIx(4), NodeIx(5)));
+    }
+
+    #[test]
+    fn sizes_and_largest() {
+        let g = two_islands();
+        let c = Components::of(&g);
+        let mut sizes = c.sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 2, 3]);
+        let largest = c.largest();
+        assert_eq!(largest.len(), 3);
+        assert!(largest.contains(&NodeIx(0)));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g: Graph<(), ()> = Graph::new();
+        let c = Components::of(&g);
+        assert_eq!(c.count(), 0);
+        assert!(c.largest().is_empty());
+        assert!(is_forest(&g));
+        assert_eq!(cyclomatic_number(&g), 0);
+    }
+
+    #[test]
+    fn forest_detection() {
+        let g = two_islands();
+        assert!(is_forest(&g));
+        let mut g = g;
+        g.add_edge(NodeIx(0), NodeIx(2), ()); // closes a triangle
+        assert!(!is_forest(&g));
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut g: Graph<(), ()> = Graph::new();
+        let a = g.add_node(());
+        g.add_edge(a, a, ());
+        assert!(!is_forest(&g));
+        assert_eq!(cyclomatic_number(&g), 1);
+    }
+
+    #[test]
+    fn parallel_edge_is_a_cycle() {
+        let mut g: Graph<(), ()> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(a, b, ());
+        assert!(!is_forest(&g));
+        assert_eq!(cyclomatic_number(&g), 1);
+    }
+
+    #[test]
+    fn cyclomatic_counts_independent_cycles() {
+        let g = two_islands();
+        assert_eq!(cyclomatic_number(&g), 0);
+        let mut g = g;
+        g.add_edge(NodeIx(0), NodeIx(2), ());
+        g.add_edge(NodeIx(3), NodeIx(4), ());
+        assert_eq!(cyclomatic_number(&g), 2);
+    }
+}

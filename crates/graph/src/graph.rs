@@ -1,0 +1,343 @@
+//! A compact undirected multigraph with typed node and edge payloads.
+//!
+//! This is the workhorse representation behind netlist analysis: adjacency
+//! lists over dense integer indices, payloads stored alongside. It is
+//! deliberately small — the benchmark suite's devices top out in the low
+//! thousands of components — and favours clarity and exact invariants over
+//! asymptotic heroics.
+
+use std::fmt;
+
+/// Index of a node within a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeIx(pub usize);
+
+/// Index of an edge within a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeIx(pub usize);
+
+impl fmt::Display for NodeIx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeIx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node<N> {
+    data: N,
+    /// Incident edge indices (an edge appears twice for self-loops).
+    incident: Vec<EdgeIx>,
+}
+
+#[derive(Debug, Clone)]
+struct Edge<E> {
+    data: E,
+    a: NodeIx,
+    b: NodeIx,
+}
+
+/// An undirected multigraph with node payloads `N` and edge payloads `E`.
+///
+/// Parallel edges and self-loops are allowed (netlists produce both: two
+/// channels between the same pair of components are distinct nets).
+///
+/// # Examples
+///
+/// ```
+/// use parchmint_graph::Graph;
+///
+/// let mut g: Graph<&str, u32> = Graph::new();
+/// let a = g.add_node("a");
+/// let b = g.add_node("b");
+/// let e = g.add_edge(a, b, 7);
+/// assert_eq!(g.degree(a), 1);
+/// assert_eq!(g.edge_endpoints(e), (a, b));
+/// assert_eq!(g[a], "a");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Graph<N, E = ()> {
+    nodes: Vec<Node<N>>,
+    edges: Vec<Edge<E>>,
+}
+
+impl<N, E> Default for Graph<N, E> {
+    fn default() -> Self {
+        Graph {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+}
+
+impl<N, E> Graph<N, E> {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Creates an empty graph with preallocated capacity.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        Graph {
+            nodes: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a node carrying `data`, returning its index.
+    pub fn add_node(&mut self, data: N) -> NodeIx {
+        let ix = NodeIx(self.nodes.len());
+        self.nodes.push(Node {
+            data,
+            incident: Vec::new(),
+        });
+        ix
+    }
+
+    /// Adds an undirected edge between `a` and `b` carrying `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either endpoint is out of bounds.
+    pub fn add_edge(&mut self, a: NodeIx, b: NodeIx, data: E) -> EdgeIx {
+        assert!(a.0 < self.nodes.len(), "node {a} out of bounds");
+        assert!(b.0 < self.nodes.len(), "node {b} out of bounds");
+        let ix = EdgeIx(self.edges.len());
+        self.edges.push(Edge { data, a, b });
+        self.nodes[a.0].incident.push(ix);
+        if a != b {
+            self.nodes[b.0].incident.push(ix);
+        } else {
+            // Count a self-loop twice toward degree, as is standard.
+            self.nodes[a.0].incident.push(ix);
+        }
+        ix
+    }
+
+    /// Borrows a node's payload.
+    pub fn node(&self, ix: NodeIx) -> &N {
+        &self.nodes[ix.0].data
+    }
+
+    /// Mutably borrows a node's payload.
+    pub fn node_mut(&mut self, ix: NodeIx) -> &mut N {
+        &mut self.nodes[ix.0].data
+    }
+
+    /// Borrows an edge's payload.
+    pub fn edge(&self, ix: EdgeIx) -> &E {
+        &self.edges[ix.0].data
+    }
+
+    /// The two endpoints of an edge (equal for self-loops).
+    pub fn edge_endpoints(&self, ix: EdgeIx) -> (NodeIx, NodeIx) {
+        let e = &self.edges[ix.0];
+        (e.a, e.b)
+    }
+
+    /// Degree of `ix` (self-loops count twice).
+    pub fn degree(&self, ix: NodeIx) -> usize {
+        self.nodes[ix.0].incident.len()
+    }
+
+    /// Iterates over all node indices.
+    pub fn node_indices(&self) -> impl Iterator<Item = NodeIx> + '_ {
+        (0..self.nodes.len()).map(NodeIx)
+    }
+
+    /// Iterates over all edge indices.
+    pub fn edge_indices(&self) -> impl Iterator<Item = EdgeIx> + '_ {
+        (0..self.edges.len()).map(EdgeIx)
+    }
+
+    /// Iterates over node payloads in index order.
+    pub fn nodes(&self) -> impl Iterator<Item = &N> {
+        self.nodes.iter().map(|n| &n.data)
+    }
+
+    /// Iterates over edges incident to `ix`.
+    pub fn incident_edges(&self, ix: NodeIx) -> impl Iterator<Item = EdgeIx> + '_ {
+        self.nodes[ix.0].incident.iter().copied()
+    }
+
+    /// Iterates over the neighbours of `ix` (with multiplicity; a self-loop
+    /// yields `ix` twice).
+    pub fn neighbors(&self, ix: NodeIx) -> impl Iterator<Item = NodeIx> + '_ {
+        self.nodes[ix.0].incident.iter().map(move |&e| {
+            let (a, b) = self.edge_endpoints(e);
+            if a == ix {
+                b
+            } else {
+                a
+            }
+        })
+    }
+
+    /// The opposite endpoint of `edge` as seen from `from`.
+    pub fn opposite(&self, from: NodeIx, edge: EdgeIx) -> NodeIx {
+        let (a, b) = self.edge_endpoints(edge);
+        if a == from {
+            b
+        } else {
+            a
+        }
+    }
+
+    /// Finds the first node whose payload satisfies `pred`.
+    pub fn find_node(&self, mut pred: impl FnMut(&N) -> bool) -> Option<NodeIx> {
+        self.nodes
+            .iter()
+            .position(|n| pred(&n.data))
+            .map(NodeIx)
+    }
+
+    /// Sum of all degrees; equals `2 * edge_count()` (handshake lemma).
+    pub fn degree_sum(&self) -> usize {
+        self.nodes.iter().map(|n| n.incident.len()).sum()
+    }
+}
+
+impl<N, E> std::ops::Index<NodeIx> for Graph<N, E> {
+    type Output = N;
+    fn index(&self, ix: NodeIx) -> &N {
+        self.node(ix)
+    }
+}
+
+impl<N, E> std::ops::Index<EdgeIx> for Graph<N, E> {
+    type Output = E;
+    fn index(&self, ix: EdgeIx) -> &E {
+        self.edge(ix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> (Graph<u32, &'static str>, [NodeIx; 3]) {
+        let mut g = Graph::new();
+        let a = g.add_node(0);
+        let b = g.add_node(1);
+        let c = g.add_node(2);
+        g.add_edge(a, b, "ab");
+        g.add_edge(b, c, "bc");
+        g.add_edge(c, a, "ca");
+        (g, [a, b, c])
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let (g, [a, b, c]) = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(a), 2);
+        assert_eq!(g.degree(b), 2);
+        assert_eq!(g.degree(c), 2);
+        assert_eq!(g.degree_sum(), 2 * g.edge_count());
+        assert!(!g.is_empty());
+        assert!(Graph::<u8>::new().is_empty());
+    }
+
+    #[test]
+    fn neighbors_and_opposite() {
+        let (g, [a, b, c]) = triangle();
+        let mut nbrs: Vec<usize> = g.neighbors(a).map(|n| n.0).collect();
+        nbrs.sort_unstable();
+        assert_eq!(nbrs, vec![b.0, c.0]);
+        let e = g.incident_edges(a).next().unwrap();
+        let other = g.opposite(a, e);
+        assert!(other == b || other == c);
+    }
+
+    #[test]
+    fn parallel_edges_allowed() {
+        let mut g: Graph<(), u8> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 1);
+        g.add_edge(a, b, 2);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(a), 2);
+        assert_eq!(g.neighbors(a).count(), 2);
+    }
+
+    #[test]
+    fn self_loop_counts_twice() {
+        let mut g: Graph<(), ()> = Graph::new();
+        let a = g.add_node(());
+        let e = g.add_edge(a, a, ());
+        assert_eq!(g.degree(a), 2);
+        assert_eq!(g.edge_endpoints(e), (a, a));
+        assert_eq!(g.degree_sum(), 2 * g.edge_count());
+        let nbrs: Vec<NodeIx> = g.neighbors(a).collect();
+        assert_eq!(nbrs, vec![a, a]);
+    }
+
+    #[test]
+    fn payload_access() {
+        let (mut g, [a, ..]) = triangle();
+        assert_eq!(g[a], 0);
+        *g.node_mut(a) = 42;
+        assert_eq!(*g.node(a), 42);
+        let e = EdgeIx(0);
+        assert_eq!(g[e], "ab");
+    }
+
+    #[test]
+    fn find_node() {
+        let (g, [_, b, _]) = triangle();
+        assert_eq!(g.find_node(|&n| n == 1), Some(b));
+        assert_eq!(g.find_node(|&n| n == 99), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn add_edge_oob_panics() {
+        let mut g: Graph<(), ()> = Graph::new();
+        let a = g.add_node(());
+        g.add_edge(a, NodeIx(5), ());
+    }
+
+    #[test]
+    fn index_display() {
+        assert_eq!(NodeIx(3).to_string(), "n3");
+        assert_eq!(EdgeIx(9).to_string(), "e9");
+    }
+
+    #[test]
+    fn iterators_cover_all() {
+        let (g, _) = triangle();
+        assert_eq!(g.node_indices().count(), 3);
+        assert_eq!(g.edge_indices().count(), 3);
+        let payloads: Vec<u32> = g.nodes().copied().collect();
+        assert_eq!(payloads, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn with_capacity_starts_empty() {
+        let g: Graph<u8, u8> = Graph::with_capacity(10, 20);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! # parchmint-graph
+//!
+//! Netlist graph substrate for ParchMint devices: a compact undirected
+//! multigraph, classic traversals and connectivity algorithms, and the
+//! lowering from a [`parchmint::Device`] to its component-connectivity
+//! graph ([`Netlist`]).
+//!
+//! The benchmark paper motivates the suite with *"analysis of algorithmic
+//! quality"*; that analysis needs structural ground truth — connectivity,
+//! degree distributions, diameters, cycle structure, planarity bounds —
+//! which this crate provides ([`GraphMetrics`]).
+//!
+//! ```
+//! use parchmint_graph::{Graph, GraphMetrics};
+//!
+//! let mut g: Graph<&str> = Graph::new();
+//! let a = g.add_node("inlet");
+//! let b = g.add_node("mixer");
+//! g.add_edge(a, b, ());
+//! let m = GraphMetrics::of(&g);
+//! assert!(m.is_connected());
+//! assert_eq!(m.diameter, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bridges;
+pub mod components;
+pub mod graph;
+pub mod metrics;
+pub mod netlist;
+pub mod traversal;
+pub mod union_find;
+
+pub use bridges::bridges;
+pub use components::{cyclomatic_number, is_forest, Components};
+pub use graph::{EdgeIx, Graph, NodeIx};
+pub use metrics::{degree_histogram, GraphMetrics};
+pub use netlist::Netlist;
+pub use traversal::{bfs_distances, bfs_order, dfs_order, shortest_path};
+pub use union_find::UnionFind;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,195 @@
+//! Aggregate structural metrics of a graph.
+//!
+//! These are the figures the suite-characterization table reports for each
+//! benchmark: size, degree statistics, connectivity, cycle structure, and a
+//! planarity bound check (routable single-layer devices must be planar, so
+//! `E ≤ 3V − 6` is a cheap necessary condition worth surfacing).
+
+use crate::components::{cyclomatic_number, Components};
+use crate::graph::Graph;
+use crate::traversal::bfs_distances;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a graph's structure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphMetrics {
+    /// Node count.
+    pub nodes: usize,
+    /// Edge count (after hyperedge star expansion).
+    pub edges: usize,
+    /// Number of connected components.
+    pub components: usize,
+    /// Minimum node degree (0 for an empty graph).
+    pub min_degree: usize,
+    /// Maximum node degree (0 for an empty graph).
+    pub max_degree: usize,
+    /// Mean node degree (0 for an empty graph).
+    pub mean_degree: f64,
+    /// Longest shortest-path (hops) within the largest component.
+    pub diameter: usize,
+    /// Circuit rank `E − V + C`.
+    pub cyclomatic: usize,
+    /// Whether the edge count satisfies the planar bound `E ≤ 3V − 6`
+    /// (vacuously true for `V < 3`). Necessary, not sufficient.
+    pub satisfies_planar_bound: bool,
+}
+
+impl GraphMetrics {
+    /// Computes all metrics for `graph`.
+    ///
+    /// Diameter is exact, computed by BFS from every node of the largest
+    /// component; fine for benchmark-scale graphs (thousands of nodes).
+    pub fn of<N, E>(graph: &Graph<N, E>) -> Self {
+        let nodes = graph.node_count();
+        let edges = graph.edge_count();
+        let comps = Components::of(graph);
+
+        let (mut min_degree, mut max_degree) = (usize::MAX, 0);
+        for n in graph.node_indices() {
+            let d = graph.degree(n);
+            min_degree = min_degree.min(d);
+            max_degree = max_degree.max(d);
+        }
+        if nodes == 0 {
+            min_degree = 0;
+        }
+        let mean_degree = if nodes == 0 {
+            0.0
+        } else {
+            graph.degree_sum() as f64 / nodes as f64
+        };
+
+        let mut diameter = 0;
+        for &n in &comps.largest() {
+            let far = bfs_distances(graph, n)
+                .into_iter()
+                .flatten()
+                .max()
+                .unwrap_or(0);
+            diameter = diameter.max(far);
+        }
+
+        let satisfies_planar_bound = nodes < 3 || edges <= 3 * nodes - 6;
+
+        GraphMetrics {
+            nodes,
+            edges,
+            components: comps.count(),
+            min_degree,
+            max_degree,
+            mean_degree,
+            diameter,
+            cyclomatic: cyclomatic_number(graph),
+            satisfies_planar_bound,
+        }
+    }
+
+    /// True when every node can reach every other node.
+    pub fn is_connected(&self) -> bool {
+        self.components <= 1
+    }
+}
+
+/// Histogram of node degrees: `histogram[d]` counts nodes of degree `d`.
+pub fn degree_histogram<N, E>(graph: &Graph<N, E>) -> Vec<usize> {
+    let mut histogram = Vec::new();
+    for n in graph.node_indices() {
+        let d = graph.degree(n);
+        if histogram.len() <= d {
+            histogram.resize(d + 1, 0);
+        }
+        histogram[d] += 1;
+    }
+    histogram
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeIx;
+
+    fn path(n: usize) -> Graph<(), ()> {
+        let mut g = Graph::new();
+        for _ in 0..n {
+            g.add_node(());
+        }
+        for i in 1..n {
+            g.add_edge(NodeIx(i - 1), NodeIx(i), ());
+        }
+        g
+    }
+
+    #[test]
+    fn path_metrics() {
+        let m = GraphMetrics::of(&path(5));
+        assert_eq!(m.nodes, 5);
+        assert_eq!(m.edges, 4);
+        assert_eq!(m.components, 1);
+        assert!(m.is_connected());
+        assert_eq!(m.min_degree, 1);
+        assert_eq!(m.max_degree, 2);
+        assert!((m.mean_degree - 1.6).abs() < 1e-12);
+        assert_eq!(m.diameter, 4);
+        assert_eq!(m.cyclomatic, 0);
+        assert!(m.satisfies_planar_bound);
+    }
+
+    #[test]
+    fn empty_graph_metrics() {
+        let m = GraphMetrics::of(&Graph::<(), ()>::new());
+        assert_eq!(m.nodes, 0);
+        assert_eq!(m.edges, 0);
+        assert_eq!(m.min_degree, 0);
+        assert_eq!(m.max_degree, 0);
+        assert_eq!(m.mean_degree, 0.0);
+        assert_eq!(m.diameter, 0);
+        assert!(m.satisfies_planar_bound);
+    }
+
+    #[test]
+    fn disconnected_diameter_uses_largest_component() {
+        let mut g = path(4); // diameter 3
+        g.add_node(()); // isolated
+        let m = GraphMetrics::of(&g);
+        assert_eq!(m.components, 2);
+        assert!(!m.is_connected());
+        assert_eq!(m.diameter, 3);
+        assert_eq!(m.min_degree, 0);
+    }
+
+    #[test]
+    fn dense_graph_fails_planar_bound() {
+        // K5: 5 nodes, 10 edges > 3*5-6 = 9.
+        let mut g: Graph<(), ()> = Graph::new();
+        for _ in 0..5 {
+            g.add_node(());
+        }
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                g.add_edge(NodeIx(i), NodeIx(j), ());
+            }
+        }
+        let m = GraphMetrics::of(&g);
+        assert!(!m.satisfies_planar_bound);
+        assert_eq!(m.cyclomatic, 6);
+        assert_eq!(m.diameter, 1);
+    }
+
+    #[test]
+    fn tiny_graphs_vacuously_planar() {
+        let mut g: Graph<(), ()> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(a, b, ());
+        g.add_edge(a, b, ());
+        assert!(GraphMetrics::of(&g).satisfies_planar_bound);
+    }
+
+    #[test]
+    fn degree_histogram_counts() {
+        let g = path(4); // degrees 1,2,2,1
+        assert_eq!(degree_histogram(&g), vec![0, 2, 2]);
+        assert!(degree_histogram(&Graph::<(), ()>::new()).is_empty());
+    }
+}

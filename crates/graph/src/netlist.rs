@@ -1,0 +1,209 @@
+//! Lowering a ParchMint device to its netlist graph.
+//!
+//! Nodes are components; each connection contributes one edge from its
+//! source component to every sink component (star expansion of the
+//! hyperedge). The edge payload records the originating connection, so
+//! analyses can map graph structure back to the device.
+
+use crate::graph::{Graph, NodeIx};
+use parchmint::{ComponentId, ConnectionId, Device, LayerType};
+use std::collections::HashMap;
+
+/// The component-connectivity graph of a device.
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    graph: Graph<ComponentId, ConnectionId>,
+    index: HashMap<ComponentId, NodeIx>,
+}
+
+impl Netlist {
+    /// Builds the netlist graph over every layer of `device`, including
+    /// valve-coupling edges: a valve component physically sits on the
+    /// channel it pinches, so each valve binding contributes an edge from
+    /// the valve component to the controlled connection's source component
+    /// (labelled with that connection).
+    pub fn from_device(device: &Device) -> Self {
+        Self::build(device, |_| true, true)
+    }
+
+    /// Builds the netlist graph restricted to connections on layers of the
+    /// given type (commonly [`LayerType::Flow`] to analyse the fluid network
+    /// without control plumbing). Valve-coupling edges are cross-layer and
+    /// therefore excluded here.
+    pub fn from_device_layer(device: &Device, layer_type: LayerType) -> Self {
+        let matching: Vec<&str> = device
+            .layers
+            .iter()
+            .filter(|l| l.layer_type == layer_type)
+            .map(|l| l.id.as_str())
+            .collect();
+        Self::build(device, |layer| matching.contains(&layer), false)
+    }
+
+    fn build(
+        device: &Device,
+        mut include_layer: impl FnMut(&str) -> bool,
+        include_valves: bool,
+    ) -> Self {
+        let mut graph = Graph::with_capacity(device.components.len(), device.connections.len());
+        let mut index = HashMap::with_capacity(device.components.len());
+        for component in &device.components {
+            let ix = graph.add_node(component.id.clone());
+            index.insert(component.id.clone(), ix);
+        }
+        for connection in &device.connections {
+            if !include_layer(connection.layer.as_str()) {
+                continue;
+            }
+            let Some(&source) = index.get(&connection.source.component) else {
+                continue; // dangling references are the validator's business
+            };
+            for sink in &connection.sinks {
+                let Some(&dst) = index.get(&sink.component) else {
+                    continue;
+                };
+                graph.add_edge(source, dst, connection.id.clone());
+            }
+        }
+        if include_valves {
+            for valve in &device.valves {
+                let (Some(&valve_node), Some(controlled)) = (
+                    index.get(&valve.component),
+                    device.connection(valve.controls.as_str()),
+                ) else {
+                    continue;
+                };
+                if let Some(&anchor) = index.get(&controlled.source.component) {
+                    graph.add_edge(valve_node, anchor, valve.controls.clone());
+                }
+            }
+        }
+        Netlist { graph, index }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph<ComponentId, ConnectionId> {
+        &self.graph
+    }
+
+    /// The graph node representing `component`, when present.
+    pub fn node_of(&self, component: &ComponentId) -> Option<NodeIx> {
+        self.index.get(component).copied()
+    }
+
+    /// The component at a graph node.
+    pub fn component_at(&self, node: NodeIx) -> &ComponentId {
+        self.graph.node(node)
+    }
+
+    /// Number of components.
+    pub fn component_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of expanded (two-terminal) edges.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parchmint::geometry::Span;
+    use parchmint::{Component, Connection, Entity, Layer, Port, Target};
+
+    fn fan_device() -> Device {
+        // tree t1 fans out to sinks a and b on flow; control line on c0.
+        Device::builder("fan")
+            .layer(Layer::new("f0", "flow", LayerType::Flow))
+            .layer(Layer::new("c0", "control", LayerType::Control))
+            .component(
+                Component::new("t1", "tree", Entity::YTree, ["f0"], Span::square(100))
+                    .with_port(Port::new("in", "f0", 0, 50))
+                    .with_port(Port::new("o1", "f0", 100, 25))
+                    .with_port(Port::new("o2", "f0", 100, 75)),
+            )
+            .component(
+                Component::new("a", "a", Entity::ReactionChamber, ["f0"], Span::square(100))
+                    .with_port(Port::new("in", "f0", 0, 50)),
+            )
+            .component(
+                Component::new("b", "b", Entity::ReactionChamber, ["f0"], Span::square(100))
+                    .with_port(Port::new("in", "f0", 0, 50)),
+            )
+            .component(
+                Component::new("v", "valve", Entity::Valve, ["c0"], Span::square(30))
+                    .with_port(Port::new("p", "c0", 0, 15)),
+            )
+            .connection(Connection::new(
+                "net1",
+                "fanout",
+                "f0",
+                Target::new("t1", "in"),
+                [Target::new("a", "in"), Target::new("b", "in")],
+            ))
+            .connection(Connection::new(
+                "ctl1",
+                "actuation",
+                "c0",
+                Target::new("v", "p"),
+                [Target::new("t1", "in")],
+            ))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn star_expansion_of_fanout() {
+        let d = fan_device();
+        let n = Netlist::from_device(&d);
+        assert_eq!(n.component_count(), 4);
+        // net1 contributes 2 edges (t1→a, t1→b); ctl1 contributes 1.
+        assert_eq!(n.edge_count(), 3);
+        let t1 = n.node_of(&"t1".into()).unwrap();
+        assert_eq!(n.graph().degree(t1), 3);
+    }
+
+    #[test]
+    fn edges_remember_their_connection() {
+        let d = fan_device();
+        let n = Netlist::from_device(&d);
+        let labels: Vec<&str> = n
+            .graph()
+            .edge_indices()
+            .map(|e| n.graph().edge(e).as_str())
+            .collect();
+        assert_eq!(labels, vec!["net1", "net1", "ctl1"]);
+    }
+
+    #[test]
+    fn layer_restriction() {
+        let d = fan_device();
+        let flow = Netlist::from_device_layer(&d, LayerType::Flow);
+        assert_eq!(flow.edge_count(), 2);
+        let control = Netlist::from_device_layer(&d, LayerType::Control);
+        assert_eq!(control.edge_count(), 1);
+        // All components appear as nodes regardless of restriction.
+        assert_eq!(flow.component_count(), 4);
+    }
+
+    #[test]
+    fn node_component_round_trip() {
+        let d = fan_device();
+        let n = Netlist::from_device(&d);
+        for c in &d.components {
+            let ix = n.node_of(&c.id).unwrap();
+            assert_eq!(n.component_at(ix), &c.id);
+        }
+        assert!(n.node_of(&"ghost".into()).is_none());
+    }
+
+    #[test]
+    fn empty_device_yields_empty_graph() {
+        let d = Device::new("empty");
+        let n = Netlist::from_device(&d);
+        assert_eq!(n.component_count(), 0);
+        assert_eq!(n.edge_count(), 0);
+    }
+}

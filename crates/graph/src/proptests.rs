@@ -1,0 +1,166 @@
+//! Property-based tests on the graph substrate.
+
+use crate::bridges::bridges;
+use crate::components::{cyclomatic_number, is_forest, Components};
+use crate::graph::{Graph, NodeIx};
+use crate::metrics::{degree_histogram, GraphMetrics};
+use crate::traversal::{bfs_distances, bfs_order, dfs_order, shortest_path};
+use crate::union_find::UnionFind;
+use proptest::prelude::*;
+
+/// An arbitrary graph as (node count, edge list with indices < n).
+fn graph_strategy() -> impl Strategy<Value = Graph<(), ()>> {
+    (1usize..24).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..48).prop_map(move |edges| {
+            let mut graph: Graph<(), ()> = Graph::new();
+            for _ in 0..n {
+                graph.add_node(());
+            }
+            for (a, b) in edges {
+                graph.add_edge(NodeIx(a), NodeIx(b), ());
+            }
+            graph
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn handshake_lemma(graph in graph_strategy()) {
+        prop_assert_eq!(graph.degree_sum(), 2 * graph.edge_count());
+    }
+
+    #[test]
+    fn degree_histogram_sums_to_node_count(graph in graph_strategy()) {
+        let histogram = degree_histogram(&graph);
+        prop_assert_eq!(histogram.iter().sum::<usize>(), graph.node_count());
+    }
+
+    #[test]
+    fn traversals_cover_exactly_one_component(graph in graph_strategy()) {
+        let components = Components::of(&graph);
+        let start = NodeIx(0);
+        let bfs = bfs_order(&graph, start);
+        let dfs = dfs_order(&graph, start);
+        let expected = components
+            .sizes()[components.label(start)];
+        prop_assert_eq!(bfs.len(), expected);
+        prop_assert_eq!(dfs.len(), expected);
+        // No repeats.
+        let mut seen = std::collections::HashSet::new();
+        for n in &bfs {
+            prop_assert!(seen.insert(n.0));
+        }
+    }
+
+    #[test]
+    fn bfs_distances_agree_with_components(graph in graph_strategy()) {
+        let components = Components::of(&graph);
+        let start = NodeIx(0);
+        let distances = bfs_distances(&graph, start);
+        for node in graph.node_indices() {
+            prop_assert_eq!(
+                distances[node.0].is_some(),
+                components.same(start, node),
+                "reachability mismatch at {}", node
+            );
+        }
+    }
+
+    #[test]
+    fn bfs_distance_is_tight_on_neighbors(graph in graph_strategy()) {
+        let distances = bfs_distances(&graph, NodeIx(0));
+        for edge in graph.edge_indices() {
+            let (a, b) = graph.edge_endpoints(edge);
+            if let (Some(da), Some(db)) = (distances[a.0], distances[b.0]) {
+                prop_assert!(da.abs_diff(db) <= 1, "edge ({a},{b}) stretches BFS levels");
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_path_matches_bfs_distance(graph in graph_strategy()) {
+        let distances = bfs_distances(&graph, NodeIx(0));
+        for node in graph.node_indices() {
+            match (shortest_path(&graph, NodeIx(0), node), distances[node.0]) {
+                (Some(path), Some(d)) => prop_assert_eq!(path.len(), d + 1),
+                (None, None) => {}
+                (p, d) => prop_assert!(false, "disagreement at {}: path={:?} dist={:?}", node, p.map(|p| p.len()), d),
+            }
+        }
+    }
+
+    #[test]
+    fn cyclomatic_identity(graph in graph_strategy()) {
+        let c = Components::of(&graph).count();
+        prop_assert_eq!(
+            cyclomatic_number(&graph) as i64,
+            graph.edge_count() as i64 + c as i64 - graph.node_count() as i64
+        );
+        // Forests have rank zero and vice versa.
+        prop_assert_eq!(is_forest(&graph), cyclomatic_number(&graph) == 0);
+    }
+
+    #[test]
+    fn metrics_match_direct_computation(graph in graph_strategy()) {
+        let metrics = GraphMetrics::of(&graph);
+        prop_assert_eq!(metrics.nodes, graph.node_count());
+        prop_assert_eq!(metrics.edges, graph.edge_count());
+        prop_assert_eq!(metrics.components, Components::of(&graph).count());
+        let degrees: Vec<usize> = graph.node_indices().map(|n| graph.degree(n)).collect();
+        prop_assert_eq!(metrics.max_degree, degrees.iter().copied().max().unwrap_or(0));
+        prop_assert_eq!(metrics.min_degree, degrees.iter().copied().min().unwrap_or(0));
+    }
+
+    #[test]
+    fn union_find_agrees_with_graph_components(graph in graph_strategy()) {
+        let components = Components::of(&graph);
+        let mut uf = UnionFind::new(graph.node_count());
+        for e in graph.edge_indices() {
+            let (a, b) = graph.edge_endpoints(e);
+            uf.union(a.0, b.0);
+        }
+        prop_assert_eq!(uf.set_count(), components.count());
+        for a in graph.node_indices() {
+            for b in graph.node_indices() {
+                prop_assert_eq!(uf.connected(a.0, b.0), components.same(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn bridges_match_removal_oracle(graph in graph_strategy()) {
+        let fast: Vec<usize> = bridges(&graph).iter().map(|e| e.0).collect();
+        let base = Components::of(&graph).count();
+        let mut oracle = Vec::new();
+        for skip in graph.edge_indices() {
+            let mut reduced: Graph<(), ()> = Graph::new();
+            for _ in 0..graph.node_count() {
+                reduced.add_node(());
+            }
+            for e in graph.edge_indices() {
+                if e != skip {
+                    let (a, b) = graph.edge_endpoints(e);
+                    reduced.add_edge(a, b, ());
+                }
+            }
+            if Components::of(&reduced).count() > base {
+                oracle.push(skip.0);
+            }
+        }
+        prop_assert_eq!(fast, oracle);
+    }
+
+    #[test]
+    fn largest_component_is_the_largest(graph in graph_strategy()) {
+        let components = Components::of(&graph);
+        let largest = components.largest();
+        let sizes = components.sizes();
+        prop_assert_eq!(largest.len(), sizes.iter().copied().max().unwrap_or(0));
+        // All members share one label.
+        if let Some(first) = largest.first() {
+            let label = components.label(*first);
+            prop_assert!(largest.iter().all(|n| components.label(*n) == label));
+        }
+    }
+}

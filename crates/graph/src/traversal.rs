@@ -1,0 +1,177 @@
+//! Breadth-first and depth-first traversal.
+
+use crate::graph::{Graph, NodeIx};
+use std::collections::VecDeque;
+
+/// Breadth-first order from `start`, visiting only `start`'s component.
+pub fn bfs_order<N, E>(graph: &Graph<N, E>, start: NodeIx) -> Vec<NodeIx> {
+    let mut order = Vec::new();
+    let mut seen = vec![false; graph.node_count()];
+    let mut queue = VecDeque::new();
+    seen[start.0] = true;
+    queue.push_back(start);
+    while let Some(n) = queue.pop_front() {
+        order.push(n);
+        for nbr in graph.neighbors(n) {
+            if !seen[nbr.0] {
+                seen[nbr.0] = true;
+                queue.push_back(nbr);
+            }
+        }
+    }
+    order
+}
+
+/// Depth-first (preorder) from `start`, visiting only `start`'s component.
+pub fn dfs_order<N, E>(graph: &Graph<N, E>, start: NodeIx) -> Vec<NodeIx> {
+    let mut order = Vec::new();
+    let mut seen = vec![false; graph.node_count()];
+    let mut stack = vec![start];
+    while let Some(n) = stack.pop() {
+        if seen[n.0] {
+            continue;
+        }
+        seen[n.0] = true;
+        order.push(n);
+        // Push in reverse so lower-indexed neighbours pop first.
+        let nbrs: Vec<NodeIx> = graph.neighbors(n).collect();
+        for nbr in nbrs.into_iter().rev() {
+            if !seen[nbr.0] {
+                stack.push(nbr);
+            }
+        }
+    }
+    order
+}
+
+/// Unweighted hop distances from `start`; `None` for unreachable nodes.
+pub fn bfs_distances<N, E>(graph: &Graph<N, E>, start: NodeIx) -> Vec<Option<usize>> {
+    let mut dist = vec![None; graph.node_count()];
+    let mut queue = VecDeque::new();
+    dist[start.0] = Some(0);
+    queue.push_back(start);
+    while let Some(n) = queue.pop_front() {
+        let d = dist[n.0].expect("queued nodes have distances");
+        for nbr in graph.neighbors(n) {
+            if dist[nbr.0].is_none() {
+                dist[nbr.0] = Some(d + 1);
+                queue.push_back(nbr);
+            }
+        }
+    }
+    dist
+}
+
+/// A shortest hop path from `start` to `goal`, inclusive, or `None` when
+/// unreachable.
+pub fn shortest_path<N, E>(
+    graph: &Graph<N, E>,
+    start: NodeIx,
+    goal: NodeIx,
+) -> Option<Vec<NodeIx>> {
+    let mut prev: Vec<Option<NodeIx>> = vec![None; graph.node_count()];
+    let mut seen = vec![false; graph.node_count()];
+    let mut queue = VecDeque::new();
+    seen[start.0] = true;
+    queue.push_back(start);
+    while let Some(n) = queue.pop_front() {
+        if n == goal {
+            let mut path = vec![goal];
+            let mut cur = goal;
+            while let Some(p) = prev[cur.0] {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for nbr in graph.neighbors(n) {
+            if !seen[nbr.0] {
+                seen[nbr.0] = true;
+                prev[nbr.0] = Some(n);
+                queue.push_back(nbr);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0 - 1 - 2
+    ///     |
+    ///     3       4 (isolated)
+    fn sample() -> Graph<(), ()> {
+        let mut g = Graph::new();
+        for _ in 0..5 {
+            g.add_node(());
+        }
+        g.add_edge(NodeIx(0), NodeIx(1), ());
+        g.add_edge(NodeIx(1), NodeIx(2), ());
+        g.add_edge(NodeIx(1), NodeIx(3), ());
+        g
+    }
+
+    #[test]
+    fn bfs_visits_component_in_level_order() {
+        let g = sample();
+        let order = bfs_order(&g, NodeIx(0));
+        assert_eq!(order, vec![NodeIx(0), NodeIx(1), NodeIx(2), NodeIx(3)]);
+    }
+
+    #[test]
+    fn dfs_visits_whole_component_once() {
+        let g = sample();
+        let order = dfs_order(&g, NodeIx(0));
+        assert_eq!(order.len(), 4);
+        assert_eq!(order[0], NodeIx(0));
+        let mut sorted: Vec<usize> = order.iter().map(|n| n.0).collect();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn distances() {
+        let g = sample();
+        let d = bfs_distances(&g, NodeIx(0));
+        assert_eq!(d[0], Some(0));
+        assert_eq!(d[1], Some(1));
+        assert_eq!(d[2], Some(2));
+        assert_eq!(d[3], Some(2));
+        assert_eq!(d[4], None, "isolated node unreachable");
+    }
+
+    #[test]
+    fn shortest_path_found() {
+        let g = sample();
+        let p = shortest_path(&g, NodeIx(0), NodeIx(3)).unwrap();
+        assert_eq!(p, vec![NodeIx(0), NodeIx(1), NodeIx(3)]);
+    }
+
+    #[test]
+    fn shortest_path_to_self_is_singleton() {
+        let g = sample();
+        assert_eq!(shortest_path(&g, NodeIx(2), NodeIx(2)).unwrap(), vec![NodeIx(2)]);
+    }
+
+    #[test]
+    fn shortest_path_unreachable_is_none() {
+        let g = sample();
+        assert!(shortest_path(&g, NodeIx(0), NodeIx(4)).is_none());
+    }
+
+    #[test]
+    fn cycle_does_not_trap_traversal() {
+        let mut g: Graph<(), ()> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, c, ());
+        g.add_edge(c, a, ());
+        assert_eq!(bfs_order(&g, a).len(), 3);
+        assert_eq!(dfs_order(&g, a).len(), 3);
+    }
+}

@@ -1,0 +1,141 @@
+//! Disjoint-set forest (union-find) with path halving and union by size.
+
+/// A disjoint-set forest over `0..len` elements.
+///
+/// # Examples
+///
+/// ```
+/// use parchmint_graph::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// assert!(uf.union(0, 1));
+/// assert!(uf.union(2, 3));
+/// assert!(!uf.union(1, 0), "already joined");
+/// assert!(uf.connected(0, 1));
+/// assert!(!uf.connected(0, 2));
+/// assert_eq!(uf.set_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// Creates `len` singleton sets.
+    pub fn new(len: usize) -> Self {
+        UnionFind {
+            parent: (0..len).collect(),
+            size: vec![1; len],
+            sets: len,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when the structure holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// The canonical representative of `x`'s set (with path halving).
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges the sets holding `a` and `b`; returns `true` when they were
+    /// previously disjoint.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+        self.sets -= 1;
+        true
+    }
+
+    /// True when `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set holding `x`.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let root = self.find(x);
+        self.size[root]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons() {
+        let mut uf = UnionFind::new(3);
+        assert_eq!(uf.len(), 3);
+        assert_eq!(uf.set_count(), 3);
+        assert!(!uf.connected(0, 1));
+        assert_eq!(uf.set_size(2), 1);
+        assert!(!uf.is_empty());
+        assert!(UnionFind::new(0).is_empty());
+    }
+
+    #[test]
+    fn chain_union() {
+        let mut uf = UnionFind::new(5);
+        for i in 0..4 {
+            assert!(uf.union(i, i + 1));
+        }
+        assert_eq!(uf.set_count(), 1);
+        assert!(uf.connected(0, 4));
+        assert_eq!(uf.set_size(3), 5);
+    }
+
+    #[test]
+    fn union_is_idempotent() {
+        let mut uf = UnionFind::new(2);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert_eq!(uf.set_count(), 1);
+    }
+
+    #[test]
+    fn self_union_is_noop() {
+        let mut uf = UnionFind::new(2);
+        assert!(!uf.union(1, 1));
+        assert_eq!(uf.set_count(), 2);
+    }
+
+    #[test]
+    fn find_is_canonical() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.union(3, 4);
+        let r0 = uf.find(0);
+        assert_eq!(uf.find(1), r0);
+        assert_eq!(uf.find(2), r0);
+        assert_ne!(uf.find(3), r0);
+        assert_ne!(uf.find(5), r0);
+    }
+}

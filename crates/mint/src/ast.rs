@@ -1,0 +1,196 @@
+//! The MINT abstract syntax tree.
+
+use parchmint::LayerType;
+use std::fmt;
+
+/// A parameter value: MINT parameters are integers, floats, or bare words.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Integer (µm dimensions, counts).
+    Int(i64),
+    /// Floating point.
+    Float(f64),
+    /// Bare word (enums such as `CLOSED`).
+    Word(String),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Word(w) => f.write_str(w),
+        }
+    }
+}
+
+/// A `component[.port]` reference in a channel statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ref {
+    /// Component identifier.
+    pub component: String,
+    /// Optional port label.
+    pub port: Option<String>,
+}
+
+impl Ref {
+    /// Creates a component-only reference.
+    pub fn component(component: impl Into<String>) -> Self {
+        Ref {
+            component: component.into(),
+            port: None,
+        }
+    }
+
+    /// Creates a `component.port` reference.
+    pub fn port(component: impl Into<String>, port: impl Into<String>) -> Self {
+        Ref {
+            component: component.into(),
+            port: Some(port.into()),
+        }
+    }
+}
+
+impl fmt::Display for Ref {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.port {
+            Some(p) => write!(f, "{}.{p}", self.component),
+            None => f.write_str(&self.component),
+        }
+    }
+}
+
+/// One statement inside a `LAYER … END LAYER` block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `ENTITY id k=v …;` — a component instantiation.
+    Component {
+        /// Entity name (canonical MINT form, e.g. `ROTARY-MIXER`).
+        entity: String,
+        /// Instance identifier.
+        id: String,
+        /// Parameters.
+        params: Vec<(String, Value)>,
+    },
+    /// `CHANNEL id FROM a.p TO b.q[, c.r …] k=v …;`
+    Channel {
+        /// Channel identifier.
+        id: String,
+        /// Source terminal.
+        from: Ref,
+        /// Sink terminals (non-empty).
+        to: Vec<Ref>,
+        /// Parameters.
+        params: Vec<(String, Value)>,
+    },
+    /// `VALVE id ON channel k=v …;` — a valve bound to a channel.
+    Valve {
+        /// Valve component identifier.
+        id: String,
+        /// The controlled channel.
+        on: String,
+        /// `true` for `type=CLOSED` (normally closed).
+        normally_closed: bool,
+        /// Remaining parameters.
+        params: Vec<(String, Value)>,
+    },
+}
+
+impl Statement {
+    /// The identifier this statement declares.
+    pub fn id(&self) -> &str {
+        match self {
+            Statement::Component { id, .. }
+            | Statement::Channel { id, .. }
+            | Statement::Valve { id, .. } => id,
+        }
+    }
+}
+
+/// One layer block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MintLayer {
+    /// Layer role (`FLOW` / `CONTROL` / `INTEGRATION`).
+    pub layer_type: LayerType,
+    /// Layer identifier (defaults to the lowercase role name).
+    pub name: String,
+    /// Statements in declaration order.
+    pub statements: Vec<Statement>,
+}
+
+/// A complete MINT file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MintFile {
+    /// Device name from the `DEVICE` header.
+    pub device: String,
+    /// Layer blocks in declaration order.
+    pub layers: Vec<MintLayer>,
+}
+
+impl MintFile {
+    /// Total statements across all layers.
+    pub fn statement_count(&self) -> usize {
+        self.layers.iter().map(|l| l.statements.len()).sum()
+    }
+
+    /// Iterates over all statements with their layer.
+    pub fn statements(&self) -> impl Iterator<Item = (&MintLayer, &Statement)> {
+        self.layers
+            .iter()
+            .flat_map(|l| l.statements.iter().map(move |s| (l, s)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ref_display() {
+        assert_eq!(Ref::port("m1", "out").to_string(), "m1.out");
+        assert_eq!(Ref::component("m1").to_string(), "m1");
+    }
+
+    #[test]
+    fn value_display() {
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::Float(2.5).to_string(), "2.5");
+        assert_eq!(Value::Word("CLOSED".into()).to_string(), "CLOSED");
+    }
+
+    #[test]
+    fn statement_ids() {
+        let s = Statement::Component {
+            entity: "MIXER".into(),
+            id: "m1".into(),
+            params: vec![],
+        };
+        assert_eq!(s.id(), "m1");
+    }
+
+    #[test]
+    fn file_statement_count() {
+        let file = MintFile {
+            device: "d".into(),
+            layers: vec![MintLayer {
+                layer_type: LayerType::Flow,
+                name: "flow".into(),
+                statements: vec![
+                    Statement::Component {
+                        entity: "PORT".into(),
+                        id: "p1".into(),
+                        params: vec![],
+                    },
+                    Statement::Channel {
+                        id: "c1".into(),
+                        from: Ref::component("p1"),
+                        to: vec![Ref::component("p1")],
+                        params: vec![],
+                    },
+                ],
+            }],
+        };
+        assert_eq!(file.statement_count(), 2);
+        assert_eq!(file.statements().count(), 2);
+    }
+}

@@ -1,0 +1,419 @@
+//! Conversion between MINT netlists and ParchMint devices.
+//!
+//! MINT is a *netlist* language: it carries topology, entities, and scalar
+//! parameters, but no port coordinates or physical design. Converting
+//! ParchMint → MINT therefore drops features and port positions; converting
+//! MINT → ParchMint synthesizes boundary ports for every referenced port
+//! label (spread evenly around the footprint) so that the result is a sound
+//! ParchMint netlist. Component spans travel as `xspan`/`yspan` parameters,
+//! which makes MINT → ParchMint → MINT lossless and
+//! ParchMint → MINT → ParchMint lossless up to port coordinates, component
+//! display names, and physical-design features.
+
+use crate::ast::{MintFile, MintLayer, Ref, Statement, Value};
+use crate::error::ConvertError;
+use parchmint::geometry::Span;
+use parchmint::{
+    Component, Connection, Device, Entity, Params, Port, Target, ValveType,
+};
+use std::collections::{BTreeMap, HashMap};
+
+/// Converts a ParchMint device to a MINT file.
+pub fn device_to_mint(device: &Device) -> MintFile {
+    let valve_of: HashMap<&str, &parchmint::Valve> = device
+        .valves
+        .iter()
+        .map(|v| (v.component.as_str(), v))
+        .collect();
+
+    let layers = device
+        .layers
+        .iter()
+        .map(|layer| {
+            let mut statements = Vec::new();
+            for component in &device.components {
+                if component.layers.first() != Some(&layer.id) {
+                    continue;
+                }
+                let mut params = vec![
+                    ("xspan".to_string(), Value::Int(component.span.x)),
+                    ("yspan".to_string(), Value::Int(component.span.y)),
+                ];
+                params.extend(params_to_values(&component.params));
+                match valve_of.get(component.id.as_str()) {
+                    Some(valve) => {
+                        // Pumps and 3D valves bind through the valve map
+                        // too; carry their entity so it survives exchange.
+                        if component.entity != Entity::Valve {
+                            params.push((
+                                "entity".to_string(),
+                                Value::Word(component.entity.name().to_string()),
+                            ));
+                        }
+                        statements.push(Statement::Valve {
+                            id: component.id.to_string(),
+                            on: valve.controls.to_string(),
+                            normally_closed: valve.valve_type == ValveType::NormallyClosed,
+                            params,
+                        })
+                    }
+                    None => statements.push(Statement::Component {
+                        entity: component.entity.name().to_string(),
+                        id: component.id.to_string(),
+                        params,
+                    }),
+                }
+            }
+            for connection in &device.connections {
+                if connection.layer != layer.id {
+                    continue;
+                }
+                statements.push(Statement::Channel {
+                    id: connection.id.to_string(),
+                    from: target_to_ref(&connection.source),
+                    to: connection.sinks.iter().map(target_to_ref).collect(),
+                    params: params_to_values(&connection.params),
+                });
+            }
+            MintLayer {
+                layer_type: layer.layer_type,
+                name: layer.id.to_string(),
+                statements,
+            }
+        })
+        .collect();
+
+    MintFile {
+        device: device.name.clone(),
+        layers,
+    }
+}
+
+/// Converts a MINT file to a ParchMint device, synthesizing boundary ports.
+pub fn mint_to_device(file: &MintFile) -> Result<Device, ConvertError> {
+    // Pass 1: collect every port label referenced per component, in order.
+    let mut referenced: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for (_, statement) in file.statements() {
+        if let Statement::Channel { from, to, .. } = statement {
+            for reference in std::iter::once(from).chain(to.iter()) {
+                let labels = referenced.entry(reference.component.clone()).or_default();
+                if let Some(port) = &reference.port {
+                    if !labels.contains(port) {
+                        labels.push(port.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    let mut builder = Device::builder(&file.device);
+    for layer in &file.layers {
+        builder = builder.layer(parchmint::Layer::new(
+            layer.name.as_str(),
+            layer.name.as_str(),
+            layer.layer_type,
+        ));
+    }
+
+    // Pass 2: components (including valves), with synthesized ports.
+    let mut valve_bindings: Vec<(String, String, ValveType)> = Vec::new();
+    for layer in &file.layers {
+        for statement in &layer.statements {
+            match statement {
+                Statement::Component { entity, id, params } => {
+                    let entity: Entity = entity
+                        .parse()
+                        .map_err(|e| ConvertError(format!("component `{id}`: {e}")))?;
+                    builder = builder.component(build_component(
+                        id,
+                        entity,
+                        &layer.name,
+                        params,
+                        referenced.get(id),
+                        Span::square(1000),
+                    ));
+                }
+                Statement::Valve {
+                    id,
+                    on,
+                    normally_closed,
+                    params,
+                } => {
+                    // An `entity=` parameter overrides the default VALVE
+                    // entity (used for pumps bound via the valve map).
+                    let mut entity = Entity::Valve;
+                    let mut params: Vec<(String, Value)> = params.clone();
+                    params.retain(|(key, value)| {
+                        if key == "entity" {
+                            if let Value::Word(word) = value {
+                                if let Ok(parsed) = word.parse() {
+                                    entity = parsed;
+                                }
+                            }
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    builder = builder.component(build_component(
+                        id,
+                        entity,
+                        &layer.name,
+                        &params,
+                        referenced.get(id),
+                        Span::square(300),
+                    ));
+                    valve_bindings.push((
+                        id.clone(),
+                        on.clone(),
+                        if *normally_closed {
+                            ValveType::NormallyClosed
+                        } else {
+                            ValveType::NormallyOpen
+                        },
+                    ));
+                }
+                Statement::Channel { .. } => {}
+            }
+        }
+    }
+
+    // Pass 3: channels and valve bindings.
+    for layer in &file.layers {
+        for statement in &layer.statements {
+            if let Statement::Channel { id, from, to, params } = statement {
+                let connection = Connection::new(
+                    id.as_str(),
+                    id.as_str(),
+                    layer.name.as_str(),
+                    ref_to_target(from),
+                    to.iter().map(ref_to_target),
+                )
+                .with_params(values_to_params(params));
+                builder = builder.connection(connection);
+            }
+        }
+    }
+    for (component, on, valve_type) in valve_bindings {
+        builder = builder.valve(component.as_str(), on.as_str(), valve_type);
+    }
+
+    builder.build().map_err(|e| ConvertError(e.to_string()))
+}
+
+fn target_to_ref(target: &Target) -> Ref {
+    match &target.port {
+        Some(port) => Ref::port(target.component.as_str(), port.as_str()),
+        None => Ref::component(target.component.as_str()),
+    }
+}
+
+fn ref_to_target(reference: &Ref) -> Target {
+    match &reference.port {
+        Some(port) => Target::new(reference.component.as_str(), port.as_str()),
+        None => Target::component_only(reference.component.as_str()),
+    }
+}
+
+fn params_to_values(params: &Params) -> Vec<(String, Value)> {
+    params
+        .iter()
+        .filter_map(|(key, value)| {
+            let value = match value {
+                serde_json::Value::Number(n) => {
+                    if let Some(i) = n.as_i64() {
+                        Value::Int(i)
+                    } else {
+                        Value::Float(n.as_f64()?)
+                    }
+                }
+                serde_json::Value::String(s) => Value::Word(s.clone()),
+                serde_json::Value::Bool(b) => Value::Word(b.to_string()),
+                _ => return None, // arrays/objects are not expressible in MINT
+            };
+            Some((key.to_string(), value))
+        })
+        .collect()
+}
+
+fn values_to_params(values: &[(String, Value)]) -> Params {
+    let mut params = Params::new();
+    for (key, value) in values {
+        match value {
+            Value::Int(n) => params.set(key.clone(), *n),
+            Value::Float(x) => params.set(key.clone(), *x),
+            Value::Word(w) => params.set(key.clone(), w.clone()),
+        };
+    }
+    params
+}
+
+/// Builds a component from a MINT statement: span from `xspan`/`yspan`
+/// parameters (with a per-entity default), ports synthesized for every
+/// referenced label, remaining parameters carried through.
+fn build_component(
+    id: &str,
+    entity: Entity,
+    layer: &str,
+    params: &[(String, Value)],
+    referenced_ports: Option<&Vec<String>>,
+    default_span: Span,
+) -> Component {
+    let mut span = default_span;
+    let mut carried = Vec::new();
+    for (key, value) in params {
+        match (key.as_str(), value) {
+            ("xspan", Value::Int(x)) => span = Span::new(*x, span.y),
+            ("yspan", Value::Int(y)) => span = Span::new(span.x, *y),
+            _ => carried.push((key.clone(), value.clone())),
+        }
+    }
+    let mut component = Component::new(id, id, entity, [layer], span)
+        .with_params(values_to_params(&carried));
+    if let Some(labels) = referenced_ports {
+        for (i, label) in labels.iter().enumerate() {
+            component = component.with_port(synthesize_port(label, layer, span, i, labels.len()));
+        }
+    }
+    component
+}
+
+/// Places the `i`-th of `n` synthesized ports on the footprint boundary:
+/// sides cycle west→east→north→south, positions spread evenly per side.
+fn synthesize_port(label: &str, layer: &str, span: Span, i: usize, n: usize) -> Port {
+    let side = i % 4;
+    let slot = (i / 4) as i64;
+    let slots_on_side = ((n + 3 - side) / 4) as i64; // ports landing on this side
+    let fraction = |extent: i64| extent * (slot + 1) / (slots_on_side + 1);
+    let (x, y) = match side {
+        0 => (0, fraction(span.y)),
+        1 => (span.x, fraction(span.y)),
+        2 => (fraction(span.x), span.y),
+        _ => (fraction(span.x), 0),
+    };
+    Port::new(label, layer, x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::printer::print;
+
+    const SAMPLE: &str = r#"
+DEVICE cell
+LAYER FLOW
+  PORT in_a xspan=200 yspan=200;
+  MIXER m1 xspan=1400 yspan=1000 numBends=5;
+  CHANNEL ch0 FROM in_a.p TO m1.in w=400;
+END LAYER
+LAYER CONTROL
+  VALVE v1 ON ch0 type=CLOSED xspan=300 yspan=300;
+END LAYER
+"#;
+
+    #[test]
+    fn mint_to_device_builds_sound_netlist() {
+        let file = parse(SAMPLE).unwrap();
+        let device = mint_to_device(&file).unwrap();
+        assert_eq!(device.name, "cell");
+        assert_eq!(device.layers.len(), 2);
+        assert_eq!(device.components.len(), 3);
+        assert_eq!(device.connections.len(), 1);
+        assert_eq!(device.valves.len(), 1);
+        let m1 = device.component("m1").unwrap();
+        assert_eq!(m1.entity, Entity::Mixer);
+        assert_eq!(m1.span, Span::new(1400, 1000));
+        assert_eq!(m1.params.get_i64("numBends"), Some(5));
+        // Referenced port synthesized on the boundary.
+        let port = m1.port("in").unwrap();
+        assert!(port.on_boundary(m1.span));
+    }
+
+    #[test]
+    fn valve_conversion() {
+        let file = parse(SAMPLE).unwrap();
+        let device = mint_to_device(&file).unwrap();
+        let valve = device.valve_on(&"v1".into()).unwrap();
+        assert_eq!(valve.controls, "ch0");
+        assert_eq!(valve.valve_type, ValveType::NormallyClosed);
+        assert_eq!(device.component("v1").unwrap().entity, Entity::Valve);
+    }
+
+    #[test]
+    fn dangling_channel_is_a_conversion_error() {
+        let file = parse("DEVICE d LAYER FLOW CHANNEL c FROM a.p TO b.q; END LAYER").unwrap();
+        let err = mint_to_device(&file).unwrap_err();
+        assert!(err.to_string().contains('a'), "{err}");
+    }
+
+    #[test]
+    fn unknown_entity_becomes_custom() {
+        let file =
+            parse("DEVICE d LAYER FLOW ACOUSTIC-SORTER s1; END LAYER").unwrap();
+        let device = mint_to_device(&file).unwrap();
+        assert_eq!(
+            device.component("s1").unwrap().entity,
+            Entity::Custom("ACOUSTIC-SORTER".into())
+        );
+    }
+
+    #[test]
+    fn mint_round_trip_through_device_is_lossless() {
+        let file = parse(SAMPLE).unwrap();
+        let device = mint_to_device(&file).unwrap();
+        let back = device_to_mint(&device);
+        // Re-parse of the printed round-trip matches the printed original
+        // netlist (params ordering canonicalizes through Params).
+        let device2 = mint_to_device(&back).unwrap();
+        assert_eq!(device, device2);
+    }
+
+    #[test]
+    fn suite_benchmarks_round_trip_topologically() {
+        for name in [
+            "rotary_pump_mixer",
+            "logic_gate_and",
+            "molecular_gradient_generator",
+            "planar_synthetic_1",
+        ] {
+            let device = parchmint_suite::by_name(name).unwrap().device();
+            let mint = device_to_mint(&device);
+            let text = print(&mint);
+            let reparsed = parse(&text).expect("printed MINT parses");
+            let rebuilt = mint_to_device(&reparsed).expect("rebuilds");
+
+            // Topology must be preserved exactly.
+            assert_eq!(rebuilt.components.len(), device.components.len(), "{name}");
+            assert_eq!(rebuilt.connections.len(), device.connections.len(), "{name}");
+            assert_eq!(rebuilt.valves, device.valves, "{name}");
+            for original in &device.components {
+                let converted = rebuilt.component(original.id.as_str()).unwrap();
+                assert_eq!(converted.entity, original.entity, "{name}/{}", original.id);
+                assert_eq!(converted.span, original.span, "{name}/{}", original.id);
+            }
+            for original in &device.connections {
+                let converted = rebuilt.connection(original.id.as_str()).unwrap();
+                assert_eq!(converted.source, original.source);
+                assert_eq!(converted.sinks, original.sinks);
+                assert_eq!(converted.layer, original.layer);
+            }
+        }
+    }
+
+    #[test]
+    fn synthesized_ports_always_on_boundary() {
+        let span = Span::new(1000, 600);
+        for n in 1..=12 {
+            for i in 0..n {
+                let port = synthesize_port(&format!("p{i}"), "l", span, i, n);
+                assert!(
+                    port.on_boundary(span),
+                    "port {i}/{n} at ({}, {}) off boundary",
+                    port.x,
+                    port.y
+                );
+            }
+        }
+    }
+}

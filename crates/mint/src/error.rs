@@ -1,0 +1,57 @@
+//! MINT parse and conversion errors.
+
+use std::fmt;
+
+/// Error raised while lexing or parsing MINT text, with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(line: usize, column: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Error raised while converting between MINT and ParchMint models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvertError(pub String);
+
+impl fmt::Display for ConvertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MINT conversion error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConvertError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ParseError::new(3, 7, "unexpected token");
+        assert_eq!(e.to_string(), "3:7: unexpected token");
+        let c = ConvertError("duplicate id".into());
+        assert!(c.to_string().contains("duplicate id"));
+    }
+}

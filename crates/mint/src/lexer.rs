@@ -1,0 +1,272 @@
+//! MINT tokenizer.
+//!
+//! MINT is line-oriented in spirit but the grammar is freeform: statements
+//! end with `;`, comments run from `#` to end of line, identifiers may
+//! contain hyphens (entity names like `NOZZLE-DROPLET-GENERATOR`).
+
+use crate::error::ParseError;
+use std::fmt;
+
+/// One MINT token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub column: usize,
+}
+
+/// MINT token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`DEVICE`, `MIXER`, `m1`, …).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// `;`
+    Semicolon,
+    /// `,`
+    Comma,
+    /// `=`
+    Equals,
+    /// `.`
+    Dot,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Int(n) => write!(f, "`{n}`"),
+            TokenKind::Float(x) => write!(f, "`{x}`"),
+            TokenKind::Semicolon => f.write_str("`;`"),
+            TokenKind::Comma => f.write_str("`,`"),
+            TokenKind::Equals => f.write_str("`=`"),
+            TokenKind::Dot => f.write_str("`.`"),
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '-'
+}
+
+/// Tokenizes MINT source text.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, ParseError> {
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let mut column = 1usize;
+    let mut chars = source.chars().peekable();
+
+    while let Some(&c) = chars.peek() {
+        let (tok_line, tok_col) = (line, column);
+        match c {
+            '\n' => {
+                chars.next();
+                line += 1;
+                column = 1;
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+                column += 1;
+            }
+            '#' => {
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    chars.next();
+                    column += 1;
+                }
+            }
+            ';' | ',' | '=' | '.' => {
+                chars.next();
+                column += 1;
+                tokens.push(Token {
+                    kind: match c {
+                        ';' => TokenKind::Semicolon,
+                        ',' => TokenKind::Comma,
+                        '=' => TokenKind::Equals,
+                        _ => TokenKind::Dot,
+                    },
+                    line: tok_line,
+                    column: tok_col,
+                });
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let mut text = String::new();
+                let mut is_float = false;
+                if c == '-' {
+                    chars.next();
+                    column += 1;
+                    match chars.peek() {
+                        Some(d) if d.is_ascii_digit() => text.push('-'),
+                        _ => {
+                            return Err(ParseError::new(
+                                tok_line,
+                                tok_col,
+                                "`-` must begin a number".to_string(),
+                            ))
+                        }
+                    }
+                }
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        text.push(d);
+                    } else if d == '.' {
+                        // A dot is part of the number only when followed by
+                        // a digit (otherwise it is a port separator).
+                        let mut look = chars.clone();
+                        look.next();
+                        match look.peek() {
+                            Some(n) if n.is_ascii_digit() => {
+                                is_float = true;
+                                text.push('.');
+                            }
+                            _ => break,
+                        }
+                    } else {
+                        break;
+                    }
+                    chars.next();
+                    column += 1;
+                }
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| {
+                        ParseError::new(tok_line, tok_col, format!("bad float `{text}`"))
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| {
+                        ParseError::new(tok_line, tok_col, format!("bad integer `{text}`"))
+                    })?)
+                };
+                tokens.push(Token {
+                    kind,
+                    line: tok_line,
+                    column: tok_col,
+                });
+            }
+            c if is_ident_start(c) => {
+                let mut text = String::new();
+                while let Some(&d) = chars.peek() {
+                    if is_ident_continue(d) {
+                        text.push(d);
+                        chars.next();
+                        column += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(text),
+                    line: tok_line,
+                    column: tok_col,
+                });
+            }
+            other => {
+                return Err(ParseError::new(
+                    tok_line,
+                    tok_col,
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_statement() {
+        assert_eq!(
+            kinds("MIXER m1 numBends=6;"),
+            vec![
+                TokenKind::Ident("MIXER".into()),
+                TokenKind::Ident("m1".into()),
+                TokenKind::Ident("numBends".into()),
+                TokenKind::Equals,
+                TokenKind::Int(6),
+                TokenKind::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn dotted_port_refs_and_floats() {
+        assert_eq!(
+            kinds("a.out 2.5 3."),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("out".into()),
+                TokenKind::Float(2.5),
+                TokenKind::Int(3),
+                TokenKind::Dot,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_hyphenated_idents() {
+        assert_eq!(
+            kinds("# a comment\nNOZZLE-DROPLET-GENERATOR n1; # trailing"),
+            vec![
+                TokenKind::Ident("NOZZLE-DROPLET-GENERATOR".into()),
+                TokenKind::Ident("n1".into()),
+                TokenKind::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines_and_columns() {
+        let toks = tokenize("ab\n  cd").unwrap();
+        assert_eq!((toks[0].line, toks[0].column), (1, 1));
+        assert_eq!((toks[1].line, toks[1].column), (2, 3));
+    }
+
+    #[test]
+    fn negative_numbers() {
+        assert_eq!(
+            kinds("x=-42 y=-2.5"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Equals,
+                TokenKind::Int(-42),
+                TokenKind::Ident("y".into()),
+                TokenKind::Equals,
+                TokenKind::Float(-2.5),
+            ]
+        );
+        assert!(tokenize("a - b").is_err(), "bare minus is not a token");
+    }
+
+    #[test]
+    fn rejects_unexpected_characters() {
+        let err = tokenize("a @ b").unwrap_err();
+        assert!(err.to_string().contains('@'));
+        assert_eq!(err.line, 1);
+        assert_eq!(err.column, 3);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(kinds("").is_empty());
+        assert!(kinds("  \n# only a comment\n").is_empty());
+    }
+}

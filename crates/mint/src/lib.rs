@@ -1,0 +1,37 @@
+//! # parchmint-mint
+//!
+//! The MINT microfluidic netlist language: lexer, parser, canonical
+//! printer, and bidirectional conversion with the ParchMint device model.
+//!
+//! MINT is the textual input language of the Fluigi CAD toolchain that
+//! ParchMint was designed alongside; supporting both demonstrates the
+//! "exchange of device designs" the paper's abstract motivates
+//! (experiment E5).
+//!
+//! ```
+//! let source = "DEVICE d\nLAYER FLOW\n  PORT a;\n  PORT b;\n  CHANNEL c FROM a.p TO b.p;\nEND LAYER\n";
+//! let file = parchmint_mint::parse(source).unwrap();
+//! let device = parchmint_mint::mint_to_device(&file).unwrap();
+//! assert_eq!(device.connections.len(), 1);
+//! let text = parchmint_mint::print(&parchmint_mint::device_to_mint(&device));
+//! assert!(text.contains("CHANNEL c FROM a.p TO b.p"));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ast;
+pub mod convert;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+
+pub use ast::{MintFile, MintLayer, Ref, Statement, Value};
+pub use convert::{device_to_mint, mint_to_device};
+pub use error::{ConvertError, ParseError};
+pub use parser::parse;
+pub use printer::print;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,398 @@
+//! Recursive-descent parser for MINT.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! file      := DEVICE ident layer* EOF
+//! layer     := LAYER (FLOW|CONTROL|INTEGRATION) ['name' '=' ident] stmt* END LAYER
+//! stmt      := CHANNEL ident FROM ref TO ref (',' ref)* params ';'
+//!            | VALVE ident ON ident params ';'
+//!            | ident ident params ';'            # entity instantiation
+//! ref       := ident ['.' ident]
+//! params    := (ident '=' value)*
+//! value     := int | float | ident
+//! ```
+
+use crate::ast::{MintFile, MintLayer, Ref, Statement, Value};
+use crate::error::ParseError;
+use crate::lexer::{tokenize, Token, TokenKind};
+use parchmint::LayerType;
+
+/// Parses MINT source text into a [`MintFile`].
+pub fn parse(source: &str) -> Result<MintFile, ParseError> {
+    let tokens = tokenize(source)?;
+    Parser { tokens, pos: 0 }.file()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn position(&self) -> (usize, usize) {
+        self.peek()
+            .map(|t| (t.line, t.column))
+            .or_else(|| self.tokens.last().map(|t| (t.line, t.column + 1)))
+            .unwrap_or((1, 1))
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let (line, column) = self.position();
+        ParseError::new(line, column, message)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consumes an identifier token, returning its text.
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token {
+                kind: TokenKind::Ident(s),
+                ..
+            }) => Ok(s),
+            Some(t) => Err(ParseError::new(
+                t.line,
+                t.column,
+                format!("expected {what}, found {}", t.kind),
+            )),
+            None => Err(self.error(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    /// Consumes a specific keyword (case-insensitive).
+    fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        let word = self.ident(&format!("`{kw}`"))?;
+        if word.eq_ignore_ascii_case(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{kw}`, found `{word}`")))
+        }
+    }
+
+    /// True when the next token is an identifier equal to `kw`.
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(
+            self.peek(),
+            Some(Token { kind: TokenKind::Ident(s), .. }) if s.eq_ignore_ascii_case(kw)
+        )
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if &t.kind == kind => Ok(()),
+            Some(t) => Err(ParseError::new(
+                t.line,
+                t.column,
+                format!("expected {kind}, found {}", t.kind),
+            )),
+            None => Err(self.error(format!("expected {kind}, found end of input"))),
+        }
+    }
+
+    fn file(&mut self) -> Result<MintFile, ParseError> {
+        self.keyword("DEVICE")?;
+        let device = self.ident("device name")?;
+        let mut layers = Vec::new();
+        while self.peek().is_some() {
+            layers.push(self.layer()?);
+        }
+        Ok(MintFile { device, layers })
+    }
+
+    fn layer(&mut self) -> Result<MintLayer, ParseError> {
+        self.keyword("LAYER")?;
+        let role = self.ident("layer type")?;
+        let layer_type: LayerType = role
+            .parse()
+            .map_err(|e| self.error(format!("{e}")))?;
+        // Optional explicit layer id: `LAYER FLOW name=f1`.
+        let mut name = layer_type.name().to_ascii_lowercase();
+        if self.at_keyword("name")
+            && matches!(
+                self.tokens.get(self.pos + 1),
+                Some(Token { kind: TokenKind::Equals, .. })
+            )
+        {
+            self.ident("`name`")?;
+            self.expect(&TokenKind::Equals)?;
+            name = self.ident("layer name")?;
+        }
+
+        let mut statements = Vec::new();
+        loop {
+            if self.at_keyword("END") {
+                self.keyword("END")?;
+                self.keyword("LAYER")?;
+                break;
+            }
+            if self.peek().is_none() {
+                return Err(self.error("unterminated LAYER block (missing END LAYER)"));
+            }
+            statements.push(self.statement()?);
+        }
+        Ok(MintLayer {
+            layer_type,
+            name,
+            statements,
+        })
+    }
+
+    fn statement(&mut self) -> Result<Statement, ParseError> {
+        if self.at_keyword("CHANNEL") {
+            return self.channel();
+        }
+        if self.at_keyword("VALVE") {
+            return self.valve();
+        }
+        let entity = self.ident("entity name")?;
+        let id = self.ident("component id")?;
+        let params = self.params()?;
+        self.expect(&TokenKind::Semicolon)?;
+        Ok(Statement::Component { entity, id, params })
+    }
+
+    fn channel(&mut self) -> Result<Statement, ParseError> {
+        self.keyword("CHANNEL")?;
+        let id = self.ident("channel id")?;
+        self.keyword("FROM")?;
+        let from = self.reference()?;
+        self.keyword("TO")?;
+        let mut to = vec![self.reference()?];
+        while matches!(self.peek(), Some(Token { kind: TokenKind::Comma, .. })) {
+            self.expect(&TokenKind::Comma)?;
+            to.push(self.reference()?);
+        }
+        let params = self.params()?;
+        self.expect(&TokenKind::Semicolon)?;
+        Ok(Statement::Channel { id, from, to, params })
+    }
+
+    fn valve(&mut self) -> Result<Statement, ParseError> {
+        self.keyword("VALVE")?;
+        let id = self.ident("valve id")?;
+        // `VALVE v1 ON ch …;` is a binding; `VALVE v1 …;` (no ON clause, or
+        // an `on=…` parameter) is a plain component of entity VALVE.
+        let is_binding = self.at_keyword("ON")
+            && matches!(
+                self.tokens.get(self.pos + 1),
+                Some(Token { kind: TokenKind::Ident(_), .. })
+            )
+            && !matches!(
+                self.tokens.get(self.pos + 2),
+                Some(Token { kind: TokenKind::Equals, .. })
+            );
+        if !is_binding {
+            let params = self.params()?;
+            self.expect(&TokenKind::Semicolon)?;
+            return Ok(Statement::Component {
+                entity: "VALVE".to_string(),
+                id,
+                params,
+            });
+        }
+        self.keyword("ON")?;
+        let on = self.ident("channel id")?;
+        let mut params = self.params()?;
+        self.expect(&TokenKind::Semicolon)?;
+        let mut normally_closed = false;
+        params.retain(|(k, v)| {
+            if k.eq_ignore_ascii_case("type") {
+                if let Value::Word(w) = v {
+                    normally_closed = w.eq_ignore_ascii_case("CLOSED");
+                }
+                false
+            } else {
+                true
+            }
+        });
+        Ok(Statement::Valve {
+            id,
+            on,
+            normally_closed,
+            params,
+        })
+    }
+
+    fn reference(&mut self) -> Result<Ref, ParseError> {
+        let component = self.ident("component reference")?;
+        if matches!(self.peek(), Some(Token { kind: TokenKind::Dot, .. })) {
+            self.expect(&TokenKind::Dot)?;
+            let port = self.ident("port label")?;
+            Ok(Ref::port(component, port))
+        } else {
+            Ok(Ref::component(component))
+        }
+    }
+
+    fn params(&mut self) -> Result<Vec<(String, Value)>, ParseError> {
+        let mut params = Vec::new();
+        while let Some(Token {
+            kind: TokenKind::Ident(_),
+            ..
+        }) = self.peek()
+        {
+            // `ident =` begins a parameter; a lone ident here is an error
+            // caught by the `=` expectation.
+            let key = self.ident("parameter name")?;
+            self.expect(&TokenKind::Equals)?;
+            let value = match self.next() {
+                Some(Token { kind: TokenKind::Int(n), .. }) => Value::Int(n),
+                Some(Token { kind: TokenKind::Float(x), .. }) => Value::Float(x),
+                Some(Token { kind: TokenKind::Ident(w), .. }) => Value::Word(w),
+                Some(t) => {
+                    return Err(ParseError::new(
+                        t.line,
+                        t.column,
+                        format!("expected parameter value, found {}", t.kind),
+                    ))
+                }
+                None => return Err(self.error("expected parameter value, found end of input")),
+            };
+            params.push((key, value));
+        }
+        Ok(params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# A rotary mixer cell.
+DEVICE rotary_cell
+
+LAYER FLOW
+  PORT in_a xspan=200 yspan=200;
+  ROTARY-MIXER rotary radius=1000;
+  CHANNEL ch0 FROM in_a.p TO rotary.in w=400;
+END LAYER
+
+LAYER CONTROL
+  VALVE v_a ON ch0 type=CLOSED;
+END LAYER
+"#;
+
+    #[test]
+    fn parses_the_sample() {
+        let file = parse(SAMPLE).unwrap();
+        assert_eq!(file.device, "rotary_cell");
+        assert_eq!(file.layers.len(), 2);
+        assert_eq!(file.layers[0].layer_type, LayerType::Flow);
+        assert_eq!(file.layers[0].name, "flow");
+        assert_eq!(file.layers[0].statements.len(), 3);
+        assert_eq!(file.layers[1].statements.len(), 1);
+    }
+
+    #[test]
+    fn channel_statement_shape() {
+        let file = parse(SAMPLE).unwrap();
+        let Statement::Channel { id, from, to, params } = &file.layers[0].statements[2] else {
+            panic!("expected channel");
+        };
+        assert_eq!(id, "ch0");
+        assert_eq!(from, &Ref::port("in_a", "p"));
+        assert_eq!(to, &vec![Ref::port("rotary", "in")]);
+        assert_eq!(params, &vec![("w".to_string(), Value::Int(400))]);
+    }
+
+    #[test]
+    fn valve_type_extracted() {
+        let file = parse(SAMPLE).unwrap();
+        let Statement::Valve { id, on, normally_closed, params } =
+            &file.layers[1].statements[0]
+        else {
+            panic!("expected valve");
+        };
+        assert_eq!(id, "v_a");
+        assert_eq!(on, "ch0");
+        assert!(normally_closed);
+        assert!(params.is_empty());
+    }
+
+    #[test]
+    fn multi_sink_channels() {
+        let src = "DEVICE d LAYER FLOW\nTREE t1; NODE a; NODE b;\nCHANNEL c FROM t1.out0 TO a.w, b.w;\nEND LAYER";
+        let file = parse(src).unwrap();
+        let Statement::Channel { to, .. } = &file.layers[0].statements[3] else {
+            panic!()
+        };
+        assert_eq!(to.len(), 2);
+    }
+
+    #[test]
+    fn named_layers() {
+        let src = "DEVICE d LAYER FLOW name=f1 END LAYER LAYER CONTROL name=c9 END LAYER";
+        let file = parse(src).unwrap();
+        assert_eq!(file.layers[0].name, "f1");
+        assert_eq!(file.layers[1].name, "c9");
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let src = "device d layer flow port p1; end layer";
+        let file = parse(src).unwrap();
+        assert_eq!(file.layers[0].statements.len(), 1);
+    }
+
+    #[test]
+    fn error_on_missing_semicolon() {
+        let err = parse("DEVICE d LAYER FLOW PORT p1 END LAYER").unwrap_err();
+        assert!(err.to_string().contains("expected"), "{err}");
+    }
+
+    #[test]
+    fn error_on_unterminated_layer() {
+        let err = parse("DEVICE d LAYER FLOW PORT p1;").unwrap_err();
+        assert!(err.to_string().contains("END LAYER"), "{err}");
+    }
+
+    #[test]
+    fn error_on_bad_layer_type() {
+        let err = parse("DEVICE d LAYER MEMBRANE END LAYER").unwrap_err();
+        assert!(err.to_string().contains("MEMBRANE"), "{err}");
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse("DEVICE d\nLAYER FLOW\n  CHANNEL c FROM TO x;\nEND LAYER").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn unbound_valve_component_is_not_a_binding() {
+        let src = "DEVICE d LAYER CONTROL VALVE v1 xspan=300; END LAYER";
+        let file = parse(src).unwrap();
+        let Statement::Component { entity, id, .. } = &file.layers[0].statements[0] else {
+            panic!("expected component, got {:?}", file.layers[0].statements[0]);
+        };
+        assert_eq!(entity, "VALVE");
+        assert_eq!(id, "v1");
+        // An `on=` parameter does not trigger the binding form either.
+        let src = "DEVICE d LAYER CONTROL VALVE v2 on=3; END LAYER";
+        let file = parse(src).unwrap();
+        assert!(matches!(&file.layers[0].statements[0], Statement::Component { .. }));
+    }
+
+    #[test]
+    fn float_and_word_params() {
+        let src = "DEVICE d LAYER FLOW MIXER m rate=2.5 mode=fast; END LAYER";
+        let file = parse(src).unwrap();
+        let Statement::Component { params, .. } = &file.layers[0].statements[0] else {
+            panic!()
+        };
+        assert_eq!(params[0], ("rate".into(), Value::Float(2.5)));
+        assert_eq!(params[1], ("mode".into(), Value::Word("fast".into())));
+    }
+}

@@ -1,0 +1,146 @@
+//! Canonical MINT pretty-printer.
+
+use crate::ast::{MintFile, MintLayer, Statement, Value};
+use std::fmt::Write as _;
+
+/// Renders a [`MintFile`] as canonical MINT text. The output parses back to
+/// an identical AST.
+pub fn print(file: &MintFile) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "DEVICE {}", file.device);
+    for layer in &file.layers {
+        out.push('\n');
+        print_layer(&mut out, layer);
+    }
+    out
+}
+
+fn print_layer(out: &mut String, layer: &MintLayer) {
+    let default_name = layer.layer_type.name().to_ascii_lowercase();
+    if layer.name == default_name {
+        let _ = writeln!(out, "LAYER {}", layer.layer_type.name());
+    } else {
+        let _ = writeln!(out, "LAYER {} name={}", layer.layer_type.name(), layer.name);
+    }
+    for statement in &layer.statements {
+        let _ = writeln!(out, "  {}", print_statement(statement));
+    }
+    let _ = writeln!(out, "END LAYER");
+}
+
+fn print_params(params: &[(String, Value)]) -> String {
+    params
+        .iter()
+        .map(|(k, v)| format!(" {k}={v}"))
+        .collect::<String>()
+}
+
+fn print_statement(statement: &Statement) -> String {
+    match statement {
+        Statement::Component { entity, id, params } => {
+            format!("{entity} {id}{};", print_params(params))
+        }
+        Statement::Channel { id, from, to, params } => {
+            let sinks = to
+                .iter()
+                .map(|r| r.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("CHANNEL {id} FROM {from} TO {sinks}{};", print_params(params))
+        }
+        Statement::Valve {
+            id,
+            on,
+            normally_closed,
+            params,
+        } => {
+            let polarity = if *normally_closed { "CLOSED" } else { "OPEN" };
+            format!("VALVE {id} ON {on} type={polarity}{};", print_params(params))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Ref;
+    use crate::parser::parse;
+    use parchmint::LayerType;
+
+    fn sample() -> MintFile {
+        MintFile {
+            device: "demo".into(),
+            layers: vec![
+                MintLayer {
+                    layer_type: LayerType::Flow,
+                    name: "flow".into(),
+                    statements: vec![
+                        Statement::Component {
+                            entity: "PORT".into(),
+                            id: "p1".into(),
+                            params: vec![("xspan".into(), Value::Int(200))],
+                        },
+                        Statement::Component {
+                            entity: "ROTARY-MIXER".into(),
+                            id: "m1".into(),
+                            params: vec![],
+                        },
+                        Statement::Channel {
+                            id: "c1".into(),
+                            from: Ref::port("p1", "p"),
+                            to: vec![Ref::port("m1", "in")],
+                            params: vec![("w".into(), Value::Int(400))],
+                        },
+                    ],
+                },
+                MintLayer {
+                    layer_type: LayerType::Control,
+                    name: "ctl".into(),
+                    statements: vec![Statement::Valve {
+                        id: "v1".into(),
+                        on: "c1".into(),
+                        normally_closed: true,
+                        params: vec![],
+                    }],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn printed_text_shape() {
+        let text = print(&sample());
+        assert!(text.starts_with("DEVICE demo\n"));
+        assert!(text.contains("LAYER FLOW\n"));
+        assert!(text.contains("LAYER CONTROL name=ctl\n"));
+        assert!(text.contains("  CHANNEL c1 FROM p1.p TO m1.in w=400;\n"));
+        assert!(text.contains("  VALVE v1 ON c1 type=CLOSED;\n"));
+        assert_eq!(text.matches("END LAYER").count(), 2);
+    }
+
+    #[test]
+    fn print_parse_round_trip() {
+        let file = sample();
+        let reparsed = parse(&print(&file)).unwrap();
+        assert_eq!(reparsed, file);
+    }
+
+    #[test]
+    fn multi_sink_round_trip() {
+        let src = "DEVICE d\nLAYER FLOW\n  TREE t;\n  NODE a;\n  NODE b;\n  CHANNEL c FROM t.o0 TO a.w, b.w;\nEND LAYER\n";
+        let file = parse(src).unwrap();
+        let reparsed = parse(&print(&file)).unwrap();
+        assert_eq!(reparsed, file);
+    }
+
+    #[test]
+    fn open_valve_round_trip() {
+        let src = "DEVICE d\nLAYER CONTROL\n  VALVE v ON c type=OPEN;\nEND LAYER\n";
+        let file = parse(src).unwrap();
+        let Statement::Valve { normally_closed, .. } = &file.layers[0].statements[0] else {
+            panic!()
+        };
+        assert!(!normally_closed);
+        assert_eq!(parse(&print(&file)).unwrap(), file);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests: arbitrary MINT ASTs survive print → parse.
+
+use crate::ast::{MintFile, MintLayer, Ref, Statement, Value};
+use crate::parser::parse;
+use crate::printer::print;
+use parchmint::LayerType;
+use proptest::prelude::*;
+
+/// Identifiers that cannot collide with keywords in statement position.
+fn ident_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| {
+        !["device", "layer", "end", "channel", "valve", "from", "to", "on", "name"]
+            .contains(&s.as_str())
+    })
+}
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-100_000i64..100_000).prop_map(Value::Int),
+        // Halves print and re-parse exactly in f64.
+        (-1000i64..1000).prop_map(|n| Value::Float(n as f64 + 0.5)),
+        "[a-z][a-z0-9]{0,6}".prop_map(Value::Word),
+    ]
+}
+
+fn params_strategy() -> impl Strategy<Value = Vec<(String, Value)>> {
+    proptest::collection::vec((ident_strategy(), value_strategy()), 0..4).prop_map(|mut kv| {
+        // Reserved parameter keys would be re-interpreted on re-parse.
+        kv.retain(|(k, _)| k != "type" && k != "entity");
+        kv.dedup_by(|a, b| a.0 == b.0);
+        kv
+    })
+}
+
+fn ref_strategy() -> impl Strategy<Value = Ref> {
+    (ident_strategy(), proptest::option::of(ident_strategy()))
+        .prop_map(|(component, port)| Ref { component, port })
+}
+
+fn statement_strategy() -> impl Strategy<Value = Statement> {
+    prop_oneof![
+        ("[A-Z][A-Z-]{0,12}[A-Z]", ident_strategy(), params_strategy()).prop_filter_map(
+            "entity must not be a keyword",
+            |(entity, id, params)| {
+                if ["CHANNEL", "VALVE", "END", "LAYER", "DEVICE"].contains(&entity.as_str()) {
+                    None
+                } else {
+                    Some(Statement::Component { entity, id, params })
+                }
+            }
+        ),
+        (
+            ident_strategy(),
+            ref_strategy(),
+            proptest::collection::vec(ref_strategy(), 1..4),
+            params_strategy()
+        )
+            .prop_map(|(id, from, to, params)| Statement::Channel { id, from, to, params }),
+        (ident_strategy(), ident_strategy(), any::<bool>(), params_strategy()).prop_map(
+            |(id, on, normally_closed, params)| Statement::Valve {
+                id,
+                on,
+                normally_closed,
+                params,
+            }
+        ),
+    ]
+}
+
+fn file_strategy() -> impl Strategy<Value = MintFile> {
+    (
+        ident_strategy(),
+        proptest::collection::vec(
+            (0usize..3, ident_strategy(), proptest::collection::vec(statement_strategy(), 0..6)),
+            1..4,
+        ),
+    )
+        .prop_map(|(device, layers)| MintFile {
+            device,
+            layers: layers
+                .into_iter()
+                .map(|(t, name, statements)| MintLayer {
+                    layer_type: [LayerType::Flow, LayerType::Control, LayerType::Integration][t],
+                    name,
+                    statements,
+                })
+                .collect(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn print_parse_round_trip(file in file_strategy()) {
+        let text = print(&file);
+        let reparsed = parse(&text);
+        prop_assert!(reparsed.is_ok(), "printed MINT failed to parse:\n{text}\n{:?}", reparsed.err());
+        prop_assert_eq!(reparsed.unwrap(), file, "AST changed through print/parse:\n{}", text);
+    }
+
+    #[test]
+    fn printing_is_deterministic(file in file_strategy()) {
+        prop_assert_eq!(print(&file), print(&file));
+    }
+}

@@ -1,0 +1,157 @@
+//! Quality metrics for a place-and-route run.
+
+use crate::place::{cost::hpwl, Placement};
+use crate::route::RoutingResult;
+use parchmint::geometry::Span;
+use parchmint::Device;
+use std::fmt;
+use std::time::Duration;
+
+/// Everything the benchmark harness reports per (benchmark, placer, router)
+/// cell — the rows of the algorithmic-quality experiment (E4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PnrReport {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Placer used.
+    pub placer: String,
+    /// Router used.
+    pub router: String,
+    /// Components placed.
+    pub components: usize,
+    /// Nets attempted.
+    pub nets: usize,
+    /// Nets routed.
+    pub routed: usize,
+    /// Half-perimeter wirelength after placement, in µm.
+    pub hpwl: i64,
+    /// Total routed wirelength, in µm.
+    pub wirelength: i64,
+    /// Total bends across routed nets.
+    pub bends: usize,
+    /// Final die outline, in µm.
+    pub die: Span,
+    /// Placement wall-clock time.
+    pub place_time: Duration,
+    /// Routing wall-clock time.
+    pub route_time: Duration,
+}
+
+impl PnrReport {
+    /// Routing completion rate in `[0, 1]`.
+    pub fn completion(&self) -> f64 {
+        if self.nets == 0 {
+            1.0
+        } else {
+            self.routed as f64 / self.nets as f64
+        }
+    }
+
+    /// Assembles a report from run artifacts.
+    #[allow(clippy::too_many_arguments)] // one argument per report column
+    pub fn from_run(
+        benchmark: &str,
+        placer: &str,
+        router: &str,
+        device: &Device,
+        placement: &Placement,
+        routing: &RoutingResult,
+        place_time: Duration,
+        route_time: Duration,
+    ) -> Self {
+        PnrReport {
+            benchmark: benchmark.to_owned(),
+            placer: placer.to_owned(),
+            router: router.to_owned(),
+            components: device.components.len(),
+            nets: routing.routed.len() + routing.failed.len(),
+            routed: routing.routed.len(),
+            hpwl: hpwl(device, placement),
+            wirelength: routing.wirelength(),
+            bends: routing.bends(),
+            die: device.declared_bounds().unwrap_or_default(),
+            place_time,
+            route_time,
+        }
+    }
+
+    /// The harness table header matching [`PnrReport::row`].
+    pub fn header() -> String {
+        format!(
+            "{:<30} {:<10} {:<9} {:>6} {:>6} {:>7} {:>12} {:>12} {:>6} {:>9} {:>9}",
+            "benchmark",
+            "placer",
+            "router",
+            "comps",
+            "nets",
+            "routed",
+            "hpwl_um",
+            "wire_um",
+            "bends",
+            "t_place",
+            "t_route"
+        )
+    }
+
+    /// One fixed-width table row.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<30} {:<10} {:<9} {:>6} {:>6} {:>6.1}% {:>12} {:>12} {:>6} {:>8.1?} {:>8.1?}",
+            self.benchmark,
+            self.placer,
+            self.router,
+            self.components,
+            self.nets,
+            self.completion() * 100.0,
+            self.hpwl,
+            self.wirelength,
+            self.bends,
+            self.place_time,
+            self.route_time
+        )
+    }
+}
+
+impl fmt::Display for PnrReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.row())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blank() -> PnrReport {
+        PnrReport {
+            benchmark: "b".into(),
+            placer: "p".into(),
+            router: "r".into(),
+            components: 3,
+            nets: 4,
+            routed: 3,
+            hpwl: 100,
+            wirelength: 140,
+            bends: 2,
+            die: Span::square(1000),
+            place_time: Duration::from_millis(5),
+            route_time: Duration::from_millis(7),
+        }
+    }
+
+    #[test]
+    fn completion_rate() {
+        let r = blank();
+        assert!((r.completion() - 0.75).abs() < 1e-12);
+        let empty = PnrReport { nets: 0, routed: 0, ..blank() };
+        assert_eq!(empty.completion(), 1.0);
+    }
+
+    #[test]
+    fn row_and_header_align() {
+        let r = blank();
+        assert!(PnrReport::header().contains("benchmark"));
+        assert!(r.row().contains("75.0%"));
+        assert_eq!(r.to_string(), r.row());
+    }
+}

@@ -1,0 +1,36 @@
+//! # parchmint-pnr
+//!
+//! Placement and routing for ParchMint devices — the design-automation
+//! consumer the benchmark suite exists to evaluate ("analysis of
+//! algorithmic quality").
+//!
+//! Two placers ([greedy](place::greedy::GreedyPlacer) baseline,
+//! [simulated annealing](place::annealing::AnnealingPlacer)) assign die
+//! locations on a uniform site grid; two routers
+//! ([straight](route::straight::StraightRouter) L-path baseline,
+//! [A* maze](route::grid::AStarRouter)) realize the channels. The
+//! [`place_and_route`] pipeline ties them together and produces the
+//! [`PnrReport`] rows that regenerate the paper's algorithm-comparison
+//! experiment.
+//!
+//! ```
+//! use parchmint_pnr::{place_and_route, PlacerChoice, RouterChoice};
+//!
+//! let mut chip = parchmint_suite::by_name("logic_gate_or").unwrap().device();
+//! let report = place_and_route(&mut chip, PlacerChoice::Annealing, RouterChoice::AStar);
+//! assert!(chip.is_placed());
+//! println!("{}", report.row());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod eval;
+pub mod pipeline;
+pub mod place;
+pub mod route;
+
+pub use eval::PnrReport;
+pub use pipeline::{place_and_route, PlacerChoice, RouterChoice};
+pub use place::{Placement, Placer};
+pub use route::{Router, RoutingResult};

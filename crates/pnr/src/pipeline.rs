@@ -1,0 +1,148 @@
+//! The end-to-end place-and-route pipeline.
+
+use crate::eval::PnrReport;
+use crate::place::{annealing::AnnealingPlacer, greedy::GreedyPlacer, Placer};
+use crate::route::{grid::AStarRouter, straight::StraightRouter, Router};
+use parchmint::Device;
+use std::time::Instant;
+
+/// Placer selection for [`place_and_route`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlacerChoice {
+    /// Greedy connectivity-ordered baseline.
+    Greedy,
+    /// Simulated annealing (seeded).
+    Annealing,
+}
+
+impl PlacerChoice {
+    /// All placers, baseline first.
+    pub const ALL: &'static [PlacerChoice] = &[PlacerChoice::Greedy, PlacerChoice::Annealing];
+
+    /// Instantiates the placer.
+    pub fn placer(self) -> Box<dyn Placer> {
+        match self {
+            PlacerChoice::Greedy => Box::new(GreedyPlacer::new()),
+            PlacerChoice::Annealing => Box::new(AnnealingPlacer::new()),
+        }
+    }
+}
+
+/// Router selection for [`place_and_route`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RouterChoice {
+    /// L-path baseline.
+    Straight,
+    /// A* maze router.
+    AStar,
+}
+
+impl RouterChoice {
+    /// All routers, baseline first.
+    pub const ALL: &'static [RouterChoice] = &[RouterChoice::Straight, RouterChoice::AStar];
+
+    /// Instantiates the router.
+    pub fn router(self) -> Box<dyn Router> {
+        match self {
+            RouterChoice::Straight => Box::new(StraightRouter::new()),
+            RouterChoice::AStar => Box::new(AStarRouter::new()),
+        }
+    }
+}
+
+/// Places and routes `device` in place, returning the quality report.
+///
+/// On return `device` carries placement features for every component and
+/// route features for every successfully routed net, and its declared
+/// bounds are enlarged to cover the physical design.
+///
+/// # Examples
+///
+/// ```
+/// use parchmint_pnr::{place_and_route, PlacerChoice, RouterChoice};
+///
+/// let mut device = parchmint_suite::by_name("logic_gate_or").unwrap().device();
+/// let report = place_and_route(&mut device, PlacerChoice::Greedy, RouterChoice::AStar);
+/// assert!(device.is_placed());
+/// assert!(report.completion() > 0.5);
+/// ```
+pub fn place_and_route(
+    device: &mut Device,
+    placer: PlacerChoice,
+    router: RouterChoice,
+) -> PnrReport {
+    let p = placer.placer();
+    let r = router.router();
+
+    let t0 = Instant::now();
+    let placement = p.place(device);
+    let place_time = t0.elapsed();
+    placement.apply_to(device);
+
+    let t1 = Instant::now();
+    let routing = r.route(device);
+    let route_time = t1.elapsed();
+    routing.apply_to(device);
+
+    PnrReport::from_run(
+        &device.name.clone(),
+        p.name(),
+        r.name(),
+        device,
+        &placement,
+        &routing,
+        place_time,
+        route_time,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_pipeline_on_a_small_benchmark() {
+        let mut d = parchmint_suite::by_name("rotary_pump_mixer").unwrap().device();
+        let report = place_and_route(&mut d, PlacerChoice::Greedy, RouterChoice::AStar);
+        assert!(d.is_placed());
+        assert_eq!(report.components, d.components.len());
+        assert!(report.completion() > 0.8, "completion {}", report.completion());
+        assert!(report.wirelength > 0);
+    }
+
+    #[test]
+    fn astar_completes_at_least_as_much_as_straight() {
+        let mut a = parchmint_suite::planar_synthetic(2);
+        let mut b = a.clone();
+        let straight = place_and_route(&mut a, PlacerChoice::Greedy, RouterChoice::Straight);
+        let astar = place_and_route(&mut b, PlacerChoice::Greedy, RouterChoice::AStar);
+        assert!(
+            astar.completion() >= straight.completion(),
+            "astar {} vs straight {}",
+            astar.completion(),
+            straight.completion()
+        );
+    }
+
+    #[test]
+    fn annealing_hpwl_not_worse_than_greedy() {
+        let mut a = parchmint_suite::planar_synthetic(2);
+        let mut b = a.clone();
+        let greedy = place_and_route(&mut a, PlacerChoice::Greedy, RouterChoice::Straight);
+        let annealed = place_and_route(&mut b, PlacerChoice::Annealing, RouterChoice::Straight);
+        assert!(
+            annealed.hpwl <= greedy.hpwl,
+            "annealing {} vs greedy {}",
+            annealed.hpwl,
+            greedy.hpwl
+        );
+    }
+
+    #[test]
+    fn choices_enumerate() {
+        assert_eq!(PlacerChoice::ALL.len(), 2);
+        assert_eq!(RouterChoice::ALL.len(), 2);
+        assert_eq!(PlacerChoice::Greedy.placer().name(), "greedy");
+        assert_eq!(RouterChoice::AStar.router().name(), "astar");
+    }
+}

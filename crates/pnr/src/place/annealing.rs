@@ -1,0 +1,331 @@
+//! Simulated-annealing placement.
+//!
+//! Starts from the greedy baseline and iteratively swaps site assignments
+//! under a Metropolis acceptance criterion with geometric cooling. Cost is
+//! half-perimeter wirelength, maintained incrementally (only the nets
+//! touching the two swapped components are re-evaluated), which keeps a
+//! full anneal of the largest suite benchmark in the hundreds of
+//! milliseconds.
+
+use super::greedy::GreedyPlacer;
+use super::{Placement, Placer, SiteGrid};
+use parchmint::geometry::Point;
+use parchmint::Device;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Tuning knobs for [`AnnealingPlacer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnealingConfig {
+    /// RNG seed; equal seeds give identical placements.
+    pub seed: u64,
+    /// Cooling sweeps; each sweep proposes `moves_per_sweep × n` swaps.
+    pub sweeps: usize,
+    /// Proposed swaps per component per sweep.
+    pub moves_per_sweep: usize,
+    /// Geometric cooling factor per sweep.
+    pub cooling: f64,
+}
+
+impl Default for AnnealingConfig {
+    fn default() -> Self {
+        AnnealingConfig {
+            seed: 0xA11EA,
+            sweeps: 120,
+            moves_per_sweep: 8,
+            cooling: 0.92,
+        }
+    }
+}
+
+/// Simulated-annealing placer (seeded, deterministic).
+#[derive(Debug, Clone, Default)]
+pub struct AnnealingPlacer {
+    config: AnnealingConfig,
+}
+
+impl AnnealingPlacer {
+    /// Creates a placer with default tuning.
+    pub fn new() -> Self {
+        AnnealingPlacer::default()
+    }
+
+    /// Creates a placer with explicit tuning.
+    pub fn with_config(config: AnnealingConfig) -> Self {
+        AnnealingPlacer { config }
+    }
+
+    /// Creates a placer differing from the default only in seed.
+    pub fn with_seed(seed: u64) -> Self {
+        AnnealingPlacer::with_config(AnnealingConfig {
+            seed,
+            ..AnnealingConfig::default()
+        })
+    }
+}
+
+/// Internal dense state for incremental HPWL.
+struct AnnealState {
+    /// Net → terminal component indices (deduplicated).
+    nets: Vec<Vec<usize>>,
+    /// Component → incident net indices.
+    incident: Vec<Vec<usize>>,
+    /// Component → centre offset from site origin.
+    half_span: Vec<Point>,
+    /// Component → current site.
+    site_of: Vec<usize>,
+    /// Site → occupying component (usize::MAX when free).
+    occupant: Vec<usize>,
+}
+
+impl AnnealState {
+    fn centre(&self, grid: &SiteGrid, component: usize) -> Point {
+        let origin = grid.origin(self.site_of[component]);
+        origin + self.half_span[component]
+    }
+
+    fn net_hpwl(&self, grid: &SiteGrid, net: usize) -> i64 {
+        let terminals = &self.nets[net];
+        if terminals.len() < 2 {
+            return 0;
+        }
+        let first = self.centre(grid, terminals[0]);
+        let (mut lo, mut hi) = (first, first);
+        for &t in &terminals[1..] {
+            let c = self.centre(grid, t);
+            lo = lo.min(c);
+            hi = hi.max(c);
+        }
+        (hi.x - lo.x) + (hi.y - lo.y)
+    }
+
+    /// HPWL over the union of nets incident to `a` and `b`.
+    fn local_cost(&self, grid: &SiteGrid, a: usize, b: usize) -> i64 {
+        let mut cost = 0;
+        for &net in &self.incident[a] {
+            cost += self.net_hpwl(grid, net);
+        }
+        for &net in &self.incident[b] {
+            if !self.incident[a].contains(&net) {
+                cost += self.net_hpwl(grid, net);
+            }
+        }
+        cost
+    }
+
+    fn swap(&mut self, a: usize, site_b: usize) {
+        let site_a = self.site_of[a];
+        let b = self.occupant[site_b];
+        self.site_of[a] = site_b;
+        self.occupant[site_b] = a;
+        self.occupant[site_a] = b;
+        if b != usize::MAX {
+            self.site_of[b] = site_a;
+        }
+    }
+}
+
+impl Placer for AnnealingPlacer {
+    fn name(&self) -> &'static str {
+        "annealing"
+    }
+
+    fn place(&self, device: &Device) -> Placement {
+        let n = device.components.len();
+        if n < 2 {
+            return GreedyPlacer::new().place(device);
+        }
+        let grid = SiteGrid::for_device(device);
+        let initial = GreedyPlacer::new().place(device);
+
+        // Dense indices.
+        let ids: Vec<_> = device.components.iter().map(|c| c.id.clone()).collect();
+        let index_of = |id: &parchmint::ComponentId| ids.iter().position(|x| x == id);
+        let half_span: Vec<Point> = device
+            .components
+            .iter()
+            .map(|c| Point::new(c.span.x / 2, c.span.y / 2))
+            .collect();
+
+        // Recover site assignment from the greedy placement.
+        let mut site_of = vec![0usize; n];
+        let mut occupant = vec![usize::MAX; grid.len()];
+        for (i, id) in ids.iter().enumerate() {
+            let origin = initial.position(id).expect("greedy places everything");
+            let site = (0..grid.len())
+                .find(|&site| grid.origin(site) == origin)
+                .expect("greedy origin must be a site origin");
+            site_of[i] = site;
+            occupant[site] = i;
+        }
+
+        let mut nets: Vec<Vec<usize>> = Vec::with_capacity(device.connections.len());
+        for connection in &device.connections {
+            let mut terminals: Vec<usize> =
+                connection.terminals().filter_map(|t| index_of(&t.component)).collect();
+            terminals.sort_unstable();
+            terminals.dedup();
+            nets.push(terminals);
+        }
+        let mut incident = vec![Vec::new(); n];
+        for (net, terminals) in nets.iter().enumerate() {
+            for &t in terminals {
+                incident[t].push(net);
+            }
+        }
+
+        let mut state = AnnealState {
+            nets,
+            incident,
+            half_span,
+            site_of,
+            occupant,
+        };
+
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        // Initial temperature: the mean |Δcost| of a sample of random swaps.
+        let mut sample_sum = 0i64;
+        let samples = 64;
+        for _ in 0..samples {
+            let a = rng.random_range(0..n);
+            let site_b = rng.random_range(0..grid.len());
+            let site_a = state.site_of[a];
+            if site_b == site_a {
+                continue;
+            }
+            let b = state.occupant[site_b];
+            let other = if b == usize::MAX { a } else { b };
+            let before = state.local_cost(&grid, a, other);
+            state.swap(a, site_b);
+            let after = state.local_cost(&grid, a, other);
+            state.swap(a, site_a); // undo
+            sample_sum += (after - before).abs();
+        }
+
+        let mut temperature = (sample_sum as f64 / samples as f64).max(1.0) * 2.0;
+
+        for _sweep in 0..self.config.sweeps {
+            let moves = self.config.moves_per_sweep * n;
+            for _ in 0..moves {
+                let a = rng.random_range(0..n);
+                let site_b = rng.random_range(0..grid.len());
+                let site_a = state.site_of[a];
+                if site_b == site_a {
+                    continue;
+                }
+                let b = state.occupant[site_b];
+                let other = if b == usize::MAX { a } else { b };
+                let before = state.local_cost(&grid, a, other);
+                state.swap(a, site_b);
+                let after = state.local_cost(&grid, a, other);
+                let delta = after - before;
+                let accept = delta <= 0
+                    || rng.random::<f64>() < (-(delta as f64) / temperature).exp();
+                if !accept {
+                    // Undo.
+                    state.swap(a, site_a);
+                }
+            }
+            temperature = (temperature * self.config.cooling).max(1e-3);
+        }
+
+        ids.iter()
+            .enumerate()
+            .map(|(i, id)| (id.clone(), grid.origin(state.site_of[i])))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::place::cost::hpwl;
+    use parchmint::geometry::Span;
+    use parchmint::{Component, Connection, Entity, Layer, LayerType, Port, Target};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// A random netlist where greedy ordering is far from optimal.
+    fn random_device(n: usize, extra_edges: usize, seed: u64) -> Device {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = Device::builder("rand").layer(Layer::new("f", "f", LayerType::Flow));
+        for i in 0..n {
+            b = b.component(
+                Component::new(format!("c{i}"), format!("c{i}"), Entity::Mixer, ["f"], Span::square(500))
+                    .with_port(Port::new("p", "f", 0, 250)),
+            );
+        }
+        let mut edges = Vec::new();
+        for i in 1..n {
+            let j = rng.random_range(0..i);
+            edges.push((j, i));
+        }
+        for _ in 0..extra_edges {
+            let i = rng.random_range(0..n);
+            let j = rng.random_range(0..n);
+            if i != j {
+                edges.push((i.min(j), i.max(j)));
+            }
+        }
+        for (k, (i, j)) in edges.into_iter().enumerate() {
+            b = b.connection(Connection::new(
+                format!("n{k}"),
+                format!("n{k}"),
+                "f",
+                Target::new(format!("c{i}"), "p"),
+                [Target::new(format!("c{j}"), "p")],
+            ));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let d = random_device(24, 20, 3);
+        let a = AnnealingPlacer::with_seed(11).place(&d);
+        let b = AnnealingPlacer::with_seed(11).place(&d);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn legal_and_complete() {
+        let d = random_device(30, 25, 5);
+        let p = AnnealingPlacer::new().place(&d);
+        assert_eq!(p.len(), 30);
+        assert!(p.is_legal(&d));
+    }
+
+    #[test]
+    fn improves_on_greedy_for_random_netlists() {
+        let d = random_device(36, 50, 7);
+        let greedy = GreedyPlacer::new().place(&d);
+        let annealed = AnnealingPlacer::new().place(&d);
+        let (g, a) = (hpwl(&d, &greedy), hpwl(&d, &annealed));
+        assert!(
+            a < g,
+            "annealing ({a}) should beat greedy ({g}) on a random netlist"
+        );
+    }
+
+    #[test]
+    fn tiny_devices_fall_back_to_greedy() {
+        let d = random_device(1, 0, 0);
+        let p = AnnealingPlacer::new().place(&d);
+        assert_eq!(p.len(), 1);
+        assert_eq!(AnnealingPlacer::new().name(), "annealing");
+    }
+
+    #[test]
+    fn config_is_respected() {
+        let quick = AnnealingConfig {
+            sweeps: 2,
+            moves_per_sweep: 1,
+            ..AnnealingConfig::default()
+        };
+        let d = random_device(20, 10, 9);
+        // Just verify it terminates fast and legally with a tiny budget.
+        let p = AnnealingPlacer::with_config(quick).place(&d);
+        assert!(p.is_legal(&d));
+    }
+}

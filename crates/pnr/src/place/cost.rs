@@ -1,0 +1,109 @@
+//! Placement cost: half-perimeter wirelength (HPWL).
+
+use super::Placement;
+use parchmint::geometry::Point;
+use parchmint::Device;
+
+/// Half-perimeter wirelength of `placement` over every connection of
+/// `device`: for each net, the half perimeter of the bounding box of its
+/// terminal component centres. The standard placement-quality metric.
+///
+/// Unplaced terminals are skipped; nets with fewer than two placed
+/// terminals contribute zero.
+pub fn hpwl(device: &Device, placement: &Placement) -> i64 {
+    device
+        .connections
+        .iter()
+        .map(|connection| {
+            let mut min: Option<Point> = None;
+            let mut max: Option<Point> = None;
+            for terminal in connection.terminals() {
+                let Some(component) = device.component(terminal.component.as_str()) else {
+                    continue;
+                };
+                let Some(origin) = placement.position(&component.id) else {
+                    continue;
+                };
+                let centre = Point::new(origin.x + component.span.x / 2, origin.y + component.span.y / 2);
+                min = Some(min.map_or(centre, |m| m.min(centre)));
+                max = Some(max.map_or(centre, |m| m.max(centre)));
+            }
+            match (min, max) {
+                (Some(lo), Some(hi)) => (hi.x - lo.x) + (hi.y - lo.y),
+                _ => 0,
+            }
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parchmint::geometry::Span;
+    use parchmint::{Component, Connection, Entity, Layer, LayerType, Target};
+
+    fn line_device() -> Device {
+        let mut b = Device::builder("d").layer(Layer::new("f", "f", LayerType::Flow));
+        for id in ["a", "b", "c"] {
+            b = b.component(
+                Component::new(id, id, Entity::Node, ["f"], Span::square(100))
+                    .with_port(parchmint::Port::new("p", "f", 0, 50)),
+            );
+        }
+        b.connection(Connection::new(
+            "n1",
+            "n1",
+            "f",
+            Target::new("a", "p"),
+            [Target::new("b", "p")],
+        ))
+        .connection(Connection::new(
+            "n2",
+            "n2",
+            "f",
+            Target::new("b", "p"),
+            [Target::new("c", "p")],
+        ))
+        .build()
+        .unwrap()
+    }
+
+    #[test]
+    fn hpwl_of_colinear_chain() {
+        let d = line_device();
+        let mut p = Placement::new();
+        p.set("a".into(), Point::new(0, 0));
+        p.set("b".into(), Point::new(1000, 0));
+        p.set("c".into(), Point::new(2000, 0));
+        // Each net spans 1000 in x between centres.
+        assert_eq!(hpwl(&d, &p), 2000);
+    }
+
+    #[test]
+    fn hpwl_counts_both_axes() {
+        let d = line_device();
+        let mut p = Placement::new();
+        p.set("a".into(), Point::new(0, 0));
+        p.set("b".into(), Point::new(300, 400));
+        p.set("c".into(), Point::new(300, 400));
+        assert_eq!(hpwl(&d, &p), 700);
+    }
+
+    #[test]
+    fn unplaced_terminals_ignored() {
+        let d = line_device();
+        let mut p = Placement::new();
+        p.set("a".into(), Point::new(0, 0));
+        assert_eq!(hpwl(&d, &p), 0);
+    }
+
+    #[test]
+    fn identical_positions_zero_cost() {
+        let d = line_device();
+        let mut p = Placement::new();
+        for id in ["a", "b", "c"] {
+            p.set(id.into(), Point::new(500, 500));
+        }
+        assert_eq!(hpwl(&d, &p), 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Greedy connectivity-ordered placement — the baseline placer.
+//!
+//! Components are visited in breadth-first order over the netlist graph
+//! (starting from the highest-degree component) and assigned to uniform
+//! grid sites in snake order, so components that are wired together tend to
+//! land on adjacent sites. Fast and legal by construction; quality is the
+//! baseline that annealing is measured against.
+
+use super::{Placement, Placer, SiteGrid};
+use parchmint::Device;
+use parchmint_graph::{bfs_order, Netlist};
+
+/// The greedy baseline placer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyPlacer;
+
+impl GreedyPlacer {
+    /// Creates the placer.
+    pub fn new() -> Self {
+        GreedyPlacer
+    }
+}
+
+impl Placer for GreedyPlacer {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn place(&self, device: &Device) -> Placement {
+        let netlist = Netlist::from_device(device);
+        let graph = netlist.graph();
+        let grid = SiteGrid::for_device(device);
+        let sites = grid.snake_order();
+
+        // BFS from a peripheral (minimum-degree) node of each unvisited
+        // island: starting at the netlist's rim linearizes chains and trees
+        // so that snake-adjacent sites hold connected components.
+        let mut order = Vec::with_capacity(graph.node_count());
+        let mut visited = vec![false; graph.node_count()];
+        let mut by_degree: Vec<_> = graph.node_indices().collect();
+        by_degree.sort_by_key(|&n| graph.degree(n));
+        for seed in by_degree {
+            if visited[seed.0] {
+                continue;
+            }
+            for node in bfs_order(graph, seed) {
+                if !visited[node.0] {
+                    visited[node.0] = true;
+                    order.push(node);
+                }
+            }
+        }
+
+        order
+            .into_iter()
+            .zip(sites)
+            .map(|(node, site)| (netlist.component_at(node).clone(), grid.origin(site)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::place::cost::hpwl;
+    use parchmint::geometry::Span;
+    use parchmint::{Component, Connection, Entity, Layer, LayerType, Port, Target};
+
+    fn chain_device(n: usize) -> Device {
+        let mut b = Device::builder("chain").layer(Layer::new("f", "f", LayerType::Flow));
+        for i in 0..n {
+            b = b.component(
+                Component::new(format!("c{i}"), format!("c{i}"), Entity::Mixer, ["f"], Span::square(500))
+                    .with_port(Port::new("in", "f", 0, 250))
+                    .with_port(Port::new("out", "f", 500, 250)),
+            );
+        }
+        for i in 1..n {
+            b = b.connection(Connection::new(
+                format!("n{i}"),
+                format!("n{i}"),
+                "f",
+                Target::new(format!("c{}", i - 1), "out"),
+                [Target::new(format!("c{i}"), "in")],
+            ));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn places_every_component_legally() {
+        let d = chain_device(13);
+        let p = GreedyPlacer::new().place(&d);
+        assert_eq!(p.len(), 13);
+        assert!(p.is_legal(&d));
+    }
+
+    #[test]
+    fn chain_neighbours_land_on_adjacent_sites() {
+        let d = chain_device(9);
+        let p = GreedyPlacer::new().place(&d);
+        let grid = SiteGrid::for_device(&d);
+        // In a pure chain, BFS order == chain order and snake order keeps
+        // every consecutive pair at exactly one pitch distance.
+        for i in 1..9 {
+            let a = p.position(&format!("c{}", i - 1).into()).unwrap();
+            let b = p.position(&format!("c{i}").into()).unwrap();
+            let dist = a.manhattan_distance(b);
+            assert!(
+                dist == grid.pitch_x || dist == grid.pitch_y,
+                "chain neighbours c{} and c{i} are {dist} apart",
+                i - 1
+            );
+        }
+    }
+
+    #[test]
+    fn beats_reversed_worst_case() {
+        // Sanity: connectivity-aware order must beat an adversarial
+        // assignment of the same sites.
+        let d = chain_device(16);
+        let p = GreedyPlacer::new().place(&d);
+        let grid = SiteGrid::for_device(&d);
+        let sites = grid.snake_order();
+        // Adversarial: interleave ends (c0, c15, c1, c14, ...).
+        let mut adversarial = Placement::new();
+        let mut lo = 0usize;
+        let mut hi = 15usize;
+        let mut flip = false;
+        for &site in sites.iter().take(16) {
+            let id = if flip { hi } else { lo };
+            if flip {
+                hi -= 1;
+            } else {
+                lo += 1;
+            }
+            flip = !flip;
+            adversarial.set(format!("c{id}").into(), grid.origin(site));
+        }
+        assert!(hpwl(&d, &p) < hpwl(&d, &adversarial));
+    }
+
+    #[test]
+    fn empty_device_gives_empty_placement() {
+        let d = Device::new("empty");
+        let p = GreedyPlacer::new().place(&d);
+        assert!(p.is_empty());
+        assert_eq!(GreedyPlacer::new().name(), "greedy");
+    }
+
+    #[test]
+    fn disconnected_islands_all_placed() {
+        let mut d = chain_device(4);
+        // Add two isolated components.
+        d.components.push(Component::new("x0", "x0", Entity::Node, ["f"], Span::square(100)));
+        d.components.push(Component::new("x1", "x1", Entity::Node, ["f"], Span::square(100)));
+        let p = GreedyPlacer::new().place(&d);
+        assert_eq!(p.len(), 6);
+        assert!(p.is_legal(&d));
+    }
+}

@@ -1,0 +1,331 @@
+//! Placement: assigning each component an absolute die location.
+
+pub mod annealing;
+pub mod cost;
+pub mod greedy;
+
+use parchmint::geometry::{Point, Rect, Span};
+use parchmint::{ComponentFeature, ComponentId, Device};
+use std::collections::BTreeMap;
+
+/// Default clearance between placement sites, in µm.
+///
+/// Four routing-grid cells wide: enough for two channels plus clearance to
+/// pass between neighbouring sites.
+pub const SITE_SPACING: i64 = 800;
+
+/// Default feature depth written into placement features, in µm.
+pub const FEATURE_DEPTH: i64 = 50;
+
+/// A placement: component origins (lower-left corners) in µm.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Placement {
+    positions: BTreeMap<ComponentId, Point>,
+}
+
+impl Placement {
+    /// An empty placement.
+    pub fn new() -> Self {
+        Placement::default()
+    }
+
+    /// Sets the origin of `component`.
+    pub fn set(&mut self, component: ComponentId, origin: Point) {
+        self.positions.insert(component, origin);
+    }
+
+    /// The origin of `component`, when placed.
+    pub fn position(&self, component: &ComponentId) -> Option<Point> {
+        self.positions.get(component).copied()
+    }
+
+    /// Number of placed components.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True when nothing is placed.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Iterates over `(component, origin)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (&ComponentId, Point)> {
+        self.positions.iter().map(|(id, &p)| (id, p))
+    }
+
+    /// The bounding rectangle of all placed footprints of `device`.
+    pub fn bounding_rect(&self, device: &Device) -> Rect {
+        let mut acc = Rect::default();
+        for (id, origin) in self.iter() {
+            if let Some(component) = device.component(id.as_str()) {
+                acc = acc.union(Rect::new(origin, component.span));
+            }
+        }
+        acc
+    }
+
+    /// True when no two placed footprints of `device` overlap.
+    pub fn is_legal(&self, device: &Device) -> bool {
+        let rects: Vec<Rect> = self
+            .iter()
+            .filter_map(|(id, origin)| {
+                device
+                    .component(id.as_str())
+                    .map(|c| Rect::new(origin, c.span))
+            })
+            .collect();
+        for (i, a) in rects.iter().enumerate() {
+            for b in &rects[i + 1..] {
+                if a.intersects(*b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Writes this placement into `device` as component features (one per
+    /// component, drawn on the component's first layer), and enlarges the
+    /// declared die outline to cover the placement.
+    pub fn apply_to(&self, device: &mut Device) {
+        device
+            .features
+            .retain(|f| f.as_component().is_none());
+        let component_info: Vec<(ComponentId, Span, Option<parchmint::LayerId>)> = device
+            .components
+            .iter()
+            .map(|c| (c.id.clone(), c.span, c.layers.first().cloned()))
+            .collect();
+        for (id, span, layer) in component_info {
+            let Some(origin) = self.position(&id) else {
+                continue;
+            };
+            let Some(layer) = layer else { continue };
+            device.features.push(
+                ComponentFeature::new(
+                    format!("pf_{id}"),
+                    id,
+                    layer,
+                    origin,
+                    span,
+                    FEATURE_DEPTH,
+                )
+                .into(),
+            );
+        }
+        let bbox = self.bounding_rect(device);
+        let current = device.declared_bounds().unwrap_or_default();
+        let needed = bbox.max();
+        device.set_declared_bounds(Span::new(
+            current.x.max(needed.x + SITE_SPACING),
+            current.y.max(needed.y + SITE_SPACING),
+        ));
+        device.bump_version_to_content();
+    }
+}
+
+impl FromIterator<(ComponentId, Point)> for Placement {
+    fn from_iter<T: IntoIterator<Item = (ComponentId, Point)>>(iter: T) -> Self {
+        Placement {
+            positions: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// A placement algorithm.
+pub trait Placer {
+    /// Short identifier used in reports (e.g. `"greedy"`).
+    fn name(&self) -> &'static str;
+
+    /// Computes a legal placement for every component of `device`.
+    fn place(&self, device: &Device) -> Placement;
+}
+
+/// The uniform site grid both placers allocate on.
+///
+/// Microfluidic placers conventionally use uniform sites sized to the
+/// largest component (Fluigi does the same): legality is then guaranteed by
+/// construction and the optimization problem reduces to site assignment.
+#[derive(Debug, Clone, Copy)]
+pub struct SiteGrid {
+    /// Sites per row.
+    pub cols: usize,
+    /// Number of rows.
+    pub rows: usize,
+    /// Horizontal site pitch, in µm.
+    pub pitch_x: i64,
+    /// Vertical site pitch, in µm.
+    pub pitch_y: i64,
+    /// Margin from the die origin, in µm.
+    pub margin: i64,
+}
+
+impl SiteGrid {
+    /// A near-square grid with enough sites for every component of
+    /// `device`, pitched to its largest footprint plus clearance.
+    pub fn for_device(device: &Device) -> Self {
+        let n = device.components.len().max(1);
+        let max_x = device.components.iter().map(|c| c.span.x).max().unwrap_or(1000);
+        let max_y = device.components.iter().map(|c| c.span.y).max().unwrap_or(1000);
+        let cols = (n as f64).sqrt().ceil() as usize;
+        let rows = n.div_ceil(cols);
+        SiteGrid {
+            cols,
+            rows,
+            pitch_x: max_x + SITE_SPACING,
+            pitch_y: max_y + SITE_SPACING,
+            margin: SITE_SPACING,
+        }
+    }
+
+    /// Total number of sites.
+    pub fn len(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// True when the grid has no sites.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The origin point of site `index` (row-major).
+    pub fn origin(&self, index: usize) -> Point {
+        let col = (index % self.cols) as i64;
+        let row = (index / self.cols) as i64;
+        Point::new(
+            self.margin + col * self.pitch_x,
+            self.margin + row * self.pitch_y,
+        )
+    }
+
+    /// Site indices in boustrophedon (snake) order, so consecutive indices
+    /// are always geometrically adjacent.
+    pub fn snake_order(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.len());
+        for row in 0..self.rows {
+            if row % 2 == 0 {
+                for col in 0..self.cols {
+                    order.push(row * self.cols + col);
+                }
+            } else {
+                for col in (0..self.cols).rev() {
+                    order.push(row * self.cols + col);
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parchmint::{Component, Entity, Layer, LayerType};
+
+    fn device_with(n: usize) -> Device {
+        let mut b = Device::builder("d").layer(Layer::new("f", "f", LayerType::Flow));
+        for i in 0..n {
+            b = b.component(Component::new(
+                format!("c{i}"),
+                format!("c{i}"),
+                Entity::Mixer,
+                ["f"],
+                Span::new(1000, 600),
+            ));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn site_grid_covers_all_components() {
+        let d = device_with(10);
+        let g = SiteGrid::for_device(&d);
+        assert!(g.len() >= 10);
+        assert_eq!(g.cols, 4);
+        assert_eq!(g.rows, 3);
+        assert_eq!(g.pitch_x, 1000 + SITE_SPACING);
+    }
+
+    #[test]
+    fn snake_order_visits_each_site_once() {
+        let d = device_with(9);
+        let g = SiteGrid::for_device(&d);
+        let mut order = g.snake_order();
+        assert_eq!(order.len(), g.len());
+        order.sort_unstable();
+        order.dedup();
+        assert_eq!(order.len(), g.len());
+    }
+
+    #[test]
+    fn snake_neighbors_are_adjacent() {
+        let d = device_with(16);
+        let g = SiteGrid::for_device(&d);
+        let order = g.snake_order();
+        for w in order.windows(2) {
+            let a = g.origin(w[0]);
+            let b = g.origin(w[1]);
+            let dist = a.manhattan_distance(b);
+            assert!(
+                dist == g.pitch_x || dist == g.pitch_y,
+                "non-adjacent snake step {a} -> {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn placement_on_distinct_sites_is_legal() {
+        let d = device_with(5);
+        let g = SiteGrid::for_device(&d);
+        let placement: Placement = d
+            .components
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.id.clone(), g.origin(i)))
+            .collect();
+        assert!(placement.is_legal(&d));
+        assert_eq!(placement.len(), 5);
+    }
+
+    #[test]
+    fn overlapping_placement_is_illegal() {
+        let d = device_with(2);
+        let mut p = Placement::new();
+        p.set("c0".into(), Point::new(0, 0));
+        p.set("c1".into(), Point::new(500, 0));
+        assert!(!p.is_legal(&d));
+    }
+
+    #[test]
+    fn apply_to_writes_features_and_bounds() {
+        let mut d = device_with(3);
+        let g = SiteGrid::for_device(&d);
+        let p: Placement = d
+            .components
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.id.clone(), g.origin(i)))
+            .collect();
+        p.apply_to(&mut d);
+        assert!(d.is_placed());
+        let bounds = d.declared_bounds().unwrap();
+        let bbox = p.bounding_rect(&d);
+        assert!(bounds.x >= bbox.max().x);
+        assert!(bounds.y >= bbox.max().y);
+        // Re-applying replaces rather than duplicates features.
+        p.apply_to(&mut d);
+        assert_eq!(
+            d.features.iter().filter(|f| f.as_component().is_some()).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn bounding_rect_of_empty_placement_is_empty() {
+        let d = device_with(1);
+        let p = Placement::new();
+        assert!(p.is_empty());
+        assert_eq!(p.bounding_rect(&d).area(), 0);
+    }
+}

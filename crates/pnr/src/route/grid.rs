@@ -1,0 +1,543 @@
+//! Maze routing: A* over a uniform routing grid with obstacle avoidance.
+//!
+//! The classic Lee/A* formulation used by microfluidic routers: the die is
+//! discretized into square cells; placed component footprints (inflated by
+//! a clearance) block cells; each net is routed source→sink with a
+//! bend-penalized A*; routed channels block their cells for later nets.
+//! Nets are routed shortest-first, the standard ordering heuristic.
+
+use super::{Router, RoutingResult, RoutedNet};
+use parchmint::geometry::{Point, Rect};
+use parchmint::Device;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Tuning knobs for [`AStarRouter`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridRouterConfig {
+    /// Routing-grid cell size, in µm.
+    pub cell: i64,
+    /// Clearance kept around component footprints, in µm.
+    pub clearance: i64,
+    /// Cost of one cell step (scaled integers).
+    pub step_cost: u32,
+    /// Extra cost per 90° bend.
+    pub bend_penalty: u32,
+    /// Rip-up-and-reroute attempts after a failing pass (0 disables).
+    pub reroute_attempts: usize,
+}
+
+impl Default for GridRouterConfig {
+    fn default() -> Self {
+        GridRouterConfig {
+            cell: 200,
+            clearance: 100,
+            step_cost: 10,
+            bend_penalty: 30,
+            reroute_attempts: 2,
+        }
+    }
+}
+
+/// A*-based maze router.
+#[derive(Debug, Clone, Default)]
+pub struct AStarRouter {
+    config: GridRouterConfig,
+}
+
+impl AStarRouter {
+    /// Creates a router with default tuning.
+    pub fn new() -> Self {
+        AStarRouter::default()
+    }
+
+    /// Creates a router with explicit tuning.
+    pub fn with_config(config: GridRouterConfig) -> Self {
+        AStarRouter { config }
+    }
+}
+
+const BLOCK_COMPONENT: u8 = 1;
+const BLOCK_NET: u8 = 2;
+
+struct RoutingGrid {
+    cols: i64,
+    rows: i64,
+    cell: i64,
+    blocked: Vec<u8>,
+}
+
+impl RoutingGrid {
+    fn new(device: &Device, config: &GridRouterConfig) -> Self {
+        let bounds = device
+            .declared_bounds()
+            .map(|s| Rect::new(Point::ORIGIN, s))
+            .or_else(|| device.feature_bounds())
+            .unwrap_or(Rect::new(Point::ORIGIN, parchmint::geometry::Span::square(1000)));
+        let max = bounds.max();
+        let cols = (max.x / config.cell + 2).max(2);
+        let rows = (max.y / config.cell + 2).max(2);
+        let mut grid = RoutingGrid {
+            cols,
+            rows,
+            cell: config.cell,
+            blocked: vec![0; (cols * rows) as usize],
+        };
+        for feature in device.features.iter().filter_map(|f| f.as_component()) {
+            grid.block_rect(feature.footprint().inflated(config.clearance), BLOCK_COMPONENT);
+        }
+        grid
+    }
+
+    fn index(&self, cx: i64, cy: i64) -> usize {
+        (cy * self.cols + cx) as usize
+    }
+
+    fn in_bounds(&self, cx: i64, cy: i64) -> bool {
+        cx >= 0 && cy >= 0 && cx < self.cols && cy < self.rows
+    }
+
+    fn cell_of(&self, p: Point) -> (i64, i64) {
+        (
+            (p.x / self.cell).clamp(0, self.cols - 1),
+            (p.y / self.cell).clamp(0, self.rows - 1),
+        )
+    }
+
+    fn center(&self, cx: i64, cy: i64) -> Point {
+        Point::new(cx * self.cell + self.cell / 2, cy * self.cell + self.cell / 2)
+    }
+
+    /// Blocks every cell whose *centre* lies inside `rect` (centre-based
+    /// occupancy, the standard coarse-grid convention: a cell belongs to an
+    /// obstacle only when the obstacle covers its representative point, so
+    /// corridors narrower than two cells still route).
+    fn block_rect(&mut self, rect: Rect, flag: u8) {
+        let (x0, y0) = self.cell_of(rect.min);
+        let max = rect.max();
+        let (x1, y1) = (
+            (max.x / self.cell).clamp(0, self.cols - 1),
+            (max.y / self.cell).clamp(0, self.rows - 1),
+        );
+        for cy in y0..=y1 {
+            for cx in x0..=x1 {
+                if rect.contains(self.center(cx, cy)) {
+                    let i = self.index(cx, cy);
+                    self.blocked[i] |= flag;
+                }
+            }
+        }
+    }
+
+    /// Cells within Chebyshev radius `r` of `cell`.
+    fn disc(&self, cell: (i64, i64), r: i64) -> Vec<usize> {
+        let mut cells = Vec::new();
+        for dy in -r..=r {
+            for dx in -r..=r {
+                let (cx, cy) = (cell.0 + dx, cell.1 + dy);
+                if self.in_bounds(cx, cy) {
+                    cells.push(self.index(cx, cy));
+                }
+            }
+        }
+        cells
+    }
+}
+
+const DIRS: [(i64, i64); 4] = [(1, 0), (-1, 0), (0, 1), (0, -1)];
+
+/// A* from `start` to `goal` over the grid. `free_override` marks cells
+/// passable regardless of component blockage (endpoint escape zones and
+/// the net's own previously routed cells).
+fn astar(
+    grid: &RoutingGrid,
+    config: &GridRouterConfig,
+    start: (i64, i64),
+    goal: (i64, i64),
+    free_override: &[bool],
+) -> Option<Vec<(i64, i64)>> {
+    let n = (grid.cols * grid.rows) as usize;
+    let state = |cell: usize, dir: usize| cell * 5 + dir;
+    let mut best = vec![u32::MAX; n * 5];
+    let mut prev: Vec<u32> = vec![u32::MAX; n * 5];
+    let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+
+    // A cell is passable when no other net owns it (unless this net does,
+    // via the override) and any component blockage is inside this net's
+    // endpoint escape zone.
+    let passable = |cell: usize| {
+        let flags = grid.blocked[cell];
+        if free_override[cell] {
+            return true;
+        }
+        flags == 0
+    };
+
+    let h = |cx: i64, cy: i64| -> u32 {
+        (((cx - goal.0).abs() + (cy - goal.1).abs()) as u32) * config.step_cost
+    };
+
+    let start_cell = grid.index(start.0, start.1);
+    let start_state = state(start_cell, 4);
+    best[start_state] = 0;
+    heap.push(Reverse((h(start.0, start.1), start_state as u32)));
+
+    while let Some(Reverse((_, s))) = heap.pop() {
+        let s = s as usize;
+        let cell = s / 5;
+        let dir = s % 5;
+        let (cx, cy) = ((cell as i64) % grid.cols, (cell as i64) / grid.cols);
+        if (cx, cy) == goal {
+            // Reconstruct.
+            let mut path = vec![(cx, cy)];
+            let mut cur = s;
+            while prev[cur] != u32::MAX {
+                cur = prev[cur] as usize;
+                let c = cur / 5;
+                let p = ((c as i64) % grid.cols, (c as i64) / grid.cols);
+                if path.last() != Some(&p) {
+                    path.push(p);
+                }
+            }
+            path.reverse();
+            return Some(path);
+        }
+        let g = best[s];
+        for (d, (dx, dy)) in DIRS.iter().enumerate() {
+            let (nx, ny) = (cx + dx, cy + dy);
+            if !grid.in_bounds(nx, ny) {
+                continue;
+            }
+            let ncell = grid.index(nx, ny);
+            if !passable(ncell) {
+                continue;
+            }
+            let bend = if dir != 4 && dir != d {
+                config.bend_penalty
+            } else {
+                0
+            };
+            let ng = g + config.step_cost + bend;
+            let ns = state(ncell, d);
+            if ng < best[ns] {
+                best[ns] = ng;
+                prev[ns] = s as u32;
+                heap.push(Reverse((ng + h(nx, ny), ns as u32)));
+            }
+        }
+    }
+    None
+}
+
+/// Collapses collinear runs in a waypoint list.
+fn simplify(points: Vec<Point>) -> Vec<Point> {
+    let mut out: Vec<Point> = Vec::with_capacity(points.len());
+    for p in points {
+        if out.last() == Some(&p) {
+            continue;
+        }
+        if out.len() >= 2 {
+            let a = out[out.len() - 2];
+            let b = out[out.len() - 1];
+            if (a.x == b.x && b.x == p.x) || (a.y == b.y && b.y == p.y) {
+                *out.last_mut().expect("non-empty") = p;
+                continue;
+            }
+        }
+        out.push(p);
+    }
+    out
+}
+
+/// Builds a rectilinear waypoint list: exact port endpoints joined to the
+/// cell-centre path with elbows.
+fn to_waypoints(grid: &RoutingGrid, src: Point, dst: Point, cells: &[(i64, i64)]) -> Vec<Point> {
+    let mut points = Vec::with_capacity(cells.len() + 4);
+    points.push(src);
+    if let Some(&(cx, cy)) = cells.first() {
+        let c = grid.center(cx, cy);
+        if src.x != c.x && src.y != c.y {
+            points.push(Point::new(c.x, src.y));
+        }
+    }
+    for &(cx, cy) in cells {
+        points.push(grid.center(cx, cy));
+    }
+    if let Some(&(cx, cy)) = cells.last() {
+        let c = grid.center(cx, cy);
+        if dst.x != c.x && dst.y != c.y {
+            points.push(Point::new(c.x, dst.y));
+        }
+    }
+    points.push(dst);
+    simplify(points)
+}
+
+impl Router for AStarRouter {
+    fn name(&self) -> &'static str {
+        "astar"
+    }
+
+    fn route(&self, device: &Device) -> RoutingResult {
+        // Route order: shortest estimated nets first.
+        let mut order: Vec<usize> = (0..device.connections.len()).collect();
+        let estimate = |i: usize| -> i64 {
+            let c = &device.connections[i];
+            let Some(src) = device.target_position(&c.source) else {
+                return i64::MAX;
+            };
+            c.sinks
+                .iter()
+                .filter_map(|s| device.target_position(s))
+                .map(|p| src.manhattan_distance(p))
+                .sum()
+        };
+        order.sort_by_key(|&i| estimate(i));
+
+        // Rip-up and re-route: when nets fail because earlier routes walled
+        // them in, retry from scratch with the failed nets promoted to the
+        // front of the order.
+        let mut best = self.route_in_order(device, &order);
+        for _ in 0..self.config.reroute_attempts {
+            if best.failed.is_empty() {
+                break;
+            }
+            let failed: Vec<usize> = order
+                .iter()
+                .copied()
+                .filter(|&i| best.failed.contains(&device.connections[i].id))
+                .collect();
+            let rest: Vec<usize> = order
+                .iter()
+                .copied()
+                .filter(|i| !failed.contains(i))
+                .collect();
+            order = failed.into_iter().chain(rest).collect();
+            let retry = self.route_in_order(device, &order);
+            if retry.failed.len() < best.failed.len() {
+                best = retry;
+            } else {
+                break;
+            }
+        }
+        best
+    }
+}
+
+impl AStarRouter {
+    fn route_in_order(&self, device: &Device, order: &[usize]) -> RoutingResult {
+        let mut grid = RoutingGrid::new(device, &self.config);
+        let mut result = RoutingResult::default();
+        let n_cells = (grid.cols * grid.rows) as usize;
+        for &i in order {
+            let connection = &device.connections[i];
+            let Some(src) = device.target_position(&connection.source) else {
+                result.failed.push(connection.id.clone());
+                continue;
+            };
+            let sinks: Vec<Point> = connection
+                .sinks
+                .iter()
+                .filter_map(|s| device.target_position(s))
+                .collect();
+            if sinks.len() != connection.sinks.len() || sinks.is_empty() {
+                result.failed.push(connection.id.clone());
+                continue;
+            }
+
+            let src_cell = grid.cell_of(src);
+            let mut free_override = vec![false; n_cells];
+            for c in grid.disc(src_cell, 2) {
+                free_override[c] = true;
+            }
+
+            let mut branches: Vec<Vec<Point>> = Vec::with_capacity(sinks.len());
+            let mut net_cells: Vec<usize> = Vec::new();
+            let mut ok = true;
+            for &sink in &sinks {
+                let sink_cell = grid.cell_of(sink);
+                for c in grid.disc(sink_cell, 2) {
+                    free_override[c] = true;
+                }
+                // The net's own cells are free for later branches (merging).
+                match astar(&grid, &self.config, src_cell, sink_cell, &free_override) {
+                    Some(cells) => {
+                        branches.push(to_waypoints(&grid, src, sink, &cells));
+                        for (cx, cy) in cells {
+                            let idx = grid.index(cx, cy);
+                            net_cells.push(idx);
+                            free_override[idx] = true;
+                        }
+                    }
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+
+            if ok {
+                for idx in net_cells {
+                    grid.blocked[idx] |= BLOCK_NET;
+                }
+                result.routed.push(RoutedNet {
+                    connection: connection.id.clone(),
+                    layer: connection.layer.clone(),
+                    branches,
+                });
+            } else {
+                result.failed.push(connection.id.clone());
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::place::{greedy::GreedyPlacer, Placer};
+    use parchmint::geometry::Span;
+    use parchmint::{Component, Connection, Entity, Layer, LayerType, Port, Target};
+
+    fn placed_pair(gap: i64) -> Device {
+        let mut d = Device::builder("t")
+            .layer(Layer::new("f", "f", LayerType::Flow))
+            .component(
+                Component::new("a", "a", Entity::Port, ["f"], Span::square(200))
+                    .with_port(Port::new("p", "f", 200, 100)),
+            )
+            .component(
+                Component::new("b", "b", Entity::Port, ["f"], Span::square(200))
+                    .with_port(Port::new("p", "f", 0, 100)),
+            )
+            .connection(Connection::new(
+                "c1",
+                "c1",
+                "f",
+                Target::new("a", "p"),
+                [Target::new("b", "p")],
+            ))
+            .bounds(Span::new(gap + 1400, 2000))
+            .build()
+            .unwrap();
+        let mut placement = crate::place::Placement::new();
+        placement.set("a".into(), Point::new(400, 400));
+        placement.set("b".into(), Point::new(600 + gap, 400));
+        placement.apply_to(&mut d);
+        d
+    }
+
+    #[test]
+    fn routes_a_simple_pair() {
+        let d = placed_pair(2000);
+        let result = AStarRouter::new().route(&d);
+        assert_eq!(result.failed.len(), 0, "failed: {:?}", result.failed);
+        assert_eq!(result.routed.len(), 1);
+        let net = &result.routed[0];
+        // Endpoints exact.
+        let branch = &net.branches[0];
+        assert_eq!(branch.first().copied(), Some(Point::new(600, 500)));
+        assert_eq!(branch.last().copied(), Some(Point::new(2600, 500)));
+        // Rectilinear.
+        for w in branch.windows(2) {
+            assert!(w[0].x == w[1].x || w[0].y == w[1].y, "diagonal segment");
+        }
+        assert!(net.length() >= 2000);
+    }
+
+    #[test]
+    fn detours_around_an_obstacle() {
+        let mut d = placed_pair(3000);
+        // Drop an obstacle square in the straight-line path.
+        d.components.push(Component::new(
+            "obst",
+            "obst",
+            Entity::ReactionChamber,
+            ["f"],
+            Span::new(400, 1200),
+        ));
+        d.features.push(
+            parchmint::ComponentFeature::new(
+                "pf_obst",
+                "obst",
+                "f",
+                Point::new(1800, 0),
+                Span::new(400, 1200),
+                50,
+            )
+            .into(),
+        );
+        let result = AStarRouter::new().route(&d);
+        assert_eq!(result.routed.len(), 1, "failed: {:?}", result.failed);
+        let net = &result.routed[0];
+        assert!(net.bends() >= 2, "a detour needs bends");
+        // The detour must be longer than the straight path.
+        assert!(net.length() > 3000);
+    }
+
+    #[test]
+    fn impossible_route_fails_cleanly() {
+        let mut d = placed_pair(2000);
+        // Wall off the sink entirely with a giant blocker around it.
+        d.components.push(Component::new(
+            "wall",
+            "wall",
+            Entity::ReactionChamber,
+            ["f"],
+            Span::new(2000, 2000),
+        ));
+        d.features.push(
+            parchmint::ComponentFeature::new(
+                "pf_wall",
+                "wall",
+                "f",
+                Point::new(1700, 0),
+                Span::new(2000, 2000),
+                50,
+            )
+            .into(),
+        );
+        let result = AStarRouter::new().route(&d);
+        assert_eq!(result.routed.len(), 0);
+        assert_eq!(result.failed, vec![parchmint::ConnectionId::new("c1")]);
+        assert_eq!(result.completion(), 0.0);
+    }
+
+    #[test]
+    fn routes_an_entire_small_benchmark() {
+        let mut d = parchmint_suite::by_name("logic_gate_or").unwrap().device();
+        let placement = GreedyPlacer::new().place(&d);
+        placement.apply_to(&mut d);
+        let result = AStarRouter::new().route(&d);
+        assert!(
+            result.completion() > 0.9,
+            "completion {} with failures {:?}",
+            result.completion(),
+            result.failed
+        );
+        result.apply_to(&mut d);
+        assert!(d.features.iter().any(|f| f.as_connection().is_some()));
+    }
+
+    #[test]
+    fn simplify_collapses_collinear_points() {
+        let pts = vec![
+            Point::new(0, 0),
+            Point::new(5, 0),
+            Point::new(9, 0),
+            Point::new(9, 4),
+            Point::new(9, 4),
+            Point::new(9, 9),
+        ];
+        assert_eq!(
+            simplify(pts),
+            vec![Point::new(0, 0), Point::new(9, 0), Point::new(9, 9)]
+        );
+    }
+
+    #[test]
+    fn router_name() {
+        assert_eq!(AStarRouter::new().name(), "astar");
+    }
+}

@@ -1,0 +1,22 @@
+//! # parchmint-render
+//!
+//! SVG rendering of ParchMint device layouts — regenerates the paper's
+//! device-layout figures (experiment E3). Placed/routed devices render
+//! physically; bare netlists render as deterministic schematics.
+//!
+//! ```
+//! use parchmint_render::render_svg_default;
+//!
+//! let chip = parchmint_suite::by_name("logic_gate_or").unwrap().device();
+//! let svg = render_svg_default(&chip);
+//! assert!(svg.starts_with("<svg"));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod style;
+pub mod svg;
+
+pub use style::Theme;
+pub use svg::{render_svg, render_svg_default};

@@ -1,0 +1,76 @@
+//! Rendering theme: colors and stroke widths.
+
+use parchmint::{EntityClass, LayerType};
+
+/// Visual theme for SVG output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Theme {
+    /// Page background fill.
+    pub background: &'static str,
+    /// Die outline stroke.
+    pub die_stroke: &'static str,
+    /// Component label color.
+    pub label: &'static str,
+    /// Whether to draw component id labels.
+    pub labels: bool,
+    /// Scale: micrometres per SVG unit (larger = smaller image).
+    pub microns_per_unit: f64,
+}
+
+impl Default for Theme {
+    fn default() -> Self {
+        Theme {
+            background: "#ffffff",
+            die_stroke: "#333333",
+            label: "#222222",
+            labels: true,
+            microns_per_unit: 20.0,
+        }
+    }
+}
+
+impl Theme {
+    /// Fill color for a component of the given entity class.
+    pub fn class_fill(&self, class: EntityClass) -> &'static str {
+        match class {
+            EntityClass::Io => "#8d99ae",
+            EntityClass::Mixing => "#2a9d8f",
+            EntityClass::Chamber => "#e9c46a",
+            EntityClass::Droplet => "#f4a261",
+            EntityClass::Distribution => "#457b9d",
+            EntityClass::Control => "#e76f51",
+            EntityClass::Other => "#b5b5b5",
+        }
+    }
+
+    /// Stroke color for channels on a layer type.
+    pub fn layer_stroke(&self, layer: LayerType) -> &'static str {
+        match layer {
+            LayerType::Flow => "#1d3557",
+            LayerType::Control => "#c1121f",
+            LayerType::Integration => "#6a0dad",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_class_has_a_distinct_fill() {
+        let theme = Theme::default();
+        let mut fills: Vec<&str> = EntityClass::ALL.iter().map(|c| theme.class_fill(*c)).collect();
+        fills.sort_unstable();
+        let n = fills.len();
+        fills.dedup();
+        assert_eq!(fills.len(), n);
+    }
+
+    #[test]
+    fn layer_strokes_differ() {
+        let t = Theme::default();
+        assert_ne!(t.layer_stroke(LayerType::Flow), t.layer_stroke(LayerType::Control));
+        assert!(t.microns_per_unit > 0.0);
+    }
+}

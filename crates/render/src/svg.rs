@@ -1,0 +1,260 @@
+//! SVG rendering of ParchMint devices.
+//!
+//! Placed/routed devices render to physical layouts: component footprints
+//! at their placed locations (filled by entity class), routed channels as
+//! polylines (stroked by layer type). Unplaced netlists fall back to a
+//! deterministic schematic grid so every benchmark is renderable — this is
+//! what regenerates the paper's device-layout figures (experiment E3).
+
+use crate::style::Theme;
+use parchmint::geometry::{Point, Span};
+use parchmint::{Device, LayerType};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders `device` to an SVG document string.
+pub fn render_svg(device: &Device, theme: &Theme) -> String {
+    let positions = placement_or_schematic(device);
+    let bounds = drawing_bounds(device, &positions);
+    let s = 1.0 / theme.microns_per_unit;
+    let width = (bounds.x as f64 * s).ceil().max(64.0);
+    let height = (bounds.y as f64 * s).ceil().max(64.0);
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"#
+    );
+    let _ = writeln!(svg, r#"<title>{}</title>"#, escape(&device.name));
+    let _ = writeln!(
+        svg,
+        r#"<rect x="0" y="0" width="{width}" height="{height}" fill="{}" stroke="{}" stroke-width="1"/>"#,
+        theme.background, theme.die_stroke
+    );
+
+    // Flip y so device coordinates (y up) render conventionally.
+    let fy = |y: f64| height - y;
+
+    // Channels first, under the components.
+    for feature in device.features.iter().filter_map(|f| f.as_connection()) {
+        let layer_type = device
+            .layer(feature.layer.as_str())
+            .map(|l| l.layer_type)
+            .unwrap_or(LayerType::Flow);
+        let stroke = theme.layer_stroke(layer_type);
+        let stroke_width = (feature.width as f64 * s).max(1.0);
+        let points: Vec<String> = feature
+            .waypoints
+            .iter()
+            .map(|p| format!("{:.1},{:.1}", p.x as f64 * s, fy(p.y as f64 * s)))
+            .collect();
+        if points.len() >= 2 {
+            let _ = writeln!(
+                svg,
+                r#"<polyline points="{}" fill="none" stroke="{stroke}" stroke-width="{stroke_width:.1}" stroke-linejoin="round" opacity="0.85"/>"#,
+                points.join(" ")
+            );
+        }
+    }
+
+    // Schematic connections when the device carries no routed geometry.
+    if !device.connections.is_empty() && device.features.iter().all(|f| f.as_connection().is_none())
+    {
+        for connection in &device.connections {
+            let layer_type = device
+                .layer(connection.layer.as_str())
+                .map(|l| l.layer_type)
+                .unwrap_or(LayerType::Flow);
+            let stroke = theme.layer_stroke(layer_type);
+            let Some(&src) = positions.get(connection.source.component.as_str()) else {
+                continue;
+            };
+            let src_c = centre(device, connection.source.component.as_str(), src);
+            for sink in &connection.sinks {
+                let Some(&dst) = positions.get(sink.component.as_str()) else {
+                    continue;
+                };
+                let dst_c = centre(device, sink.component.as_str(), dst);
+                let _ = writeln!(
+                    svg,
+                    r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="{stroke}" stroke-width="1.2" opacity="0.6"/>"#,
+                    src_c.x as f64 * s,
+                    fy(src_c.y as f64 * s),
+                    dst_c.x as f64 * s,
+                    fy(dst_c.y as f64 * s),
+                );
+            }
+        }
+    }
+
+    // Components.
+    for component in &device.components {
+        let Some(&origin) = positions.get(component.id.as_str()) else {
+            continue;
+        };
+        let fill = theme.class_fill(component.entity.class());
+        let x = origin.x as f64 * s;
+        let w = (component.span.x as f64 * s).max(2.0);
+        let h = (component.span.y as f64 * s).max(2.0);
+        let y = fy(origin.y as f64 * s) - h;
+        let _ = writeln!(
+            svg,
+            r##"<rect x="{x:.1}" y="{y:.1}" width="{w:.1}" height="{h:.1}" fill="{fill}" stroke="#00000055" stroke-width="0.6" rx="1"/>"##
+        );
+        if theme.labels && w > 24.0 {
+            let _ = writeln!(
+                svg,
+                r#"<text x="{:.1}" y="{:.1}" font-size="6" fill="{}" text-anchor="middle" font-family="monospace">{}</text>"#,
+                x + w / 2.0,
+                y + h / 2.0 + 2.0,
+                theme.label,
+                escape(component.id.as_str())
+            );
+        }
+    }
+
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Renders with the default theme.
+pub fn render_svg_default(device: &Device) -> String {
+    render_svg(device, &Theme::default())
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn centre(device: &Device, id: &str, origin: Point) -> Point {
+    let span = device.component(id).map(|c| c.span).unwrap_or_default();
+    Point::new(origin.x + span.x / 2, origin.y + span.y / 2)
+}
+
+/// Placed positions from features, or a deterministic schematic grid.
+fn placement_or_schematic(device: &Device) -> BTreeMap<String, Point> {
+    let mut positions = BTreeMap::new();
+    for feature in device.features.iter().filter_map(|f| f.as_component()) {
+        positions.insert(feature.component.to_string(), feature.location);
+    }
+    if positions.len() == device.components.len() && !device.components.is_empty() {
+        return positions;
+    }
+    // Schematic fallback: row-major grid in declaration order.
+    positions.clear();
+    let n = device.components.len().max(1);
+    let cols = (n as f64).sqrt().ceil() as usize;
+    let pitch_x = device.components.iter().map(|c| c.span.x).max().unwrap_or(1000) + 600;
+    let pitch_y = device.components.iter().map(|c| c.span.y).max().unwrap_or(1000) + 600;
+    for (i, component) in device.components.iter().enumerate() {
+        let col = (i % cols) as i64;
+        let row = (i / cols) as i64;
+        positions.insert(
+            component.id.to_string(),
+            Point::new(300 + col * pitch_x, 300 + row * pitch_y),
+        );
+    }
+    positions
+}
+
+fn drawing_bounds(device: &Device, positions: &BTreeMap<String, Point>) -> Span {
+    let declared = device.declared_bounds().unwrap_or_default();
+    let mut max = Point::new(declared.x, declared.y);
+    for component in &device.components {
+        if let Some(&origin) = positions.get(component.id.as_str()) {
+            max = max.max(Point::new(
+                origin.x + component.span.x + 300,
+                origin.y + component.span.y + 300,
+            ));
+        }
+    }
+    for feature in device.features.iter().filter_map(|f| f.as_connection()) {
+        for p in &feature.waypoints {
+            max = max.max(Point::new(p.x + 300, p.y + 300));
+        }
+    }
+    Span::new(max.x.max(1000), max.y.max(1000))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_valid_svg(svg: &str) {
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // Balanced: every element line is self-closing or the svg tags.
+        assert_eq!(svg.matches("<svg").count(), 1);
+        assert_eq!(svg.matches("</svg>").count(), 1);
+    }
+
+    #[test]
+    fn renders_unplaced_benchmark_schematically() {
+        let d = parchmint_suite::by_name("molecular_gradient_generator")
+            .unwrap()
+            .device();
+        let svg = render_svg_default(&d);
+        assert_valid_svg(&svg);
+        // All components appear.
+        assert_eq!(svg.matches("<rect").count(), 1 + d.components.len());
+        // Schematic lines for connections.
+        assert!(svg.matches("<line").count() >= d.connections.len());
+    }
+
+    #[test]
+    fn renders_placed_and_routed_device_with_polylines() {
+        let mut d = parchmint_suite::by_name("logic_gate_or").unwrap().device();
+        parchmint_pnr::place_and_route(
+            &mut d,
+            parchmint_pnr::PlacerChoice::Greedy,
+            parchmint_pnr::RouterChoice::AStar,
+        );
+        let svg = render_svg_default(&d);
+        assert_valid_svg(&svg);
+        assert!(svg.contains("<polyline"), "routed channels must render");
+        assert!(!svg.contains("<line "), "no schematic fallback once routed");
+    }
+
+    #[test]
+    fn empty_device_renders_minimal_document() {
+        let svg = render_svg_default(&parchmint::Device::new("empty"));
+        assert_valid_svg(&svg);
+    }
+
+    #[test]
+    fn labels_can_be_disabled() {
+        let d = parchmint_suite::by_name("logic_gate_or").unwrap().device();
+        let with = render_svg(&d, &Theme::default());
+        let without = render_svg(
+            &d,
+            &Theme {
+                labels: false,
+                ..Theme::default()
+            },
+        );
+        assert!(with.contains("<text"));
+        assert!(!without.contains("<text"));
+    }
+
+    #[test]
+    fn escapes_markup_in_names() {
+        let mut d = parchmint::Device::new("a<b&c");
+        d.set_declared_bounds(parchmint::geometry::Span::square(1000));
+        let svg = render_svg_default(&d);
+        assert!(svg.contains("a&lt;b&amp;c"));
+    }
+
+    #[test]
+    fn control_layer_channels_use_control_stroke() {
+        let mut d = parchmint_suite::by_name("rotary_pump_mixer").unwrap().device();
+        parchmint_pnr::place_and_route(
+            &mut d,
+            parchmint_pnr::PlacerChoice::Greedy,
+            parchmint_pnr::RouterChoice::AStar,
+        );
+        let svg = render_svg_default(&d);
+        let theme = Theme::default();
+        assert!(svg.contains(theme.layer_stroke(LayerType::Control)));
+        assert!(svg.contains(theme.layer_stroke(LayerType::Flow)));
+    }
+}

@@ -1,0 +1,40 @@
+//! # parchmint-sim
+//!
+//! Hydraulic simulation of ParchMint devices: pressure-driven
+//! resistive-network flow ([`FlowNetwork`]) and steady-state concentration
+//! transport ([`concentrations`]) — the analysis layer that turns a
+//! benchmark netlist into predicted device behaviour (flow rates, split
+//! ratios, mixing gradients), and the functional check behind claims like
+//! "the gradient generator produces a monotone concentration ladder".
+//!
+//! The model is the standard network abstraction for continuous-flow LoCs:
+//! laminar channels are hydraulic resistors (shallow-rectangular-duct
+//! formula), junctions conserve mass, and junction mixing is flow-weighted.
+//! Valve states from [`parchmint_control`] plug in directly: a closed valve
+//! is an open circuit.
+//!
+//! ```
+//! use parchmint_sim::{FlowNetwork, Fluid};
+//!
+//! let chip = parchmint_suite::by_name("rotary_pump_mixer").unwrap().device();
+//! // Drive in_a at 1 kPa against a grounded outlet; valves at rest.
+//! // (in_a's inlet valve is normally closed, so nothing flows at rest.)
+//! let network = FlowNetwork::from_device(&chip, Fluid::WATER);
+//! let solution = network.solve(&[("in_a".into(), 1000.0), ("out".into(), 0.0)]).unwrap();
+//! assert_eq!(solution.net_inflow(&"out".into()), 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod linear;
+pub mod network;
+pub mod resistance;
+pub mod transport;
+
+pub use network::{EdgeFlow, FlowNetwork, SimError, Solution};
+pub use resistance::{component_resistance, ChannelGeometry, Fluid};
+pub use transport::concentrations;
+
+#[cfg(test)]
+mod proptests;

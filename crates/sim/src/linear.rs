@@ -1,0 +1,244 @@
+//! Dense linear-system solver (Gaussian elimination with partial pivoting).
+//!
+//! Hydraulic networks at benchmark scale produce systems of at most a few
+//! thousand unknowns; a dense O(n³) solve is simple, dependency-free, and
+//! comfortably fast. Conductance matrices are diagonally dominant, so
+//! partial pivoting is ample for stability.
+
+use std::fmt;
+
+/// A dense row-major square matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// An `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        DenseMatrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// The identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = DenseMatrix::zeros(n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Matrix dimension.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for the 0×0 matrix.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Matrix–vector product `A·x`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        (0..self.n)
+            .map(|i| (0..self.n).map(|j| self[(i, j)] * x[j]).sum())
+            .collect()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.n + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DenseMatrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.n + j]
+    }
+}
+
+/// The system matrix was singular (up to the pivot tolerance).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SingularMatrix;
+
+impl fmt::Display for SingularMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("singular system matrix (network has a floating island?)")
+    }
+}
+
+impl std::error::Error for SingularMatrix {}
+
+/// Solves `A·x = b`, consuming the inputs.
+///
+/// # Examples
+///
+/// ```
+/// use parchmint_sim::linear::{solve, DenseMatrix};
+///
+/// let mut a = DenseMatrix::zeros(2);
+/// a[(0, 0)] = 2.0;
+/// a[(1, 1)] = 4.0;
+/// let x = solve(a, vec![6.0, 8.0]).unwrap();
+/// assert_eq!(x, vec![3.0, 2.0]);
+/// ```
+pub fn solve(mut a: DenseMatrix, mut b: Vec<f64>) -> Result<Vec<f64>, SingularMatrix> {
+    let n = a.len();
+    assert_eq!(b.len(), n, "dimension mismatch");
+    // Scale-aware pivot tolerance.
+    let scale = a
+        .data
+        .iter()
+        .fold(0.0f64, |acc, &v| acc.max(v.abs()))
+        .max(f64::MIN_POSITIVE);
+    let tol = scale * 1e-13;
+
+    for col in 0..n {
+        // Partial pivot.
+        let pivot_row = (col..n)
+            .max_by(|&r1, &r2| {
+                a[(r1, col)]
+                    .abs()
+                    .partial_cmp(&a[(r2, col)].abs())
+                    .expect("no NaN in conductance matrices")
+            })
+            .expect("non-empty range");
+        if a[(pivot_row, col)].abs() <= tol {
+            return Err(SingularMatrix);
+        }
+        if pivot_row != col {
+            for j in 0..n {
+                let tmp = a[(col, j)];
+                a[(col, j)] = a[(pivot_row, j)];
+                a[(pivot_row, j)] = tmp;
+            }
+            b.swap(col, pivot_row);
+        }
+        // Eliminate below.
+        for row in (col + 1)..n {
+            let factor = a[(row, col)] / a[(col, col)];
+            if factor == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                let v = a[(col, j)];
+                a[(row, j)] -= factor * v;
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+
+    // Back-substitute.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut sum = b[row];
+        for j in (row + 1)..n {
+            sum -= a[(row, j)] * x[j];
+        }
+        x[row] = sum / a[(row, row)];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve() {
+        let x = solve(DenseMatrix::identity(3), vec![1.0, -2.0, 3.5]).unwrap();
+        assert_eq!(x, vec![1.0, -2.0, 3.5]);
+    }
+
+    #[test]
+    fn two_by_two() {
+        // 2x +  y = 5
+        //  x + 3y = 10  → x = 1, y = 3
+        let mut a = DenseMatrix::zeros(2);
+        a[(0, 0)] = 2.0;
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        a[(1, 1)] = 3.0;
+        let x = solve(a, vec![5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // 0x + 1y = 2 ; 1x + 0y = 3
+        let mut a = DenseMatrix::zeros(2);
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        let x = solve(a, vec![2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let mut a = DenseMatrix::zeros(2);
+        a[(0, 0)] = 1.0;
+        a[(0, 1)] = 2.0;
+        a[(1, 0)] = 2.0;
+        a[(1, 1)] = 4.0;
+        assert_eq!(solve(a, vec![1.0, 2.0]), Err(SingularMatrix));
+        assert!(!SingularMatrix.to_string().is_empty());
+    }
+
+    #[test]
+    fn tiny_uniform_scale_is_not_singular() {
+        // Conductances of ~1e-14 must not trip the tolerance.
+        let mut a = DenseMatrix::zeros(2);
+        a[(0, 0)] = 2e-14;
+        a[(0, 1)] = -1e-14;
+        a[(1, 0)] = -1e-14;
+        a[(1, 1)] = 2e-14;
+        let x = solve(a.clone(), a.mul_vec(&[3.0, 7.0])).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-6);
+        assert!((x[1] - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn random_round_trip() {
+        // Deterministic pseudo-random well-conditioned matrix: diagonally
+        // dominant by construction.
+        let n = 12;
+        let mut a = DenseMatrix::zeros(n);
+        let mut seed = 0x12345u64;
+        let mut rand = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        for i in 0..n {
+            let mut rowsum = 0.0;
+            for j in 0..n {
+                if i != j {
+                    let v = rand();
+                    a[(i, j)] = v;
+                    rowsum += v.abs();
+                }
+            }
+            a[(i, i)] = rowsum + 1.0;
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 4.0).collect();
+        let b = a.mul_vec(&x_true);
+        let x = solve(a, b).unwrap();
+        for (computed, expected) in x.iter().zip(&x_true) {
+            assert!((computed - expected).abs() < 1e-9, "{computed} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn empty_system() {
+        let x = solve(DenseMatrix::zeros(0), vec![]).unwrap();
+        assert!(x.is_empty());
+        assert!(DenseMatrix::zeros(0).is_empty());
+    }
+}

@@ -1,0 +1,610 @@
+//! The resistive-network pressure solver.
+//!
+//! Pressure-driven Stokes flow through a channel network is formally
+//! identical to a resistor network: channels are resistors, junctions are
+//! nodes, pressures are voltages, and volumetric flow is current. Fixing
+//! pressures at the boundary ports and writing conservation of mass at
+//! every internal node yields a linear system in the node pressures.
+
+use crate::linear::{solve, DenseMatrix};
+use crate::resistance::{
+    component_resistance, ChannelGeometry, Fluid, DEFAULT_CHANNEL_DEPTH, DEFAULT_CHANNEL_LENGTH,
+    DEFAULT_CHANNEL_WIDTH,
+};
+use parchmint::{ComponentId, ConnectionId, Device, LayerType};
+use parchmint_control::ValveState;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Why a simulation could not run.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A boundary condition names a component outside the flow network.
+    UnknownNode(ComponentId),
+    /// No boundary pressures were supplied.
+    NoBoundary,
+    /// The reduced system was singular (should not occur for connected
+    /// networks with at least one boundary node).
+    Singular,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownNode(id) => write!(f, "boundary names unknown flow node `{id}`"),
+            SimError::NoBoundary => f.write_str("at least one boundary pressure is required"),
+            SimError::Singular => f.write_str("singular hydraulic system"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[derive(Debug, Clone)]
+struct NetEdge {
+    connection: ConnectionId,
+    a: usize,
+    b: usize,
+    conductance: f64,
+}
+
+/// The hydraulic network extracted from a device's flow layers.
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    nodes: Vec<ComponentId>,
+    index: HashMap<ComponentId, usize>,
+    edges: Vec<NetEdge>,
+}
+
+impl FlowNetwork {
+    /// Builds the network over the device's flow layers, all valves at rest.
+    pub fn from_device(device: &Device, fluid: Fluid) -> Self {
+        Self::build(device, fluid, &BTreeMap::new())
+    }
+
+    /// Builds the network with explicit valve states: edges whose
+    /// connection is pinched by a `Closed` valve are removed (infinite
+    /// resistance). `Open` valves pass flow unchanged.
+    ///
+    /// Pairs naturally with
+    /// [`plan_flow`](parchmint_control::plan_flow): simulate the plan's
+    /// `valve_states` to confirm fluid actually moves only along the
+    /// planned path.
+    pub fn with_valve_states(
+        device: &Device,
+        fluid: Fluid,
+        states: &BTreeMap<ComponentId, ValveState>,
+    ) -> Self {
+        Self::build(device, fluid, states)
+    }
+
+    fn build(device: &Device, fluid: Fluid, states: &BTreeMap<ComponentId, ValveState>) -> Self {
+        let flow_layers: Vec<&str> = device
+            .layers
+            .iter()
+            .filter(|l| l.layer_type == LayerType::Flow)
+            .map(|l| l.id.as_str())
+            .collect();
+
+        // A connection is blocked when any valve pinching it must be (or
+        // rests) closed under `states`.
+        let is_blocked = |connection: &ConnectionId| -> bool {
+            device.valves_controlling(connection).any(|valve| {
+                match states.get(&valve.component) {
+                    Some(ValveState::Closed) => true,
+                    Some(ValveState::Open) => false,
+                    None => valve.valve_type == parchmint::ValveType::NormallyClosed,
+                }
+            })
+        };
+
+        let mut nodes = Vec::new();
+        let mut index: HashMap<ComponentId, usize> = HashMap::new();
+        let mut intern = |id: &ComponentId, nodes: &mut Vec<ComponentId>| -> usize {
+            if let Some(&i) = index.get(id) {
+                return i;
+            }
+            let i = nodes.len();
+            nodes.push(id.clone());
+            index.insert(id.clone(), i);
+            i
+        };
+
+        let mut edges = Vec::new();
+        for connection in &device.connections {
+            if !flow_layers.contains(&connection.layer.as_str()) {
+                continue;
+            }
+            let Some(source) = device.component(connection.source.component.as_str()) else {
+                continue;
+            };
+            // A pinched channel still has physical end nodes; only its
+            // conductance vanishes.
+            let blocked = is_blocked(&connection.id);
+            let channel_resistance = channel_resistance(device, &connection.id, fluid);
+            for sink_target in &connection.sinks {
+                let Some(sink) = device.component(sink_target.component.as_str()) else {
+                    continue;
+                };
+                if blocked {
+                    intern(&source.id, &mut nodes);
+                    intern(&sink.id, &mut nodes);
+                    continue;
+                }
+                // Series: half of each terminal's internal path + channel.
+                let total = channel_resistance
+                    + 0.5 * component_resistance(source, fluid)
+                    + 0.5 * component_resistance(sink, fluid);
+                let a = intern(&source.id, &mut nodes);
+                let b = intern(&sink.id, &mut nodes);
+                if a == b {
+                    continue; // self-loop carries no net flow
+                }
+                edges.push(NetEdge {
+                    connection: connection.id.clone(),
+                    a,
+                    b,
+                    conductance: 1.0 / total,
+                });
+            }
+        }
+        FlowNetwork { nodes, index, edges }
+    }
+
+    /// Number of hydraulic nodes (components touching a flow channel).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of conducting channel segments.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when `component` participates in the flow network.
+    pub fn contains(&self, component: &ComponentId) -> bool {
+        self.index.contains_key(component)
+    }
+
+    /// Solves for node pressures given boundary pressures in pascals.
+    ///
+    /// Nodes not connected (through conducting edges) to any boundary node
+    /// are left at 0 Pa with zero flow — they are hydraulically floating.
+    pub fn solve(&self, boundary: &[(ComponentId, f64)]) -> Result<Solution, SimError> {
+        if boundary.is_empty() {
+            return Err(SimError::NoBoundary);
+        }
+        let mut pinned: HashMap<usize, f64> = HashMap::new();
+        for (id, pressure) in boundary {
+            let &i = self
+                .index
+                .get(id)
+                .ok_or_else(|| SimError::UnknownNode(id.clone()))?;
+            pinned.insert(i, *pressure);
+        }
+
+        // Restrict to the region reachable from boundary nodes.
+        let mut reachable = vec![false; self.nodes.len()];
+        let mut stack: Vec<usize> = pinned.keys().copied().collect();
+        for &s in &stack {
+            reachable[s] = true;
+        }
+        let mut adjacency: Vec<Vec<(usize, usize)>> = vec![Vec::new(); self.nodes.len()];
+        for (e, edge) in self.edges.iter().enumerate() {
+            adjacency[edge.a].push((edge.b, e));
+            adjacency[edge.b].push((edge.a, e));
+        }
+        while let Some(n) = stack.pop() {
+            for &(m, _) in &adjacency[n] {
+                if !reachable[m] {
+                    reachable[m] = true;
+                    stack.push(m);
+                }
+            }
+        }
+
+        // Unknowns: reachable, unpinned nodes.
+        let unknowns: Vec<usize> = (0..self.nodes.len())
+            .filter(|i| reachable[*i] && !pinned.contains_key(i))
+            .collect();
+        let unknown_index: HashMap<usize, usize> = unknowns
+            .iter()
+            .enumerate()
+            .map(|(k, &i)| (i, k))
+            .collect();
+
+        let n = unknowns.len();
+        let mut a = DenseMatrix::zeros(n);
+        let mut b = vec![0.0; n];
+        for edge in &self.edges {
+            if !reachable[edge.a] {
+                continue;
+            }
+            let g = edge.conductance;
+            for (this, other) in [(edge.a, edge.b), (edge.b, edge.a)] {
+                let Some(&row) = unknown_index.get(&this) else {
+                    continue;
+                };
+                a[(row, row)] += g;
+                match unknown_index.get(&other) {
+                    Some(&col) => a[(row, col)] -= g,
+                    None => b[row] += g * pinned[&other],
+                }
+            }
+        }
+        let x = solve(a, b).map_err(|_| SimError::Singular)?;
+
+        let mut pressures = BTreeMap::new();
+        for (i, id) in self.nodes.iter().enumerate() {
+            let p = if let Some(&p) = pinned.get(&i) {
+                p
+            } else if let Some(&k) = unknown_index.get(&i) {
+                x[k]
+            } else {
+                0.0 // floating region
+            };
+            pressures.insert(id.clone(), p);
+        }
+
+        let mut flows = Vec::with_capacity(self.edges.len());
+        for edge in &self.edges {
+            let (pa, pb) = (
+                pressures[&self.nodes[edge.a]],
+                pressures[&self.nodes[edge.b]],
+            );
+            let q = if reachable[edge.a] {
+                edge.conductance * (pa - pb)
+            } else {
+                0.0
+            };
+            flows.push(EdgeFlow {
+                connection: edge.connection.clone(),
+                from: self.nodes[edge.a].clone(),
+                to: self.nodes[edge.b].clone(),
+                flow: q,
+            });
+        }
+
+        Ok(Solution { pressures, flows })
+    }
+}
+
+/// Channel resistance of a connection: routed geometry when the device is
+/// routed, declared/default geometry otherwise.
+fn channel_resistance(device: &Device, connection: &ConnectionId, fluid: Fluid) -> f64 {
+    let declared = device.connection(connection.as_str());
+    let width = declared
+        .and_then(|c| c.params.get_f64("width"))
+        .unwrap_or(DEFAULT_CHANNEL_WIDTH);
+    if let Some(route) = device.route_of(connection) {
+        ChannelGeometry::new(
+            route.length() as f64,
+            route.width as f64,
+            route.depth as f64,
+        )
+        .resistance(fluid)
+    } else {
+        ChannelGeometry::new(DEFAULT_CHANNEL_LENGTH, width, DEFAULT_CHANNEL_DEPTH)
+            .resistance(fluid)
+    }
+}
+
+/// Signed flow through one expanded channel segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeFlow {
+    /// Owning connection.
+    pub connection: ConnectionId,
+    /// Declared source terminal component.
+    pub from: ComponentId,
+    /// Declared sink terminal component.
+    pub to: ComponentId,
+    /// Volumetric flow in m³/s, positive from `from` to `to`.
+    pub flow: f64,
+}
+
+/// A solved pressure/flow field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    pressures: BTreeMap<ComponentId, f64>,
+    flows: Vec<EdgeFlow>,
+}
+
+impl Solution {
+    /// Pressure at a node, in Pa.
+    pub fn pressure(&self, component: &ComponentId) -> Option<f64> {
+        self.pressures.get(component).copied()
+    }
+
+    /// All per-segment flows.
+    pub fn flows(&self) -> &[EdgeFlow] {
+        &self.flows
+    }
+
+    /// Total (signed source→sink) flow carried by a connection, m³/s.
+    pub fn flow_through(&self, connection: &ConnectionId) -> f64 {
+        self.flows
+            .iter()
+            .filter(|f| &f.connection == connection)
+            .map(|f| f.flow)
+            .sum()
+    }
+
+    /// Net volumetric flow *into* `component` from the network, m³/s.
+    /// Positive for an outlet (fluid arriving), negative for an inlet.
+    pub fn net_inflow(&self, component: &ComponentId) -> f64 {
+        self.flows
+            .iter()
+            .map(|f| {
+                if &f.to == component {
+                    f.flow
+                } else if &f.from == component {
+                    -f.flow
+                } else {
+                    0.0
+                }
+            })
+            .sum()
+    }
+
+    /// Largest violation of mass conservation across non-boundary nodes;
+    /// should be at solver precision (≪ any physical flow).
+    pub fn max_conservation_error(&self, boundary: &[ComponentId]) -> f64 {
+        self.pressures
+            .keys()
+            .filter(|id| !boundary.contains(id))
+            .map(|id| self.net_inflow(id).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Shared fixtures for this crate's tests.
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use parchmint::geometry::Span;
+    use parchmint::{Component, Connection, Device, Entity, Layer, LayerType, Port, Target};
+
+    /// inlet → node → outlet, all defaults.
+    pub(crate) fn straight_device() -> Device {
+        Device::builder("straight")
+            .layer(Layer::new("flow", "flow", LayerType::Flow))
+            .component(
+                Component::new("in", "in", Entity::Port, ["flow"], Span::square(200))
+                    .with_port(Port::new("p", "flow", 200, 100)),
+            )
+            .component(
+                Component::new("mid", "mid", Entity::Node, ["flow"], Span::square(60))
+                    .with_port(Port::new("w", "flow", 0, 30))
+                    .with_port(Port::new("e", "flow", 60, 30)),
+            )
+            .component(
+                Component::new("out", "out", Entity::Port, ["flow"], Span::square(200))
+                    .with_port(Port::new("p", "flow", 0, 100)),
+            )
+            .connection(Connection::new(
+                "c1",
+                "c1",
+                "flow",
+                Target::new("in", "p"),
+                [Target::new("mid", "w")],
+            ))
+            .connection(Connection::new(
+                "c2",
+                "c2",
+                "flow",
+                Target::new("mid", "e"),
+                [Target::new("out", "p")],
+            ))
+            .build()
+            .unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tests_support::straight_device;
+    use super::*;
+    use parchmint::geometry::Span;
+    use parchmint::{Component, Connection, Entity, Layer, Port, Target, ValveType};
+
+    #[test]
+    fn series_channel_carries_uniform_flow() {
+        let device = straight_device();
+        let network = FlowNetwork::from_device(&device, Fluid::WATER);
+        assert_eq!(network.node_count(), 3);
+        assert_eq!(network.edge_count(), 2);
+        let solution = network
+            .solve(&[("in".into(), 1000.0), ("out".into(), 0.0)])
+            .unwrap();
+        let q1 = solution.flow_through(&"c1".into());
+        let q2 = solution.flow_through(&"c2".into());
+        assert!(q1 > 0.0, "flow runs downhill");
+        assert!((q1 - q2).abs() / q1 < 1e-9, "series flow equal: {q1} vs {q2}");
+        // Realistic magnitude: nL/s range for 1 kPa across two 2 mm channels.
+        assert!(q1 > 1e-12 && q1 < 1e-8, "q = {q1:.3e}");
+        // Midpoint pressure strictly between the rails.
+        let p_mid = solution.pressure(&"mid".into()).unwrap();
+        assert!(p_mid > 0.0 && p_mid < 1000.0);
+        assert!(solution.max_conservation_error(&["in".into(), "out".into()]) < q1 * 1e-9);
+    }
+
+    #[test]
+    fn reversed_pressure_reverses_flow() {
+        let device = straight_device();
+        let network = FlowNetwork::from_device(&device, Fluid::WATER);
+        let solution = network
+            .solve(&[("in".into(), 0.0), ("out".into(), 500.0)])
+            .unwrap();
+        assert!(solution.flow_through(&"c1".into()) < 0.0);
+    }
+
+    #[test]
+    fn parallel_branches_split_by_conductance() {
+        // in → splits into two branches (one long, one short) → out.
+        let device = Device::builder("par")
+            .layer(Layer::new("flow", "flow", LayerType::Flow))
+            .component(
+                Component::new("in", "in", Entity::Port, ["flow"], Span::square(200))
+                    .with_port(Port::new("p", "flow", 200, 100)),
+            )
+            .component(
+                Component::new("out", "out", Entity::Port, ["flow"], Span::square(200))
+                    .with_port(Port::new("p", "flow", 0, 100)),
+            )
+            .component(
+                Component::new("short", "short", Entity::Node, ["flow"], Span::square(60))
+                    .with_port(Port::new("w", "flow", 0, 30))
+                    .with_port(Port::new("e", "flow", 60, 30)),
+            )
+            .component(
+                // A serpentine mixer: far higher series resistance.
+                Component::new("long", "long", Entity::Mixer, ["flow"], Span::new(2000, 1000))
+                    .with_port(Port::new("in", "flow", 0, 500))
+                    .with_port(Port::new("out", "flow", 2000, 500)),
+            )
+            .connection(Connection::new("a1", "a1", "flow", Target::new("in", "p"), [Target::new("short", "w")]))
+            .connection(Connection::new("a2", "a2", "flow", Target::new("short", "e"), [Target::new("out", "p")]))
+            .connection(Connection::new("b1", "b1", "flow", Target::new("in", "p"), [Target::new("long", "in")]))
+            .connection(Connection::new("b2", "b2", "flow", Target::new("long", "out"), [Target::new("out", "p")]))
+            .build()
+            .unwrap();
+        let network = FlowNetwork::from_device(&device, Fluid::WATER);
+        let solution = network
+            .solve(&[("in".into(), 1000.0), ("out".into(), 0.0)])
+            .unwrap();
+        let q_short = solution.flow_through(&"a1".into());
+        let q_long = solution.flow_through(&"b1".into());
+        assert!(q_short > 2.0 * q_long, "short branch dominates: {q_short:.2e} vs {q_long:.2e}");
+        // Inflow at the source equals total outflow at the sink.
+        let src = solution.net_inflow(&"in".into());
+        let dst = solution.net_inflow(&"out".into());
+        assert!((src + dst).abs() < (q_short + q_long) * 1e-9);
+    }
+
+    #[test]
+    fn closed_valve_blocks_flow() {
+        let mut device = straight_device();
+        device.components.push(Component::new(
+            "v1",
+            "v1",
+            Entity::Valve,
+            ["flow"],
+            Span::square(300),
+        ));
+        device
+            .valves
+            .push(parchmint::Valve::new("v1", "c2", ValveType::NormallyOpen));
+
+        // At rest (normally open): conducts.
+        let open = FlowNetwork::from_device(&device, Fluid::WATER);
+        assert_eq!(open.edge_count(), 2);
+
+        // Explicitly closed: c2's conductance disappears; the outlet node
+        // remains but floats.
+        let mut states = BTreeMap::new();
+        states.insert(ComponentId::new("v1"), ValveState::Closed);
+        let closed = FlowNetwork::with_valve_states(&device, Fluid::WATER, &states);
+        assert_eq!(closed.edge_count(), 1);
+        let solution = closed
+            .solve(&[("in".into(), 1000.0), ("out".into(), 0.0)])
+            .unwrap();
+        assert_eq!(solution.flow_through(&"c1".into()), 0.0, "dead-ends carry no flow");
+    }
+
+    #[test]
+    fn normally_closed_valve_blocks_at_rest() {
+        let mut device = straight_device();
+        device.components.push(Component::new(
+            "v1",
+            "v1",
+            Entity::Valve,
+            ["flow"],
+            Span::square(300),
+        ));
+        device
+            .valves
+            .push(parchmint::Valve::new("v1", "c2", ValveType::NormallyClosed));
+        let rest = FlowNetwork::from_device(&device, Fluid::WATER);
+        assert_eq!(rest.edge_count(), 1);
+        // Opened explicitly: conducts again.
+        let mut states = BTreeMap::new();
+        states.insert(ComponentId::new("v1"), ValveState::Open);
+        let open = FlowNetwork::with_valve_states(&device, Fluid::WATER, &states);
+        assert_eq!(open.edge_count(), 2);
+    }
+
+    #[test]
+    fn boundary_errors() {
+        let device = straight_device();
+        let network = FlowNetwork::from_device(&device, Fluid::WATER);
+        assert!(matches!(network.solve(&[]), Err(SimError::NoBoundary)));
+        let err = network.solve(&[("ghost".into(), 1.0)]).unwrap_err();
+        assert!(matches!(err, SimError::UnknownNode(_)));
+        assert!(err.to_string().contains("ghost"));
+        assert!(network.contains(&"mid".into()));
+        assert!(!network.contains(&"ghost".into()));
+    }
+
+    #[test]
+    fn floating_region_rests_at_zero() {
+        // Two disconnected pairs; boundary only touches one.
+        let device = Device::builder("two")
+            .layer(Layer::new("flow", "flow", LayerType::Flow))
+            .component(
+                Component::new("a", "a", Entity::Port, ["flow"], Span::square(200))
+                    .with_port(Port::new("p", "flow", 200, 100)),
+            )
+            .component(
+                Component::new("b", "b", Entity::Port, ["flow"], Span::square(200))
+                    .with_port(Port::new("p", "flow", 0, 100)),
+            )
+            .component(
+                Component::new("c", "c", Entity::Port, ["flow"], Span::square(200))
+                    .with_port(Port::new("p", "flow", 200, 100)),
+            )
+            .component(
+                Component::new("d", "d", Entity::Port, ["flow"], Span::square(200))
+                    .with_port(Port::new("p", "flow", 0, 100)),
+            )
+            .connection(Connection::new("ab", "ab", "flow", Target::new("a", "p"), [Target::new("b", "p")]))
+            .connection(Connection::new("cd", "cd", "flow", Target::new("c", "p"), [Target::new("d", "p")]))
+            .build()
+            .unwrap();
+        let network = FlowNetwork::from_device(&device, Fluid::WATER);
+        let solution = network
+            .solve(&[("a".into(), 800.0), ("b".into(), 0.0)])
+            .unwrap();
+        assert!(solution.flow_through(&"ab".into()) > 0.0);
+        assert_eq!(solution.flow_through(&"cd".into()), 0.0);
+        assert_eq!(solution.pressure(&"c".into()), Some(0.0));
+    }
+
+    #[test]
+    fn routed_geometry_changes_resistance() {
+        use parchmint::geometry::Point;
+        let mut device = straight_device();
+        let base = FlowNetwork::from_device(&device, Fluid::WATER);
+        let q_base = base
+            .solve(&[("in".into(), 1000.0), ("out".into(), 0.0)])
+            .unwrap()
+            .flow_through(&"c1".into());
+        // Add an extremely long routed path for c1: flow must drop.
+        device.features.push(
+            parchmint::ConnectionFeature::new(
+                "rf1",
+                "c1",
+                "flow",
+                200,
+                50,
+                [Point::new(0, 0), Point::new(100_000, 0)],
+            )
+            .into(),
+        );
+        let routed = FlowNetwork::from_device(&device, Fluid::WATER);
+        let q_routed = routed
+            .solve(&[("in".into(), 1000.0), ("out".into(), 0.0)])
+            .unwrap()
+            .flow_through(&"c1".into());
+        assert!(q_routed < q_base / 2.0, "{q_routed:.2e} vs {q_base:.2e}");
+    }
+}

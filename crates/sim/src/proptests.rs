@@ -1,0 +1,120 @@
+//! Property-based tests on the hydraulic solver: physical invariants must
+//! hold for arbitrary synthetic networks and boundary conditions.
+
+use crate::network::FlowNetwork;
+use crate::resistance::Fluid;
+use crate::transport::concentrations;
+use parchmint::ComponentId;
+use parchmint_suite::{synthetic, SyntheticConfig};
+use proptest::prelude::*;
+
+fn config_strategy() -> impl Strategy<Value = SyntheticConfig> {
+    (2usize..6, 2usize..6, 0.0f64..1.0, 2usize..6, any::<u64>()).prop_map(
+        |(w, h, extra, io, seed)| SyntheticConfig {
+            grid_width: w,
+            grid_height: h,
+            extra_edge_probability: extra,
+            io_ports: io,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn mass_is_conserved(config in config_strategy(), drive in 100.0f64..10_000.0) {
+        let device = synthetic::generate("prop", &config);
+        let network = FlowNetwork::from_device(&device, Fluid::WATER);
+        let ports: Vec<ComponentId> = device
+            .components_of(&parchmint::Entity::Port)
+            .map(|c| c.id.clone())
+            .collect();
+        prop_assume!(ports.len() >= 2);
+        let boundary: Vec<(ComponentId, f64)> = ports
+            .iter()
+            .enumerate()
+            .map(|(i, id)| (id.clone(), if i == 0 { drive } else { 0.0 }))
+            .collect();
+        let solution = network.solve(&boundary).unwrap();
+        let driven = solution.net_inflow(&ports[0]).abs();
+        prop_assert!(driven > 0.0);
+        prop_assert!(solution.max_conservation_error(&ports) < driven.max(1e-18) * 1e-6);
+        // Boundary flows must sum to ~zero (everything in comes out).
+        let net: f64 = ports.iter().map(|p| solution.net_inflow(p)).sum();
+        prop_assert!(net.abs() < driven * 1e-6);
+    }
+
+    #[test]
+    fn pressures_obey_the_maximum_principle(config in config_strategy()) {
+        // Interior pressures lie within the range of boundary pressures.
+        let device = synthetic::generate("prop", &config);
+        let network = FlowNetwork::from_device(&device, Fluid::WATER);
+        let ports: Vec<ComponentId> = device
+            .components_of(&parchmint::Entity::Port)
+            .map(|c| c.id.clone())
+            .collect();
+        prop_assume!(ports.len() >= 2);
+        let boundary: Vec<(ComponentId, f64)> = ports
+            .iter()
+            .enumerate()
+            .map(|(i, id)| (id.clone(), 250.0 * i as f64))
+            .collect();
+        let (lo, hi) = (0.0, 250.0 * (ports.len() - 1) as f64);
+        let solution = network.solve(&boundary).unwrap();
+        for component in &device.components {
+            if let Some(p) = solution.pressure(&component.id) {
+                prop_assert!(
+                    p >= lo - 1e-9 && p <= hi + 1e-9,
+                    "pressure {p} outside [{lo}, {hi}] at {}", component.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn concentrations_stay_in_the_inlet_hull(config in config_strategy()) {
+        let device = synthetic::generate("prop", &config);
+        let network = FlowNetwork::from_device(&device, Fluid::WATER);
+        let ports: Vec<ComponentId> = device
+            .components_of(&parchmint::Entity::Port)
+            .map(|c| c.id.clone())
+            .collect();
+        prop_assume!(ports.len() >= 2);
+        let boundary: Vec<(ComponentId, f64)> = ports
+            .iter()
+            .enumerate()
+            .map(|(i, id)| (id.clone(), if i == 0 { 1000.0 } else { 0.0 }))
+            .collect();
+        let solution = network.solve(&boundary).unwrap();
+        let c = concentrations(&solution, &[(ports[0].clone(), 1.0)]).unwrap();
+        for (id, value) in &c {
+            prop_assert!(
+                (-1e-9..=1.0 + 1e-9).contains(value),
+                "concentration {value} at {id} escapes [0, 1]"
+            );
+        }
+    }
+
+    #[test]
+    fn flow_scales_linearly_with_pressure(config in config_strategy()) {
+        let device = synthetic::generate("prop", &config);
+        let network = FlowNetwork::from_device(&device, Fluid::WATER);
+        let ports: Vec<ComponentId> = device
+            .components_of(&parchmint::Entity::Port)
+            .map(|c| c.id.clone())
+            .collect();
+        prop_assume!(ports.len() >= 2);
+        let boundary_at = |p: f64| -> Vec<(ComponentId, f64)> {
+            ports
+                .iter()
+                .enumerate()
+                .map(|(i, id)| (id.clone(), if i == 0 { p } else { 0.0 }))
+                .collect()
+        };
+        let q1 = network.solve(&boundary_at(1000.0)).unwrap().net_inflow(&ports[0]);
+        let q3 = network.solve(&boundary_at(3000.0)).unwrap().net_inflow(&ports[0]);
+        prop_assert!((q3 - 3.0 * q1).abs() <= q1.abs() * 1e-6 + 1e-18);
+    }
+}

@@ -1,0 +1,208 @@
+//! Hydraulic resistance models.
+//!
+//! Pressure-driven laminar flow through a rectangular microchannel obeys
+//! `Q = ΔP / R` with the standard shallow-channel approximation
+//!
+//! ```text
+//! R = 12 µ L / (w h³ (1 − 0.63 h/w)),   h ≤ w
+//! ```
+//!
+//! (µ: dynamic viscosity, L/w/h: channel length/width/depth). Components
+//! contribute a series resistance for the internal path they impose,
+//! estimated from their footprint and entity class.
+
+use parchmint::{Component, Entity};
+
+/// Fluid properties used by the solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fluid {
+    /// Dynamic viscosity, in Pa·s.
+    pub viscosity: f64,
+}
+
+impl Fluid {
+    /// Water at room temperature (µ = 1.0 mPa·s).
+    pub const WATER: Fluid = Fluid { viscosity: 1.0e-3 };
+}
+
+impl Default for Fluid {
+    fn default() -> Self {
+        Fluid::WATER
+    }
+}
+
+/// Rectangular channel geometry, in micrometres.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelGeometry {
+    /// Flow-path length, µm.
+    pub length_um: f64,
+    /// Channel width, µm.
+    pub width_um: f64,
+    /// Channel depth, µm.
+    pub depth_um: f64,
+}
+
+impl ChannelGeometry {
+    /// Creates a geometry, clamping all extents to at least 1 µm.
+    pub fn new(length_um: f64, width_um: f64, depth_um: f64) -> Self {
+        ChannelGeometry {
+            length_um: length_um.max(1.0),
+            width_um: width_um.max(1.0),
+            depth_um: depth_um.max(1.0),
+        }
+    }
+
+    /// Hydraulic resistance in Pa·s/m³.
+    pub fn resistance(&self, fluid: Fluid) -> f64 {
+        const UM: f64 = 1e-6;
+        let length = self.length_um * UM;
+        // The approximation requires h ≤ w; the duct is symmetric in (w, h).
+        let (w, h) = if self.width_um >= self.depth_um {
+            (self.width_um * UM, self.depth_um * UM)
+        } else {
+            (self.depth_um * UM, self.width_um * UM)
+        };
+        let aspect_correction = 1.0 - 0.63 * h / w;
+        12.0 * fluid.viscosity * length / (w * h.powi(3) * aspect_correction)
+    }
+}
+
+/// Default channel width when a connection declares none, µm.
+pub const DEFAULT_CHANNEL_WIDTH: f64 = 200.0;
+
+/// Default channel depth, µm.
+pub const DEFAULT_CHANNEL_DEPTH: f64 = 50.0;
+
+/// Default channel length when the device carries no routed geometry, µm.
+pub const DEFAULT_CHANNEL_LENGTH: f64 = 2000.0;
+
+/// Estimated internal flow-path resistance of a component, in Pa·s/m³.
+///
+/// Serpentine mixers fold a long channel into their footprint (length ≈
+/// `numBends × height`); chambers and traps are wide, low-resistance
+/// cavities; junction nodes are negligible. These coefficients only need to
+/// be *relatively* right: network analyses (split ratios, gradients) depend
+/// on resistance ratios, not absolute values.
+pub fn component_resistance(component: &Component, fluid: Fluid) -> f64 {
+    let span_x = component.span.x as f64;
+    let span_y = component.span.y as f64;
+    let width = component
+        .params
+        .get_f64("channelWidth")
+        .unwrap_or(DEFAULT_CHANNEL_WIDTH);
+    let depth = DEFAULT_CHANNEL_DEPTH;
+
+    let geometry = match &component.entity {
+        Entity::Node | Entity::Via | Entity::Port => {
+            // Negligible path; keep a tiny series term for conditioning.
+            ChannelGeometry::new(span_x.max(60.0) / 2.0, width, depth)
+        }
+        Entity::Mixer | Entity::CurvedMixer | Entity::SquareMixer => {
+            let bends = component.params.get_f64("numBends").unwrap_or(5.0).max(1.0);
+            ChannelGeometry::new(bends * span_y + span_x, width, depth)
+        }
+        Entity::RotaryMixer => {
+            let radius = component.params.get_f64("radius").unwrap_or(span_x / 2.0);
+            ChannelGeometry::new(std::f64::consts::PI * radius, width, depth)
+        }
+        Entity::ReactionChamber | Entity::DiamondChamber | Entity::LongCellTrap => {
+            // A wide cavity: treat the whole span as the duct cross-section.
+            ChannelGeometry::new(span_x, span_y.max(width), depth)
+        }
+        Entity::CellTrap | Entity::Filter => {
+            // Constricted paths: narrow effective width.
+            ChannelGeometry::new(span_x, width / 2.0, depth)
+        }
+        Entity::Tree | Entity::YTree | Entity::Mux | Entity::GradientGenerator => {
+            ChannelGeometry::new(span_x, width, depth)
+        }
+        _ => ChannelGeometry::new((span_x + span_y) / 2.0, width, depth),
+    };
+    geometry.resistance(fluid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parchmint::geometry::Span;
+    use parchmint::Params;
+
+    #[test]
+    fn resistance_scales_linearly_with_length() {
+        let short = ChannelGeometry::new(1000.0, 200.0, 50.0).resistance(Fluid::WATER);
+        let long = ChannelGeometry::new(2000.0, 200.0, 50.0).resistance(Fluid::WATER);
+        assert!((long / short - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resistance_is_cubic_in_depth() {
+        let shallow = ChannelGeometry::new(1000.0, 400.0, 25.0).resistance(Fluid::WATER);
+        let deep = ChannelGeometry::new(1000.0, 400.0, 50.0).resistance(Fluid::WATER);
+        // Depth doubles: h³ term gives ~8×, aspect correction nudges it.
+        let ratio = shallow / deep;
+        assert!(ratio > 6.0 && ratio < 9.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn symmetric_in_width_and_depth() {
+        let a = ChannelGeometry::new(1000.0, 400.0, 50.0).resistance(Fluid::WATER);
+        let b = ChannelGeometry::new(1000.0, 50.0, 400.0).resistance(Fluid::WATER);
+        assert!((a - b).abs() / a < 1e-12);
+    }
+
+    #[test]
+    fn realistic_magnitude() {
+        // A 1 mm × 200 µm × 50 µm water channel is ~5.7e11 Pa·s/m³;
+        // 1 kPa then drives ~1.8 µL/s. Sanity band, not an exact value.
+        let r = ChannelGeometry::new(1000.0, 200.0, 50.0).resistance(Fluid::WATER);
+        assert!(r > 1e11 && r < 1e13, "R = {r:.3e}");
+        let q = 1000.0 / r; // m³/s at 1 kPa
+        assert!(q > 1e-10 && q < 1e-8, "Q = {q:.3e}");
+    }
+
+    #[test]
+    fn extents_are_clamped() {
+        let g = ChannelGeometry::new(-5.0, 0.0, 0.0);
+        assert_eq!(g.length_um, 1.0);
+        assert!(g.resistance(Fluid::WATER).is_finite());
+    }
+
+    #[test]
+    fn mixer_resistance_grows_with_bends() {
+        let few = parchmint::Component::new("m", "m", Entity::Mixer, ["f"], Span::new(1400, 1000))
+            .with_params(Params::new().with("numBends", 2));
+        let many = parchmint::Component::new("m", "m", Entity::Mixer, ["f"], Span::new(1400, 1000))
+            .with_params(Params::new().with("numBends", 12));
+        assert!(
+            component_resistance(&many, Fluid::WATER)
+                > 3.0 * component_resistance(&few, Fluid::WATER)
+        );
+    }
+
+    #[test]
+    fn chambers_are_low_resistance() {
+        let chamber = parchmint::Component::new(
+            "c",
+            "c",
+            Entity::ReactionChamber,
+            ["f"],
+            Span::new(1400, 800),
+        );
+        let mixer = parchmint::Component::new("m", "m", Entity::Mixer, ["f"], Span::new(1400, 800))
+            .with_params(Params::new().with("numBends", 6));
+        assert!(
+            component_resistance(&chamber, Fluid::WATER)
+                < component_resistance(&mixer, Fluid::WATER) / 10.0
+        );
+    }
+
+    #[test]
+    fn nodes_are_negligible() {
+        let node = parchmint::Component::new("n", "n", Entity::Node, ["f"], Span::square(60));
+        let mixer = parchmint::Component::new("m", "m", Entity::Mixer, ["f"], Span::new(1400, 800));
+        assert!(
+            component_resistance(&node, Fluid::WATER)
+                < component_resistance(&mixer, Fluid::WATER) / 50.0
+        );
+    }
+}

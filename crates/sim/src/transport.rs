@@ -1,0 +1,273 @@
+//! Steady-state concentration transport.
+//!
+//! Given a solved flow field and inlet concentrations, the steady-state
+//! concentration at every node follows from flow-weighted mixing: a node's
+//! outgoing concentration is the flow-weighted average of its inflows
+//! (perfect mixing at junctions, pure advection in channels — the standard
+//! network-level model for diffusive mixers). This is again a linear
+//! system, solved with the same dense solver.
+
+use crate::linear::{solve, DenseMatrix};
+use crate::network::{SimError, Solution};
+use parchmint::ComponentId;
+use std::collections::BTreeMap;
+
+/// Steady-state concentrations (arbitrary units, e.g. normalized 0..1) at
+/// every node of a solved network.
+///
+/// `inlets` pins concentrations at source nodes (typically the inlet
+/// ports). Nodes with no inflow and no pin rest at concentration 0.
+///
+/// # Examples
+///
+/// ```
+/// use parchmint_sim::{concentrations, Fluid, FlowNetwork};
+///
+/// let chip = parchmint_suite::by_name("molecular_gradient_generator").unwrap().device();
+/// let network = FlowNetwork::from_device(&chip, Fluid::WATER);
+/// let boundary: Vec<(parchmint::ComponentId, f64)> = [
+///     ("in_a", 1000.0), ("in_b", 1000.0),
+///     ("out_0", 0.0), ("out_1", 0.0), ("out_2", 0.0), ("out_3", 0.0),
+///     ("out_4", 0.0), ("out_5", 0.0), ("out_6", 0.0),
+/// ].into_iter().map(|(n, p)| (n.into(), p)).collect();
+/// let flow = network.solve(&boundary).unwrap();
+/// let c = concentrations(&flow, &[("in_a".into(), 1.0), ("in_b".into(), 0.0)]).unwrap();
+/// // The extreme outlets carry the pure streams.
+/// assert!(c[&parchmint::ComponentId::new("out_0")] > 0.95);
+/// assert!(c[&parchmint::ComponentId::new("out_6")] < 0.05);
+/// ```
+pub fn concentrations(
+    solution: &Solution,
+    inlets: &[(ComponentId, f64)],
+) -> Result<BTreeMap<ComponentId, f64>, SimError> {
+    // Collect the node set from the solution's flows and pressures.
+    let mut ids: Vec<ComponentId> = Vec::new();
+    let mut index: BTreeMap<ComponentId, usize> = BTreeMap::new();
+    let intern = |id: &ComponentId, ids: &mut Vec<ComponentId>,
+                      index: &mut BTreeMap<ComponentId, usize>| {
+        *index.entry(id.clone()).or_insert_with(|| {
+            ids.push(id.clone());
+            ids.len() - 1
+        })
+    };
+    for flow in solution.flows() {
+        intern(&flow.from, &mut ids, &mut index);
+        intern(&flow.to, &mut ids, &mut index);
+    }
+
+    let mut pinned: BTreeMap<usize, f64> = BTreeMap::new();
+    for (id, value) in inlets {
+        let Some(&i) = index.get(id) else {
+            return Err(SimError::UnknownNode(id.clone()));
+        };
+        pinned.insert(i, *value);
+    }
+
+    // Directed inflow lists: edge flow q from `from`→`to` when q > 0.
+    // Flows at solver-noise level (≤ 1e-12 of the largest flow) are treated
+    // as zero: a numerically tiny circulation between two otherwise
+    // stagnant nodes would otherwise make their mixing equations singular.
+    let max_flow = solution
+        .flows()
+        .iter()
+        .fold(0.0f64, |acc, f| acc.max(f.flow.abs()));
+    let threshold = max_flow * 1e-12;
+    let n = ids.len();
+    let mut inflows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for flow in solution.flows() {
+        let (a, b) = (index[&flow.from], index[&flow.to]);
+        if flow.flow > threshold {
+            inflows[b].push((a, flow.flow));
+        } else if flow.flow < -threshold {
+            inflows[a].push((b, -flow.flow));
+        }
+    }
+
+    // Unknowns: unpinned nodes. Equation per unknown i:
+    //   (Σ q_in) · c_i − Σ q_in(j) · c_j = 0
+    // Nodes without inflow get c_i = 0 (identity row).
+    let unknowns: Vec<usize> = (0..n).filter(|i| !pinned.contains_key(i)).collect();
+    let unknown_index: BTreeMap<usize, usize> = unknowns
+        .iter()
+        .enumerate()
+        .map(|(k, &i)| (i, k))
+        .collect();
+
+    let m = unknowns.len();
+    let mut a = DenseMatrix::zeros(m);
+    let mut b = vec![0.0; m];
+    for (row, &i) in unknowns.iter().enumerate() {
+        let total_in: f64 = inflows[i].iter().map(|(_, q)| q).sum();
+        if total_in <= 0.0 {
+            a[(row, row)] = 1.0; // c_i = 0
+            continue;
+        }
+        a[(row, row)] = total_in;
+        for &(j, q) in &inflows[i] {
+            match unknown_index.get(&j) {
+                Some(&col) => a[(row, col)] -= q,
+                None => b[row] += q * pinned[&j],
+            }
+        }
+    }
+    let x = solve(a, b).map_err(|_| SimError::Singular)?;
+
+    let mut result = BTreeMap::new();
+    for (i, id) in ids.iter().enumerate() {
+        let c = match pinned.get(&i) {
+            Some(&v) => v,
+            None => x[unknown_index[&i]],
+        };
+        result.insert(id.clone(), c);
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::FlowNetwork;
+    use crate::resistance::Fluid;
+    use parchmint::geometry::Span;
+    use parchmint::{Component, Connection, Device, Entity, Layer, LayerType, Port, Target};
+
+    /// Two inlets merge at a node and exit: c_out is the flow-weighted mix.
+    fn merge_device() -> Device {
+        Device::builder("merge")
+            .layer(Layer::new("flow", "flow", LayerType::Flow))
+            .component(
+                Component::new("a", "a", Entity::Port, ["flow"], Span::square(200))
+                    .with_port(Port::new("p", "flow", 200, 100)),
+            )
+            .component(
+                Component::new("b", "b", Entity::Port, ["flow"], Span::square(200))
+                    .with_port(Port::new("p", "flow", 200, 100)),
+            )
+            .component(
+                Component::new("j", "j", Entity::Node, ["flow"], Span::square(60))
+                    .with_port(Port::new("w", "flow", 0, 30))
+                    .with_port(Port::new("s", "flow", 30, 0))
+                    .with_port(Port::new("e", "flow", 60, 30)),
+            )
+            .component(
+                Component::new("out", "out", Entity::Port, ["flow"], Span::square(200))
+                    .with_port(Port::new("p", "flow", 0, 100)),
+            )
+            .connection(Connection::new("ca", "ca", "flow", Target::new("a", "p"), [Target::new("j", "w")]))
+            .connection(Connection::new("cb", "cb", "flow", Target::new("b", "p"), [Target::new("j", "s")]))
+            .connection(Connection::new("co", "co", "flow", Target::new("j", "e"), [Target::new("out", "p")]))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn symmetric_merge_gives_half() {
+        let device = merge_device();
+        let network = FlowNetwork::from_device(&device, Fluid::WATER);
+        let flow = network
+            .solve(&[("a".into(), 1000.0), ("b".into(), 1000.0), ("out".into(), 0.0)])
+            .unwrap();
+        let c = concentrations(&flow, &[("a".into(), 1.0), ("b".into(), 0.0)]).unwrap();
+        let out = c[&ComponentId::new("out")];
+        assert!((out - 0.5).abs() < 1e-9, "symmetric mix should be 0.5, got {out}");
+    }
+
+    #[test]
+    fn asymmetric_pressures_bias_the_mix() {
+        // Symmetric resistances: the junction sits at the mean of the three
+        // rails (900 Pa), so inflows are q_a ∝ 600, q_b ∝ 300 → mix = 2/3.
+        let device = merge_device();
+        let network = FlowNetwork::from_device(&device, Fluid::WATER);
+        let flow = network
+            .solve(&[("a".into(), 1500.0), ("b".into(), 1200.0), ("out".into(), 0.0)])
+            .unwrap();
+        let c = concentrations(&flow, &[("a".into(), 1.0), ("b".into(), 0.0)]).unwrap();
+        let out = c[&ComponentId::new("out")];
+        assert!((out - 2.0 / 3.0).abs() < 1e-9, "expected 2/3, got {out}");
+    }
+
+    #[test]
+    fn concentration_is_conserved_along_a_chain() {
+        // Single path: the outlet sees exactly the inlet concentration.
+        let device = crate::network::tests_support::straight_device();
+        let network = FlowNetwork::from_device(&device, Fluid::WATER);
+        let flow = network
+            .solve(&[("in".into(), 1000.0), ("out".into(), 0.0)])
+            .unwrap();
+        let c = concentrations(&flow, &[("in".into(), 0.73)]).unwrap();
+        assert!((c[&ComponentId::new("out")] - 0.73).abs() < 1e-12);
+        assert!((c[&ComponentId::new("mid")] - 0.73).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_inlet_errors() {
+        let device = merge_device();
+        let network = FlowNetwork::from_device(&device, Fluid::WATER);
+        let flow = network
+            .solve(&[("a".into(), 1000.0), ("out".into(), 0.0)])
+            .unwrap();
+        assert!(matches!(
+            concentrations(&flow, &[("ghost".into(), 1.0)]),
+            Err(SimError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn gradient_generator_produces_monotone_gradient() {
+        let device = parchmint_suite::by_name("molecular_gradient_generator")
+            .unwrap()
+            .device();
+        let network = FlowNetwork::from_device(&device, Fluid::WATER);
+        let mut boundary: Vec<(ComponentId, f64)> = vec![
+            ("in_a".into(), 1000.0),
+            ("in_b".into(), 1000.0),
+        ];
+        for i in 0..7 {
+            boundary.push((format!("out_{i}").into(), 0.0));
+        }
+        let flow = network.solve(&boundary).unwrap();
+        let c = concentrations(&flow, &[("in_a".into(), 1.0), ("in_b".into(), 0.0)]).unwrap();
+        let outlet_values: Vec<f64> = (0..7)
+            .map(|i| c[&ComponentId::new(format!("out_{i}"))])
+            .collect();
+        // The headline functional claim: a monotone concentration ladder,
+        // pure at the rails.
+        assert!(outlet_values[0] > 0.95, "{outlet_values:?}");
+        assert!(outlet_values[6] < 0.05, "{outlet_values:?}");
+        for pair in outlet_values.windows(2) {
+            assert!(
+                pair[0] >= pair[1] - 1e-9,
+                "gradient must be monotone: {outlet_values:?}"
+            );
+        }
+        // And it is a genuine gradient, not a step: interior values exist.
+        assert!(outlet_values[3] > 0.2 && outlet_values[3] < 0.8, "{outlet_values:?}");
+    }
+
+    #[test]
+    fn hin_ladder_dilutes_monotonically() {
+        let device = parchmint_suite::by_name("hemagglutination_inhibition")
+            .unwrap()
+            .device();
+        let network = FlowNetwork::from_device(&device, Fluid::WATER);
+        let mut boundary: Vec<(ComponentId, f64)> = vec![
+            ("in_serum".into(), 1200.0),
+            ("in_diluent".into(), 1200.0),
+            ("in_rbc".into(), 1200.0),
+            ("out_waste".into(), 0.0),
+        ];
+        for i in 0..8 {
+            boundary.push((format!("out_well_{i}").into(), 0.0));
+        }
+        let flow = network.solve(&boundary).unwrap();
+        let c = concentrations(&flow, &[("in_serum".into(), 1.0)]).unwrap();
+        let wells: Vec<f64> = (0..8)
+            .map(|i| c[&ComponentId::new(format!("well_{i}"))])
+            .collect();
+        // Serum concentration must decay down the dilution ladder.
+        assert!(wells[0] > wells[7], "{wells:?}");
+        for pair in wells.windows(2) {
+            assert!(pair[0] >= pair[1] - 1e-9, "dilution must be monotone: {wells:?}");
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Per-device characterization statistics.
+
+use parchmint::{Device, EntityClass, LayerType};
+use parchmint_graph::{GraphMetrics, Netlist};
+use serde::{Deserialize, Serialize};
+
+/// Everything the suite-characterization table (experiment E1, the paper's
+/// Table 1 analogue) reports about one device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceStats {
+    /// Device name.
+    pub name: String,
+    /// Total layers.
+    pub layers: usize,
+    /// Flow layers.
+    pub flow_layers: usize,
+    /// Control layers.
+    pub control_layers: usize,
+    /// Component instances.
+    pub components: usize,
+    /// Connections (hyperedges).
+    pub connections: usize,
+    /// Total declared ports across components.
+    pub ports: usize,
+    /// Valve bindings.
+    pub valves: usize,
+    /// Distinct entities used.
+    pub distinct_entities: usize,
+    /// Component count per entity class, indexed like [`EntityClass::ALL`].
+    pub class_histogram: [usize; 7],
+    /// Structural metrics of the expanded netlist graph.
+    pub graph: GraphMetrics,
+    /// Single-point-of-failure channels: bridges of the netlist graph.
+    pub bridges: usize,
+    /// Size of the compact JSON serialization, in bytes.
+    pub json_bytes: usize,
+}
+
+impl DeviceStats {
+    /// Computes all statistics for `device`.
+    pub fn of(device: &Device) -> Self {
+        let netlist = Netlist::from_device(device);
+        let graph = GraphMetrics::of(netlist.graph());
+        let bridges = parchmint_graph::bridges(netlist.graph()).len();
+
+        let mut class_histogram = [0usize; 7];
+        let mut entities: Vec<&str> = Vec::new();
+        for component in &device.components {
+            let class_index = EntityClass::ALL
+                .iter()
+                .position(|c| *c == component.entity.class())
+                .expect("class is in ALL");
+            class_histogram[class_index] += 1;
+            if !entities.contains(&component.entity.name()) {
+                entities.push(component.entity.name());
+            }
+        }
+
+        let json_bytes = device.to_json().map(|s| s.len()).unwrap_or(0);
+
+        DeviceStats {
+            name: device.name.clone(),
+            layers: device.layers.len(),
+            flow_layers: device
+                .layers
+                .iter()
+                .filter(|l| l.layer_type == LayerType::Flow)
+                .count(),
+            control_layers: device
+                .layers
+                .iter()
+                .filter(|l| l.layer_type == LayerType::Control)
+                .count(),
+            components: device.components.len(),
+            connections: device.connections.len(),
+            ports: device.port_count(),
+            valves: device.valves.len(),
+            distinct_entities: entities.len(),
+            class_histogram,
+            graph,
+            bridges,
+            json_bytes,
+        }
+    }
+
+    /// Component count in `class`.
+    pub fn class_count(&self, class: EntityClass) -> usize {
+        let index = EntityClass::ALL
+            .iter()
+            .position(|c| *c == class)
+            .expect("class is in ALL");
+        self.class_histogram[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_a_valve_heavy_benchmark() {
+        let d = parchmint_suite::by_name("chromatin_immunoprecipitation")
+            .unwrap()
+            .device();
+        let s = DeviceStats::of(&d);
+        assert_eq!(s.name, "chromatin_immunoprecipitation");
+        assert_eq!(s.layers, 2);
+        assert_eq!(s.flow_layers, 1);
+        assert_eq!(s.control_layers, 1);
+        assert_eq!(s.valves, 20);
+        assert_eq!(s.components, d.components.len());
+        assert_eq!(s.class_count(EntityClass::Control), 20, "19 valves + 1 pump");
+        assert!(s.json_bytes > 1000);
+        assert!(s.graph.nodes == s.components);
+    }
+
+    #[test]
+    fn class_histogram_sums_to_components() {
+        for b in parchmint_suite::suite() {
+            let s = DeviceStats::of(&b.device());
+            let total: usize = s.class_histogram.iter().sum();
+            assert_eq!(total, s.components, "histogram mismatch for {}", s.name);
+        }
+    }
+
+    #[test]
+    fn flow_only_devices_have_no_control() {
+        let d = parchmint_suite::by_name("molecular_gradient_generator")
+            .unwrap()
+            .device();
+        let s = DeviceStats::of(&d);
+        assert_eq!(s.control_layers, 0);
+        assert_eq!(s.valves, 0);
+        assert!(s.graph.is_connected());
+    }
+}

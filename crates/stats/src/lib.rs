@@ -1,0 +1,22 @@
+//! # parchmint-stats
+//!
+//! Suite characterization: the statistics tables that regenerate the
+//! paper's benchmark-characteristics table (experiment E1) and its
+//! entity-distribution companion figure.
+//!
+//! ```
+//! use parchmint_stats::DeviceStats;
+//!
+//! let chip = parchmint_suite::by_name("logic_gate_or").unwrap().device();
+//! let stats = DeviceStats::of(&chip);
+//! assert_eq!(stats.components, chip.components.len());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod characterize;
+pub mod table;
+
+pub use characterize::DeviceStats;
+pub use table::{characterize_suite, SuiteTable};

@@ -1,0 +1,217 @@
+//! Table rendering for suite characterization.
+
+use crate::characterize::DeviceStats;
+use parchmint::EntityClass;
+use std::fmt::Write as _;
+
+/// A collection of per-device statistics with table renderers.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SuiteTable {
+    rows: Vec<DeviceStats>,
+}
+
+impl SuiteTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        SuiteTable::default()
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, stats: DeviceStats) {
+        self.rows.push(stats);
+    }
+
+    /// The accumulated rows.
+    pub fn rows(&self) -> &[DeviceStats] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    const COLUMNS: &'static [&'static str] = &[
+        "benchmark",
+        "layers",
+        "components",
+        "connections",
+        "ports",
+        "valves",
+        "entities",
+        "graph_edges",
+        "diameter",
+        "bridges",
+        "planar_ok",
+        "json_kb",
+    ];
+
+    fn cells(stats: &DeviceStats) -> Vec<String> {
+        vec![
+            stats.name.clone(),
+            stats.layers.to_string(),
+            stats.components.to_string(),
+            stats.connections.to_string(),
+            stats.ports.to_string(),
+            stats.valves.to_string(),
+            stats.distinct_entities.to_string(),
+            stats.graph.edges.to_string(),
+            stats.graph.diameter.to_string(),
+            stats.bridges.to_string(),
+            if stats.graph.satisfies_planar_bound { "yes" } else { "no" }.to_string(),
+            format!("{:.1}", stats.json_bytes as f64 / 1024.0),
+        ]
+    }
+
+    /// Fixed-width plain-text rendering (the harness's console output).
+    pub fn render_text(&self) -> String {
+        let mut widths: Vec<usize> = Self::COLUMNS.iter().map(|c| c.len()).collect();
+        let all_cells: Vec<Vec<String>> = self.rows.iter().map(Self::cells).collect();
+        for cells in &all_cells {
+            for (w, cell) in widths.iter_mut().zip(cells) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, col) in Self::COLUMNS.iter().enumerate() {
+            let _ = write!(out, "{:<width$}  ", col, width = widths[i]);
+        }
+        out.push('\n');
+        for cells in &all_cells {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<width$}  ", cell, width = widths[i]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// GitHub-flavoured markdown rendering (used in EXPERIMENTS.md).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("| ");
+        out.push_str(&Self::COLUMNS.join(" | "));
+        out.push_str(" |\n|");
+        out.push_str(&"---|".repeat(Self::COLUMNS.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str("| ");
+            out.push_str(&Self::cells(row).join(" | "));
+            out.push_str(" |\n");
+        }
+        out
+    }
+
+    /// Pretty JSON rendering (machine-readable characterization export).
+    pub fn render_json(&self) -> String {
+        serde_json::to_string_pretty(&self.rows).expect("stats serialize") + "\n"
+    }
+
+    /// CSV rendering.
+    pub fn render_csv(&self) -> String {
+        let mut out = Self::COLUMNS.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&Self::cells(row).join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The suite-wide entity-class histogram (experiment E1's companion
+    /// figure): summed component counts per class across all rows.
+    pub fn class_totals(&self) -> Vec<(EntityClass, usize)> {
+        EntityClass::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, class)| (*class, self.rows.iter().map(|r| r.class_histogram[i]).sum()))
+            .collect()
+    }
+}
+
+impl FromIterator<DeviceStats> for SuiteTable {
+    fn from_iter<T: IntoIterator<Item = DeviceStats>>(iter: T) -> Self {
+        SuiteTable {
+            rows: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Characterizes the full benchmark suite (all 18 devices).
+pub fn characterize_suite() -> SuiteTable {
+    parchmint_suite::suite()
+        .iter()
+        .map(|b| DeviceStats::of(&b.device()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_table() -> SuiteTable {
+        ["logic_gate_or", "rotary_pump_mixer"]
+            .iter()
+            .map(|n| DeviceStats::of(&parchmint_suite::by_name(n).unwrap().device()))
+            .collect()
+    }
+
+    #[test]
+    fn text_table_aligns_and_contains_rows() {
+        let t = small_table();
+        let text = t.render_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("benchmark"));
+        assert!(lines[1].starts_with("logic_gate_or"));
+        assert!(lines[2].starts_with("rotary_pump_mixer"));
+    }
+
+    #[test]
+    fn markdown_has_separator_row() {
+        let t = small_table();
+        let md = t.render_markdown();
+        assert!(md.lines().nth(1).unwrap().starts_with("|---"));
+        assert_eq!(md.lines().count(), 4);
+    }
+
+    #[test]
+    fn csv_rows_have_constant_arity() {
+        let t = small_table();
+        let csv = t.render_csv();
+        let arities: Vec<usize> = csv.lines().map(|l| l.split(',').count()).collect();
+        assert!(arities.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn json_rendering_round_trips() {
+        let t = small_table();
+        let json = t.render_json();
+        let back: Vec<DeviceStats> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), t.rows().len());
+        for (parsed, original) in back.iter().zip(t.rows()) {
+            assert_eq!(parsed.name, original.name);
+            assert_eq!(parsed.components, original.components);
+            assert_eq!(parsed.class_histogram, original.class_histogram);
+            assert_eq!(parsed.graph.diameter, original.graph.diameter);
+            // Floats round-trip through JSON's shortest representation,
+            // which can differ in the last ULP.
+            assert!((parsed.graph.mean_degree - original.graph.mean_degree).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn class_totals_sum_matches_components() {
+        let t = small_table();
+        let total_components: usize = t.rows().iter().map(|r| r.components).sum();
+        let class_sum: usize = t.class_totals().iter().map(|(_, n)| n).sum();
+        assert_eq!(total_components, class_sum);
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,123 @@
+//! AquaFlex-style protocol chips (variants 3b and 5a).
+//!
+//! Multi-lane sample-preparation chips: each lane filters, mixes with a
+//! shared reagent, incubates, and collects, with per-lane isolation valves
+//! on a control layer. The `3b` variant has three lanes and a single
+//! reagent; `5a` has five lanes, a second reagent tree, and lane-level
+//! curved mixers — matching the way the original suite's two AquaFlex
+//! conversions differ in scale.
+
+use crate::primitives;
+use crate::sketch::Sketch;
+use parchmint::geometry::Span;
+use parchmint::{Device, ValveType};
+
+fn aquaflex(name: &str, lanes: usize, second_reagent: bool) -> Device {
+    let mut s = Sketch::flow_and_control(name);
+
+    let sample_in = s.add(primitives::io_port("in_sample", "flow"));
+    let spread = s.add(primitives::tree("sample_tree", "flow", lanes as i64));
+    s.wire("flow", sample_in.port("p"), spread.port("in"));
+
+    let reagent_in = s.add(primitives::io_port("in_reagent", "flow"));
+    let reagent_tree = s.add(primitives::tree("reagent_tree", "flow", lanes as i64));
+    s.wire("flow", reagent_in.port("p"), reagent_tree.port("in"));
+
+    let second_tree = if second_reagent {
+        let r2_in = s.add(primitives::io_port("in_reagent2", "flow"));
+        let tree = s.add(primitives::tree("reagent2_tree", "flow", lanes as i64));
+        s.wire("flow", r2_in.port("p"), tree.port("in"));
+        Some(tree)
+    } else {
+        None
+    };
+
+    for lane in 0..lanes {
+        let filter = s.add(primitives::filter(&format!("filter_{lane}"), "flow"));
+        s.wire("flow", spread.port(&format!("out{lane}")), filter.port("in"));
+
+        let merge = s.add(primitives::node(&format!("merge_{lane}"), "flow"));
+        s.wire("flow", filter.port("out"), merge.port("w"));
+        let reagent_feed = s.wire(
+            "flow",
+            reagent_tree.port(&format!("out{lane}")),
+            merge.port("s"),
+        );
+        let v_reagent = s.add(primitives::valve(&format!("v_reagent_{lane}"), "control"));
+        s.bind_valve(&v_reagent, reagent_feed, ValveType::NormallyClosed);
+        let ctl = s.add(primitives::io_port(&format!("ctl_reagent_{lane}"), "control"));
+        s.wire("control", ctl.port("p"), v_reagent.port("actuate"));
+
+        let mixer = s.add(primitives::mixer(&format!("mix_{lane}"), "flow", 6));
+        s.wire("flow", merge.port("e"), mixer.port("in"));
+
+        // The 5a variant adds a polishing curved mixer fed by reagent 2.
+        let incubate_input = if let Some(tree) = &second_tree {
+            let merge2 = s.add(primitives::node(&format!("merge2_{lane}"), "flow"));
+            s.wire("flow", mixer.port("out"), merge2.port("w"));
+            s.wire("flow", tree.port(&format!("out{lane}")), merge2.port("s"));
+            let polish = s.add(primitives::curved_mixer(&format!("polish_{lane}"), "flow", 4));
+            s.wire("flow", merge2.port("e"), polish.port("in"));
+            polish.port("out")
+        } else {
+            mixer.port("out")
+        };
+
+        let incubate = s.add(primitives::reaction_chamber(
+            &format!("incubate_{lane}"),
+            "flow",
+            Span::new(1600, 900),
+        ));
+        s.wire("flow", incubate_input, incubate.port("in"));
+
+        let collect = s.add(primitives::io_port(&format!("out_lane_{lane}"), "flow"));
+        let out = s.wire("flow", incubate.port("out"), collect.port("p"));
+        let v_out = s.add(primitives::valve(&format!("v_out_{lane}"), "control"));
+        s.bind_valve(&v_out, out, ValveType::NormallyOpen);
+        let ctl_out = s.add(primitives::io_port(&format!("ctl_out_{lane}"), "control"));
+        s.wire("control", ctl_out.port("p"), v_out.port("actuate"));
+    }
+
+    s.finish()
+}
+
+/// Generates the `aquaflex_3b` benchmark (three lanes, one reagent).
+pub fn generate_3b() -> Device {
+    aquaflex("aquaflex_3b", 3, false)
+}
+
+/// Generates the `aquaflex_5a` benchmark (five lanes, two reagents).
+pub fn generate_5a() -> Device {
+    aquaflex("aquaflex_5a", 5, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parchmint::Entity;
+
+    #[test]
+    fn lane_counts() {
+        let d3 = generate_3b();
+        let d5 = generate_5a();
+        assert_eq!(d3.components_of(&Entity::Filter).count(), 3);
+        assert_eq!(d5.components_of(&Entity::Filter).count(), 5);
+        assert_eq!(d3.components_of(&Entity::CurvedMixer).count(), 0);
+        assert_eq!(d5.components_of(&Entity::CurvedMixer).count(), 5);
+        assert!(d5.components.len() > d3.components.len());
+    }
+
+    #[test]
+    fn valve_counts_scale_with_lanes() {
+        assert_eq!(generate_3b().valves.len(), 6);
+        assert_eq!(generate_5a().valves.len(), 10);
+    }
+
+    #[test]
+    fn reagent_trees() {
+        let d5 = generate_5a();
+        assert_eq!(d5.components_of(&Entity::Tree).count(), 3);
+        let d3 = generate_3b();
+        assert_eq!(d3.components_of(&Entity::Tree).count(), 2);
+    }
+}

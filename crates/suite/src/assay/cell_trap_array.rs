@@ -1,0 +1,96 @@
+//! Single-cell trap array.
+//!
+//! A 4×8 grid of hydrodynamic traps chained serpentine-fashion, with each
+//! trap's bypass channel tied to a shared bypass rail so untrapped cells
+//! continue downstream — the standard single-cell-analysis workload.
+
+use crate::primitives;
+use crate::sketch::Sketch;
+use parchmint::Device;
+
+const ROWS: usize = 4;
+const COLS: usize = 8;
+
+/// Generates the `cell_trap_array` benchmark.
+pub fn generate() -> Device {
+    let mut s = Sketch::flow_only("cell_trap_array");
+
+    let inlet = s.add(primitives::io_port("in_cells", "flow"));
+    let bypass_out = s.add(primitives::io_port("out_bypass", "flow"));
+    let outlet = s.add(primitives::io_port("out_main", "flow"));
+
+    // The bypass rail: one junction per row, chained to the bypass outlet.
+    let rail: Vec<_> = (0..ROWS)
+        .map(|r| s.add(primitives::node(&format!("rail_{r}"), "flow")))
+        .collect();
+    for w in rail.windows(2) {
+        s.wire("flow", w[0].port("e"), w[1].port("w"));
+    }
+    s.wire(
+        "flow",
+        rail.last().expect("rows > 0").port("e"),
+        bypass_out.port("p"),
+    );
+
+    // Serpentine chain of traps, row by row.
+    let mut carry = inlet.port("p");
+    for (r, rail_junction) in rail.iter().enumerate() {
+        let mut row = Vec::with_capacity(COLS);
+        for c in 0..COLS {
+            let trap = s.add(primitives::cell_trap(&format!("trap_{r}_{c}"), "flow"));
+            row.push(trap);
+        }
+        // Bypasses of a whole row drain into the row's rail junction.
+        let row_drain = s.add(primitives::node(&format!("row_drain_{r}"), "flow"));
+        for trap in &row {
+            s.wire("flow", trap.port("bypass"), row_drain.port("s"));
+        }
+        s.wire("flow", row_drain.port("n"), rail_junction.port("s"));
+
+        for trap in &row {
+            s.wire("flow", carry, trap.port("in"));
+            carry = trap.port("out");
+        }
+    }
+    s.wire("flow", carry, outlet.port("p"));
+
+    s.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parchmint::Entity;
+
+    #[test]
+    fn grid_dimensions() {
+        let d = generate();
+        assert_eq!(d.components_of(&Entity::CellTrap).count(), ROWS * COLS);
+        assert_eq!(d.components_of(&Entity::Node).count(), 2 * ROWS);
+        assert_eq!(d.components_of(&Entity::Port).count(), 3);
+    }
+
+    #[test]
+    fn serpentine_chain_is_connected() {
+        let d = generate();
+        let netlist = parchmint_graph::Netlist::from_device(&d);
+        let metrics = parchmint_graph::GraphMetrics::of(netlist.graph());
+        assert!(metrics.is_connected());
+        // The bypass rail shortcuts the serpentine, but the network still
+        // has nontrivial depth.
+        assert!(metrics.diameter >= 6, "diameter was {}", metrics.diameter);
+    }
+
+    #[test]
+    fn every_trap_has_three_connections() {
+        let d = generate();
+        for c in d.components_of(&Entity::CellTrap) {
+            assert_eq!(
+                d.connections_touching(&c.id).count(),
+                3,
+                "trap {} should have in, out, bypass",
+                c.id
+            );
+        }
+    }
+}

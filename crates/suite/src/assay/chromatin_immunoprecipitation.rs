@@ -1,0 +1,147 @@
+//! Chromatin-immunoprecipitation (ChIP) automation chip.
+//!
+//! Models the Quake-style two-layer ChIP device: a bank of reagent inlets
+//! gated by membrane valves onto a shared bus, a valve-segmented ring of
+//! rotary mixers driven by a peristaltic pump for the immunoprecipitation
+//! reaction, bead-column traps for washing, and collection/waste outlets.
+//! This is the valve-heaviest benchmark in the suite and the main exercise
+//! of the 1.2 `valveMap`/`valveTypeMap` sections.
+
+use crate::primitives;
+use crate::sketch::{Handle, Sketch};
+use parchmint::{Device, ValveType};
+
+const REAGENT_INLETS: usize = 8;
+const RING_MIXERS: usize = 4;
+const BEAD_COLUMNS: usize = 4;
+
+/// Adds a control I/O port wired to `actuation` port `port` of `target`.
+fn actuation_line(s: &mut Sketch, name: &str, target: &Handle, port: &str) {
+    let ctl = s.add(primitives::io_port(&format!("ctl_{name}"), "control"));
+    s.wire("control", ctl.port("p"), target.port(port));
+}
+
+/// Generates the `chromatin_immunoprecipitation` benchmark.
+pub fn generate() -> Device {
+    let mut s = Sketch::flow_and_control("chromatin_immunoprecipitation");
+
+    // ---- reagent input bank: inlet → valve-gated channel → bus node ----
+    let mut bus_nodes: Vec<Handle> = Vec::new();
+    for i in 0..REAGENT_INLETS {
+        let inlet = s.add(primitives::io_port(&format!("in_reagent_{i}"), "flow"));
+        let bus = s.add(primitives::node(&format!("bus_{i}"), "flow"));
+        let feed = s.wire("flow", inlet.port("p"), bus.port("w"));
+
+        let valve = s.add(primitives::valve(&format!("v_in_{i}"), "control"));
+        s.bind_valve(&valve, feed, ValveType::NormallyClosed);
+        actuation_line(&mut s, &format!("in_{i}"), &valve, "actuate");
+        bus_nodes.push(bus);
+    }
+    // Chain the bus nodes into a shared supply rail.
+    for w in bus_nodes.windows(2) {
+        s.wire("flow", w[0].port("e"), w[1].port("s"));
+    }
+
+    // ---- immunoprecipitation ring: rotary mixers with inter-segment valves
+    let mixers: Vec<Handle> = (0..RING_MIXERS)
+        .map(|i| s.add(primitives::rotary_mixer(&format!("ring_{i}"), "flow", 800)))
+        .collect();
+    let bus_tail = bus_nodes.last().expect("at least one reagent inlet");
+    let entry = s.wire("flow", bus_tail.port("e"), mixers[0].port("in"));
+    let v_entry = s.add(primitives::valve("v_ring_entry", "control"));
+    s.bind_valve(&v_entry, entry, ValveType::NormallyClosed);
+    actuation_line(&mut s, "ring_entry", &v_entry, "actuate");
+
+    let mut ring_segments = Vec::with_capacity(RING_MIXERS);
+    for i in 0..RING_MIXERS {
+        let next = (i + 1) % RING_MIXERS;
+        let segment = s.wire("flow", mixers[i].port("out"), mixers[next].port("in"));
+        let valve = s.add(primitives::valve(&format!("v_ring_{i}"), "control"));
+        s.bind_valve(&valve, segment.clone(), ValveType::NormallyOpen);
+        actuation_line(&mut s, &format!("ring_{i}"), &valve, "actuate");
+        ring_segments.push(segment);
+    }
+
+    // ---- peristaltic pump actuating the ring -------------------------------
+    // The pump is a valve triple physically seated on the first ring
+    // segment; the binding records that coupling.
+    let pump = s.add(primitives::pump("pump", "control"));
+    s.bind_valve(&pump, ring_segments[0].clone(), ValveType::NormallyOpen);
+    for (i, port) in ["a1", "a2", "a3"].iter().enumerate() {
+        let ctl = s.add(primitives::io_port(&format!("ctl_pump_{i}"), "control"));
+        s.wire("control", ctl.port("p"), pump.port(port));
+    }
+
+    // ---- bead columns and collection ---------------------------------------
+    let exit_node = s.add(primitives::node("ring_exit", "flow"));
+    let exit = s.wire("flow", mixers[RING_MIXERS - 1].port("out"), exit_node.port("w"));
+    let v_exit = s.add(primitives::valve("v_ring_exit", "control"));
+    s.bind_valve(&v_exit, exit, ValveType::NormallyClosed);
+    actuation_line(&mut s, "ring_exit", &v_exit, "actuate");
+
+    let spread = s.add(primitives::tree("spread", "flow", BEAD_COLUMNS as i64));
+    s.wire("flow", exit_node.port("e"), spread.port("in"));
+    let collect = s.add(primitives::node("collect", "flow"));
+    for i in 0..BEAD_COLUMNS {
+        let column = s.add(primitives::long_cell_trap(&format!("beads_{i}"), "flow", 10));
+        s.wire("flow", spread.port(&format!("out{i}")), column.port("in"));
+        let drain = s.wire("flow", column.port("out"), collect.port("w"));
+        let valve = s.add(primitives::valve(&format!("v_col_{i}"), "control"));
+        s.bind_valve(&valve, drain, ValveType::NormallyClosed);
+        actuation_line(&mut s, &format!("col_{i}"), &valve, "actuate");
+    }
+
+    let eluate = s.add(primitives::io_port("out_eluate", "flow"));
+    let waste = s.add(primitives::io_port("out_waste", "flow"));
+    s.wire("flow", collect.port("e"), eluate.port("p"));
+    let to_waste = s.wire("flow", collect.port("n"), waste.port("p"));
+    let v_waste = s.add(primitives::valve("v_waste", "control"));
+    s.bind_valve(&v_waste, to_waste, ValveType::NormallyOpen);
+    actuation_line(&mut s, "waste", &v_waste, "actuate");
+
+    s.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parchmint::{Entity, LayerType, Version};
+
+    #[test]
+    fn is_a_two_layer_valve_heavy_device() {
+        let d = generate();
+        assert_eq!(d.layers.len(), 2);
+        assert!(d.layers.iter().any(|l| l.layer_type == LayerType::Control));
+        // 8 inlet valves + entry + 4 ring + exit + 4 column + waste = 19.
+        assert_eq!(d.components_of(&Entity::Valve).count(), 19);
+        // ... plus the pump binding = 20 valve-map entries.
+        assert_eq!(d.valves.len(), 20);
+        assert_eq!(d.version, Version::V1_2);
+    }
+
+    #[test]
+    fn ring_and_pump_present() {
+        let d = generate();
+        assert_eq!(d.components_of(&Entity::RotaryMixer).count(), 4);
+        assert_eq!(d.components_of(&Entity::Pump).count(), 1);
+        assert_eq!(d.components_of(&Entity::LongCellTrap).count(), 4);
+    }
+
+    #[test]
+    fn every_valve_controls_a_flow_connection() {
+        let d = generate();
+        for valve in &d.valves {
+            let conn = d.connection(valve.controls.as_str()).expect("bound connection exists");
+            assert_eq!(conn.layer.as_str(), "flow", "valve {} pinches a control line", valve.component);
+        }
+    }
+
+    #[test]
+    fn normally_open_and_closed_both_used() {
+        let d = generate();
+        let open = d.valves.iter().filter(|v| v.valve_type == ValveType::NormallyOpen).count();
+        let closed = d.valves.iter().filter(|v| v.valve_type == ValveType::NormallyClosed).count();
+        assert!(open > 0 && closed > 0);
+        assert_eq!(open + closed, 20);
+    }
+}

@@ -1,0 +1,86 @@
+//! Parallel droplet-generation array.
+//!
+//! Eight flow-focusing nozzles share an oil manifold (one tree outlet per
+//! nozzle side) and an aqueous distribution tree; the emulsions merge into
+//! a collection chamber. High-throughput droplet production is the standard
+//! industrial workload for continuous-flow devices.
+
+use crate::primitives;
+use crate::sketch::Sketch;
+use parchmint::geometry::Span;
+use parchmint::Device;
+
+const NOZZLES: usize = 8;
+
+/// Generates the `droplet_generator_array` benchmark.
+pub fn generate() -> Device {
+    let mut s = Sketch::flow_only("droplet_generator_array");
+
+    let oil_in = s.add(primitives::io_port("in_oil", "flow"));
+    // Each nozzle needs two oil feeds, so the manifold has 2×NOZZLES leaves.
+    let oil_manifold = s.add(primitives::tree("oil_manifold", "flow", (2 * NOZZLES) as i64));
+    s.wire("flow", oil_in.port("p"), oil_manifold.port("in"));
+
+    let aqueous_in = s.add(primitives::io_port("in_aqueous", "flow"));
+    let aqueous_tree = s.add(primitives::tree("aqueous_tree", "flow", NOZZLES as i64));
+    s.wire("flow", aqueous_in.port("p"), aqueous_tree.port("in"));
+
+    let collect = s.add(primitives::node("collect_head", "flow"));
+    let mut tail = collect.clone();
+    for i in 0..NOZZLES {
+        let nozzle = s.add(primitives::nozzle_droplet_generator(&format!("nozzle_{i}"), "flow"));
+        s.wire("flow", oil_manifold.port(&format!("out{}", 2 * i)), nozzle.port("oil1"));
+        s.wire("flow", oil_manifold.port(&format!("out{}", 2 * i + 1)), nozzle.port("oil2"));
+        s.wire("flow", aqueous_tree.port(&format!("out{i}")), nozzle.port("aqueous"));
+
+        // Collection bus: a chain of junction nodes keeps fan-in physical.
+        let junction = s.add(primitives::node(&format!("collect_{i}"), "flow"));
+        s.wire("flow", nozzle.port("out"), junction.port("s"));
+        s.wire("flow", tail.port("e"), junction.port("w"));
+        tail = junction;
+    }
+
+    let reservoir = s.add(primitives::reaction_chamber(
+        "reservoir",
+        "flow",
+        Span::new(3000, 2000),
+    ));
+    s.wire("flow", tail.port("e"), reservoir.port("in"));
+    let out = s.add(primitives::io_port("out_emulsion", "flow"));
+    s.wire("flow", reservoir.port("out"), out.port("p"));
+
+    s.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parchmint::Entity;
+
+    #[test]
+    fn nozzle_bank() {
+        let d = generate();
+        assert_eq!(d.components_of(&Entity::NozzleDropletGenerator).count(), NOZZLES);
+        assert_eq!(d.components_of(&Entity::Tree).count(), 2);
+        assert_eq!(d.components_of(&Entity::Node).count(), NOZZLES + 1);
+    }
+
+    #[test]
+    fn oil_manifold_has_double_fanout() {
+        let d = generate();
+        let manifold = d.component("oil_manifold").unwrap();
+        assert_eq!(manifold.params.get_i64("leaves"), Some(2 * NOZZLES as i64));
+        // in + 16 outs
+        assert_eq!(manifold.ports.len(), 1 + 2 * NOZZLES);
+    }
+
+    #[test]
+    fn every_nozzle_fully_fed() {
+        let d = generate();
+        for i in 0..NOZZLES {
+            let id: parchmint::ComponentId = format!("nozzle_{i}").into();
+            let feeds = d.connections_touching(&id).count();
+            assert_eq!(feeds, 4, "nozzle_{i} must have oil1, oil2, aqueous, out");
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! General-purpose microfluidic device.
+//!
+//! A mux-addressed bank of assay columns, each a serpentine mixer feeding a
+//! reaction chamber, with per-column isolation valves and a shared wash
+//! line — the "programmable" chip archetype the original suite converts
+//! from the literature.
+
+use crate::primitives;
+use crate::sketch::Sketch;
+use parchmint::{Device, ValveType};
+
+const COLUMNS: usize = 8;
+
+/// Generates the `general_purpose_mfd` benchmark.
+pub fn generate() -> Device {
+    let mut s = Sketch::flow_and_control("general_purpose_mfd");
+
+    let sample_in = s.add(primitives::io_port("in_sample", "flow"));
+    let wash_in = s.add(primitives::io_port("in_wash", "flow"));
+
+    // Sample and wash merge ahead of the address mux.
+    let head = s.add(primitives::node("head", "flow"));
+    s.wire("flow", sample_in.port("p"), head.port("w"));
+    let wash_line = s.wire("flow", wash_in.port("p"), head.port("s"));
+    let v_wash = s.add(primitives::valve("v_wash", "control"));
+    s.bind_valve(&v_wash, wash_line, ValveType::NormallyClosed);
+    let ctl_wash = s.add(primitives::io_port("ctl_wash", "control"));
+    s.wire("control", ctl_wash.port("p"), v_wash.port("actuate"));
+
+    let address = s.add(primitives::mux("address", "flow", COLUMNS as i64));
+    s.wire("flow", head.port("e"), address.port("in"));
+
+    // Assay columns: mixer → chamber, gated on exit, merging into a drain.
+    let drain = s.add(primitives::node("drain", "flow"));
+    for i in 0..COLUMNS {
+        let mixer = s.add(primitives::mixer(&format!("mix_{i}"), "flow", 5));
+        let chamber = s.add(primitives::reaction_chamber(
+            &format!("chamber_{i}"),
+            "flow",
+            parchmint::geometry::Span::new(1400, 800),
+        ));
+        s.wire("flow", address.port(&format!("out{i}")), mixer.port("in"));
+        s.wire("flow", mixer.port("out"), chamber.port("in"));
+        let out = s.wire("flow", chamber.port("out"), drain.port("w"));
+
+        let valve = s.add(primitives::valve(&format!("v_col_{i}"), "control"));
+        s.bind_valve(&valve, out, ValveType::NormallyClosed);
+        let ctl = s.add(primitives::io_port(&format!("ctl_col_{i}"), "control"));
+        s.wire("control", ctl.port("p"), valve.port("actuate"));
+    }
+
+    let outlet = s.add(primitives::io_port("out_collect", "flow"));
+    s.wire("flow", drain.port("e"), outlet.port("p"));
+
+    s.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parchmint::Entity;
+
+    #[test]
+    fn column_structure() {
+        let d = generate();
+        assert_eq!(d.components_of(&Entity::Mixer).count(), COLUMNS);
+        assert_eq!(d.components_of(&Entity::ReactionChamber).count(), COLUMNS);
+        assert_eq!(d.components_of(&Entity::Mux).count(), 1);
+        assert_eq!(d.components_of(&Entity::Valve).count(), COLUMNS + 1);
+        assert_eq!(d.valves.len(), COLUMNS + 1);
+    }
+
+    #[test]
+    fn mux_feeds_every_column() {
+        let d = generate();
+        let from_mux = d
+            .connections
+            .iter()
+            .filter(|c| c.source.component == "address")
+            .count();
+        assert_eq!(from_mux, COLUMNS);
+    }
+
+    #[test]
+    fn control_ports_match_valves() {
+        let d = generate();
+        let ctl_ports = d
+            .components_of(&Entity::Port)
+            .filter(|c| c.id.as_str().starts_with("ctl_"))
+            .count();
+        assert_eq!(ctl_ports, d.valves.len());
+    }
+}

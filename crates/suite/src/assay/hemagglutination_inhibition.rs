@@ -1,0 +1,99 @@
+//! Hemagglutination-inhibition (HIN) assay chip.
+//!
+//! A serial two-fold dilution ladder: at each stage the serum stream splits,
+//! one branch reacting with red-blood-cell suspension in a chamber while the
+//! other is re-diluted and passed to the next stage. Eight titration stages
+//! give the familiar 1:2 … 1:256 readout row.
+
+use crate::primitives;
+use crate::sketch::Sketch;
+use parchmint::geometry::Span;
+use parchmint::Device;
+
+const STAGES: usize = 8;
+
+/// Generates the `hemagglutination_inhibition` benchmark.
+pub fn generate() -> Device {
+    let mut s = Sketch::flow_only("hemagglutination_inhibition");
+
+    let serum_in = s.add(primitives::io_port("in_serum", "flow"));
+    let diluent_in = s.add(primitives::io_port("in_diluent", "flow"));
+    let rbc_in = s.add(primitives::io_port("in_rbc", "flow"));
+
+    // Diluent and RBC suspension are fanned out to every stage.
+    let diluent_tree = s.add(primitives::tree("diluent_tree", "flow", STAGES as i64));
+    s.wire("flow", diluent_in.port("p"), diluent_tree.port("in"));
+    let rbc_tree = s.add(primitives::tree("rbc_tree", "flow", STAGES as i64));
+    s.wire("flow", rbc_in.port("p"), rbc_tree.port("in"));
+
+    let mut carry = serum_in.port("p");
+    for i in 0..STAGES {
+        // Split the carried serum: one branch reads out, one dilutes onward.
+        let split = s.add(primitives::ytree(&format!("split_{i}"), "flow"));
+        s.wire("flow", carry, split.port("in"));
+
+        // Readout branch: merge with RBCs, incubate, observe.
+        let merge_rbc = s.add(primitives::node(&format!("rbc_merge_{i}"), "flow"));
+        s.wire("flow", split.port("out1"), merge_rbc.port("w"));
+        s.wire("flow", rbc_tree.port(&format!("out{i}")), merge_rbc.port("s"));
+        let well = s.add(primitives::reaction_chamber(
+            &format!("well_{i}"),
+            "flow",
+            Span::new(1200, 1200),
+        ));
+        s.wire("flow", merge_rbc.port("e"), well.port("in"));
+        let readout = s.add(primitives::io_port(&format!("out_well_{i}"), "flow"));
+        s.wire("flow", well.port("out"), readout.port("p"));
+
+        // Dilution branch: merge with diluent, mix, carry to the next stage.
+        let merge_dil = s.add(primitives::node(&format!("dil_merge_{i}"), "flow"));
+        s.wire("flow", split.port("out2"), merge_dil.port("w"));
+        s.wire("flow", diluent_tree.port(&format!("out{i}")), merge_dil.port("s"));
+        let mixer = s.add(primitives::mixer(&format!("dil_mix_{i}"), "flow", 8));
+        s.wire("flow", merge_dil.port("e"), mixer.port("in"));
+        carry = mixer.port("out");
+    }
+
+    // The over-diluted remainder goes to waste.
+    let waste = s.add(primitives::io_port("out_waste", "flow"));
+    s.wire("flow", carry, waste.port("p"));
+
+    s.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parchmint::Entity;
+
+    #[test]
+    fn ladder_structure() {
+        let d = generate();
+        assert_eq!(d.components_of(&Entity::YTree).count(), STAGES);
+        assert_eq!(d.components_of(&Entity::ReactionChamber).count(), STAGES);
+        assert_eq!(d.components_of(&Entity::Mixer).count(), STAGES);
+        assert_eq!(d.components_of(&Entity::Node).count(), 2 * STAGES);
+        assert_eq!(d.components_of(&Entity::Tree).count(), 2);
+        // 3 inlets + 8 readouts + waste.
+        assert_eq!(d.components_of(&Entity::Port).count(), 12);
+    }
+
+    #[test]
+    fn single_flow_layer_no_valves() {
+        let d = generate();
+        assert_eq!(d.layers.len(), 1);
+        assert!(d.valves.is_empty());
+    }
+
+    #[test]
+    fn stage_wells_all_reachable_from_serum() {
+        let d = generate();
+        let netlist = parchmint_graph::Netlist::from_device(&d);
+        let comps = parchmint_graph::Components::of(netlist.graph());
+        let serum = netlist.node_of(&"in_serum".into()).unwrap();
+        for i in 0..STAGES {
+            let well = netlist.node_of(&format!("well_{i}").into()).unwrap();
+            assert!(comps.same(serum, well), "well_{i} unreachable");
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Droplet-logic gates (AND / OR).
+//!
+//! The smallest benchmarks in the suite: two droplet generators encode the
+//! boolean inputs as droplet presence, a logic array implements the gate by
+//! hydrodynamic interaction, and separate collection/waste outlets read the
+//! result. The AND and OR variants differ in the synchronizer chamber that
+//! the AND gate needs ahead of the array.
+
+use crate::primitives;
+use crate::sketch::Sketch;
+use parchmint::geometry::Span;
+use parchmint::Device;
+
+fn gate(name: &str, with_synchronizer: bool) -> Device {
+    let mut s = Sketch::flow_only(name);
+
+    let oil_in = s.add(primitives::io_port("in_oil", "flow"));
+    let oil_split = s.add(primitives::ytree("oil_split", "flow"));
+    s.wire("flow", oil_in.port("p"), oil_split.port("in"));
+
+    let a_in = s.add(primitives::io_port("in_a", "flow"));
+    let b_in = s.add(primitives::io_port("in_b", "flow"));
+
+    let dg_a = s.add(primitives::droplet_generator("dg_a", "flow"));
+    let dg_b = s.add(primitives::droplet_generator("dg_b", "flow"));
+    s.wire("flow", oil_split.port("out1"), dg_a.port("continuous"));
+    s.wire("flow", oil_split.port("out2"), dg_b.port("continuous"));
+    s.wire("flow", a_in.port("p"), dg_a.port("dispersed"));
+    s.wire("flow", b_in.port("p"), dg_b.port("dispersed"));
+
+    let logic = s.add(primitives::logic_array("gate", "flow"));
+    if with_synchronizer {
+        // AND requires the two droplet trains phase-locked at the array.
+        let sync = s.add(primitives::reaction_chamber("sync", "flow", Span::new(1000, 800)));
+        let merge = s.add(primitives::node("merge", "flow"));
+        s.wire("flow", dg_a.port("out"), merge.port("w"));
+        s.wire("flow", dg_b.port("out"), merge.port("s"));
+        s.wire("flow", merge.port("e"), sync.port("in"));
+        s.wire("flow", sync.port("out"), logic.port("a"));
+        // The b input is tied off through a bypass junction.
+        let bypass = s.add(primitives::node("bypass", "flow"));
+        s.wire("flow", merge.port("n"), bypass.port("s"));
+        s.wire("flow", bypass.port("e"), logic.port("b"));
+    } else {
+        s.wire("flow", dg_a.port("out"), logic.port("a"));
+        s.wire("flow", dg_b.port("out"), logic.port("b"));
+    }
+
+    let out = s.add(primitives::io_port("out_result", "flow"));
+    let waste = s.add(primitives::io_port("out_waste", "flow"));
+    s.wire("flow", logic.port("out"), out.port("p"));
+    s.wire("flow", logic.port("waste"), waste.port("p"));
+
+    s.finish()
+}
+
+/// Generates the `logic_gate_and` benchmark.
+pub fn generate_and() -> Device {
+    gate("logic_gate_and", true)
+}
+
+/// Generates the `logic_gate_or` benchmark.
+pub fn generate_or() -> Device {
+    gate("logic_gate_or", false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parchmint::Entity;
+
+    #[test]
+    fn or_gate_is_minimal() {
+        let d = generate_or();
+        assert_eq!(d.components_of(&Entity::DropletGenerator).count(), 2);
+        assert_eq!(d.components_of(&Entity::LogicArray).count(), 1);
+        assert_eq!(d.components_of(&Entity::Port).count(), 5);
+        assert_eq!(d.components.len(), 9);
+    }
+
+    #[test]
+    fn and_gate_adds_synchronizer() {
+        let and = generate_and();
+        let or = generate_or();
+        assert!(and.components.len() > or.components.len());
+        assert_eq!(and.components_of(&Entity::ReactionChamber).count(), 1);
+        assert_eq!(or.components_of(&Entity::ReactionChamber).count(), 0);
+    }
+
+    #[test]
+    fn names_differ() {
+        assert_eq!(generate_and().name, "logic_gate_and");
+        assert_eq!(generate_or().name, "logic_gate_or");
+    }
+}

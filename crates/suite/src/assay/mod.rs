@@ -1,0 +1,14 @@
+//! Assay-class benchmarks: reconstructions of the published devices the
+//! original suite converted by hand. See DESIGN.md for the substitution
+//! rationale (same class, topology style, scale, layer structure, and
+//! entity mix as the originals).
+
+pub mod aquaflex;
+pub mod cell_trap_array;
+pub mod chromatin_immunoprecipitation;
+pub mod droplet_generator_array;
+pub mod general_purpose_mfd;
+pub mod hemagglutination_inhibition;
+pub mod logic_gates;
+pub mod molecular_gradient_generator;
+pub mod rotary_pump_mixer;

@@ -1,0 +1,100 @@
+//! Christmas-tree molecular-gradient generator.
+//!
+//! Two source streams are repeatedly split, cross-mixed with their
+//! neighbours through serpentine mixers, and recombined, producing a
+//! monotone concentration ladder at the outlets — the canonical
+//! diffusive-mixing gradient topology (Jeon et al. style) that the original
+//! suite includes as a manually converted assay device.
+
+use crate::primitives;
+use crate::sketch::Sketch;
+use parchmint::Device;
+
+/// Number of mixing levels in the tree.
+const LEVELS: usize = 5;
+
+/// Generates the `molecular_gradient_generator` benchmark.
+pub fn generate() -> Device {
+    let mut s = Sketch::flow_only("molecular_gradient_generator");
+
+    let inlet_a = s.add(primitives::io_port("in_a", "flow"));
+    let inlet_b = s.add(primitives::io_port("in_b", "flow"));
+
+    // Level l has l + 3 parallel streams, each a serpentine mixer fed by a
+    // junction node that merges the two adjacent upstream streams.
+    let mut upstream = vec![inlet_a.clone(), inlet_b.clone()];
+    let mut upstream_out: Vec<&str> = vec!["p", "p"];
+
+    for level in 0..LEVELS {
+        let streams = level + 3;
+        let mut mixers = Vec::with_capacity(streams);
+        for j in 0..streams {
+            let junction = s.add(primitives::node(&format!("j_{level}_{j}"), "flow"));
+            // Interior streams merge two neighbours; edge streams carry one.
+            if j > 0 {
+                let src = upstream[j - 1].port(upstream_out[j - 1]);
+                s.wire("flow", src, junction.port("w"));
+            }
+            if j < upstream.len() {
+                let src = upstream[j].port(upstream_out[j]);
+                s.wire("flow", src, junction.port("s"));
+            }
+            let mixer = s.add(primitives::mixer(&format!("m_{level}_{j}"), "flow", 6));
+            s.wire("flow", junction.port("e"), mixer.port("in"));
+            mixers.push(mixer);
+        }
+        upstream = mixers;
+        upstream_out = vec!["out"; streams];
+    }
+
+    // Every final stream exits through its own outlet port.
+    for (j, mixer) in upstream.iter().enumerate() {
+        let outlet = s.add(primitives::io_port(&format!("out_{j}"), "flow"));
+        s.wire("flow", mixer.port("out"), outlet.port("p"));
+    }
+
+    s.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parchmint::Entity;
+
+    #[test]
+    fn structure() {
+        let d = generate();
+        // Streams per level: 3,4,5,6,7 → 25 mixers + 25 junctions,
+        // 2 inlets + 7 outlets.
+        assert_eq!(d.components_of(&Entity::Mixer).count(), 25);
+        assert_eq!(d.components_of(&Entity::Node).count(), 25);
+        assert_eq!(d.components_of(&Entity::Port).count(), 9);
+        assert_eq!(d.components.len(), 59);
+        assert_eq!(d.layers.len(), 1);
+        assert!(d.valves.is_empty());
+    }
+
+    #[test]
+    fn gradient_outlets_are_ordered() {
+        let d = generate();
+        for j in 0..7 {
+            assert!(
+                d.component(&format!("out_{j}")).is_some(),
+                "missing outlet {j}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_stream_feeds_forward() {
+        let d = generate();
+        // Each mixer's output must appear as a source in some connection.
+        for c in d.components_of(&Entity::Mixer) {
+            assert!(
+                d.connections.iter().any(|conn| conn.source.component == c.id),
+                "mixer {} has no downstream connection",
+                c.id
+            );
+        }
+    }
+}

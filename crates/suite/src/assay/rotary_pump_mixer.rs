@@ -1,0 +1,87 @@
+//! Rotary pump-mixer unit cell.
+//!
+//! The classic Quake rotary mixer: two reagent inlets gated by valves, a
+//! rotary mixing loop driven by a three-valve peristaltic pump, and a
+//! valve-gated outlet. The smallest two-layer benchmark; useful as a
+//! control-layer smoke test.
+
+use crate::primitives;
+use crate::sketch::Sketch;
+use parchmint::{Device, ValveType};
+
+/// Generates the `rotary_pump_mixer` benchmark.
+pub fn generate() -> Device {
+    let mut s = Sketch::flow_and_control("rotary_pump_mixer");
+
+    let in_a = s.add(primitives::io_port("in_a", "flow"));
+    let in_b = s.add(primitives::io_port("in_b", "flow"));
+    let merge = s.add(primitives::node("merge", "flow"));
+
+    let feed_a = s.wire("flow", in_a.port("p"), merge.port("w"));
+    let feed_b = s.wire("flow", in_b.port("p"), merge.port("s"));
+
+    let rotary = s.add(primitives::rotary_mixer("rotary", "flow", 1000));
+    let load = s.wire("flow", merge.port("e"), rotary.port("in"));
+
+    let outlet = s.add(primitives::io_port("out", "flow"));
+    let drain = s.wire("flow", rotary.port("out"), outlet.port("p"));
+
+    // Valves: one per inlet, one on load, one on drain.
+    for (name, conn, polarity) in [
+        ("v_a", feed_a, ValveType::NormallyClosed),
+        ("v_b", feed_b, ValveType::NormallyClosed),
+        ("v_load", load.clone(), ValveType::NormallyOpen),
+        ("v_drain", drain, ValveType::NormallyOpen),
+    ] {
+        let valve = s.add(primitives::valve(name, "control"));
+        s.bind_valve(&valve, conn, polarity);
+        let ctl = s.add(primitives::io_port(&format!("ctl_{name}"), "control"));
+        s.wire("control", ctl.port("p"), valve.port("actuate"));
+    }
+
+    // Peristaltic pump around the loop, physically seated on the load
+    // channel it peristalses.
+    let pump = s.add(primitives::pump("pump", "control"));
+    s.bind_valve(&pump, load.clone(), ValveType::NormallyOpen);
+    for (i, port) in ["a1", "a2", "a3"].iter().enumerate() {
+        let ctl = s.add(primitives::io_port(&format!("ctl_pump_{i}"), "control"));
+        s.wire("control", ctl.port("p"), pump.port(port));
+    }
+
+    s.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parchmint::Entity;
+
+    #[test]
+    fn unit_cell_structure() {
+        let d = generate();
+        assert_eq!(d.components_of(&Entity::RotaryMixer).count(), 1);
+        assert_eq!(d.components_of(&Entity::Pump).count(), 1);
+        assert_eq!(d.components_of(&Entity::Valve).count(), 4);
+        assert_eq!(d.valves.len(), 5, "four valves plus the pump binding");
+        assert_eq!(d.layers.len(), 2);
+    }
+
+    #[test]
+    fn inlet_valves_normally_closed() {
+        let d = generate();
+        assert_eq!(
+            d.valve_on(&"v_a".into()).unwrap().valve_type,
+            ValveType::NormallyClosed
+        );
+        assert_eq!(
+            d.valve_on(&"v_drain".into()).unwrap().valve_type,
+            ValveType::NormallyOpen
+        );
+    }
+
+    #[test]
+    fn smallest_two_layer_benchmark() {
+        let d = generate();
+        assert!(d.components.len() < 25);
+    }
+}

@@ -1,0 +1,34 @@
+//! # parchmint-suite
+//!
+//! The ParchMint benchmark suite: deterministic generators for eighteen
+//! continuous-flow microfluidic devices in two classes —
+//!
+//! - **assay** (11 devices): reconstructions of published
+//!   laboratory-on-a-chip designs, from a 9-component droplet logic gate up
+//!   to a two-layer, 19-valve chromatin-immunoprecipitation chip;
+//! - **synthetic** (7 devices): a seeded, planar-by-construction netlist
+//!   ladder (`planar_synthetic_1..7`) doubling from ~12 to ~768 components.
+//!
+//! ```
+//! use parchmint_suite::{suite, by_name, BenchmarkClass};
+//!
+//! let chip = by_name("rotary_pump_mixer").unwrap().device();
+//! assert_eq!(chip.valves.len(), 5); // four valves + the pump binding
+//! assert_eq!(suite().len(), 18);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod assay;
+pub mod primitives;
+pub mod registry;
+pub mod sketch;
+pub mod synthetic;
+
+pub use registry::{by_name, suite, Benchmark, BenchmarkClass};
+pub use sketch::{Handle, Sketch};
+pub use synthetic::{planar_synthetic, SyntheticConfig};
+
+#[cfg(test)]
+mod proptests;

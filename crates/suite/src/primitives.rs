@@ -1,0 +1,332 @@
+//! Parameterized constructors for the standard MINT component primitives.
+//!
+//! Dimensions follow the conventions of published PDMS devices: channels a
+//! few hundred µm wide, serpentine mixers a couple of millimetres long,
+//! 200 µm punched I/O ports. Every constructor places its ports on the
+//! component boundary, so generated benchmarks pass the validator's
+//! geometric checks.
+
+use parchmint::geometry::Span;
+use parchmint::{Component, Entity, Params, Port};
+
+/// A punched inlet/outlet hole (entity `PORT`), 200 µm square, with one
+/// attachment port `p` on its east edge.
+pub fn io_port(id: &str, layer: &str) -> Component {
+    Component::new(id, format!("{id}_port"), Entity::Port, [layer], Span::square(200))
+        .with_port(Port::new("p", layer, 200, 100))
+}
+
+/// A serpentine mixer (entity `MIXER`) with `bends` switchbacks.
+/// Ports: `in` (west), `out` (east).
+pub fn mixer(id: &str, layer: &str, bends: i64) -> Component {
+    let bends = bends.max(1);
+    let span = Span::new(400 + bends * 200, 1000);
+    Component::new(id, format!("{id}_mixer"), Entity::Mixer, [layer], span)
+        .with_port(Port::new("in", layer, 0, 500))
+        .with_port(Port::new("out", layer, span.x, 500))
+        .with_params(Params::new().with("numBends", bends).with("channelWidth", 300))
+}
+
+/// A curved mixer (entity `CURVED-MIXER`). Ports: `in`, `out`.
+pub fn curved_mixer(id: &str, layer: &str, turns: i64) -> Component {
+    let turns = turns.max(1);
+    let span = Span::new(600 + turns * 150, 800);
+    Component::new(id, format!("{id}_cmixer"), Entity::CurvedMixer, [layer], span)
+        .with_port(Port::new("in", layer, 0, 400))
+        .with_port(Port::new("out", layer, span.x, 400))
+        .with_params(Params::new().with("turns", turns))
+}
+
+/// A rotary mixing loop (entity `ROTARY-MIXER`) of the given radius.
+/// Ports: `in` (west), `out` (east).
+pub fn rotary_mixer(id: &str, layer: &str, radius: i64) -> Component {
+    let radius = radius.max(200);
+    let side = 2 * radius + 400;
+    Component::new(id, format!("{id}_rotary"), Entity::RotaryMixer, [layer], Span::square(side))
+        .with_port(Port::new("in", layer, 0, side / 2))
+        .with_port(Port::new("out", layer, side, side / 2))
+        .with_params(Params::new().with("radius", radius))
+}
+
+/// A rectangular reaction chamber (entity `REACTION-CHAMBER`).
+/// Ports: `in` (west), `out` (east).
+pub fn reaction_chamber(id: &str, layer: &str, span: Span) -> Component {
+    Component::new(id, format!("{id}_chamber"), Entity::ReactionChamber, [layer], span)
+        .with_port(Port::new("in", layer, 0, span.y / 2))
+        .with_port(Port::new("out", layer, span.x, span.y / 2))
+}
+
+/// A diamond reaction chamber (entity `DIAMOND-CHAMBER`).
+/// Ports: `in` (west), `out` (east).
+pub fn diamond_chamber(id: &str, layer: &str) -> Component {
+    let span = Span::new(1200, 600);
+    Component::new(id, format!("{id}_diamond"), Entity::DiamondChamber, [layer], span)
+        .with_port(Port::new("in", layer, 0, 300))
+        .with_port(Port::new("out", layer, 1200, 300))
+}
+
+/// A hydrodynamic cell trap (entity `CELL-TRAP`) with a bypass.
+/// Ports: `in` (west), `out` (east), `bypass` (north).
+pub fn cell_trap(id: &str, layer: &str) -> Component {
+    let span = Span::new(800, 600);
+    Component::new(id, format!("{id}_trap"), Entity::CellTrap, [layer], span)
+        .with_port(Port::new("in", layer, 0, 300))
+        .with_port(Port::new("out", layer, 800, 300))
+        .with_port(Port::new("bypass", layer, 400, 600))
+}
+
+/// An elongated multi-cell trap (entity `LONG-CELL-TRAP`) holding
+/// `chambers` trap pockets. Ports: `in`, `out`.
+pub fn long_cell_trap(id: &str, layer: &str, chambers: i64) -> Component {
+    let chambers = chambers.max(1);
+    let span = Span::new(600 + chambers * 300, 500);
+    Component::new(id, format!("{id}_ltrap"), Entity::LongCellTrap, [layer], span)
+        .with_port(Port::new("in", layer, 0, 250))
+        .with_port(Port::new("out", layer, span.x, 250))
+        .with_params(Params::new().with("chamberCount", chambers))
+}
+
+/// A pillar-array filter (entity `FILTER`). Ports: `in`, `out`.
+pub fn filter(id: &str, layer: &str) -> Component {
+    let span = Span::new(1000, 800);
+    Component::new(id, format!("{id}_filter"), Entity::Filter, [layer], span)
+        .with_port(Port::new("in", layer, 0, 400))
+        .with_port(Port::new("out", layer, 1000, 400))
+}
+
+/// A Y-splitter (entity `YTREE`). Ports: `in` (west), `out1`/`out2` (east).
+pub fn ytree(id: &str, layer: &str) -> Component {
+    let span = Span::new(800, 800);
+    Component::new(id, format!("{id}_ytree"), Entity::YTree, [layer], span)
+        .with_port(Port::new("in", layer, 0, 400))
+        .with_port(Port::new("out1", layer, 800, 200))
+        .with_port(Port::new("out2", layer, 800, 600))
+}
+
+/// A 1-to-`leaves` bifurcating distribution tree (entity `TREE`).
+/// Ports: `in` (west), `out0`..`out{leaves-1}` (east).
+pub fn tree(id: &str, layer: &str, leaves: i64) -> Component {
+    let leaves = leaves.max(2);
+    let span = Span::new(1200, leaves * 400);
+    let mut c = Component::new(id, format!("{id}_tree"), Entity::Tree, [layer], span)
+        .with_port(Port::new("in", layer, 0, span.y / 2))
+        .with_params(Params::new().with("leaves", leaves));
+    for i in 0..leaves {
+        c = c.with_port(Port::new(
+            format!("out{i}"),
+            layer,
+            span.x,
+            200 + i * 400,
+        ));
+    }
+    c
+}
+
+/// A valve-addressed multiplexer (entity `MUX`) with `outputs` outputs.
+/// Ports: `in` (west), `out0..` (east). Control plumbing is modelled by
+/// the separate valve components the generators attach.
+pub fn mux(id: &str, layer: &str, outputs: i64) -> Component {
+    let outputs = outputs.max(2);
+    let span = Span::new(1600, outputs * 400);
+    let mut c = Component::new(id, format!("{id}_mux"), Entity::Mux, [layer], span)
+        .with_port(Port::new("in", layer, 0, span.y / 2))
+        .with_params(Params::new().with("outputs", outputs));
+    for i in 0..outputs {
+        c = c.with_port(Port::new(
+            format!("out{i}"),
+            layer,
+            span.x,
+            200 + i * 400,
+        ));
+    }
+    c
+}
+
+/// A Christmas-tree gradient generator (entity `GRADIENT-GENERATOR`) with
+/// two inlets and `outlets` graded outlets.
+pub fn gradient_generator(id: &str, layer: &str, outlets: i64) -> Component {
+    let outlets = outlets.max(3);
+    let span = Span::new(2400, outlets * 500);
+    let mut c = Component::new(
+        id,
+        format!("{id}_gradient"),
+        Entity::GradientGenerator,
+        [layer],
+        span,
+    )
+    .with_port(Port::new("in1", layer, 0, span.y / 3))
+    .with_port(Port::new("in2", layer, 0, 2 * span.y / 3))
+    .with_params(Params::new().with("outlets", outlets));
+    for i in 0..outlets {
+        c = c.with_port(Port::new(
+            format!("out{i}"),
+            layer,
+            span.x,
+            250 + i * 500,
+        ));
+    }
+    c
+}
+
+/// A T-junction droplet generator (entity `DROPLET-GENERATOR`).
+/// Ports: `continuous` (west), `dispersed` (north), `out` (east).
+pub fn droplet_generator(id: &str, layer: &str) -> Component {
+    let span = Span::new(1000, 600);
+    Component::new(id, format!("{id}_dg"), Entity::DropletGenerator, [layer], span)
+        .with_port(Port::new("continuous", layer, 0, 300))
+        .with_port(Port::new("dispersed", layer, 500, 600))
+        .with_port(Port::new("out", layer, 1000, 300))
+}
+
+/// A flow-focusing nozzle droplet generator
+/// (entity `NOZZLE-DROPLET-GENERATOR`). Ports: `oil1` (north), `oil2`
+/// (south), `aqueous` (west), `out` (east).
+pub fn nozzle_droplet_generator(id: &str, layer: &str) -> Component {
+    let span = Span::new(1200, 800);
+    Component::new(
+        id,
+        format!("{id}_ndg"),
+        Entity::NozzleDropletGenerator,
+        [layer],
+        span,
+    )
+    .with_port(Port::new("oil1", layer, 600, 800))
+    .with_port(Port::new("oil2", layer, 600, 0))
+    .with_port(Port::new("aqueous", layer, 0, 400))
+    .with_port(Port::new("out", layer, 1200, 400))
+}
+
+/// A droplet-logic gate array (entity `LOGIC-ARRAY`).
+/// Ports: `a`, `b` (west), `out`, `waste` (east).
+pub fn logic_array(id: &str, layer: &str) -> Component {
+    let span = Span::new(2000, 1200);
+    Component::new(id, format!("{id}_logic"), Entity::LogicArray, [layer], span)
+        .with_port(Port::new("a", layer, 0, 400))
+        .with_port(Port::new("b", layer, 0, 800))
+        .with_port(Port::new("out", layer, 2000, 600))
+        .with_port(Port::new("waste", layer, 2000, 200))
+}
+
+/// A monolithic membrane valve (entity `VALVE`) on a control layer.
+/// Port: `actuate` (west).
+pub fn valve(id: &str, control_layer: &str) -> Component {
+    Component::new(id, format!("{id}_valve"), Entity::Valve, [control_layer], Span::square(300))
+        .with_port(Port::new("actuate", control_layer, 0, 150))
+}
+
+/// A three-valve peristaltic pump (entity `PUMP`) on a control layer.
+/// Ports: `a1`, `a2`, `a3` (west edge).
+pub fn pump(id: &str, control_layer: &str) -> Component {
+    let span = Span::new(900, 400);
+    Component::new(id, format!("{id}_pump"), Entity::Pump, [control_layer], span)
+        .with_port(Port::new("a1", control_layer, 0, 100))
+        .with_port(Port::new("a2", control_layer, 0, 200))
+        .with_port(Port::new("a3", control_layer, 0, 300))
+}
+
+/// A zero-area channel junction (entity `NODE`), drawn 60 µm square.
+/// Ports: `n`, `s`, `e`, `w`.
+pub fn node(id: &str, layer: &str) -> Component {
+    Component::new(id, format!("{id}_node"), Entity::Node, [layer], Span::square(60))
+        .with_port(Port::new("n", layer, 30, 60))
+        .with_port(Port::new("s", layer, 30, 0))
+        .with_port(Port::new("e", layer, 60, 30))
+        .with_port(Port::new("w", layer, 0, 30))
+}
+
+/// A transposer (entity `TRANSPOSER`) crossing two channels.
+/// Ports: `in1`, `in2` (west), `out1`, `out2` (east).
+pub fn transposer(id: &str, layer: &str) -> Component {
+    let span = Span::new(1400, 1000);
+    Component::new(id, format!("{id}_transposer"), Entity::Transposer, [layer], span)
+        .with_port(Port::new("in1", layer, 0, 300))
+        .with_port(Port::new("in2", layer, 0, 700))
+        .with_port(Port::new("out1", layer, 1400, 700))
+        .with_port(Port::new("out2", layer, 1400, 300))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every primitive must put every port on its boundary — the validator
+    /// treats interior ports as geometry warnings.
+    #[test]
+    fn all_ports_on_boundary() {
+        let components = vec![
+            io_port("a", "l"),
+            mixer("a", "l", 7),
+            curved_mixer("a", "l", 4),
+            rotary_mixer("a", "l", 600),
+            reaction_chamber("a", "l", Span::new(1000, 600)),
+            diamond_chamber("a", "l"),
+            cell_trap("a", "l"),
+            long_cell_trap("a", "l", 8),
+            filter("a", "l"),
+            ytree("a", "l"),
+            tree("a", "l", 8),
+            mux("a", "l", 8),
+            gradient_generator("a", "l", 6),
+            droplet_generator("a", "l"),
+            nozzle_droplet_generator("a", "l"),
+            logic_array("a", "l"),
+            valve("a", "l"),
+            pump("a", "l"),
+            node("a", "l"),
+            transposer("a", "l"),
+        ];
+        for c in components {
+            for p in &c.ports {
+                assert!(
+                    p.on_boundary(c.span),
+                    "{}: port {} at ({}, {}) off the {} boundary",
+                    c.entity,
+                    p.label,
+                    p.x,
+                    p.y,
+                    c.span
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_primitives_scale_with_parameters() {
+        assert_eq!(tree("t", "l", 4).ports.len(), 5);
+        assert_eq!(tree("t", "l", 1).ports.len(), 3, "clamped to 2 leaves");
+        assert_eq!(mux("m", "l", 8).ports.len(), 9);
+        assert_eq!(gradient_generator("g", "l", 5).ports.len(), 7);
+    }
+
+    #[test]
+    fn params_recorded() {
+        let m = mixer("m", "l", 9);
+        assert_eq!(m.params.get_i64("numBends"), Some(9));
+        let r = rotary_mixer("r", "l", 700);
+        assert_eq!(r.params.get_i64("radius"), Some(700));
+        assert_eq!(r.span, Span::square(1800));
+    }
+
+    #[test]
+    fn mixer_span_grows_with_bends() {
+        assert!(mixer("a", "l", 10).span.x > mixer("a", "l", 2).span.x);
+        assert_eq!(mixer("a", "l", 0).params.get_i64("numBends"), Some(1), "clamped");
+    }
+
+    #[test]
+    fn entity_assignments() {
+        assert_eq!(io_port("a", "l").entity, Entity::Port);
+        assert_eq!(valve("a", "l").entity, Entity::Valve);
+        assert!(valve("a", "l").entity.is_control());
+        assert_eq!(pump("a", "l").entity, Entity::Pump);
+        assert_eq!(node("a", "l").entity, Entity::Node);
+        assert!(node("a", "l").entity.is_virtual());
+    }
+
+    #[test]
+    fn distinct_ids_produce_distinct_names() {
+        let a = mixer("m1", "l", 3);
+        let b = mixer("m2", "l", 3);
+        assert_ne!(a.name, b.name);
+    }
+}

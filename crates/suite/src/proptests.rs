@@ -1,0 +1,70 @@
+//! Property-based tests on the synthetic generator: the invariants hold for
+//! *any* configuration, not just the seven published rungs.
+
+use crate::synthetic::{generate, SyntheticConfig};
+use parchmint_graph::{Components, GraphMetrics, Netlist};
+use proptest::prelude::*;
+
+fn config_strategy() -> impl Strategy<Value = SyntheticConfig> {
+    (2usize..10, 2usize..10, 0.0f64..1.0, 0usize..12, any::<u64>()).prop_map(
+        |(w, h, extra, io, seed)| SyntheticConfig {
+            grid_width: w,
+            grid_height: h,
+            extra_edge_probability: extra,
+            io_ports: io,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_netlists_are_connected(config in config_strategy()) {
+        let device = generate("prop", &config);
+        let netlist = Netlist::from_device(&device);
+        prop_assert_eq!(Components::of(netlist.graph()).count(), 1);
+    }
+
+    #[test]
+    fn generated_netlists_satisfy_planar_bound(config in config_strategy()) {
+        let device = generate("prop", &config);
+        let netlist = Netlist::from_device(&device);
+        prop_assert!(GraphMetrics::of(netlist.graph()).satisfies_planar_bound);
+    }
+
+    #[test]
+    fn generation_is_a_pure_function_of_config(config in config_strategy()) {
+        prop_assert_eq!(generate("prop", &config), generate("prop", &config));
+    }
+
+    #[test]
+    fn generated_devices_are_conformant(config in config_strategy()) {
+        let device = generate("prop", &config);
+        let report = parchmint_verify::validate(&device);
+        prop_assert!(report.is_conformant(), "errors:\n{}", report);
+    }
+
+    #[test]
+    fn io_port_budget_is_respected(config in config_strategy()) {
+        let device = generate("prop", &config);
+        let ports = device.components_of(&parchmint::Entity::Port).count();
+        // Every attached port consumed one distinct boundary cell; the
+        // boundary has 2w + 2h candidate slots.
+        let boundary_cells = config.grid_width.max(2) * config.grid_height.max(2);
+        prop_assert!(ports <= config.io_ports.min(boundary_cells));
+        prop_assert_eq!(
+            device.components.len(),
+            config.grid_width.max(2) * config.grid_height.max(2) + ports
+        );
+    }
+
+    #[test]
+    fn component_count_tracks_grid(config in config_strategy()) {
+        let device = generate("prop", &config);
+        let cells = config.grid_width.max(2) * config.grid_height.max(2);
+        // Spanning tree guarantees at least cells-1 connections.
+        prop_assert!(device.connections.len() >= cells - 1);
+    }
+}

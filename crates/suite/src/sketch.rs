@@ -1,0 +1,280 @@
+//! `Sketch`: ergonomic, auto-numbered netlist construction.
+//!
+//! Benchmark generators describe devices at the level of "add a mixer, wire
+//! it to the tree's first outlet"; `Sketch` handles identifier allocation,
+//! layer bookkeeping, valve binding, and die-outline estimation, and runs
+//! the checked [`parchmint::DeviceBuilder`] underneath so that every
+//! generated benchmark is referentially sound by construction.
+
+use parchmint::geometry::Span;
+use parchmint::{
+    Component, ComponentId, Connection, ConnectionId, Device, Layer, LayerType, Target, ValveType,
+};
+
+/// A handle to a component added to a [`Sketch`], used to form connections.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Handle {
+    id: ComponentId,
+}
+
+impl Handle {
+    /// The underlying component id.
+    pub fn id(&self) -> &ComponentId {
+        &self.id
+    }
+
+    /// A terminal at `port` on this component.
+    pub fn port(&self, port: &str) -> Target {
+        Target::new(self.id.clone(), port)
+    }
+}
+
+/// An in-progress benchmark device.
+#[derive(Debug)]
+pub struct Sketch {
+    name: String,
+    layers: Vec<Layer>,
+    components: Vec<Component>,
+    connections: Vec<Connection>,
+    valves: Vec<(ComponentId, ConnectionId, ValveType)>,
+    next_connection: usize,
+}
+
+impl Sketch {
+    /// Starts a sketch with no layers.
+    pub fn new(name: impl Into<String>) -> Self {
+        Sketch {
+            name: name.into(),
+            layers: Vec::new(),
+            components: Vec::new(),
+            connections: Vec::new(),
+            valves: Vec::new(),
+            next_connection: 0,
+        }
+    }
+
+    /// Starts a sketch with a single flow layer named `flow`.
+    pub fn flow_only(name: impl Into<String>) -> Self {
+        let mut s = Sketch::new(name);
+        s.add_layer("flow", LayerType::Flow);
+        s
+    }
+
+    /// Starts a sketch with `flow` and `control` layers.
+    pub fn flow_and_control(name: impl Into<String>) -> Self {
+        let mut s = Sketch::new(name);
+        s.add_layer("flow", LayerType::Flow);
+        s.add_layer("control", LayerType::Control);
+        s
+    }
+
+    /// Adds a layer whose id and name are both `id`.
+    pub fn add_layer(&mut self, id: &str, layer_type: LayerType) {
+        self.layers.push(Layer::new(id, id, layer_type));
+    }
+
+    /// Adds a fully-formed component, returning a connection handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a component with the same id was already added — the
+    /// generators allocate ids deterministically, so a collision is a bug
+    /// in the generator, not a runtime condition.
+    pub fn add(&mut self, component: Component) -> Handle {
+        assert!(
+            self.components.iter().all(|c| c.id != component.id),
+            "duplicate component id `{}` in sketch `{}`",
+            component.id,
+            self.name
+        );
+        let id = component.id.clone();
+        self.components.push(component);
+        Handle { id }
+    }
+
+    /// Number of components so far.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Connects `source` to one or more `sinks` on `layer`, returning the
+    /// new connection's id. Connection ids are `ch0`, `ch1`, … in creation
+    /// order; names are derived from the endpoints.
+    pub fn connect(&mut self, layer: &str, source: Target, sinks: Vec<Target>) -> ConnectionId {
+        let id = ConnectionId::new(format!("ch{}", self.next_connection));
+        self.next_connection += 1;
+        let name = match sinks.first() {
+            Some(first) if sinks.len() == 1 => {
+                format!("{}_to_{}", source.component, first.component)
+            }
+            _ => format!("{}_fanout", source.component),
+        };
+        self.connections
+            .push(Connection::new(id.clone(), name, layer, source, sinks));
+        id
+    }
+
+    /// Two-terminal convenience form of [`Sketch::connect`].
+    pub fn wire(&mut self, layer: &str, source: Target, sink: Target) -> ConnectionId {
+        self.connect(layer, source, vec![sink])
+    }
+
+    /// Chains terminals pairwise: `a→b`, `b→c`, … using `(out, in)` port
+    /// names per handle pair, returning the created connection ids.
+    pub fn chain(&mut self, layer: &str, handles: &[&Handle], out: &str, inp: &str) -> Vec<ConnectionId> {
+        handles
+            .windows(2)
+            .map(|w| self.wire(layer, w[0].port(out), w[1].port(inp)))
+            .collect()
+    }
+
+    /// Binds `valve` to pinch `connection`.
+    pub fn bind_valve(
+        &mut self,
+        valve: &Handle,
+        connection: ConnectionId,
+        valve_type: ValveType,
+    ) {
+        self.valves.push((valve.id.clone(), connection, valve_type));
+    }
+
+    /// Estimated die outline: a square with four times the total component
+    /// area (the conventional white-space allowance for routing).
+    pub fn estimated_bounds(&self) -> Span {
+        let total: i64 = self.components.iter().map(|c| c.area()).sum();
+        let side = ((total.max(1) * 4) as f64).sqrt().ceil() as i64;
+        // Round up to a 500 µm grid so outlines look like real die sizes.
+        let side = (side + 499) / 500 * 500;
+        Span::square(side.max(1000))
+    }
+
+    /// Finalizes the sketch through the checked device builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the accumulated netlist is not referentially sound; the
+    /// generators are deterministic, so this indicates a generator bug.
+    pub fn finish(self) -> Device {
+        let bounds = self.estimated_bounds();
+        let mut builder = Device::builder(&self.name).bounds(bounds);
+        for layer in self.layers {
+            builder = builder.layer(layer);
+        }
+        for component in self.components {
+            builder = builder.component(component);
+        }
+        for connection in self.connections {
+            builder = builder.connection(connection);
+        }
+        for (component, connection, valve_type) in self.valves {
+            builder = builder.valve(component, connection, valve_type);
+        }
+        builder
+            .build()
+            .expect("suite generators produce referentially sound netlists")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitives;
+    use parchmint::Entity;
+
+    #[test]
+    fn flow_only_has_one_layer() {
+        let s = Sketch::flow_only("t");
+        let d = s.finish();
+        assert_eq!(d.layers.len(), 1);
+        assert_eq!(d.layers[0].layer_type, LayerType::Flow);
+    }
+
+    #[test]
+    fn flow_and_control_layers() {
+        let d = Sketch::flow_and_control("t").finish();
+        assert_eq!(d.layers.len(), 2);
+        assert!(d.layer("control").unwrap().is_control());
+    }
+
+    #[test]
+    fn connect_allocates_sequential_ids() {
+        let mut s = Sketch::flow_only("t");
+        let a = s.add(primitives::io_port("a", "flow"));
+        let b = s.add(primitives::io_port("b", "flow"));
+        let c1 = s.wire("flow", a.port("p"), b.port("p"));
+        let c2 = s.wire("flow", b.port("p"), a.port("p"));
+        assert_eq!(c1.as_str(), "ch0");
+        assert_eq!(c2.as_str(), "ch1");
+        let d = s.finish();
+        assert_eq!(d.connections[0].name, "a_to_b");
+    }
+
+    #[test]
+    fn chain_wires_pairwise() {
+        let mut s = Sketch::flow_only("t");
+        let m1 = s.add(primitives::mixer("m1", "flow", 5));
+        let m2 = s.add(primitives::mixer("m2", "flow", 5));
+        let m3 = s.add(primitives::mixer("m3", "flow", 5));
+        let ids = s.chain("flow", &[&m1, &m2, &m3], "out", "in");
+        assert_eq!(ids.len(), 2);
+        let d = s.finish();
+        assert_eq!(d.connections.len(), 2);
+        assert_eq!(d.connections[1].source.component, "m2");
+    }
+
+    #[test]
+    fn valve_binding_round_trips() {
+        let mut s = Sketch::flow_and_control("t");
+        let a = s.add(primitives::io_port("a", "flow"));
+        let b = s.add(primitives::io_port("b", "flow"));
+        let v = s.add(primitives::valve("v1", "control"));
+        let ch = s.wire("flow", a.port("p"), b.port("p"));
+        s.bind_valve(&v, ch, ValveType::NormallyClosed);
+        let d = s.finish();
+        assert_eq!(d.valves.len(), 1);
+        assert_eq!(d.valves[0].component, "v1");
+        assert_eq!(d.version, parchmint::Version::V1_2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate component id")]
+    fn duplicate_id_panics_in_sketch() {
+        let mut s = Sketch::flow_only("t");
+        s.add(primitives::io_port("a", "flow"));
+        s.add(primitives::io_port("a", "flow"));
+    }
+
+    #[test]
+    fn estimated_bounds_cover_components() {
+        let mut s = Sketch::flow_only("t");
+        for i in 0..10 {
+            s.add(primitives::mixer(&format!("m{i}"), "flow", 5));
+        }
+        let bounds = s.estimated_bounds();
+        let total: i64 = (0..10)
+            .map(|_| primitives::mixer("x", "flow", 5).area())
+            .sum();
+        assert!(bounds.area() >= 4 * total);
+        assert_eq!(bounds.x % 500, 0, "snapped to 500 µm grid");
+        let d = s.finish();
+        assert_eq!(d.declared_bounds(), Some(bounds));
+    }
+
+    #[test]
+    fn handle_port_builds_target() {
+        let mut s = Sketch::flow_only("t");
+        let a = s.add(primitives::io_port("a", "flow"));
+        let t = a.port("p");
+        assert_eq!(t.component, "a");
+        assert_eq!(t.port.as_ref().unwrap(), &parchmint::PortLabel::new("p"));
+        assert_eq!(a.id().as_str(), "a");
+        let _ = s.finish();
+    }
+
+    #[test]
+    fn empty_sketch_gets_minimum_die() {
+        let d = Sketch::flow_only("t").finish();
+        assert_eq!(d.declared_bounds(), Some(Span::square(1000)));
+        assert_eq!(d.components_of(&Entity::Port).count(), 0);
+    }
+}

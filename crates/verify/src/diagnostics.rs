@@ -1,0 +1,370 @@
+//! Diagnostics produced by validation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How severe a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Advisory only; the device is conformant.
+    Info,
+    /// Suspicious but not a conformance violation.
+    Warning,
+    /// The device violates the interchange contract.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label for rendering.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Stable identifier of the rule that produced a finding.
+///
+/// Codes are grouped by prefix: `REF` (referential integrity), `STR`
+/// (structural well-formedness), `GEO` (geometry of a placed/routed
+/// device), `DRC` (design rules), `NET` (netlist connectivity), and `VER`
+/// (versioning).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Rule {
+    /// Duplicate identifier within a section.
+    RefDuplicateId,
+    /// Reference to an identifier that does not exist.
+    RefUnknownId,
+    /// A port references a layer its component does not occupy.
+    RefPortLayerMismatch,
+    /// Duplicate port label within one component.
+    StrDuplicatePortLabel,
+    /// Connection with no sinks.
+    StrEmptyConnection,
+    /// Component occupies no layers.
+    StrNoLayers,
+    /// Empty human-readable name.
+    StrEmptyName,
+    /// Device declares no external PORT component.
+    StrNoExternalPort,
+    /// Declared version too low for the content present.
+    VerContentMismatch,
+    /// Port lies off its component's boundary.
+    GeoPortOffBoundary,
+    /// Placement extends beyond the declared die outline.
+    GeoPlacementOutOfBounds,
+    /// Two placements on a shared layer overlap.
+    GeoPlacementOverlap,
+    /// A route is not rectilinear.
+    GeoRouteNotRectilinear,
+    /// A route endpoint does not meet the terminal port position.
+    GeoRouteEndpointMismatch,
+    /// A routed channel passes through a component it does not terminate on.
+    GeoRouteCrossesComponent,
+    /// A placement span disagrees with the component's declared span.
+    GeoSpanMismatch,
+    /// Channel narrower than the minimum width.
+    DrcChannelWidth,
+    /// Feature shallower than the minimum depth.
+    DrcChannelDepth,
+    /// Placements closer than the minimum spacing.
+    DrcSpacing,
+    /// The flow netlist is disconnected.
+    NetDisconnected,
+    /// A component participates in no connection.
+    NetIsolatedComponent,
+    /// A valve binding references a component whose entity is not a
+    /// valve/pump.
+    NetValveEntity,
+}
+
+impl Rule {
+    /// The stable short code, e.g. `REF001`.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::RefDuplicateId => "REF001",
+            Rule::RefUnknownId => "REF002",
+            Rule::RefPortLayerMismatch => "REF003",
+            Rule::StrDuplicatePortLabel => "STR001",
+            Rule::StrEmptyConnection => "STR002",
+            Rule::StrNoLayers => "STR003",
+            Rule::StrEmptyName => "STR004",
+            Rule::StrNoExternalPort => "STR005",
+            Rule::VerContentMismatch => "VER001",
+            Rule::GeoPortOffBoundary => "GEO001",
+            Rule::GeoPlacementOutOfBounds => "GEO002",
+            Rule::GeoPlacementOverlap => "GEO003",
+            Rule::GeoRouteNotRectilinear => "GEO004",
+            Rule::GeoRouteEndpointMismatch => "GEO005",
+            Rule::GeoRouteCrossesComponent => "GEO006",
+            Rule::GeoSpanMismatch => "GEO007",
+            Rule::DrcChannelWidth => "DRC001",
+            Rule::DrcChannelDepth => "DRC002",
+            Rule::DrcSpacing => "DRC003",
+            Rule::NetDisconnected => "NET001",
+            Rule::NetIsolatedComponent => "NET002",
+            Rule::NetValveEntity => "NET003",
+        }
+    }
+
+    /// The default severity findings of this rule carry.
+    pub fn default_severity(self) -> Severity {
+        match self {
+            Rule::RefDuplicateId
+            | Rule::RefUnknownId
+            | Rule::StrDuplicatePortLabel
+            | Rule::StrEmptyConnection
+            | Rule::StrNoLayers
+            | Rule::VerContentMismatch
+            | Rule::GeoPlacementOutOfBounds
+            | Rule::GeoPlacementOverlap
+            | Rule::GeoRouteCrossesComponent
+            | Rule::DrcChannelWidth
+            | Rule::DrcChannelDepth
+            | Rule::DrcSpacing => Severity::Error,
+            Rule::RefPortLayerMismatch
+            | Rule::StrEmptyName
+            | Rule::StrNoExternalPort
+            | Rule::GeoPortOffBoundary
+            | Rule::GeoRouteNotRectilinear
+            | Rule::GeoRouteEndpointMismatch
+            | Rule::GeoSpanMismatch
+            | Rule::NetDisconnected
+            | Rule::NetValveEntity => Severity::Warning,
+            Rule::NetIsolatedComponent => Severity::Info,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One validation finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Where in the device the finding anchors, e.g. `components[m1]`.
+    pub location: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic at the rule's default severity.
+    pub fn new(rule: Rule, location: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: rule.default_severity(),
+            rule,
+            location: location.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}: {}",
+            self.severity, self.rule, self.location, self.message
+        )
+    }
+}
+
+/// The outcome of validating one device.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Report {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Creates an empty (clean) report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Appends a finding.
+    pub fn push(&mut self, diagnostic: Diagnostic) {
+        self.diagnostics.push(diagnostic);
+    }
+
+    /// All findings in emission order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Findings at exactly `severity`.
+    pub fn with_severity(&self, severity: Severity) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(move |d| d.severity == severity)
+    }
+
+    /// Findings produced by `rule`.
+    pub fn by_rule(&self, rule: Rule) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.rule == rule)
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.with_severity(Severity::Error).count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.with_severity(Severity::Warning).count()
+    }
+
+    /// Total number of findings.
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// True when no findings were recorded at all.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// True when the device is conformant (no error-severity findings).
+    pub fn is_conformant(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// Merges another report's findings into this one.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return writeln!(f, "clean: no findings");
+        }
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        writeln!(
+            f,
+            "{} error(s), {} warning(s), {} finding(s) total",
+            self.error_count(),
+            self.warning_count(),
+            self.len()
+        )
+    }
+}
+
+impl FromIterator<Diagnostic> for Report {
+    fn from_iter<T: IntoIterator<Item = Diagnostic>>(iter: T) -> Self {
+        Report {
+            diagnostics: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::Error.to_string(), "error");
+    }
+
+    #[test]
+    fn rule_codes_are_unique() {
+        let rules = [
+            Rule::RefDuplicateId,
+            Rule::RefUnknownId,
+            Rule::RefPortLayerMismatch,
+            Rule::StrDuplicatePortLabel,
+            Rule::StrEmptyConnection,
+            Rule::StrNoLayers,
+            Rule::StrEmptyName,
+            Rule::StrNoExternalPort,
+            Rule::VerContentMismatch,
+            Rule::GeoPortOffBoundary,
+            Rule::GeoPlacementOutOfBounds,
+            Rule::GeoPlacementOverlap,
+            Rule::GeoRouteNotRectilinear,
+            Rule::GeoRouteEndpointMismatch,
+            Rule::GeoRouteCrossesComponent,
+            Rule::GeoSpanMismatch,
+            Rule::DrcChannelWidth,
+            Rule::DrcChannelDepth,
+            Rule::DrcSpacing,
+            Rule::NetDisconnected,
+            Rule::NetIsolatedComponent,
+            Rule::NetValveEntity,
+        ];
+        let mut codes: Vec<&str> = rules.iter().map(|r| r.code()).collect();
+        codes.sort_unstable();
+        let before = codes.len();
+        codes.dedup();
+        assert_eq!(codes.len(), before, "duplicate rule codes");
+    }
+
+    #[test]
+    fn diagnostic_display() {
+        let d = Diagnostic::new(Rule::RefUnknownId, "connections[ch1]", "unknown component `x`");
+        assert_eq!(
+            d.to_string(),
+            "error [REF002] connections[ch1]: unknown component `x`"
+        );
+    }
+
+    #[test]
+    fn report_counting_and_conformance() {
+        let mut r = Report::new();
+        assert!(r.is_conformant());
+        assert!(r.is_empty());
+        r.push(Diagnostic::new(Rule::StrEmptyName, "layers[l0]", "empty name"));
+        assert!(r.is_conformant(), "warnings do not break conformance");
+        r.push(Diagnostic::new(Rule::RefUnknownId, "x", "y"));
+        assert!(!r.is_conformant());
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warning_count(), 1);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.by_rule(Rule::RefUnknownId).count(), 1);
+    }
+
+    #[test]
+    fn report_merge_and_collect() {
+        let mut a: Report = vec![Diagnostic::new(Rule::StrEmptyName, "l", "m")]
+            .into_iter()
+            .collect();
+        let b: Report = vec![Diagnostic::new(Rule::RefUnknownId, "l2", "m2")]
+            .into_iter()
+            .collect();
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn report_display() {
+        let clean = Report::new();
+        assert!(clean.to_string().contains("clean"));
+        let mut r = Report::new();
+        r.push(Diagnostic::new(Rule::DrcChannelWidth, "features[f1]", "too narrow"));
+        let text = r.to_string();
+        assert!(text.contains("DRC001"));
+        assert!(text.contains("1 error(s)"));
+    }
+}

@@ -1,0 +1,41 @@
+//! # parchmint-verify
+//!
+//! Conformance validator and design-rule checker for ParchMint devices.
+//!
+//! An interchange format is only a standard if conformance is mechanically
+//! checkable. This crate runs a battery of rules over a
+//! [`parchmint::Device`] and produces a [`Report`] of [`Diagnostic`]s:
+//!
+//! - **REF\*** — referential integrity (ids unique, references resolve)
+//! - **STR\*** / **VER\*** — structural well-formedness and versioning
+//! - **GEO\*** — geometry of placed/routed devices
+//! - **DRC\*** — fabrication design rules (widths, depths, spacing)
+//! - **NET\*** — netlist connectivity and valve-binding sanity
+//!
+//! ```
+//! use parchmint::Device;
+//! use parchmint_verify::validate;
+//!
+//! let device = Device::from_json(r#"{
+//!     "name": "broken",
+//!     "connections": [{
+//!         "id": "ch1", "name": "dangling", "layer": "ghost",
+//!         "source": {"component": "nobody"}, "sinks": []
+//!     }]
+//! }"#).unwrap();
+//! let report = validate(&device);
+//! assert!(!report.is_conformant());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod diagnostics;
+mod rules;
+pub mod validator;
+
+pub use diagnostics::{Diagnostic, Report, Rule, Severity};
+pub use validator::{validate, DesignRules, Validator};
+
+#[cfg(test)]
+mod validator_tests;

@@ -1,0 +1,47 @@
+//! Netlist connectivity rules (`NET*`).
+
+use crate::diagnostics::{Diagnostic, Report, Rule};
+use parchmint::Device;
+use parchmint_graph::{Components, Netlist};
+
+pub(crate) fn check(device: &Device, report: &mut Report) {
+    if device.components.len() >= 2 {
+        let netlist = Netlist::from_device(device);
+        let components = Components::of(netlist.graph());
+        if components.count() > 1 {
+            report.push(Diagnostic::new(
+                Rule::NetDisconnected,
+                "connections",
+                format!(
+                    "netlist splits into {} disconnected islands",
+                    components.count()
+                ),
+            ));
+        }
+        for node in netlist.graph().node_indices() {
+            if netlist.graph().degree(node) == 0 {
+                report.push(Diagnostic::new(
+                    Rule::NetIsolatedComponent,
+                    format!("components[{}]", netlist.component_at(node)),
+                    "component participates in no connection",
+                ));
+            }
+        }
+    }
+
+    for valve in &device.valves {
+        let Some(component) = device.component(valve.component.as_str()) else {
+            continue; // referential rules already flagged this
+        };
+        if !component.entity.is_control() {
+            report.push(Diagnostic::new(
+                Rule::NetValveEntity,
+                format!("valves[{}]", valve.component),
+                format!(
+                    "valve binding targets entity {} — expected a valve or pump",
+                    component.entity
+                ),
+            ));
+        }
+    }
+}

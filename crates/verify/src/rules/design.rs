@@ -1,0 +1,77 @@
+//! Design rules (`DRC*`): fabrication limits on widths, depths, and spacing.
+
+use crate::diagnostics::{Diagnostic, Report, Rule};
+use crate::validator::DesignRules;
+use parchmint::{ComponentFeature, Device, Feature};
+
+pub(crate) fn check(device: &Device, rules: &DesignRules, report: &mut Report) {
+    for feature in &device.features {
+        let loc = format!("features[{}]", feature.id());
+        match feature {
+            Feature::Connection(route) => {
+                if route.width < rules.min_channel_width {
+                    report.push(Diagnostic::new(
+                        Rule::DrcChannelWidth,
+                        loc.clone(),
+                        format!(
+                            "channel width {} µm is below the minimum {} µm",
+                            route.width, rules.min_channel_width
+                        ),
+                    ));
+                }
+                if route.depth < rules.min_channel_depth {
+                    report.push(Diagnostic::new(
+                        Rule::DrcChannelDepth,
+                        loc,
+                        format!(
+                            "channel depth {} µm is below the minimum {} µm",
+                            route.depth, rules.min_channel_depth
+                        ),
+                    ));
+                }
+            }
+            Feature::Component(placement) => {
+                if placement.depth < rules.min_channel_depth {
+                    report.push(Diagnostic::new(
+                        Rule::DrcChannelDepth,
+                        loc,
+                        format!(
+                            "feature depth {} µm is below the minimum {} µm",
+                            placement.depth, rules.min_channel_depth
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    check_spacing(device, rules, report);
+}
+
+fn check_spacing(device: &Device, rules: &DesignRules, report: &mut Report) {
+    let placements: Vec<&ComponentFeature> = device
+        .features
+        .iter()
+        .filter_map(|f| f.as_component())
+        .collect();
+    for (i, a) in placements.iter().enumerate() {
+        for b in &placements[i + 1..] {
+            if a.layer != b.layer {
+                continue;
+            }
+            let (fa, fb) = (a.footprint(), b.footprint());
+            // Overlaps are reported separately by GEO003; spacing only
+            // concerns placements that are disjoint but too close.
+            if !fa.intersects(fb) && fa.inflated(rules.min_spacing).intersects(fb) {
+                report.push(Diagnostic::new(
+                    Rule::DrcSpacing,
+                    format!("features[{}]", a.id),
+                    format!(
+                        "placements of `{}` and `{}` are closer than {} µm",
+                        a.component, b.component, rules.min_spacing
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Geometric rules (`GEO*`), active for placed/routed devices.
+
+use crate::diagnostics::{Diagnostic, Report, Rule};
+use crate::validator::DesignRules;
+use parchmint::geometry::{Point, Rect, Span};
+use parchmint::{ComponentFeature, ConnectionFeature, Device};
+
+pub(crate) fn check(device: &Device, rules: &DesignRules, report: &mut Report) {
+    check_port_boundaries(device, report);
+
+    let placements: Vec<&ComponentFeature> = device
+        .features
+        .iter()
+        .filter_map(|f| f.as_component())
+        .collect();
+    let routes: Vec<&ConnectionFeature> = device
+        .features
+        .iter()
+        .filter_map(|f| f.as_connection())
+        .collect();
+
+    check_placement_bounds(device, &placements, report);
+    check_placement_overlap(&placements, report);
+    check_span_mismatch(device, &placements, report);
+    check_routes(device, rules, &routes, report);
+    check_route_crossings(device, &placements, &routes, report);
+}
+
+fn check_port_boundaries(device: &Device, report: &mut Report) {
+    for component in &device.components {
+        for port in &component.ports {
+            if !port.on_boundary(component.span) {
+                report.push(Diagnostic::new(
+                    Rule::GeoPortOffBoundary,
+                    format!("components[{}].ports[{}]", component.id, port.label),
+                    format!(
+                        "port at ({}, {}) is not on the boundary of a {} footprint",
+                        port.x, port.y, component.span
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn check_placement_bounds(device: &Device, placements: &[&ComponentFeature], report: &mut Report) {
+    let Some(bounds) = device.declared_bounds() else {
+        return;
+    };
+    let die = Rect::new(Point::ORIGIN, bounds);
+    for placement in placements {
+        if !die.contains_rect(placement.footprint()) {
+            report.push(Diagnostic::new(
+                Rule::GeoPlacementOutOfBounds,
+                format!("features[{}]", placement.id),
+                format!(
+                    "placement {} exceeds the declared die outline {}",
+                    placement.footprint(),
+                    bounds
+                ),
+            ));
+        }
+    }
+}
+
+fn check_placement_overlap(placements: &[&ComponentFeature], report: &mut Report) {
+    for (i, a) in placements.iter().enumerate() {
+        for b in &placements[i + 1..] {
+            if a.layer != b.layer {
+                continue;
+            }
+            if a.footprint().intersects(b.footprint()) {
+                report.push(Diagnostic::new(
+                    Rule::GeoPlacementOverlap,
+                    format!("features[{}]", a.id),
+                    format!(
+                        "placement of `{}` overlaps placement of `{}` on layer `{}`",
+                        a.component, b.component, a.layer
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn check_span_mismatch(device: &Device, placements: &[&ComponentFeature], report: &mut Report) {
+    for placement in placements {
+        let Some(component) = device.component(placement.component.as_str()) else {
+            continue; // referential rules already flagged this
+        };
+        if component.span != placement.span && placement.span != component.span.rotated() {
+            report.push(Diagnostic::new(
+                Rule::GeoSpanMismatch,
+                format!("features[{}]", placement.id),
+                format!(
+                    "placed span {} disagrees with component span {} (rotation allowed)",
+                    placement.span, component.span
+                ),
+            ));
+        }
+    }
+}
+
+fn check_routes(
+    device: &Device,
+    rules: &DesignRules,
+    routes: &[&ConnectionFeature],
+    report: &mut Report,
+) {
+    for route in routes {
+        let loc = format!("features[{}]", route.id);
+        if !route.is_rectilinear() {
+            report.push(Diagnostic::new(
+                Rule::GeoRouteNotRectilinear,
+                loc.clone(),
+                "route contains non-axis-aligned segments",
+            ));
+        }
+        check_route_endpoints(device, rules, route, &loc, report);
+    }
+}
+
+fn check_route_endpoints(
+    device: &Device,
+    rules: &DesignRules,
+    route: &ConnectionFeature,
+    loc: &str,
+    report: &mut Report,
+) {
+    let Some(connection) = device.connection(route.connection.as_str()) else {
+        return;
+    };
+    let (Some(&first), Some(&last)) = (route.waypoints.first(), route.waypoints.last()) else {
+        return;
+    };
+    if let Some(src) = device.target_position(&connection.source) {
+        if src.manhattan_distance(first) > rules.endpoint_tolerance {
+            report.push(Diagnostic::new(
+                Rule::GeoRouteEndpointMismatch,
+                loc.to_owned(),
+                format!(
+                    "route starts at {first} but source terminal `{}` is at {src}",
+                    connection.source
+                ),
+            ));
+        }
+    }
+    let sink_positions: Vec<Point> = connection
+        .sinks
+        .iter()
+        .filter_map(|s| device.target_position(s))
+        .collect();
+    if !sink_positions.is_empty()
+        && !sink_positions
+            .iter()
+            .any(|p| p.manhattan_distance(last) <= rules.endpoint_tolerance)
+    {
+        report.push(Diagnostic::new(
+            Rule::GeoRouteEndpointMismatch,
+            loc.to_owned(),
+            format!("route ends at {last}, which meets no sink terminal"),
+        ));
+    }
+}
+
+/// Approximates a rectilinear segment as a thin rectangle for
+/// interior-overlap testing (zero-extent axes widened to 1 µm).
+fn segment_rect(a: Point, b: Point) -> Rect {
+    let mut r = Rect::from_corners(a, b);
+    if r.span.x == 0 {
+        r.span = Span::new(1, r.span.y.max(1));
+    }
+    if r.span.y == 0 {
+        r.span = Span::new(r.span.x.max(1), 1);
+    }
+    r
+}
+
+fn check_route_crossings(
+    device: &Device,
+    placements: &[&ComponentFeature],
+    routes: &[&ConnectionFeature],
+    report: &mut Report,
+) {
+    for route in routes {
+        let Some(connection) = device.connection(route.connection.as_str()) else {
+            continue;
+        };
+        let terminal_components: Vec<&str> = connection
+            .terminals()
+            .map(|t| t.component.as_str())
+            .collect();
+        for placement in placements {
+            if placement.layer != route.layer
+                || terminal_components.contains(&placement.component.as_str())
+            {
+                continue;
+            }
+            let footprint = placement.footprint();
+            for window in route.waypoints.windows(2) {
+                if segment_rect(window[0], window[1]).intersects(footprint) {
+                    report.push(Diagnostic::new(
+                        Rule::GeoRouteCrossesComponent,
+                        format!("features[{}]", route.id),
+                        format!(
+                            "route of `{}` passes through component `{}`",
+                            route.connection, placement.component
+                        ),
+                    ));
+                    break;
+                }
+            }
+        }
+    }
+}

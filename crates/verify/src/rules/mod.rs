@@ -1,0 +1,7 @@
+//! Rule groups, one module per diagnostic-code prefix.
+
+pub(crate) mod connectivity;
+pub(crate) mod design;
+pub(crate) mod geometry;
+pub(crate) mod referential;
+pub(crate) mod structure;

@@ -1,0 +1,158 @@
+//! Referential-integrity rules (`REF*`): every identifier that is referenced
+//! must exist, and identifiers must be unique within their section.
+
+use crate::diagnostics::{Diagnostic, Report, Rule};
+use parchmint::{Device, Feature};
+use std::collections::HashSet;
+
+pub(crate) fn check(device: &Device, report: &mut Report) {
+    let mut layer_ids = HashSet::new();
+    for layer in &device.layers {
+        if !layer_ids.insert(layer.id.as_str()) {
+            report.push(Diagnostic::new(
+                Rule::RefDuplicateId,
+                format!("layers[{}]", layer.id),
+                format!("duplicate layer id `{}`", layer.id),
+            ));
+        }
+    }
+
+    let mut component_ids = HashSet::new();
+    for component in &device.components {
+        let loc = format!("components[{}]", component.id);
+        if !component_ids.insert(component.id.as_str()) {
+            report.push(Diagnostic::new(
+                Rule::RefDuplicateId,
+                loc.clone(),
+                format!("duplicate component id `{}`", component.id),
+            ));
+        }
+        for layer in &component.layers {
+            if !layer_ids.contains(layer.as_str()) {
+                report.push(Diagnostic::new(
+                    Rule::RefUnknownId,
+                    loc.clone(),
+                    format!("component occupies unknown layer `{layer}`"),
+                ));
+            }
+        }
+        for port in &component.ports {
+            let port_loc = format!("{loc}.ports[{}]", port.label);
+            if !layer_ids.contains(port.layer.as_str()) {
+                report.push(Diagnostic::new(
+                    Rule::RefUnknownId,
+                    port_loc,
+                    format!("port lives on unknown layer `{}`", port.layer),
+                ));
+            } else if !component.layers.contains(&port.layer) {
+                report.push(Diagnostic::new(
+                    Rule::RefPortLayerMismatch,
+                    port_loc,
+                    format!(
+                        "port layer `{}` is not among the component's layers",
+                        port.layer
+                    ),
+                ));
+            }
+        }
+    }
+
+    let mut connection_ids = HashSet::new();
+    for connection in &device.connections {
+        let loc = format!("connections[{}]", connection.id);
+        if !connection_ids.insert(connection.id.as_str()) {
+            report.push(Diagnostic::new(
+                Rule::RefDuplicateId,
+                loc.clone(),
+                format!("duplicate connection id `{}`", connection.id),
+            ));
+        }
+        if !layer_ids.contains(connection.layer.as_str()) {
+            report.push(Diagnostic::new(
+                Rule::RefUnknownId,
+                loc.clone(),
+                format!("connection routed on unknown layer `{}`", connection.layer),
+            ));
+        }
+        for target in connection.terminals() {
+            match device.component(target.component.as_str()) {
+                None => report.push(Diagnostic::new(
+                    Rule::RefUnknownId,
+                    loc.clone(),
+                    format!("terminal names unknown component `{}`", target.component),
+                )),
+                Some(component) => {
+                    if let Some(port) = &target.port {
+                        if component.port(port.as_str()).is_none() {
+                            report.push(Diagnostic::new(
+                                Rule::RefUnknownId,
+                                loc.clone(),
+                                format!(
+                                    "terminal names unknown port `{}.{port}`",
+                                    target.component
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut feature_ids = HashSet::new();
+    for feature in &device.features {
+        let loc = format!("features[{}]", feature.id());
+        if !feature_ids.insert(feature.id().as_str().to_owned()) {
+            report.push(Diagnostic::new(
+                Rule::RefDuplicateId,
+                loc.clone(),
+                format!("duplicate feature id `{}`", feature.id()),
+            ));
+        }
+        if !layer_ids.contains(feature.layer().as_str()) {
+            report.push(Diagnostic::new(
+                Rule::RefUnknownId,
+                loc.clone(),
+                format!("feature drawn on unknown layer `{}`", feature.layer()),
+            ));
+        }
+        match feature {
+            Feature::Component(f) => {
+                if !component_ids.contains(f.component.as_str()) {
+                    report.push(Diagnostic::new(
+                        Rule::RefUnknownId,
+                        loc,
+                        format!("placement of unknown component `{}`", f.component),
+                    ));
+                }
+            }
+            Feature::Connection(f) => {
+                if !connection_ids.contains(f.connection.as_str()) {
+                    report.push(Diagnostic::new(
+                        Rule::RefUnknownId,
+                        loc,
+                        format!("route of unknown connection `{}`", f.connection),
+                    ));
+                }
+            }
+        }
+    }
+
+    for valve in &device.valves {
+        let loc = format!("valves[{}]", valve.component);
+        if !component_ids.contains(valve.component.as_str()) {
+            report.push(Diagnostic::new(
+                Rule::RefUnknownId,
+                loc.clone(),
+                format!("valve binding names unknown component `{}`", valve.component),
+            ));
+        }
+        if !connection_ids.contains(valve.controls.as_str()) {
+            report.push(Diagnostic::new(
+                Rule::RefUnknownId,
+                loc,
+                format!("valve controls unknown connection `{}`", valve.controls),
+            ));
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Structural well-formedness rules (`STR*`, `VER*`).
+
+use crate::diagnostics::{Diagnostic, Report, Rule};
+use parchmint::{Device, Entity};
+use std::collections::HashSet;
+
+pub(crate) fn check(device: &Device, report: &mut Report) {
+    if device.name.trim().is_empty() {
+        report.push(Diagnostic::new(
+            Rule::StrEmptyName,
+            "device",
+            "device has an empty name",
+        ));
+    }
+
+    for layer in &device.layers {
+        if layer.name.trim().is_empty() {
+            report.push(Diagnostic::new(
+                Rule::StrEmptyName,
+                format!("layers[{}]", layer.id),
+                "layer has an empty name",
+            ));
+        }
+    }
+
+    for component in &device.components {
+        let loc = format!("components[{}]", component.id);
+        if component.name.trim().is_empty() {
+            report.push(Diagnostic::new(
+                Rule::StrEmptyName,
+                loc.clone(),
+                "component has an empty name",
+            ));
+        }
+        if component.layers.is_empty() {
+            report.push(Diagnostic::new(
+                Rule::StrNoLayers,
+                loc.clone(),
+                "component occupies no layers",
+            ));
+        }
+        let mut labels = HashSet::new();
+        for port in &component.ports {
+            if !labels.insert(port.label.as_str()) {
+                report.push(Diagnostic::new(
+                    Rule::StrDuplicatePortLabel,
+                    format!("{loc}.ports[{}]", port.label),
+                    format!("duplicate port label `{}`", port.label),
+                ));
+            }
+        }
+    }
+
+    for connection in &device.connections {
+        let loc = format!("connections[{}]", connection.id);
+        if connection.name.trim().is_empty() {
+            report.push(Diagnostic::new(
+                Rule::StrEmptyName,
+                loc.clone(),
+                "connection has an empty name",
+            ));
+        }
+        if connection.sinks.is_empty() {
+            report.push(Diagnostic::new(
+                Rule::StrEmptyConnection,
+                loc,
+                "connection has no sinks",
+            ));
+        }
+    }
+
+    if !device.components.is_empty()
+        && !device.components.iter().any(|c| c.entity == Entity::Port)
+    {
+        report.push(Diagnostic::new(
+            Rule::StrNoExternalPort,
+            "components",
+            "device declares no PORT component; fluids cannot enter or leave",
+        ));
+    }
+
+    let minimum = device.minimum_version();
+    if device.version < minimum {
+        report.push(Diagnostic::new(
+            Rule::VerContentMismatch,
+            "version",
+            format!(
+                "declared version {} cannot carry this content (needs {minimum})",
+                device.version
+            ),
+        ));
+    }
+}

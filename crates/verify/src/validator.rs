@@ -1,0 +1,84 @@
+//! The validator: design-rule configuration and rule orchestration.
+
+use crate::diagnostics::Report;
+use crate::rules;
+use parchmint::Device;
+
+/// Fabrication limits the `DRC*` and `GEO*` rules enforce.
+///
+/// Defaults approximate soft-lithography PDMS processes: 5 µm minimum
+/// feature width/depth and 10 µm spacing between independent features.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DesignRules {
+    /// Minimum routed channel width, in µm.
+    pub min_channel_width: i64,
+    /// Minimum feature depth, in µm.
+    pub min_channel_depth: i64,
+    /// Minimum clearance between disjoint placements, in µm.
+    pub min_spacing: i64,
+    /// Manhattan slack allowed between a route endpoint and its terminal
+    /// port, in µm.
+    pub endpoint_tolerance: i64,
+}
+
+impl Default for DesignRules {
+    fn default() -> Self {
+        DesignRules {
+            min_channel_width: 5,
+            min_channel_depth: 5,
+            min_spacing: 10,
+            endpoint_tolerance: 0,
+        }
+    }
+}
+
+/// Validates [`Device`]s against the interchange contract and a set of
+/// design rules.
+///
+/// # Examples
+///
+/// ```
+/// use parchmint::Device;
+/// use parchmint_verify::Validator;
+///
+/// let device = Device::new("empty");
+/// let report = Validator::new().validate(&device);
+/// assert!(report.is_conformant());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Validator {
+    rules: DesignRules,
+}
+
+impl Validator {
+    /// Creates a validator with default design rules.
+    pub fn new() -> Self {
+        Validator::default()
+    }
+
+    /// Creates a validator with explicit design rules.
+    pub fn with_rules(rules: DesignRules) -> Self {
+        Validator { rules }
+    }
+
+    /// The active design rules.
+    pub fn rules(&self) -> &DesignRules {
+        &self.rules
+    }
+
+    /// Runs every rule group over `device` and collects the findings.
+    pub fn validate(&self, device: &Device) -> Report {
+        let mut report = Report::new();
+        rules::referential::check(device, &mut report);
+        rules::structure::check(device, &mut report);
+        rules::geometry::check(device, &self.rules, &mut report);
+        rules::design::check(device, &self.rules, &mut report);
+        rules::connectivity::check(device, &mut report);
+        report
+    }
+}
+
+/// Validates with default rules; shorthand for `Validator::new().validate(..)`.
+pub fn validate(device: &Device) -> Report {
+    Validator::new().validate(device)
+}

@@ -1,0 +1,451 @@
+//! Rule-by-rule validator tests: each test constructs a device that
+//! violates exactly one contract and asserts the matching rule fires.
+
+use crate::{validate, DesignRules, Rule, Severity, Validator};
+use parchmint::geometry::{Point, Span};
+use parchmint::{
+    Component, ComponentFeature, Connection, ConnectionFeature, Device, Entity, Layer, LayerType,
+    Port, Target, Valve, ValveType, Version,
+};
+
+/// A minimal clean device: inlet port -> mixer -> outlet port, placed and
+/// routed, with generous geometry.
+fn clean_device() -> Device {
+    let mut d = Device::new("clean");
+    d.layers.push(Layer::new("f0", "flow", LayerType::Flow));
+    d.components.push(
+        Component::new("in", "inlet", Entity::Port, ["f0"], Span::square(200))
+            .with_port(Port::new("p", "f0", 200, 100)),
+    );
+    d.components.push(
+        Component::new("m", "mixer", Entity::Mixer, ["f0"], Span::new(1000, 400))
+            .with_port(Port::new("a", "f0", 0, 200))
+            .with_port(Port::new("b", "f0", 1000, 200)),
+    );
+    d.components.push(
+        Component::new("out", "outlet", Entity::Port, ["f0"], Span::square(200))
+            .with_port(Port::new("p", "f0", 0, 100)),
+    );
+    d.connections.push(Connection::new(
+        "c1",
+        "in_to_m",
+        "f0",
+        Target::new("in", "p"),
+        [Target::new("m", "a")],
+    ));
+    d.connections.push(Connection::new(
+        "c2",
+        "m_to_out",
+        "f0",
+        Target::new("m", "b"),
+        [Target::new("out", "p")],
+    ));
+    d.features.push(
+        ComponentFeature::new("pf_in", "in", "f0", Point::new(0, 100), Span::square(200), 50)
+            .into(),
+    );
+    d.features.push(
+        ComponentFeature::new("pf_m", "m", "f0", Point::new(500, 0), Span::new(1000, 400), 50)
+            .into(),
+    );
+    d.features.push(
+        ComponentFeature::new("pf_out", "out", "f0", Point::new(1800, 100), Span::square(200), 50)
+            .into(),
+    );
+    d.features.push(
+        ConnectionFeature::new(
+            "rf_1",
+            "c1",
+            "f0",
+            100,
+            50,
+            [Point::new(200, 200), Point::new(500, 200)],
+        )
+        .into(),
+    );
+    d.features.push(
+        ConnectionFeature::new(
+            "rf_2",
+            "c2",
+            "f0",
+            100,
+            50,
+            [Point::new(1500, 200), Point::new(1800, 200)],
+        )
+        .into(),
+    );
+    d.set_declared_bounds(Span::new(2000, 500));
+    d
+}
+
+fn fires(device: &Device, rule: Rule) -> bool {
+    validate(device).by_rule(rule).next().is_some()
+}
+
+#[test]
+fn clean_device_is_conformant() {
+    let report = validate(&clean_device());
+    assert!(
+        report.is_conformant(),
+        "unexpected errors:\n{report}"
+    );
+    assert_eq!(report.warning_count(), 0, "unexpected warnings:\n{report}");
+}
+
+// ---- REF -------------------------------------------------------------
+
+#[test]
+fn duplicate_layer_id_fires() {
+    let mut d = clean_device();
+    d.layers.push(Layer::new("f0", "dup", LayerType::Control));
+    assert!(fires(&d, Rule::RefDuplicateId));
+}
+
+#[test]
+fn duplicate_component_id_fires() {
+    let mut d = clean_device();
+    d.components
+        .push(Component::new("m", "dup", Entity::Node, ["f0"], Span::square(1)));
+    assert!(fires(&d, Rule::RefDuplicateId));
+}
+
+#[test]
+fn duplicate_connection_id_fires() {
+    let mut d = clean_device();
+    let dup = d.connections[0].clone();
+    d.connections.push(dup);
+    assert!(fires(&d, Rule::RefDuplicateId));
+}
+
+#[test]
+fn duplicate_feature_id_fires() {
+    let mut d = clean_device();
+    let dup = d.features[0].clone();
+    d.features.push(dup);
+    assert!(fires(&d, Rule::RefDuplicateId));
+}
+
+#[test]
+fn unknown_component_layer_fires() {
+    let mut d = clean_device();
+    d.components[0].layers.push("ghost".into());
+    assert!(fires(&d, Rule::RefUnknownId));
+}
+
+#[test]
+fn unknown_port_layer_fires() {
+    let mut d = clean_device();
+    d.components[0].ports[0].layer = "ghost".into();
+    assert!(fires(&d, Rule::RefUnknownId));
+}
+
+#[test]
+fn port_layer_mismatch_fires() {
+    let mut d = clean_device();
+    d.layers.push(Layer::new("c0", "ctl", LayerType::Control));
+    d.components[0].ports[0].layer = "c0".into(); // exists, but component is flow-only
+    assert!(fires(&d, Rule::RefPortLayerMismatch));
+}
+
+#[test]
+fn unknown_connection_layer_fires() {
+    let mut d = clean_device();
+    d.connections[0].layer = "ghost".into();
+    assert!(fires(&d, Rule::RefUnknownId));
+}
+
+#[test]
+fn unknown_terminal_component_fires() {
+    let mut d = clean_device();
+    d.connections[0].sinks.push(Target::new("ghost", "p"));
+    assert!(fires(&d, Rule::RefUnknownId));
+}
+
+#[test]
+fn unknown_terminal_port_fires() {
+    let mut d = clean_device();
+    d.connections[0].sinks[0] = Target::new("m", "sideways");
+    assert!(fires(&d, Rule::RefUnknownId));
+}
+
+#[test]
+fn unknown_feature_targets_fire() {
+    let mut d = clean_device();
+    d.features.push(
+        ComponentFeature::new("pf_x", "ghost", "f0", Point::ORIGIN, Span::square(1), 50).into(),
+    );
+    d.features
+        .push(ConnectionFeature::new("rf_x", "ghost", "ghost_layer", 100, 50, []).into());
+    let report = validate(&d);
+    assert!(report.by_rule(Rule::RefUnknownId).count() >= 3);
+}
+
+#[test]
+fn unknown_valve_references_fire() {
+    let mut d = clean_device();
+    d.valves.push(Valve::new("ghost", "c1", ValveType::NormallyOpen));
+    d.valves.push(Valve::new("m", "ghost", ValveType::NormallyOpen));
+    let report = validate(&d);
+    assert!(report.by_rule(Rule::RefUnknownId).count() >= 2);
+}
+
+// ---- STR / VER --------------------------------------------------------
+
+#[test]
+fn empty_names_warn() {
+    let mut d = clean_device();
+    d.name = " ".into();
+    d.layers[0].name = "".into();
+    d.components[0].name = "".into();
+    d.connections[0].name = "".into();
+    let report = validate(&d);
+    assert_eq!(report.by_rule(Rule::StrEmptyName).count(), 4);
+    assert!(report.is_conformant(), "names are warnings only");
+}
+
+#[test]
+fn duplicate_port_label_fires() {
+    let mut d = clean_device();
+    d.components[1].ports.push(Port::new("a", "f0", 500, 0));
+    assert!(fires(&d, Rule::StrDuplicatePortLabel));
+}
+
+#[test]
+fn sinkless_connection_fires() {
+    let mut d = clean_device();
+    d.connections[0].sinks.clear();
+    assert!(fires(&d, Rule::StrEmptyConnection));
+}
+
+#[test]
+fn layerless_component_fires() {
+    let mut d = clean_device();
+    d.components[1].layers.clear();
+    assert!(fires(&d, Rule::StrNoLayers));
+}
+
+#[test]
+fn missing_external_port_warns() {
+    let mut d = clean_device();
+    for c in &mut d.components {
+        c.entity = Entity::Mixer;
+    }
+    assert!(fires(&d, Rule::StrNoExternalPort));
+}
+
+#[test]
+fn version_content_mismatch_fires() {
+    let mut d = clean_device();
+    d.version = Version::V1_0; // but features are present
+    assert!(fires(&d, Rule::VerContentMismatch));
+}
+
+// ---- GEO ---------------------------------------------------------------
+
+#[test]
+fn port_off_boundary_warns() {
+    let mut d = clean_device();
+    d.components[1].ports[0] = Port::new("a", "f0", 500, 200); // interior
+    assert!(fires(&d, Rule::GeoPortOffBoundary));
+}
+
+#[test]
+fn placement_out_of_bounds_fires() {
+    let mut d = clean_device();
+    d.set_declared_bounds(Span::new(1000, 300));
+    assert!(fires(&d, Rule::GeoPlacementOutOfBounds));
+}
+
+#[test]
+fn no_declared_bounds_skips_bounds_check() {
+    let mut d = clean_device();
+    d.params.remove("x-span");
+    d.params.remove("y-span");
+    assert!(!fires(&d, Rule::GeoPlacementOutOfBounds));
+}
+
+#[test]
+fn overlapping_placements_fire() {
+    let mut d = clean_device();
+    // Move the inlet placement on top of the mixer.
+    if let parchmint::Feature::Component(f) = &mut d.features[0] {
+        f.location = Point::new(600, 100);
+    }
+    assert!(fires(&d, Rule::GeoPlacementOverlap));
+}
+
+#[test]
+fn overlap_on_different_layers_allowed() {
+    let mut d = clean_device();
+    d.layers.push(Layer::new("c0", "ctl", LayerType::Control));
+    if let parchmint::Feature::Component(f) = &mut d.features[0] {
+        f.location = Point::new(600, 100);
+        f.layer = "c0".into();
+    }
+    assert!(!fires(&d, Rule::GeoPlacementOverlap));
+}
+
+#[test]
+fn span_mismatch_warns_but_rotation_allowed() {
+    let mut d = clean_device();
+    if let parchmint::Feature::Component(f) = &mut d.features[1] {
+        f.span = Span::new(400, 1000); // rotated mixer: fine
+    }
+    assert!(!fires(&d, Rule::GeoSpanMismatch));
+    if let parchmint::Feature::Component(f) = &mut d.features[1] {
+        f.span = Span::new(999, 400); // shrunk: not fine
+    }
+    assert!(fires(&d, Rule::GeoSpanMismatch));
+}
+
+#[test]
+fn diagonal_route_warns() {
+    let mut d = clean_device();
+    if let parchmint::Feature::Connection(f) = &mut d.features[3] {
+        f.waypoints = vec![Point::new(200, 200), Point::new(500, 300)];
+    }
+    assert!(fires(&d, Rule::GeoRouteNotRectilinear));
+}
+
+#[test]
+fn route_endpoint_mismatch_warns() {
+    let mut d = clean_device();
+    if let parchmint::Feature::Connection(f) = &mut d.features[3] {
+        f.waypoints = vec![Point::new(210, 200), Point::new(500, 200)]; // 10 µm off source
+    }
+    assert!(fires(&d, Rule::GeoRouteEndpointMismatch));
+
+    // With tolerance, the same route passes.
+    let tolerant = Validator::with_rules(DesignRules {
+        endpoint_tolerance: 16,
+        ..DesignRules::default()
+    });
+    assert!(
+        tolerant
+            .validate(&d)
+            .by_rule(Rule::GeoRouteEndpointMismatch)
+            .next()
+            .is_none()
+    );
+}
+
+#[test]
+fn route_through_foreign_component_fires() {
+    let mut d = clean_device();
+    // Park a chamber square in the path of rf_1.
+    d.components.push(Component::new(
+        "obst",
+        "obstacle",
+        Entity::ReactionChamber,
+        ["f0"],
+        Span::square(100),
+    ));
+    d.features.push(
+        ComponentFeature::new("pf_obst", "obst", "f0", Point::new(300, 150), Span::square(100), 50)
+            .into(),
+    );
+    assert!(fires(&d, Rule::GeoRouteCrossesComponent));
+}
+
+#[test]
+fn route_may_touch_its_own_terminals() {
+    // rf_1 runs from the inlet into the mixer; neither terminal counts as a
+    // crossing even though the endpoints touch their footprints.
+    assert!(!fires(&clean_device(), Rule::GeoRouteCrossesComponent));
+}
+
+// ---- DRC ----------------------------------------------------------------
+
+#[test]
+fn narrow_channel_fires() {
+    let mut d = clean_device();
+    if let parchmint::Feature::Connection(f) = &mut d.features[3] {
+        f.width = 2;
+    }
+    assert!(fires(&d, Rule::DrcChannelWidth));
+}
+
+#[test]
+fn shallow_feature_fires() {
+    let mut d = clean_device();
+    if let parchmint::Feature::Component(f) = &mut d.features[0] {
+        f.depth = 1;
+    }
+    assert!(fires(&d, Rule::DrcChannelDepth));
+}
+
+#[test]
+fn tight_spacing_fires_without_overlap() {
+    let mut d = clean_device();
+    // Inlet footprint [0,200)×[100,300); mixer starts at x=500. Slide the
+    // inlet to x=495..695? that overlaps. Instead end at x=495: gap 5 < 10.
+    if let parchmint::Feature::Component(f) = &mut d.features[0] {
+        f.location = Point::new(295, 100); // ends at 495; mixer at 500 → 5 µm gap
+    }
+    let report = validate(&d);
+    assert!(report.by_rule(Rule::DrcSpacing).next().is_some());
+    assert!(
+        report.by_rule(Rule::GeoPlacementOverlap).next().is_none(),
+        "spacing violations are not overlaps"
+    );
+}
+
+#[test]
+fn custom_rules_change_thresholds() {
+    let strict = Validator::with_rules(DesignRules {
+        min_channel_width: 500,
+        ..DesignRules::default()
+    });
+    let report = strict.validate(&clean_device());
+    assert!(report.by_rule(Rule::DrcChannelWidth).next().is_some());
+    assert_eq!(strict.rules().min_channel_width, 500);
+}
+
+// ---- NET -----------------------------------------------------------------
+
+#[test]
+fn disconnected_netlist_warns() {
+    let mut d = clean_device();
+    d.connections.remove(1); // cut mixer from outlet
+    let report = validate(&d);
+    assert!(report.by_rule(Rule::NetDisconnected).next().is_some());
+    assert!(
+        report.by_rule(Rule::NetIsolatedComponent).next().is_some(),
+        "outlet is now isolated"
+    );
+}
+
+#[test]
+fn valve_on_non_control_entity_warns() {
+    let mut d = clean_device();
+    d.valves.push(Valve::new("m", "c1", ValveType::NormallyOpen));
+    assert!(fires(&d, Rule::NetValveEntity));
+}
+
+#[test]
+fn valve_on_valve_entity_clean() {
+    let mut d = clean_device();
+    d.layers.push(Layer::new("c0", "ctl", LayerType::Control));
+    d.components.push(
+        Component::new("v1", "valve", Entity::Valve, ["c0"], Span::square(30))
+            .with_port(Port::new("p", "c0", 0, 15)),
+    );
+    d.connections.push(Connection::new(
+        "ctl",
+        "actuate",
+        "c0",
+        Target::new("v1", "p"),
+        [Target::new("m", "a")],
+    ));
+    d.valves.push(Valve::new("v1", "c1", ValveType::NormallyClosed));
+    assert!(!fires(&d, Rule::NetValveEntity));
+}
+
+#[test]
+fn severities_match_rule_defaults() {
+    let mut d = clean_device();
+    d.connections[0].sinks.clear();
+    let report = validate(&d);
+    let diag = report.by_rule(Rule::StrEmptyConnection).next().unwrap();
+    assert_eq!(diag.severity, Severity::Error);
+}

@@ -1,0 +1,44 @@
+//! Generate an assay-class benchmark, validate it, and render it to SVG —
+//! the workflow of the paper's device-layout figures (experiment E3).
+//!
+//! Run with:
+//! `cargo run -p parchmint-examples --example assay_chip [benchmark_name]`
+
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "chromatin_immunoprecipitation".to_string());
+    let benchmark = parchmint_suite::by_name(&name)
+        .ok_or_else(|| format!("unknown benchmark `{name}` — try `parchmint list`"))?;
+
+    let device = benchmark.device();
+    println!("{device}");
+    println!("class: {}", benchmark.class());
+    println!("description: {}", benchmark.description());
+
+    // Every suite device must be conformant out of the generator.
+    let report = parchmint_verify::validate(&device);
+    assert!(report.is_conformant(), "suite device failed validation:\n{report}");
+    println!("validation: conformant ({} findings)", report.len());
+
+    // Characterize it (one row of the paper's Table 1 analogue).
+    let stats = parchmint_stats::DeviceStats::of(&device);
+    println!(
+        "components: {}  connections: {}  ports: {}  valves: {}",
+        stats.components, stats.connections, stats.ports, stats.valves
+    );
+    println!(
+        "graph: diameter {}  cyclomatic {}  planar-bound {}",
+        stats.graph.diameter,
+        stats.graph.cyclomatic,
+        if stats.graph.satisfies_planar_bound { "ok" } else { "violated" }
+    );
+
+    // Render the schematic to SVG.
+    let svg = parchmint_render::render_svg_default(&device);
+    let out = std::env::temp_dir().join(format!("{name}.svg"));
+    std::fs::write(&out, svg)?;
+    println!("schematic written to {}", out.display());
+    Ok(())
+}

@@ -1,0 +1,28 @@
+//! Regenerates the suite-characterization table (experiment E1, the
+//! paper's Table 1 analogue) and the entity-class distribution figure.
+//!
+//! Run with: `cargo run -p parchmint-examples --example characterize_suite`
+
+fn main() {
+    let table = parchmint_stats::characterize_suite();
+
+    println!("=== E1: suite characteristics ===\n");
+    print!("{}", table.render_text());
+
+    println!("\n=== E1 companion: entity-class distribution across the suite ===\n");
+    let totals = table.class_totals();
+    let max = totals.iter().map(|(_, n)| *n).max().unwrap_or(1).max(1);
+    for (class, count) in totals {
+        let bar = "#".repeat(count * 50 / max);
+        println!("{:<14} {:>5}  {bar}", class.name(), count);
+    }
+
+    let total_components: usize = table.rows().iter().map(|r| r.components).sum();
+    let total_connections: usize = table.rows().iter().map(|r| r.connections).sum();
+    println!(
+        "\nsuite totals: {} benchmarks, {} components, {} connections",
+        table.len(),
+        total_components,
+        total_connections
+    );
+}

@@ -1,0 +1,43 @@
+//! The algorithmic-quality experiment (E4) in miniature: place and route
+//! one benchmark with every placer × router combination and compare.
+//!
+//! Run with:
+//! `cargo run --release -p parchmint-examples --example place_and_route [benchmark]`
+
+use parchmint_pnr::{place_and_route, PlacerChoice, PnrReport, RouterChoice};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "planar_synthetic_3".to_string());
+    let benchmark = parchmint_suite::by_name(&name)
+        .ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+
+    println!("{}", PnrReport::header());
+    let mut best: Option<(f64, String)> = None;
+    for &placer in PlacerChoice::ALL {
+        for &router in RouterChoice::ALL {
+            let mut device = benchmark.device();
+            let report = place_and_route(&mut device, placer, router);
+            println!("{}", report.row());
+
+            // Keep the best physical design (completion, then wirelength).
+            let score = report.completion();
+            if best.as_ref().map(|(s, _)| score > *s).unwrap_or(true) {
+                let svg = parchmint_render::render_svg_default(&device);
+                best = Some((score, svg));
+            }
+        }
+    }
+
+    if let Some((completion, svg)) = best {
+        let out = std::env::temp_dir().join(format!("{name}_routed.svg"));
+        std::fs::write(&out, svg)?;
+        println!(
+            "\nbest layout ({:.1}% routed) written to {}",
+            completion * 100.0,
+            out.display()
+        );
+    }
+    Ok(())
+}

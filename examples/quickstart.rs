@@ -1,0 +1,87 @@
+//! Quickstart: build a small device with the public API, serialize it to
+//! ParchMint JSON, validate it, and round-trip it.
+//!
+//! Run with: `cargo run -p parchmint-examples --example quickstart`
+
+use parchmint::geometry::Span;
+use parchmint::{Component, Connection, Device, Entity, Layer, LayerType, Port, Target, ValveType};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A two-layer device: an inlet feeding a serpentine mixer feeding an
+    // outlet, with a membrane valve pinching the outlet channel.
+    let device = Device::builder("quickstart_chip")
+        .layer(Layer::new("flow", "flow", LayerType::Flow))
+        .layer(Layer::new("control", "control", LayerType::Control))
+        .component(
+            Component::new("inlet", "sample_in", Entity::Port, ["flow"], Span::square(200))
+                .with_port(Port::new("p", "flow", 200, 100)),
+        )
+        .component(
+            Component::new("mix", "serpentine", Entity::Mixer, ["flow"], Span::new(1800, 1000))
+                .with_port(Port::new("in", "flow", 0, 500))
+                .with_port(Port::new("out", "flow", 1800, 500)),
+        )
+        .component(
+            Component::new("outlet", "collect", Entity::Port, ["flow"], Span::square(200))
+                .with_port(Port::new("p", "flow", 0, 100)),
+        )
+        .component(
+            Component::new("v1", "gate", Entity::Valve, ["control"], Span::square(300))
+                .with_port(Port::new("actuate", "control", 0, 150)),
+        )
+        .component(
+            Component::new("ctl", "gate_ctl", Entity::Port, ["control"], Span::square(200))
+                .with_port(Port::new("p", "control", 200, 100)),
+        )
+        .connection(Connection::new(
+            "ch_in",
+            "inlet_to_mixer",
+            "flow",
+            Target::new("inlet", "p"),
+            [Target::new("mix", "in")],
+        ))
+        .connection(Connection::new(
+            "ch_out",
+            "mixer_to_outlet",
+            "flow",
+            Target::new("mix", "out"),
+            [Target::new("outlet", "p")],
+        ))
+        .connection(Connection::new(
+            "ch_ctl",
+            "gate_line",
+            "control",
+            Target::new("ctl", "p"),
+            [Target::new("v1", "actuate")],
+        ))
+        .valve("v1", "ch_out", ValveType::NormallyClosed)
+        .bounds(Span::new(6000, 4000))
+        .build()?;
+
+    println!("built: {device}");
+
+    // Serialize to the interchange format.
+    let json = device.to_json_pretty()?;
+    println!("\n--- ParchMint JSON ({} bytes) ---\n{json}\n", json.len());
+
+    // Validate conformance.
+    let report = parchmint_verify::validate(&device);
+    println!("--- validation ---\n{report}");
+    assert!(report.is_conformant());
+
+    // Round-trip losslessly.
+    let back = Device::from_json(&json)?;
+    assert_eq!(back, device);
+    println!("round-trip: lossless OK");
+
+    // Inspect the netlist graph.
+    let netlist = parchmint_graph::Netlist::from_device(&device);
+    let metrics = parchmint_graph::GraphMetrics::of(netlist.graph());
+    println!(
+        "graph: {} nodes, {} edges, connected = {}",
+        metrics.nodes,
+        metrics.edges,
+        metrics.is_connected()
+    );
+    Ok(())
+}

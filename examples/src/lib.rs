@@ -1,0 +1,1 @@
+//! Example host crate; runnable examples live alongside this package.

@@ -1,0 +1,35 @@
+DEVICE rotary_pump_mixer
+
+LAYER FLOW
+  PORT in_a xspan=200 yspan=200;
+  PORT in_b xspan=200 yspan=200;
+  NODE merge xspan=60 yspan=60;
+  ROTARY-MIXER rotary xspan=2400 yspan=2400 radius=1000;
+  PORT out xspan=200 yspan=200;
+  CHANNEL ch0 FROM in_a.p TO merge.w;
+  CHANNEL ch1 FROM in_b.p TO merge.s;
+  CHANNEL ch2 FROM merge.e TO rotary.in;
+  CHANNEL ch3 FROM rotary.out TO out.p;
+END LAYER
+
+LAYER CONTROL
+  VALVE v_a ON ch0 type=CLOSED xspan=300 yspan=300;
+  PORT ctl_v_a xspan=200 yspan=200;
+  VALVE v_b ON ch1 type=CLOSED xspan=300 yspan=300;
+  PORT ctl_v_b xspan=200 yspan=200;
+  VALVE v_load ON ch2 type=OPEN xspan=300 yspan=300;
+  PORT ctl_v_load xspan=200 yspan=200;
+  VALVE v_drain ON ch3 type=OPEN xspan=300 yspan=300;
+  PORT ctl_v_drain xspan=200 yspan=200;
+  VALVE pump ON ch2 type=OPEN xspan=900 yspan=400 entity=PUMP;
+  PORT ctl_pump_0 xspan=200 yspan=200;
+  PORT ctl_pump_1 xspan=200 yspan=200;
+  PORT ctl_pump_2 xspan=200 yspan=200;
+  CHANNEL ch4 FROM ctl_v_a.p TO v_a.actuate;
+  CHANNEL ch5 FROM ctl_v_b.p TO v_b.actuate;
+  CHANNEL ch6 FROM ctl_v_load.p TO v_load.actuate;
+  CHANNEL ch7 FROM ctl_v_drain.p TO v_drain.actuate;
+  CHANNEL ch8 FROM ctl_pump_0.p TO pump.a1;
+  CHANNEL ch9 FROM ctl_pump_1.p TO pump.a2;
+  CHANNEL ch10 FROM ctl_pump_2.p TO pump.a3;
+END LAYER

@@ -1,0 +1,148 @@
+//! Cross-crate invariants for the simulation stack (E8): hydraulic
+//! solutions conserve mass on real benchmarks, and control-synthesis plans
+//! actually steer the fluid when simulated.
+
+use parchmint::ComponentId;
+use parchmint_control::plan_flow;
+use parchmint_sim::{concentrations, FlowNetwork, Fluid};
+
+#[test]
+fn mass_is_conserved_on_every_valveless_benchmark() {
+    for name in [
+        "molecular_gradient_generator",
+        "hemagglutination_inhibition",
+        "cell_trap_array",
+        "droplet_generator_array",
+        "planar_synthetic_1",
+        "planar_synthetic_3",
+    ] {
+        let device = parchmint_suite::by_name(name).unwrap().device();
+        let network = FlowNetwork::from_device(&device, Fluid::WATER);
+        // Boundary: every external flow port, first one driven.
+        let ports: Vec<ComponentId> = device
+            .components_of(&parchmint::Entity::Port)
+            .filter(|c| network.contains(&c.id))
+            .map(|c| c.id.clone())
+            .collect();
+        assert!(ports.len() >= 2, "{name}: needs two flow ports");
+        let boundary: Vec<(ComponentId, f64)> = ports
+            .iter()
+            .enumerate()
+            .map(|(i, id)| (id.clone(), if i == 0 { 1000.0 } else { 0.0 }))
+            .collect();
+        let solution = network.solve(&boundary).unwrap();
+        let driven_flow = solution.net_inflow(&ports[0]).abs();
+        assert!(driven_flow > 0.0, "{name}: no flow at the driven port");
+        let error = solution.max_conservation_error(&ports);
+        assert!(
+            error < driven_flow * 1e-6,
+            "{name}: conservation error {error:.3e} vs flow {driven_flow:.3e}"
+        );
+    }
+}
+
+#[test]
+fn control_plan_steers_flow_on_the_chip() {
+    // Plan reagent 3 → eluate on the ChIP chip, then simulate the planned
+    // valve states: fluid must reach the eluate outlet from reagent 3, and
+    // the sealed sibling inlets must carry (essentially) nothing.
+    let device = parchmint_suite::by_name("chromatin_immunoprecipitation")
+        .unwrap()
+        .device();
+    let from: ComponentId = "in_reagent_3".into();
+    let to: ComponentId = "out_eluate".into();
+    let plan = plan_flow(&device, &from, &to).unwrap();
+
+    let network = FlowNetwork::with_valve_states(&device, Fluid::WATER, &plan.valve_states);
+    let solution = network
+        .solve(&[(from.clone(), 2000.0), (to.clone(), 0.0)])
+        .unwrap();
+
+    let delivered = solution.net_inflow(&to);
+    assert!(delivered > 0.0, "planned path must conduct");
+    // Sibling inlets are sealed by their normally-closed valves.
+    for i in [0, 1, 2, 4, 5, 6, 7] {
+        let sibling: ComponentId = format!("in_reagent_{i}").into();
+        let leak = solution.net_inflow(&sibling).abs();
+        assert!(
+            leak < delivered * 1e-9,
+            "sibling inlet {i} leaks {leak:.3e} vs delivered {delivered:.3e}"
+        );
+    }
+    // The waste outlet is valved off too.
+    let waste_leak = solution.net_inflow(&"out_waste".into()).abs();
+    assert!(waste_leak < delivered * 1e-9);
+}
+
+#[test]
+fn at_rest_the_chip_is_sealed() {
+    // All reagent inlets on the ChIP chip sit behind normally-closed
+    // valves: with every valve at rest, driving an inlet moves nothing.
+    let device = parchmint_suite::by_name("chromatin_immunoprecipitation")
+        .unwrap()
+        .device();
+    let network = FlowNetwork::from_device(&device, Fluid::WATER);
+    let solution = network
+        .solve(&[("in_reagent_0".into(), 5000.0), ("out_eluate".into(), 0.0)])
+        .unwrap();
+    assert_eq!(solution.net_inflow(&"out_eluate".into()), 0.0);
+}
+
+#[test]
+fn gradient_is_stable_across_drive_pressure() {
+    // Concentrations are flow-ratio quantities: scaling the drive pressure
+    // must not change the outlet gradient.
+    let device = parchmint_suite::by_name("molecular_gradient_generator")
+        .unwrap()
+        .device();
+    let network = FlowNetwork::from_device(&device, Fluid::WATER);
+    let gradient_at = |pressure: f64| -> Vec<f64> {
+        let mut boundary: Vec<(ComponentId, f64)> =
+            vec![("in_a".into(), pressure), ("in_b".into(), pressure)];
+        for i in 0..7 {
+            boundary.push((format!("out_{i}").into(), 0.0));
+        }
+        let flow = network.solve(&boundary).unwrap();
+        let c = concentrations(&flow, &[("in_a".into(), 1.0), ("in_b".into(), 0.0)]).unwrap();
+        (0..7)
+            .map(|i| c[&ComponentId::new(format!("out_{i}"))])
+            .collect()
+    };
+    let low = gradient_at(500.0);
+    let high = gradient_at(5000.0);
+    for (a, b) in low.iter().zip(&high) {
+        assert!((a - b).abs() < 1e-9, "gradient shifted with pressure: {low:?} vs {high:?}");
+    }
+}
+
+#[test]
+fn routed_devices_simulate_with_physical_lengths() {
+    // P&R then simulate: the solver picks up routed channel lengths.
+    let mut device = parchmint_suite::by_name("logic_gate_or").unwrap().device();
+    parchmint_pnr::place_and_route(
+        &mut device,
+        parchmint_pnr::PlacerChoice::Annealing,
+        parchmint_pnr::RouterChoice::AStar,
+    );
+    let network = FlowNetwork::from_device(&device, Fluid::WATER);
+    let solution = network
+        .solve(&[
+            ("in_oil".into(), 2000.0),
+            ("in_a".into(), 1500.0),
+            ("in_b".into(), 1500.0),
+            ("out_result".into(), 0.0),
+            ("out_waste".into(), 0.0),
+        ])
+        .unwrap();
+    let result_flow = solution.net_inflow(&"out_result".into());
+    let waste_flow = solution.net_inflow(&"out_waste".into());
+    assert!(result_flow > 0.0 && waste_flow > 0.0);
+    let boundary: Vec<ComponentId> = vec![
+        "in_oil".into(),
+        "in_a".into(),
+        "in_b".into(),
+        "out_result".into(),
+        "out_waste".into(),
+    ];
+    assert!(solution.max_conservation_error(&boundary) < (result_flow + waste_flow) * 1e-6);
+}

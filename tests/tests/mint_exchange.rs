@@ -1,0 +1,81 @@
+//! Cross-crate invariants for experiment E5: design exchange through the
+//! MINT netlist language preserves topology for the entire suite.
+
+use parchmint_mint::{device_to_mint, mint_to_device, parse, print};
+use parchmint_suite::suite;
+
+#[test]
+fn whole_suite_survives_mint_exchange() {
+    for benchmark in suite() {
+        let device = benchmark.device();
+        let text = print(&device_to_mint(&device));
+        let rebuilt = mint_to_device(&parse(&text).expect("printed MINT parses"))
+            .expect("rebuild succeeds");
+
+        assert_eq!(
+            rebuilt.components.len(),
+            device.components.len(),
+            "{}: component count changed",
+            benchmark.name()
+        );
+        assert_eq!(
+            rebuilt.connections.len(),
+            device.connections.len(),
+            "{}: connection count changed",
+            benchmark.name()
+        );
+        assert_eq!(rebuilt.valves, device.valves, "{}", benchmark.name());
+        assert_eq!(rebuilt.layers.len(), device.layers.len(), "{}", benchmark.name());
+
+        for original in &device.connections {
+            let converted = rebuilt
+                .connection(original.id.as_str())
+                .unwrap_or_else(|| panic!("{}: lost {}", benchmark.name(), original.id));
+            assert_eq!(converted.source, original.source);
+            assert_eq!(converted.sinks, original.sinks);
+            assert_eq!(converted.layer, original.layer);
+        }
+        for original in &device.components {
+            let converted = rebuilt.component(original.id.as_str()).unwrap();
+            assert_eq!(converted.entity, original.entity);
+            assert_eq!(converted.span, original.span);
+        }
+    }
+}
+
+#[test]
+fn mint_exchange_is_idempotent_after_one_pass() {
+    // device → MINT → device' → MINT' → device'' must have device' == device''.
+    for name in ["chromatin_immunoprecipitation", "planar_synthetic_2"] {
+        let device = parchmint_suite::by_name(name).unwrap().device();
+        let once = mint_to_device(&parse(&print(&device_to_mint(&device))).unwrap()).unwrap();
+        let twice = mint_to_device(&parse(&print(&device_to_mint(&once))).unwrap()).unwrap();
+        assert_eq!(once, twice, "{name}: exchange not idempotent");
+    }
+}
+
+#[test]
+fn rebuilt_devices_are_conformant() {
+    for benchmark in suite() {
+        let text = print(&device_to_mint(&benchmark.device()));
+        let rebuilt = mint_to_device(&parse(&text).unwrap()).unwrap();
+        let report = parchmint_verify::validate(&rebuilt);
+        assert!(
+            report.is_conformant(),
+            "{} not conformant after MINT exchange:\n{report}",
+            benchmark.name()
+        );
+    }
+}
+
+#[test]
+fn mint_text_is_human_scale() {
+    // Sanity on the printer: a known chip produces compact, readable text.
+    let device = parchmint_suite::by_name("logic_gate_or").unwrap().device();
+    let text = print(&device_to_mint(&device));
+    assert!(text.starts_with("DEVICE logic_gate_or\n"));
+    assert!(text.contains("LAYER FLOW\n"));
+    assert!(text.lines().count() < 40);
+    // Entity vocabulary appears in canonical form.
+    assert!(text.contains("DROPLET-GENERATOR dg_a"));
+}

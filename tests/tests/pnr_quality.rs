@@ -1,0 +1,117 @@
+//! Cross-crate invariants for experiment E4: the place-and-route pipeline
+//! produces physically legal designs, and the algorithmic-quality ordering
+//! the paper's motivation predicts actually holds on the suite.
+
+use parchmint_pnr::{place_and_route, PlacerChoice, RouterChoice};
+use parchmint_verify::{DesignRules, Rule, Validator};
+
+/// Benchmarks small enough to P&R in a debug-build test.
+const SMALL: &[&str] = &[
+    "logic_gate_or",
+    "logic_gate_and",
+    "rotary_pump_mixer",
+    "planar_synthetic_1",
+    "planar_synthetic_2",
+];
+
+#[test]
+fn pnr_outputs_are_geometrically_legal() {
+    for name in SMALL {
+        let mut device = parchmint_suite::by_name(name).unwrap().device();
+        place_and_route(&mut device, PlacerChoice::Greedy, RouterChoice::AStar);
+        let report = Validator::with_rules(DesignRules {
+            // Routed elbows land on grid-cell centres, a half-cell from
+            // the exact port position in the worst case.
+            endpoint_tolerance: 0,
+            ..DesignRules::default()
+        })
+        .validate(&device);
+        // Placement legality is absolute.
+        assert!(
+            report.by_rule(Rule::GeoPlacementOverlap).next().is_none(),
+            "{name}: overlapping placements\n{report}"
+        );
+        assert!(
+            report.by_rule(Rule::GeoPlacementOutOfBounds).next().is_none(),
+            "{name}: out-of-bounds placement\n{report}"
+        );
+        // Routed channels are rectilinear and meet their terminals.
+        assert!(
+            report.by_rule(Rule::GeoRouteNotRectilinear).next().is_none(),
+            "{name}: non-rectilinear route\n{report}"
+        );
+        assert!(
+            report.by_rule(Rule::GeoRouteEndpointMismatch).next().is_none(),
+            "{name}: route endpoint mismatch\n{report}"
+        );
+        assert!(
+            report.by_rule(Rule::DrcChannelWidth).next().is_none(),
+            "{name}: channel-width violation\n{report}"
+        );
+    }
+}
+
+#[test]
+fn astar_dominates_straight_on_completion() {
+    for name in SMALL {
+        let mut a = parchmint_suite::by_name(name).unwrap().device();
+        let mut b = a.clone();
+        let straight = place_and_route(&mut a, PlacerChoice::Greedy, RouterChoice::Straight);
+        let astar = place_and_route(&mut b, PlacerChoice::Greedy, RouterChoice::AStar);
+        assert!(
+            astar.completion() >= straight.completion(),
+            "{name}: astar {:.2} < straight {:.2}",
+            astar.completion(),
+            straight.completion()
+        );
+    }
+}
+
+#[test]
+fn astar_routes_most_of_every_small_benchmark() {
+    for name in SMALL {
+        let mut device = parchmint_suite::by_name(name).unwrap().device();
+        let report = place_and_route(&mut device, PlacerChoice::Annealing, RouterChoice::AStar);
+        assert!(
+            report.completion() >= 0.75,
+            "{name}: only {:.1}% routed",
+            report.completion() * 100.0
+        );
+    }
+}
+
+#[test]
+fn annealing_never_loses_to_greedy_on_hpwl() {
+    for name in SMALL {
+        let mut a = parchmint_suite::by_name(name).unwrap().device();
+        let mut b = a.clone();
+        let greedy = place_and_route(&mut a, PlacerChoice::Greedy, RouterChoice::Straight);
+        let annealed = place_and_route(&mut b, PlacerChoice::Annealing, RouterChoice::Straight);
+        assert!(
+            annealed.hpwl <= greedy.hpwl,
+            "{name}: annealing {} > greedy {}",
+            annealed.hpwl,
+            greedy.hpwl
+        );
+    }
+}
+
+#[test]
+fn routed_device_renders_with_channels() {
+    let mut device = parchmint_suite::by_name("planar_synthetic_1").unwrap().device();
+    place_and_route(&mut device, PlacerChoice::Greedy, RouterChoice::AStar);
+    let svg = parchmint_render::render_svg_default(&device);
+    assert!(svg.contains("<polyline"), "routed channels missing from SVG");
+    assert!(svg.matches("<rect").count() > device.components.len() / 2);
+}
+
+#[test]
+fn pnr_then_serialize_then_validate() {
+    // The full downstream story: generate → P&R → exchange → re-validate.
+    let mut device = parchmint_suite::by_name("logic_gate_or").unwrap().device();
+    place_and_route(&mut device, PlacerChoice::Annealing, RouterChoice::AStar);
+    let json = device.to_json().unwrap();
+    let back = parchmint::Device::from_json(&json).unwrap();
+    let report = parchmint_verify::validate(&back);
+    assert!(report.is_conformant(), "{report}");
+}

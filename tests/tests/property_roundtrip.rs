@@ -1,0 +1,135 @@
+//! Property-based cross-crate tests: arbitrary well-formed devices
+//! round-trip losslessly through JSON and MINT, and the graph substrate
+//! maintains its invariants on arbitrary netlists.
+
+use parchmint::geometry::Span;
+use parchmint::{
+    Component, Connection, Device, Entity, Layer, LayerType, Port, Target, ValveType,
+};
+use proptest::prelude::*;
+
+/// An arbitrary entity: standard vocabulary or custom.
+fn entity_strategy() -> impl Strategy<Value = Entity> {
+    prop_oneof![
+        (0..Entity::STANDARD.len()).prop_map(|i| Entity::STANDARD[i].clone()),
+        "[A-Z]{3,8}".prop_map(Entity::Custom),
+    ]
+}
+
+/// A device with `n` components on one flow layer, each with four boundary
+/// ports, plus `edges` random connections and valve bindings over them.
+/// Built through the checked builder, so referential soundness holds by
+/// construction.
+fn device_strategy() -> impl Strategy<Value = Device> {
+    (2usize..10, proptest::collection::vec((0usize..100, 0usize..100), 0..16), any::<u64>())
+        .prop_flat_map(|(n, raw_edges, salt)| {
+            proptest::collection::vec(entity_strategy(), n).prop_map(move |entities| {
+                let mut builder = Device::builder(format!("prop_{salt}"))
+                    .layer(Layer::new("f", "f", LayerType::Flow))
+                    .layer(Layer::new("c", "c", LayerType::Control));
+                let n = entities.len();
+                for (i, entity) in entities.iter().enumerate() {
+                    let span = Span::new(400 + 100 * (i as i64 % 5), 400);
+                    builder = builder.component(
+                        Component::new(format!("k{i}"), format!("k{i}"), entity.clone(), ["f"], span)
+                            .with_port(Port::new("w", "f", 0, 200))
+                            .with_port(Port::new("e", "f", span.x, 200)),
+                    );
+                }
+                let mut valve_candidates = Vec::new();
+                for (j, (a, b)) in raw_edges.iter().enumerate() {
+                    let (a, b) = (a % n, b % n);
+                    builder = builder.connection(Connection::new(
+                        format!("e{j}"),
+                        format!("e{j}"),
+                        "f",
+                        Target::new(format!("k{a}"), "e"),
+                        [Target::new(format!("k{b}"), "w")],
+                    ));
+                    if entities[a].is_control() {
+                        valve_candidates.push((format!("k{a}"), format!("e{j}")));
+                    }
+                }
+                // The valve map is keyed by component, so bind each valve
+                // component at most once.
+                let mut bound = std::collections::HashSet::new();
+                for (component, connection) in valve_candidates {
+                    if bound.len() >= 3 || !bound.insert(component.clone()) {
+                        continue;
+                    }
+                    builder = builder.valve(component, connection, ValveType::NormallyClosed);
+                }
+                builder.build().expect("strategy builds sound devices")
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn json_round_trip_is_lossless(device in device_strategy()) {
+        let json = device.to_json().unwrap();
+        let back = Device::from_json(&json).unwrap();
+        prop_assert_eq!(back, device);
+    }
+
+    #[test]
+    fn pretty_and_compact_json_agree(device in device_strategy()) {
+        let compact = Device::from_json(&device.to_json().unwrap()).unwrap();
+        let pretty = Device::from_json(&device.to_json_pretty().unwrap()).unwrap();
+        prop_assert_eq!(compact, pretty);
+    }
+
+    #[test]
+    fn builder_devices_have_no_referential_errors(device in device_strategy()) {
+        let report = parchmint_verify::validate(&device);
+        for diagnostic in report.diagnostics() {
+            prop_assert_ne!(diagnostic.rule, parchmint_verify::Rule::RefUnknownId,
+                "builder let a dangling reference through: {}", diagnostic);
+            prop_assert_ne!(diagnostic.rule, parchmint_verify::Rule::RefDuplicateId,
+                "builder let a duplicate id through: {}", diagnostic);
+        }
+    }
+
+    #[test]
+    fn netlist_graph_respects_handshake_lemma(device in device_strategy()) {
+        let netlist = parchmint_graph::Netlist::from_device(&device);
+        let graph = netlist.graph();
+        prop_assert_eq!(graph.degree_sum(), 2 * graph.edge_count());
+        prop_assert_eq!(graph.node_count(), device.components.len());
+    }
+
+    #[test]
+    fn graph_metrics_are_internally_consistent(device in device_strategy()) {
+        let netlist = parchmint_graph::Netlist::from_device(&device);
+        let metrics = parchmint_graph::GraphMetrics::of(netlist.graph());
+        prop_assert!(metrics.min_degree <= metrics.max_degree);
+        prop_assert!(metrics.mean_degree <= metrics.max_degree as f64);
+        prop_assert!(metrics.components <= metrics.nodes.max(1));
+        // Circuit rank identity: E = V - C + cyclomatic.
+        prop_assert_eq!(
+            metrics.edges,
+            metrics.nodes - metrics.components + metrics.cyclomatic
+        );
+    }
+
+    #[test]
+    fn mint_exchange_preserves_topology(device in device_strategy()) {
+        let text = parchmint_mint::print(&parchmint_mint::device_to_mint(&device));
+        let rebuilt = parchmint_mint::mint_to_device(
+            &parchmint_mint::parse(&text).unwrap()
+        ).unwrap();
+        prop_assert_eq!(rebuilt.components.len(), device.components.len());
+        prop_assert_eq!(rebuilt.connections.len(), device.connections.len());
+        prop_assert_eq!(rebuilt.valves, device.valves);
+    }
+
+    #[test]
+    fn greedy_placement_is_always_legal(device in device_strategy()) {
+        use parchmint_pnr::Placer;
+        let placement = parchmint_pnr::place::greedy::GreedyPlacer::new().place(&device);
+        prop_assert_eq!(placement.len(), device.components.len());
+        prop_assert!(placement.is_legal(&device));
+    }
+}

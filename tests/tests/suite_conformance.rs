@@ -1,0 +1,117 @@
+//! Cross-crate invariant: every benchmark in the suite is a conformant
+//! ParchMint device with a clean structural profile.
+
+use parchmint_suite::{suite, BenchmarkClass};
+use parchmint_verify::{validate, Severity};
+
+#[test]
+fn every_benchmark_is_conformant() {
+    for benchmark in suite() {
+        let device = benchmark.device();
+        let report = validate(&device);
+        assert!(
+            report.is_conformant(),
+            "{} has errors:\n{report}",
+            benchmark.name()
+        );
+    }
+}
+
+#[test]
+fn every_benchmark_is_warning_free() {
+    for benchmark in suite() {
+        let device = benchmark.device();
+        let report = validate(&device);
+        let warnings: Vec<_> = report.with_severity(Severity::Warning).collect();
+        assert!(
+            warnings.is_empty(),
+            "{} has warnings: {:?}",
+            benchmark.name(),
+            warnings
+        );
+    }
+}
+
+#[test]
+fn every_benchmark_has_external_ports() {
+    for benchmark in suite() {
+        let device = benchmark.device();
+        let ports = device
+            .components_of(&parchmint::Entity::Port)
+            .count();
+        assert!(ports >= 2, "{} has {ports} external ports", benchmark.name());
+    }
+}
+
+#[test]
+fn every_benchmark_netlist_is_connected() {
+    for benchmark in suite() {
+        let device = benchmark.device();
+        let netlist = parchmint_graph::Netlist::from_device(&device);
+        let components = parchmint_graph::Components::of(netlist.graph());
+        assert_eq!(
+            components.count(),
+            1,
+            "{} netlist splits into {} islands",
+            benchmark.name(),
+            components.count()
+        );
+    }
+}
+
+#[test]
+fn generation_is_deterministic() {
+    for benchmark in suite() {
+        assert_eq!(
+            benchmark.device(),
+            benchmark.device(),
+            "{} is not deterministic",
+            benchmark.name()
+        );
+    }
+}
+
+#[test]
+fn synthetic_ladder_scales_and_assay_class_is_diverse() {
+    let benchmarks = suite();
+    let synthetic_sizes: Vec<usize> = benchmarks
+        .iter()
+        .filter(|b| b.class() == BenchmarkClass::Synthetic)
+        .map(|b| b.device().components.len())
+        .collect();
+    assert!(
+        synthetic_sizes.windows(2).all(|w| w[0] < w[1]),
+        "ladder must be strictly increasing: {synthetic_sizes:?}"
+    );
+
+    // Assay devices collectively use a wide slice of the entity vocabulary.
+    let mut entities = std::collections::BTreeSet::new();
+    for benchmark in benchmarks.iter().filter(|b| b.class() == BenchmarkClass::Assay) {
+        for component in &benchmark.device().components {
+            entities.insert(component.entity.name().to_string());
+        }
+    }
+    assert!(
+        entities.len() >= 15,
+        "assay class uses only {} entities: {entities:?}",
+        entities.len()
+    );
+}
+
+#[test]
+fn declared_bounds_cover_component_area() {
+    for benchmark in suite() {
+        let device = benchmark.device();
+        let bounds = device
+            .declared_bounds()
+            .unwrap_or_else(|| panic!("{} lacks declared bounds", benchmark.name()));
+        let total_area: i64 = device.components.iter().map(|c| c.area()).sum();
+        assert!(
+            bounds.area() >= total_area,
+            "{}: die {} µm² smaller than component area {} µm²",
+            benchmark.name(),
+            bounds.area(),
+            total_area
+        );
+    }
+}
