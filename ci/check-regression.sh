@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Runs the full benchmark suite through the evaluation harness and gates on
+# the committed baseline report. Usage:
+#
+#   ci/check-regression.sh [BENCH...]
+#
+# With no arguments the whole registry is swept (this is what CI's gate job
+# does); naming benchmarks restricts the sweep for a quick local check.
+# Exits non-zero if any quality metric regresses beyond the tolerance or if
+# any cell errors or panics.
+#
+# To refresh the baseline after an intentional quality change:
+#
+#   cargo run --release -p parchmint-cli -- \
+#     suite-run --strip-timings -o ci/baseline-report.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=ci/baseline-report.json
+TOLERANCE="${SUITE_TOLERANCE:-0.0}"
+REPORT="${SUITE_REPORT:-report.json}"
+
+cargo build --release -p parchmint-cli
+target/release/parchmint suite-run "$@" \
+  --threads 0 \
+  -o "$REPORT" \
+  --baseline "$BASELINE" \
+  --tolerance "$TOLERANCE"

@@ -30,7 +30,10 @@ fn annealing_effort_table() {
 
 fn bend_penalty_table() {
     println!("\n=== E7b: A* bend-penalty ablation (planar_synthetic_3, greedy placement) ===");
-    println!("{:<14} {:>10} {:>12} {:>8}", "bend_penalty", "routed", "wire_um", "bends");
+    println!(
+        "{:<14} {:>10} {:>12} {:>8}",
+        "bend_penalty", "routed", "wire_um", "bends"
+    );
     let mut device = parchmint_suite::planar_synthetic(3);
     GreedyPlacer::new().place(&device).apply_to(&mut device);
     for penalty in [0, 10, 30, 100] {
@@ -51,7 +54,10 @@ fn bend_penalty_table() {
 
 fn ripup_table() {
     println!("\n=== E7c: rip-up-and-reroute ablation ===");
-    println!("{:<30} {:>10} {:>12}", "benchmark", "attempts", "completion");
+    println!(
+        "{:<30} {:>10} {:>12}",
+        "benchmark", "attempts", "completion"
+    );
     for name in ["logic_gate_or", "planar_synthetic_3", "planar_synthetic_4"] {
         for attempts in [0, 2] {
             let mut device = parchmint_suite::by_name(name).unwrap().device();

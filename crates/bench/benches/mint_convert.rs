@@ -35,7 +35,11 @@ fn print_fidelity() {
             topology_ok,
             valves_ok
         );
-        assert!(topology_ok && valves_ok, "{} exchange broken", benchmark.name());
+        assert!(
+            topology_ok && valves_ok,
+            "{} exchange broken",
+            benchmark.name()
+        );
     }
     println!();
 }

@@ -9,8 +9,16 @@ use std::hint::black_box;
 
 fn print_figure_index() {
     println!("\n=== E3: device-layout figures (SVG) ===");
-    println!("{:<30} {:>14} {:>14}", "benchmark", "schematic_b", "physical_b");
-    for name in ["logic_gate_or", "rotary_pump_mixer", "aquaflex_3b", "planar_synthetic_2"] {
+    println!(
+        "{:<30} {:>14} {:>14}",
+        "benchmark", "schematic_b", "physical_b"
+    );
+    for name in [
+        "logic_gate_or",
+        "rotary_pump_mixer",
+        "aquaflex_3b",
+        "planar_synthetic_2",
+    ] {
         let device = parchmint_suite::by_name(name).unwrap().device();
         let schematic = parchmint_render::render_svg_default(&device);
 
@@ -19,8 +27,16 @@ fn print_figure_index() {
         let physical = parchmint_render::render_svg_default(&routed);
 
         assert!(schematic.starts_with("<svg"));
-        assert!(physical.contains("<polyline"), "{name}: no routed channels drawn");
-        println!("{:<30} {:>14} {:>14}", name, schematic.len(), physical.len());
+        assert!(
+            physical.contains("<polyline"),
+            "{name}: no routed channels drawn"
+        );
+        println!(
+            "{:<30} {:>14} {:>14}",
+            name,
+            schematic.len(),
+            physical.len()
+        );
     }
     println!();
 }

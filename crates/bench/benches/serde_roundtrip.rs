@@ -10,7 +10,10 @@ use std::hint::black_box;
 
 fn print_sizes() {
     println!("\n=== E2: serialized size and round-trip fidelity ===");
-    println!("{:<30} {:>10} {:>12} {:>10}", "benchmark", "json_bytes", "pretty_bytes", "lossless");
+    println!(
+        "{:<30} {:>10} {:>12} {:>10}",
+        "benchmark", "json_bytes", "pretty_bytes", "lossless"
+    );
     for benchmark in parchmint_suite::suite() {
         let device = benchmark.device();
         let compact = device.to_json().unwrap();
@@ -58,7 +61,9 @@ fn bench_serde(c: &mut Criterion) {
     parse.finish();
 
     // Valve-heavy device exercises the valveMap split/merge path.
-    let chip = parchmint_suite::by_name("chromatin_immunoprecipitation").unwrap().device();
+    let chip = parchmint_suite::by_name("chromatin_immunoprecipitation")
+        .unwrap()
+        .device();
     let json = chip.to_json().unwrap();
     c.bench_function("E2_parse_valve_heavy", |b| {
         b.iter(|| Device::from_json(black_box(&json)).unwrap())

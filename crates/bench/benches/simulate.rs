@@ -22,7 +22,10 @@ fn print_gradient_profile() {
     }
     let flow = network.solve(&boundary).unwrap();
     let c = concentrations(&flow, &[("in_a".into(), 1.0), ("in_b".into(), 0.0)]).unwrap();
-    println!("{:<8} {:>12} {:>14}", "outlet", "flow_nl_s", "concentration");
+    println!(
+        "{:<8} {:>12} {:>14}",
+        "outlet", "flow_nl_s", "concentration"
+    );
     let mut previous = f64::INFINITY;
     for i in 0..7 {
         let id = ComponentId::new(format!("out_{i}"));
@@ -86,8 +89,11 @@ fn bench_simulate(c: &mut Criterion) {
     let flow = network.solve(&boundary).unwrap();
     c.bench_function("E8_concentration_transport", |b| {
         b.iter(|| {
-            concentrations(black_box(&flow), &[("in_a".into(), 1.0), ("in_b".into(), 0.0)])
-                .unwrap()
+            concentrations(
+                black_box(&flow),
+                &[("in_a".into(), 1.0), ("in_b".into(), 0.0)],
+            )
+            .unwrap()
         })
     });
 }

@@ -88,7 +88,9 @@ fn bench_validate(c: &mut Criterion) {
             |b, d| b.iter(|| validate(black_box(d))),
         );
     }
-    let chip = parchmint_suite::by_name("chromatin_immunoprecipitation").unwrap().device();
+    let chip = parchmint_suite::by_name("chromatin_immunoprecipitation")
+        .unwrap()
+        .device();
     group.bench_with_input(BenchmarkId::new("assay", "chip"), &chip, |b, d| {
         b.iter(|| validate(black_box(d)))
     });

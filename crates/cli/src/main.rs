@@ -9,6 +9,7 @@
 //! parchmint convert <FILE.json|FILE.mint> [-o FILE]  convert between formats (E5)
 //! parchmint pnr <name> [--placer P] [--router R] [-o FILE]   place & route (E4)
 //! parchmint plan <FILE|name> <from> <to>      valve-state control synthesis
+//! parchmint suite-run [BENCH...] [-o FILE]    parallel suite evaluation + regression gate
 //! ```
 
 use parchmint::Device;
@@ -39,11 +40,15 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("pnr") => cmd_pnr(&args[1..]),
         Some("plan") => cmd_plan(&args[1..]),
         Some("schema") => {
-            println!("{}", serde_json::to_string_pretty(&parchmint::schema::json_schema())
-                .expect("schema serializes"));
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&parchmint::schema::json_schema())
+                    .expect("schema serializes")
+            );
             Ok(())
         }
         Some("flow") => cmd_flow(&args[1..]),
+        Some("suite-run") => cmd_suite_run(&args[1..]),
         Some("help") | None => {
             print!("{USAGE}");
             Ok(())
@@ -65,6 +70,8 @@ USAGE:
   parchmint pnr <benchmark> [--placer greedy|annealing] [--router straight|astar] [-o FILE]
   parchmint plan <FILE|benchmark> <from> <to>
   parchmint flow <FILE|benchmark> <node=Pa>... (e.g. in_a=1000 out=0)
+  parchmint suite-run [BENCH...] [--threads N] [-o FILE] [--strip-timings]
+                      [--baseline FILE] [--tolerance FRAC]
   parchmint schema
 ";
 
@@ -106,8 +113,7 @@ fn load_device(source: &str) -> Result<Device, String> {
         return Ok(benchmark.device());
     }
     let path = Path::new(source);
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read `{source}`: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{source}`: {e}"))?;
     if path.extension().and_then(|e| e.to_str()) == Some("mint") {
         let file = parchmint_mint::parse(&text).map_err(|e| format!("{source}: {e}"))?;
         parchmint_mint::mint_to_device(&file).map_err(|e| e.to_string())
@@ -226,8 +232,7 @@ fn cmd_pnr(args: &[String]) -> Result<(), String> {
     println!("{}", report.row());
     if let Some(output) = option_value(args, "-o") {
         let json = device.to_json_pretty().map_err(|e| e.to_string())?;
-        std::fs::write(output, json + "\n")
-            .map_err(|e| format!("cannot write `{output}`: {e}"))?;
+        std::fs::write(output, json + "\n").map_err(|e| format!("cannot write `{output}`: {e}"))?;
         eprintln!("wrote {output}");
     }
     Ok(())
@@ -258,7 +263,10 @@ fn cmd_flow(args: &[String]) -> Result<(), String> {
     }
     let network = parchmint_sim::FlowNetwork::from_device(&device, parchmint_sim::Fluid::WATER);
     let solution = network.solve(&boundary).map_err(|e| e.to_string())?;
-    println!("{:<20} {:>14} {:>14}", "boundary node", "pressure_pa", "flow_nl_s");
+    println!(
+        "{:<20} {:>14} {:>14}",
+        "boundary node", "pressure_pa", "flow_nl_s"
+    );
     for (node, pressure) in &boundary {
         println!(
             "{:<20} {:>14.1} {:>14.3}",
@@ -266,6 +274,85 @@ fn cmd_flow(args: &[String]) -> Result<(), String> {
             pressure,
             solution.net_inflow(node) * 1e12
         );
+    }
+    Ok(())
+}
+
+fn cmd_suite_run(args: &[String]) -> Result<(), String> {
+    let mut benchmarks = Vec::new();
+    let mut skip_next = false;
+    for arg in args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        match arg.as_str() {
+            "--threads" | "-o" | "--baseline" | "--tolerance" => skip_next = true,
+            "--strip-timings" => {}
+            flag if flag.starts_with('-') => {
+                return Err(format!("suite-run: unknown flag `{flag}`"));
+            }
+            name => benchmarks.push(name.to_string()),
+        }
+    }
+
+    let threads = match option_value(args, "--threads") {
+        Some(text) => text
+            .parse()
+            .map_err(|_| format!("suite-run: bad thread count `{text}`"))?,
+        None => 0,
+    };
+    let config = parchmint_harness::SuiteRunConfig {
+        threads,
+        benchmarks: if benchmarks.is_empty() {
+            None
+        } else {
+            Some(benchmarks)
+        },
+        stages: None,
+    };
+    let report = parchmint_harness::run_suite(&config);
+    print!("{}", report.summary_table());
+
+    let include_timings = !has_flag(args, "--strip-timings");
+    if let Some(path) = option_value(args, "-o") {
+        std::fs::write(path, report.to_json_string(include_timings))
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("report written to {path}");
+    }
+
+    if let Some(path) = option_value(args, "--baseline") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read baseline `{path}`: {e}"))?;
+        let baseline: serde_json::Value =
+            serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+        let tolerances = match option_value(args, "--tolerance") {
+            Some(text) => parchmint_harness::Tolerances {
+                relative: text
+                    .parse()
+                    .map_err(|_| format!("suite-run: bad tolerance `{text}`"))?,
+            },
+            None => parchmint_harness::Tolerances::default(),
+        };
+        let regressions =
+            parchmint_harness::compare(&baseline, &report.to_json(false), &tolerances);
+        if !regressions.is_empty() {
+            for regression in &regressions {
+                eprintln!("regression: {regression}");
+            }
+            return Err(format!(
+                "suite-run: {} regression(s) against baseline {path}",
+                regressions.len()
+            ));
+        }
+        println!("no regressions against {path}");
+    }
+
+    if !report.is_clean() {
+        let (_, _, errors, failed) = report.counts();
+        return Err(format!(
+            "suite-run: {errors} error and {failed} failed cell(s) — see table above"
+        ));
     }
     Ok(())
 }

@@ -42,7 +42,11 @@ impl fmt::Display for Actuation {
         write!(
             f,
             "{} {}",
-            if self.pressurize { "pressurize" } else { "vent" },
+            if self.pressurize {
+                "pressurize"
+            } else {
+                "vent"
+            },
             self.component
         )
     }
@@ -174,12 +178,11 @@ pub fn plan_flow(
         .node_of(to)
         .ok_or_else(|| ControlError::UnknownComponent(to.clone()))?;
 
-    let node_path = shortest_path(netlist.graph(), start, goal).ok_or_else(|| {
-        ControlError::Unreachable {
+    let node_path =
+        shortest_path(netlist.graph(), start, goal).ok_or_else(|| ControlError::Unreachable {
             from: from.clone(),
             to: to.clone(),
-        }
-    })?;
+        })?;
 
     // Recover the connection used for each hop: any edge between the two
     // consecutive nodes (parallel edges are interchangeable for planning).
@@ -241,7 +244,9 @@ mod tests {
     use super::*;
 
     fn rotary() -> Device {
-        parchmint_suite::by_name("rotary_pump_mixer").unwrap().device()
+        parchmint_suite::by_name("rotary_pump_mixer")
+            .unwrap()
+            .device()
     }
 
     #[test]
@@ -252,10 +257,22 @@ mod tests {
         assert_eq!(plan.components.last().unwrap(), &ComponentId::new("out"));
         assert_eq!(plan.hops(), 3);
         // v_a gates the first hop: open. v_b gates the sibling inlet: closed.
-        assert_eq!(plan.valve_states.get(&ComponentId::new("v_a")), Some(&ValveState::Open));
-        assert_eq!(plan.valve_states.get(&ComponentId::new("v_b")), Some(&ValveState::Closed));
-        assert_eq!(plan.valve_states.get(&ComponentId::new("v_load")), Some(&ValveState::Open));
-        assert_eq!(plan.valve_states.get(&ComponentId::new("v_drain")), Some(&ValveState::Open));
+        assert_eq!(
+            plan.valve_states.get(&ComponentId::new("v_a")),
+            Some(&ValveState::Open)
+        );
+        assert_eq!(
+            plan.valve_states.get(&ComponentId::new("v_b")),
+            Some(&ValveState::Closed)
+        );
+        assert_eq!(
+            plan.valve_states.get(&ComponentId::new("v_load")),
+            Some(&ValveState::Open)
+        );
+        assert_eq!(
+            plan.valve_states.get(&ComponentId::new("v_drain")),
+            Some(&ValveState::Open)
+        );
     }
 
     #[test]
@@ -302,7 +319,10 @@ mod tests {
         // Reagent 0's inlet valve must open; every other inlet valve whose
         // channel touches the shared bus stays at rest or closes — at
         // minimum the plan must not ask any sibling inlet valve to open.
-        assert_eq!(plan.valve_states.get(&ComponentId::new("v_in_0")), Some(&ValveState::Open));
+        assert_eq!(
+            plan.valve_states.get(&ComponentId::new("v_in_0")),
+            Some(&ValveState::Open)
+        );
         for i in 1..8 {
             let sibling: ComponentId = format!("v_in_{i}").into();
             assert_ne!(
@@ -312,7 +332,10 @@ mod tests {
             );
         }
         // The waste valve (normally open, touching the collect node) closes.
-        assert_eq!(plan.valve_states.get(&ComponentId::new("v_waste")), Some(&ValveState::Closed));
+        assert_eq!(
+            plan.valve_states.get(&ComponentId::new("v_waste")),
+            Some(&ValveState::Closed)
+        );
     }
 
     #[test]

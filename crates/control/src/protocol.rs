@@ -87,7 +87,9 @@ impl fmt::Display for Schedule {
             writeln!(
                 f,
                 "step {i}: {} ({} -> {}, {} transitions)",
-                scheduled.step.name, scheduled.step.from, scheduled.step.to,
+                scheduled.step.name,
+                scheduled.step.from,
+                scheduled.step.to,
                 scheduled.transitions.len()
             )?;
         }
@@ -145,12 +147,11 @@ pub fn schedule(device: &Device, steps: &[Step]) -> Result<Schedule, ProtocolErr
     let mut held: BTreeMap<ComponentId, bool> = BTreeMap::new();
 
     for step in steps {
-        let plan = plan_flow(device, &step.from, &step.to).map_err(|cause| {
-            ProtocolError::Step {
+        let plan =
+            plan_flow(device, &step.from, &step.to).map_err(|cause| ProtocolError::Step {
                 step: step.name.clone(),
                 cause,
-            }
-        })?;
+            })?;
         let wanted: BTreeMap<ComponentId, bool> = plan
             .actuations(device)
             .into_iter()
@@ -195,7 +196,9 @@ mod tests {
     use super::*;
 
     fn rotary() -> Device {
-        parchmint_suite::by_name("rotary_pump_mixer").unwrap().device()
+        parchmint_suite::by_name("rotary_pump_mixer")
+            .unwrap()
+            .device()
     }
 
     #[test]

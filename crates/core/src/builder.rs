@@ -111,7 +111,8 @@ impl DeviceBuilder {
         controls: impl Into<crate::ids::ConnectionId>,
         valve_type: ValveType,
     ) -> Self {
-        self.valves.push(Valve::new(component, controls, valve_type));
+        self.valves
+            .push(Valve::new(component, controls, valve_type));
         self
     }
 
@@ -335,10 +336,22 @@ mod tests {
     #[test]
     fn duplicate_component_rejected() {
         let err = base()
-            .component(Component::new("a", "dup", Entity::Node, ["f0"], Span::square(1)))
+            .component(Component::new(
+                "a",
+                "dup",
+                Entity::Node,
+                ["f0"],
+                Span::square(1),
+            ))
             .build()
             .unwrap_err();
-        assert!(matches!(err, Error::DuplicateId { kind: "component", .. }));
+        assert!(matches!(
+            err,
+            Error::DuplicateId {
+                kind: "component",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -353,13 +366,25 @@ mod tests {
             ))
             .build()
             .unwrap_err();
-        assert!(matches!(err, Error::DuplicateId { kind: "connection", .. }));
+        assert!(matches!(
+            err,
+            Error::DuplicateId {
+                kind: "connection",
+                ..
+            }
+        ));
     }
 
     #[test]
     fn component_with_unknown_layer_rejected() {
         let err = base()
-            .component(Component::new("c", "c", Entity::Node, ["ghost"], Span::square(1)))
+            .component(Component::new(
+                "c",
+                "c",
+                Entity::Node,
+                ["ghost"],
+                Span::square(1),
+            ))
             .build()
             .unwrap_err();
         assert!(matches!(err, Error::UnknownReference { kind: "layer", .. }));
@@ -390,7 +415,13 @@ mod tests {
             ))
             .build()
             .unwrap_err();
-        assert!(matches!(err, Error::UnknownReference { kind: "component", .. }));
+        assert!(matches!(
+            err,
+            Error::UnknownReference {
+                kind: "component",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -424,13 +455,25 @@ mod tests {
             ))
             .build()
             .unwrap_err();
-        assert!(matches!(err, Error::UnknownReference { kind: "component", .. }));
+        assert!(matches!(
+            err,
+            Error::UnknownReference {
+                kind: "component",
+                ..
+            }
+        ));
 
         let err = base()
             .feature(ConnectionFeature::new("rf", "ghost", "f0", 1, 1, []))
             .build()
             .unwrap_err();
-        assert!(matches!(err, Error::UnknownReference { kind: "connection", .. }));
+        assert!(matches!(
+            err,
+            Error::UnknownReference {
+                kind: "connection",
+                ..
+            }
+        ));
 
         let err = base()
             .feature(ConnectionFeature::new("rf", "ch1", "ghost", 1, 1, []))
@@ -446,7 +489,13 @@ mod tests {
             .feature(ConnectionFeature::new("f", "ch1", "f0", 1, 1, []))
             .build()
             .unwrap_err();
-        assert!(matches!(err, Error::DuplicateId { kind: "feature", .. }));
+        assert!(matches!(
+            err,
+            Error::DuplicateId {
+                kind: "feature",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -455,13 +504,25 @@ mod tests {
             .valve("ghost", "ch1", ValveType::NormallyOpen)
             .build()
             .unwrap_err();
-        assert!(matches!(err, Error::UnknownReference { kind: "component", .. }));
+        assert!(matches!(
+            err,
+            Error::UnknownReference {
+                kind: "component",
+                ..
+            }
+        ));
 
         let err = base()
             .valve("a", "ghost", ValveType::NormallyOpen)
             .build()
             .unwrap_err();
-        assert!(matches!(err, Error::UnknownReference { kind: "connection", .. }));
+        assert!(matches!(
+            err,
+            Error::UnknownReference {
+                kind: "connection",
+                ..
+            }
+        ));
     }
 
     #[test]

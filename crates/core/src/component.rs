@@ -49,8 +49,7 @@ impl Port {
     /// ParchMint requires ports on the component perimeter so channels can
     /// attach without crossing the component body.
     pub fn on_boundary(&self, span: Span) -> bool {
-        let inside =
-            self.x >= 0 && self.x <= span.x && self.y >= 0 && self.y <= span.y;
+        let inside = self.x >= 0 && self.x <= span.x && self.y >= 0 && self.y <= span.y;
         let on_edge = self.x == 0 || self.x == span.x || self.y == 0 || self.y == span.y;
         inside && on_edge
     }
@@ -165,7 +164,11 @@ impl Component {
 
 impl fmt::Display for Component {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} `{}` ({}, {})", self.entity, self.id, self.name, self.span)
+        write!(
+            f,
+            "{} `{}` ({}, {})",
+            self.entity, self.id, self.name, self.span
+        )
     }
 }
 
@@ -174,9 +177,15 @@ mod tests {
     use super::*;
 
     fn sample() -> Component {
-        Component::new("c1", "mixer_a", Entity::Mixer, ["flow"], Span::new(2000, 1000))
-            .with_port(Port::new("in", "flow", 0, 500))
-            .with_port(Port::new("out", "flow", 2000, 500))
+        Component::new(
+            "c1",
+            "mixer_a",
+            Entity::Mixer,
+            ["flow"],
+            Span::new(2000, 1000),
+        )
+        .with_port(Port::new("in", "flow", 0, 500))
+        .with_port(Port::new("out", "flow", 2000, 500))
     }
 
     #[test]
@@ -189,10 +198,16 @@ mod tests {
 
     #[test]
     fn ports_on_layer_filters() {
-        let c = Component::new("v1", "valve_1", Entity::Valve, ["flow", "ctl"], Span::square(300))
-            .with_port(Port::new("fin", "flow", 0, 150))
-            .with_port(Port::new("fout", "flow", 300, 150))
-            .with_port(Port::new("actuate", "ctl", 150, 0));
+        let c = Component::new(
+            "v1",
+            "valve_1",
+            Entity::Valve,
+            ["flow", "ctl"],
+            Span::square(300),
+        )
+        .with_port(Port::new("fin", "flow", 0, 150))
+        .with_port(Port::new("fout", "flow", 300, 150))
+        .with_port(Port::new("actuate", "ctl", 150, 0));
         let flow: LayerId = "flow".into();
         let ctl: LayerId = "ctl".into();
         assert_eq!(c.ports_on_layer(&flow).count(), 2);
@@ -221,7 +236,10 @@ mod tests {
         let fp = c.footprint_at(Point::new(100, 100));
         assert_eq!(fp.max(), Point::new(2100, 1100));
         let p = c.port("out").unwrap();
-        assert_eq!(c.port_position(p, Point::new(100, 100)), Point::new(2100, 600));
+        assert_eq!(
+            c.port_position(p, Point::new(100, 100)),
+            Point::new(2100, 600)
+        );
     }
 
     #[test]

@@ -194,7 +194,13 @@ mod tests {
 
     #[test]
     fn serde_shape_matches_spec() {
-        let c = Connection::new("ch1", "n", "flow", Target::new("a", "p"), [Target::new("b", "q")]);
+        let c = Connection::new(
+            "ch1",
+            "n",
+            "flow",
+            Target::new("a", "p"),
+            [Target::new("b", "q")],
+        );
         let v = serde_json::to_value(&c).unwrap();
         assert_eq!(v["source"]["component"], "a");
         assert_eq!(v["source"]["port"], "p");
@@ -205,7 +211,13 @@ mod tests {
 
     #[test]
     fn display_two_terminal() {
-        let c = Connection::new("ch1", "n", "flow", Target::new("a", "p"), [Target::new("b", "q")]);
+        let c = Connection::new(
+            "ch1",
+            "n",
+            "flow",
+            Target::new("a", "p"),
+            [Target::new("b", "q")],
+        );
         assert_eq!(c.to_string(), "ch1: a.p -> b.q [flow]");
         assert!(c.is_two_terminal());
     }

@@ -159,7 +159,9 @@ impl Device {
         &'a self,
         connection: &'a ConnectionId,
     ) -> impl Iterator<Item = &'a Valve> {
-        self.valves.iter().filter(move |v| &v.controls == connection)
+        self.valves
+            .iter()
+            .filter(move |v| &v.controls == connection)
     }
 
     /// Resolves a connection terminal to the component and port it names.
@@ -196,7 +198,10 @@ impl Device {
     }
 
     /// Iterates over connections fabricated on `layer`.
-    pub fn connections_on<'a>(&'a self, layer: &'a LayerId) -> impl Iterator<Item = &'a Connection> {
+    pub fn connections_on<'a>(
+        &'a self,
+        layer: &'a LayerId,
+    ) -> impl Iterator<Item = &'a Connection> {
         self.connections.iter().filter(move |c| &c.layer == layer)
     }
 
@@ -205,7 +210,9 @@ impl Device {
         &'a self,
         component: &'a ComponentId,
     ) -> impl Iterator<Item = &'a Connection> {
-        self.connections.iter().filter(move |c| c.touches(component))
+        self.connections
+            .iter()
+            .filter(move |c| c.touches(component))
     }
 
     /// Total number of ports declared across all components.
@@ -323,7 +330,11 @@ struct DeviceRepr {
     connections: Vec<Connection>,
     #[serde(default, skip_serializing_if = "Vec::is_empty")]
     features: Vec<Feature>,
-    #[serde(rename = "valveMap", default, skip_serializing_if = "BTreeMap::is_empty")]
+    #[serde(
+        rename = "valveMap",
+        default,
+        skip_serializing_if = "BTreeMap::is_empty"
+    )]
     valve_map: BTreeMap<String, String>,
     #[serde(
         rename = "valveTypeMap",
@@ -340,10 +351,7 @@ impl From<Device> for DeviceRepr {
         let mut valve_map = BTreeMap::new();
         let mut valve_type_map = BTreeMap::new();
         for valve in &device.valves {
-            valve_map.insert(
-                valve.component.to_string(),
-                valve.controls.to_string(),
-            );
+            valve_map.insert(valve.component.to_string(), valve.controls.to_string());
             valve_type_map.insert(
                 valve.component.to_string(),
                 valve.valve_type.name().to_owned(),
@@ -487,8 +495,15 @@ mod tests {
                 .into(),
         );
         d.features.push(
-            ComponentFeature::new("pf_b", "b", "f0", Point::new(1000, 0), Span::new(1000, 500), 50)
-                .into(),
+            ComponentFeature::new(
+                "pf_b",
+                "b",
+                "f0",
+                Point::new(1000, 0),
+                Span::new(1000, 500),
+                50,
+            )
+            .into(),
         );
         d.features.push(
             ConnectionFeature::new(
@@ -549,7 +564,8 @@ mod tests {
             ["f0"],
             Span::square(300),
         ));
-        d.valves.push(Valve::new("v1", "ch1", ValveType::NormallyClosed));
+        d.valves
+            .push(Valve::new("v1", "ch1", ValveType::NormallyClosed));
 
         let json = d.to_json().unwrap();
         assert!(json.contains(r#""valveMap":{"v1":"ch1"}"#), "json: {json}");
@@ -621,11 +637,11 @@ mod tests {
     fn minimum_version_tracks_content() {
         let mut d = two_component_device();
         assert_eq!(d.minimum_version(), Version::V1_0);
-        d.features.push(
-            ComponentFeature::new("f", "a", "f0", Point::ORIGIN, Span::square(1), 1).into(),
-        );
+        d.features
+            .push(ComponentFeature::new("f", "a", "f0", Point::ORIGIN, Span::square(1), 1).into());
         assert_eq!(d.minimum_version(), Version::V1_1);
-        d.valves.push(Valve::new("v", "ch1", ValveType::NormallyOpen));
+        d.valves
+            .push(Valve::new("v", "ch1", ValveType::NormallyOpen));
         assert_eq!(d.minimum_version(), Version::V1_2);
     }
 

@@ -317,7 +317,10 @@ mod tests {
     #[test]
     fn parse_is_case_and_separator_insensitive() {
         assert_eq!("mixer".parse::<Entity>().unwrap(), Entity::Mixer);
-        assert_eq!("Rotary_Mixer".parse::<Entity>().unwrap(), Entity::RotaryMixer);
+        assert_eq!(
+            "Rotary_Mixer".parse::<Entity>().unwrap(),
+            Entity::RotaryMixer
+        );
         assert_eq!("cell trap".parse::<Entity>().unwrap(), Entity::CellTrap);
         assert_eq!("  ytree ".parse::<Entity>().unwrap(), Entity::YTree);
     }

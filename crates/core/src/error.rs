@@ -74,9 +74,15 @@ mod tests {
     fn display_variants() {
         let e = Error::invalid_model("orphan valve");
         assert_eq!(e.to_string(), "invalid ParchMint model: orphan valve");
-        let e = Error::UnknownReference { kind: "layer", id: "f9".into() };
+        let e = Error::UnknownReference {
+            kind: "layer",
+            id: "f9".into(),
+        };
         assert_eq!(e.to_string(), "reference to unknown layer `f9`");
-        let e = Error::DuplicateId { kind: "component", id: "m1".into() };
+        let e = Error::DuplicateId {
+            kind: "component",
+            id: "m1".into(),
+        };
         assert_eq!(e.to_string(), "duplicate component id `m1`");
     }
 

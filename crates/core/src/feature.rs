@@ -279,7 +279,14 @@ mod tests {
 
     #[test]
     fn component_feature_footprint() {
-        let f = ComponentFeature::new("f1", "m1", "flow", Point::new(100, 200), Span::new(50, 60), 45);
+        let f = ComponentFeature::new(
+            "f1",
+            "m1",
+            "flow",
+            Point::new(100, 200),
+            Span::new(50, 60),
+            45,
+        );
         assert_eq!(f.footprint().max(), Point::new(150, 260));
         assert_eq!(f.name, "place_m1");
     }
@@ -296,7 +303,10 @@ mod tests {
         let v = serde_json::to_value(&features).unwrap();
         assert_eq!(v[0]["type"], "component");
         assert_eq!(v[1]["type"], "connection");
-        assert_eq!(v[0]["x-span"], 3, "span must flatten into the feature object");
+        assert_eq!(
+            v[0]["x-span"], 3,
+            "span must flatten into the feature object"
+        );
     }
 
     #[test]

@@ -19,7 +19,9 @@ use std::ops::{Add, AddAssign, Neg, Sub, SubAssign};
 /// let b = Point::new(130, 160);
 /// assert_eq!(a.manhattan_distance(b), 70);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Point {
     /// Horizontal coordinate in µm.
     pub x: i64,
@@ -129,7 +131,9 @@ impl Neg for Point {
 ///
 /// ParchMint serializes spans as the `x-span` / `y-span` key pair; `Span`
 /// groups the pair and guards the "non-negative" invariant at construction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Span {
     /// Extent along the x axis, in µm.
     #[serde(rename = "x-span")]
@@ -160,7 +164,10 @@ impl Span {
 
     /// Returns the span rotated a quarter turn (x and y swapped).
     pub fn rotated(self) -> Span {
-        Span { x: self.y, y: self.x }
+        Span {
+            x: self.y,
+            y: self.x,
+        }
     }
 
     /// True when either extent is zero.
@@ -248,7 +255,10 @@ impl Rect {
     pub fn intersects(self, other: Rect) -> bool {
         let a_max = self.max();
         let b_max = other.max();
-        self.min.x < b_max.x && other.min.x < a_max.x && self.min.y < b_max.y && other.min.y < a_max.y
+        self.min.x < b_max.x
+            && other.min.x < a_max.x
+            && self.min.y < b_max.y
+            && other.min.y < a_max.y
     }
 
     /// Smallest rectangle covering both `self` and `other`.

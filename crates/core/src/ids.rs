@@ -157,7 +157,11 @@ mod tests {
 
     #[test]
     fn ordering_is_lexicographic() {
-        let mut ids = [FeatureId::new("f10"), FeatureId::new("f1"), FeatureId::new("f2")];
+        let mut ids = [
+            FeatureId::new("f10"),
+            FeatureId::new("f1"),
+            FeatureId::new("f2"),
+        ];
         ids.sort();
         let strs: Vec<&str> = ids.iter().map(|i| i.as_str()).collect();
         assert_eq!(strs, vec!["f1", "f10", "f2"]);

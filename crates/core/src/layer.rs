@@ -143,7 +143,10 @@ mod tests {
             assert_eq!(lt.name().parse::<LayerType>().unwrap(), *lt);
         }
         assert_eq!("flow".parse::<LayerType>().unwrap(), LayerType::Flow);
-        assert_eq!(" Control ".parse::<LayerType>().unwrap(), LayerType::Control);
+        assert_eq!(
+            " Control ".parse::<LayerType>().unwrap(),
+            LayerType::Control
+        );
     }
 
     #[test]

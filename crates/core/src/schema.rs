@@ -194,8 +194,14 @@ pub fn check_document(document: &Value) -> Vec<String> {
     }
     for (section, required) in [
         ("layers", vec!["id", "name", "type"]),
-        ("components", vec!["id", "name", "entity", "layers", "x-span", "y-span"]),
-        ("connections", vec!["id", "name", "layer", "source", "sinks"]),
+        (
+            "components",
+            vec!["id", "name", "entity", "layers", "x-span", "y-span"],
+        ),
+        (
+            "connections",
+            vec!["id", "name", "layer", "source", "sinks"],
+        ),
     ] {
         let Some(value) = object.get(section) else {
             continue; // sections are optional
@@ -290,9 +296,15 @@ mod tests {
         });
         let violations = check_document(&document);
         assert!(violations.iter().any(|v| v.contains("`name`")));
-        assert!(violations.iter().any(|v| v.contains("layers[0] missing `type`")));
-        assert!(violations.iter().any(|v| v.contains("`components` must be an array")));
-        assert!(violations.iter().any(|v| v.contains("`valveMap` must be an object")));
+        assert!(violations
+            .iter()
+            .any(|v| v.contains("layers[0] missing `type`")));
+        assert!(violations
+            .iter()
+            .any(|v| v.contains("`components` must be an array")));
+        assert!(violations
+            .iter()
+            .any(|v| v.contains("`valveMap` must be an object")));
         assert_eq!(check_document(&json!(42)).len(), 1);
     }
 }

@@ -13,7 +13,9 @@ use std::fmt;
 use std::str::FromStr;
 
 /// Rest-state polarity of a membrane valve.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub enum ValveType {
     /// Flow passes when unactuated (push-down valve).
     #[default]
@@ -107,7 +109,11 @@ impl Valve {
 
 impl fmt::Display for Valve {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} pinches {} ({})", self.component, self.controls, self.valve_type)
+        write!(
+            f,
+            "{} pinches {} ({})",
+            self.component, self.controls, self.valve_type
+        )
     }
 }
 
@@ -117,8 +123,14 @@ mod tests {
 
     #[test]
     fn valve_type_parse() {
-        assert_eq!("NORMALLY_OPEN".parse::<ValveType>().unwrap(), ValveType::NormallyOpen);
-        assert_eq!("normally-closed".parse::<ValveType>().unwrap(), ValveType::NormallyClosed);
+        assert_eq!(
+            "NORMALLY_OPEN".parse::<ValveType>().unwrap(),
+            ValveType::NormallyOpen
+        );
+        assert_eq!(
+            "normally-closed".parse::<ValveType>().unwrap(),
+            ValveType::NormallyClosed
+        );
         assert!("SOMETIMES_OPEN".parse::<ValveType>().is_err());
     }
 
@@ -129,7 +141,10 @@ mod tests {
 
     #[test]
     fn valve_type_serde_names() {
-        assert_eq!(serde_json::to_string(&ValveType::NormallyClosed).unwrap(), r#""NORMALLY_CLOSED""#);
+        assert_eq!(
+            serde_json::to_string(&ValveType::NormallyClosed).unwrap(),
+            r#""NORMALLY_CLOSED""#
+        );
         let v: ValveType = serde_json::from_str(r#""NORMALLY_OPEN""#).unwrap();
         assert_eq!(v, ValveType::NormallyOpen);
     }

@@ -58,7 +58,11 @@ pub struct ParseVersionError(String);
 
 impl fmt::Display for ParseVersionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unknown ParchMint version `{}` (known: 1.0, 1.1, 1.2)", self.0)
+        write!(
+            f,
+            "unknown ParchMint version `{}` (known: 1.0, 1.1, 1.2)",
+            self.0
+        )
     }
 }
 

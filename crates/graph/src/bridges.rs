@@ -100,10 +100,7 @@ mod tests {
     #[test]
     fn barbell_has_one_bridge() {
         // Two triangles joined by one edge: only the joiner is a bridge.
-        let g = graph_from(
-            6,
-            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
-        );
+        let g = graph_from(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
         let found = bridges(&g);
         assert_eq!(found, vec![EdgeIx(6)]);
     }

@@ -32,7 +32,10 @@ impl Components {
             });
             *slot = label;
         }
-        Components { labels, count: next }
+        Components {
+            labels,
+            count: next,
+        }
     }
 
     /// Number of connected components.
@@ -62,7 +65,10 @@ impl Components {
     /// Nodes of the largest component (ties broken by lowest label).
     pub fn largest(&self) -> Vec<NodeIx> {
         let sizes = self.sizes();
-        let Some((best, _)) = sizes.iter().enumerate().max_by_key(|&(i, s)| (*s, usize::MAX - i))
+        let Some((best, _)) = sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, s)| (*s, usize::MAX - i))
         else {
             return Vec::new();
         };

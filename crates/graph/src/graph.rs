@@ -205,10 +205,7 @@ impl<N, E> Graph<N, E> {
 
     /// Finds the first node whose payload satisfies `pred`.
     pub fn find_node(&self, mut pred: impl FnMut(&N) -> bool) -> Option<NodeIx> {
-        self.nodes
-            .iter()
-            .position(|n| pred(&n.data))
-            .map(NodeIx)
+        self.nodes.iter().position(|n| pred(&n.data)).map(NodeIx)
     }
 
     /// Sum of all degrees; equals `2 * edge_count()` (handshake lemma).

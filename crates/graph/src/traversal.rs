@@ -153,7 +153,10 @@ mod tests {
     #[test]
     fn shortest_path_to_self_is_singleton() {
         let g = sample();
-        assert_eq!(shortest_path(&g, NodeIx(2), NodeIx(2)).unwrap(), vec![NodeIx(2)]);
+        assert_eq!(
+            shortest_path(&g, NodeIx(2), NodeIx(2)).unwrap(),
+            vec![NodeIx(2)]
+        );
     }
 
     #[test]

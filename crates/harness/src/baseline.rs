@@ -1,0 +1,233 @@
+//! Baseline comparison: the CI regression gate over suite reports.
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// Metrics where an increase beyond tolerance is a regression.
+const LOWER_IS_BETTER: &[&str] = &[
+    "hpwl",
+    "wirelength",
+    "bends",
+    "errors",
+    "warnings",
+    "diagnostics",
+];
+
+/// Metrics where a decrease beyond tolerance is a regression.
+const HIGHER_IS_BETTER: &[&str] = &["routed", "completion", "conformant"];
+
+/// Allowed drift before a metric change counts as a regression.
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerances {
+    /// Relative slack, as a fraction of the baseline value (`0.05` = 5%).
+    /// The gate triggers only when the change is worse than
+    /// `baseline * relative`, so `0.0` demands exact parity.
+    pub relative: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances { relative: 0.0 }
+    }
+}
+
+/// One detected regression against the baseline.
+#[derive(Debug, Clone)]
+pub struct Regression {
+    /// `benchmark/stage` of the affected cell.
+    pub cell: String,
+    /// Metric name, or `status` / `presence` for structural regressions.
+    pub metric: String,
+    /// Baseline-side value, rendered for the report.
+    pub baseline: String,
+    /// Current-side value, rendered for the report.
+    pub current: String,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} regressed from {} to {}",
+            self.cell, self.metric, self.baseline, self.current
+        )
+    }
+}
+
+/// Indexes a report's `cells` array by `benchmark/stage`.
+fn index_cells(report: &Value) -> BTreeMap<String, &Value> {
+    let mut index = BTreeMap::new();
+    if let Some(cells) = report.get("cells").and_then(Value::as_array) {
+        for cell in cells {
+            if let (Some(benchmark), Some(stage)) = (
+                cell.get("benchmark").and_then(Value::as_str),
+                cell.get("stage").and_then(Value::as_str),
+            ) {
+                index.insert(format!("{benchmark}/{stage}"), cell);
+            }
+        }
+    }
+    index
+}
+
+/// Reads a metric as f64, treating booleans as 1/0 so `conformant` can be
+/// gated like a numeric quality metric.
+fn metric_value(cell: &Value, name: &str) -> Option<f64> {
+    let value = cell.get("metrics")?.get(name)?;
+    value
+        .as_f64()
+        .or_else(|| value.as_bool().map(|b| if b { 1.0 } else { 0.0 }))
+}
+
+/// Compares a current suite report against a baseline report (both as the
+/// JSON produced by [`crate::SuiteReport::to_json`]) and returns every
+/// regression found.
+///
+/// Gated conditions:
+///
+/// - a cell present in the baseline missing from the current report;
+/// - a cell whose baseline status was `ok` ending any other way;
+/// - a directional quality metric drifting the bad way beyond tolerance.
+///
+/// New cells, new metrics, and improvements are never regressions, so the
+/// suite can grow without re-baselining churn.
+pub fn compare(baseline: &Value, current: &Value, tolerances: &Tolerances) -> Vec<Regression> {
+    let baseline_cells = index_cells(baseline);
+    let current_cells = index_cells(current);
+    let mut regressions = Vec::new();
+
+    for (key, base_cell) in &baseline_cells {
+        let Some(cur_cell) = current_cells.get(key) else {
+            regressions.push(Regression {
+                cell: key.clone(),
+                metric: "presence".to_string(),
+                baseline: "present".to_string(),
+                current: "missing".to_string(),
+            });
+            continue;
+        };
+
+        let base_status = base_cell.get("status").and_then(Value::as_str);
+        let cur_status = cur_cell.get("status").and_then(Value::as_str);
+        if base_status == Some("ok") && cur_status != Some("ok") {
+            regressions.push(Regression {
+                cell: key.clone(),
+                metric: "status".to_string(),
+                baseline: "ok".to_string(),
+                current: cur_status.unwrap_or("absent").to_string(),
+            });
+            continue;
+        }
+
+        for &metric in LOWER_IS_BETTER {
+            if let (Some(base), Some(cur)) = (
+                metric_value(base_cell, metric),
+                metric_value(cur_cell, metric),
+            ) {
+                if cur > base + base.abs() * tolerances.relative {
+                    regressions.push(Regression {
+                        cell: key.clone(),
+                        metric: metric.to_string(),
+                        baseline: format!("{base}"),
+                        current: format!("{cur}"),
+                    });
+                }
+            }
+        }
+        for &metric in HIGHER_IS_BETTER {
+            if let (Some(base), Some(cur)) = (
+                metric_value(base_cell, metric),
+                metric_value(cur_cell, metric),
+            ) {
+                if cur < base - base.abs() * tolerances.relative {
+                    regressions.push(Regression {
+                        cell: key.clone(),
+                        metric: metric.to_string(),
+                        baseline: format!("{base}"),
+                        current: format!("{cur}"),
+                    });
+                }
+            }
+        }
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn report(hpwl: i64, routed: i64, status: &str) -> Value {
+        json!({
+            "schema": "parchmint-suite-report/v1",
+            "cells": [
+                {
+                    "benchmark": "chip",
+                    "stage": "pnr:greedy+astar",
+                    "status": status,
+                    "metrics": { "hpwl": hpwl, "routed": routed, "conformant": true }
+                }
+            ]
+        })
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let base = report(100, 5, "ok");
+        assert!(compare(&base, &base, &Tolerances::default()).is_empty());
+    }
+
+    #[test]
+    fn degraded_lower_is_better_metric_is_flagged() {
+        let base = report(100, 5, "ok");
+        let cur = report(130, 5, "ok");
+        let regressions = compare(&base, &cur, &Tolerances::default());
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].metric, "hpwl");
+        // 30% worse clears a 50% tolerance.
+        assert!(compare(&base, &cur, &Tolerances { relative: 0.5 }).is_empty());
+    }
+
+    #[test]
+    fn degraded_higher_is_better_metric_is_flagged() {
+        let base = report(100, 5, "ok");
+        let cur = report(100, 3, "ok");
+        let regressions = compare(&base, &cur, &Tolerances::default());
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].metric, "routed");
+    }
+
+    #[test]
+    fn improvements_and_new_cells_pass() {
+        let base = report(100, 5, "ok");
+        let cur = json!({
+            "schema": "parchmint-suite-report/v1",
+            "cells": [
+                {
+                    "benchmark": "chip",
+                    "stage": "pnr:greedy+astar",
+                    "status": "ok",
+                    "metrics": { "hpwl": 80, "routed": 6, "conformant": true }
+                },
+                { "benchmark": "new", "stage": "flow", "status": "error" }
+            ]
+        });
+        assert!(compare(&base, &cur, &Tolerances::default()).is_empty());
+    }
+
+    #[test]
+    fn status_and_presence_regressions_are_flagged() {
+        let base = report(100, 5, "ok");
+        let broken = report(100, 5, "failed");
+        let regressions = compare(&base, &broken, &Tolerances::default());
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].metric, "status");
+
+        let empty = json!({ "schema": "parchmint-suite-report/v1", "cells": [] });
+        let regressions = compare(&base, &empty, &Tolerances::default());
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].metric, "presence");
+        assert!(regressions[0].to_string().contains("missing"));
+    }
+}

@@ -1,0 +1,51 @@
+//! # parchmint-harness
+//!
+//! Parallel suite-evaluation harness: runs every benchmark in the registry
+//! through a configurable stage matrix — validation, characterization,
+//! place-and-route for each placer×router combination, flow simulation, and
+//! control-plan synthesis — collecting structured per-stage metrics and
+//! wall-clock timings into a deterministic, diffable JSON report.
+//!
+//! This is the engine behind `parchmint suite-run` and the CI regression
+//! gate: a report captured from a known-good revision is committed as a
+//! baseline, and [`baseline::compare`] flags any quality-metric drift beyond
+//! configured tolerances.
+//!
+//! Design points:
+//!
+//! - **Worker pool without dependencies.** The sweep fans benchmarks across
+//!   `std::thread::scope` workers pulling from a shared index queue; no
+//!   external thread-pool crate is needed, and results are sorted after the
+//!   join so reports are identical for any thread count.
+//! - **Panic isolation.** Every stage runs under `catch_unwind`; a panicking
+//!   stage (or device generator) marks that cell `failed` with the panic
+//!   message and the sweep carries on.
+//! - **Segregated timings.** Metrics live in `cells`, wall-clock data lives
+//!   in a separate `timing` section, so stripping one key yields a
+//!   byte-stable artifact suitable for committed baselines and diffs.
+//!
+//! ```
+//! use parchmint_harness::{run_suite, SuiteRunConfig};
+//!
+//! let config = SuiteRunConfig {
+//!     benchmarks: Some(vec!["logic_gate_or".into()]),
+//!     threads: 2,
+//!     ..SuiteRunConfig::default()
+//! };
+//! let report = run_suite(&config);
+//! assert!(report.cells.iter().all(|c| c.benchmark == "logic_gate_or"));
+//! ```
+
+#![warn(missing_docs)]
+// `catch_unwind` is the whole point of the harness; everything else is safe.
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod report;
+pub mod runner;
+pub mod stage;
+
+pub use baseline::{compare, Regression, Tolerances};
+pub use report::{Cell, CellStatus, SuiteReport};
+pub use runner::{run_matrix, run_suite, SuiteRunConfig};
+pub use stage::{standard_stages, Stage, StageOutcome};

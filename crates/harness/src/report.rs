@@ -1,0 +1,318 @@
+//! Structured suite-run results and their JSON / table renderings.
+
+use serde_json::{Map, Value};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// How one stage on one benchmark ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellStatus {
+    /// The stage ran and produced metrics.
+    Ok,
+    /// The stage does not apply to this benchmark (reason in `detail`).
+    Skipped,
+    /// The stage returned a structured error (message in `detail`).
+    Error,
+    /// The stage panicked (panic message in `detail`).
+    Failed,
+}
+
+impl CellStatus {
+    /// Stable lowercase wire name, as used in the JSON report.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CellStatus::Ok => "ok",
+            CellStatus::Skipped => "skipped",
+            CellStatus::Error => "error",
+            CellStatus::Failed => "failed",
+        }
+    }
+}
+
+/// One benchmark×stage result.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Benchmark name from the registry.
+    pub benchmark: String,
+    /// Stage name, e.g. `pnr:annealing+astar`.
+    pub stage: String,
+    /// How the stage ended.
+    pub status: CellStatus,
+    /// Skip reason, error message, or panic message.
+    pub detail: Option<String>,
+    /// Stage metrics; empty unless `status` is [`CellStatus::Ok`].
+    pub metrics: BTreeMap<String, Value>,
+    /// Stage wall-clock time (reported in the strippable `timing` section).
+    pub wall: Duration,
+}
+
+impl Cell {
+    /// `benchmark/stage` — the key used in the `timing` section.
+    pub fn key(&self) -> String {
+        format!("{}/{}", self.benchmark, self.stage)
+    }
+}
+
+/// Results of a whole sweep.
+#[derive(Debug, Clone)]
+pub struct SuiteReport {
+    /// All cells, sorted by benchmark name then stage order.
+    pub cells: Vec<Cell>,
+    /// Stage names in matrix order; defines the intra-benchmark cell order.
+    pub stages: Vec<String>,
+    /// Worker count actually used.
+    pub threads: usize,
+    /// End-to-end sweep wall-clock time.
+    pub total_wall: Duration,
+}
+
+impl SuiteReport {
+    /// Sorts cells by benchmark name, then by stage position in the matrix
+    /// (unknown stages last, by name), making the report independent of
+    /// worker scheduling.
+    pub fn sort_cells(&mut self) {
+        let order = |stage: &str| {
+            self.stages
+                .iter()
+                .position(|s| s == stage)
+                .unwrap_or(usize::MAX)
+        };
+        self.cells.sort_by(|a, b| {
+            a.benchmark
+                .cmp(&b.benchmark)
+                .then_with(|| order(&a.stage).cmp(&order(&b.stage)))
+                .then_with(|| a.stage.cmp(&b.stage))
+        });
+    }
+
+    /// Looks up one cell by benchmark and stage name.
+    pub fn cell(&self, benchmark: &str, stage: &str) -> Option<&Cell> {
+        self.cells
+            .iter()
+            .find(|c| c.benchmark == benchmark && c.stage == stage)
+    }
+
+    /// Counts cells per status: `(ok, skipped, error, failed)`.
+    pub fn counts(&self) -> (usize, usize, usize, usize) {
+        let mut counts = (0, 0, 0, 0);
+        for cell in &self.cells {
+            match cell.status {
+                CellStatus::Ok => counts.0 += 1,
+                CellStatus::Skipped => counts.1 += 1,
+                CellStatus::Error => counts.2 += 1,
+                CellStatus::Failed => counts.3 += 1,
+            }
+        }
+        counts
+    }
+
+    /// True if no cell errored or failed.
+    pub fn is_clean(&self) -> bool {
+        let (_, _, errors, failures) = self.counts();
+        errors == 0 && failures == 0
+    }
+
+    /// Renders the report as a JSON value.
+    ///
+    /// All non-deterministic data — wall-clock timings and the worker count
+    /// — lives under the single `timing` key, included only when
+    /// `include_timings` is set. With it stripped, reports from runs with
+    /// different thread counts are byte-identical, which is what makes
+    /// committed baselines diffable.
+    pub fn to_json(&self, include_timings: bool) -> Value {
+        let (ok, skipped, errors, failed) = self.counts();
+        let mut root = Map::new();
+        root.insert(
+            "schema".to_string(),
+            Value::from("parchmint-suite-report/v1"),
+        );
+        let mut counts = Map::new();
+        counts.insert("cells".to_string(), Value::from(self.cells.len()));
+        counts.insert("ok".to_string(), Value::from(ok));
+        counts.insert("skipped".to_string(), Value::from(skipped));
+        counts.insert("error".to_string(), Value::from(errors));
+        counts.insert("failed".to_string(), Value::from(failed));
+        root.insert("counts".to_string(), Value::Object(counts));
+
+        let cells: Vec<Value> = self
+            .cells
+            .iter()
+            .map(|cell| {
+                let mut entry = Map::new();
+                entry.insert("benchmark".to_string(), Value::from(cell.benchmark.clone()));
+                entry.insert("stage".to_string(), Value::from(cell.stage.clone()));
+                entry.insert("status".to_string(), Value::from(cell.status.as_str()));
+                if let Some(detail) = &cell.detail {
+                    entry.insert("detail".to_string(), Value::from(detail.clone()));
+                }
+                if !cell.metrics.is_empty() {
+                    let metrics: Map = cell
+                        .metrics
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect();
+                    entry.insert("metrics".to_string(), Value::Object(metrics));
+                }
+                Value::Object(entry)
+            })
+            .collect();
+        root.insert("cells".to_string(), Value::Array(cells));
+
+        if include_timings {
+            let mut timing = Map::new();
+            timing.insert("threads".to_string(), Value::from(self.threads));
+            timing.insert(
+                "total_ms".to_string(),
+                Value::from(self.total_wall.as_secs_f64() * 1e3),
+            );
+            let mut per_cell = Map::new();
+            for cell in &self.cells {
+                per_cell.insert(cell.key(), Value::from(cell.wall.as_secs_f64() * 1e3));
+            }
+            timing.insert("cells".to_string(), Value::Object(per_cell));
+            root.insert("timing".to_string(), Value::Object(timing));
+        }
+        Value::Object(root)
+    }
+
+    /// Pretty-printed JSON string of [`SuiteReport::to_json`], with a
+    /// trailing newline for clean committed files.
+    pub fn to_json_string(&self, include_timings: bool) -> String {
+        let mut text = serde_json::to_string_pretty(&self.to_json(include_timings))
+            .expect("report serialization is infallible");
+        text.push('\n');
+        text
+    }
+
+    /// Human summary: one row per benchmark, one column per stage, plus a
+    /// totals line.
+    pub fn summary_table(&self) -> String {
+        let mut benchmarks: Vec<&str> = Vec::new();
+        for cell in &self.cells {
+            if benchmarks.last() != Some(&cell.benchmark.as_str()) {
+                benchmarks.push(&cell.benchmark);
+            }
+        }
+        let mut columns: Vec<&str> = self.stages.iter().map(String::as_str).collect();
+        for cell in &self.cells {
+            if !columns.contains(&cell.stage.as_str()) {
+                columns.push(&cell.stage);
+            }
+        }
+
+        let glyph = |status: CellStatus| match status {
+            CellStatus::Ok => "ok",
+            CellStatus::Skipped => "--",
+            CellStatus::Error => "ERR",
+            CellStatus::Failed => "FAIL",
+        };
+        let name_width = benchmarks
+            .iter()
+            .map(|b| b.len())
+            .max()
+            .unwrap_or(0)
+            .max("benchmark".len());
+
+        let mut out = String::new();
+        out.push_str(&format!("{:name_width$}", "benchmark"));
+        for column in &columns {
+            out.push_str(&format!("  {column}"));
+        }
+        out.push('\n');
+        for benchmark in &benchmarks {
+            out.push_str(&format!("{benchmark:name_width$}"));
+            for column in &columns {
+                let mark = self
+                    .cell(benchmark, column)
+                    .map_or("?", |cell| glyph(cell.status));
+                out.push_str(&format!("  {mark:^width$}", width = column.len()));
+            }
+            out.push('\n');
+        }
+        let (ok, skipped, errors, failed) = self.counts();
+        out.push_str(&format!(
+            "{} cells: {ok} ok, {skipped} skipped, {errors} error, {failed} failed \
+             ({} threads, {:.1}s)\n",
+            self.cells.len(),
+            self.threads,
+            self.total_wall.as_secs_f64(),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SuiteReport {
+        let mut metrics = BTreeMap::new();
+        metrics.insert("hpwl".to_string(), Value::from(42));
+        SuiteReport {
+            cells: vec![
+                Cell {
+                    benchmark: "b".into(),
+                    stage: "validate".into(),
+                    status: CellStatus::Ok,
+                    detail: None,
+                    metrics: metrics.clone(),
+                    wall: Duration::from_millis(3),
+                },
+                Cell {
+                    benchmark: "a".into(),
+                    stage: "flow".into(),
+                    status: CellStatus::Skipped,
+                    detail: Some("no ports".into()),
+                    metrics: BTreeMap::new(),
+                    wall: Duration::from_millis(1),
+                },
+                Cell {
+                    benchmark: "a".into(),
+                    stage: "validate".into(),
+                    status: CellStatus::Error,
+                    detail: Some("bad".into()),
+                    metrics: BTreeMap::new(),
+                    wall: Duration::from_millis(2),
+                },
+            ],
+            stages: vec!["validate".into(), "flow".into()],
+            threads: 2,
+            total_wall: Duration::from_millis(6),
+        }
+    }
+
+    #[test]
+    fn sorting_follows_stage_matrix_order() {
+        let mut report = sample();
+        report.sort_cells();
+        let keys: Vec<String> = report.cells.iter().map(Cell::key).collect();
+        assert_eq!(keys, ["a/validate", "a/flow", "b/validate"]);
+    }
+
+    #[test]
+    fn stripped_json_has_no_timing_and_stable_counts() {
+        let mut report = sample();
+        report.sort_cells();
+        let json = report.to_json(false);
+        assert!(json.get("timing").is_none());
+        assert_eq!(json["schema"], "parchmint-suite-report/v1");
+        assert_eq!(json["counts"]["cells"], 3);
+        assert_eq!(json["counts"]["ok"], 1);
+        assert_eq!(json["counts"]["skipped"], 1);
+        assert_eq!(json["counts"]["error"], 1);
+        assert_eq!(json["counts"]["failed"], 0);
+        let timed = report.to_json(true);
+        assert_eq!(timed["timing"]["threads"], 2);
+        assert!(timed["timing"]["cells"]["a/validate"].as_f64().is_some());
+    }
+
+    #[test]
+    fn summary_table_mentions_every_benchmark() {
+        let mut report = sample();
+        report.sort_cells();
+        let table = report.summary_table();
+        assert!(table.contains("benchmark"));
+        assert!(table.contains('a') && table.contains('b'));
+        assert!(table.contains("3 cells: 1 ok, 1 skipped, 1 error, 0 failed"));
+    }
+}

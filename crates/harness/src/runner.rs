@@ -1,0 +1,267 @@
+//! The parallel sweep: benchmarks × stages across a scoped worker pool.
+
+use crate::report::{Cell, CellStatus, SuiteReport};
+use crate::stage::{standard_stages, Stage, StageOutcome};
+use parchmint_suite::Benchmark;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Configuration for [`run_suite`].
+#[derive(Debug, Clone, Default)]
+pub struct SuiteRunConfig {
+    /// Worker threads; `0` means one per available core (capped at the
+    /// number of benchmarks).
+    pub threads: usize,
+    /// Benchmark-name subset; `None` runs the whole registry.
+    pub benchmarks: Option<Vec<String>>,
+    /// Stage-name subset (exact names, or the `pnr` prefix for all four
+    /// PnR combinations); `None` runs the full matrix.
+    pub stages: Option<Vec<String>>,
+}
+
+/// Runs the configured slice of the registry through the standard stage
+/// matrix.
+///
+/// Unknown benchmark or stage names are reported as `failed` cells rather
+/// than silently dropped, so a typo in CI configuration cannot shrink the
+/// sweep unnoticed.
+pub fn run_suite(config: &SuiteRunConfig) -> SuiteReport {
+    let registry = parchmint_suite::suite();
+    let mut benchmarks = Vec::new();
+    let mut bad_cells = Vec::new();
+    match &config.benchmarks {
+        None => benchmarks = registry,
+        Some(names) => {
+            for name in names {
+                match registry.iter().find(|b| b.name() == name.as_str()) {
+                    Some(benchmark) => benchmarks.push(benchmark.clone()),
+                    None => bad_cells.push(Cell {
+                        benchmark: name.clone(),
+                        stage: "resolve".into(),
+                        status: CellStatus::Failed,
+                        detail: Some(format!("unknown benchmark `{name}`")),
+                        metrics: Default::default(),
+                        wall: Duration::ZERO,
+                    }),
+                }
+            }
+        }
+    }
+
+    let mut stages = standard_stages();
+    if let Some(wanted) = &config.stages {
+        let known: Vec<String> = stages.iter().map(|s| s.name.clone()).collect();
+        for name in wanted {
+            let matches_any = known
+                .iter()
+                .any(|k| k == name || (name == "pnr" && k.starts_with("pnr:")));
+            if !matches_any {
+                bad_cells.push(Cell {
+                    benchmark: "*".into(),
+                    stage: name.clone(),
+                    status: CellStatus::Failed,
+                    detail: Some(format!("unknown stage `{name}`")),
+                    metrics: Default::default(),
+                    wall: Duration::ZERO,
+                });
+            }
+        }
+        stages.retain(|s| {
+            wanted
+                .iter()
+                .any(|w| w == &s.name || (w == "pnr" && s.name.starts_with("pnr:")))
+        });
+    }
+
+    let mut report = run_matrix(&benchmarks, &stages, config.threads);
+    report.cells.extend(bad_cells);
+    report.sort_cells();
+    report
+}
+
+/// Sweeps `benchmarks` through `stages` on a pool of `threads` workers
+/// (0 = one per core).
+///
+/// The pool is a `std::thread::scope` over a shared index queue — no
+/// external crates. Cell order in the result is sorted (benchmark name,
+/// then stage order), so the report is independent of scheduling.
+pub fn run_matrix(benchmarks: &[Benchmark], stages: &[Stage], threads: usize) -> SuiteReport {
+    let started = Instant::now();
+    let workers = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    }
+    .clamp(1, benchmarks.len().max(1));
+
+    let next: Mutex<usize> = Mutex::new(0);
+    let collected: Mutex<Vec<Cell>> = Mutex::new(Vec::new());
+
+    // The default panic hook would spam stderr with a backtrace for every
+    // isolated stage failure; silence it for the sweep and restore after.
+    let prior_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = {
+                    let mut next = next.lock().expect("queue lock");
+                    let index = *next;
+                    *next += 1;
+                    index
+                };
+                let Some(benchmark) = benchmarks.get(index) else {
+                    break;
+                };
+                let cells = evaluate_benchmark(benchmark, stages);
+                collected.lock().expect("result lock").extend(cells);
+            });
+        }
+    });
+
+    std::panic::set_hook(prior_hook);
+
+    let mut report = SuiteReport {
+        cells: collected.into_inner().expect("result lock"),
+        stages: stages.iter().map(|s| s.name.clone()).collect(),
+        threads: workers,
+        total_wall: started.elapsed(),
+    };
+    report.sort_cells();
+    report
+}
+
+/// Runs the whole stage list on one benchmark, isolating each stage.
+fn evaluate_benchmark(benchmark: &Benchmark, stages: &[Stage]) -> Vec<Cell> {
+    let name = benchmark.name().to_string();
+    let generated = Instant::now();
+    let device = match catch_unwind(AssertUnwindSafe(|| benchmark.device())) {
+        Ok(device) => device,
+        Err(payload) => {
+            // Generator panicked: every cell of this row fails, explained.
+            let message = panic_message(payload.as_ref());
+            return stages
+                .iter()
+                .map(|stage| Cell {
+                    benchmark: name.clone(),
+                    stage: stage.name.clone(),
+                    status: CellStatus::Failed,
+                    detail: Some(format!("device generation panicked: {message}")),
+                    metrics: Default::default(),
+                    wall: generated.elapsed(),
+                })
+                .collect();
+        }
+    };
+
+    stages
+        .iter()
+        .map(|stage| {
+            let started = Instant::now();
+            let outcome = catch_unwind(AssertUnwindSafe(|| (stage.run)(&device)));
+            let wall = started.elapsed();
+            let (status, detail, metrics) = match outcome {
+                Ok(Ok(StageOutcome::Metrics(metrics))) => (CellStatus::Ok, None, metrics),
+                Ok(Ok(StageOutcome::Skipped(reason))) => {
+                    (CellStatus::Skipped, Some(reason), Default::default())
+                }
+                Ok(Err(message)) => (CellStatus::Error, Some(message), Default::default()),
+                Err(payload) => (
+                    CellStatus::Failed,
+                    Some(panic_message(payload.as_ref())),
+                    Default::default(),
+                ),
+            };
+            Cell {
+                benchmark: name.clone(),
+                stage: stage.name.clone(),
+                status,
+                detail,
+                metrics,
+                wall,
+            }
+        })
+        .collect()
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::Stage;
+    use serde_json::Value;
+
+    fn tiny_suite() -> Vec<Benchmark> {
+        parchmint_suite::suite()
+            .into_iter()
+            .filter(|b| b.name() == "logic_gate_or" || b.name() == "rotary_pump_mixer")
+            .collect()
+    }
+
+    #[test]
+    fn matrix_covers_every_cell() {
+        let benchmarks = tiny_suite();
+        let stages = standard_stages();
+        let report = run_matrix(&benchmarks, &stages, 2);
+        assert_eq!(report.cells.len(), benchmarks.len() * stages.len());
+        assert!(report
+            .cells
+            .iter()
+            .all(|c| c.status == CellStatus::Ok || c.status == CellStatus::Skipped));
+    }
+
+    #[test]
+    fn panicking_stage_is_isolated() {
+        let benchmarks = tiny_suite();
+        let stages = vec![
+            Stage::new("boom", |_| panic!("injected failure")),
+            Stage::new("fine", |_| {
+                Ok(StageOutcome::metrics([("one", Value::from(1))]))
+            }),
+        ];
+        let report = run_matrix(&benchmarks, &stages, 2);
+        for benchmark in &benchmarks {
+            let boom = report
+                .cell(benchmark.name(), "boom")
+                .expect("boom cell present");
+            assert_eq!(boom.status, CellStatus::Failed);
+            assert_eq!(boom.detail.as_deref(), Some("injected failure"));
+            let fine = report
+                .cell(benchmark.name(), "fine")
+                .expect("fine cell present");
+            assert_eq!(fine.status, CellStatus::Ok);
+        }
+    }
+
+    #[test]
+    fn unknown_names_become_failed_cells() {
+        let config = SuiteRunConfig {
+            threads: 1,
+            benchmarks: Some(vec!["logic_gate_or".into(), "no_such_chip".into()]),
+            stages: Some(vec!["validate".into(), "no_such_stage".into()]),
+        };
+        let report = run_suite(&config);
+        assert!(report
+            .cells
+            .iter()
+            .any(|c| c.benchmark == "no_such_chip" && c.status == CellStatus::Failed));
+        assert!(report
+            .cells
+            .iter()
+            .any(|c| c.stage == "no_such_stage" && c.status == CellStatus::Failed));
+        assert!(report.cells.iter().any(|c| c.benchmark == "logic_gate_or"
+            && c.stage == "validate"
+            && c.status == CellStatus::Ok));
+    }
+}

@@ -1,0 +1,219 @@
+//! The stage matrix: the analyses every benchmark is swept through.
+
+use parchmint::Device;
+use parchmint_pnr::{place_and_route, PlacerChoice, RouterChoice};
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// Structured result of one stage on one benchmark.
+#[derive(Debug, Clone)]
+pub enum StageOutcome {
+    /// The stage ran; here are its metrics.
+    Metrics(BTreeMap<String, Value>),
+    /// The stage does not apply to this device; the reason is recorded so
+    /// the cell is explained rather than silently absent.
+    Skipped(String),
+}
+
+impl StageOutcome {
+    /// Convenience constructor from key/value pairs.
+    pub fn metrics<I>(entries: I) -> Self
+    where
+        I: IntoIterator<Item = (&'static str, Value)>,
+    {
+        StageOutcome::Metrics(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+}
+
+/// One named analysis applied to every benchmark in the sweep.
+///
+/// The closure returns `Err` for a structured failure (recorded as an
+/// `error` cell); panics are caught by the runner and recorded as `failed`.
+pub struct Stage {
+    /// Stable cell identifier, e.g. `pnr:annealing+astar`.
+    pub name: String,
+    /// The analysis body.
+    #[allow(clippy::type_complexity)] // the harness's one central callback type
+    pub run: Box<dyn Fn(&Device) -> Result<StageOutcome, String> + Send + Sync>,
+}
+
+impl Stage {
+    /// Builds a stage from a name and a closure.
+    pub fn new(
+        name: impl Into<String>,
+        run: impl Fn(&Device) -> Result<StageOutcome, String> + Send + Sync + 'static,
+    ) -> Self {
+        Stage {
+            name: name.into(),
+            run: Box::new(run),
+        }
+    }
+}
+
+/// Port components participating in the device's flow network, in
+/// declaration order — the harness's generic boundary for simulation and
+/// planning stages.
+fn flow_ports(
+    device: &Device,
+    network: &parchmint_sim::FlowNetwork,
+) -> Vec<parchmint::ComponentId> {
+    device
+        .components
+        .iter()
+        .filter(|c| c.entity.is_port() && network.contains(&c.id))
+        .map(|c| c.id.clone())
+        .collect()
+}
+
+fn validate_stage(device: &Device) -> Result<StageOutcome, String> {
+    let report = parchmint_verify::validate(device);
+    Ok(StageOutcome::metrics([
+        ("conformant", Value::from(report.is_conformant())),
+        ("diagnostics", Value::from(report.len())),
+        ("errors", Value::from(report.error_count())),
+        ("warnings", Value::from(report.warning_count())),
+    ]))
+}
+
+fn characterize_stage(device: &Device) -> Result<StageOutcome, String> {
+    let stats = parchmint_stats::DeviceStats::of(device);
+    Ok(StageOutcome::metrics([
+        ("components", Value::from(stats.components)),
+        ("connections", Value::from(stats.connections)),
+        ("ports", Value::from(stats.ports)),
+        ("valves", Value::from(stats.valves)),
+        ("distinct_entities", Value::from(stats.distinct_entities)),
+        ("graph_edges", Value::from(stats.graph.edges)),
+        ("graph_components", Value::from(stats.graph.components)),
+        ("graph_diameter", Value::from(stats.graph.diameter)),
+        ("bridges", Value::from(stats.bridges)),
+        ("json_bytes", Value::from(stats.json_bytes)),
+    ]))
+}
+
+fn pnr_stage(
+    device: &Device,
+    placer: PlacerChoice,
+    router: RouterChoice,
+) -> Result<StageOutcome, String> {
+    // PnR annotates the device with features; work on a private copy.
+    let mut device = device.clone();
+    let report = place_and_route(&mut device, placer, router);
+    Ok(StageOutcome::metrics([
+        ("components", Value::from(report.components)),
+        ("nets", Value::from(report.nets)),
+        ("routed", Value::from(report.routed)),
+        ("completion", Value::from(report.completion())),
+        ("hpwl", Value::from(report.hpwl)),
+        ("wirelength", Value::from(report.wirelength)),
+        ("bends", Value::from(report.bends)),
+        ("die_x", Value::from(report.die.x)),
+        ("die_y", Value::from(report.die.y)),
+    ]))
+}
+
+fn flow_stage(device: &Device) -> Result<StageOutcome, String> {
+    let network = parchmint_sim::FlowNetwork::from_device(device, parchmint_sim::Fluid::WATER);
+    let ports = flow_ports(device, &network);
+    if ports.len() < 2 {
+        return Ok(StageOutcome::Skipped(format!(
+            "flow simulation needs >= 2 ports in the flow network, found {}",
+            ports.len()
+        )));
+    }
+    // Generic boundary: drive the first port at 1 kPa, ground the rest.
+    let boundary: Vec<(parchmint::ComponentId, f64)> = ports
+        .iter()
+        .enumerate()
+        .map(|(i, id)| (id.clone(), if i == 0 { 1000.0 } else { 0.0 }))
+        .collect();
+    let solution = network.solve(&boundary).map_err(|e| e.to_string())?;
+    let driven_flow = solution.net_inflow(&ports[0]).abs();
+    Ok(StageOutcome::metrics([
+        ("nodes", Value::from(network.node_count())),
+        ("edges", Value::from(network.edge_count())),
+        ("boundary_ports", Value::from(ports.len())),
+        ("driven_flow_nl_s", Value::from(driven_flow * 1e12)),
+        (
+            "max_conservation_error",
+            Value::from(solution.max_conservation_error(&ports)),
+        ),
+    ]))
+}
+
+fn control_stage(device: &Device) -> Result<StageOutcome, String> {
+    // Planning routes over the flow layer, so candidate endpoints are the
+    // same flow-network ports the simulation stage drives.
+    let network = parchmint_sim::FlowNetwork::from_device(device, parchmint_sim::Fluid::WATER);
+    let ports = flow_ports(device, &network);
+    let [from, .., to] = ports.as_slice() else {
+        return Ok(StageOutcome::Skipped(format!(
+            "control planning needs >= 2 flow-layer ports, found {}",
+            ports.len()
+        )));
+    };
+    let plan = parchmint_control::plan_flow(device, from, to).map_err(|e| e.to_string())?;
+    Ok(StageOutcome::metrics([
+        ("hops", Value::from(plan.hops())),
+        ("constrained_valves", Value::from(plan.valve_states.len())),
+        ("actuations", Value::from(plan.actuations(device).len())),
+    ]))
+}
+
+/// The default stage matrix: validate, characterize, one PnR stage per
+/// placer×router combination, flow simulation, and control-plan synthesis.
+pub fn standard_stages() -> Vec<Stage> {
+    let mut stages = vec![
+        Stage::new("validate", validate_stage),
+        Stage::new("characterize", characterize_stage),
+    ];
+    for &placer in PlacerChoice::ALL {
+        for &router in RouterChoice::ALL {
+            stages.push(Stage::new(
+                format!("pnr:{}+{}", placer.placer().name(), router.router().name()),
+                move |device| pnr_stage(device, placer, router),
+            ));
+        }
+    }
+    stages.push(Stage::new("flow", flow_stage));
+    stages.push(Stage::new("control", control_stage));
+    stages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_matrix_shape() {
+        let stages = standard_stages();
+        let names: Vec<&str> = stages.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names[0], "validate");
+        assert_eq!(names[1], "characterize");
+        assert_eq!(names.last(), Some(&"control"));
+        assert_eq!(names.iter().filter(|n| n.starts_with("pnr:")).count(), 4);
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn stages_run_on_a_real_benchmark() {
+        let device = parchmint_suite::by_name("rotary_pump_mixer")
+            .expect("registered benchmark")
+            .device();
+        for stage in standard_stages() {
+            let outcome = (stage.run)(&device)
+                .unwrap_or_else(|e| panic!("stage {} errored: {e}", stage.name));
+            match outcome {
+                StageOutcome::Metrics(m) => assert!(!m.is_empty(), "{} empty", stage.name),
+                StageOutcome::Skipped(reason) => {
+                    panic!("{} skipped on a full benchmark: {reason}", stage.name)
+                }
+            }
+        }
+    }
+}

@@ -13,9 +13,7 @@
 use crate::ast::{MintFile, MintLayer, Ref, Statement, Value};
 use crate::error::ConvertError;
 use parchmint::geometry::Span;
-use parchmint::{
-    Component, Connection, Device, Entity, Params, Port, Target, ValveType,
-};
+use parchmint::{Component, Connection, Device, Entity, Params, Port, Target, ValveType};
 use std::collections::{BTreeMap, HashMap};
 
 /// Converts a ParchMint device to a MINT file.
@@ -181,7 +179,13 @@ pub fn mint_to_device(file: &MintFile) -> Result<Device, ConvertError> {
     // Pass 3: channels and valve bindings.
     for layer in &file.layers {
         for statement in &layer.statements {
-            if let Statement::Channel { id, from, to, params } = statement {
+            if let Statement::Channel {
+                id,
+                from,
+                to,
+                params,
+            } = statement
+            {
                 let connection = Connection::new(
                     id.as_str(),
                     id.as_str(),
@@ -268,8 +272,8 @@ fn build_component(
             _ => carried.push((key.clone(), value.clone())),
         }
     }
-    let mut component = Component::new(id, id, entity, [layer], span)
-        .with_params(values_to_params(&carried));
+    let mut component =
+        Component::new(id, id, entity, [layer], span).with_params(values_to_params(&carried));
     if let Some(labels) = referenced_ports {
         for (i, label) in labels.iter().enumerate() {
             component = component.with_port(synthesize_port(label, layer, span, i, labels.len()));
@@ -349,8 +353,7 @@ END LAYER
 
     #[test]
     fn unknown_entity_becomes_custom() {
-        let file =
-            parse("DEVICE d LAYER FLOW ACOUSTIC-SORTER s1; END LAYER").unwrap();
+        let file = parse("DEVICE d LAYER FLOW ACOUSTIC-SORTER s1; END LAYER").unwrap();
         let device = mint_to_device(&file).unwrap();
         assert_eq!(
             device.component("s1").unwrap().entity,
@@ -385,7 +388,11 @@ END LAYER
 
             // Topology must be preserved exactly.
             assert_eq!(rebuilt.components.len(), device.components.len(), "{name}");
-            assert_eq!(rebuilt.connections.len(), device.connections.len(), "{name}");
+            assert_eq!(
+                rebuilt.connections.len(),
+                device.connections.len(),
+                "{name}"
+            );
             assert_eq!(rebuilt.valves, device.valves, "{name}");
             for original in &device.components {
                 let converted = rebuilt.component(original.id.as_str()).unwrap();

@@ -113,15 +113,16 @@ impl Parser {
     fn layer(&mut self) -> Result<MintLayer, ParseError> {
         self.keyword("LAYER")?;
         let role = self.ident("layer type")?;
-        let layer_type: LayerType = role
-            .parse()
-            .map_err(|e| self.error(format!("{e}")))?;
+        let layer_type: LayerType = role.parse().map_err(|e| self.error(format!("{e}")))?;
         // Optional explicit layer id: `LAYER FLOW name=f1`.
         let mut name = layer_type.name().to_ascii_lowercase();
         if self.at_keyword("name")
             && matches!(
                 self.tokens.get(self.pos + 1),
-                Some(Token { kind: TokenKind::Equals, .. })
+                Some(Token {
+                    kind: TokenKind::Equals,
+                    ..
+                })
             )
         {
             self.ident("`name`")?;
@@ -169,13 +170,24 @@ impl Parser {
         let from = self.reference()?;
         self.keyword("TO")?;
         let mut to = vec![self.reference()?];
-        while matches!(self.peek(), Some(Token { kind: TokenKind::Comma, .. })) {
+        while matches!(
+            self.peek(),
+            Some(Token {
+                kind: TokenKind::Comma,
+                ..
+            })
+        ) {
             self.expect(&TokenKind::Comma)?;
             to.push(self.reference()?);
         }
         let params = self.params()?;
         self.expect(&TokenKind::Semicolon)?;
-        Ok(Statement::Channel { id, from, to, params })
+        Ok(Statement::Channel {
+            id,
+            from,
+            to,
+            params,
+        })
     }
 
     fn valve(&mut self) -> Result<Statement, ParseError> {
@@ -186,11 +198,17 @@ impl Parser {
         let is_binding = self.at_keyword("ON")
             && matches!(
                 self.tokens.get(self.pos + 1),
-                Some(Token { kind: TokenKind::Ident(_), .. })
+                Some(Token {
+                    kind: TokenKind::Ident(_),
+                    ..
+                })
             )
             && !matches!(
                 self.tokens.get(self.pos + 2),
-                Some(Token { kind: TokenKind::Equals, .. })
+                Some(Token {
+                    kind: TokenKind::Equals,
+                    ..
+                })
             );
         if !is_binding {
             let params = self.params()?;
@@ -226,7 +244,13 @@ impl Parser {
 
     fn reference(&mut self) -> Result<Ref, ParseError> {
         let component = self.ident("component reference")?;
-        if matches!(self.peek(), Some(Token { kind: TokenKind::Dot, .. })) {
+        if matches!(
+            self.peek(),
+            Some(Token {
+                kind: TokenKind::Dot,
+                ..
+            })
+        ) {
             self.expect(&TokenKind::Dot)?;
             let port = self.ident("port label")?;
             Ok(Ref::port(component, port))
@@ -247,9 +271,18 @@ impl Parser {
             let key = self.ident("parameter name")?;
             self.expect(&TokenKind::Equals)?;
             let value = match self.next() {
-                Some(Token { kind: TokenKind::Int(n), .. }) => Value::Int(n),
-                Some(Token { kind: TokenKind::Float(x), .. }) => Value::Float(x),
-                Some(Token { kind: TokenKind::Ident(w), .. }) => Value::Word(w),
+                Some(Token {
+                    kind: TokenKind::Int(n),
+                    ..
+                }) => Value::Int(n),
+                Some(Token {
+                    kind: TokenKind::Float(x),
+                    ..
+                }) => Value::Float(x),
+                Some(Token {
+                    kind: TokenKind::Ident(w),
+                    ..
+                }) => Value::Word(w),
                 Some(t) => {
                     return Err(ParseError::new(
                         t.line,
@@ -298,7 +331,13 @@ END LAYER
     #[test]
     fn channel_statement_shape() {
         let file = parse(SAMPLE).unwrap();
-        let Statement::Channel { id, from, to, params } = &file.layers[0].statements[2] else {
+        let Statement::Channel {
+            id,
+            from,
+            to,
+            params,
+        } = &file.layers[0].statements[2]
+        else {
             panic!("expected channel");
         };
         assert_eq!(id, "ch0");
@@ -310,8 +349,12 @@ END LAYER
     #[test]
     fn valve_type_extracted() {
         let file = parse(SAMPLE).unwrap();
-        let Statement::Valve { id, on, normally_closed, params } =
-            &file.layers[1].statements[0]
+        let Statement::Valve {
+            id,
+            on,
+            normally_closed,
+            params,
+        } = &file.layers[1].statements[0]
         else {
             panic!("expected valve");
         };
@@ -382,7 +425,10 @@ END LAYER
         // An `on=` parameter does not trigger the binding form either.
         let src = "DEVICE d LAYER CONTROL VALVE v2 on=3; END LAYER";
         let file = parse(src).unwrap();
-        assert!(matches!(&file.layers[0].statements[0], Statement::Component { .. }));
+        assert!(matches!(
+            &file.layers[0].statements[0],
+            Statement::Component { .. }
+        ));
     }
 
     #[test]

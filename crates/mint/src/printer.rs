@@ -40,13 +40,21 @@ fn print_statement(statement: &Statement) -> String {
         Statement::Component { entity, id, params } => {
             format!("{entity} {id}{};", print_params(params))
         }
-        Statement::Channel { id, from, to, params } => {
+        Statement::Channel {
+            id,
+            from,
+            to,
+            params,
+        } => {
             let sinks = to
                 .iter()
                 .map(|r| r.to_string())
                 .collect::<Vec<_>>()
                 .join(", ");
-            format!("CHANNEL {id} FROM {from} TO {sinks}{};", print_params(params))
+            format!(
+                "CHANNEL {id} FROM {from} TO {sinks}{};",
+                print_params(params)
+            )
         }
         Statement::Valve {
             id,
@@ -55,7 +63,10 @@ fn print_statement(statement: &Statement) -> String {
             params,
         } => {
             let polarity = if *normally_closed { "CLOSED" } else { "OPEN" };
-            format!("VALVE {id} ON {on} type={polarity}{};", print_params(params))
+            format!(
+                "VALVE {id} ON {on} type={polarity}{};",
+                print_params(params)
+            )
         }
     }
 }
@@ -137,7 +148,10 @@ mod tests {
     fn open_valve_round_trip() {
         let src = "DEVICE d\nLAYER CONTROL\n  VALVE v ON c type=OPEN;\nEND LAYER\n";
         let file = parse(src).unwrap();
-        let Statement::Valve { normally_closed, .. } = &file.layers[0].statements[0] else {
+        let Statement::Valve {
+            normally_closed, ..
+        } = &file.layers[0].statements[0]
+        else {
             panic!()
         };
         assert!(!normally_closed);

@@ -9,8 +9,10 @@ use proptest::prelude::*;
 /// Identifiers that cannot collide with keywords in statement position.
 fn ident_strategy() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| {
-        !["device", "layer", "end", "channel", "valve", "from", "to", "on", "name"]
-            .contains(&s.as_str())
+        ![
+            "device", "layer", "end", "channel", "valve", "from", "to", "on", "name",
+        ]
+        .contains(&s.as_str())
     })
 }
 
@@ -39,31 +41,42 @@ fn ref_strategy() -> impl Strategy<Value = Ref> {
 
 fn statement_strategy() -> impl Strategy<Value = Statement> {
     prop_oneof![
-        ("[A-Z][A-Z-]{0,12}[A-Z]", ident_strategy(), params_strategy()).prop_filter_map(
-            "entity must not be a keyword",
-            |(entity, id, params)| {
+        (
+            "[A-Z][A-Z-]{0,12}[A-Z]",
+            ident_strategy(),
+            params_strategy()
+        )
+            .prop_filter_map("entity must not be a keyword", |(entity, id, params)| {
                 if ["CHANNEL", "VALVE", "END", "LAYER", "DEVICE"].contains(&entity.as_str()) {
                     None
                 } else {
                     Some(Statement::Component { entity, id, params })
                 }
-            }
-        ),
+            }),
         (
             ident_strategy(),
             ref_strategy(),
             proptest::collection::vec(ref_strategy(), 1..4),
             params_strategy()
         )
-            .prop_map(|(id, from, to, params)| Statement::Channel { id, from, to, params }),
-        (ident_strategy(), ident_strategy(), any::<bool>(), params_strategy()).prop_map(
-            |(id, on, normally_closed, params)| Statement::Valve {
+            .prop_map(|(id, from, to, params)| Statement::Channel {
+                id,
+                from,
+                to,
+                params
+            }),
+        (
+            ident_strategy(),
+            ident_strategy(),
+            any::<bool>(),
+            params_strategy()
+        )
+            .prop_map(|(id, on, normally_closed, params)| Statement::Valve {
                 id,
                 on,
                 normally_closed,
                 params,
-            }
-        ),
+            }),
     ]
 }
 
@@ -71,7 +84,11 @@ fn file_strategy() -> impl Strategy<Value = MintFile> {
     (
         ident_strategy(),
         proptest::collection::vec(
-            (0usize..3, ident_strategy(), proptest::collection::vec(statement_strategy(), 0..6)),
+            (
+                0usize..3,
+                ident_strategy(),
+                proptest::collection::vec(statement_strategy(), 0..6),
+            ),
             1..4,
         ),
     )

@@ -143,7 +143,11 @@ mod tests {
     fn completion_rate() {
         let r = blank();
         assert!((r.completion() - 0.75).abs() < 1e-12);
-        let empty = PnrReport { nets: 0, routed: 0, ..blank() };
+        let empty = PnrReport {
+            nets: 0,
+            routed: 0,
+            ..blank()
+        };
         assert_eq!(empty.completion(), 1.0);
     }
 

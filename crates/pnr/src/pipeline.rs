@@ -102,11 +102,17 @@ mod tests {
 
     #[test]
     fn full_pipeline_on_a_small_benchmark() {
-        let mut d = parchmint_suite::by_name("rotary_pump_mixer").unwrap().device();
+        let mut d = parchmint_suite::by_name("rotary_pump_mixer")
+            .unwrap()
+            .device();
         let report = place_and_route(&mut d, PlacerChoice::Greedy, RouterChoice::AStar);
         assert!(d.is_placed());
         assert_eq!(report.components, d.components.len());
-        assert!(report.completion() > 0.8, "completion {}", report.completion());
+        assert!(
+            report.completion() > 0.8,
+            "completion {}",
+            report.completion()
+        );
         assert!(report.wirelength > 0);
     }
 

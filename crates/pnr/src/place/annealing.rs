@@ -161,8 +161,10 @@ impl Placer for AnnealingPlacer {
 
         let mut nets: Vec<Vec<usize>> = Vec::with_capacity(device.connections.len());
         for connection in &device.connections {
-            let mut terminals: Vec<usize> =
-                connection.terminals().filter_map(|t| index_of(&t.component)).collect();
+            let mut terminals: Vec<usize> = connection
+                .terminals()
+                .filter_map(|t| index_of(&t.component))
+                .collect();
             terminals.sort_unstable();
             terminals.dedup();
             nets.push(terminals);
@@ -220,8 +222,8 @@ impl Placer for AnnealingPlacer {
                 state.swap(a, site_b);
                 let after = state.local_cost(&grid, a, other);
                 let delta = after - before;
-                let accept = delta <= 0
-                    || rng.random::<f64>() < (-(delta as f64) / temperature).exp();
+                let accept =
+                    delta <= 0 || rng.random::<f64>() < (-(delta as f64) / temperature).exp();
                 if !accept {
                     // Undo.
                     state.swap(a, site_a);
@@ -252,8 +254,14 @@ mod tests {
         let mut b = Device::builder("rand").layer(Layer::new("f", "f", LayerType::Flow));
         for i in 0..n {
             b = b.component(
-                Component::new(format!("c{i}"), format!("c{i}"), Entity::Mixer, ["f"], Span::square(500))
-                    .with_port(Port::new("p", "f", 0, 250)),
+                Component::new(
+                    format!("c{i}"),
+                    format!("c{i}"),
+                    Entity::Mixer,
+                    ["f"],
+                    Span::square(500),
+                )
+                .with_port(Port::new("p", "f", 0, 250)),
             );
         }
         let mut edges = Vec::new();

@@ -24,7 +24,10 @@ pub fn hpwl(device: &Device, placement: &Placement) -> i64 {
                 let Some(origin) = placement.position(&component.id) else {
                     continue;
                 };
-                let centre = Point::new(origin.x + component.span.x / 2, origin.y + component.span.y / 2);
+                let centre = Point::new(
+                    origin.x + component.span.x / 2,
+                    origin.y + component.span.y / 2,
+                );
                 min = Some(min.map_or(centre, |m| m.min(centre)));
                 max = Some(max.map_or(centre, |m| m.max(centre)));
             }

@@ -70,9 +70,15 @@ mod tests {
         let mut b = Device::builder("chain").layer(Layer::new("f", "f", LayerType::Flow));
         for i in 0..n {
             b = b.component(
-                Component::new(format!("c{i}"), format!("c{i}"), Entity::Mixer, ["f"], Span::square(500))
-                    .with_port(Port::new("in", "f", 0, 250))
-                    .with_port(Port::new("out", "f", 500, 250)),
+                Component::new(
+                    format!("c{i}"),
+                    format!("c{i}"),
+                    Entity::Mixer,
+                    ["f"],
+                    Span::square(500),
+                )
+                .with_port(Port::new("in", "f", 0, 250))
+                .with_port(Port::new("out", "f", 500, 250)),
             );
         }
         for i in 1..n {
@@ -152,8 +158,20 @@ mod tests {
     fn disconnected_islands_all_placed() {
         let mut d = chain_device(4);
         // Add two isolated components.
-        d.components.push(Component::new("x0", "x0", Entity::Node, ["f"], Span::square(100)));
-        d.components.push(Component::new("x1", "x1", Entity::Node, ["f"], Span::square(100)));
+        d.components.push(Component::new(
+            "x0",
+            "x0",
+            Entity::Node,
+            ["f"],
+            Span::square(100),
+        ));
+        d.components.push(Component::new(
+            "x1",
+            "x1",
+            Entity::Node,
+            ["f"],
+            Span::square(100),
+        ));
         let p = GreedyPlacer::new().place(&d);
         assert_eq!(p.len(), 6);
         assert!(p.is_legal(&d));

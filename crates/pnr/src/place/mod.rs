@@ -89,9 +89,7 @@ impl Placement {
     /// component, drawn on the component's first layer), and enlarges the
     /// declared die outline to cover the placement.
     pub fn apply_to(&self, device: &mut Device) {
-        device
-            .features
-            .retain(|f| f.as_component().is_none());
+        device.features.retain(|f| f.as_component().is_none());
         let component_info: Vec<(ComponentId, Span, Option<parchmint::LayerId>)> = device
             .components
             .iter()
@@ -103,15 +101,8 @@ impl Placement {
             };
             let Some(layer) = layer else { continue };
             device.features.push(
-                ComponentFeature::new(
-                    format!("pf_{id}"),
-                    id,
-                    layer,
-                    origin,
-                    span,
-                    FEATURE_DEPTH,
-                )
-                .into(),
+                ComponentFeature::new(format!("pf_{id}"), id, layer, origin, span, FEATURE_DEPTH)
+                    .into(),
             );
         }
         let bbox = self.bounding_rect(device);
@@ -166,8 +157,18 @@ impl SiteGrid {
     /// `device`, pitched to its largest footprint plus clearance.
     pub fn for_device(device: &Device) -> Self {
         let n = device.components.len().max(1);
-        let max_x = device.components.iter().map(|c| c.span.x).max().unwrap_or(1000);
-        let max_y = device.components.iter().map(|c| c.span.y).max().unwrap_or(1000);
+        let max_x = device
+            .components
+            .iter()
+            .map(|c| c.span.x)
+            .max()
+            .unwrap_or(1000);
+        let max_y = device
+            .components
+            .iter()
+            .map(|c| c.span.y)
+            .max()
+            .unwrap_or(1000);
         let cols = (n as f64).sqrt().ceil() as usize;
         let rows = n.div_ceil(cols);
         SiteGrid {
@@ -316,7 +317,10 @@ mod tests {
         // Re-applying replaces rather than duplicates features.
         p.apply_to(&mut d);
         assert_eq!(
-            d.features.iter().filter(|f| f.as_component().is_some()).count(),
+            d.features
+                .iter()
+                .filter(|f| f.as_component().is_some())
+                .count(),
             3
         );
     }

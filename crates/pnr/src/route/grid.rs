@@ -6,7 +6,7 @@
 //! bend-penalized A*; routed channels block their cells for later nets.
 //! Nets are routed shortest-first, the standard ordering heuristic.
 
-use super::{Router, RoutingResult, RoutedNet};
+use super::{RoutedNet, Router, RoutingResult};
 use parchmint::geometry::{Point, Rect};
 use parchmint::Device;
 use std::cmp::Reverse;
@@ -73,7 +73,10 @@ impl RoutingGrid {
             .declared_bounds()
             .map(|s| Rect::new(Point::ORIGIN, s))
             .or_else(|| device.feature_bounds())
-            .unwrap_or(Rect::new(Point::ORIGIN, parchmint::geometry::Span::square(1000)));
+            .unwrap_or(Rect::new(
+                Point::ORIGIN,
+                parchmint::geometry::Span::square(1000),
+            ));
         let max = bounds.max();
         let cols = (max.x / config.cell + 2).max(2);
         let rows = (max.y / config.cell + 2).max(2);
@@ -84,7 +87,10 @@ impl RoutingGrid {
             blocked: vec![0; (cols * rows) as usize],
         };
         for feature in device.features.iter().filter_map(|f| f.as_component()) {
-            grid.block_rect(feature.footprint().inflated(config.clearance), BLOCK_COMPONENT);
+            grid.block_rect(
+                feature.footprint().inflated(config.clearance),
+                BLOCK_COMPONENT,
+            );
         }
         grid
     }
@@ -105,7 +111,10 @@ impl RoutingGrid {
     }
 
     fn center(&self, cx: i64, cy: i64) -> Point {
-        Point::new(cx * self.cell + self.cell / 2, cy * self.cell + self.cell / 2)
+        Point::new(
+            cx * self.cell + self.cell / 2,
+            cy * self.cell + self.cell / 2,
+        )
     }
 
     /// Blocks every cell whose *centre* lies inside `rect` (centre-based

@@ -139,10 +139,7 @@ mod tests {
 
     #[test]
     fn multi_branch_totals() {
-        let n = net(vec![
-            vec![(0, 0), (10, 0)],
-            vec![(0, 0), (0, 7), (3, 7)],
-        ]);
+        let n = net(vec![vec![(0, 0), (10, 0)], vec![(0, 0), (0, 7), (3, 7)]]);
         assert_eq!(n.length(), 20);
         assert_eq!(n.bends(), 1);
     }
@@ -164,12 +161,24 @@ mod tests {
         let mut d = parchmint::Device::builder("t")
             .layer(parchmint::Layer::new("f", "f", parchmint::LayerType::Flow))
             .component(
-                parchmint::Component::new("a", "a", parchmint::Entity::Port, ["f"], parchmint::geometry::Span::square(10))
-                    .with_port(parchmint::Port::new("p", "f", 10, 5)),
+                parchmint::Component::new(
+                    "a",
+                    "a",
+                    parchmint::Entity::Port,
+                    ["f"],
+                    parchmint::geometry::Span::square(10),
+                )
+                .with_port(parchmint::Port::new("p", "f", 10, 5)),
             )
             .component(
-                parchmint::Component::new("b", "b", parchmint::Entity::Port, ["f"], parchmint::geometry::Span::square(10))
-                    .with_port(parchmint::Port::new("p", "f", 0, 5)),
+                parchmint::Component::new(
+                    "b",
+                    "b",
+                    parchmint::Entity::Port,
+                    ["f"],
+                    parchmint::geometry::Span::square(10),
+                )
+                .with_port(parchmint::Port::new("p", "f", 0, 5)),
             )
             .connection(parchmint::Connection::new(
                 "c1",

@@ -7,7 +7,7 @@
 //! naive strategy the maze router is measured against: fast, minimal
 //! wirelength when it succeeds, but completion collapses as density grows.
 
-use super::{Router, RoutingResult, RoutedNet};
+use super::{RoutedNet, Router, RoutingResult};
 use parchmint::geometry::{Point, Rect, Span};
 use parchmint::Device;
 
@@ -139,15 +139,19 @@ impl Router for StraightRouter {
                 match chosen {
                     Some(path) => {
                         pending.extend(path_segments(&path));
-                        branches.push(path.into_iter().filter({
-                            // Drop degenerate elbows (src and sink aligned).
-                            let mut prev: Option<Point> = None;
-                            move |p| {
-                                let keep = prev != Some(*p);
-                                prev = Some(*p);
-                                keep
-                            }
-                        }).collect());
+                        branches.push(
+                            path.into_iter()
+                                .filter({
+                                    // Drop degenerate elbows (src and sink aligned).
+                                    let mut prev: Option<Point> = None;
+                                    move |p| {
+                                        let keep = prev != Some(*p);
+                                        prev = Some(*p);
+                                        keep
+                                    }
+                                })
+                                .collect(),
+                        );
                     }
                     None => {
                         ok = false;
@@ -174,7 +178,9 @@ impl Router for StraightRouter {
 mod tests {
     use super::*;
     use parchmint::geometry::Span;
-    use parchmint::{Component, ComponentFeature, Connection, Entity, Layer, LayerType, Port, Target};
+    use parchmint::{
+        Component, ComponentFeature, Connection, Entity, Layer, LayerType, Port, Target,
+    };
 
     fn placed_device(with_obstacle: bool) -> Device {
         let mut b = Device::builder("t")
@@ -210,8 +216,15 @@ mod tests {
                 .into(),
         );
         d.features.push(
-            ComponentFeature::new("pf_b", "b", "f", Point::new(4000, 400), Span::square(200), 50)
-                .into(),
+            ComponentFeature::new(
+                "pf_b",
+                "b",
+                "f",
+                Point::new(4000, 400),
+                Span::square(200),
+                50,
+            )
+            .into(),
         );
         if with_obstacle {
             // A full-height wall between the two ports.
@@ -247,7 +260,12 @@ mod tests {
         let straight = StraightRouter::new().route(&d);
         assert_eq!(straight.routed.len(), 0, "straight cannot detour");
         let astar = crate::route::grid::AStarRouter::new().route(&d);
-        assert_eq!(astar.routed.len(), 1, "maze router detours: {:?}", astar.failed);
+        assert_eq!(
+            astar.routed.len(),
+            1,
+            "maze router detours: {:?}",
+            astar.failed
+        );
     }
 
     #[test]
@@ -295,9 +313,8 @@ mod tests {
             ("pf_c", "c", Point::new(1900, 0)),
             ("pf_e", "e", Point::new(1900, 2000)),
         ] {
-            d.features.push(
-                ComponentFeature::new(id, comp, "f", at, Span::square(100), 50).into(),
-            );
+            d.features
+                .push(ComponentFeature::new(id, comp, "f", at, Span::square(100), 50).into());
         }
         let r = StraightRouter::new().route(&d);
         // n1 is a clean straight shot; n2's candidates both cross it.

@@ -60,7 +60,10 @@ mod tests {
     #[test]
     fn every_class_has_a_distinct_fill() {
         let theme = Theme::default();
-        let mut fills: Vec<&str> = EntityClass::ALL.iter().map(|c| theme.class_fill(*c)).collect();
+        let mut fills: Vec<&str> = EntityClass::ALL
+            .iter()
+            .map(|c| theme.class_fill(*c))
+            .collect();
         fills.sort_unstable();
         let n = fills.len();
         fills.dedup();
@@ -70,7 +73,10 @@ mod tests {
     #[test]
     fn layer_strokes_differ() {
         let t = Theme::default();
-        assert_ne!(t.layer_stroke(LayerType::Flow), t.layer_stroke(LayerType::Control));
+        assert_ne!(
+            t.layer_stroke(LayerType::Flow),
+            t.layer_stroke(LayerType::Control)
+        );
         assert!(t.microns_per_unit > 0.0);
     }
 }

@@ -123,7 +123,9 @@ pub fn render_svg_default(device: &Device) -> String {
 }
 
 fn escape(text: &str) -> String {
-    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn centre(device: &Device, id: &str, origin: Point) -> Point {
@@ -144,8 +146,20 @@ fn placement_or_schematic(device: &Device) -> BTreeMap<String, Point> {
     positions.clear();
     let n = device.components.len().max(1);
     let cols = (n as f64).sqrt().ceil() as usize;
-    let pitch_x = device.components.iter().map(|c| c.span.x).max().unwrap_or(1000) + 600;
-    let pitch_y = device.components.iter().map(|c| c.span.y).max().unwrap_or(1000) + 600;
+    let pitch_x = device
+        .components
+        .iter()
+        .map(|c| c.span.x)
+        .max()
+        .unwrap_or(1000)
+        + 600;
+    let pitch_y = device
+        .components
+        .iter()
+        .map(|c| c.span.y)
+        .max()
+        .unwrap_or(1000)
+        + 600;
     for (i, component) in device.components.iter().enumerate() {
         let col = (i % cols) as i64;
         let row = (i / cols) as i64;
@@ -246,7 +260,9 @@ mod tests {
 
     #[test]
     fn control_layer_channels_use_control_stroke() {
-        let mut d = parchmint_suite::by_name("rotary_pump_mixer").unwrap().device();
+        let mut d = parchmint_suite::by_name("rotary_pump_mixer")
+            .unwrap()
+            .device();
         parchmint_pnr::place_and_route(
             &mut d,
             parchmint_pnr::PlacerChoice::Greedy,

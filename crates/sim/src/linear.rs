@@ -213,7 +213,9 @@ mod tests {
         let mut a = DenseMatrix::zeros(n);
         let mut seed = 0x12345u64;
         let mut rand = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
         };
         for i in 0..n {
@@ -231,7 +233,10 @@ mod tests {
         let b = a.mul_vec(&x_true);
         let x = solve(a, b).unwrap();
         for (computed, expected) in x.iter().zip(&x_true) {
-            assert!((computed - expected).abs() < 1e-9, "{computed} vs {expected}");
+            assert!(
+                (computed - expected).abs() < 1e-9,
+                "{computed} vs {expected}"
+            );
         }
     }
 

@@ -90,13 +90,13 @@ impl FlowNetwork {
         // A connection is blocked when any valve pinching it must be (or
         // rests) closed under `states`.
         let is_blocked = |connection: &ConnectionId| -> bool {
-            device.valves_controlling(connection).any(|valve| {
-                match states.get(&valve.component) {
+            device
+                .valves_controlling(connection)
+                .any(|valve| match states.get(&valve.component) {
                     Some(ValveState::Closed) => true,
                     Some(ValveState::Open) => false,
                     None => valve.valve_type == parchmint::ValveType::NormallyClosed,
-                }
-            })
+                })
         };
 
         let mut nodes = Vec::new();
@@ -149,7 +149,11 @@ impl FlowNetwork {
                 });
             }
         }
-        FlowNetwork { nodes, index, edges }
+        FlowNetwork {
+            nodes,
+            index,
+            edges,
+        }
     }
 
     /// Number of hydraulic nodes (components touching a flow channel).
@@ -208,11 +212,8 @@ impl FlowNetwork {
         let unknowns: Vec<usize> = (0..self.nodes.len())
             .filter(|i| reachable[*i] && !pinned.contains_key(i))
             .collect();
-        let unknown_index: HashMap<usize, usize> = unknowns
-            .iter()
-            .enumerate()
-            .map(|(k, &i)| (i, k))
-            .collect();
+        let unknown_index: HashMap<usize, usize> =
+            unknowns.iter().enumerate().map(|(k, &i)| (i, k)).collect();
 
         let n = unknowns.len();
         let mut a = DenseMatrix::zeros(n);
@@ -285,8 +286,7 @@ fn channel_resistance(device: &Device, connection: &ConnectionId, fluid: Fluid) 
         )
         .resistance(fluid)
     } else {
-        ChannelGeometry::new(DEFAULT_CHANNEL_LENGTH, width, DEFAULT_CHANNEL_DEPTH)
-            .resistance(fluid)
+        ChannelGeometry::new(DEFAULT_CHANNEL_LENGTH, width, DEFAULT_CHANNEL_DEPTH).resistance(fluid)
     }
 }
 
@@ -419,7 +419,10 @@ mod tests {
         let q1 = solution.flow_through(&"c1".into());
         let q2 = solution.flow_through(&"c2".into());
         assert!(q1 > 0.0, "flow runs downhill");
-        assert!((q1 - q2).abs() / q1 < 1e-9, "series flow equal: {q1} vs {q2}");
+        assert!(
+            (q1 - q2).abs() / q1 < 1e-9,
+            "series flow equal: {q1} vs {q2}"
+        );
         // Realistic magnitude: nL/s range for 1 kPa across two 2 mm channels.
         assert!(q1 > 1e-12 && q1 < 1e-8, "q = {q1:.3e}");
         // Midpoint pressure strictly between the rails.
@@ -458,14 +461,44 @@ mod tests {
             )
             .component(
                 // A serpentine mixer: far higher series resistance.
-                Component::new("long", "long", Entity::Mixer, ["flow"], Span::new(2000, 1000))
-                    .with_port(Port::new("in", "flow", 0, 500))
-                    .with_port(Port::new("out", "flow", 2000, 500)),
+                Component::new(
+                    "long",
+                    "long",
+                    Entity::Mixer,
+                    ["flow"],
+                    Span::new(2000, 1000),
+                )
+                .with_port(Port::new("in", "flow", 0, 500))
+                .with_port(Port::new("out", "flow", 2000, 500)),
             )
-            .connection(Connection::new("a1", "a1", "flow", Target::new("in", "p"), [Target::new("short", "w")]))
-            .connection(Connection::new("a2", "a2", "flow", Target::new("short", "e"), [Target::new("out", "p")]))
-            .connection(Connection::new("b1", "b1", "flow", Target::new("in", "p"), [Target::new("long", "in")]))
-            .connection(Connection::new("b2", "b2", "flow", Target::new("long", "out"), [Target::new("out", "p")]))
+            .connection(Connection::new(
+                "a1",
+                "a1",
+                "flow",
+                Target::new("in", "p"),
+                [Target::new("short", "w")],
+            ))
+            .connection(Connection::new(
+                "a2",
+                "a2",
+                "flow",
+                Target::new("short", "e"),
+                [Target::new("out", "p")],
+            ))
+            .connection(Connection::new(
+                "b1",
+                "b1",
+                "flow",
+                Target::new("in", "p"),
+                [Target::new("long", "in")],
+            ))
+            .connection(Connection::new(
+                "b2",
+                "b2",
+                "flow",
+                Target::new("long", "out"),
+                [Target::new("out", "p")],
+            ))
             .build()
             .unwrap();
         let network = FlowNetwork::from_device(&device, Fluid::WATER);
@@ -474,7 +507,10 @@ mod tests {
             .unwrap();
         let q_short = solution.flow_through(&"a1".into());
         let q_long = solution.flow_through(&"b1".into());
-        assert!(q_short > 2.0 * q_long, "short branch dominates: {q_short:.2e} vs {q_long:.2e}");
+        assert!(
+            q_short > 2.0 * q_long,
+            "short branch dominates: {q_short:.2e} vs {q_long:.2e}"
+        );
         // Inflow at the source equals total outflow at the sink.
         let src = solution.net_inflow(&"in".into());
         let dst = solution.net_inflow(&"out".into());
@@ -508,7 +544,11 @@ mod tests {
         let solution = closed
             .solve(&[("in".into(), 1000.0), ("out".into(), 0.0)])
             .unwrap();
-        assert_eq!(solution.flow_through(&"c1".into()), 0.0, "dead-ends carry no flow");
+        assert_eq!(
+            solution.flow_through(&"c1".into()),
+            0.0,
+            "dead-ends carry no flow"
+        );
     }
 
     #[test]
@@ -566,8 +606,20 @@ mod tests {
                 Component::new("d", "d", Entity::Port, ["flow"], Span::square(200))
                     .with_port(Port::new("p", "flow", 0, 100)),
             )
-            .connection(Connection::new("ab", "ab", "flow", Target::new("a", "p"), [Target::new("b", "p")]))
-            .connection(Connection::new("cd", "cd", "flow", Target::new("c", "p"), [Target::new("d", "p")]))
+            .connection(Connection::new(
+                "ab",
+                "ab",
+                "flow",
+                Target::new("a", "p"),
+                [Target::new("b", "p")],
+            ))
+            .connection(Connection::new(
+                "cd",
+                "cd",
+                "flow",
+                Target::new("c", "p"),
+                [Target::new("d", "p")],
+            ))
             .build()
             .unwrap();
         let network = FlowNetwork::from_device(&device, Fluid::WATER);

@@ -43,13 +43,13 @@ pub fn concentrations(
     // Collect the node set from the solution's flows and pressures.
     let mut ids: Vec<ComponentId> = Vec::new();
     let mut index: BTreeMap<ComponentId, usize> = BTreeMap::new();
-    let intern = |id: &ComponentId, ids: &mut Vec<ComponentId>,
-                      index: &mut BTreeMap<ComponentId, usize>| {
-        *index.entry(id.clone()).or_insert_with(|| {
-            ids.push(id.clone());
-            ids.len() - 1
-        })
-    };
+    let intern =
+        |id: &ComponentId, ids: &mut Vec<ComponentId>, index: &mut BTreeMap<ComponentId, usize>| {
+            *index.entry(id.clone()).or_insert_with(|| {
+                ids.push(id.clone());
+                ids.len() - 1
+            })
+        };
     for flow in solution.flows() {
         intern(&flow.from, &mut ids, &mut index);
         intern(&flow.to, &mut ids, &mut index);
@@ -87,11 +87,8 @@ pub fn concentrations(
     //   (Σ q_in) · c_i − Σ q_in(j) · c_j = 0
     // Nodes without inflow get c_i = 0 (identity row).
     let unknowns: Vec<usize> = (0..n).filter(|i| !pinned.contains_key(i)).collect();
-    let unknown_index: BTreeMap<usize, usize> = unknowns
-        .iter()
-        .enumerate()
-        .map(|(k, &i)| (i, k))
-        .collect();
+    let unknown_index: BTreeMap<usize, usize> =
+        unknowns.iter().enumerate().map(|(k, &i)| (i, k)).collect();
 
     let m = unknowns.len();
     let mut a = DenseMatrix::zeros(m);
@@ -153,9 +150,27 @@ mod tests {
                 Component::new("out", "out", Entity::Port, ["flow"], Span::square(200))
                     .with_port(Port::new("p", "flow", 0, 100)),
             )
-            .connection(Connection::new("ca", "ca", "flow", Target::new("a", "p"), [Target::new("j", "w")]))
-            .connection(Connection::new("cb", "cb", "flow", Target::new("b", "p"), [Target::new("j", "s")]))
-            .connection(Connection::new("co", "co", "flow", Target::new("j", "e"), [Target::new("out", "p")]))
+            .connection(Connection::new(
+                "ca",
+                "ca",
+                "flow",
+                Target::new("a", "p"),
+                [Target::new("j", "w")],
+            ))
+            .connection(Connection::new(
+                "cb",
+                "cb",
+                "flow",
+                Target::new("b", "p"),
+                [Target::new("j", "s")],
+            ))
+            .connection(Connection::new(
+                "co",
+                "co",
+                "flow",
+                Target::new("j", "e"),
+                [Target::new("out", "p")],
+            ))
             .build()
             .unwrap()
     }
@@ -165,11 +180,18 @@ mod tests {
         let device = merge_device();
         let network = FlowNetwork::from_device(&device, Fluid::WATER);
         let flow = network
-            .solve(&[("a".into(), 1000.0), ("b".into(), 1000.0), ("out".into(), 0.0)])
+            .solve(&[
+                ("a".into(), 1000.0),
+                ("b".into(), 1000.0),
+                ("out".into(), 0.0),
+            ])
             .unwrap();
         let c = concentrations(&flow, &[("a".into(), 1.0), ("b".into(), 0.0)]).unwrap();
         let out = c[&ComponentId::new("out")];
-        assert!((out - 0.5).abs() < 1e-9, "symmetric mix should be 0.5, got {out}");
+        assert!(
+            (out - 0.5).abs() < 1e-9,
+            "symmetric mix should be 0.5, got {out}"
+        );
     }
 
     #[test]
@@ -179,7 +201,11 @@ mod tests {
         let device = merge_device();
         let network = FlowNetwork::from_device(&device, Fluid::WATER);
         let flow = network
-            .solve(&[("a".into(), 1500.0), ("b".into(), 1200.0), ("out".into(), 0.0)])
+            .solve(&[
+                ("a".into(), 1500.0),
+                ("b".into(), 1200.0),
+                ("out".into(), 0.0),
+            ])
             .unwrap();
         let c = concentrations(&flow, &[("a".into(), 1.0), ("b".into(), 0.0)]).unwrap();
         let out = c[&ComponentId::new("out")];
@@ -218,10 +244,8 @@ mod tests {
             .unwrap()
             .device();
         let network = FlowNetwork::from_device(&device, Fluid::WATER);
-        let mut boundary: Vec<(ComponentId, f64)> = vec![
-            ("in_a".into(), 1000.0),
-            ("in_b".into(), 1000.0),
-        ];
+        let mut boundary: Vec<(ComponentId, f64)> =
+            vec![("in_a".into(), 1000.0), ("in_b".into(), 1000.0)];
         for i in 0..7 {
             boundary.push((format!("out_{i}").into(), 0.0));
         }
@@ -241,7 +265,10 @@ mod tests {
             );
         }
         // And it is a genuine gradient, not a step: interior values exist.
-        assert!(outlet_values[3] > 0.2 && outlet_values[3] < 0.8, "{outlet_values:?}");
+        assert!(
+            outlet_values[3] > 0.2 && outlet_values[3] < 0.8,
+            "{outlet_values:?}"
+        );
     }
 
     #[test]
@@ -267,7 +294,10 @@ mod tests {
         // Serum concentration must decay down the dilution ladder.
         assert!(wells[0] > wells[7], "{wells:?}");
         for pair in wells.windows(2) {
-            assert!(pair[0] >= pair[1] - 1e-9, "dilution must be monotone: {wells:?}");
+            assert!(
+                pair[0] >= pair[1] - 1e-9,
+                "dilution must be monotone: {wells:?}"
+            );
         }
     }
 }

@@ -109,7 +109,11 @@ mod tests {
         assert_eq!(s.control_layers, 1);
         assert_eq!(s.valves, 20);
         assert_eq!(s.components, d.components.len());
-        assert_eq!(s.class_count(EntityClass::Control), 20, "19 valves + 1 pump");
+        assert_eq!(
+            s.class_count(EntityClass::Control),
+            20,
+            "19 valves + 1 pump"
+        );
         assert!(s.json_bytes > 1000);
         assert!(s.graph.nodes == s.components);
     }

@@ -63,7 +63,12 @@ impl SuiteTable {
             stats.graph.edges.to_string(),
             stats.graph.diameter.to_string(),
             stats.bridges.to_string(),
-            if stats.graph.satisfies_planar_bound { "yes" } else { "no" }.to_string(),
+            if stats.graph.satisfies_planar_bound {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
             format!("{:.1}", stats.json_bytes as f64 / 1024.0),
         ]
     }

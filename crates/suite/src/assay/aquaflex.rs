@@ -34,7 +34,11 @@ fn aquaflex(name: &str, lanes: usize, second_reagent: bool) -> Device {
 
     for lane in 0..lanes {
         let filter = s.add(primitives::filter(&format!("filter_{lane}"), "flow"));
-        s.wire("flow", spread.port(&format!("out{lane}")), filter.port("in"));
+        s.wire(
+            "flow",
+            spread.port(&format!("out{lane}")),
+            filter.port("in"),
+        );
 
         let merge = s.add(primitives::node(&format!("merge_{lane}"), "flow"));
         s.wire("flow", filter.port("out"), merge.port("w"));
@@ -45,7 +49,10 @@ fn aquaflex(name: &str, lanes: usize, second_reagent: bool) -> Device {
         );
         let v_reagent = s.add(primitives::valve(&format!("v_reagent_{lane}"), "control"));
         s.bind_valve(&v_reagent, reagent_feed, ValveType::NormallyClosed);
-        let ctl = s.add(primitives::io_port(&format!("ctl_reagent_{lane}"), "control"));
+        let ctl = s.add(primitives::io_port(
+            &format!("ctl_reagent_{lane}"),
+            "control",
+        ));
         s.wire("control", ctl.port("p"), v_reagent.port("actuate"));
 
         let mixer = s.add(primitives::mixer(&format!("mix_{lane}"), "flow", 6));
@@ -56,7 +63,11 @@ fn aquaflex(name: &str, lanes: usize, second_reagent: bool) -> Device {
             let merge2 = s.add(primitives::node(&format!("merge2_{lane}"), "flow"));
             s.wire("flow", mixer.port("out"), merge2.port("w"));
             s.wire("flow", tree.port(&format!("out{lane}")), merge2.port("s"));
-            let polish = s.add(primitives::curved_mixer(&format!("polish_{lane}"), "flow", 4));
+            let polish = s.add(primitives::curved_mixer(
+                &format!("polish_{lane}"),
+                "flow",
+                4,
+            ));
             s.wire("flow", merge2.port("e"), polish.port("in"));
             polish.port("out")
         } else {

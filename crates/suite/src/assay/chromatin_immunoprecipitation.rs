@@ -74,7 +74,11 @@ pub fn generate() -> Device {
 
     // ---- bead columns and collection ---------------------------------------
     let exit_node = s.add(primitives::node("ring_exit", "flow"));
-    let exit = s.wire("flow", mixers[RING_MIXERS - 1].port("out"), exit_node.port("w"));
+    let exit = s.wire(
+        "flow",
+        mixers[RING_MIXERS - 1].port("out"),
+        exit_node.port("w"),
+    );
     let v_exit = s.add(primitives::valve("v_ring_exit", "control"));
     s.bind_valve(&v_exit, exit, ValveType::NormallyClosed);
     actuation_line(&mut s, "ring_exit", &v_exit, "actuate");
@@ -83,7 +87,11 @@ pub fn generate() -> Device {
     s.wire("flow", exit_node.port("e"), spread.port("in"));
     let collect = s.add(primitives::node("collect", "flow"));
     for i in 0..BEAD_COLUMNS {
-        let column = s.add(primitives::long_cell_trap(&format!("beads_{i}"), "flow", 10));
+        let column = s.add(primitives::long_cell_trap(
+            &format!("beads_{i}"),
+            "flow",
+            10,
+        ));
         s.wire("flow", spread.port(&format!("out{i}")), column.port("in"));
         let drain = s.wire("flow", column.port("out"), collect.port("w"));
         let valve = s.add(primitives::valve(&format!("v_col_{i}"), "control"));
@@ -131,16 +139,31 @@ mod tests {
     fn every_valve_controls_a_flow_connection() {
         let d = generate();
         for valve in &d.valves {
-            let conn = d.connection(valve.controls.as_str()).expect("bound connection exists");
-            assert_eq!(conn.layer.as_str(), "flow", "valve {} pinches a control line", valve.component);
+            let conn = d
+                .connection(valve.controls.as_str())
+                .expect("bound connection exists");
+            assert_eq!(
+                conn.layer.as_str(),
+                "flow",
+                "valve {} pinches a control line",
+                valve.component
+            );
         }
     }
 
     #[test]
     fn normally_open_and_closed_both_used() {
         let d = generate();
-        let open = d.valves.iter().filter(|v| v.valve_type == ValveType::NormallyOpen).count();
-        let closed = d.valves.iter().filter(|v| v.valve_type == ValveType::NormallyClosed).count();
+        let open = d
+            .valves
+            .iter()
+            .filter(|v| v.valve_type == ValveType::NormallyOpen)
+            .count();
+        let closed = d
+            .valves
+            .iter()
+            .filter(|v| v.valve_type == ValveType::NormallyClosed)
+            .count();
         assert!(open > 0 && closed > 0);
         assert_eq!(open + closed, 20);
     }

@@ -18,7 +18,11 @@ pub fn generate() -> Device {
 
     let oil_in = s.add(primitives::io_port("in_oil", "flow"));
     // Each nozzle needs two oil feeds, so the manifold has 2×NOZZLES leaves.
-    let oil_manifold = s.add(primitives::tree("oil_manifold", "flow", (2 * NOZZLES) as i64));
+    let oil_manifold = s.add(primitives::tree(
+        "oil_manifold",
+        "flow",
+        (2 * NOZZLES) as i64,
+    ));
     s.wire("flow", oil_in.port("p"), oil_manifold.port("in"));
 
     let aqueous_in = s.add(primitives::io_port("in_aqueous", "flow"));
@@ -28,10 +32,25 @@ pub fn generate() -> Device {
     let collect = s.add(primitives::node("collect_head", "flow"));
     let mut tail = collect.clone();
     for i in 0..NOZZLES {
-        let nozzle = s.add(primitives::nozzle_droplet_generator(&format!("nozzle_{i}"), "flow"));
-        s.wire("flow", oil_manifold.port(&format!("out{}", 2 * i)), nozzle.port("oil1"));
-        s.wire("flow", oil_manifold.port(&format!("out{}", 2 * i + 1)), nozzle.port("oil2"));
-        s.wire("flow", aqueous_tree.port(&format!("out{i}")), nozzle.port("aqueous"));
+        let nozzle = s.add(primitives::nozzle_droplet_generator(
+            &format!("nozzle_{i}"),
+            "flow",
+        ));
+        s.wire(
+            "flow",
+            oil_manifold.port(&format!("out{}", 2 * i)),
+            nozzle.port("oil1"),
+        );
+        s.wire(
+            "flow",
+            oil_manifold.port(&format!("out{}", 2 * i + 1)),
+            nozzle.port("oil2"),
+        );
+        s.wire(
+            "flow",
+            aqueous_tree.port(&format!("out{i}")),
+            nozzle.port("aqueous"),
+        );
 
         // Collection bus: a chain of junction nodes keeps fan-in physical.
         let junction = s.add(primitives::node(&format!("collect_{i}"), "flow"));
@@ -60,7 +79,10 @@ mod tests {
     #[test]
     fn nozzle_bank() {
         let d = generate();
-        assert_eq!(d.components_of(&Entity::NozzleDropletGenerator).count(), NOZZLES);
+        assert_eq!(
+            d.components_of(&Entity::NozzleDropletGenerator).count(),
+            NOZZLES
+        );
         assert_eq!(d.components_of(&Entity::Tree).count(), 2);
         assert_eq!(d.components_of(&Entity::Node).count(), NOZZLES + 1);
     }

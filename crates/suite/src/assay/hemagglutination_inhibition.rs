@@ -35,7 +35,11 @@ pub fn generate() -> Device {
         // Readout branch: merge with RBCs, incubate, observe.
         let merge_rbc = s.add(primitives::node(&format!("rbc_merge_{i}"), "flow"));
         s.wire("flow", split.port("out1"), merge_rbc.port("w"));
-        s.wire("flow", rbc_tree.port(&format!("out{i}")), merge_rbc.port("s"));
+        s.wire(
+            "flow",
+            rbc_tree.port(&format!("out{i}")),
+            merge_rbc.port("s"),
+        );
         let well = s.add(primitives::reaction_chamber(
             &format!("well_{i}"),
             "flow",
@@ -48,7 +52,11 @@ pub fn generate() -> Device {
         // Dilution branch: merge with diluent, mix, carry to the next stage.
         let merge_dil = s.add(primitives::node(&format!("dil_merge_{i}"), "flow"));
         s.wire("flow", split.port("out2"), merge_dil.port("w"));
-        s.wire("flow", diluent_tree.port(&format!("out{i}")), merge_dil.port("s"));
+        s.wire(
+            "flow",
+            diluent_tree.port(&format!("out{i}")),
+            merge_dil.port("s"),
+        );
         let mixer = s.add(primitives::mixer(&format!("dil_mix_{i}"), "flow", 8));
         s.wire("flow", merge_dil.port("e"), mixer.port("in"));
         carry = mixer.port("out");

@@ -31,7 +31,11 @@ fn gate(name: &str, with_synchronizer: bool) -> Device {
     let logic = s.add(primitives::logic_array("gate", "flow"));
     if with_synchronizer {
         // AND requires the two droplet trains phase-locked at the array.
-        let sync = s.add(primitives::reaction_chamber("sync", "flow", Span::new(1000, 800)));
+        let sync = s.add(primitives::reaction_chamber(
+            "sync",
+            "flow",
+            Span::new(1000, 800),
+        ));
         let merge = s.add(primitives::node("merge", "flow"));
         s.wire("flow", dg_a.port("out"), merge.port("w"));
         s.wire("flow", dg_b.port("out"), merge.port("s"));

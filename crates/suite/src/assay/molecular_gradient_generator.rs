@@ -91,7 +91,9 @@ mod tests {
         // Each mixer's output must appear as a source in some connection.
         for c in d.components_of(&Entity::Mixer) {
             assert!(
-                d.connections.iter().any(|conn| conn.source.component == c.id),
+                d.connections
+                    .iter()
+                    .any(|conn| conn.source.component == c.id),
                 "mixer {} has no downstream connection",
                 c.id
             );

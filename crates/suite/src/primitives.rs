@@ -12,8 +12,14 @@ use parchmint::{Component, Entity, Params, Port};
 /// A punched inlet/outlet hole (entity `PORT`), 200 µm square, with one
 /// attachment port `p` on its east edge.
 pub fn io_port(id: &str, layer: &str) -> Component {
-    Component::new(id, format!("{id}_port"), Entity::Port, [layer], Span::square(200))
-        .with_port(Port::new("p", layer, 200, 100))
+    Component::new(
+        id,
+        format!("{id}_port"),
+        Entity::Port,
+        [layer],
+        Span::square(200),
+    )
+    .with_port(Port::new("p", layer, 200, 100))
 }
 
 /// A serpentine mixer (entity `MIXER`) with `bends` switchbacks.
@@ -24,17 +30,27 @@ pub fn mixer(id: &str, layer: &str, bends: i64) -> Component {
     Component::new(id, format!("{id}_mixer"), Entity::Mixer, [layer], span)
         .with_port(Port::new("in", layer, 0, 500))
         .with_port(Port::new("out", layer, span.x, 500))
-        .with_params(Params::new().with("numBends", bends).with("channelWidth", 300))
+        .with_params(
+            Params::new()
+                .with("numBends", bends)
+                .with("channelWidth", 300),
+        )
 }
 
 /// A curved mixer (entity `CURVED-MIXER`). Ports: `in`, `out`.
 pub fn curved_mixer(id: &str, layer: &str, turns: i64) -> Component {
     let turns = turns.max(1);
     let span = Span::new(600 + turns * 150, 800);
-    Component::new(id, format!("{id}_cmixer"), Entity::CurvedMixer, [layer], span)
-        .with_port(Port::new("in", layer, 0, 400))
-        .with_port(Port::new("out", layer, span.x, 400))
-        .with_params(Params::new().with("turns", turns))
+    Component::new(
+        id,
+        format!("{id}_cmixer"),
+        Entity::CurvedMixer,
+        [layer],
+        span,
+    )
+    .with_port(Port::new("in", layer, 0, 400))
+    .with_port(Port::new("out", layer, span.x, 400))
+    .with_params(Params::new().with("turns", turns))
 }
 
 /// A rotary mixing loop (entity `ROTARY-MIXER`) of the given radius.
@@ -42,27 +58,45 @@ pub fn curved_mixer(id: &str, layer: &str, turns: i64) -> Component {
 pub fn rotary_mixer(id: &str, layer: &str, radius: i64) -> Component {
     let radius = radius.max(200);
     let side = 2 * radius + 400;
-    Component::new(id, format!("{id}_rotary"), Entity::RotaryMixer, [layer], Span::square(side))
-        .with_port(Port::new("in", layer, 0, side / 2))
-        .with_port(Port::new("out", layer, side, side / 2))
-        .with_params(Params::new().with("radius", radius))
+    Component::new(
+        id,
+        format!("{id}_rotary"),
+        Entity::RotaryMixer,
+        [layer],
+        Span::square(side),
+    )
+    .with_port(Port::new("in", layer, 0, side / 2))
+    .with_port(Port::new("out", layer, side, side / 2))
+    .with_params(Params::new().with("radius", radius))
 }
 
 /// A rectangular reaction chamber (entity `REACTION-CHAMBER`).
 /// Ports: `in` (west), `out` (east).
 pub fn reaction_chamber(id: &str, layer: &str, span: Span) -> Component {
-    Component::new(id, format!("{id}_chamber"), Entity::ReactionChamber, [layer], span)
-        .with_port(Port::new("in", layer, 0, span.y / 2))
-        .with_port(Port::new("out", layer, span.x, span.y / 2))
+    Component::new(
+        id,
+        format!("{id}_chamber"),
+        Entity::ReactionChamber,
+        [layer],
+        span,
+    )
+    .with_port(Port::new("in", layer, 0, span.y / 2))
+    .with_port(Port::new("out", layer, span.x, span.y / 2))
 }
 
 /// A diamond reaction chamber (entity `DIAMOND-CHAMBER`).
 /// Ports: `in` (west), `out` (east).
 pub fn diamond_chamber(id: &str, layer: &str) -> Component {
     let span = Span::new(1200, 600);
-    Component::new(id, format!("{id}_diamond"), Entity::DiamondChamber, [layer], span)
-        .with_port(Port::new("in", layer, 0, 300))
-        .with_port(Port::new("out", layer, 1200, 300))
+    Component::new(
+        id,
+        format!("{id}_diamond"),
+        Entity::DiamondChamber,
+        [layer],
+        span,
+    )
+    .with_port(Port::new("in", layer, 0, 300))
+    .with_port(Port::new("out", layer, 1200, 300))
 }
 
 /// A hydrodynamic cell trap (entity `CELL-TRAP`) with a bypass.
@@ -80,10 +114,16 @@ pub fn cell_trap(id: &str, layer: &str) -> Component {
 pub fn long_cell_trap(id: &str, layer: &str, chambers: i64) -> Component {
     let chambers = chambers.max(1);
     let span = Span::new(600 + chambers * 300, 500);
-    Component::new(id, format!("{id}_ltrap"), Entity::LongCellTrap, [layer], span)
-        .with_port(Port::new("in", layer, 0, 250))
-        .with_port(Port::new("out", layer, span.x, 250))
-        .with_params(Params::new().with("chamberCount", chambers))
+    Component::new(
+        id,
+        format!("{id}_ltrap"),
+        Entity::LongCellTrap,
+        [layer],
+        span,
+    )
+    .with_port(Port::new("in", layer, 0, 250))
+    .with_port(Port::new("out", layer, span.x, 250))
+    .with_params(Params::new().with("chamberCount", chambers))
 }
 
 /// A pillar-array filter (entity `FILTER`). Ports: `in`, `out`.
@@ -112,12 +152,7 @@ pub fn tree(id: &str, layer: &str, leaves: i64) -> Component {
         .with_port(Port::new("in", layer, 0, span.y / 2))
         .with_params(Params::new().with("leaves", leaves));
     for i in 0..leaves {
-        c = c.with_port(Port::new(
-            format!("out{i}"),
-            layer,
-            span.x,
-            200 + i * 400,
-        ));
+        c = c.with_port(Port::new(format!("out{i}"), layer, span.x, 200 + i * 400));
     }
     c
 }
@@ -132,12 +167,7 @@ pub fn mux(id: &str, layer: &str, outputs: i64) -> Component {
         .with_port(Port::new("in", layer, 0, span.y / 2))
         .with_params(Params::new().with("outputs", outputs));
     for i in 0..outputs {
-        c = c.with_port(Port::new(
-            format!("out{i}"),
-            layer,
-            span.x,
-            200 + i * 400,
-        ));
+        c = c.with_port(Port::new(format!("out{i}"), layer, span.x, 200 + i * 400));
     }
     c
 }
@@ -158,12 +188,7 @@ pub fn gradient_generator(id: &str, layer: &str, outlets: i64) -> Component {
     .with_port(Port::new("in2", layer, 0, 2 * span.y / 3))
     .with_params(Params::new().with("outlets", outlets));
     for i in 0..outlets {
-        c = c.with_port(Port::new(
-            format!("out{i}"),
-            layer,
-            span.x,
-            250 + i * 500,
-        ));
+        c = c.with_port(Port::new(format!("out{i}"), layer, span.x, 250 + i * 500));
     }
     c
 }
@@ -172,10 +197,16 @@ pub fn gradient_generator(id: &str, layer: &str, outlets: i64) -> Component {
 /// Ports: `continuous` (west), `dispersed` (north), `out` (east).
 pub fn droplet_generator(id: &str, layer: &str) -> Component {
     let span = Span::new(1000, 600);
-    Component::new(id, format!("{id}_dg"), Entity::DropletGenerator, [layer], span)
-        .with_port(Port::new("continuous", layer, 0, 300))
-        .with_port(Port::new("dispersed", layer, 500, 600))
-        .with_port(Port::new("out", layer, 1000, 300))
+    Component::new(
+        id,
+        format!("{id}_dg"),
+        Entity::DropletGenerator,
+        [layer],
+        span,
+    )
+    .with_port(Port::new("continuous", layer, 0, 300))
+    .with_port(Port::new("dispersed", layer, 500, 600))
+    .with_port(Port::new("out", layer, 1000, 300))
 }
 
 /// A flow-focusing nozzle droplet generator
@@ -210,39 +241,63 @@ pub fn logic_array(id: &str, layer: &str) -> Component {
 /// A monolithic membrane valve (entity `VALVE`) on a control layer.
 /// Port: `actuate` (west).
 pub fn valve(id: &str, control_layer: &str) -> Component {
-    Component::new(id, format!("{id}_valve"), Entity::Valve, [control_layer], Span::square(300))
-        .with_port(Port::new("actuate", control_layer, 0, 150))
+    Component::new(
+        id,
+        format!("{id}_valve"),
+        Entity::Valve,
+        [control_layer],
+        Span::square(300),
+    )
+    .with_port(Port::new("actuate", control_layer, 0, 150))
 }
 
 /// A three-valve peristaltic pump (entity `PUMP`) on a control layer.
 /// Ports: `a1`, `a2`, `a3` (west edge).
 pub fn pump(id: &str, control_layer: &str) -> Component {
     let span = Span::new(900, 400);
-    Component::new(id, format!("{id}_pump"), Entity::Pump, [control_layer], span)
-        .with_port(Port::new("a1", control_layer, 0, 100))
-        .with_port(Port::new("a2", control_layer, 0, 200))
-        .with_port(Port::new("a3", control_layer, 0, 300))
+    Component::new(
+        id,
+        format!("{id}_pump"),
+        Entity::Pump,
+        [control_layer],
+        span,
+    )
+    .with_port(Port::new("a1", control_layer, 0, 100))
+    .with_port(Port::new("a2", control_layer, 0, 200))
+    .with_port(Port::new("a3", control_layer, 0, 300))
 }
 
 /// A zero-area channel junction (entity `NODE`), drawn 60 µm square.
 /// Ports: `n`, `s`, `e`, `w`.
 pub fn node(id: &str, layer: &str) -> Component {
-    Component::new(id, format!("{id}_node"), Entity::Node, [layer], Span::square(60))
-        .with_port(Port::new("n", layer, 30, 60))
-        .with_port(Port::new("s", layer, 30, 0))
-        .with_port(Port::new("e", layer, 60, 30))
-        .with_port(Port::new("w", layer, 0, 30))
+    Component::new(
+        id,
+        format!("{id}_node"),
+        Entity::Node,
+        [layer],
+        Span::square(60),
+    )
+    .with_port(Port::new("n", layer, 30, 60))
+    .with_port(Port::new("s", layer, 30, 0))
+    .with_port(Port::new("e", layer, 60, 30))
+    .with_port(Port::new("w", layer, 0, 30))
 }
 
 /// A transposer (entity `TRANSPOSER`) crossing two channels.
 /// Ports: `in1`, `in2` (west), `out1`, `out2` (east).
 pub fn transposer(id: &str, layer: &str) -> Component {
     let span = Span::new(1400, 1000);
-    Component::new(id, format!("{id}_transposer"), Entity::Transposer, [layer], span)
-        .with_port(Port::new("in1", layer, 0, 300))
-        .with_port(Port::new("in2", layer, 0, 700))
-        .with_port(Port::new("out1", layer, 1400, 700))
-        .with_port(Port::new("out2", layer, 1400, 300))
+    Component::new(
+        id,
+        format!("{id}_transposer"),
+        Entity::Transposer,
+        [layer],
+        span,
+    )
+    .with_port(Port::new("in1", layer, 0, 300))
+    .with_port(Port::new("in2", layer, 0, 700))
+    .with_port(Port::new("out1", layer, 1400, 700))
+    .with_port(Port::new("out2", layer, 1400, 300))
 }
 
 #[cfg(test)]
@@ -310,7 +365,11 @@ mod tests {
     #[test]
     fn mixer_span_grows_with_bends() {
         assert!(mixer("a", "l", 10).span.x > mixer("a", "l", 2).span.x);
-        assert_eq!(mixer("a", "l", 0).params.get_i64("numBends"), Some(1), "clamped");
+        assert_eq!(
+            mixer("a", "l", 0).params.get_i64("numBends"),
+            Some(1),
+            "clamped"
+        );
     }
 
     #[test]

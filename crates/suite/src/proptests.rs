@@ -6,15 +6,20 @@ use parchmint_graph::{Components, GraphMetrics, Netlist};
 use proptest::prelude::*;
 
 fn config_strategy() -> impl Strategy<Value = SyntheticConfig> {
-    (2usize..10, 2usize..10, 0.0f64..1.0, 0usize..12, any::<u64>()).prop_map(
-        |(w, h, extra, io, seed)| SyntheticConfig {
+    (
+        2usize..10,
+        2usize..10,
+        0.0f64..1.0,
+        0usize..12,
+        any::<u64>(),
+    )
+        .prop_map(|(w, h, extra, io, seed)| SyntheticConfig {
             grid_width: w,
             grid_height: h,
             extra_edge_probability: extra,
             io_ports: io,
             seed,
-        },
-    )
+        })
 }
 
 proptest! {

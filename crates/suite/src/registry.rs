@@ -210,7 +210,9 @@ mod tests {
         let s = suite();
         assert_eq!(s.len(), 18);
         assert_eq!(
-            s.iter().filter(|b| b.class() == BenchmarkClass::Assay).count(),
+            s.iter()
+                .filter(|b| b.class() == BenchmarkClass::Assay)
+                .count(),
             11
         );
         assert_eq!(
@@ -230,7 +232,12 @@ mod tests {
         names.dedup();
         assert_eq!(names.len(), n, "duplicate benchmark names");
         for b in &s {
-            assert_eq!(b.device().name, b.name(), "device name mismatch for {}", b.name());
+            assert_eq!(
+                b.device().name,
+                b.name(),
+                "device name mismatch for {}",
+                b.name()
+            );
         }
     }
 

@@ -121,7 +121,13 @@ impl Sketch {
 
     /// Chains terminals pairwise: `a→b`, `b→c`, … using `(out, in)` port
     /// names per handle pair, returning the created connection ids.
-    pub fn chain(&mut self, layer: &str, handles: &[&Handle], out: &str, inp: &str) -> Vec<ConnectionId> {
+    pub fn chain(
+        &mut self,
+        layer: &str,
+        handles: &[&Handle],
+        out: &str,
+        inp: &str,
+    ) -> Vec<ConnectionId> {
         handles
             .windows(2)
             .map(|w| self.wire(layer, w[0].port(out), w[1].port(inp)))
@@ -129,12 +135,7 @@ impl Sketch {
     }
 
     /// Binds `valve` to pinch `connection`.
-    pub fn bind_valve(
-        &mut self,
-        valve: &Handle,
-        connection: ConnectionId,
-        valve_type: ValveType,
-    ) {
+    pub fn bind_valve(&mut self, valve: &Handle, connection: ConnectionId, valve_type: ValveType) {
         self.valves.push((valve.id.clone(), connection, valve_type));
     }
 

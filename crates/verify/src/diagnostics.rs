@@ -323,7 +323,11 @@ mod tests {
 
     #[test]
     fn diagnostic_display() {
-        let d = Diagnostic::new(Rule::RefUnknownId, "connections[ch1]", "unknown component `x`");
+        let d = Diagnostic::new(
+            Rule::RefUnknownId,
+            "connections[ch1]",
+            "unknown component `x`",
+        );
         assert_eq!(
             d.to_string(),
             "error [REF002] connections[ch1]: unknown component `x`"
@@ -335,7 +339,11 @@ mod tests {
         let mut r = Report::new();
         assert!(r.is_conformant());
         assert!(r.is_empty());
-        r.push(Diagnostic::new(Rule::StrEmptyName, "layers[l0]", "empty name"));
+        r.push(Diagnostic::new(
+            Rule::StrEmptyName,
+            "layers[l0]",
+            "empty name",
+        ));
         assert!(r.is_conformant(), "warnings do not break conformance");
         r.push(Diagnostic::new(Rule::RefUnknownId, "x", "y"));
         assert!(!r.is_conformant());
@@ -362,7 +370,11 @@ mod tests {
         let clean = Report::new();
         assert!(clean.to_string().contains("clean"));
         let mut r = Report::new();
-        r.push(Diagnostic::new(Rule::DrcChannelWidth, "features[f1]", "too narrow"));
+        r.push(Diagnostic::new(
+            Rule::DrcChannelWidth,
+            "features[f1]",
+            "too narrow",
+        ));
         let text = r.to_string();
         assert!(text.contains("DRC001"));
         assert!(text.contains("1 error(s)"));

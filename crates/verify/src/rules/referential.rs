@@ -144,7 +144,10 @@ pub(crate) fn check(device: &Device, report: &mut Report) {
             report.push(Diagnostic::new(
                 Rule::RefUnknownId,
                 loc.clone(),
-                format!("valve binding names unknown component `{}`", valve.component),
+                format!(
+                    "valve binding names unknown component `{}`",
+                    valve.component
+                ),
             ));
         }
         if !connection_ids.contains(valve.controls.as_str()) {

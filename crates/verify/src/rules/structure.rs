@@ -69,8 +69,7 @@ pub(crate) fn check(device: &Device, report: &mut Report) {
         }
     }
 
-    if !device.components.is_empty()
-        && !device.components.iter().any(|c| c.entity == Entity::Port)
+    if !device.components.is_empty() && !device.components.iter().any(|c| c.entity == Entity::Port)
     {
         report.push(Diagnostic::new(
             Rule::StrNoExternalPort,

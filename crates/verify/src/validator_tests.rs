@@ -41,16 +41,37 @@ fn clean_device() -> Device {
         [Target::new("out", "p")],
     ));
     d.features.push(
-        ComponentFeature::new("pf_in", "in", "f0", Point::new(0, 100), Span::square(200), 50)
-            .into(),
+        ComponentFeature::new(
+            "pf_in",
+            "in",
+            "f0",
+            Point::new(0, 100),
+            Span::square(200),
+            50,
+        )
+        .into(),
     );
     d.features.push(
-        ComponentFeature::new("pf_m", "m", "f0", Point::new(500, 0), Span::new(1000, 400), 50)
-            .into(),
+        ComponentFeature::new(
+            "pf_m",
+            "m",
+            "f0",
+            Point::new(500, 0),
+            Span::new(1000, 400),
+            50,
+        )
+        .into(),
     );
     d.features.push(
-        ComponentFeature::new("pf_out", "out", "f0", Point::new(1800, 100), Span::square(200), 50)
-            .into(),
+        ComponentFeature::new(
+            "pf_out",
+            "out",
+            "f0",
+            Point::new(1800, 100),
+            Span::square(200),
+            50,
+        )
+        .into(),
     );
     d.features.push(
         ConnectionFeature::new(
@@ -85,10 +106,7 @@ fn fires(device: &Device, rule: Rule) -> bool {
 #[test]
 fn clean_device_is_conformant() {
     let report = validate(&clean_device());
-    assert!(
-        report.is_conformant(),
-        "unexpected errors:\n{report}"
-    );
+    assert!(report.is_conformant(), "unexpected errors:\n{report}");
     assert_eq!(report.warning_count(), 0, "unexpected warnings:\n{report}");
 }
 
@@ -104,8 +122,13 @@ fn duplicate_layer_id_fires() {
 #[test]
 fn duplicate_component_id_fires() {
     let mut d = clean_device();
-    d.components
-        .push(Component::new("m", "dup", Entity::Node, ["f0"], Span::square(1)));
+    d.components.push(Component::new(
+        "m",
+        "dup",
+        Entity::Node,
+        ["f0"],
+        Span::square(1),
+    ));
     assert!(fires(&d, Rule::RefDuplicateId));
 }
 
@@ -183,8 +206,10 @@ fn unknown_feature_targets_fire() {
 #[test]
 fn unknown_valve_references_fire() {
     let mut d = clean_device();
-    d.valves.push(Valve::new("ghost", "c1", ValveType::NormallyOpen));
-    d.valves.push(Valve::new("m", "ghost", ValveType::NormallyOpen));
+    d.valves
+        .push(Valve::new("ghost", "c1", ValveType::NormallyOpen));
+    d.valves
+        .push(Valve::new("m", "ghost", ValveType::NormallyOpen));
     let report = validate(&d);
     assert!(report.by_rule(Rule::RefUnknownId).count() >= 2);
 }
@@ -320,13 +345,11 @@ fn route_endpoint_mismatch_warns() {
         endpoint_tolerance: 16,
         ..DesignRules::default()
     });
-    assert!(
-        tolerant
-            .validate(&d)
-            .by_rule(Rule::GeoRouteEndpointMismatch)
-            .next()
-            .is_none()
-    );
+    assert!(tolerant
+        .validate(&d)
+        .by_rule(Rule::GeoRouteEndpointMismatch)
+        .next()
+        .is_none());
 }
 
 #[test]
@@ -341,8 +364,15 @@ fn route_through_foreign_component_fires() {
         Span::square(100),
     ));
     d.features.push(
-        ComponentFeature::new("pf_obst", "obst", "f0", Point::new(300, 150), Span::square(100), 50)
-            .into(),
+        ComponentFeature::new(
+            "pf_obst",
+            "obst",
+            "f0",
+            Point::new(300, 150),
+            Span::square(100),
+            50,
+        )
+        .into(),
     );
     assert!(fires(&d, Rule::GeoRouteCrossesComponent));
 }
@@ -418,7 +448,8 @@ fn disconnected_netlist_warns() {
 #[test]
 fn valve_on_non_control_entity_warns() {
     let mut d = clean_device();
-    d.valves.push(Valve::new("m", "c1", ValveType::NormallyOpen));
+    d.valves
+        .push(Valve::new("m", "c1", ValveType::NormallyOpen));
     assert!(fires(&d, Rule::NetValveEntity));
 }
 
@@ -437,7 +468,8 @@ fn valve_on_valve_entity_clean() {
         Target::new("v1", "p"),
         [Target::new("m", "a")],
     ));
-    d.valves.push(Valve::new("v1", "c1", ValveType::NormallyClosed));
+    d.valves
+        .push(Valve::new("v1", "c1", ValveType::NormallyClosed));
     assert!(!fires(&d, Rule::NetValveEntity));
 }
 

@@ -4,7 +4,6 @@
 //! Run with:
 //! `cargo run -p parchmint-examples --example assay_chip [benchmark_name]`
 
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args()
         .nth(1)
@@ -19,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Every suite device must be conformant out of the generator.
     let report = parchmint_verify::validate(&device);
-    assert!(report.is_conformant(), "suite device failed validation:\n{report}");
+    assert!(
+        report.is_conformant(),
+        "suite device failed validation:\n{report}"
+    );
     println!("validation: conformant ({} findings)", report.len());
 
     // Characterize it (one row of the paper's Table 1 analogue).
@@ -32,7 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "graph: diameter {}  cyclomatic {}  planar-bound {}",
         stats.graph.diameter,
         stats.graph.cyclomatic,
-        if stats.graph.satisfies_planar_bound { "ok" } else { "violated" }
+        if stats.graph.satisfies_planar_bound {
+            "ok"
+        } else {
+            "violated"
+        }
     );
 
     // Render the schematic to SVG.

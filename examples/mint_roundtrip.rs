@@ -16,7 +16,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ParchMint → MINT.
     let mint = parchmint_mint::device_to_mint(&device);
     let text = parchmint_mint::print(&mint);
-    println!("--- {} as MINT ({} statements) ---\n", name, mint.statement_count());
+    println!(
+        "--- {} as MINT ({} statements) ---\n",
+        name,
+        mint.statement_count()
+    );
     println!("{text}");
 
     // MINT → ParchMint.

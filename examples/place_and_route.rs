@@ -10,8 +10,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "planar_synthetic_3".to_string());
-    let benchmark = parchmint_suite::by_name(&name)
-        .ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+    let benchmark =
+        parchmint_suite::by_name(&name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
 
     println!("{}", PnrReport::header());
     let mut best: Option<(f64, String)> = None;

@@ -13,25 +13,49 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .layer(Layer::new("flow", "flow", LayerType::Flow))
         .layer(Layer::new("control", "control", LayerType::Control))
         .component(
-            Component::new("inlet", "sample_in", Entity::Port, ["flow"], Span::square(200))
-                .with_port(Port::new("p", "flow", 200, 100)),
+            Component::new(
+                "inlet",
+                "sample_in",
+                Entity::Port,
+                ["flow"],
+                Span::square(200),
+            )
+            .with_port(Port::new("p", "flow", 200, 100)),
         )
         .component(
-            Component::new("mix", "serpentine", Entity::Mixer, ["flow"], Span::new(1800, 1000))
-                .with_port(Port::new("in", "flow", 0, 500))
-                .with_port(Port::new("out", "flow", 1800, 500)),
+            Component::new(
+                "mix",
+                "serpentine",
+                Entity::Mixer,
+                ["flow"],
+                Span::new(1800, 1000),
+            )
+            .with_port(Port::new("in", "flow", 0, 500))
+            .with_port(Port::new("out", "flow", 1800, 500)),
         )
         .component(
-            Component::new("outlet", "collect", Entity::Port, ["flow"], Span::square(200))
-                .with_port(Port::new("p", "flow", 0, 100)),
+            Component::new(
+                "outlet",
+                "collect",
+                Entity::Port,
+                ["flow"],
+                Span::square(200),
+            )
+            .with_port(Port::new("p", "flow", 0, 100)),
         )
         .component(
             Component::new("v1", "gate", Entity::Valve, ["control"], Span::square(300))
                 .with_port(Port::new("actuate", "control", 0, 150)),
         )
         .component(
-            Component::new("ctl", "gate_ctl", Entity::Port, ["control"], Span::square(200))
-                .with_port(Port::new("p", "control", 200, 100)),
+            Component::new(
+                "ctl",
+                "gate_ctl",
+                Entity::Port,
+                ["control"],
+                Span::square(200),
+            )
+            .with_port(Port::new("p", "control", 200, 100)),
         )
         .connection(Connection::new(
             "ch_in",

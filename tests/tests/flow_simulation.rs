@@ -111,7 +111,10 @@ fn gradient_is_stable_across_drive_pressure() {
     let low = gradient_at(500.0);
     let high = gradient_at(5000.0);
     for (a, b) in low.iter().zip(&high) {
-        assert!((a - b).abs() < 1e-9, "gradient shifted with pressure: {low:?} vs {high:?}");
+        assert!(
+            (a - b).abs() < 1e-9,
+            "gradient shifted with pressure: {low:?} vs {high:?}"
+        );
     }
 }
 

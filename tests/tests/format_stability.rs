@@ -28,7 +28,9 @@ fn golden_json_parses_to_the_generated_device() {
 
 #[test]
 fn mint_wire_format_matches_golden_file() {
-    let device = parchmint_suite::by_name("rotary_pump_mixer").unwrap().device();
+    let device = parchmint_suite::by_name("rotary_pump_mixer")
+        .unwrap()
+        .device();
     let printed = parchmint_mint::print(&parchmint_mint::device_to_mint(&device));
     assert_eq!(
         printed, GOLDEN_MINT,

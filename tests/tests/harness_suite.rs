@@ -1,0 +1,134 @@
+//! Integration tests for the parallel suite-evaluation harness: report
+//! determinism across thread counts, panic isolation, and the baseline
+//! regression gate.
+
+use parchmint_harness::{
+    compare, run_matrix, run_suite, standard_stages, CellStatus, Stage, StageOutcome,
+    SuiteRunConfig, Tolerances,
+};
+use serde_json::Value;
+
+fn subset_config(threads: usize) -> SuiteRunConfig {
+    SuiteRunConfig {
+        threads,
+        benchmarks: Some(vec![
+            "logic_gate_or".into(),
+            "rotary_pump_mixer".into(),
+            "molecular_gradient_generator".into(),
+        ]),
+        stages: None,
+    }
+}
+
+#[test]
+fn report_is_byte_identical_across_thread_counts() {
+    let serial = run_suite(&subset_config(1));
+    let parallel = run_suite(&subset_config(4));
+    // Timings necessarily differ; everything else must not.
+    assert_eq!(
+        serial.to_json_string(false),
+        parallel.to_json_string(false),
+        "stripped reports diverged between 1 and 4 threads"
+    );
+    assert_eq!(serial.threads, 1);
+    assert!(parallel.threads > 1, "parallel run used a single worker");
+}
+
+#[test]
+fn full_stage_matrix_is_clean_on_the_subset() {
+    let report = run_suite(&subset_config(0));
+    assert_eq!(report.cells.len(), 3 * standard_stages().len());
+    for cell in &report.cells {
+        assert_eq!(
+            cell.status,
+            CellStatus::Ok,
+            "{} ended {:?}: {:?}",
+            cell.key(),
+            cell.status,
+            cell.detail
+        );
+    }
+}
+
+#[test]
+fn injected_panic_marks_cell_failed_without_killing_the_sweep() {
+    let benchmarks: Vec<_> = parchmint_suite::suite()
+        .into_iter()
+        .filter(|b| b.name() == "logic_gate_or" || b.name() == "logic_gate_and")
+        .collect();
+    let stages = vec![
+        Stage::new("validate", |device| {
+            let report = parchmint_verify::validate(device);
+            Ok(StageOutcome::metrics([(
+                "conformant",
+                Value::from(report.is_conformant()),
+            )]))
+        }),
+        Stage::new("explode", |device| {
+            if device.name == "logic_gate_and" {
+                panic!("deliberate test panic");
+            }
+            Ok(StageOutcome::metrics([("survived", Value::from(true))]))
+        }),
+    ];
+    let report = run_matrix(&benchmarks, &stages, 2);
+
+    let exploded = report.cell("logic_gate_and", "explode").unwrap();
+    assert_eq!(exploded.status, CellStatus::Failed);
+    assert_eq!(exploded.detail.as_deref(), Some("deliberate test panic"));
+
+    // Every other cell of the sweep still ran to completion.
+    for cell in &report.cells {
+        if cell.key() != "logic_gate_and/explode" {
+            assert_eq!(cell.status, CellStatus::Ok, "{} not ok", cell.key());
+        }
+    }
+}
+
+#[test]
+fn baseline_gate_flags_artificially_degraded_pnr_quality() {
+    let config = SuiteRunConfig {
+        threads: 2,
+        benchmarks: Some(vec!["logic_gate_or".into()]),
+        stages: None,
+    };
+    let baseline = run_suite(&config).to_json(false);
+
+    // Degrade one PnR quality metric in a re-serialized copy of the report.
+    let text = serde_json::to_string(&baseline).unwrap();
+    let mut degraded: Value = serde_json::from_str(&text).unwrap();
+    let cells = match &mut degraded {
+        Value::Object(map) => match map.get_mut("cells") {
+            Some(Value::Array(cells)) => cells,
+            _ => panic!("report has no cells array"),
+        },
+        _ => panic!("report is not an object"),
+    };
+    let mut bumped = false;
+    for cell in cells.iter_mut() {
+        if let Value::Object(entry) = cell {
+            let is_pnr =
+                matches!(entry.get("stage"), Some(Value::String(s)) if s.starts_with("pnr:"));
+            if !is_pnr {
+                continue;
+            }
+            if let Some(Value::Object(metrics)) = entry.get_mut("metrics") {
+                let hpwl = metrics.get("hpwl").and_then(Value::as_f64).unwrap();
+                metrics.insert("hpwl".to_string(), Value::from(hpwl * 2.0));
+                bumped = true;
+                break;
+            }
+        }
+    }
+    assert!(bumped, "no PnR cell found to degrade");
+
+    let regressions = compare(&baseline, &degraded, &Tolerances::default());
+    assert_eq!(regressions.len(), 1, "{regressions:?}");
+    assert_eq!(regressions[0].metric, "hpwl");
+
+    // Doubling hpwl clears a 150% relative tolerance.
+    assert!(compare(&baseline, &degraded, &Tolerances { relative: 1.5 }).is_empty());
+
+    // And the identical report passes the default gate.
+    assert!(compare(&baseline, &baseline, &Tolerances::default()).is_empty());
+}

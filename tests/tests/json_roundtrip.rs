@@ -20,7 +20,12 @@ fn whole_suite_round_trips_pretty() {
         let device = benchmark.device();
         let json = device.to_json_pretty().expect("serialize");
         let back = Device::from_json(&json).expect("parse");
-        assert_eq!(back, device, "{} lost data in pretty round-trip", benchmark.name());
+        assert_eq!(
+            back,
+            device,
+            "{} lost data in pretty round-trip",
+            benchmark.name()
+        );
     }
 }
 
@@ -59,7 +64,10 @@ fn spans_serialize_in_kebab_case() {
     let json = device.to_json().unwrap();
     assert!(json.contains(r#""x-span""#));
     assert!(json.contains(r#""y-span""#));
-    assert!(!json.contains("x_span"), "snake_case leaked into the wire format");
+    assert!(
+        !json.contains("x_span"),
+        "snake_case leaked into the wire format"
+    );
 }
 
 #[test]

@@ -9,8 +9,8 @@ fn whole_suite_survives_mint_exchange() {
     for benchmark in suite() {
         let device = benchmark.device();
         let text = print(&device_to_mint(&device));
-        let rebuilt = mint_to_device(&parse(&text).expect("printed MINT parses"))
-            .expect("rebuild succeeds");
+        let rebuilt =
+            mint_to_device(&parse(&text).expect("printed MINT parses")).expect("rebuild succeeds");
 
         assert_eq!(
             rebuilt.components.len(),
@@ -25,7 +25,12 @@ fn whole_suite_survives_mint_exchange() {
             benchmark.name()
         );
         assert_eq!(rebuilt.valves, device.valves, "{}", benchmark.name());
-        assert_eq!(rebuilt.layers.len(), device.layers.len(), "{}", benchmark.name());
+        assert_eq!(
+            rebuilt.layers.len(),
+            device.layers.len(),
+            "{}",
+            benchmark.name()
+        );
 
         for original in &device.connections {
             let converted = rebuilt

@@ -32,16 +32,25 @@ fn pnr_outputs_are_geometrically_legal() {
             "{name}: overlapping placements\n{report}"
         );
         assert!(
-            report.by_rule(Rule::GeoPlacementOutOfBounds).next().is_none(),
+            report
+                .by_rule(Rule::GeoPlacementOutOfBounds)
+                .next()
+                .is_none(),
             "{name}: out-of-bounds placement\n{report}"
         );
         // Routed channels are rectilinear and meet their terminals.
         assert!(
-            report.by_rule(Rule::GeoRouteNotRectilinear).next().is_none(),
+            report
+                .by_rule(Rule::GeoRouteNotRectilinear)
+                .next()
+                .is_none(),
             "{name}: non-rectilinear route\n{report}"
         );
         assert!(
-            report.by_rule(Rule::GeoRouteEndpointMismatch).next().is_none(),
+            report
+                .by_rule(Rule::GeoRouteEndpointMismatch)
+                .next()
+                .is_none(),
             "{name}: route endpoint mismatch\n{report}"
         );
         assert!(
@@ -98,10 +107,15 @@ fn annealing_never_loses_to_greedy_on_hpwl() {
 
 #[test]
 fn routed_device_renders_with_channels() {
-    let mut device = parchmint_suite::by_name("planar_synthetic_1").unwrap().device();
+    let mut device = parchmint_suite::by_name("planar_synthetic_1")
+        .unwrap()
+        .device();
     place_and_route(&mut device, PlacerChoice::Greedy, RouterChoice::AStar);
     let svg = parchmint_render::render_svg_default(&device);
-    assert!(svg.contains("<polyline"), "routed channels missing from SVG");
+    assert!(
+        svg.contains("<polyline"),
+        "routed channels missing from SVG"
+    );
     assert!(svg.matches("<rect").count() > device.components.len() / 2);
 }
 

@@ -3,9 +3,7 @@
 //! maintains its invariants on arbitrary netlists.
 
 use parchmint::geometry::Span;
-use parchmint::{
-    Component, Connection, Device, Entity, Layer, LayerType, Port, Target, ValveType,
-};
+use parchmint::{Component, Connection, Device, Entity, Layer, LayerType, Port, Target, ValveType};
 use proptest::prelude::*;
 
 /// An arbitrary entity: standard vocabulary or custom.
@@ -21,7 +19,11 @@ fn entity_strategy() -> impl Strategy<Value = Entity> {
 /// Built through the checked builder, so referential soundness holds by
 /// construction.
 fn device_strategy() -> impl Strategy<Value = Device> {
-    (2usize..10, proptest::collection::vec((0usize..100, 0usize..100), 0..16), any::<u64>())
+    (
+        2usize..10,
+        proptest::collection::vec((0usize..100, 0usize..100), 0..16),
+        any::<u64>(),
+    )
         .prop_flat_map(|(n, raw_edges, salt)| {
             proptest::collection::vec(entity_strategy(), n).prop_map(move |entities| {
                 let mut builder = Device::builder(format!("prop_{salt}"))
@@ -31,9 +33,15 @@ fn device_strategy() -> impl Strategy<Value = Device> {
                 for (i, entity) in entities.iter().enumerate() {
                     let span = Span::new(400 + 100 * (i as i64 % 5), 400);
                     builder = builder.component(
-                        Component::new(format!("k{i}"), format!("k{i}"), entity.clone(), ["f"], span)
-                            .with_port(Port::new("w", "f", 0, 200))
-                            .with_port(Port::new("e", "f", span.x, 200)),
+                        Component::new(
+                            format!("k{i}"),
+                            format!("k{i}"),
+                            entity.clone(),
+                            ["f"],
+                            span,
+                        )
+                        .with_port(Port::new("w", "f", 0, 200))
+                        .with_port(Port::new("e", "f", span.x, 200)),
                     );
                 }
                 let mut valve_candidates = Vec::new();

@@ -36,10 +36,12 @@ fn every_benchmark_is_warning_free() {
 fn every_benchmark_has_external_ports() {
     for benchmark in suite() {
         let device = benchmark.device();
-        let ports = device
-            .components_of(&parchmint::Entity::Port)
-            .count();
-        assert!(ports >= 2, "{} has {ports} external ports", benchmark.name());
+        let ports = device.components_of(&parchmint::Entity::Port).count();
+        assert!(
+            ports >= 2,
+            "{} has {ports} external ports",
+            benchmark.name()
+        );
     }
 }
 
@@ -86,7 +88,10 @@ fn synthetic_ladder_scales_and_assay_class_is_diverse() {
 
     // Assay devices collectively use a wide slice of the entity vocabulary.
     let mut entities = std::collections::BTreeSet::new();
-    for benchmark in benchmarks.iter().filter(|b| b.class() == BenchmarkClass::Assay) {
+    for benchmark in benchmarks
+        .iter()
+        .filter(|b| b.class() == BenchmarkClass::Assay)
+    {
         for component in &benchmark.device().components {
             entities.insert(component.entity.name().to_string());
         }

@@ -1,0 +1,239 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the workspace's benches use — `Criterion`,
+//! `BenchmarkGroup`, `Bencher`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros — backed by a simple
+//! wall-clock loop: per benchmark it warms up once, runs `sample_size`
+//! timed batches, and prints the median batch time. No statistics, plots,
+//! or baselines; good enough to keep `cargo bench` meaningful offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Upper bound on timed iterations per sample, to keep runs fast.
+const MAX_ITERS_PER_SAMPLE: u64 = 1000;
+/// Target wall-clock spent per sample.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(20);
+
+/// Identifies one benchmark within a group: `function/parameter`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Declared input volume, echoed as a rate in the report line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Runs one benchmark body repeatedly and records timings.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, auto-scaling iterations per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: how many iterations fit the sample budget?
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET_SAMPLE_TIME.as_nanos() / once.as_nanos())
+            .clamp(1, MAX_ITERS_PER_SAMPLE as u128) as u32;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters);
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.sort();
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+fn report(name: &str, median: Duration, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Bytes(bytes)) if median > Duration::ZERO => {
+            let mib_s = bytes as f64 / median.as_secs_f64() / (1024.0 * 1024.0);
+            format!("  ({mib_s:.1} MiB/s)")
+        }
+        Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+            let elem_s = n as f64 / median.as_secs_f64();
+            format!("  ({elem_s:.0} elem/s)")
+        }
+        _ => String::new(),
+    };
+    println!("{name:<50} {median:>12.2?}{rate}");
+}
+
+/// A named set of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut routine: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.criterion.sample_size,
+        };
+        routine(&mut bencher, input);
+        let median = bencher.median();
+        report(&format!("{}/{}", self.name, id), median, self.throughput);
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut routine: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.criterion.sample_size,
+        };
+        routine(&mut bencher);
+        let median = bencher.median();
+        report(&format!("{}/{}", self.name, id), median, self.throughput);
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Entry point: owns global settings, hands out groups.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (each sample is many iterations).
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        assert!(samples > 0, "sample_size must be positive");
+        self.sample_size = samples;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        routine(&mut bencher);
+        let median = bencher.median();
+        report(name, median, None);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Upstream calls this after `criterion_main!` finishes; no-op here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Re-export for code importing criterion's black_box; std's is identical.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function, optionally with custom config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_addition(c: &mut Criterion) {
+        c.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3u64)));
+        let mut group = c.benchmark_group("grouped");
+        group.throughput(Throughput::Bytes(8));
+        group.bench_with_input(BenchmarkId::new("mul", 7), &7u64, |b, n| {
+            b.iter(|| black_box(*n) * 3)
+        });
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = bench_addition
+    }
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

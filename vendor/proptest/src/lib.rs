@@ -1,0 +1,820 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace uses: the [`proptest!`] macro with an
+//! optional `#![proptest_config(...)]` header, `prop_assert*` / `prop_assume!`
+//! / [`prop_oneof!`], range and regex-literal strategies, `prop_map` /
+//! `prop_flat_map` / `prop_filter` / `prop_filter_map`, `collection::{vec,
+//! btree_map}`, `option::of`, `any::<T>()`, and [`Just`].
+//!
+//! Differences from upstream, deliberate for an offline stub:
+//! - **No shrinking.** A failing case reports its inputs-by-seed (test name +
+//!   case index) instead of a minimized counterexample.
+//! - Each case is seeded deterministically from the test name and case index,
+//!   so failures reproduce exactly across runs and thread counts.
+//! - Regex strategies support the subset used here: concatenated literal
+//!   chars and `[...]` classes, each optionally quantified with `{n}` or
+//!   `{m,n}`.
+
+pub mod strategy {
+    use crate::test_runner::TestRunner;
+    use rand::RngExt;
+
+    /// A generator of values of type `Value`.
+    ///
+    /// Unlike upstream there is no value tree: `generate` directly produces
+    /// one value from the runner's deterministic RNG.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+        fn prop_map<U, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, map }
+        }
+
+        fn prop_flat_map<S, F>(self, map: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, map }
+        }
+
+        fn prop_filter<F>(self, reason: impl Into<String>, accept: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                reason: reason.into(),
+                accept,
+            }
+        }
+
+        fn prop_filter_map<U, F>(self, reason: impl Into<String>, map: F) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> Option<U>,
+        {
+            FilterMap {
+                inner: self,
+                reason: reason.into(),
+                map,
+            }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(move |runner| self.generate(runner)))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRunner) -> T>);
+
+    impl<T> BoxedStrategy<T> {
+        pub fn from_fn(generate: impl Fn(&mut TestRunner) -> T + 'static) -> Self {
+            BoxedStrategy(Box::new(generate))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            (self.0)(runner)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _runner: &mut TestRunner) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        map: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, runner: &mut TestRunner) -> U {
+            (self.map)(self.inner.generate(runner))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        map: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn generate(&self, runner: &mut TestRunner) -> T::Value {
+            (self.map)(self.inner.generate(runner)).generate(runner)
+        }
+    }
+
+    /// Retry budget for filtered strategies before giving up on the case.
+    const FILTER_RETRIES: usize = 1000;
+
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: String,
+        accept: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, runner: &mut TestRunner) -> S::Value {
+            for _ in 0..FILTER_RETRIES {
+                let candidate = self.inner.generate(runner);
+                if (self.accept)(&candidate) {
+                    return candidate;
+                }
+            }
+            panic!(
+                "prop_filter exhausted {FILTER_RETRIES} retries: {}",
+                self.reason
+            );
+        }
+    }
+
+    pub struct FilterMap<S, F> {
+        inner: S,
+        reason: String,
+        map: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+        type Value = U;
+        fn generate(&self, runner: &mut TestRunner) -> U {
+            for _ in 0..FILTER_RETRIES {
+                if let Some(value) = (self.map)(self.inner.generate(runner)) {
+                    return value;
+                }
+            }
+            panic!(
+                "prop_filter_map exhausted {FILTER_RETRIES} retries: {}",
+                self.reason
+            );
+        }
+    }
+
+    /// Uniform choice between boxed alternatives; built by [`prop_oneof!`].
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            let index = runner.rng().random_range(0..self.options.len());
+            self.options[index].generate(runner)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, runner: &mut TestRunner) -> $ty {
+                    runner.rng().random_range(self.clone())
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, runner: &mut TestRunner) -> $ty {
+                    runner.rng().random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for ::std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, runner: &mut TestRunner) -> f64 {
+            runner.rng().random_range(self.clone())
+        }
+    }
+
+    /// String literals act as regex strategies (subset; see crate docs).
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, runner: &mut TestRunner) -> String {
+            crate::string::sample(self, runner)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(runner),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-test configuration; only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// Inputs violated an assumption; the case is skipped.
+        Reject(String),
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError::Fail(message.into())
+        }
+
+        pub fn reject(message: impl Into<String>) -> Self {
+            TestCaseError::Reject(message.into())
+        }
+    }
+
+    /// Drives the cases of one property test with deterministic seeding.
+    pub struct TestRunner {
+        name: &'static str,
+        cases: u32,
+        rng: StdRng,
+        rejects: u32,
+    }
+
+    impl TestRunner {
+        pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+            TestRunner {
+                name,
+                cases: config.cases,
+                rng: StdRng::seed_from_u64(0),
+                rejects: 0,
+            }
+        }
+
+        pub fn cases(&self) -> u32 {
+            self.cases
+        }
+
+        /// Reseeds the RNG for a case so failures reproduce exactly.
+        pub fn begin_case(&mut self, case: u32) {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for byte in self.name.bytes() {
+                seed ^= u64::from(byte);
+                seed = seed.wrapping_mul(0x100_0000_01b3);
+            }
+            seed ^= u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            self.rng = StdRng::seed_from_u64(seed);
+        }
+
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.rng
+        }
+
+        pub fn finish_case(&mut self, case: u32, result: Result<(), TestCaseError>) {
+            match result {
+                Ok(()) => {}
+                Err(TestCaseError::Reject(_)) => {
+                    self.rejects += 1;
+                    assert!(
+                        self.rejects <= self.cases.saturating_mul(4),
+                        "{}: too many rejected cases ({})",
+                        self.name,
+                        self.rejects,
+                    );
+                }
+                Err(TestCaseError::Fail(message)) => {
+                    panic!(
+                        "{} failed at case {case} (reproduce: rerun, seeds are \
+                         derived from the test name and case index)\n{message}",
+                        self.name,
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::BoxedStrategy;
+    use rand::RngExt;
+
+    /// Types with a canonical "anything" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary() -> BoxedStrategy<Self>;
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+        T::arbitrary()
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary() -> BoxedStrategy<bool> {
+            BoxedStrategy::from_fn(|runner| runner.rng().random())
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary() -> BoxedStrategy<$ty> {
+                    BoxedStrategy::from_fn(|runner| runner.rng().random())
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary() -> BoxedStrategy<f64> {
+            BoxedStrategy::from_fn(|runner| runner.rng().random())
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use rand::RngExt;
+    use std::collections::BTreeMap;
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl SizeRange {
+        fn sample(self, runner: &mut TestRunner) -> usize {
+            runner.rng().random_range(self.min..=self.max)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                min: exact,
+                max: exact,
+            }
+        }
+    }
+
+    impl From<::std::ops::Range<usize>> for SizeRange {
+        fn from(range: ::std::ops::Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty collection size range");
+            SizeRange {
+                min: range.start,
+                max: range.end - 1,
+            }
+        }
+    }
+
+    impl From<::std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(range: ::std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *range.start(),
+                max: *range.end(),
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec`s of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let len = self.size.sample(runner);
+            (0..len).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// `BTreeMap`s of up to `size` entries (duplicate keys collapse).
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+            let len = self.size.sample(runner);
+            (0..len)
+                .map(|_| (self.key.generate(runner), self.value.generate(runner)))
+                .collect()
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use rand::RngExt;
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some` three times out of four, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, runner: &mut TestRunner) -> Option<S::Value> {
+            if runner.rng().random_bool(0.75) {
+                Some(self.inner.generate(runner))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod string {
+    //! Sampler for the regex subset used as string strategies.
+
+    use crate::test_runner::TestRunner;
+    use rand::RngExt;
+
+    struct Atom {
+        /// Inclusive codepoint ranges to choose from.
+        choices: Vec<(char, char)>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Generates a string matching `pattern` (concatenated literals and
+    /// `[...]` classes with optional `{n}` / `{m,n}` quantifiers).
+    pub fn sample(pattern: &str, runner: &mut TestRunner) -> String {
+        let atoms = parse(pattern);
+        let mut out = String::new();
+        for atom in &atoms {
+            let count = runner.rng().random_range(atom.min..=atom.max);
+            let total: u32 = atom
+                .choices
+                .iter()
+                .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                .sum();
+            for _ in 0..count {
+                let mut roll = runner.rng().random_range(0..total);
+                for (lo, hi) in &atom.choices {
+                    let width = *hi as u32 - *lo as u32 + 1;
+                    if roll < width {
+                        out.push(char::from_u32(*lo as u32 + roll).expect("valid scalar"));
+                        break;
+                    }
+                    roll -= width;
+                }
+            }
+        }
+        out
+    }
+
+    fn parse(pattern: &str) -> Vec<Atom> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let choices = match chars[i] {
+                '[' => {
+                    i += 1;
+                    let mut choices = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = chars[i];
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            let hi = chars[i + 2];
+                            assert!(lo <= hi, "bad class range in {pattern:?}");
+                            choices.push((lo, hi));
+                            i += 3;
+                        } else {
+                            choices.push((lo, lo));
+                            i += 1;
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated class in {pattern:?}");
+                    i += 1; // past ']'
+                    choices
+                }
+                '\\' => {
+                    i += 1;
+                    assert!(i < chars.len(), "trailing backslash in {pattern:?}");
+                    let literal = chars[i];
+                    i += 1;
+                    vec![(literal, literal)]
+                }
+                c => {
+                    assert!(
+                        !matches!(c, '(' | ')' | '|' | '*' | '+' | '?' | '.' | '^' | '$'),
+                        "unsupported regex feature {c:?} in {pattern:?}"
+                    );
+                    i += 1;
+                    vec![(c, c)]
+                }
+            };
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unterminated quantifier in {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("quantifier min"),
+                        hi.trim().parse().expect("quantifier max"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("quantifier count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            atoms.push(Atom { choices, min, max });
+        }
+        atoms
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Uniform choice between strategy arms producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current case if the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Declares property tests: each function's arguments are drawn from the
+/// strategies after `in`, repeated for the configured number of cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_each {
+    (config = $config:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut runner =
+                    $crate::test_runner::TestRunner::new(config, stringify!($name));
+                for case in 0..runner.cases() {
+                    runner.begin_case(case);
+                    let outcome: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $(
+                            let $arg = {
+                                let strategy = $strategy;
+                                $crate::strategy::Strategy::generate(&strategy, &mut runner)
+                            };
+                        )+
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    runner.finish_case(case, outcome);
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_samples_match_shape() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(1), "regex");
+        runner.begin_case(0);
+        for _ in 0..200 {
+            let s = crate::string::sample("[A-Z]{3,8}", &mut runner);
+            assert!((3..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_uppercase()));
+            let t = crate::string::sample("[a-z][a-z0-9_]{0,8}", &mut runner);
+            assert!(t.chars().next().unwrap().is_ascii_lowercase());
+            let u = crate::string::sample("[A-Za-z][A-Za-z0-9 _-]{0,20}", &mut runner);
+            assert!(!u.is_empty());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_wiring_works(x in 0usize..10, flag in any::<bool>(), s in "[a-z]{1,4}") {
+            prop_assume!(x < 10);
+            prop_assert!(x < 10);
+            prop_assert_eq!(x, x);
+            if flag {
+                prop_assert_ne!(s.len(), 0);
+            }
+        }
+
+        #[test]
+        fn combinators_work(
+            v in crate::collection::vec(0i64..5, 0..6),
+            m in crate::collection::btree_map("[a-z]{1,3}", 0u64..9, 0..4),
+            o in crate::option::of(1usize..3),
+            pair in prop_oneof![Just(0usize), 5usize..7],
+        ) {
+            prop_assert!(v.len() < 6);
+            prop_assert!(m.len() < 4);
+            if let Some(x) = o {
+                prop_assert!((1..3).contains(&x));
+            }
+            prop_assert!(pair == 0 || (5..7).contains(&pair));
+        }
+    }
+}

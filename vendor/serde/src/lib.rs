@@ -1,0 +1,652 @@
+//! Offline stand-in for [`serde`](https://serde.rs).
+//!
+//! This vendored crate exists because the build environment has no network
+//! access and no crates.io mirror: it reimplements the subset of serde's API
+//! that this workspace uses, keeping the same trait and module names so the
+//! workspace code is source-compatible with the real crate.
+//!
+//! The big simplification is the data model. Real serde drives a visitor
+//! through the serializer/deserializer; here both directions pass through an
+//! owned dynamic tree, [`Fragment`]. A `Serialize` impl renders itself into a
+//! `Fragment`; a `Deserializer` produces one. This trades streaming
+//! performance for a drastically smaller implementation while preserving
+//! observable behavior (field order, `rename`/`flatten`/`default`/`tag`
+//! attribute semantics, error propagation through `Error::custom`).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The dynamic JSON-shaped tree both directions of (de)serialization pass
+/// through. Maps preserve insertion order so derived struct serialization
+/// keeps declaration order, exactly like real serde.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fragment {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer outside `i64` range.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Fragment>),
+    /// An ordered map with string keys.
+    Map(Vec<(String, Fragment)>),
+}
+
+impl Fragment {
+    /// A short noun for error messages ("a string", "a map", ...).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Fragment::Null => "null",
+            Fragment::Bool(_) => "a boolean",
+            Fragment::I64(_) | Fragment::U64(_) => "an integer",
+            Fragment::F64(_) => "a floating-point number",
+            Fragment::Str(_) => "a string",
+            Fragment::Seq(_) => "a sequence",
+            Fragment::Map(_) => "a map",
+        }
+    }
+}
+
+/// Removes and returns the entry for `key` from an order-preserving fragment
+/// map. Used by derived `Deserialize` impls.
+pub fn fragment_take(map: &mut Vec<(String, Fragment)>, key: &str) -> Option<Fragment> {
+    let index = map.iter().position(|(k, _)| k == key)?;
+    Some(map.remove(index).1)
+}
+
+// ---------------------------------------------------------------------------
+// Error traits
+// ---------------------------------------------------------------------------
+
+/// Serialization-side support traits.
+pub mod ser {
+    use std::fmt::Display;
+
+    /// Trait every `Serializer::Error` must implement.
+    pub trait Error: Sized {
+        /// Builds an error carrying an arbitrary message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization-side support traits.
+pub mod de {
+    use std::fmt::Display;
+
+    /// Trait every `Deserializer::Error` must implement.
+    pub trait Error: Sized {
+        /// Builds an error carrying an arbitrary message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// Marker for types deserializable without borrowing from the input.
+    /// With the owned [`Fragment`](crate::Fragment) model every
+    /// `Deserialize` type qualifies.
+    pub trait DeserializeOwned: for<'de> crate::Deserialize<'de> {}
+    impl<T: for<'de> crate::Deserialize<'de>> DeserializeOwned for T {}
+}
+
+/// A concrete error for the in-crate fragment (de)serializers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FragmentError(pub String);
+
+impl fmt::Display for FragmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for FragmentError {}
+
+impl ser::Error for FragmentError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        FragmentError(msg.to_string())
+    }
+}
+
+impl de::Error for FragmentError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        FragmentError(msg.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Core traits
+// ---------------------------------------------------------------------------
+
+/// A consumer of [`Fragment`]s; the only required method takes a whole
+/// fragment, with typed convenience methods (`serialize_str`, ...) layered
+/// on top so manual impls read like real serde.
+pub trait Serializer: Sized {
+    /// Value produced on success.
+    type Ok;
+    /// Error type; must support `custom` messages.
+    type Error: ser::Error;
+
+    /// Consumes a complete fragment tree.
+    fn serialize_fragment(self, fragment: Fragment) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_fragment(Fragment::Str(v.to_owned()))
+    }
+
+    /// Serializes a boolean.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+        self.serialize_fragment(Fragment::Bool(v))
+    }
+
+    /// Serializes a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_fragment(Fragment::I64(v))
+    }
+
+    /// Serializes an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+        if let Ok(i) = i64::try_from(v) {
+            self.serialize_fragment(Fragment::I64(i))
+        } else {
+            self.serialize_fragment(Fragment::U64(v))
+        }
+    }
+
+    /// Serializes a floating-point number.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_fragment(Fragment::F64(v))
+    }
+
+    /// Serializes a unit value as null.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_fragment(Fragment::Null)
+    }
+
+    /// Serializes `None` as null.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_fragment(Fragment::Null)
+    }
+
+    /// Serializes the payload of a `Some`.
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error> {
+        value.serialize(self)
+    }
+}
+
+/// A type that can render itself into any [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A producer of [`Fragment`]s.
+pub trait Deserializer<'de>: Sized {
+    /// Error type; must support `custom` messages.
+    type Error: de::Error;
+
+    /// Produces the complete fragment tree of the input.
+    fn deserialize_fragment(self) -> Result<Fragment, Self::Error>;
+}
+
+/// A type constructible from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Fragment-backed serializer / deserializer
+// ---------------------------------------------------------------------------
+
+/// Serializer whose output *is* the fragment tree.
+pub struct FragmentSerializer;
+
+impl Serializer for FragmentSerializer {
+    type Ok = Fragment;
+    type Error = FragmentError;
+
+    fn serialize_fragment(self, fragment: Fragment) -> Result<Fragment, FragmentError> {
+        Ok(fragment)
+    }
+}
+
+/// Deserializer reading from an owned fragment tree.
+pub struct FragmentDeserializer(pub Fragment);
+
+impl<'de> Deserializer<'de> for FragmentDeserializer {
+    type Error = FragmentError;
+
+    fn deserialize_fragment(self) -> Result<Fragment, FragmentError> {
+        Ok(self.0)
+    }
+}
+
+/// Renders any `Serialize` value into a fragment tree.
+pub fn to_fragment<T: Serialize + ?Sized>(value: &T) -> Result<Fragment, FragmentError> {
+    value.serialize(FragmentSerializer)
+}
+
+/// Builds any `Deserialize` value from a fragment tree.
+pub fn from_fragment<T: for<'de> Deserialize<'de>>(fragment: Fragment) -> Result<T, FragmentError> {
+    T::deserialize(FragmentDeserializer(fragment))
+}
+
+// ---------------------------------------------------------------------------
+// Impls for standard types
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+macro_rules! serialize_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_i64(*self as i64)
+            }
+        }
+    )*};
+}
+serialize_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! serialize_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_u64(*self as u64)
+            }
+        }
+    )*};
+}
+serialize_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+fn collect_seq<S, I>(serializer: S, items: I) -> Result<S::Ok, S::Error>
+where
+    S: Serializer,
+    I: IntoIterator,
+    I::Item: Serialize,
+{
+    let mut out = Vec::new();
+    for item in items {
+        out.push(to_fragment(&item).map_err(<S::Error as ser::Error>::custom)?);
+    }
+    serializer.serialize_fragment(Fragment::Seq(out))
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        collect_seq(serializer, self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        collect_seq(serializer, self.iter())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        collect_seq(serializer, self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        collect_seq(serializer, self.iter())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut entries = Vec::with_capacity(self.len());
+        for (key, value) in self {
+            let key = match to_fragment(key).map_err(<S::Error as ser::Error>::custom)? {
+                Fragment::Str(s) => s,
+                other => {
+                    return Err(<S::Error as ser::Error>::custom(format!(
+                        "map key must serialize to a string, found {}",
+                        other.kind()
+                    )))
+                }
+            };
+            entries.push((
+                key,
+                to_fragment(value).map_err(<S::Error as ser::Error>::custom)?,
+            ));
+        }
+        serializer.serialize_fragment(Fragment::Map(entries))
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident : $index:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let items = vec![
+                    $(to_fragment(&self.$index).map_err(<S::Error as ser::Error>::custom)?,)+
+                ];
+                serializer.serialize_fragment(Fragment::Seq(items))
+            }
+        }
+    )*};
+}
+serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+// -- Deserialize ------------------------------------------------------------
+
+fn type_error<E: de::Error, T>(expected: &str, found: &Fragment) -> Result<T, E> {
+    Err(E::custom(format!(
+        "invalid type: expected {expected}, found {}",
+        found.kind()
+    )))
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_fragment()? {
+            Fragment::Bool(b) => Ok(b),
+            other => type_error("a boolean", &other),
+        }
+    }
+}
+
+macro_rules! deserialize_int {
+    ($($ty:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let fragment = deserializer.deserialize_fragment()?;
+                let out = match fragment {
+                    Fragment::I64(v) => <$ty>::try_from(v).ok(),
+                    Fragment::U64(v) => <$ty>::try_from(v).ok(),
+                    Fragment::F64(v) if v.fract() == 0.0 && v.is_finite() => {
+                        <$ty>::try_from(v as i64).ok()
+                    }
+                    other => return type_error("an integer", &other),
+                };
+                out.ok_or_else(|| {
+                    <D::Error as de::Error>::custom(concat!(
+                        "integer out of range for ",
+                        stringify!($ty)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+deserialize_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_fragment()? {
+            Fragment::F64(v) => Ok(v),
+            Fragment::I64(v) => Ok(v as f64),
+            Fragment::U64(v) => Ok(v as f64),
+            other => type_error("a number", &other),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_fragment()? {
+            Fragment::Str(s) => Ok(s),
+            other => type_error("a string", &other),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(<D::Error as de::Error>::custom(
+                "expected a single character",
+            )),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_fragment()? {
+            Fragment::Null => Ok(()),
+            other => type_error("null", &other),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_fragment()? {
+            Fragment::Null => Ok(None),
+            other => from_fragment(other)
+                .map(Some)
+                .map_err(|e| <D::Error as de::Error>::custom(e)),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_fragment()? {
+            Fragment::Seq(items) => items
+                .into_iter()
+                .map(|f| from_fragment(f).map_err(|e| <D::Error as de::Error>::custom(e)))
+                .collect(),
+            other => type_error("a sequence", &other),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let items: Vec<T> = Vec::deserialize(deserializer)?;
+        let len = items.len();
+        items.try_into().map_err(|_| {
+            <D::Error as de::Error>::custom(format!(
+                "invalid length {len}, expected an array of {N} elements"
+            ))
+        })
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let items: Vec<T> = Vec::deserialize(deserializer)?;
+        Ok(items.into_iter().collect())
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: for<'a> Deserialize<'a> + Ord,
+    V: for<'a> Deserialize<'a>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_fragment()? {
+            Fragment::Map(entries) => {
+                let mut map = BTreeMap::new();
+                for (key, value) in entries {
+                    let key: K = from_fragment(Fragment::Str(key))
+                        .map_err(|e| <D::Error as de::Error>::custom(e))?;
+                    let value: V =
+                        from_fragment(value).map_err(|e| <D::Error as de::Error>::custom(e))?;
+                    map.insert(key, value);
+                }
+                Ok(map)
+            }
+            other => type_error("a map", &other),
+        }
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($($name:ident),+ ; $len:expr))*) => {$(
+        impl<'de, $($name: for<'a> Deserialize<'a>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<De: Deserializer<'de>>(deserializer: De) -> Result<Self, De::Error> {
+                match deserializer.deserialize_fragment()? {
+                    Fragment::Seq(items) if items.len() == $len => {
+                        let mut it = items.into_iter();
+                        Ok(($(
+                            from_fragment::<$name>(it.next().expect("length checked"))
+                                .map_err(|e| <De::Error as de::Error>::custom(e))?,
+                        )+))
+                    }
+                    Fragment::Seq(items) => Err(<De::Error as de::Error>::custom(format!(
+                        "invalid length {}, expected a tuple of {}",
+                        items.len(),
+                        $len
+                    ))),
+                    other => type_error("a sequence", &other),
+                }
+            }
+        }
+    )*};
+}
+deserialize_tuple! {
+    (A; 1)
+    (A, B; 2)
+    (A, B, C; 3)
+    (A, B, C, D; 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(to_fragment(&true).unwrap(), Fragment::Bool(true));
+        assert_eq!(to_fragment(&42i64).unwrap(), Fragment::I64(42));
+        assert_eq!(to_fragment(&"hi").unwrap(), Fragment::Str("hi".into()));
+        let v: i64 = from_fragment(Fragment::I64(7)).unwrap();
+        assert_eq!(v, 7);
+        let s: String = from_fragment(Fragment::Str("x".into())).unwrap();
+        assert_eq!(s, "x");
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1i64, 2, 3];
+        let frag = to_fragment(&v).unwrap();
+        let back: Vec<i64> = from_fragment(frag).unwrap();
+        assert_eq!(back, v);
+
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1i64);
+        let frag = to_fragment(&m).unwrap();
+        let back: BTreeMap<String, i64> = from_fragment(frag).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn option_null_round_trip() {
+        assert_eq!(to_fragment(&Option::<i64>::None).unwrap(), Fragment::Null);
+        let v: Option<i64> = from_fragment(Fragment::Null).unwrap();
+        assert_eq!(v, None);
+        let v: Option<i64> = from_fragment(Fragment::I64(3)).unwrap();
+        assert_eq!(v, Some(3));
+    }
+
+    #[test]
+    fn type_mismatch_reports_kinds() {
+        let err = from_fragment::<String>(Fragment::I64(3)).unwrap_err();
+        assert!(err.to_string().contains("expected a string"));
+        let err = from_fragment::<Vec<i64>>(Fragment::Str("x".into())).unwrap_err();
+        assert!(err.to_string().contains("expected a sequence"));
+    }
+
+    #[test]
+    fn arrays_check_length() {
+        let ok: [i64; 3] = from_fragment(to_fragment(&[1i64, 2, 3]).unwrap()).unwrap();
+        assert_eq!(ok, [1, 2, 3]);
+        assert!(from_fragment::<[i64; 4]>(to_fragment(&[1i64, 2, 3]).unwrap()).is_err());
+    }
+}

@@ -1,0 +1,678 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against the
+//! fragment data model of the vendored `serde` crate, by parsing the item's
+//! token stream directly (no `syn`/`quote` available offline) and emitting
+//! impls as source text.
+//!
+//! Supported shapes — exactly what this workspace uses:
+//! - named-field structs, with field attrs `rename`, `default`,
+//!   `skip_serializing_if`, `flatten`
+//! - single-field tuple structs with `#[serde(transparent)]`
+//! - container attrs `into = "T"` / `try_from = "T"` (delegating to a wire
+//!   representation type), `rename_all`, `tag`
+//! - enums of unit variants (serialized as name strings, honoring
+//!   `rename` / `rename_all`)
+//! - enums of newtype variants with `#[serde(tag = "...")]` (internally
+//!   tagged maps)
+//!
+//! Generics are not supported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Parsed model
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default, Clone)]
+struct SerdeOpts {
+    rename: Option<String>,
+    rename_all: Option<String>,
+    transparent: bool,
+    tag: Option<String>,
+    into: Option<String>,
+    try_from: Option<String>,
+    default: bool,
+    skip_serializing_if: Option<String>,
+    flatten: bool,
+}
+
+impl SerdeOpts {
+    fn merge_pairs(&mut self, pairs: Vec<(String, Option<String>)>) {
+        for (key, value) in pairs {
+            match key.as_str() {
+                "rename" => self.rename = value,
+                "rename_all" => self.rename_all = value,
+                "transparent" => self.transparent = true,
+                "tag" => self.tag = value,
+                "into" => self.into = value,
+                "try_from" => self.try_from = value,
+                "default" => self.default = true,
+                "skip_serializing_if" => self.skip_serializing_if = value,
+                "flatten" => self.flatten = true,
+                // `deny_unknown_fields` and anything else we can safely
+                // ignore: unknown keys were already ignored by the lenient
+                // deserializer.
+                _ => {}
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Field {
+    opts: SerdeOpts,
+    name: String,
+    ty: String,
+}
+
+#[derive(Debug)]
+struct Variant {
+    opts: SerdeOpts,
+    name: String,
+    /// Type inside a newtype variant, when present.
+    newtype: Option<String>,
+}
+
+#[derive(Debug)]
+enum Data {
+    NamedStruct(Vec<Field>),
+    TupleStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    opts: SerdeOpts,
+    name: String,
+    data: Data,
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn strip_quotes(literal: &str) -> String {
+    let trimmed = literal.trim();
+    if trimmed.len() >= 2 && trimmed.starts_with('"') && trimmed.ends_with('"') {
+        trimmed[1..trimmed.len() - 1].to_string()
+    } else {
+        trimmed.to_string()
+    }
+}
+
+/// Parses the contents of one `#[...]` attribute group; returns serde
+/// key/value pairs when it is a `serde` attribute, `None` otherwise.
+fn parse_attribute(group: TokenStream) -> Option<Vec<(String, Option<String>)>> {
+    let mut iter = group.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(ident)) if ident.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return Some(Vec::new()),
+    };
+    let mut pairs = Vec::new();
+    let mut tokens = inner.into_iter().peekable();
+    while let Some(token) = tokens.next() {
+        let key = match token {
+            TokenTree::Ident(ident) => ident.to_string(),
+            TokenTree::Punct(p) if p.as_char() == ',' => continue,
+            other => panic!("unexpected token in #[serde(...)]: {other}"),
+        };
+        let mut value = None;
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '=' {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Literal(lit)) => value = Some(strip_quotes(&lit.to_string())),
+                    other => panic!("expected string after `{key} =`, got {other:?}"),
+                }
+            }
+        }
+        pairs.push((key, value));
+    }
+    Some(pairs)
+}
+
+/// Collects leading attributes from `tokens`, merging serde ones into `opts`.
+fn take_attributes(
+    tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>,
+    opts: &mut SerdeOpts,
+) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        if let Some(pairs) = parse_attribute(g.stream()) {
+                            opts.merge_pairs(pairs);
+                        }
+                    }
+                    other => panic!("expected [...] after #, got {other:?}"),
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skips a `pub` / `pub(...)` visibility prefix.
+fn skip_visibility(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if let Some(TokenTree::Ident(ident)) = tokens.peek() {
+        if ident.to_string() == "pub" {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
+                }
+            }
+        }
+    }
+}
+
+/// Renders type tokens back to source text, splitting on top-level commas.
+fn split_types(stream: TokenStream) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let mut angle_depth = 0i32;
+    for token in stream {
+        match &token {
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if !current.trim().is_empty() {
+                    out.push(current.trim().to_string());
+                }
+                current = String::new();
+            }
+            other => {
+                if let TokenTree::Punct(p) = other {
+                    match p.as_char() {
+                        '<' => angle_depth += 1,
+                        '>' => angle_depth -= 1,
+                        _ => {}
+                    }
+                }
+                if !current.is_empty() {
+                    current.push(' ');
+                }
+                current.push_str(&other.to_string());
+            }
+        }
+    }
+    if !current.trim().is_empty() {
+        out.push(current.trim().to_string());
+    }
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        let mut opts = SerdeOpts::default();
+        take_attributes(&mut tokens, &mut opts);
+        skip_visibility(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            None => break,
+            other => panic!("expected field name, got {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        let mut ty = String::new();
+        let mut angle_depth = 0i32;
+        for token in tokens.by_ref() {
+            match &token {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                other => {
+                    if let TokenTree::Punct(p) = other {
+                        match p.as_char() {
+                            '<' => angle_depth += 1,
+                            '>' => angle_depth -= 1,
+                            _ => {}
+                        }
+                    }
+                    if !ty.is_empty() {
+                        ty.push(' ');
+                    }
+                    ty.push_str(&other.to_string());
+                }
+            }
+        }
+        fields.push(Field { opts, name, ty });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        let mut opts = SerdeOpts::default();
+        take_attributes(&mut tokens, &mut opts);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            None => break,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let mut newtype = None;
+        if let Some(TokenTree::Group(g)) = tokens.peek() {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    let types = split_types(g.stream());
+                    if types.len() != 1 {
+                        panic!("variant `{name}`: only newtype variants are supported");
+                    }
+                    newtype = Some(types.into_iter().next().expect("one type"));
+                    tokens.next();
+                }
+                Delimiter::Brace => panic!("variant `{name}`: struct variants are unsupported"),
+                _ => {}
+            }
+        }
+        // Consume a trailing comma, if any.
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == ',' {
+                tokens.next();
+            }
+        }
+        variants.push(Variant {
+            opts,
+            name,
+            newtype,
+        });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    let mut opts = SerdeOpts::default();
+    take_attributes(&mut tokens, &mut opts);
+    skip_visibility(&mut tokens);
+    // There may be further attributes (e.g. between doc comments and vis in
+    // odd orders) — loop until we hit the struct/enum keyword.
+    let keyword = loop {
+        match tokens.next() {
+            Some(TokenTree::Ident(ident)) => {
+                let word = ident.to_string();
+                if word == "struct" || word == "enum" {
+                    break word;
+                }
+                if word == "union" {
+                    panic!("derive(Serialize/Deserialize): unions are unsupported");
+                }
+                // e.g. `pub` handled above; anything else (unsafe, etc.) skip.
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    if let Some(pairs) = parse_attribute(g.stream()) {
+                        opts.merge_pairs(pairs);
+                    }
+                }
+                other => panic!("expected [...] after #, got {other:?}"),
+            },
+            Some(_) => {}
+            None => panic!("derive input without struct/enum keyword"),
+        }
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("derive(Serialize/Deserialize): generic types are unsupported by the vendored serde_derive");
+        }
+    }
+    let data = if keyword == "struct" {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(split_types(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::TupleStruct(Vec::new()),
+            other => panic!("unexpected struct body: {other:?}"),
+        }
+    } else {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unexpected enum body: {other:?}"),
+        }
+    };
+    Item { opts, name, data }
+}
+
+// ---------------------------------------------------------------------------
+// Shared codegen helpers
+// ---------------------------------------------------------------------------
+
+fn apply_rename_all(name: &str, rule: &str) -> String {
+    match rule {
+        "lowercase" => name.to_lowercase(),
+        "UPPERCASE" => name.to_uppercase(),
+        "snake_case" => {
+            let mut out = String::new();
+            for (i, c) in name.chars().enumerate() {
+                if c.is_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.extend(c.to_lowercase());
+                } else {
+                    out.push(c);
+                }
+            }
+            out
+        }
+        "SCREAMING_SNAKE_CASE" => apply_rename_all(name, "snake_case").to_uppercase(),
+        "kebab-case" => apply_rename_all(name, "snake_case").replace('_', "-"),
+        other => panic!("unsupported rename_all rule `{other}`"),
+    }
+}
+
+fn variant_wire_name(variant: &Variant, container: &SerdeOpts) -> String {
+    if let Some(rename) = &variant.opts.rename {
+        return rename.clone();
+    }
+    if let Some(rule) = &container.rename_all {
+        return apply_rename_all(&variant.name, rule);
+    }
+    variant.name.clone()
+}
+
+fn field_wire_name(field: &Field) -> String {
+    field
+        .opts
+        .rename
+        .clone()
+        .unwrap_or_else(|| field.name.clone())
+}
+
+// ---------------------------------------------------------------------------
+// Serialize codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(target) = &item.opts.into {
+        format!(
+            "let __repr: {target} = <{target} as ::core::convert::From<{name}>>::from(::core::clone::Clone::clone(self));\n\
+             ::serde::Serialize::serialize(&__repr, __serializer)"
+        )
+    } else {
+        match &item.data {
+            Data::TupleStruct(types) => {
+                // Newtype structs serialize as their inner value, matching
+                // real serde (with or without #[serde(transparent)]).
+                assert!(
+                    types.len() == 1,
+                    "`{name}`: only single-field tuple structs are supported"
+                );
+                "::serde::Serialize::serialize(&self.0, __serializer)".to_string()
+            }
+            Data::NamedStruct(fields) if item.opts.transparent => {
+                assert!(
+                    fields.len() == 1,
+                    "`{name}`: transparent needs exactly one field"
+                );
+                format!(
+                    "::serde::Serialize::serialize(&self.{}, __serializer)",
+                    fields[0].name
+                )
+            }
+            Data::NamedStruct(fields) => {
+                let mut out = String::from(
+                    "let mut __entries: ::std::vec::Vec<(::std::string::String, ::serde::Fragment)> = ::std::vec::Vec::new();\n",
+                );
+                for field in fields {
+                    let push = if field.opts.flatten {
+                        format!(
+                            "match ::serde::to_fragment(&self.{f}).map_err(<__S::Error as ::serde::ser::Error>::custom)? {{\n\
+                                 ::serde::Fragment::Map(__m) => __entries.extend(__m),\n\
+                                 _ => return ::core::result::Result::Err(<__S::Error as ::serde::ser::Error>::custom(\"#[serde(flatten)] field `{f}` did not serialize to a map\")),\n\
+                             }}\n",
+                            f = field.name
+                        )
+                    } else {
+                        format!(
+                            "__entries.push((::std::string::String::from(\"{key}\"), ::serde::to_fragment(&self.{f}).map_err(<__S::Error as ::serde::ser::Error>::custom)?));\n",
+                            key = field_wire_name(field),
+                            f = field.name
+                        )
+                    };
+                    if let Some(path) = &field.opts.skip_serializing_if {
+                        out.push_str(&format!("if !{path}(&self.{}) {{\n{push}}}\n", field.name));
+                    } else {
+                        out.push_str(&push);
+                    }
+                }
+                out.push_str("__serializer.serialize_fragment(::serde::Fragment::Map(__entries))");
+                out
+            }
+            Data::Enum(variants) => {
+                let all_unit = variants.iter().all(|v| v.newtype.is_none());
+                if all_unit {
+                    let arms: String = variants
+                        .iter()
+                        .map(|v| {
+                            format!(
+                                "{name}::{} => \"{}\",\n",
+                                v.name,
+                                variant_wire_name(v, &item.opts)
+                            )
+                        })
+                        .collect();
+                    format!("__serializer.serialize_str(match self {{\n{arms}}})")
+                } else {
+                    let tag = item.opts.tag.as_ref().unwrap_or_else(|| {
+                        panic!("`{name}`: data-carrying enums need #[serde(tag = ...)]")
+                    });
+                    let arms: String = variants
+                        .iter()
+                        .map(|v| {
+                            assert!(v.newtype.is_some(), "`{name}`: mixed enums unsupported");
+                            format!(
+                                "{name}::{v} (__inner) => {{\n\
+                                     match ::serde::to_fragment(__inner).map_err(<__S::Error as ::serde::ser::Error>::custom)? {{\n\
+                                         ::serde::Fragment::Map(mut __m) => {{\n\
+                                             __m.insert(0, (::std::string::String::from(\"{tag}\"), ::serde::Fragment::Str(::std::string::String::from(\"{wire}\"))));\n\
+                                             __serializer.serialize_fragment(::serde::Fragment::Map(__m))\n\
+                                         }}\n\
+                                         _ => ::core::result::Result::Err(<__S::Error as ::serde::ser::Error>::custom(\"internally tagged variant `{wire}` must serialize to a map\")),\n\
+                                     }}\n\
+                                 }}\n",
+                                v = v.name,
+                                wire = variant_wire_name(v, &item.opts)
+                            )
+                        })
+                        .collect();
+                    format!("match self {{\n{arms}}}")
+                }
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize codegen
+// ---------------------------------------------------------------------------
+
+const CUSTOM: &str = "<__D::Error as ::serde::de::Error>::custom";
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(source) = &item.opts.try_from {
+        format!(
+            "let __repr: {source} = ::serde::Deserialize::deserialize(__deserializer)?;\n\
+             <{name} as ::core::convert::TryFrom<{source}>>::try_from(__repr).map_err(|__e| {CUSTOM}(__e))"
+        )
+    } else {
+        match &item.data {
+            Data::TupleStruct(types) => {
+                assert!(
+                    types.len() == 1,
+                    "`{name}`: only single-field tuple structs are supported"
+                );
+                format!("::core::result::Result::Ok({name}(::serde::Deserialize::deserialize(__deserializer)?))")
+            }
+            Data::NamedStruct(fields) if item.opts.transparent => {
+                assert!(
+                    fields.len() == 1,
+                    "`{name}`: transparent needs exactly one field"
+                );
+                format!(
+                    "::core::result::Result::Ok({name} {{ {f}: ::serde::Deserialize::deserialize(__deserializer)? }})",
+                    f = fields[0].name
+                )
+            }
+            Data::NamedStruct(fields) => {
+                let mut out = format!(
+                    "let mut __map = match __deserializer.deserialize_fragment()? {{\n\
+                         ::serde::Fragment::Map(__m) => __m,\n\
+                         __other => return ::core::result::Result::Err({CUSTOM}(::std::format!(\"invalid type: expected a map for struct `{name}`, found {{}}\", __other.kind()))),\n\
+                     }};\n"
+                );
+                // Named (non-flatten) fields consume their keys first; a
+                // flatten field then absorbs whatever remains, mirroring
+                // real serde.
+                for field in fields.iter().filter(|f| !f.opts.flatten) {
+                    let key = field_wire_name(field);
+                    let missing = if field.opts.default {
+                        "::core::default::Default::default()".to_string()
+                    } else {
+                        format!(
+                            "return ::core::result::Result::Err({CUSTOM}(\"missing field `{key}` in `{name}`\"))"
+                        )
+                    };
+                    out.push_str(&format!(
+                        "let __field_{f}: {ty} = match ::serde::fragment_take(&mut __map, \"{key}\") {{\n\
+                             ::core::option::Option::Some(__f) => ::serde::from_fragment(__f).map_err(|__e| {CUSTOM}(::std::format!(\"field `{key}`: {{}}\", __e)))?,\n\
+                             ::core::option::Option::None => {missing},\n\
+                         }};\n",
+                        f = field.name,
+                        ty = field.ty
+                    ));
+                }
+                for field in fields.iter().filter(|f| f.opts.flatten) {
+                    out.push_str(&format!(
+                        "let __field_{f}: {ty} = ::serde::from_fragment(::serde::Fragment::Map(::core::mem::take(&mut __map))).map_err(|__e| {CUSTOM}(::std::format!(\"flattened field `{f}`: {{}}\", __e)))?;\n",
+                        f = field.name,
+                        ty = field.ty
+                    ));
+                }
+                let inits: String = fields
+                    .iter()
+                    .map(|f| format!("{f}: __field_{f}, ", f = f.name))
+                    .collect();
+                out.push_str(&format!("::core::result::Result::Ok({name} {{ {inits}}})"));
+                out
+            }
+            Data::Enum(variants) => {
+                let all_unit = variants.iter().all(|v| v.newtype.is_none());
+                if all_unit {
+                    let arms: String = variants
+                        .iter()
+                        .map(|v| {
+                            format!(
+                                "\"{}\" => ::core::result::Result::Ok({name}::{}),\n",
+                                variant_wire_name(v, &item.opts),
+                                v.name
+                            )
+                        })
+                        .collect();
+                    let expected: Vec<String> = variants
+                        .iter()
+                        .map(|v| variant_wire_name(v, &item.opts))
+                        .collect();
+                    let expected = expected.join(", ");
+                    format!(
+                        "let __s = match __deserializer.deserialize_fragment()? {{\n\
+                             ::serde::Fragment::Str(__s) => __s,\n\
+                             __other => return ::core::result::Result::Err({CUSTOM}(::std::format!(\"invalid type: expected a string for enum `{name}`, found {{}}\", __other.kind()))),\n\
+                         }};\n\
+                         match __s.as_str() {{\n\
+                             {arms}\
+                             __other => ::core::result::Result::Err({CUSTOM}(::std::format!(\"unknown variant `{{}}` for `{name}`, expected one of: {expected}\", __other))),\n\
+                         }}"
+                    )
+                } else {
+                    let tag = item.opts.tag.as_ref().unwrap_or_else(|| {
+                        panic!("`{name}`: data-carrying enums need #[serde(tag = ...)]")
+                    });
+                    let arms: String = variants
+                        .iter()
+                        .map(|v| {
+                            format!(
+                                "\"{wire}\" => ::core::result::Result::Ok({name}::{v}(::serde::from_fragment(::serde::Fragment::Map(__map)).map_err(|__e| {CUSTOM}(::std::format!(\"variant `{wire}`: {{}}\", __e)))?)),\n",
+                                v = v.name,
+                                wire = variant_wire_name(v, &item.opts)
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let mut __map = match __deserializer.deserialize_fragment()? {{\n\
+                             ::serde::Fragment::Map(__m) => __m,\n\
+                             __other => return ::core::result::Result::Err({CUSTOM}(::std::format!(\"invalid type: expected a map for enum `{name}`, found {{}}\", __other.kind()))),\n\
+                         }};\n\
+                         let __tag = match ::serde::fragment_take(&mut __map, \"{tag}\") {{\n\
+                             ::core::option::Option::Some(::serde::Fragment::Str(__s)) => __s,\n\
+                             ::core::option::Option::Some(_) => return ::core::result::Result::Err({CUSTOM}(\"tag `{tag}` must be a string\")),\n\
+                             ::core::option::Option::None => return ::core::result::Result::Err({CUSTOM}(\"missing tag `{tag}` for enum `{name}`\")),\n\
+                         }};\n\
+                         match __tag.as_str() {{\n\
+                             {arms}\
+                             __other => ::core::result::Result::Err({CUSTOM}(::std::format!(\"unknown `{tag}` value `{{}}` for `{name}`\", __other))),\n\
+                         }}"
+                    )
+                }
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) -> ::core::result::Result<Self, __D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Derives `serde::Serialize` for the supported item shapes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` for the supported item shapes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}

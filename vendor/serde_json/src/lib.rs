@@ -1,0 +1,936 @@
+//! Offline stand-in for [`serde_json`].
+//!
+//! Same public surface as the subset this workspace uses — [`Value`],
+//! [`Number`], [`Map`], [`json!`], `to_string{_pretty}`, `from_str`,
+//! `to_value` / `from_value`, [`Error`] — implemented over the vendored
+//! `serde` crate's [`Fragment`](serde::Fragment) data model.
+//!
+//! Behavioral notes kept compatible with the real crate:
+//! - `Map` is ordered by key (the real crate's default BTreeMap backend), so
+//!   serialized objects from maps are key-sorted while derived structs keep
+//!   declaration order.
+//! - Compact output uses `":"`/`","` with no spaces; pretty output uses
+//!   two-space indentation.
+//! - Floats always render with a decimal point (`3.0`, not `3`);
+//!   non-finite floats serialize as `null`.
+
+use serde::Fragment;
+use std::collections::BTreeMap;
+use std::fmt;
+
+mod parse;
+mod print;
+
+pub use parse::parse_value;
+
+// ---------------------------------------------------------------------------
+// Error
+// ---------------------------------------------------------------------------
+
+/// Error produced while parsing or (de)serializing JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+    /// 1-based line of a syntax error, 0 when not applicable.
+    line: usize,
+    /// 1-based column of a syntax error, 0 when not applicable.
+    column: usize,
+}
+
+impl Error {
+    pub(crate) fn syntax(message: impl Into<String>, line: usize, column: usize) -> Self {
+        Error {
+            message: message.into(),
+            line,
+            column,
+        }
+    }
+
+    /// Line of a syntax error (1-based; 0 for data errors).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Column of a syntax error (1-based; 0 for data errors).
+    pub fn column(&self) -> usize {
+        self.column
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(
+                f,
+                "{} at line {} column {}",
+                self.message, self.line, self.column
+            )
+        } else {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error {
+            message: msg.to_string(),
+            line: 0,
+            column: 0,
+        }
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error {
+            message: msg.to_string(),
+            line: 0,
+            column: 0,
+        }
+    }
+}
+
+impl From<serde::FragmentError> for Error {
+    fn from(e: serde::FragmentError) -> Self {
+        Error {
+            message: e.0,
+            line: 0,
+            column: 0,
+        }
+    }
+}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------------------
+// Number
+// ---------------------------------------------------------------------------
+
+/// A JSON number: signed, unsigned, or floating-point.
+#[derive(Debug, Clone, Copy)]
+pub enum NumberRepr {
+    I64(i64),
+    U64(u64),
+    F64(f64),
+}
+
+/// A JSON number, wrapping [`NumberRepr`].
+#[derive(Debug, Clone, Copy)]
+pub struct Number(pub(crate) NumberRepr);
+
+impl Number {
+    /// Builds a float number; `None` for non-finite input (like the real
+    /// crate's `Number::from_f64`).
+    pub fn from_f64(value: f64) -> Option<Number> {
+        value.is_finite().then_some(Number(NumberRepr::F64(value)))
+    }
+
+    /// The value as `i64` when exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            NumberRepr::I64(v) => Some(v),
+            NumberRepr::U64(v) => i64::try_from(v).ok(),
+            NumberRepr::F64(_) => None,
+        }
+    }
+
+    /// The value as `u64` when exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            NumberRepr::I64(v) => u64::try_from(v).ok(),
+            NumberRepr::U64(v) => Some(v),
+            NumberRepr::F64(_) => None,
+        }
+    }
+
+    /// The value as `f64` (always possible, possibly lossy).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.0 {
+            NumberRepr::I64(v) => Some(v as f64),
+            NumberRepr::U64(v) => Some(v as f64),
+            NumberRepr::F64(v) => Some(v),
+        }
+    }
+
+    /// True when the number is stored as a signed or in-range integer.
+    pub fn is_i64(&self) -> bool {
+        self.as_i64().is_some()
+    }
+
+    /// True when the number is non-negative integral.
+    pub fn is_u64(&self) -> bool {
+        self.as_u64().is_some()
+    }
+
+    /// True when the number is stored as a float.
+    pub fn is_f64(&self) -> bool {
+        matches!(self.0, NumberRepr::F64(_))
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.0, other.0) {
+            (NumberRepr::F64(a), NumberRepr::F64(b)) => a.to_bits() == b.to_bits(),
+            (NumberRepr::F64(_), _) | (_, NumberRepr::F64(_)) => false,
+            _ => match (self.as_i64(), other.as_i64()) {
+                (Some(a), Some(b)) => a == b,
+                _ => self.as_u64() == other.as_u64(),
+            },
+        }
+    }
+}
+
+impl Eq for Number {}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            NumberRepr::I64(v) => write!(f, "{v}"),
+            NumberRepr::U64(v) => write!(f, "{v}"),
+            NumberRepr::F64(v) => f.write_str(&print::format_f64(v)),
+        }
+    }
+}
+
+macro_rules! number_from_signed {
+    ($($ty:ty),*) => {$(
+        impl From<$ty> for Number {
+            fn from(v: $ty) -> Self { Number(NumberRepr::I64(v as i64)) }
+        }
+    )*};
+}
+number_from_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! number_from_unsigned {
+    ($($ty:ty),*) => {$(
+        impl From<$ty> for Number {
+            fn from(v: $ty) -> Self {
+                match i64::try_from(v as u64) {
+                    Ok(i) => Number(NumberRepr::I64(i)),
+                    Err(_) => Number(NumberRepr::U64(v as u64)),
+                }
+            }
+        }
+    )*};
+}
+number_from_unsigned!(u8, u16, u32, u64, usize);
+
+// ---------------------------------------------------------------------------
+// Map
+// ---------------------------------------------------------------------------
+
+/// A JSON object: string keys to values, ordered by key.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Map<K = String, V = Value> {
+    inner: BTreeMap<K, V>,
+}
+
+impl Map<String, Value> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Map {
+            inner: BTreeMap::new(),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Inserts an entry, returning the previous value for the key.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        self.inner.insert(key, value)
+    }
+
+    /// Borrows the value for `key`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.inner.get(key)
+    }
+
+    /// Mutably borrows the value for `key`.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.inner.get_mut(key)
+    }
+
+    /// Removes an entry.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        self.inner.remove(key)
+    }
+
+    /// True when `key` is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.inner.contains_key(key)
+    }
+
+    /// Iterates entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.inner.iter()
+    }
+
+    /// Iterates entries mutably in key order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&String, &mut Value)> {
+        self.inner.iter_mut()
+    }
+
+    /// Iterates keys in order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.inner.keys()
+    }
+
+    /// Iterates values in key order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.inner.values()
+    }
+}
+
+impl Extend<(String, Value)> for Map<String, Value> {
+    fn extend<T: IntoIterator<Item = (String, Value)>>(&mut self, iter: T) {
+        self.inner.extend(iter)
+    }
+}
+
+impl FromIterator<(String, Value)> for Map<String, Value> {
+    fn from_iter<T: IntoIterator<Item = (String, Value)>>(iter: T) -> Self {
+        Map {
+            inner: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl IntoIterator for Map<String, Value> {
+    type Item = (String, Value);
+    type IntoIter = std::collections::btree_map::IntoIter<String, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Map<String, Value> {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = std::collections::btree_map::Iter<'a, String, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map<String, Value>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Borrows the string payload.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as `i64` when exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64` when exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// Borrows the array payload.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrows the object payload.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Mutably borrows the object payload.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// True for booleans.
+    pub fn is_boolean(&self) -> bool {
+        matches!(self, Value::Bool(_))
+    }
+
+    /// True for numbers.
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+
+    /// True for strings.
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+
+    /// True for arrays.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    /// True for objects.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// Object member access (`None` for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?.get(key)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&print::to_string_fragment(&value_to_fragment(self)))
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, index: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(index).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl From<Number> for Value {
+    fn from(v: Number) -> Self {
+        Value::Number(v)
+    }
+}
+
+impl From<Map<String, Value>> for Value {
+    fn from(v: Map<String, Value>) -> Self {
+        Value::Object(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Self {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::from(f64::from(v))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        match Number::from_f64(v) {
+            Some(n) => Value::Number(n),
+            None => Value::Null,
+        }
+    }
+}
+
+macro_rules! value_from_int {
+    ($($ty:ty),*) => {$(
+        impl From<$ty> for Value {
+            fn from(v: $ty) -> Self { Value::Number(Number::from(v)) }
+        }
+    )*};
+}
+value_from_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! value_partial_eq {
+    ($($ty:ty => $conv:expr),* $(,)?) => {$(
+        impl PartialEq<$ty> for Value {
+            fn eq(&self, other: &$ty) -> bool {
+                #[allow(clippy::redundant_closure_call)]
+                { self == &($conv)(other.clone()) }
+            }
+        }
+        impl PartialEq<Value> for $ty {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<Value> for str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(self)
+    }
+}
+
+value_partial_eq! {
+    &str => |v: &str| Value::from(v),
+    String => Value::from,
+    bool => Value::from,
+    i32 => Value::from,
+    i64 => Value::from,
+    u64 => Value::from,
+    usize => Value::from,
+    f64 => Value::from,
+}
+
+// ---------------------------------------------------------------------------
+// Fragment bridge
+// ---------------------------------------------------------------------------
+
+pub(crate) fn value_to_fragment(value: &Value) -> Fragment {
+    match value {
+        Value::Null => Fragment::Null,
+        Value::Bool(b) => Fragment::Bool(*b),
+        Value::Number(n) => match n.0 {
+            NumberRepr::I64(v) => Fragment::I64(v),
+            NumberRepr::U64(v) => Fragment::U64(v),
+            NumberRepr::F64(v) => Fragment::F64(v),
+        },
+        Value::String(s) => Fragment::Str(s.clone()),
+        Value::Array(items) => Fragment::Seq(items.iter().map(value_to_fragment).collect()),
+        Value::Object(map) => Fragment::Map(
+            map.iter()
+                .map(|(k, v)| (k.clone(), value_to_fragment(v)))
+                .collect(),
+        ),
+    }
+}
+
+pub(crate) fn fragment_to_value(fragment: Fragment) -> Value {
+    match fragment {
+        Fragment::Null => Value::Null,
+        Fragment::Bool(b) => Value::Bool(b),
+        Fragment::I64(v) => Value::Number(Number(NumberRepr::I64(v))),
+        Fragment::U64(v) => Value::Number(Number(NumberRepr::U64(v))),
+        Fragment::F64(v) => match Number::from_f64(v) {
+            Some(n) => Value::Number(n),
+            None => Value::Null,
+        },
+        Fragment::Str(s) => Value::String(s),
+        Fragment::Seq(items) => Value::Array(items.into_iter().map(fragment_to_value).collect()),
+        Fragment::Map(entries) => Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k, fragment_to_value(v)))
+                .collect(),
+        ),
+    }
+}
+
+impl serde::Serialize for Value {
+    fn serialize<S: serde::Serializer>(
+        &self,
+        serializer: S,
+    ) -> std::result::Result<S::Ok, S::Error> {
+        serializer.serialize_fragment(value_to_fragment(self))
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Value {
+    fn deserialize<D: serde::Deserializer<'de>>(
+        deserializer: D,
+    ) -> std::result::Result<Self, D::Error> {
+        Ok(fragment_to_value(deserializer.deserialize_fragment()?))
+    }
+}
+
+impl serde::Serialize for Number {
+    fn serialize<S: serde::Serializer>(
+        &self,
+        serializer: S,
+    ) -> std::result::Result<S::Ok, S::Error> {
+        match self.0 {
+            NumberRepr::I64(v) => serializer.serialize_i64(v),
+            NumberRepr::U64(v) => serializer.serialize_fragment(Fragment::U64(v)),
+            NumberRepr::F64(v) => serializer.serialize_f64(v),
+        }
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Number {
+    fn deserialize<D: serde::Deserializer<'de>>(
+        deserializer: D,
+    ) -> std::result::Result<Self, D::Error> {
+        match deserializer.deserialize_fragment()? {
+            Fragment::I64(v) => Ok(Number(NumberRepr::I64(v))),
+            Fragment::U64(v) => Ok(Number(NumberRepr::U64(v))),
+            Fragment::F64(v) => Ok(Number(NumberRepr::F64(v))),
+            other => Err(<D::Error as serde::de::Error>::custom(format!(
+                "invalid type: expected a number, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl serde::Serialize for Map<String, Value> {
+    fn serialize<S: serde::Serializer>(
+        &self,
+        serializer: S,
+    ) -> std::result::Result<S::Ok, S::Error> {
+        serializer.serialize_fragment(Fragment::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), value_to_fragment(v)))
+                .collect(),
+        ))
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Map<String, Value> {
+    fn deserialize<D: serde::Deserializer<'de>>(
+        deserializer: D,
+    ) -> std::result::Result<Self, D::Error> {
+        match deserializer.deserialize_fragment()? {
+            Fragment::Map(entries) => Ok(entries
+                .into_iter()
+                .map(|(k, v)| (k, fragment_to_value(v)))
+                .collect()),
+            other => Err(<D::Error as serde::de::Error>::custom(format!(
+                "invalid type: expected a map, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Serializes a value to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let fragment = serde::to_fragment(value).map_err(Error::from)?;
+    Ok(print::to_string_fragment(&fragment))
+}
+
+/// Serializes a value to pretty-printed JSON text (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let fragment = serde::to_fragment(value).map_err(Error::from)?;
+    Ok(print::to_string_pretty_fragment(&fragment))
+}
+
+/// Serializes a value to compact JSON bytes.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Parses a value from JSON text.
+pub fn from_str<T: serde::de::DeserializeOwned>(text: &str) -> Result<T> {
+    let value = parse::parse_value(text)?;
+    from_value(value)
+}
+
+/// Parses a value from JSON bytes.
+pub fn from_slice<T: serde::de::DeserializeOwned>(bytes: &[u8]) -> Result<T> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|e| <Error as serde::de::Error>::custom(format!("invalid UTF-8: {e}")))?;
+    from_str(text)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value> {
+    let fragment = serde::to_fragment(value).map_err(Error::from)?;
+    Ok(fragment_to_value(fragment))
+}
+
+/// Builds a typed value out of a [`Value`] tree.
+pub fn from_value<T: serde::de::DeserializeOwned>(value: Value) -> Result<T> {
+    serde::from_fragment(value_to_fragment(&value)).map_err(Error::from)
+}
+
+// ---------------------------------------------------------------------------
+// json! macro (faithful port of the serde_json TT muncher)
+// ---------------------------------------------------------------------------
+
+/// Builds a [`Value`] from JSON-like syntax with interpolated expressions.
+#[macro_export]
+macro_rules! json {
+    ($($json:tt)+) => {
+        $crate::json_internal!($($json)+)
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_internal {
+    //////////////////////////////////////////////////////////////////////////
+    // Array munching: @array [built elements] remaining tts
+    //////////////////////////////////////////////////////////////////////////
+    (@array [$($elems:expr,)*]) => {
+        vec![$($elems,)*]
+    };
+    (@array [$($elems:expr),*]) => {
+        vec![$($elems),*]
+    };
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(null)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] true $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(true)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] false $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(false)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($array:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($array)*])] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] {$($map:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($map)*})] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($next),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($last)])
+    };
+    (@array [$($elems:expr),*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+
+    //////////////////////////////////////////////////////////////////////////
+    // Object munching: @object map [key] (value) remaining / (partial key)
+    //////////////////////////////////////////////////////////////////////////
+    (@object $object:ident () () ()) => {};
+    (@object $object:ident [$($key:tt)+] ($value:expr) , $($rest:tt)*) => {
+        let _ = $object.insert(($($key)+).into(), $value);
+        $crate::json_internal!(@object $object () ($($rest)*) ($($rest)*));
+    };
+    (@object $object:ident [$($key:tt)+] ($value:expr)) => {
+        let _ = $object.insert(($($key)+).into(), $value);
+    };
+    (@object $object:ident ($($key:tt)+) (: null $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(null)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: true $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(true)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: false $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(false)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: [$($array:tt)*] $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!([$($array)*])) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: {$($map:tt)*} $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!({$($map)*})) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)) , $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)));
+    };
+    (@object $object:ident () (($key:expr) : $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object ($key) (: $($rest)*) (: $($rest)*));
+    };
+    (@object $object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) ($($rest)*) ($($rest)*));
+    };
+
+    //////////////////////////////////////////////////////////////////////////
+    // Leaves
+    //////////////////////////////////////////////////////////////////////////
+    (null) => {
+        $crate::Value::Null
+    };
+    (true) => {
+        $crate::Value::Bool(true)
+    };
+    (false) => {
+        $crate::Value::Bool(false)
+    };
+    ([]) => {
+        $crate::Value::Array(vec![])
+    };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json_internal!(@array [] $($tt)+))
+    };
+    ({}) => {
+        $crate::Value::Object($crate::Map::new())
+    };
+    ({ $($tt:tt)+ }) => {
+        $crate::Value::Object({
+            let mut object = $crate::Map::new();
+            $crate::json_internal!(@object object () ($($tt)+) ($($tt)+));
+            object
+        })
+    };
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! value serializes")
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({"a": 1, "b": [true, null, "x"], "c": {"d": 2.5}});
+        assert_eq!(v["a"], 1);
+        assert_eq!(v["b"][0], true);
+        assert!(v["b"][1].is_null());
+        assert_eq!(v["b"][2], "x");
+        assert_eq!(v["c"]["d"], 2.5);
+        let xs = vec!["p", "q"];
+        let v = json!({ "enum": xs });
+        assert_eq!(v["enum"][1], "q");
+    }
+
+    #[test]
+    fn compact_and_pretty_round_trip() {
+        let v = json!({"b": 1, "a": [1, 2]});
+        // Objects print key-sorted (BTreeMap backend).
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":[1,2],"b":1}"#);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"a\": [\n"));
+        assert_eq!(from_str::<Value>(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn floats_keep_decimal_point() {
+        assert_eq!(to_string(&3.0f64).unwrap(), "3.0");
+        assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        let err = from_str::<Value>("{").unwrap_err();
+        assert!(err.line() >= 1);
+        assert!(err.to_string().contains("line"));
+        assert!(from_str::<Value>("[1, 2,]").is_err());
+        assert!(from_str::<Value>("01").is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = Value::String("a\"b\\c\nd\te\u{1F600}".to_string());
+        let text = to_string(&original).unwrap();
+        assert_eq!(from_str::<Value>(&text).unwrap(), original);
+        let parsed: Value = from_str(r#""Aé😀""#).unwrap();
+        assert_eq!(parsed, Value::String("Aé😀".to_string()));
+    }
+
+    #[test]
+    fn typed_round_trip() {
+        let v: Vec<i64> = from_str("[1,2,3]").unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        assert_eq!(to_string(&v).unwrap(), "[1,2,3]");
+        let m: std::collections::BTreeMap<String, String> = from_str(r#"{"k":"v"}"#).unwrap();
+        assert_eq!(m["k"], "v");
+    }
+
+    #[test]
+    fn number_accessors() {
+        let n = Number::from(3u64);
+        assert_eq!(n.as_i64(), Some(3));
+        assert!(n.is_i64());
+        let f = Number::from_f64(2.5).unwrap();
+        assert_eq!(f.as_i64(), None);
+        assert_eq!(f.as_f64(), Some(2.5));
+        assert!(Number::from_f64(f64::INFINITY).is_none());
+    }
+}

@@ -1,0 +1,130 @@
+//! Compact and pretty JSON printers.
+//!
+//! Printing works on [`Fragment`] trees, which preserve the key order the
+//! serializer emitted: derived structs keep declaration order, while
+//! [`crate::Map`]-backed objects arrive already key-sorted. This matches the
+//! real crate, where struct serialization never passes through `Value`.
+
+use serde::Fragment;
+use std::fmt::Write as _;
+
+/// Renders a float like the real crate: always with a decimal point or
+/// exponent so it round-trips as a float (`3.0`, not `3`).
+pub(crate) fn format_f64(value: f64) -> String {
+    debug_assert!(value.is_finite());
+    if value == value.trunc() && value.abs() < 1e16 {
+        format!("{value:.1}")
+    } else {
+        format!("{value}")
+    }
+}
+
+fn push_escaped(out: &mut String, text: &str) {
+    out.push('"');
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+pub(crate) fn to_string_fragment(fragment: &Fragment) -> String {
+    let mut out = String::new();
+    write_compact(&mut out, fragment);
+    out
+}
+
+fn write_compact(out: &mut String, fragment: &Fragment) {
+    match fragment {
+        Fragment::Null => out.push_str("null"),
+        Fragment::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Fragment::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Fragment::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Fragment::F64(v) if !v.is_finite() => out.push_str("null"),
+        Fragment::F64(v) => out.push_str(&format_f64(*v)),
+        Fragment::Str(s) => push_escaped(out, s),
+        Fragment::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, item);
+            }
+            out.push(']');
+        }
+        Fragment::Map(entries) => {
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_escaped(out, key);
+                out.push(':');
+                write_compact(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
+pub(crate) fn to_string_pretty_fragment(fragment: &Fragment) -> String {
+    let mut out = String::new();
+    write_pretty(&mut out, fragment, 0);
+    out
+}
+
+fn push_indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_pretty(out: &mut String, fragment: &Fragment, depth: usize) {
+    match fragment {
+        Fragment::Seq(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, depth + 1);
+                write_pretty(out, item, depth + 1);
+            }
+            out.push('\n');
+            push_indent(out, depth);
+            out.push(']');
+        }
+        Fragment::Map(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, depth + 1);
+                push_escaped(out, key);
+                out.push_str(": ");
+                write_pretty(out, item, depth + 1);
+            }
+            out.push('\n');
+            push_indent(out, depth);
+            out.push('}');
+        }
+        other => write_compact(out, other),
+    }
+}
