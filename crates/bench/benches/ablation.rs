@@ -5,6 +5,7 @@
 //! sweep so the quality/runtime trade-off is measured, not asserted.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parchmint::CompiledDevice;
 use parchmint_pnr::place::annealing::{AnnealingConfig, AnnealingPlacer};
 use parchmint_pnr::place::cost::hpwl;
 use parchmint_pnr::place::greedy::GreedyPlacer;
@@ -15,16 +16,16 @@ use std::hint::black_box;
 fn annealing_effort_table() {
     println!("\n=== E7a: annealing effort ablation (planar_synthetic_4) ===");
     println!("{:<10} {:>12}", "sweeps", "hpwl_um");
-    let device = parchmint_suite::planar_synthetic(4);
-    let greedy = GreedyPlacer::new().place(&device);
-    println!("{:<10} {:>12}", "greedy", hpwl(&device, &greedy));
+    let compiled = CompiledDevice::compile(parchmint_suite::planar_synthetic(4));
+    let greedy = GreedyPlacer::new().place(&compiled);
+    println!("{:<10} {:>12}", "greedy", hpwl(&compiled, &greedy));
     for sweeps in [10, 40, 120, 360] {
         let placer = AnnealingPlacer::with_config(AnnealingConfig {
             sweeps,
             ..AnnealingConfig::default()
         });
-        let placement = placer.place(&device);
-        println!("{:<10} {:>12}", sweeps, hpwl(&device, &placement));
+        let placement = placer.place(&compiled);
+        println!("{:<10} {:>12}", sweeps, hpwl(&compiled, &placement));
     }
 }
 
@@ -35,13 +36,16 @@ fn bend_penalty_table() {
         "bend_penalty", "routed", "wire_um", "bends"
     );
     let mut device = parchmint_suite::planar_synthetic(3);
-    GreedyPlacer::new().place(&device).apply_to(&mut device);
+    GreedyPlacer::new()
+        .place(&CompiledDevice::from_ref(&device))
+        .apply_to(&mut device);
+    let placed = CompiledDevice::compile(device);
     for penalty in [0, 10, 30, 100] {
         let router = AStarRouter::with_config(GridRouterConfig {
             bend_penalty: penalty,
             ..GridRouterConfig::default()
         });
-        let result = router.route(&device);
+        let result = router.route(&placed);
         println!(
             "{:<14} {:>9.1}% {:>12} {:>8}",
             penalty,
@@ -61,12 +65,15 @@ fn ripup_table() {
     for name in ["logic_gate_or", "planar_synthetic_3", "planar_synthetic_4"] {
         for attempts in [0, 2] {
             let mut device = parchmint_suite::by_name(name).unwrap().device();
-            GreedyPlacer::new().place(&device).apply_to(&mut device);
+            GreedyPlacer::new()
+                .place(&CompiledDevice::from_ref(&device))
+                .apply_to(&mut device);
+            let placed = CompiledDevice::compile(device);
             let router = AStarRouter::with_config(GridRouterConfig {
                 reroute_attempts: attempts,
                 ..GridRouterConfig::default()
             });
-            let result = router.route(&device);
+            let result = router.route(&placed);
             println!(
                 "{:<30} {:>10} {:>11.1}%",
                 name,
@@ -83,14 +90,14 @@ fn bench_ablation(c: &mut Criterion) {
     bend_penalty_table();
     ripup_table();
 
-    let device = parchmint_suite::planar_synthetic(3);
+    let compiled = CompiledDevice::compile(parchmint_suite::planar_synthetic(3));
     let mut group = c.benchmark_group("E7_annealing_effort");
     for sweeps in [10, 40, 120] {
         let placer = AnnealingPlacer::with_config(AnnealingConfig {
             sweeps,
             ..AnnealingConfig::default()
         });
-        group.bench_with_input(BenchmarkId::from_parameter(sweeps), &device, |b, d| {
+        group.bench_with_input(BenchmarkId::from_parameter(sweeps), &compiled, |b, d| {
             b.iter(|| placer.place(black_box(d)))
         });
     }

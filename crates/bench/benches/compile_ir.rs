@@ -1,0 +1,70 @@
+//! E9 — device-compilation overhead.
+//!
+//! Benchmarks `CompiledDevice::compile` across the synthetic scale ladder
+//! and on the largest assay benchmark, answering the question the IR design
+//! hinges on: is the one-time cost of interning ids and pre-resolving
+//! endpoints negligible next to the stages that consume the view?
+//!
+//! The companion numbers land in the suite harness: `parchmint suite-run`
+//! records per-benchmark compile wall time under the strippable
+//! `timing.compile` key of its JSON report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parchmint::CompiledDevice;
+use std::hint::black_box;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E9_compile_device");
+    for k in [1, 3, 5, 7] {
+        let device = parchmint_suite::planar_synthetic(k);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(device.components.len()),
+            &device,
+            |b, d| b.iter(|| CompiledDevice::from_ref(black_box(d))),
+        );
+    }
+    let chip = parchmint_suite::by_name("chromatin_immunoprecipitation")
+        .unwrap()
+        .device();
+    group.bench_with_input(BenchmarkId::new("assay", "chip"), &chip, |b, d| {
+        b.iter(|| CompiledDevice::from_ref(black_box(d)))
+    });
+
+    // Owned compilation, the variant the harness uses once per benchmark
+    // per sweep. The device clone is part of the measured loop; compare
+    // against `serde_roundtrip`'s clone numbers to subtract it out.
+    let template = parchmint_suite::planar_synthetic(4);
+    group.bench_function("owned_compile", |b| {
+        b.iter(|| CompiledDevice::compile(black_box(template.clone())))
+    });
+    group.finish();
+
+    // Amortization check: one compiled lookup stream vs the linear-scan
+    // equivalent on the raw device, over every component id.
+    let device = parchmint_suite::planar_synthetic(4);
+    let compiled = CompiledDevice::from_ref(&device);
+    let ids: Vec<String> = device.components.iter().map(|c| c.id.to_string()).collect();
+    let mut lookups = c.benchmark_group("E9_lookup");
+    lookups.bench_function("compiled_index", |b| {
+        b.iter(|| {
+            ids.iter()
+                .filter(|id| compiled.comp_ix(black_box(id)).is_some())
+                .count()
+        })
+    });
+    lookups.bench_function("device_scan", |b| {
+        b.iter(|| {
+            ids.iter()
+                .filter(|id| device.component(black_box(id)).is_some())
+                .count()
+        })
+    });
+    lookups.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_compile
+}
+criterion_main!(benches);

@@ -54,12 +54,12 @@ fn bench_pnr(c: &mut Criterion) {
 
     let mut placement = c.benchmark_group("E4_placement");
     for k in [2, 3, 4] {
-        let device = parchmint_suite::planar_synthetic(k);
-        let n = device.components.len();
-        placement.bench_with_input(BenchmarkId::new("greedy", n), &device, |b, d| {
+        let compiled = parchmint::CompiledDevice::compile(parchmint_suite::planar_synthetic(k));
+        let n = compiled.component_count();
+        placement.bench_with_input(BenchmarkId::new("greedy", n), &compiled, |b, d| {
             b.iter(|| GreedyPlacer::new().place(black_box(d)))
         });
-        placement.bench_with_input(BenchmarkId::new("annealing", n), &device, |b, d| {
+        placement.bench_with_input(BenchmarkId::new("annealing", n), &compiled, |b, d| {
             b.iter(|| AnnealingPlacer::new().place(black_box(d)))
         });
     }
@@ -68,13 +68,14 @@ fn bench_pnr(c: &mut Criterion) {
     let mut routing = c.benchmark_group("E4_routing");
     for k in [2, 3] {
         let mut device = parchmint_suite::planar_synthetic(k);
-        let placement = GreedyPlacer::new().place(&device);
+        let placement = GreedyPlacer::new().place(&parchmint::CompiledDevice::from_ref(&device));
         placement.apply_to(&mut device);
         let n = device.connections.len();
-        routing.bench_with_input(BenchmarkId::new("straight", n), &device, |b, d| {
+        let placed = parchmint::CompiledDevice::compile(device);
+        routing.bench_with_input(BenchmarkId::new("straight", n), &placed, |b, d| {
             b.iter(|| StraightRouter::new().route(black_box(d)))
         });
-        routing.bench_with_input(BenchmarkId::new("astar", n), &device, |b, d| {
+        routing.bench_with_input(BenchmarkId::new("astar", n), &placed, |b, d| {
             b.iter(|| AStarRouter::new().route(black_box(d)))
         });
     }

@@ -22,5 +22,5 @@
 pub mod plan;
 pub mod protocol;
 
-pub use plan::{plan_flow, Actuation, ControlError, FlowPlan, ValveState};
+pub use plan::{plan_flow, plan_flow_compiled, Actuation, ControlError, FlowPlan, ValveState};
 pub use protocol::{schedule, ProtocolError, Schedule, ScheduledStep, Step};

@@ -1,7 +1,7 @@
 //! Flow planning: which valves must open or close to drive fluid from one
 //! component to another.
 
-use parchmint::{ComponentId, ConnectionId, Device, LayerType, ValveType};
+use parchmint::{CompiledDevice, ComponentId, ConnectionId, Device, LayerType, ValveType};
 use parchmint_graph::{shortest_path, Netlist};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -79,11 +79,19 @@ impl FlowPlan {
     /// each valve's rest polarity. Valves already resting in their required
     /// state are vented (no pressure), so the list covers *every* valve in
     /// `valve_states` with its explicit line state.
+    ///
+    /// Compiles a throwaway [`CompiledDevice`] internally; callers that
+    /// already hold one should use [`FlowPlan::actuations_compiled`].
     pub fn actuations(&self, device: &Device) -> Vec<Actuation> {
+        self.actuations_compiled(&CompiledDevice::from_ref(device))
+    }
+
+    /// [`FlowPlan::actuations`] over an already-compiled device.
+    pub fn actuations_compiled(&self, compiled: &CompiledDevice) -> Vec<Actuation> {
         self.valve_states
             .iter()
             .filter_map(|(component, desired)| {
-                let valve = device.valve_on(component)?;
+                let valve = compiled.valve_on(compiled.comp_ix(component.as_str())?)?;
                 let rest_open = valve.valve_type == ValveType::NormallyOpen;
                 let want_open = *desired == ValveState::Open;
                 Some(Actuation {
@@ -170,7 +178,17 @@ pub fn plan_flow(
     from: &ComponentId,
     to: &ComponentId,
 ) -> Result<FlowPlan, ControlError> {
-    let netlist = Netlist::from_device_layer(device, LayerType::Flow);
+    plan_flow_compiled(&CompiledDevice::from_ref(device), from, to)
+}
+
+/// [`plan_flow`] over an already-compiled device: the netlist projection and
+/// all valve/connection lookups go through the compiled index.
+pub fn plan_flow_compiled(
+    compiled: &CompiledDevice,
+    from: &ComponentId,
+    to: &ComponentId,
+) -> Result<FlowPlan, ControlError> {
+    let netlist = Netlist::from_compiled_layer(compiled, LayerType::Flow);
     let start = netlist
         .node_of(from)
         .ok_or_else(|| ControlError::UnknownComponent(from.clone()))?;
@@ -204,8 +222,8 @@ pub fn plan_flow(
 
     // Valve states: open on-path, closed on branches touching the path.
     let mut valve_states = BTreeMap::new();
-    for valve in &device.valves {
-        let Some(controlled) = device.connection(valve.controls.as_str()) else {
+    for (valve, _, controlled) in compiled.valves() {
+        let Some(controlled) = controlled.map(|c| compiled.connection(c)) else {
             continue;
         };
         let desired = if path.contains(&valve.controls) {

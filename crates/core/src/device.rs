@@ -114,26 +114,42 @@ impl Device {
     // ---- lookups --------------------------------------------------------
 
     /// Looks up a layer by id.
+    ///
+    /// Linear scan — fine for one-off queries, but algorithm code doing
+    /// repeated lookups should compile the device once into a
+    /// [`CompiledDevice`](crate::CompiledDevice) and use its O(1) index.
     pub fn layer(&self, id: &str) -> Option<&Layer> {
         self.layers.iter().find(|l| l.id == *id)
     }
 
     /// Looks up a component by id.
+    ///
+    /// Linear scan — prefer [`CompiledDevice`](crate::CompiledDevice) for
+    /// repeated lookups on hot paths.
     pub fn component(&self, id: &str) -> Option<&Component> {
         self.components.iter().find(|c| c.id == *id)
     }
 
     /// Looks up a connection by id.
+    ///
+    /// Linear scan — prefer [`CompiledDevice`](crate::CompiledDevice) for
+    /// repeated lookups on hot paths.
     pub fn connection(&self, id: &str) -> Option<&Connection> {
         self.connections.iter().find(|c| c.id == *id)
     }
 
     /// Looks up a feature by id.
+    ///
+    /// Linear scan — prefer [`CompiledDevice`](crate::CompiledDevice) for
+    /// repeated lookups on hot paths.
     pub fn feature(&self, id: &str) -> Option<&Feature> {
         self.features.iter().find(|f| f.id() == &FeatureId::new(id))
     }
 
     /// The placement feature for `component`, if the device is placed.
+    ///
+    /// Linear scan over features; [`CompiledDevice`](crate::CompiledDevice)
+    /// pre-resolves placements for hot paths.
     pub fn placement_of(&self, component: &ComponentId) -> Option<&ComponentFeature> {
         self.features
             .iter()
@@ -181,6 +197,9 @@ impl Device {
     /// Absolute position of a terminal, when the device is placed.
     ///
     /// Falls back to the placed component centre for port-less terminals.
+    /// Resolves through the linear lookups above; routers and evaluators
+    /// should use [`CompiledDevice::target_position`](crate::CompiledDevice)
+    /// instead.
     pub fn target_position(&self, target: &Target) -> Option<Point> {
         let (component, port) = self.resolve_target(target)?;
         let placement = self.placement_of(&component.id)?;

@@ -50,6 +50,7 @@
 //! | [`ids`] | identifier newtypes per namespace |
 //! | [`entity`] | the MINT component-primitive vocabulary |
 //! | [`params`] | open key/value parameter bags |
+//! | [`ir`] | [`CompiledDevice`]: interned handles and O(1) lookups |
 //! | top level | [`Device`], [`Layer`], [`Component`], [`Connection`], [`Feature`], [`Valve`], [`DeviceBuilder`] |
 
 #![warn(missing_docs)]
@@ -64,6 +65,7 @@ pub mod error;
 pub mod feature;
 pub mod geometry;
 pub mod ids;
+pub mod ir;
 pub mod layer;
 pub mod params;
 pub mod schema;
@@ -78,6 +80,7 @@ pub use entity::{Entity, EntityClass};
 pub use error::{Error, Result};
 pub use feature::{ComponentFeature, ConnectionFeature, Feature};
 pub use ids::{ComponentId, ConnectionId, FeatureId, LayerId, PortLabel};
+pub use ir::{CompIx, CompiledDevice, ConnIx, Endpoint, LayerIx, PortIx};
 pub use layer::{Layer, LayerType};
 pub use params::Params;
 pub use valve::{Valve, ValveType};

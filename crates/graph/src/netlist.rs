@@ -6,7 +6,7 @@
 //! analyses can map graph structure back to the device.
 
 use crate::graph::{Graph, NodeIx};
-use parchmint::{ComponentId, ConnectionId, Device, LayerType};
+use parchmint::{CompIx, CompiledDevice, ComponentId, ConnectionId, Device, LayerType};
 use std::collections::HashMap;
 
 /// The component-connectivity graph of a device.
@@ -22,59 +22,82 @@ impl Netlist {
     /// channel it pinches, so each valve binding contributes an edge from
     /// the valve component to the controlled connection's source component
     /// (labelled with that connection).
+    ///
+    /// Compiles a throwaway [`CompiledDevice`] internally; callers that
+    /// already hold one should use [`Netlist::from_compiled`].
     pub fn from_device(device: &Device) -> Self {
-        Self::build(device, |_| true, true)
+        Self::from_compiled(&CompiledDevice::from_ref(device))
     }
 
     /// Builds the netlist graph restricted to connections on layers of the
     /// given type (commonly [`LayerType::Flow`] to analyse the fluid network
     /// without control plumbing). Valve-coupling edges are cross-layer and
     /// therefore excluded here.
+    ///
+    /// Compiles a throwaway [`CompiledDevice`] internally; callers that
+    /// already hold one should use [`Netlist::from_compiled_layer`].
     pub fn from_device_layer(device: &Device, layer_type: LayerType) -> Self {
-        let matching: Vec<&str> = device
-            .layers
-            .iter()
-            .filter(|l| l.layer_type == layer_type)
-            .map(|l| l.id.as_str())
-            .collect();
-        Self::build(device, |layer| matching.contains(&layer), false)
+        Self::from_compiled_layer(&CompiledDevice::from_ref(device), layer_type)
     }
 
-    fn build(
-        device: &Device,
-        mut include_layer: impl FnMut(&str) -> bool,
+    /// Projects the full netlist graph (all layers, valve-coupling edges
+    /// included) from a compiled device's precomputed endpoint tables.
+    pub fn from_compiled(compiled: &CompiledDevice) -> Self {
+        Self::project(compiled, None, true)
+    }
+
+    /// Projects the netlist graph restricted to connections on layers of
+    /// the given type, without valve-coupling edges (they are cross-layer).
+    pub fn from_compiled_layer(compiled: &CompiledDevice, layer_type: LayerType) -> Self {
+        Self::project(compiled, Some(layer_type), false)
+    }
+
+    /// The projection itself: nodes are components in declaration order,
+    /// each included connection contributes one edge per resolved sink
+    /// (star expansion), in declaration order. Dangling endpoints are
+    /// skipped — they are the validator's business.
+    fn project(
+        compiled: &CompiledDevice,
+        only_layer_type: Option<LayerType>,
         include_valves: bool,
     ) -> Self {
+        let device = compiled.device();
         let mut graph = Graph::with_capacity(device.components.len(), device.connections.len());
         let mut index = HashMap::with_capacity(device.components.len());
+        let mut nodes = Vec::with_capacity(device.components.len());
         for component in &device.components {
             let ix = graph.add_node(component.id.clone());
             index.insert(component.id.clone(), ix);
+            nodes.push(ix);
         }
-        for connection in &device.connections {
-            if !include_layer(connection.layer.as_str()) {
-                continue;
+        let node_of = |c: CompIx| nodes[c.index()];
+        for conn in compiled.connections() {
+            if let Some(wanted) = only_layer_type {
+                let on_wanted_layer = compiled
+                    .connection_layer(conn)
+                    .is_some_and(|l| compiled.layer(l).layer_type == wanted);
+                if !on_wanted_layer {
+                    continue;
+                }
             }
-            let Some(&source) = index.get(&connection.source.component) else {
-                continue; // dangling references are the validator's business
+            let Some(source) = compiled.source(conn).component else {
+                continue;
             };
-            for sink in &connection.sinks {
-                let Some(&dst) = index.get(&sink.component) else {
+            let id = &compiled.connection(conn).id;
+            for sink in compiled.sinks(conn) {
+                let Some(dst) = sink.component else {
                     continue;
                 };
-                graph.add_edge(source, dst, connection.id.clone());
+                graph.add_edge(node_of(source), node_of(dst), id.clone());
             }
         }
         if include_valves {
-            for valve in &device.valves {
-                let (Some(&valve_node), Some(controlled)) = (
-                    index.get(&valve.component),
-                    device.connection(valve.controls.as_str()),
-                ) else {
+            for (valve, valve_comp, controlled) in compiled.valves() {
+                let (Some(valve_comp), Some(controlled)) = (valve_comp, controlled) else {
                     continue;
                 };
-                if let Some(&anchor) = index.get(&controlled.source.component) {
-                    graph.add_edge(valve_node, anchor, valve.controls.clone());
+                if let Some(anchor) = compiled.source(controlled).component {
+                    graph.add_edge(node_of(valve_comp), node_of(anchor), valve.controls.clone());
                 }
             }
         }

@@ -1,0 +1,100 @@
+//! The IR-projected netlist must match the seed (string-scan) netlist
+//! construction exactly — same node order, same edge order, same labels —
+//! on every registry benchmark. This pins the `Netlist::from_compiled`
+//! projection to the behaviour the rest of the workspace was tuned against
+//! (identical ordering is stronger than graph isomorphism, and it is what
+//! keeps downstream placement/routing byte-deterministic).
+
+use parchmint::{CompiledDevice, ComponentId, ConnectionId, Device, LayerType};
+use parchmint_graph::{Graph, Netlist, NodeIx};
+use std::collections::HashMap;
+
+/// The pre-IR netlist construction, kept verbatim as the reference.
+fn seed_build(
+    device: &Device,
+    mut include_layer: impl FnMut(&str) -> bool,
+    include_valves: bool,
+) -> Graph<ComponentId, ConnectionId> {
+    let mut graph = Graph::with_capacity(device.components.len(), device.connections.len());
+    let mut index: HashMap<ComponentId, NodeIx> = HashMap::new();
+    for component in &device.components {
+        let ix = graph.add_node(component.id.clone());
+        index.insert(component.id.clone(), ix);
+    }
+    for connection in &device.connections {
+        if !include_layer(connection.layer.as_str()) {
+            continue;
+        }
+        let Some(&source) = index.get(&connection.source.component) else {
+            continue;
+        };
+        for sink in &connection.sinks {
+            let Some(&dst) = index.get(&sink.component) else {
+                continue;
+            };
+            graph.add_edge(source, dst, connection.id.clone());
+        }
+    }
+    if include_valves {
+        for valve in &device.valves {
+            let (Some(&valve_node), Some(controlled)) = (
+                index.get(&valve.component),
+                device.connection(valve.controls.as_str()),
+            ) else {
+                continue;
+            };
+            if let Some(&anchor) = index.get(&controlled.source.component) {
+                graph.add_edge(valve_node, anchor, valve.controls.clone());
+            }
+        }
+    }
+    graph
+}
+
+fn assert_identical(
+    got: &Graph<ComponentId, ConnectionId>,
+    want: &Graph<ComponentId, ConnectionId>,
+) {
+    assert_eq!(got.node_count(), want.node_count());
+    assert_eq!(got.edge_count(), want.edge_count());
+    for (g, w) in got.node_indices().zip(want.node_indices()) {
+        assert_eq!(got.node(g), want.node(w));
+    }
+    for (g, w) in got.edge_indices().zip(want.edge_indices()) {
+        assert_eq!(got.edge(g), want.edge(w), "edge label mismatch at {g}");
+        assert_eq!(
+            got.edge_endpoints(g),
+            want.edge_endpoints(w),
+            "edge endpoint mismatch at {g}"
+        );
+    }
+}
+
+#[test]
+fn ir_projection_matches_seed_on_all_benchmarks() {
+    for benchmark in parchmint_suite::suite() {
+        let device = benchmark.device();
+        let compiled = CompiledDevice::from_ref(&device);
+
+        let full = Netlist::from_compiled(&compiled);
+        assert_identical(full.graph(), &seed_build(&device, |_| true, true));
+
+        for layer_type in [LayerType::Flow, LayerType::Control] {
+            let matching: Vec<&str> = device
+                .layers
+                .iter()
+                .filter(|l| l.layer_type == layer_type)
+                .map(|l| l.id.as_str())
+                .collect();
+            let restricted = Netlist::from_compiled_layer(&compiled, layer_type);
+            assert_identical(
+                restricted.graph(),
+                &seed_build(&device, |layer| matching.contains(&layer), false),
+            );
+        }
+
+        // The &Device compatibility wrappers route through the same
+        // projection.
+        assert_identical(Netlist::from_device(&device).graph(), full.graph());
+    }
+}

@@ -64,6 +64,11 @@ pub struct SuiteReport {
     pub threads: usize,
     /// End-to-end sweep wall-clock time.
     pub total_wall: Duration,
+    /// Per-benchmark generate+compile wall time (each benchmark's device is
+    /// compiled into its shared `CompiledDevice` view exactly once per
+    /// sweep), sorted by benchmark name. Reported only in the strippable
+    /// `timing` section.
+    pub compile_walls: Vec<(String, Duration)>,
 }
 
 impl SuiteReport {
@@ -170,6 +175,11 @@ impl SuiteReport {
                 per_cell.insert(cell.key(), Value::from(cell.wall.as_secs_f64() * 1e3));
             }
             timing.insert("cells".to_string(), Value::Object(per_cell));
+            let mut compile = Map::new();
+            for (benchmark, wall) in &self.compile_walls {
+                compile.insert(benchmark.clone(), Value::from(wall.as_secs_f64() * 1e3));
+            }
+            timing.insert("compile".to_string(), Value::Object(compile));
             root.insert("timing".to_string(), Value::Object(timing));
         }
         Value::Object(root)
@@ -278,6 +288,7 @@ mod tests {
             stages: vec!["validate".into(), "flow".into()],
             threads: 2,
             total_wall: Duration::from_millis(6),
+            compile_walls: vec![("a".into(), Duration::from_millis(1))],
         }
     }
 
@@ -304,6 +315,7 @@ mod tests {
         let timed = report.to_json(true);
         assert_eq!(timed["timing"]["threads"], 2);
         assert!(timed["timing"]["cells"]["a/validate"].as_f64().is_some());
+        assert!(timed["timing"]["compile"]["a"].as_f64().is_some());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::report::{Cell, CellStatus, SuiteReport};
 use crate::stage::{standard_stages, Stage, StageOutcome};
+use parchmint::CompiledDevice;
 use parchmint_suite::Benchmark;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
@@ -97,6 +98,7 @@ pub fn run_matrix(benchmarks: &[Benchmark], stages: &[Stage], threads: usize) ->
 
     let next: Mutex<usize> = Mutex::new(0);
     let collected: Mutex<Vec<Cell>> = Mutex::new(Vec::new());
+    let compile_times: Mutex<Vec<(String, Duration)>> = Mutex::new(Vec::new());
 
     // The default panic hook would spam stderr with a backtrace for every
     // isolated stage failure; silence it for the sweep and restore after.
@@ -115,34 +117,51 @@ pub fn run_matrix(benchmarks: &[Benchmark], stages: &[Stage], threads: usize) ->
                 let Some(benchmark) = benchmarks.get(index) else {
                     break;
                 };
-                let cells = evaluate_benchmark(benchmark, stages);
+                let (cells, compiled_in) = evaluate_benchmark(benchmark, stages);
                 collected.lock().expect("result lock").extend(cells);
+                if let Some(wall) = compiled_in {
+                    compile_times
+                        .lock()
+                        .expect("compile-time lock")
+                        .push((benchmark.name().to_string(), wall));
+                }
             });
         }
     });
 
     std::panic::set_hook(prior_hook);
 
+    let mut compile_walls = compile_times.into_inner().expect("compile-time lock");
+    compile_walls.sort_by(|a, b| a.0.cmp(&b.0));
     let mut report = SuiteReport {
         cells: collected.into_inner().expect("result lock"),
         stages: stages.iter().map(|s| s.name.clone()).collect(),
         threads: workers,
         total_wall: started.elapsed(),
+        compile_walls,
     };
     report.sort_cells();
     report
 }
 
 /// Runs the whole stage list on one benchmark, isolating each stage.
-fn evaluate_benchmark(benchmark: &Benchmark, stages: &[Stage]) -> Vec<Cell> {
+///
+/// The device is generated and compiled into its [`CompiledDevice`] view
+/// exactly once; every stage then borrows the same shared index. Returns
+/// the cells plus the generate+compile wall time (absent when generation
+/// panicked).
+fn evaluate_benchmark(benchmark: &Benchmark, stages: &[Stage]) -> (Vec<Cell>, Option<Duration>) {
     let name = benchmark.name().to_string();
     let generated = Instant::now();
-    let device = match catch_unwind(AssertUnwindSafe(|| benchmark.device())) {
-        Ok(device) => device,
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        CompiledDevice::compile(benchmark.device()).into_shared()
+    }));
+    let compiled = match outcome {
+        Ok(compiled) => compiled,
         Err(payload) => {
             // Generator panicked: every cell of this row fails, explained.
             let message = panic_message(payload.as_ref());
-            return stages
+            let cells = stages
                 .iter()
                 .map(|stage| Cell {
                     benchmark: name.clone(),
@@ -153,14 +172,16 @@ fn evaluate_benchmark(benchmark: &Benchmark, stages: &[Stage]) -> Vec<Cell> {
                     wall: generated.elapsed(),
                 })
                 .collect();
+            return (cells, None);
         }
     };
+    let compile_wall = generated.elapsed();
 
-    stages
+    let cells = stages
         .iter()
         .map(|stage| {
             let started = Instant::now();
-            let outcome = catch_unwind(AssertUnwindSafe(|| (stage.run)(&device)));
+            let outcome = catch_unwind(AssertUnwindSafe(|| (stage.run)(&compiled)));
             let wall = started.elapsed();
             let (status, detail, metrics) = match outcome {
                 Ok(Ok(StageOutcome::Metrics(metrics))) => (CellStatus::Ok, None, metrics),
@@ -183,7 +204,8 @@ fn evaluate_benchmark(benchmark: &Benchmark, stages: &[Stage]) -> Vec<Cell> {
                 wall,
             }
         })
-        .collect()
+        .collect();
+    (cells, Some(compile_wall))
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {

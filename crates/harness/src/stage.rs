@@ -1,6 +1,6 @@
 //! The stage matrix: the analyses every benchmark is swept through.
 
-use parchmint::Device;
+use parchmint::CompiledDevice;
 use parchmint_pnr::{place_and_route, PlacerChoice, RouterChoice};
 use serde_json::Value;
 use std::collections::BTreeMap;
@@ -32,21 +32,24 @@ impl StageOutcome {
 
 /// One named analysis applied to every benchmark in the sweep.
 ///
-/// The closure returns `Err` for a structured failure (recorded as an
-/// `error` cell); panics are caught by the runner and recorded as `failed`.
+/// Stages receive the benchmark's shared [`CompiledDevice`] view — the
+/// runner compiles each benchmark exactly once per sweep and every stage
+/// reads the same interned index. The closure returns `Err` for a
+/// structured failure (recorded as an `error` cell); panics are caught by
+/// the runner and recorded as `failed`.
 pub struct Stage {
     /// Stable cell identifier, e.g. `pnr:annealing+astar`.
     pub name: String,
     /// The analysis body.
     #[allow(clippy::type_complexity)] // the harness's one central callback type
-    pub run: Box<dyn Fn(&Device) -> Result<StageOutcome, String> + Send + Sync>,
+    pub run: Box<dyn Fn(&CompiledDevice) -> Result<StageOutcome, String> + Send + Sync>,
 }
 
 impl Stage {
     /// Builds a stage from a name and a closure.
     pub fn new(
         name: impl Into<String>,
-        run: impl Fn(&Device) -> Result<StageOutcome, String> + Send + Sync + 'static,
+        run: impl Fn(&CompiledDevice) -> Result<StageOutcome, String> + Send + Sync + 'static,
     ) -> Self {
         Stage {
             name: name.into(),
@@ -59,10 +62,11 @@ impl Stage {
 /// declaration order — the harness's generic boundary for simulation and
 /// planning stages.
 fn flow_ports(
-    device: &Device,
+    compiled: &CompiledDevice,
     network: &parchmint_sim::FlowNetwork,
 ) -> Vec<parchmint::ComponentId> {
-    device
+    compiled
+        .device()
         .components
         .iter()
         .filter(|c| c.entity.is_port() && network.contains(&c.id))
@@ -70,8 +74,8 @@ fn flow_ports(
         .collect()
 }
 
-fn validate_stage(device: &Device) -> Result<StageOutcome, String> {
-    let report = parchmint_verify::validate(device);
+fn validate_stage(compiled: &CompiledDevice) -> Result<StageOutcome, String> {
+    let report = parchmint_verify::validate_compiled(compiled);
     Ok(StageOutcome::metrics([
         ("conformant", Value::from(report.is_conformant())),
         ("diagnostics", Value::from(report.len())),
@@ -80,8 +84,8 @@ fn validate_stage(device: &Device) -> Result<StageOutcome, String> {
     ]))
 }
 
-fn characterize_stage(device: &Device) -> Result<StageOutcome, String> {
-    let stats = parchmint_stats::DeviceStats::of(device);
+fn characterize_stage(compiled: &CompiledDevice) -> Result<StageOutcome, String> {
+    let stats = parchmint_stats::DeviceStats::of_compiled(compiled);
     Ok(StageOutcome::metrics([
         ("components", Value::from(stats.components)),
         ("connections", Value::from(stats.connections)),
@@ -97,12 +101,12 @@ fn characterize_stage(device: &Device) -> Result<StageOutcome, String> {
 }
 
 fn pnr_stage(
-    device: &Device,
+    compiled: &CompiledDevice,
     placer: PlacerChoice,
     router: RouterChoice,
 ) -> Result<StageOutcome, String> {
     // PnR annotates the device with features; work on a private copy.
-    let mut device = device.clone();
+    let mut device = compiled.device().clone();
     let report = place_and_route(&mut device, placer, router);
     Ok(StageOutcome::metrics([
         ("components", Value::from(report.components)),
@@ -117,9 +121,9 @@ fn pnr_stage(
     ]))
 }
 
-fn flow_stage(device: &Device) -> Result<StageOutcome, String> {
-    let network = parchmint_sim::FlowNetwork::from_device(device, parchmint_sim::Fluid::WATER);
-    let ports = flow_ports(device, &network);
+fn flow_stage(compiled: &CompiledDevice) -> Result<StageOutcome, String> {
+    let network = parchmint_sim::FlowNetwork::from_compiled(compiled, parchmint_sim::Fluid::WATER);
+    let ports = flow_ports(compiled, &network);
     if ports.len() < 2 {
         return Ok(StageOutcome::Skipped(format!(
             "flow simulation needs >= 2 ports in the flow network, found {}",
@@ -146,22 +150,26 @@ fn flow_stage(device: &Device) -> Result<StageOutcome, String> {
     ]))
 }
 
-fn control_stage(device: &Device) -> Result<StageOutcome, String> {
+fn control_stage(compiled: &CompiledDevice) -> Result<StageOutcome, String> {
     // Planning routes over the flow layer, so candidate endpoints are the
     // same flow-network ports the simulation stage drives.
-    let network = parchmint_sim::FlowNetwork::from_device(device, parchmint_sim::Fluid::WATER);
-    let ports = flow_ports(device, &network);
+    let network = parchmint_sim::FlowNetwork::from_compiled(compiled, parchmint_sim::Fluid::WATER);
+    let ports = flow_ports(compiled, &network);
     let [from, .., to] = ports.as_slice() else {
         return Ok(StageOutcome::Skipped(format!(
             "control planning needs >= 2 flow-layer ports, found {}",
             ports.len()
         )));
     };
-    let plan = parchmint_control::plan_flow(device, from, to).map_err(|e| e.to_string())?;
+    let plan =
+        parchmint_control::plan_flow_compiled(compiled, from, to).map_err(|e| e.to_string())?;
     Ok(StageOutcome::metrics([
         ("hops", Value::from(plan.hops())),
         ("constrained_valves", Value::from(plan.valve_states.len())),
-        ("actuations", Value::from(plan.actuations(device).len())),
+        (
+            "actuations",
+            Value::from(plan.actuations_compiled(compiled).len()),
+        ),
     ]))
 }
 
@@ -176,7 +184,7 @@ pub fn standard_stages() -> Vec<Stage> {
         for &router in RouterChoice::ALL {
             stages.push(Stage::new(
                 format!("pnr:{}+{}", placer.placer().name(), router.router().name()),
-                move |device| pnr_stage(device, placer, router),
+                move |compiled| pnr_stage(compiled, placer, router),
             ));
         }
     }
@@ -202,11 +210,13 @@ mod tests {
 
     #[test]
     fn stages_run_on_a_real_benchmark() {
-        let device = parchmint_suite::by_name("rotary_pump_mixer")
-            .expect("registered benchmark")
-            .device();
+        let compiled = CompiledDevice::compile(
+            parchmint_suite::by_name("rotary_pump_mixer")
+                .expect("registered benchmark")
+                .device(),
+        );
         for stage in standard_stages() {
-            let outcome = (stage.run)(&device)
+            let outcome = (stage.run)(&compiled)
                 .unwrap_or_else(|e| panic!("stage {} errored: {e}", stage.name));
             match outcome {
                 StageOutcome::Metrics(m) => assert!(!m.is_empty(), "{} empty", stage.name),

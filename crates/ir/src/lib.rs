@@ -1,0 +1,41 @@
+//! # parchmint-ir
+//!
+//! Facade crate for the compiled device IR.
+//!
+//! The IR itself lives in [`parchmint::ir`] (it needs the core data model,
+//! and the core re-exports it, so placing it here would create a dependency
+//! cycle). This crate re-exports it under a dedicated name for consumers
+//! that want to depend on the IR surface explicitly:
+//!
+//! ```
+//! use parchmint_ir::CompiledDevice;
+//! use parchmint::Device;
+//!
+//! let compiled = CompiledDevice::compile(Device::new("empty"));
+//! assert_eq!(compiled.component_count(), 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use parchmint::ir::{CompIx, CompiledDevice, ConnIx, Endpoint, LayerIx, PortIx};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_exposes_the_core_ir_types() {
+        let compiled = CompiledDevice::compile(parchmint::Device::new("d"));
+        assert_eq!(compiled.layer_count(), 0);
+        assert_eq!(CompIx::new(3).index(), 3);
+        assert_eq!(ConnIx::new(4).index(), 4);
+        assert_eq!(LayerIx::new(5).index(), 5);
+        assert_eq!(PortIx::new(6).index(), 6);
+        let e = Endpoint {
+            component: None,
+            port: None,
+        };
+        assert_eq!(compiled.endpoint_position(e), None);
+    }
+}

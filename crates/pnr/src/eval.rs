@@ -3,7 +3,7 @@
 use crate::place::{cost::hpwl, Placement};
 use crate::route::RoutingResult;
 use parchmint::geometry::Span;
-use parchmint::Device;
+use parchmint::CompiledDevice;
 use std::fmt;
 use std::time::Duration;
 
@@ -53,7 +53,7 @@ impl PnrReport {
         benchmark: &str,
         placer: &str,
         router: &str,
-        device: &Device,
+        compiled: &CompiledDevice,
         placement: &Placement,
         routing: &RoutingResult,
         place_time: Duration,
@@ -63,13 +63,13 @@ impl PnrReport {
             benchmark: benchmark.to_owned(),
             placer: placer.to_owned(),
             router: router.to_owned(),
-            components: device.components.len(),
+            components: compiled.component_count(),
             nets: routing.routed.len() + routing.failed.len(),
             routed: routing.routed.len(),
-            hpwl: hpwl(device, placement),
+            hpwl: hpwl(compiled, placement),
             wirelength: routing.wirelength(),
             bends: routing.bends(),
-            die: device.declared_bounds().unwrap_or_default(),
+            die: compiled.device().declared_bounds().unwrap_or_default(),
             place_time,
             route_time,
         }

@@ -3,7 +3,7 @@
 use crate::eval::PnrReport;
 use crate::place::{annealing::AnnealingPlacer, greedy::GreedyPlacer, Placer};
 use crate::route::{grid::AStarRouter, straight::StraightRouter, Router};
-use parchmint::Device;
+use parchmint::{CompiledDevice, Device};
 use std::time::Instant;
 
 /// Placer selection for [`place_and_route`].
@@ -74,21 +74,27 @@ pub fn place_and_route(
     let p = placer.placer();
     let r = router.router();
 
+    // Two compiled views: one of the logical netlist for placement, one of
+    // the placed device (placement features present) for routing. The
+    // routing view stays valid for the report because routing only adds
+    // features, which none of the report metrics read through the index.
+    let unplaced = CompiledDevice::from_ref(device);
     let t0 = Instant::now();
-    let placement = p.place(device);
+    let placement = p.place(&unplaced);
     let place_time = t0.elapsed();
     placement.apply_to(device);
 
+    let placed = CompiledDevice::from_ref(device);
     let t1 = Instant::now();
-    let routing = r.route(device);
+    let routing = r.route(&placed);
     let route_time = t1.elapsed();
     routing.apply_to(device);
 
     PnrReport::from_run(
-        &device.name.clone(),
+        &device.name,
         p.name(),
         r.name(),
-        device,
+        &placed,
         &placement,
         &routing,
         place_time,

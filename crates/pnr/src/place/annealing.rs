@@ -10,7 +10,7 @@
 use super::greedy::GreedyPlacer;
 use super::{Placement, Placer, SiteGrid};
 use parchmint::geometry::Point;
-use parchmint::Device;
+use parchmint::CompiledDevice;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -130,40 +130,43 @@ impl Placer for AnnealingPlacer {
         "annealing"
     }
 
-    fn place(&self, device: &Device) -> Placement {
-        let n = device.components.len();
+    fn place(&self, compiled: &CompiledDevice) -> Placement {
+        let device = compiled.device();
+        let n = compiled.component_count();
         if n < 2 {
-            return GreedyPlacer::new().place(device);
+            return GreedyPlacer::new().place(compiled);
         }
         let grid = SiteGrid::for_device(device);
-        let initial = GreedyPlacer::new().place(device);
+        let initial = GreedyPlacer::new().place(compiled);
 
-        // Dense indices.
+        // Dense indices come straight from the compiled interning: CompIx(i)
+        // is declaration position i, matching the seed's id-vector order.
         let ids: Vec<_> = device.components.iter().map(|c| c.id.clone()).collect();
-        let index_of = |id: &parchmint::ComponentId| ids.iter().position(|x| x == id);
         let half_span: Vec<Point> = device
             .components
             .iter()
             .map(|c| Point::new(c.span.x / 2, c.span.y / 2))
             .collect();
 
-        // Recover site assignment from the greedy placement.
+        // Recover site assignment from the greedy placement; `site_at` is
+        // the O(1) arithmetic inverse of `origin`, replacing the old
+        // scan over every site.
         let mut site_of = vec![0usize; n];
         let mut occupant = vec![usize::MAX; grid.len()];
         for (i, id) in ids.iter().enumerate() {
             let origin = initial.position(id).expect("greedy places everything");
-            let site = (0..grid.len())
-                .find(|&site| grid.origin(site) == origin)
+            let site = grid
+                .site_at(origin)
                 .expect("greedy origin must be a site origin");
             site_of[i] = site;
             occupant[site] = i;
         }
 
-        let mut nets: Vec<Vec<usize>> = Vec::with_capacity(device.connections.len());
-        for connection in &device.connections {
-            let mut terminals: Vec<usize> = connection
-                .terminals()
-                .filter_map(|t| index_of(&t.component))
+        let mut nets: Vec<Vec<usize>> = Vec::with_capacity(compiled.connection_count());
+        for conn in compiled.connections() {
+            let mut terminals: Vec<usize> = std::iter::once(compiled.source(conn))
+                .chain(compiled.sinks(conn).iter().copied())
+                .filter_map(|endpoint| endpoint.component.map(usize::from))
                 .collect();
             terminals.sort_unstable();
             terminals.dedup();
@@ -244,7 +247,7 @@ mod tests {
     use super::*;
     use crate::place::cost::hpwl;
     use parchmint::geometry::Span;
-    use parchmint::{Component, Connection, Entity, Layer, LayerType, Port, Target};
+    use parchmint::{Component, Connection, Device, Entity, Layer, LayerType, Port, Target};
     use rand::rngs::StdRng;
     use rand::{RngExt, SeedableRng};
 
@@ -291,25 +294,28 @@ mod tests {
     #[test]
     fn deterministic_for_equal_seeds() {
         let d = random_device(24, 20, 3);
-        let a = AnnealingPlacer::with_seed(11).place(&d);
-        let b = AnnealingPlacer::with_seed(11).place(&d);
+        let c = CompiledDevice::from_ref(&d);
+        let a = AnnealingPlacer::with_seed(11).place(&c);
+        let b = AnnealingPlacer::with_seed(11).place(&c);
         assert_eq!(a, b);
     }
 
     #[test]
     fn legal_and_complete() {
         let d = random_device(30, 25, 5);
-        let p = AnnealingPlacer::new().place(&d);
+        let c = CompiledDevice::from_ref(&d);
+        let p = AnnealingPlacer::new().place(&c);
         assert_eq!(p.len(), 30);
-        assert!(p.is_legal(&d));
+        assert!(p.is_legal(&c));
     }
 
     #[test]
     fn improves_on_greedy_for_random_netlists() {
         let d = random_device(36, 50, 7);
-        let greedy = GreedyPlacer::new().place(&d);
-        let annealed = AnnealingPlacer::new().place(&d);
-        let (g, a) = (hpwl(&d, &greedy), hpwl(&d, &annealed));
+        let c = CompiledDevice::from_ref(&d);
+        let greedy = GreedyPlacer::new().place(&c);
+        let annealed = AnnealingPlacer::new().place(&c);
+        let (g, a) = (hpwl(&c, &greedy), hpwl(&c, &annealed));
         assert!(
             a < g,
             "annealing ({a}) should beat greedy ({g}) on a random netlist"
@@ -319,7 +325,7 @@ mod tests {
     #[test]
     fn tiny_devices_fall_back_to_greedy() {
         let d = random_device(1, 0, 0);
-        let p = AnnealingPlacer::new().place(&d);
+        let p = AnnealingPlacer::new().place(&CompiledDevice::from_ref(&d));
         assert_eq!(p.len(), 1);
         assert_eq!(AnnealingPlacer::new().name(), "annealing");
     }
@@ -333,7 +339,8 @@ mod tests {
         };
         let d = random_device(20, 10, 9);
         // Just verify it terminates fast and legally with a tiny budget.
-        let p = AnnealingPlacer::with_config(quick).place(&d);
-        assert!(p.is_legal(&d));
+        let c = CompiledDevice::from_ref(&d);
+        let p = AnnealingPlacer::with_config(quick).place(&c);
+        assert!(p.is_legal(&c));
     }
 }

@@ -2,25 +2,28 @@
 
 use super::Placement;
 use parchmint::geometry::Point;
-use parchmint::Device;
+use parchmint::CompiledDevice;
 
-/// Half-perimeter wirelength of `placement` over every connection of
-/// `device`: for each net, the half perimeter of the bounding box of its
+/// Half-perimeter wirelength of `placement` over every connection of the
+/// device: for each net, the half perimeter of the bounding box of its
 /// terminal component centres. The standard placement-quality metric.
 ///
-/// Unplaced terminals are skipped; nets with fewer than two placed
-/// terminals contribute zero.
-pub fn hpwl(device: &Device, placement: &Placement) -> i64 {
-    device
-        .connections
-        .iter()
-        .map(|connection| {
+/// Terminals resolve through the compiled index (pre-resolved endpoint
+/// handles, no per-terminal scans). Unplaced or dangling terminals are
+/// skipped; nets with fewer than two placed terminals contribute zero.
+pub fn hpwl(compiled: &CompiledDevice, placement: &Placement) -> i64 {
+    compiled
+        .connections()
+        .map(|conn| {
             let mut min: Option<Point> = None;
             let mut max: Option<Point> = None;
-            for terminal in connection.terminals() {
-                let Some(component) = device.component(terminal.component.as_str()) else {
+            let endpoints =
+                std::iter::once(compiled.source(conn)).chain(compiled.sinks(conn).iter().copied());
+            for endpoint in endpoints {
+                let Some(ix) = endpoint.component else {
                     continue;
                 };
+                let component = compiled.component(ix);
                 let Some(origin) = placement.position(&component.id) else {
                     continue;
                 };
@@ -43,7 +46,7 @@ pub fn hpwl(device: &Device, placement: &Placement) -> i64 {
 mod tests {
     use super::*;
     use parchmint::geometry::Span;
-    use parchmint::{Component, Connection, Entity, Layer, LayerType, Target};
+    use parchmint::{Component, Connection, Device, Entity, Layer, LayerType, Target};
 
     fn line_device() -> Device {
         let mut b = Device::builder("d").layer(Layer::new("f", "f", LayerType::Flow));
@@ -79,7 +82,7 @@ mod tests {
         p.set("b".into(), Point::new(1000, 0));
         p.set("c".into(), Point::new(2000, 0));
         // Each net spans 1000 in x between centres.
-        assert_eq!(hpwl(&d, &p), 2000);
+        assert_eq!(hpwl(&CompiledDevice::from_ref(&d), &p), 2000);
     }
 
     #[test]
@@ -89,7 +92,7 @@ mod tests {
         p.set("a".into(), Point::new(0, 0));
         p.set("b".into(), Point::new(300, 400));
         p.set("c".into(), Point::new(300, 400));
-        assert_eq!(hpwl(&d, &p), 700);
+        assert_eq!(hpwl(&CompiledDevice::from_ref(&d), &p), 700);
     }
 
     #[test]
@@ -97,7 +100,7 @@ mod tests {
         let d = line_device();
         let mut p = Placement::new();
         p.set("a".into(), Point::new(0, 0));
-        assert_eq!(hpwl(&d, &p), 0);
+        assert_eq!(hpwl(&CompiledDevice::from_ref(&d), &p), 0);
     }
 
     #[test]
@@ -107,6 +110,6 @@ mod tests {
         for id in ["a", "b", "c"] {
             p.set(id.into(), Point::new(500, 500));
         }
-        assert_eq!(hpwl(&d, &p), 0);
+        assert_eq!(hpwl(&CompiledDevice::from_ref(&d), &p), 0);
     }
 }

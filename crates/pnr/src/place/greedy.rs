@@ -7,7 +7,7 @@
 //! baseline that annealing is measured against.
 
 use super::{Placement, Placer, SiteGrid};
-use parchmint::Device;
+use parchmint::CompiledDevice;
 use parchmint_graph::{bfs_order, Netlist};
 
 /// The greedy baseline placer.
@@ -26,10 +26,10 @@ impl Placer for GreedyPlacer {
         "greedy"
     }
 
-    fn place(&self, device: &Device) -> Placement {
-        let netlist = Netlist::from_device(device);
+    fn place(&self, compiled: &CompiledDevice) -> Placement {
+        let netlist = Netlist::from_compiled(compiled);
         let graph = netlist.graph();
-        let grid = SiteGrid::for_device(device);
+        let grid = SiteGrid::for_device(compiled.device());
         let sites = grid.snake_order();
 
         // BFS from a peripheral (minimum-degree) node of each unvisited
@@ -64,7 +64,7 @@ mod tests {
     use super::*;
     use crate::place::cost::hpwl;
     use parchmint::geometry::Span;
-    use parchmint::{Component, Connection, Entity, Layer, LayerType, Port, Target};
+    use parchmint::{Component, Connection, Device, Entity, Layer, LayerType, Port, Target};
 
     fn chain_device(n: usize) -> Device {
         let mut b = Device::builder("chain").layer(Layer::new("f", "f", LayerType::Flow));
@@ -96,15 +96,15 @@ mod tests {
     #[test]
     fn places_every_component_legally() {
         let d = chain_device(13);
-        let p = GreedyPlacer::new().place(&d);
+        let p = GreedyPlacer::new().place(&CompiledDevice::from_ref(&d));
         assert_eq!(p.len(), 13);
-        assert!(p.is_legal(&d));
+        assert!(p.is_legal(&CompiledDevice::from_ref(&d)));
     }
 
     #[test]
     fn chain_neighbours_land_on_adjacent_sites() {
         let d = chain_device(9);
-        let p = GreedyPlacer::new().place(&d);
+        let p = GreedyPlacer::new().place(&CompiledDevice::from_ref(&d));
         let grid = SiteGrid::for_device(&d);
         // In a pure chain, BFS order == chain order and snake order keeps
         // every consecutive pair at exactly one pitch distance.
@@ -125,7 +125,7 @@ mod tests {
         // Sanity: connectivity-aware order must beat an adversarial
         // assignment of the same sites.
         let d = chain_device(16);
-        let p = GreedyPlacer::new().place(&d);
+        let p = GreedyPlacer::new().place(&CompiledDevice::from_ref(&d));
         let grid = SiteGrid::for_device(&d);
         let sites = grid.snake_order();
         // Adversarial: interleave ends (c0, c15, c1, c14, ...).
@@ -143,13 +143,14 @@ mod tests {
             flip = !flip;
             adversarial.set(format!("c{id}").into(), grid.origin(site));
         }
-        assert!(hpwl(&d, &p) < hpwl(&d, &adversarial));
+        let c = CompiledDevice::from_ref(&d);
+        assert!(hpwl(&c, &p) < hpwl(&c, &adversarial));
     }
 
     #[test]
     fn empty_device_gives_empty_placement() {
         let d = Device::new("empty");
-        let p = GreedyPlacer::new().place(&d);
+        let p = GreedyPlacer::new().place(&CompiledDevice::from_ref(&d));
         assert!(p.is_empty());
         assert_eq!(GreedyPlacer::new().name(), "greedy");
     }
@@ -172,8 +173,8 @@ mod tests {
             ["f"],
             Span::square(100),
         ));
-        let p = GreedyPlacer::new().place(&d);
+        let p = GreedyPlacer::new().place(&CompiledDevice::from_ref(&d));
         assert_eq!(p.len(), 6);
-        assert!(p.is_legal(&d));
+        assert!(p.is_legal(&CompiledDevice::from_ref(&d)));
     }
 }

@@ -5,8 +5,8 @@ pub mod cost;
 pub mod greedy;
 
 use parchmint::geometry::{Point, Rect, Span};
-use parchmint::{ComponentFeature, ComponentId, Device};
-use std::collections::BTreeMap;
+use parchmint::{CompiledDevice, ComponentFeature, ComponentId, Device};
+use std::collections::{BTreeMap, HashSet};
 
 /// Default clearance between placement sites, in µm.
 ///
@@ -54,24 +54,24 @@ impl Placement {
         self.positions.iter().map(|(id, &p)| (id, p))
     }
 
-    /// The bounding rectangle of all placed footprints of `device`.
-    pub fn bounding_rect(&self, device: &Device) -> Rect {
+    /// The bounding rectangle of all placed footprints of the device.
+    pub fn bounding_rect(&self, compiled: &CompiledDevice) -> Rect {
         let mut acc = Rect::default();
         for (id, origin) in self.iter() {
-            if let Some(component) = device.component(id.as_str()) {
+            if let Some(component) = compiled.component_by_id(id.as_str()) {
                 acc = acc.union(Rect::new(origin, component.span));
             }
         }
         acc
     }
 
-    /// True when no two placed footprints of `device` overlap.
-    pub fn is_legal(&self, device: &Device) -> bool {
+    /// True when no two placed footprints of the device overlap.
+    pub fn is_legal(&self, compiled: &CompiledDevice) -> bool {
         let rects: Vec<Rect> = self
             .iter()
             .filter_map(|(id, origin)| {
-                device
-                    .component(id.as_str())
+                compiled
+                    .component_by_id(id.as_str())
                     .map(|c| Rect::new(origin, c.span))
             })
             .collect();
@@ -95,6 +95,16 @@ impl Placement {
             .iter()
             .map(|c| (c.id.clone(), c.span, c.layers.first().cloned()))
             .collect();
+        let mut bbox = Rect::default();
+        let mut seen: HashSet<&ComponentId> = HashSet::new();
+        for (id, span, _) in &component_info {
+            if !seen.insert(id) {
+                continue; // duplicate ids resolve first-wins, like the index
+            }
+            if let Some(origin) = self.position(id) {
+                bbox = bbox.union(Rect::new(origin, *span));
+            }
+        }
         for (id, span, layer) in component_info {
             let Some(origin) = self.position(&id) else {
                 continue;
@@ -105,7 +115,6 @@ impl Placement {
                     .into(),
             );
         }
-        let bbox = self.bounding_rect(device);
         let current = device.declared_bounds().unwrap_or_default();
         let needed = bbox.max();
         device.set_declared_bounds(Span::new(
@@ -125,12 +134,16 @@ impl FromIterator<(ComponentId, Point)> for Placement {
 }
 
 /// A placement algorithm.
+///
+/// Placers consume the [`CompiledDevice`] view: terminal components resolve
+/// through interned handles instead of per-lookup linear scans over the
+/// device vectors.
 pub trait Placer {
     /// Short identifier used in reports (e.g. `"greedy"`).
     fn name(&self) -> &'static str;
 
-    /// Computes a legal placement for every component of `device`.
-    fn place(&self, device: &Device) -> Placement;
+    /// Computes a legal placement for every component of the device.
+    fn place(&self, compiled: &CompiledDevice) -> Placement;
 }
 
 /// The uniform site grid both placers allocate on.
@@ -198,6 +211,19 @@ impl SiteGrid {
             self.margin + col * self.pitch_x,
             self.margin + row * self.pitch_y,
         )
+    }
+
+    /// The site whose origin is exactly `origin`, if any — the arithmetic
+    /// inverse of [`SiteGrid::origin`], O(1) instead of scanning all sites.
+    pub fn site_at(&self, origin: Point) -> Option<usize> {
+        let dx = origin.x - self.margin;
+        let dy = origin.y - self.margin;
+        if dx < 0 || dy < 0 || dx % self.pitch_x != 0 || dy % self.pitch_y != 0 {
+            return None;
+        }
+        let col = (dx / self.pitch_x) as usize;
+        let row = (dy / self.pitch_y) as usize;
+        (col < self.cols && row < self.rows).then_some(row * self.cols + col)
     }
 
     /// Site indices in boustrophedon (snake) order, so consecutive indices
@@ -285,7 +311,7 @@ mod tests {
             .enumerate()
             .map(|(i, c)| (c.id.clone(), g.origin(i)))
             .collect();
-        assert!(placement.is_legal(&d));
+        assert!(placement.is_legal(&CompiledDevice::from_ref(&d)));
         assert_eq!(placement.len(), 5);
     }
 
@@ -295,7 +321,21 @@ mod tests {
         let mut p = Placement::new();
         p.set("c0".into(), Point::new(0, 0));
         p.set("c1".into(), Point::new(500, 0));
-        assert!(!p.is_legal(&d));
+        assert!(!p.is_legal(&CompiledDevice::from_ref(&d)));
+    }
+
+    #[test]
+    fn site_at_inverts_origin() {
+        let d = device_with(10);
+        let g = SiteGrid::for_device(&d);
+        for site in 0..g.len() {
+            assert_eq!(g.site_at(g.origin(site)), Some(site));
+        }
+        // Off-grid and out-of-range points do not resolve.
+        assert_eq!(g.site_at(Point::new(0, 0)), None);
+        assert_eq!(g.site_at(g.origin(0) + Point::new(1, 0)), None);
+        let beyond = Point::new(g.margin + g.cols as i64 * g.pitch_x, g.margin);
+        assert_eq!(g.site_at(beyond), None);
     }
 
     #[test]
@@ -311,7 +351,7 @@ mod tests {
         p.apply_to(&mut d);
         assert!(d.is_placed());
         let bounds = d.declared_bounds().unwrap();
-        let bbox = p.bounding_rect(&d);
+        let bbox = p.bounding_rect(&CompiledDevice::from_ref(&d));
         assert!(bounds.x >= bbox.max().x);
         assert!(bounds.y >= bbox.max().y);
         // Re-applying replaces rather than duplicates features.
@@ -330,6 +370,6 @@ mod tests {
         let d = device_with(1);
         let p = Placement::new();
         assert!(p.is_empty());
-        assert_eq!(p.bounding_rect(&d).area(), 0);
+        assert_eq!(p.bounding_rect(&CompiledDevice::from_ref(&d)).area(), 0);
     }
 }

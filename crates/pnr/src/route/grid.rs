@@ -8,7 +8,7 @@
 
 use super::{RoutedNet, Router, RoutingResult};
 use parchmint::geometry::{Point, Rect};
-use parchmint::Device;
+use parchmint::{CompiledDevice, Device};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -287,17 +287,18 @@ impl Router for AStarRouter {
         "astar"
     }
 
-    fn route(&self, device: &Device) -> RoutingResult {
+    fn route(&self, compiled: &CompiledDevice) -> RoutingResult {
+        let device = compiled.device();
         // Route order: shortest estimated nets first.
         let mut order: Vec<usize> = (0..device.connections.len()).collect();
         let estimate = |i: usize| -> i64 {
             let c = &device.connections[i];
-            let Some(src) = device.target_position(&c.source) else {
+            let Some(src) = compiled.target_position(&c.source) else {
                 return i64::MAX;
             };
             c.sinks
                 .iter()
-                .filter_map(|s| device.target_position(s))
+                .filter_map(|s| compiled.target_position(s))
                 .map(|p| src.manhattan_distance(p))
                 .sum()
         };
@@ -306,7 +307,7 @@ impl Router for AStarRouter {
         // Rip-up and re-route: when nets fail because earlier routes walled
         // them in, retry from scratch with the failed nets promoted to the
         // front of the order.
-        let mut best = self.route_in_order(device, &order);
+        let mut best = self.route_in_order(compiled, &order);
         for _ in 0..self.config.reroute_attempts {
             if best.failed.is_empty() {
                 break;
@@ -322,7 +323,7 @@ impl Router for AStarRouter {
                 .filter(|i| !failed.contains(i))
                 .collect();
             order = failed.into_iter().chain(rest).collect();
-            let retry = self.route_in_order(device, &order);
+            let retry = self.route_in_order(compiled, &order);
             if retry.failed.len() < best.failed.len() {
                 best = retry;
             } else {
@@ -334,20 +335,21 @@ impl Router for AStarRouter {
 }
 
 impl AStarRouter {
-    fn route_in_order(&self, device: &Device, order: &[usize]) -> RoutingResult {
+    fn route_in_order(&self, compiled: &CompiledDevice, order: &[usize]) -> RoutingResult {
+        let device = compiled.device();
         let mut grid = RoutingGrid::new(device, &self.config);
         let mut result = RoutingResult::default();
         let n_cells = (grid.cols * grid.rows) as usize;
         for &i in order {
             let connection = &device.connections[i];
-            let Some(src) = device.target_position(&connection.source) else {
+            let Some(src) = compiled.target_position(&connection.source) else {
                 result.failed.push(connection.id.clone());
                 continue;
             };
             let sinks: Vec<Point> = connection
                 .sinks
                 .iter()
-                .filter_map(|s| device.target_position(s))
+                .filter_map(|s| compiled.target_position(s))
                 .collect();
             if sinks.len() != connection.sinks.len() || sinks.is_empty() {
                 result.failed.push(connection.id.clone());
@@ -440,7 +442,7 @@ mod tests {
     #[test]
     fn routes_a_simple_pair() {
         let d = placed_pair(2000);
-        let result = AStarRouter::new().route(&d);
+        let result = AStarRouter::new().route(&CompiledDevice::from_ref(&d));
         assert_eq!(result.failed.len(), 0, "failed: {:?}", result.failed);
         assert_eq!(result.routed.len(), 1);
         let net = &result.routed[0];
@@ -477,7 +479,7 @@ mod tests {
             )
             .into(),
         );
-        let result = AStarRouter::new().route(&d);
+        let result = AStarRouter::new().route(&CompiledDevice::from_ref(&d));
         assert_eq!(result.routed.len(), 1, "failed: {:?}", result.failed);
         let net = &result.routed[0];
         assert!(net.bends() >= 2, "a detour needs bends");
@@ -507,7 +509,7 @@ mod tests {
             )
             .into(),
         );
-        let result = AStarRouter::new().route(&d);
+        let result = AStarRouter::new().route(&CompiledDevice::from_ref(&d));
         assert_eq!(result.routed.len(), 0);
         assert_eq!(result.failed, vec![parchmint::ConnectionId::new("c1")]);
         assert_eq!(result.completion(), 0.0);
@@ -516,9 +518,9 @@ mod tests {
     #[test]
     fn routes_an_entire_small_benchmark() {
         let mut d = parchmint_suite::by_name("logic_gate_or").unwrap().device();
-        let placement = GreedyPlacer::new().place(&d);
+        let placement = GreedyPlacer::new().place(&CompiledDevice::from_ref(&d));
         placement.apply_to(&mut d);
-        let result = AStarRouter::new().route(&d);
+        let result = AStarRouter::new().route(&CompiledDevice::from_ref(&d));
         assert!(
             result.completion() > 0.9,
             "completion {} with failures {:?}",

@@ -4,7 +4,7 @@ pub mod grid;
 pub mod straight;
 
 use parchmint::geometry::Point;
-use parchmint::{ConnectionFeature, ConnectionId, Device, LayerId};
+use parchmint::{CompiledDevice, ConnectionFeature, ConnectionId, Device, LayerId};
 
 /// Default channel width written into route features, in µm.
 pub const CHANNEL_WIDTH: i64 = 200;
@@ -107,12 +107,16 @@ impl RoutingResult {
 
 /// A routing algorithm. Requires a placed device (component features
 /// present); nets whose terminals are unplaced are reported as failed.
+///
+/// Routers consume the [`CompiledDevice`] view so terminal positions come
+/// from pre-resolved endpoint handles, not per-terminal scans. The compiled
+/// view must be built *after* placement features are applied.
 pub trait Router {
     /// Short identifier used in reports (e.g. `"astar"`).
     fn name(&self) -> &'static str;
 
-    /// Routes every connection of the placed `device`.
-    fn route(&self, device: &Device) -> RoutingResult;
+    /// Routes every connection of the placed device.
+    fn route(&self, compiled: &CompiledDevice) -> RoutingResult;
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 
 use super::{RoutedNet, Router, RoutingResult};
 use parchmint::geometry::{Point, Rect, Span};
-use parchmint::Device;
+use parchmint::CompiledDevice;
 
 /// Tuning knobs for [`StraightRouter`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,7 +66,8 @@ impl Router for StraightRouter {
         "straight"
     }
 
-    fn route(&self, device: &Device) -> RoutingResult {
+    fn route(&self, compiled: &CompiledDevice) -> RoutingResult {
+        let device = compiled.device();
         let mut result = RoutingResult::default();
         // Footprints of placed components, with their owning component id.
         let obstacles: Vec<(parchmint::ComponentId, Rect)> = device
@@ -83,14 +84,14 @@ impl Router for StraightRouter {
         let mut accepted_segments: Vec<(Point, Point)> = Vec::new();
 
         for connection in &device.connections {
-            let Some(src) = device.target_position(&connection.source) else {
+            let Some(src) = compiled.target_position(&connection.source) else {
                 result.failed.push(connection.id.clone());
                 continue;
             };
             let sinks: Vec<Point> = connection
                 .sinks
                 .iter()
-                .filter_map(|s| device.target_position(s))
+                .filter_map(|s| compiled.target_position(s))
                 .collect();
             if sinks.len() != connection.sinks.len() || sinks.is_empty() {
                 result.failed.push(connection.id.clone());
@@ -179,7 +180,7 @@ mod tests {
     use super::*;
     use parchmint::geometry::Span;
     use parchmint::{
-        Component, ComponentFeature, Connection, Entity, Layer, LayerType, Port, Target,
+        Component, ComponentFeature, Connection, Device, Entity, Layer, LayerType, Port, Target,
     };
 
     fn placed_device(with_obstacle: bool) -> Device {
@@ -246,7 +247,7 @@ mod tests {
     #[test]
     fn straight_shot_succeeds_with_minimal_wirelength() {
         let d = placed_device(false);
-        let r = StraightRouter::new().route(&d);
+        let r = StraightRouter::new().route(&CompiledDevice::from_ref(&d));
         assert_eq!(r.routed.len(), 1);
         let net = &r.routed[0];
         // Ports at (200, 500) and (4000, 500): a straight 3800 µm run.
@@ -257,9 +258,10 @@ mod tests {
     #[test]
     fn gives_up_at_an_obstacle_where_astar_succeeds() {
         let d = placed_device(true);
-        let straight = StraightRouter::new().route(&d);
+        let c = CompiledDevice::from_ref(&d);
+        let straight = StraightRouter::new().route(&c);
         assert_eq!(straight.routed.len(), 0, "straight cannot detour");
-        let astar = crate::route::grid::AStarRouter::new().route(&d);
+        let astar = crate::route::grid::AStarRouter::new().route(&c);
         assert_eq!(
             astar.routed.len(),
             1,
@@ -316,7 +318,7 @@ mod tests {
             d.features
                 .push(ComponentFeature::new(id, comp, "f", at, Span::square(100), 50).into());
         }
-        let r = StraightRouter::new().route(&d);
+        let r = StraightRouter::new().route(&CompiledDevice::from_ref(&d));
         // n1 is a clean straight shot; n2's candidates both cross it.
         assert_eq!(r.routed.len(), 1);
         assert_eq!(r.failed, vec![parchmint::ConnectionId::new("n2")]);
@@ -326,7 +328,7 @@ mod tests {
     fn unplaced_terminals_fail() {
         let mut d = placed_device(false);
         d.features.clear();
-        let r = StraightRouter::new().route(&d);
+        let r = StraightRouter::new().route(&CompiledDevice::from_ref(&d));
         assert_eq!(r.routed.len(), 0);
         assert_eq!(r.failed.len(), 1);
         assert_eq!(StraightRouter::new().name(), "straight");

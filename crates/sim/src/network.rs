@@ -11,7 +11,7 @@ use crate::resistance::{
     component_resistance, ChannelGeometry, Fluid, DEFAULT_CHANNEL_DEPTH, DEFAULT_CHANNEL_LENGTH,
     DEFAULT_CHANNEL_WIDTH,
 };
-use parchmint::{ComponentId, ConnectionId, Device, LayerType};
+use parchmint::{CompiledDevice, ComponentId, ConnIx, ConnectionId, Device, LayerType};
 use parchmint_control::ValveState;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
@@ -59,8 +59,16 @@ pub struct FlowNetwork {
 
 impl FlowNetwork {
     /// Builds the network over the device's flow layers, all valves at rest.
+    ///
+    /// Compiles a throwaway [`CompiledDevice`] internally; callers that
+    /// already hold one should use [`FlowNetwork::from_compiled`].
     pub fn from_device(device: &Device, fluid: Fluid) -> Self {
-        Self::build(device, fluid, &BTreeMap::new())
+        Self::from_compiled(&CompiledDevice::from_ref(device), fluid)
+    }
+
+    /// Builds the network from a compiled device, all valves at rest.
+    pub fn from_compiled(compiled: &CompiledDevice, fluid: Fluid) -> Self {
+        Self::build(compiled, fluid, &BTreeMap::new())
     }
 
     /// Builds the network with explicit valve states: edges whose
@@ -76,27 +84,33 @@ impl FlowNetwork {
         fluid: Fluid,
         states: &BTreeMap<ComponentId, ValveState>,
     ) -> Self {
-        Self::build(device, fluid, states)
+        Self::build(&CompiledDevice::from_ref(device), fluid, states)
     }
 
-    fn build(device: &Device, fluid: Fluid, states: &BTreeMap<ComponentId, ValveState>) -> Self {
-        let flow_layers: Vec<&str> = device
-            .layers
-            .iter()
-            .filter(|l| l.layer_type == LayerType::Flow)
-            .map(|l| l.id.as_str())
-            .collect();
+    /// [`FlowNetwork::with_valve_states`] over an already-compiled device.
+    pub fn with_valve_states_compiled(
+        compiled: &CompiledDevice,
+        fluid: Fluid,
+        states: &BTreeMap<ComponentId, ValveState>,
+    ) -> Self {
+        Self::build(compiled, fluid, states)
+    }
 
+    fn build(
+        compiled: &CompiledDevice,
+        fluid: Fluid,
+        states: &BTreeMap<ComponentId, ValveState>,
+    ) -> Self {
         // A connection is blocked when any valve pinching it must be (or
         // rests) closed under `states`.
-        let is_blocked = |connection: &ConnectionId| -> bool {
-            device
-                .valves_controlling(connection)
-                .any(|valve| match states.get(&valve.component) {
+        let is_blocked = |connection: ConnIx| -> bool {
+            compiled.valves_controlling(connection).any(|valve| {
+                match states.get(&valve.component) {
                     Some(ValveState::Closed) => true,
                     Some(ValveState::Open) => false,
                     None => valve.valve_type == parchmint::ValveType::NormallyClosed,
-                })
+                }
+            })
         };
 
         let mut nodes = Vec::new();
@@ -112,21 +126,27 @@ impl FlowNetwork {
         };
 
         let mut edges = Vec::new();
-        for connection in &device.connections {
-            if !flow_layers.contains(&connection.layer.as_str()) {
+        for conn in compiled.connections() {
+            let on_flow_layer = compiled
+                .connection_layer(conn)
+                .is_some_and(|l| compiled.layer(l).layer_type == LayerType::Flow);
+            if !on_flow_layer {
                 continue;
             }
-            let Some(source) = device.component(connection.source.component.as_str()) else {
+            let connection = compiled.connection(conn);
+            let Some(source_ix) = compiled.source(conn).component else {
                 continue;
             };
+            let source = compiled.component(source_ix);
             // A pinched channel still has physical end nodes; only its
             // conductance vanishes.
-            let blocked = is_blocked(&connection.id);
-            let channel_resistance = channel_resistance(device, &connection.id, fluid);
-            for sink_target in &connection.sinks {
-                let Some(sink) = device.component(sink_target.component.as_str()) else {
+            let blocked = is_blocked(conn);
+            let channel_resistance = channel_resistance(compiled, conn, fluid);
+            for sink_endpoint in compiled.sinks(conn) {
+                let Some(sink_ix) = sink_endpoint.component else {
                     continue;
                 };
+                let sink = compiled.component(sink_ix);
                 if blocked {
                     intern(&source.id, &mut nodes);
                     intern(&sink.id, &mut nodes);
@@ -273,12 +293,13 @@ impl FlowNetwork {
 
 /// Channel resistance of a connection: routed geometry when the device is
 /// routed, declared/default geometry otherwise.
-fn channel_resistance(device: &Device, connection: &ConnectionId, fluid: Fluid) -> f64 {
-    let declared = device.connection(connection.as_str());
-    let width = declared
-        .and_then(|c| c.params.get_f64("width"))
+fn channel_resistance(compiled: &CompiledDevice, connection: ConnIx, fluid: Fluid) -> f64 {
+    let width = compiled
+        .connection(connection)
+        .params
+        .get_f64("width")
         .unwrap_or(DEFAULT_CHANNEL_WIDTH);
-    if let Some(route) = device.route_of(connection) {
+    if let Some(route) = compiled.route(connection) {
         ChannelGeometry::new(
             route.length() as f64,
             route.width as f64,

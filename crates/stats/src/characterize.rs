@@ -1,6 +1,6 @@
 //! Per-device characterization statistics.
 
-use parchmint::{Device, EntityClass, LayerType};
+use parchmint::{CompiledDevice, Device, EntityClass, LayerType};
 use parchmint_graph::{GraphMetrics, Netlist};
 use serde::{Deserialize, Serialize};
 
@@ -38,8 +38,17 @@ pub struct DeviceStats {
 
 impl DeviceStats {
     /// Computes all statistics for `device`.
+    ///
+    /// Compiles a temporary [`CompiledDevice`] view; callers that already
+    /// hold one should prefer [`DeviceStats::of_compiled`].
     pub fn of(device: &Device) -> Self {
-        let netlist = Netlist::from_device(device);
+        DeviceStats::of_compiled(&CompiledDevice::from_ref(device))
+    }
+
+    /// Computes all statistics from an existing compiled view.
+    pub fn of_compiled(compiled: &CompiledDevice) -> Self {
+        let device = compiled.device();
+        let netlist = Netlist::from_compiled(compiled);
         let graph = GraphMetrics::of(netlist.graph());
         let bridges = parchmint_graph::bridges(netlist.graph()).len();
 

@@ -35,7 +35,7 @@ mod rules;
 pub mod validator;
 
 pub use diagnostics::{Diagnostic, Report, Rule, Severity};
-pub use validator::{validate, DesignRules, Validator};
+pub use validator::{validate, validate_compiled, DesignRules, Validator};
 
 #[cfg(test)]
 mod validator_tests;

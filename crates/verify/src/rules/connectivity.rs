@@ -1,12 +1,13 @@
 //! Netlist connectivity rules (`NET*`).
 
 use crate::diagnostics::{Diagnostic, Report, Rule};
-use parchmint::Device;
+use parchmint::CompiledDevice;
 use parchmint_graph::{Components, Netlist};
 
-pub(crate) fn check(device: &Device, report: &mut Report) {
+pub(crate) fn check(compiled: &CompiledDevice, report: &mut Report) {
+    let device = compiled.device();
     if device.components.len() >= 2 {
-        let netlist = Netlist::from_device(device);
+        let netlist = Netlist::from_compiled(compiled);
         let components = Components::of(netlist.graph());
         if components.count() > 1 {
             report.push(Diagnostic::new(
@@ -30,7 +31,7 @@ pub(crate) fn check(device: &Device, report: &mut Report) {
     }
 
     for valve in &device.valves {
-        let Some(component) = device.component(valve.component.as_str()) else {
+        let Some(component) = compiled.component_by_id(valve.component.as_str()) else {
             continue; // referential rules already flagged this
         };
         if !component.entity.is_control() {

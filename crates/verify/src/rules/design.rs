@@ -2,9 +2,10 @@
 
 use crate::diagnostics::{Diagnostic, Report, Rule};
 use crate::validator::DesignRules;
-use parchmint::{ComponentFeature, Device, Feature};
+use parchmint::{CompiledDevice, ComponentFeature, Device, Feature};
 
-pub(crate) fn check(device: &Device, rules: &DesignRules, report: &mut Report) {
+pub(crate) fn check(compiled: &CompiledDevice, rules: &DesignRules, report: &mut Report) {
+    let device = compiled.device();
     for feature in &device.features {
         let loc = format!("features[{}]", feature.id());
         match feature {

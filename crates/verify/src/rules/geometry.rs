@@ -3,9 +3,10 @@
 use crate::diagnostics::{Diagnostic, Report, Rule};
 use crate::validator::DesignRules;
 use parchmint::geometry::{Point, Rect, Span};
-use parchmint::{ComponentFeature, ConnectionFeature, Device};
+use parchmint::{CompiledDevice, ComponentFeature, ConnectionFeature, Device};
 
-pub(crate) fn check(device: &Device, rules: &DesignRules, report: &mut Report) {
+pub(crate) fn check(compiled: &CompiledDevice, rules: &DesignRules, report: &mut Report) {
+    let device = compiled.device();
     check_port_boundaries(device, report);
 
     let placements: Vec<&ComponentFeature> = device
@@ -21,9 +22,9 @@ pub(crate) fn check(device: &Device, rules: &DesignRules, report: &mut Report) {
 
     check_placement_bounds(device, &placements, report);
     check_placement_overlap(&placements, report);
-    check_span_mismatch(device, &placements, report);
-    check_routes(device, rules, &routes, report);
-    check_route_crossings(device, &placements, &routes, report);
+    check_span_mismatch(compiled, &placements, report);
+    check_routes(compiled, rules, &routes, report);
+    check_route_crossings(compiled, &placements, &routes, report);
 }
 
 fn check_port_boundaries(device: &Device, report: &mut Report) {
@@ -83,9 +84,13 @@ fn check_placement_overlap(placements: &[&ComponentFeature], report: &mut Report
     }
 }
 
-fn check_span_mismatch(device: &Device, placements: &[&ComponentFeature], report: &mut Report) {
+fn check_span_mismatch(
+    compiled: &CompiledDevice,
+    placements: &[&ComponentFeature],
+    report: &mut Report,
+) {
     for placement in placements {
-        let Some(component) = device.component(placement.component.as_str()) else {
+        let Some(component) = compiled.component_by_id(placement.component.as_str()) else {
             continue; // referential rules already flagged this
         };
         if component.span != placement.span && placement.span != component.span.rotated() {
@@ -102,7 +107,7 @@ fn check_span_mismatch(device: &Device, placements: &[&ComponentFeature], report
 }
 
 fn check_routes(
-    device: &Device,
+    compiled: &CompiledDevice,
     rules: &DesignRules,
     routes: &[&ConnectionFeature],
     report: &mut Report,
@@ -116,24 +121,24 @@ fn check_routes(
                 "route contains non-axis-aligned segments",
             ));
         }
-        check_route_endpoints(device, rules, route, &loc, report);
+        check_route_endpoints(compiled, rules, route, &loc, report);
     }
 }
 
 fn check_route_endpoints(
-    device: &Device,
+    compiled: &CompiledDevice,
     rules: &DesignRules,
     route: &ConnectionFeature,
     loc: &str,
     report: &mut Report,
 ) {
-    let Some(connection) = device.connection(route.connection.as_str()) else {
+    let Some(connection) = compiled.connection_by_id(route.connection.as_str()) else {
         return;
     };
     let (Some(&first), Some(&last)) = (route.waypoints.first(), route.waypoints.last()) else {
         return;
     };
-    if let Some(src) = device.target_position(&connection.source) {
+    if let Some(src) = compiled.target_position(&connection.source) {
         if src.manhattan_distance(first) > rules.endpoint_tolerance {
             report.push(Diagnostic::new(
                 Rule::GeoRouteEndpointMismatch,
@@ -148,7 +153,7 @@ fn check_route_endpoints(
     let sink_positions: Vec<Point> = connection
         .sinks
         .iter()
-        .filter_map(|s| device.target_position(s))
+        .filter_map(|s| compiled.target_position(s))
         .collect();
     if !sink_positions.is_empty()
         && !sink_positions
@@ -177,13 +182,13 @@ fn segment_rect(a: Point, b: Point) -> Rect {
 }
 
 fn check_route_crossings(
-    device: &Device,
+    compiled: &CompiledDevice,
     placements: &[&ComponentFeature],
     routes: &[&ConnectionFeature],
     report: &mut Report,
 ) {
     for route in routes {
-        let Some(connection) = device.connection(route.connection.as_str()) else {
+        let Some(connection) = compiled.connection_by_id(route.connection.as_str()) else {
             continue;
         };
         let terminal_components: Vec<&str> = connection

@@ -2,10 +2,11 @@
 //! must exist, and identifiers must be unique within their section.
 
 use crate::diagnostics::{Diagnostic, Report, Rule};
-use parchmint::{Device, Feature};
+use parchmint::{CompiledDevice, Feature};
 use std::collections::HashSet;
 
-pub(crate) fn check(device: &Device, report: &mut Report) {
+pub(crate) fn check(compiled: &CompiledDevice, report: &mut Report) {
+    let device = compiled.device();
     let mut layer_ids = HashSet::new();
     for layer in &device.layers {
         if !layer_ids.insert(layer.id.as_str()) {
@@ -75,7 +76,7 @@ pub(crate) fn check(device: &Device, report: &mut Report) {
             ));
         }
         for target in connection.terminals() {
-            match device.component(target.component.as_str()) {
+            match compiled.component_by_id(target.component.as_str()) {
                 None => report.push(Diagnostic::new(
                     Rule::RefUnknownId,
                     loc.clone(),

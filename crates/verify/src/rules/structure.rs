@@ -1,10 +1,11 @@
 //! Structural well-formedness rules (`STR*`, `VER*`).
 
 use crate::diagnostics::{Diagnostic, Report, Rule};
-use parchmint::{Device, Entity};
+use parchmint::{CompiledDevice, Entity};
 use std::collections::HashSet;
 
-pub(crate) fn check(device: &Device, report: &mut Report) {
+pub(crate) fn check(compiled: &CompiledDevice, report: &mut Report) {
+    let device = compiled.device();
     if device.name.trim().is_empty() {
         report.push(Diagnostic::new(
             Rule::StrEmptyName,

@@ -2,7 +2,7 @@
 
 use crate::diagnostics::Report;
 use crate::rules;
-use parchmint::Device;
+use parchmint::{CompiledDevice, Device};
 
 /// Fabrication limits the `DRC*` and `GEO*` rules enforce.
 ///
@@ -67,13 +67,25 @@ impl Validator {
     }
 
     /// Runs every rule group over `device` and collects the findings.
+    ///
+    /// Compiles a throwaway [`CompiledDevice`] internally; callers that
+    /// already hold one should use [`Validator::validate_compiled`].
     pub fn validate(&self, device: &Device) -> Report {
+        self.validate_compiled(&CompiledDevice::from_ref(device))
+    }
+
+    /// Runs every rule group over an already-compiled device.
+    ///
+    /// Rules query the compiled index for id resolution and terminal
+    /// positions; raw-vector traversals (duplicate detection, per-entity
+    /// sweeps) go through [`CompiledDevice::device`].
+    pub fn validate_compiled(&self, compiled: &CompiledDevice) -> Report {
         let mut report = Report::new();
-        rules::referential::check(device, &mut report);
-        rules::structure::check(device, &mut report);
-        rules::geometry::check(device, &self.rules, &mut report);
-        rules::design::check(device, &self.rules, &mut report);
-        rules::connectivity::check(device, &mut report);
+        rules::referential::check(compiled, &mut report);
+        rules::structure::check(compiled, &mut report);
+        rules::geometry::check(compiled, &self.rules, &mut report);
+        rules::design::check(compiled, &self.rules, &mut report);
+        rules::connectivity::check(compiled, &mut report);
         report
     }
 }
@@ -81,4 +93,10 @@ impl Validator {
 /// Validates with default rules; shorthand for `Validator::new().validate(..)`.
 pub fn validate(device: &Device) -> Report {
     Validator::new().validate(device)
+}
+
+/// Validates a compiled device with default rules; shorthand for
+/// `Validator::new().validate_compiled(..)`.
+pub fn validate_compiled(compiled: &CompiledDevice) -> Report {
+    Validator::new().validate_compiled(compiled)
 }

@@ -57,15 +57,15 @@ fn injected_panic_marks_cell_failed_without_killing_the_sweep() {
         .filter(|b| b.name() == "logic_gate_or" || b.name() == "logic_gate_and")
         .collect();
     let stages = vec![
-        Stage::new("validate", |device| {
-            let report = parchmint_verify::validate(device);
+        Stage::new("validate", |compiled| {
+            let report = parchmint_verify::validate_compiled(compiled);
             Ok(StageOutcome::metrics([(
                 "conformant",
                 Value::from(report.is_conformant()),
             )]))
         }),
-        Stage::new("explode", |device| {
-            if device.name == "logic_gate_and" {
+        Stage::new("explode", |compiled| {
+            if compiled.device().name == "logic_gate_and" {
                 panic!("deliberate test panic");
             }
             Ok(StageOutcome::metrics([("survived", Value::from(true))]))

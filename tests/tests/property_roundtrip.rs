@@ -134,10 +134,67 @@ proptest! {
     }
 
     #[test]
+    fn compiled_view_projects_back_identically(device in device_strategy()) {
+        use parchmint::CompiledDevice;
+        let compiled = CompiledDevice::from_ref(&device);
+
+        // The underlying device is held unchanged.
+        prop_assert_eq!(compiled.device(), &device);
+
+        // Handles are declaration-ordered: handle i is element i, and every
+        // declared id round-trips through the interner back to its handle.
+        prop_assert_eq!(compiled.component_count(), device.components.len());
+        prop_assert_eq!(compiled.connection_count(), device.connections.len());
+        for (i, component) in device.components.iter().enumerate() {
+            let ix = compiled.comp_ix(component.id.as_str())
+                .expect("declared component id must intern");
+            prop_assert_eq!(usize::from(ix), i);
+            prop_assert_eq!(&compiled.component(ix).id, &component.id);
+        }
+        for (i, connection) in device.connections.iter().enumerate() {
+            let ix = compiled.conn_ix(connection.id.as_str())
+                .expect("declared connection id must intern");
+            prop_assert_eq!(usize::from(ix), i);
+            prop_assert_eq!(&compiled.connection(ix).id, &connection.id);
+        }
+
+        // Projecting every handle back yields exactly the declared sets.
+        let comp_ids: Vec<_> = compiled
+            .components()
+            .map(|ix| compiled.component(ix).id.clone())
+            .collect();
+        let declared_comp_ids: Vec<_> =
+            device.components.iter().map(|c| c.id.clone()).collect();
+        prop_assert_eq!(comp_ids, declared_comp_ids);
+        let conn_ids: Vec<_> = compiled
+            .connections()
+            .map(|ix| compiled.connection(ix).id.clone())
+            .collect();
+        let declared_conn_ids: Vec<_> =
+            device.connections.iter().map(|c| c.id.clone()).collect();
+        prop_assert_eq!(conn_ids, declared_conn_ids);
+        prop_assert_eq!(compiled.layers().count(), device.layers.len());
+
+        // Pre-resolved endpoints agree with the raw connection targets.
+        for conn in compiled.connections() {
+            let connection = compiled.connection(conn);
+            let source = compiled.source(conn);
+            if let Some(comp) = source.component {
+                prop_assert_eq!(
+                    compiled.component(comp).id.as_str(),
+                    connection.source.component.as_str()
+                );
+            }
+            prop_assert_eq!(compiled.sinks(conn).len(), connection.sinks.len());
+        }
+    }
+
+    #[test]
     fn greedy_placement_is_always_legal(device in device_strategy()) {
         use parchmint_pnr::Placer;
-        let placement = parchmint_pnr::place::greedy::GreedyPlacer::new().place(&device);
+        let compiled = parchmint::CompiledDevice::from_ref(&device);
+        let placement = parchmint_pnr::place::greedy::GreedyPlacer::new().place(&compiled);
         prop_assert_eq!(placement.len(), device.components.len());
-        prop_assert!(placement.is_legal(&device));
+        prop_assert!(placement.is_legal(&compiled));
     }
 }
