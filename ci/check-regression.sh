@@ -9,6 +9,10 @@
 # Exits non-zero if any quality metric regresses beyond the tolerance or if
 # any cell errors or panics.
 #
+# Set SUITE_TRACE=trace.json to also capture an observability trace of the
+# sweep. The trace is a diagnostic artifact only — it never participates in
+# the baseline comparison, and its timing section is machine-dependent.
+#
 # To refresh the baseline after an intentional quality change:
 #
 #   cargo run --release -p parchmint-cli -- \
@@ -19,10 +23,17 @@ cd "$(dirname "$0")/.."
 BASELINE=ci/baseline-report.json
 TOLERANCE="${SUITE_TOLERANCE:-0.0}"
 REPORT="${SUITE_REPORT:-report.json}"
+TRACE="${SUITE_TRACE:-}"
+
+TRACE_ARGS=()
+if [[ -n "$TRACE" ]]; then
+  TRACE_ARGS=(--trace "$TRACE")
+fi
 
 cargo build --release -p parchmint-cli
 target/release/parchmint suite-run "$@" \
   --threads 0 \
   -o "$REPORT" \
   --baseline "$BASELINE" \
-  --tolerance "$TOLERANCE"
+  --tolerance "$TOLERANCE" \
+  "${TRACE_ARGS[@]}"

@@ -23,17 +23,19 @@ fn bench_characterize(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("E1_characterize");
     for benchmark in ["rotary_pump_mixer", "chromatin_immunoprecipitation"] {
-        let device = parchmint_suite::by_name(benchmark).unwrap().device();
-        group.bench_with_input(BenchmarkId::new("assay", benchmark), &device, |b, d| {
+        let compiled = parchmint::CompiledDevice::compile(
+            parchmint_suite::by_name(benchmark).unwrap().device(),
+        );
+        group.bench_with_input(BenchmarkId::new("assay", benchmark), &compiled, |b, d| {
             b.iter(|| parchmint_stats::DeviceStats::of(black_box(d)))
         });
     }
     for k in [1, 3, 5, 7] {
-        let device = parchmint_suite::planar_synthetic(k);
-        let components = device.components.len();
+        let compiled = parchmint::CompiledDevice::compile(parchmint_suite::planar_synthetic(k));
+        let components = compiled.device().components.len();
         group.bench_with_input(
             BenchmarkId::new("synthetic", components),
-            &device,
+            &compiled,
             |b, d| b.iter(|| parchmint_stats::DeviceStats::of(black_box(d))),
         );
     }
@@ -42,7 +44,7 @@ fn bench_characterize(c: &mut Criterion) {
     let mut graph_group = c.benchmark_group("E1_graph_metrics");
     for k in [3, 5, 7] {
         let device = parchmint_suite::planar_synthetic(k);
-        let netlist = parchmint_graph::Netlist::from_device(&device);
+        let netlist = parchmint_graph::Netlist::new(&parchmint::CompiledDevice::from_ref(&device));
         graph_group.bench_with_input(
             BenchmarkId::from_parameter(device.components.len()),
             &netlist,

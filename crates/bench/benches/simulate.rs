@@ -5,7 +5,7 @@
 //! benchmarks network build + solve across the synthetic ladder.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use parchmint::ComponentId;
+use parchmint::{CompiledDevice, ComponentId};
 use parchmint_sim::{concentrations, FlowNetwork, Fluid};
 use std::hint::black_box;
 
@@ -14,7 +14,7 @@ fn print_gradient_profile() {
     let device = parchmint_suite::by_name("molecular_gradient_generator")
         .unwrap()
         .device();
-    let network = FlowNetwork::from_device(&device, Fluid::WATER);
+    let network = FlowNetwork::new(&CompiledDevice::from_ref(&device), Fluid::WATER);
     let mut boundary: Vec<(ComponentId, f64)> =
         vec![("in_a".into(), 1000.0), ("in_b".into(), 1000.0)];
     for i in 0..7 {
@@ -54,11 +54,11 @@ fn bench_simulate(c: &mut Criterion) {
 
     let mut build = c.benchmark_group("E8_network_build");
     for k in [1, 3, 5] {
-        let device = parchmint_suite::planar_synthetic(k);
+        let compiled = CompiledDevice::compile(parchmint_suite::planar_synthetic(k));
         build.bench_with_input(
-            BenchmarkId::from_parameter(device.components.len()),
-            &device,
-            |b, d| b.iter(|| FlowNetwork::from_device(black_box(d), Fluid::WATER)),
+            BenchmarkId::from_parameter(compiled.device().components.len()),
+            &compiled,
+            |b, d| b.iter(|| FlowNetwork::new(black_box(d), Fluid::WATER)),
         );
     }
     build.finish();
@@ -66,7 +66,7 @@ fn bench_simulate(c: &mut Criterion) {
     let mut solve = c.benchmark_group("E8_pressure_solve");
     for k in [1, 3, 5] {
         let device = parchmint_suite::planar_synthetic(k);
-        let network = FlowNetwork::from_device(&device, Fluid::WATER);
+        let network = FlowNetwork::new(&CompiledDevice::from_ref(&device), Fluid::WATER);
         let boundary = ladder_boundary(&device);
         solve.bench_with_input(
             BenchmarkId::from_parameter(device.components.len()),
@@ -80,7 +80,7 @@ fn bench_simulate(c: &mut Criterion) {
     let device = parchmint_suite::by_name("molecular_gradient_generator")
         .unwrap()
         .device();
-    let network = FlowNetwork::from_device(&device, Fluid::WATER);
+    let network = FlowNetwork::new(&CompiledDevice::from_ref(&device), Fluid::WATER);
     let mut boundary: Vec<(ComponentId, f64)> =
         vec![("in_a".into(), 1000.0), ("in_b".into(), 1000.0)];
     for i in 0..7 {

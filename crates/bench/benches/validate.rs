@@ -66,7 +66,8 @@ fn print_detection_matrix() {
                 continue;
             };
             seeded += 1;
-            if validate(&device).by_rule(expected).next().is_some() {
+            let compiled = parchmint::CompiledDevice::from_ref(&device);
+            if validate(&compiled).by_rule(expected).next().is_some() {
                 caught += 1;
             }
         }
@@ -81,16 +82,18 @@ fn bench_validate(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("E6_validate");
     for k in [1, 3, 5, 7] {
-        let device = parchmint_suite::planar_synthetic(k);
+        let compiled = parchmint::CompiledDevice::compile(parchmint_suite::planar_synthetic(k));
         group.bench_with_input(
-            BenchmarkId::from_parameter(device.components.len()),
-            &device,
+            BenchmarkId::from_parameter(compiled.device().components.len()),
+            &compiled,
             |b, d| b.iter(|| validate(black_box(d))),
         );
     }
-    let chip = parchmint_suite::by_name("chromatin_immunoprecipitation")
-        .unwrap()
-        .device();
+    let chip = parchmint::CompiledDevice::compile(
+        parchmint_suite::by_name("chromatin_immunoprecipitation")
+            .unwrap()
+            .device(),
+    );
     group.bench_with_input(BenchmarkId::new("assay", "chip"), &chip, |b, d| {
         b.iter(|| validate(black_box(d)))
     });

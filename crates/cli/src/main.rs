@@ -9,10 +9,10 @@
 //! parchmint convert <FILE.json|FILE.mint> [-o FILE]  convert between formats (E5)
 //! parchmint pnr <name> [--placer P] [--router R] [-o FILE]   place & route (E4)
 //! parchmint plan <FILE|name> <from> <to>      valve-state control synthesis
-//! parchmint suite-run [BENCH...] [-o FILE]    parallel suite evaluation + regression gate
+//! parchmint suite-run [BENCH...] [-o FILE] [--trace FILE]   parallel suite evaluation + regression gate
 //! ```
 
-use parchmint::Device;
+use parchmint::{CompiledDevice, Device};
 use parchmint_pnr::{place_and_route, PlacerChoice, RouterChoice};
 use std::path::Path;
 use std::process::ExitCode;
@@ -71,7 +71,7 @@ USAGE:
   parchmint plan <FILE|benchmark> <from> <to>
   parchmint flow <FILE|benchmark> <node=Pa>... (e.g. in_a=1000 out=0)
   parchmint suite-run [BENCH...] [--threads N] [-o FILE] [--strip-timings]
-                      [--baseline FILE] [--tolerance FRAC]
+                      [--baseline FILE] [--tolerance FRAC] [--trace FILE]
   parchmint schema
 ";
 
@@ -163,7 +163,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
 fn cmd_validate(args: &[String]) -> Result<(), String> {
     let source = positional(args).ok_or("validate: missing input")?;
     let device = load_device(source)?;
-    let report = parchmint_verify::validate(&device);
+    let report = parchmint_verify::validate(&CompiledDevice::from_ref(&device));
     print!("{report}");
     if report.is_conformant() {
         Ok(())
@@ -261,7 +261,10 @@ fn cmd_flow(args: &[String]) -> Result<(), String> {
             .map_err(|_| format!("flow: bad pressure in `{condition}`"))?;
         boundary.push((parchmint::ComponentId::new(node), pressure));
     }
-    let network = parchmint_sim::FlowNetwork::from_device(&device, parchmint_sim::Fluid::WATER);
+    let network = parchmint_sim::FlowNetwork::new(
+        &CompiledDevice::from_ref(&device),
+        parchmint_sim::Fluid::WATER,
+    );
     let solution = network.solve(&boundary).map_err(|e| e.to_string())?;
     println!(
         "{:<20} {:>14} {:>14}",
@@ -287,7 +290,7 @@ fn cmd_suite_run(args: &[String]) -> Result<(), String> {
             continue;
         }
         match arg.as_str() {
-            "--threads" | "-o" | "--baseline" | "--tolerance" => skip_next = true,
+            "--threads" | "-o" | "--baseline" | "--tolerance" | "--trace" => skip_next = true,
             "--strip-timings" => {}
             flag if flag.starts_with('-') => {
                 return Err(format!("suite-run: unknown flag `{flag}`"));
@@ -296,21 +299,26 @@ fn cmd_suite_run(args: &[String]) -> Result<(), String> {
         }
     }
 
-    let threads = match option_value(args, "--threads") {
-        Some(text) => text
-            .parse()
-            .map_err(|_| format!("suite-run: bad thread count `{text}`"))?,
-        None => 0,
-    };
-    let config = parchmint_harness::SuiteRunConfig {
-        threads,
-        benchmarks: if benchmarks.is_empty() {
-            None
-        } else {
-            Some(benchmarks)
-        },
-        stages: None,
-    };
+    let mut builder = parchmint_harness::SuiteRunConfig::builder().benchmarks(benchmarks);
+    if let Some(text) = option_value(args, "--threads") {
+        builder = builder.threads(
+            text.parse()
+                .map_err(|_| format!("suite-run: bad thread count `{text}`"))?,
+        );
+    }
+    if let Some(path) = option_value(args, "--trace") {
+        builder = builder.trace(path);
+    }
+    if let Some(path) = option_value(args, "--baseline") {
+        builder = builder.baseline(path);
+    }
+    if let Some(text) = option_value(args, "--tolerance") {
+        builder = builder.tolerance(
+            text.parse()
+                .map_err(|_| format!("suite-run: bad tolerance `{text}`"))?,
+        );
+    }
+    let config = builder.build();
     let report = parchmint_harness::run_suite(&config);
     print!("{}", report.summary_table());
 
@@ -321,17 +329,20 @@ fn cmd_suite_run(args: &[String]) -> Result<(), String> {
         println!("report written to {path}");
     }
 
-    if let Some(path) = option_value(args, "--baseline") {
-        let text = std::fs::read_to_string(path)
+    if let Some(path) = config.trace() {
+        std::fs::write(path, report.trace_json_string(include_timings))
+            .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+        println!("trace written to {}", path.display());
+    }
+
+    if let Some(path) = config.baseline() {
+        let path = path.display().to_string();
+        let text = std::fs::read_to_string(&path)
             .map_err(|e| format!("cannot read baseline `{path}`: {e}"))?;
         let baseline: serde_json::Value =
             serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
-        let tolerances = match option_value(args, "--tolerance") {
-            Some(text) => parchmint_harness::Tolerances {
-                relative: text
-                    .parse()
-                    .map_err(|_| format!("suite-run: bad tolerance `{text}`"))?,
-            },
+        let tolerances = match config.tolerance() {
+            Some(relative) => parchmint_harness::Tolerances { relative },
             None => parchmint_harness::Tolerances::default(),
         };
         let regressions =
@@ -366,11 +377,11 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
     let [source, from, to] = positionals.as_slice() else {
         return Err("plan: expected <FILE|benchmark> <from> <to>".into());
     };
-    let device = load_device(source)?;
-    let plan = parchmint_control::plan_flow(&device, &(*from).into(), &(*to).into())
+    let compiled = CompiledDevice::compile(load_device(source)?);
+    let plan = parchmint_control::plan_flow(&compiled, &(*from).into(), &(*to).into())
         .map_err(|e| e.to_string())?;
     println!("{plan}");
-    for actuation in plan.actuations(&device) {
+    for actuation in plan.actuations(&compiled) {
         println!("  {actuation}");
     }
     Ok(())

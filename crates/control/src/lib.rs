@@ -8,9 +8,12 @@
 //! [`Actuation`]s from each valve's rest polarity.
 //!
 //! ```
+//! use parchmint::CompiledDevice;
 //! use parchmint_control::{plan_flow, ValveState};
 //!
-//! let chip = parchmint_suite::by_name("rotary_pump_mixer").unwrap().device();
+//! let chip = CompiledDevice::compile(
+//!     parchmint_suite::by_name("rotary_pump_mixer").unwrap().device(),
+//! );
 //! let plan = plan_flow(&chip, &"in_b".into(), &"out".into()).unwrap();
 //! assert_eq!(plan.valve_states.get(&parchmint::ComponentId::new("v_b")), Some(&ValveState::Open));
 //! assert_eq!(plan.valve_states.get(&parchmint::ComponentId::new("v_a")), Some(&ValveState::Closed));
@@ -22,5 +25,9 @@
 pub mod plan;
 pub mod protocol;
 
-pub use plan::{plan_flow, plan_flow_compiled, Actuation, ControlError, FlowPlan, ValveState};
+#[allow(deprecated)]
+pub use plan::plan_flow_device;
+pub use plan::{plan_flow, Actuation, ControlError, FlowPlan, ValveState};
+#[allow(deprecated)]
+pub use protocol::schedule_device;
 pub use protocol::{schedule, ProtocolError, Schedule, ScheduledStep, Step};

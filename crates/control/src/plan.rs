@@ -79,16 +79,9 @@ impl FlowPlan {
     /// each valve's rest polarity. Valves already resting in their required
     /// state are vented (no pressure), so the list covers *every* valve in
     /// `valve_states` with its explicit line state.
-    ///
-    /// Compiles a throwaway [`CompiledDevice`] internally; callers that
-    /// already hold one should use [`FlowPlan::actuations_compiled`].
-    pub fn actuations(&self, device: &Device) -> Vec<Actuation> {
-        self.actuations_compiled(&CompiledDevice::from_ref(device))
-    }
-
-    /// [`FlowPlan::actuations`] over an already-compiled device.
-    pub fn actuations_compiled(&self, compiled: &CompiledDevice) -> Vec<Actuation> {
-        self.valve_states
+    pub fn actuations(&self, compiled: &CompiledDevice) -> Vec<Actuation> {
+        let actuations = self
+            .valve_states
             .iter()
             .filter_map(|(component, desired)| {
                 let valve = compiled.valve_on(compiled.comp_ix(component.as_str())?)?;
@@ -99,7 +92,21 @@ impl FlowPlan {
                     pressurize: rest_open != want_open,
                 })
             })
-            .collect()
+            .collect::<Vec<_>>();
+        parchmint_obs::count("control.plan.actuations", actuations.len() as u64);
+        actuations
+    }
+
+    /// [`FlowPlan::actuations`] over a raw device.
+    ///
+    /// Compiles a throwaway [`CompiledDevice`] on every call.
+    #[deprecated(
+        since = "0.1.0",
+        note = "compile once (`CompiledDevice::from_ref(&device)`) and call \
+                `plan.actuations(&compiled)`; this wrapper recompiles on every call"
+    )]
+    pub fn actuations_device(&self, device: &Device) -> Vec<Actuation> {
+        self.actuations(&CompiledDevice::from_ref(device))
     }
 }
 
@@ -159,12 +166,18 @@ impl std::error::Error for ControlError {}
 /// component with it without being part of it), so the fluid column cannot
 /// leak sideways.
 ///
+/// The netlist projection and all valve/connection lookups go through the
+/// compiled index.
+///
 /// # Examples
 ///
 /// ```
+/// use parchmint::CompiledDevice;
 /// use parchmint_control::plan_flow;
 ///
-/// let chip = parchmint_suite::by_name("rotary_pump_mixer").unwrap().device();
+/// let chip = CompiledDevice::compile(
+///     parchmint_suite::by_name("rotary_pump_mixer").unwrap().device(),
+/// );
 /// let plan = plan_flow(&chip, &"in_a".into(), &"out".into()).unwrap();
 /// assert_eq!(plan.hops(), 3);
 /// // The sibling inlet must be sealed off.
@@ -174,21 +187,12 @@ impl std::error::Error for ControlError {}
 /// );
 /// ```
 pub fn plan_flow(
-    device: &Device,
-    from: &ComponentId,
-    to: &ComponentId,
-) -> Result<FlowPlan, ControlError> {
-    plan_flow_compiled(&CompiledDevice::from_ref(device), from, to)
-}
-
-/// [`plan_flow`] over an already-compiled device: the netlist projection and
-/// all valve/connection lookups go through the compiled index.
-pub fn plan_flow_compiled(
     compiled: &CompiledDevice,
     from: &ComponentId,
     to: &ComponentId,
 ) -> Result<FlowPlan, ControlError> {
-    let netlist = Netlist::from_compiled_layer(compiled, LayerType::Flow);
+    let _span = parchmint_obs::Span::enter("control.plan");
+    let netlist = Netlist::new_layer(compiled, LayerType::Flow);
     let start = netlist
         .node_of(from)
         .ok_or_else(|| ControlError::UnknownComponent(from.clone()))?;
@@ -248,6 +252,11 @@ pub fn plan_flow_compiled(
         }
     }
 
+    if parchmint_obs::enabled() {
+        parchmint_obs::count("control.plan.hops", path.len() as u64);
+        parchmint_obs::count("control.plan.valves", valve_states.len() as u64);
+    }
+
     Ok(FlowPlan {
         from: from.clone(),
         to: to.clone(),
@@ -257,14 +266,32 @@ pub fn plan_flow_compiled(
     })
 }
 
+/// [`plan_flow`] over a raw device.
+///
+/// Compiles a throwaway [`CompiledDevice`] on every call.
+#[deprecated(
+    since = "0.1.0",
+    note = "compile once (`CompiledDevice::from_ref(&device)`) and call \
+            `plan_flow(&compiled, from, to)`; this wrapper recompiles on every call"
+)]
+pub fn plan_flow_device(
+    device: &Device,
+    from: &ComponentId,
+    to: &ComponentId,
+) -> Result<FlowPlan, ControlError> {
+    plan_flow(&CompiledDevice::from_ref(device), from, to)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn rotary() -> Device {
-        parchmint_suite::by_name("rotary_pump_mixer")
-            .unwrap()
-            .device()
+    fn rotary() -> CompiledDevice {
+        CompiledDevice::compile(
+            parchmint_suite::by_name("rotary_pump_mixer")
+                .unwrap()
+                .device(),
+        )
     }
 
     #[test]
@@ -330,9 +357,11 @@ mod tests {
 
     #[test]
     fn plan_on_valve_heavy_chip_isolates_siblings() {
-        let device = parchmint_suite::by_name("chromatin_immunoprecipitation")
-            .unwrap()
-            .device();
+        let device = CompiledDevice::compile(
+            parchmint_suite::by_name("chromatin_immunoprecipitation")
+                .unwrap()
+                .device(),
+        );
         let plan = plan_flow(&device, &"in_reagent_0".into(), &"out_eluate".into()).unwrap();
         // Reagent 0's inlet valve must open; every other inlet valve whose
         // channel touches the shared bus stays at rest or closes — at
@@ -368,9 +397,11 @@ mod tests {
 
     #[test]
     fn valveless_devices_plan_trivially() {
-        let device = parchmint_suite::by_name("molecular_gradient_generator")
-            .unwrap()
-            .device();
+        let device = CompiledDevice::compile(
+            parchmint_suite::by_name("molecular_gradient_generator")
+                .unwrap()
+                .device(),
+        );
         let plan = plan_flow(&device, &"in_a".into(), &"out_0".into()).unwrap();
         assert!(plan.valve_states.is_empty());
         assert!(plan.hops() >= 2);

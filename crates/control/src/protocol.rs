@@ -9,7 +9,7 @@
 //! pressure controller actually consumes.
 
 use crate::plan::{plan_flow, Actuation, ControlError, FlowPlan};
-use parchmint::{ComponentId, Device};
+use parchmint::{CompiledDevice, ComponentId, Device};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -130,9 +130,12 @@ impl std::error::Error for ProtocolError {}
 /// # Examples
 ///
 /// ```
+/// use parchmint::CompiledDevice;
 /// use parchmint_control::{schedule, Step};
 ///
-/// let chip = parchmint_suite::by_name("rotary_pump_mixer").unwrap().device();
+/// let chip = CompiledDevice::compile(
+///     parchmint_suite::by_name("rotary_pump_mixer").unwrap().device(),
+/// );
 /// let protocol = schedule(&chip, &[
 ///     Step::new("load_a", "in_a", "out"),
 ///     Step::new("load_b", "in_b", "out"),
@@ -141,19 +144,24 @@ impl std::error::Error for ProtocolError {}
 /// // Switching inlets flips exactly the two inlet valves.
 /// assert_eq!(protocol.steps()[1].transitions.len(), 2);
 /// ```
-pub fn schedule(device: &Device, steps: &[Step]) -> Result<Schedule, ProtocolError> {
+pub fn schedule(
+    compiled_device: &CompiledDevice,
+    steps: &[Step],
+) -> Result<Schedule, ProtocolError> {
+    let _span = parchmint_obs::Span::enter("control.schedule");
     let mut compiled = Vec::with_capacity(steps.len());
     // Line state: pressurized control lines after the previous step.
     let mut held: BTreeMap<ComponentId, bool> = BTreeMap::new();
 
     for step in steps {
-        let plan =
-            plan_flow(device, &step.from, &step.to).map_err(|cause| ProtocolError::Step {
+        let plan = plan_flow(compiled_device, &step.from, &step.to).map_err(|cause| {
+            ProtocolError::Step {
                 step: step.name.clone(),
                 cause,
-            })?;
+            }
+        })?;
         let wanted: BTreeMap<ComponentId, bool> = plan
-            .actuations(device)
+            .actuations(compiled_device)
             .into_iter()
             .map(|a| (a.component, a.pressurize))
             .collect();
@@ -188,17 +196,39 @@ pub fn schedule(device: &Device, steps: &[Step]) -> Result<Schedule, ProtocolErr
             transitions,
         });
     }
-    Ok(Schedule { steps: compiled })
+    let schedule = Schedule { steps: compiled };
+    if parchmint_obs::enabled() {
+        parchmint_obs::count("control.schedule.steps", schedule.len() as u64);
+        parchmint_obs::count(
+            "control.schedule.transitions",
+            schedule.transition_count() as u64,
+        );
+    }
+    Ok(schedule)
+}
+
+/// [`schedule`] over a raw device.
+///
+/// Compiles a throwaway [`CompiledDevice`] once for the whole protocol.
+#[deprecated(
+    since = "0.1.0",
+    note = "compile once (`CompiledDevice::from_ref(&device)`) and call \
+            `schedule(&compiled, steps)`"
+)]
+pub fn schedule_device(device: &Device, steps: &[Step]) -> Result<Schedule, ProtocolError> {
+    schedule(&CompiledDevice::from_ref(device), steps)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn rotary() -> Device {
-        parchmint_suite::by_name("rotary_pump_mixer")
-            .unwrap()
-            .device()
+    fn rotary() -> CompiledDevice {
+        CompiledDevice::compile(
+            parchmint_suite::by_name("rotary_pump_mixer")
+                .unwrap()
+                .device(),
+        )
     }
 
     #[test]
@@ -260,9 +290,11 @@ mod tests {
 
     #[test]
     fn chip_protocol_compiles_and_reports() {
-        let device = parchmint_suite::by_name("chromatin_immunoprecipitation")
-            .unwrap()
-            .device();
+        let device = CompiledDevice::compile(
+            parchmint_suite::by_name("chromatin_immunoprecipitation")
+                .unwrap()
+                .device(),
+        );
         let protocol = schedule(
             &device,
             &[

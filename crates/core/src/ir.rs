@@ -179,6 +179,7 @@ impl CompiledDevice {
     /// compile with `None` handles for dangling references (see the module
     /// docs for the invariants).
     pub fn compile(device: Device) -> Self {
+        let _span = parchmint_obs::Span::enter("ir.compile");
         let mut layer_ix = HashMap::with_capacity(device.layers.len());
         for (i, layer) in device.layers.iter().enumerate() {
             layer_ix
@@ -319,6 +320,15 @@ impl CompiledDevice {
             }
             valve_component.push(comp);
             valve_controls.push(conn);
+        }
+
+        if parchmint_obs::enabled() {
+            parchmint_obs::count("ir.compile.layers", device.layers.len() as u64);
+            parchmint_obs::count("ir.compile.components", device.components.len() as u64);
+            parchmint_obs::count("ir.compile.connections", device.connections.len() as u64);
+            parchmint_obs::count("ir.compile.ports", ports.len() as u64);
+            parchmint_obs::count("ir.compile.features", device.features.len() as u64);
+            parchmint_obs::count("ir.compile.valves", device.valves.len() as u64);
         }
 
         CompiledDevice {

@@ -17,39 +17,47 @@ pub struct Netlist {
 }
 
 impl Netlist {
-    /// Builds the netlist graph over every layer of `device`, including
-    /// valve-coupling edges: a valve component physically sits on the
-    /// channel it pinches, so each valve binding contributes an edge from
-    /// the valve component to the controlled connection's source component
-    /// (labelled with that connection).
-    ///
-    /// Compiles a throwaway [`CompiledDevice`] internally; callers that
-    /// already hold one should use [`Netlist::from_compiled`].
-    pub fn from_device(device: &Device) -> Self {
-        Self::from_compiled(&CompiledDevice::from_ref(device))
-    }
-
-    /// Builds the netlist graph restricted to connections on layers of the
-    /// given type (commonly [`LayerType::Flow`] to analyse the fluid network
-    /// without control plumbing). Valve-coupling edges are cross-layer and
-    /// therefore excluded here.
-    ///
-    /// Compiles a throwaway [`CompiledDevice`] internally; callers that
-    /// already hold one should use [`Netlist::from_compiled_layer`].
-    pub fn from_device_layer(device: &Device, layer_type: LayerType) -> Self {
-        Self::from_compiled_layer(&CompiledDevice::from_ref(device), layer_type)
-    }
-
     /// Projects the full netlist graph (all layers, valve-coupling edges
-    /// included) from a compiled device's precomputed endpoint tables.
-    pub fn from_compiled(compiled: &CompiledDevice) -> Self {
+    /// included) from a compiled device's precomputed endpoint tables:
+    /// a valve component physically sits on the channel it pinches, so
+    /// each valve binding contributes an edge from the valve component
+    /// to the controlled connection's source component (labelled with
+    /// that connection).
+    pub fn new(compiled: &CompiledDevice) -> Self {
         Self::project(compiled, None, true)
     }
 
     /// Projects the netlist graph restricted to connections on layers of
-    /// the given type, without valve-coupling edges (they are cross-layer).
-    pub fn from_compiled_layer(compiled: &CompiledDevice, layer_type: LayerType) -> Self {
+    /// the given type (commonly [`LayerType::Flow`] to analyse the fluid
+    /// network without control plumbing). Valve-coupling edges are
+    /// cross-layer and therefore excluded here.
+    pub fn new_layer(compiled: &CompiledDevice, layer_type: LayerType) -> Self {
         Self::project(compiled, Some(layer_type), false)
+    }
+
+    /// Builds the full netlist graph from a raw device.
+    ///
+    /// Compiles a throwaway [`CompiledDevice`] on every call.
+    #[deprecated(
+        since = "0.1.0",
+        note = "compile once (`CompiledDevice::from_ref(&device)`) and call \
+                `Netlist::new(&compiled)`; this wrapper recompiles on every call"
+    )]
+    pub fn from_device(device: &Device) -> Self {
+        Self::new(&CompiledDevice::from_ref(device))
+    }
+
+    /// Builds the layer-restricted netlist graph from a raw device.
+    ///
+    /// Compiles a throwaway [`CompiledDevice`] on every call.
+    #[deprecated(
+        since = "0.1.0",
+        note = "compile once (`CompiledDevice::from_ref(&device)`) and call \
+                `Netlist::new_layer(&compiled, layer_type)`; this wrapper \
+                recompiles on every call"
+    )]
+    pub fn from_device_layer(device: &Device, layer_type: LayerType) -> Self {
+        Self::new_layer(&CompiledDevice::from_ref(device), layer_type)
     }
 
     /// The projection itself: nodes are components in declaration order,
@@ -180,7 +188,7 @@ mod tests {
     #[test]
     fn star_expansion_of_fanout() {
         let d = fan_device();
-        let n = Netlist::from_device(&d);
+        let n = Netlist::new(&CompiledDevice::from_ref(&d));
         assert_eq!(n.component_count(), 4);
         // net1 contributes 2 edges (t1→a, t1→b); ctl1 contributes 1.
         assert_eq!(n.edge_count(), 3);
@@ -191,7 +199,7 @@ mod tests {
     #[test]
     fn edges_remember_their_connection() {
         let d = fan_device();
-        let n = Netlist::from_device(&d);
+        let n = Netlist::new(&CompiledDevice::from_ref(&d));
         let labels: Vec<&str> = n
             .graph()
             .edge_indices()
@@ -203,9 +211,9 @@ mod tests {
     #[test]
     fn layer_restriction() {
         let d = fan_device();
-        let flow = Netlist::from_device_layer(&d, LayerType::Flow);
+        let flow = Netlist::new_layer(&CompiledDevice::from_ref(&d), LayerType::Flow);
         assert_eq!(flow.edge_count(), 2);
-        let control = Netlist::from_device_layer(&d, LayerType::Control);
+        let control = Netlist::new_layer(&CompiledDevice::from_ref(&d), LayerType::Control);
         assert_eq!(control.edge_count(), 1);
         // All components appear as nodes regardless of restriction.
         assert_eq!(flow.component_count(), 4);
@@ -214,7 +222,7 @@ mod tests {
     #[test]
     fn node_component_round_trip() {
         let d = fan_device();
-        let n = Netlist::from_device(&d);
+        let n = Netlist::new(&CompiledDevice::from_ref(&d));
         for c in &d.components {
             let ix = n.node_of(&c.id).unwrap();
             assert_eq!(n.component_at(ix), &c.id);
@@ -225,7 +233,7 @@ mod tests {
     #[test]
     fn empty_device_yields_empty_graph() {
         let d = Device::new("empty");
-        let n = Netlist::from_device(&d);
+        let n = Netlist::new(&CompiledDevice::from_ref(&d));
         assert_eq!(n.component_count(), 0);
         assert_eq!(n.edge_count(), 0);
     }

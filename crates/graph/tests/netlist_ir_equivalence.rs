@@ -1,6 +1,6 @@
 //! The IR-projected netlist must match the seed (string-scan) netlist
 //! construction exactly — same node order, same edge order, same labels —
-//! on every registry benchmark. This pins the `Netlist::from_compiled`
+//! on every registry benchmark. This pins the `Netlist::new`
 //! projection to the behaviour the rest of the workspace was tuned against
 //! (identical ordering is stronger than graph isomorphism, and it is what
 //! keeps downstream placement/routing byte-deterministic).
@@ -76,7 +76,7 @@ fn ir_projection_matches_seed_on_all_benchmarks() {
         let device = benchmark.device();
         let compiled = CompiledDevice::from_ref(&device);
 
-        let full = Netlist::from_compiled(&compiled);
+        let full = Netlist::new(&compiled);
         assert_identical(full.graph(), &seed_build(&device, |_| true, true));
 
         for layer_type in [LayerType::Flow, LayerType::Control] {
@@ -86,15 +86,17 @@ fn ir_projection_matches_seed_on_all_benchmarks() {
                 .filter(|l| l.layer_type == layer_type)
                 .map(|l| l.id.as_str())
                 .collect();
-            let restricted = Netlist::from_compiled_layer(&compiled, layer_type);
+            let restricted = Netlist::new_layer(&compiled, layer_type);
             assert_identical(
                 restricted.graph(),
                 &seed_build(&device, |layer| matching.contains(&layer), false),
             );
         }
 
-        // The &Device compatibility wrappers route through the same
-        // projection.
-        assert_identical(Netlist::from_device(&device).graph(), full.graph());
+        // The deprecated &Device compatibility wrappers route through the
+        // same projection.
+        #[allow(deprecated)]
+        let wrapped = Netlist::from_device(&device);
+        assert_identical(wrapped.graph(), full.graph());
     }
 }

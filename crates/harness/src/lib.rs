@@ -27,11 +27,10 @@
 //! ```
 //! use parchmint_harness::{run_suite, SuiteRunConfig};
 //!
-//! let config = SuiteRunConfig {
-//!     benchmarks: Some(vec!["logic_gate_or".into()]),
-//!     threads: 2,
-//!     ..SuiteRunConfig::default()
-//! };
+//! let config = SuiteRunConfig::builder()
+//!     .benchmarks(["logic_gate_or"])
+//!     .threads(2)
+//!     .build();
 //! let report = run_suite(&config);
 //! assert!(report.cells.iter().all(|c| c.benchmark == "logic_gate_or"));
 //! ```
@@ -47,5 +46,5 @@ pub mod stage;
 
 pub use baseline::{compare, Regression, Tolerances};
 pub use report::{Cell, CellStatus, SuiteReport};
-pub use runner::{run_matrix, run_suite, SuiteRunConfig};
+pub use runner::{run_matrix, run_suite, SuiteRunConfig, SuiteRunConfigBuilder};
 pub use stage::{standard_stages, Stage, StageOutcome};

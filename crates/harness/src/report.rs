@@ -1,5 +1,6 @@
 //! Structured suite-run results and their JSON / table renderings.
 
+use parchmint_obs::TraceSummary;
 use serde_json::{Map, Value};
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -44,6 +45,10 @@ pub struct Cell {
     pub metrics: BTreeMap<String, Value>,
     /// Stage wall-clock time (reported in the strippable `timing` section).
     pub wall: Duration,
+    /// Aggregated observability events from this cell's run; present only
+    /// when the sweep ran with tracing enabled and the stage emitted
+    /// anything. Everything except span durations is deterministic.
+    pub trace: Option<TraceSummary>,
 }
 
 impl Cell {
@@ -69,6 +74,9 @@ pub struct SuiteReport {
     /// sweep), sorted by benchmark name. Reported only in the strippable
     /// `timing` section.
     pub compile_walls: Vec<(String, Duration)>,
+    /// Per-benchmark compile-phase traces, sorted by benchmark name;
+    /// empty unless the sweep ran with tracing enabled.
+    pub compile_traces: Vec<(String, TraceSummary)>,
 }
 
 impl SuiteReport {
@@ -194,6 +202,68 @@ impl SuiteReport {
         text
     }
 
+    /// Whether any cell or compile phase carries a trace (i.e. the sweep
+    /// ran with tracing enabled and something emitted).
+    pub fn has_traces(&self) -> bool {
+        !self.compile_traces.is_empty() || self.cells.iter().any(|c| c.trace.is_some())
+    }
+
+    /// Renders the observability trace as a JSON value.
+    ///
+    /// Extents are keyed `<benchmark>/compile` and `<benchmark>/<stage>`,
+    /// in `BTreeMap` (byte) order. Every value in `cells` is a pure
+    /// function of the emitted event sequence; wall-clock span durations
+    /// live under the single root `timing` key, included only when
+    /// `include_timings` is set — stripping that one key makes traces
+    /// from repeat runs byte-comparable.
+    pub fn trace_json(&self, include_timings: bool) -> Value {
+        let mut extents: BTreeMap<String, &TraceSummary> = BTreeMap::new();
+        for (benchmark, trace) in &self.compile_traces {
+            extents.insert(format!("{benchmark}/compile"), trace);
+        }
+        for cell in &self.cells {
+            if let Some(trace) = &cell.trace {
+                extents.insert(cell.key(), trace);
+            }
+        }
+
+        let mut root = Map::new();
+        root.insert("schema".to_string(), Value::from("parchmint-trace/v1"));
+        let mut cells = Map::new();
+        for (key, trace) in &extents {
+            cells.insert(key.clone(), trace_summary_json(trace));
+        }
+        root.insert("cells".to_string(), Value::Object(cells));
+
+        if include_timings {
+            let mut timing = Map::new();
+            for (key, trace) in &extents {
+                if trace.spans.is_empty() {
+                    continue;
+                }
+                let mut spans = Map::new();
+                for (&name, stats) in &trace.spans {
+                    spans.insert(
+                        name.to_string(),
+                        Value::from(stats.total.as_secs_f64() * 1e3),
+                    );
+                }
+                timing.insert(key.clone(), Value::Object(spans));
+            }
+            root.insert("timing".to_string(), Value::Object(timing));
+        }
+        Value::Object(root)
+    }
+
+    /// Pretty-printed JSON string of [`SuiteReport::trace_json`], with a
+    /// trailing newline.
+    pub fn trace_json_string(&self, include_timings: bool) -> String {
+        let mut text = serde_json::to_string_pretty(&self.trace_json(include_timings))
+            .expect("trace serialization is infallible");
+        text.push('\n');
+        text
+    }
+
     /// Human summary: one row per benchmark, one column per stage, plus a
     /// totals line.
     pub fn summary_table(&self) -> String {
@@ -239,6 +309,22 @@ impl SuiteReport {
             }
             out.push('\n');
         }
+        if self.has_traces() {
+            // Per-stage trace volume: how many observability events each
+            // column emitted across the whole sweep.
+            out.push_str(&format!("{:name_width$}", "(events)"));
+            for column in &columns {
+                let events: u64 = self
+                    .cells
+                    .iter()
+                    .filter(|c| c.stage == *column)
+                    .filter_map(|c| c.trace.as_ref())
+                    .map(|t| t.events)
+                    .sum();
+                out.push_str(&format!("  {events:^width$}", width = column.len()));
+            }
+            out.push('\n');
+        }
         let (ok, skipped, errors, failed) = self.counts();
         out.push_str(&format!(
             "{} cells: {ok} ok, {skipped} skipped, {errors} error, {failed} failed \
@@ -249,6 +335,62 @@ impl SuiteReport {
         ));
         out
     }
+}
+
+/// The deterministic JSON shape of one extent's [`TraceSummary`]:
+/// event total, counters, sample series, histograms (count, sum, and
+/// non-empty log2 buckets), and span closure counts. Span *durations*
+/// are deliberately absent — they are the one nondeterministic field
+/// and belong under the report's root `timing` key.
+fn trace_summary_json(trace: &TraceSummary) -> Value {
+    let mut entry = Map::new();
+    entry.insert("events".to_string(), Value::from(trace.events));
+    if !trace.counters.is_empty() {
+        let counters: Map = trace
+            .counters
+            .iter()
+            .map(|(&name, &value)| (name.to_string(), Value::from(value)))
+            .collect();
+        entry.insert("counters".to_string(), Value::Object(counters));
+    }
+    if !trace.samples.is_empty() {
+        let samples: Map = trace
+            .samples
+            .iter()
+            .map(|(&name, values)| {
+                let series: Vec<Value> = values.iter().map(|&v| Value::from(v)).collect();
+                (name.to_string(), Value::Array(series))
+            })
+            .collect();
+        entry.insert("samples".to_string(), Value::Object(samples));
+    }
+    if !trace.histograms.is_empty() {
+        let histograms: Map = trace
+            .histograms
+            .iter()
+            .map(|(&name, histogram)| {
+                let mut h = Map::new();
+                h.insert("count".to_string(), Value::from(histogram.count()));
+                h.insert("sum".to_string(), Value::from(histogram.sum()));
+                let buckets: Vec<Value> = histogram
+                    .nonzero_buckets()
+                    .map(|(upper, n)| Value::Array(vec![Value::from(upper), Value::from(n)]))
+                    .collect();
+                h.insert("buckets".to_string(), Value::Array(buckets));
+                (name.to_string(), Value::Object(h))
+            })
+            .collect();
+        entry.insert("histograms".to_string(), Value::Object(histograms));
+    }
+    if !trace.spans.is_empty() {
+        let spans: Map = trace
+            .spans
+            .iter()
+            .map(|(&name, stats)| (name.to_string(), Value::from(stats.count)))
+            .collect();
+        entry.insert("spans".to_string(), Value::Object(spans));
+    }
+    Value::Object(entry)
 }
 
 #[cfg(test)]
@@ -267,6 +409,7 @@ mod tests {
                     detail: None,
                     metrics: metrics.clone(),
                     wall: Duration::from_millis(3),
+                    trace: None,
                 },
                 Cell {
                     benchmark: "a".into(),
@@ -275,6 +418,7 @@ mod tests {
                     detail: Some("no ports".into()),
                     metrics: BTreeMap::new(),
                     wall: Duration::from_millis(1),
+                    trace: None,
                 },
                 Cell {
                     benchmark: "a".into(),
@@ -283,13 +427,35 @@ mod tests {
                     detail: Some("bad".into()),
                     metrics: BTreeMap::new(),
                     wall: Duration::from_millis(2),
+                    trace: None,
                 },
             ],
             stages: vec!["validate".into(), "flow".into()],
             threads: 2,
             total_wall: Duration::from_millis(6),
             compile_walls: vec![("a".into(), Duration::from_millis(1))],
+            compile_traces: Vec::new(),
         }
+    }
+
+    fn traced_sample() -> SuiteReport {
+        use parchmint_obs::{Event, EventKind};
+        let mut report = sample();
+        let cell_trace = TraceSummary::from_events([
+            Event::new("verify.structure.diagnostics", EventKind::Count(2)),
+            Event::new("pnr.place.cost", EventKind::Sample(10.5)),
+            Event::new("pnr.route.net_expansions", EventKind::Observe(9)),
+            Event::new(
+                "verify.structure",
+                EventKind::Span(Duration::from_millis(4)),
+            ),
+        ]);
+        report.cells[0].trace = Some(cell_trace);
+        report.compile_traces = vec![(
+            "b".into(),
+            TraceSummary::from_events([Event::new("ir.compile.ports", EventKind::Count(7))]),
+        )];
+        report
     }
 
     #[test]
@@ -326,5 +492,40 @@ mod tests {
         assert!(table.contains("benchmark"));
         assert!(table.contains('a') && table.contains('b'));
         assert!(table.contains("3 cells: 1 ok, 1 skipped, 1 error, 0 failed"));
+        assert!(!table.contains("(events)"), "no events row without traces");
+    }
+
+    #[test]
+    fn summary_table_shows_event_counts_when_traced() {
+        let mut report = traced_sample();
+        report.sort_cells();
+        let table = report.summary_table();
+        assert!(table.contains("(events)"), "traced runs get an events row");
+    }
+
+    #[test]
+    fn trace_json_is_deterministic_and_strippable() {
+        let mut report = traced_sample();
+        report.sort_cells();
+        assert!(report.has_traces());
+        let stripped = report.trace_json(false);
+        assert_eq!(stripped["schema"], "parchmint-trace/v1");
+        assert!(stripped.get("timing").is_none());
+        let cell = &stripped["cells"]["b/validate"];
+        assert_eq!(cell["events"], 4);
+        assert_eq!(cell["counters"]["verify.structure.diagnostics"], 2);
+        assert_eq!(cell["samples"]["pnr.place.cost"][0], 10.5);
+        assert_eq!(cell["histograms"]["pnr.route.net_expansions"]["count"], 1);
+        assert_eq!(cell["spans"]["verify.structure"], 1);
+        assert_eq!(
+            stripped["cells"]["b/compile"]["counters"]["ir.compile.ports"],
+            7
+        );
+        // Span durations appear only under the root timing key.
+        let timed = report.trace_json(true);
+        assert!(timed["timing"]["b/validate"]["verify.structure"]
+            .as_f64()
+            .is_some());
+        assert!(report.trace_json_string(false).ends_with('\n'));
     }
 }

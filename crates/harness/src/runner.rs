@@ -3,22 +3,143 @@
 use crate::report::{Cell, CellStatus, SuiteReport};
 use crate::stage::{standard_stages, Stage, StageOutcome};
 use parchmint::CompiledDevice;
+use parchmint_obs::{Collector, Recorder, TraceSummary};
 use parchmint_suite::Benchmark;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Configuration for [`run_suite`].
+///
+/// Built with [`SuiteRunConfig::builder`]; `SuiteRunConfig::default()` is
+/// the CI sweep (whole registry, full stage matrix, one worker per core,
+/// no tracing).
+///
+/// # Examples
+///
+/// ```
+/// use parchmint_harness::SuiteRunConfig;
+///
+/// let config = SuiteRunConfig::builder()
+///     .threads(2)
+///     .benchmarks(["logic_gate_or"])
+///     .trace("trace.json")
+///     .build();
+/// assert_eq!(config.threads(), 2);
+/// assert!(config.trace().is_some());
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct SuiteRunConfig {
-    /// Worker threads; `0` means one per available core (capped at the
-    /// number of benchmarks).
-    pub threads: usize,
+    threads: usize,
+    benchmarks: Option<Vec<String>>,
+    stages: Option<Vec<String>>,
+    trace: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    tolerance: Option<f64>,
+}
+
+impl SuiteRunConfig {
+    /// Starts a builder holding the default configuration.
+    pub fn builder() -> SuiteRunConfigBuilder {
+        SuiteRunConfigBuilder {
+            config: SuiteRunConfig::default(),
+        }
+    }
+
+    /// Worker threads; `0` means one per available core.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Benchmark-name subset; `None` runs the whole registry.
-    pub benchmarks: Option<Vec<String>>,
-    /// Stage-name subset (exact names, or the `pnr` prefix for all four
-    /// PnR combinations); `None` runs the full matrix.
-    pub stages: Option<Vec<String>>,
+    pub fn benchmarks(&self) -> Option<&[String]> {
+        self.benchmarks.as_deref()
+    }
+
+    /// Stage-name subset; `None` runs the full matrix.
+    pub fn stages(&self) -> Option<&[String]> {
+        self.stages.as_deref()
+    }
+
+    /// Where to write the observability trace; `None` disables tracing
+    /// (the pipeline then runs with the no-op recorder path).
+    pub fn trace(&self) -> Option<&Path> {
+        self.trace.as_deref()
+    }
+
+    /// Baseline report to gate against; `None` skips the gate.
+    pub fn baseline(&self) -> Option<&Path> {
+        self.baseline.as_deref()
+    }
+
+    /// Relative tolerance for the baseline gate; `None` means the
+    /// gate's default.
+    pub fn tolerance(&self) -> Option<f64> {
+        self.tolerance
+    }
+}
+
+/// Builder for [`SuiteRunConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct SuiteRunConfigBuilder {
+    config: SuiteRunConfig,
+}
+
+impl SuiteRunConfigBuilder {
+    /// Sets the worker-thread count (`0` = one per core).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Restricts the sweep to the named benchmarks. An empty selection
+    /// means "no restriction" — the whole registry runs.
+    pub fn benchmarks<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        self.config.benchmarks = if names.is_empty() { None } else { Some(names) };
+        self
+    }
+
+    /// Restricts the sweep to the named stages (exact names, or `pnr`
+    /// for every placer×router combination). An empty selection means
+    /// the full matrix.
+    pub fn stages<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        self.config.stages = if names.is_empty() { None } else { Some(names) };
+        self
+    }
+
+    /// Enables tracing and sets the trace-file destination.
+    pub fn trace(mut self, path: impl Into<PathBuf>) -> Self {
+        self.config.trace = Some(path.into());
+        self
+    }
+
+    /// Sets the baseline report for the regression gate.
+    pub fn baseline(mut self, path: impl Into<PathBuf>) -> Self {
+        self.config.baseline = Some(path.into());
+        self
+    }
+
+    /// Sets the relative metric tolerance for the regression gate.
+    pub fn tolerance(mut self, fraction: f64) -> Self {
+        self.config.tolerance = Some(fraction);
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> SuiteRunConfig {
+        self.config
+    }
 }
 
 /// Runs the configured slice of the registry through the standard stage
@@ -31,7 +152,7 @@ pub fn run_suite(config: &SuiteRunConfig) -> SuiteReport {
     let registry = parchmint_suite::suite();
     let mut benchmarks = Vec::new();
     let mut bad_cells = Vec::new();
-    match &config.benchmarks {
+    match config.benchmarks() {
         None => benchmarks = registry,
         Some(names) => {
             for name in names {
@@ -44,6 +165,7 @@ pub fn run_suite(config: &SuiteRunConfig) -> SuiteReport {
                         detail: Some(format!("unknown benchmark `{name}`")),
                         metrics: Default::default(),
                         wall: Duration::ZERO,
+                        trace: None,
                     }),
                 }
             }
@@ -51,7 +173,7 @@ pub fn run_suite(config: &SuiteRunConfig) -> SuiteReport {
     }
 
     let mut stages = standard_stages();
-    if let Some(wanted) = &config.stages {
+    if let Some(wanted) = config.stages() {
         let known: Vec<String> = stages.iter().map(|s| s.name.clone()).collect();
         for name in wanted {
             let matches_any = known
@@ -65,6 +187,7 @@ pub fn run_suite(config: &SuiteRunConfig) -> SuiteReport {
                     detail: Some(format!("unknown stage `{name}`")),
                     metrics: Default::default(),
                     wall: Duration::ZERO,
+                    trace: None,
                 });
             }
         }
@@ -75,30 +198,39 @@ pub fn run_suite(config: &SuiteRunConfig) -> SuiteReport {
         });
     }
 
-    let mut report = run_matrix(&benchmarks, &stages, config.threads);
+    let mut report = run_matrix(&benchmarks, &stages, config);
     report.cells.extend(bad_cells);
     report.sort_cells();
     report
 }
 
-/// Sweeps `benchmarks` through `stages` on a pool of `threads` workers
-/// (0 = one per core).
+/// Sweeps `benchmarks` through `stages` under `config` — the single
+/// entry point both [`run_suite`] and direct matrix callers share.
 ///
 /// The pool is a `std::thread::scope` over a shared index queue — no
 /// external crates. Cell order in the result is sorted (benchmark name,
-/// then stage order), so the report is independent of scheduling.
-pub fn run_matrix(benchmarks: &[Benchmark], stages: &[Stage], threads: usize) -> SuiteReport {
+/// then stage order), so the report is independent of scheduling. When
+/// `config` requests tracing, every compile and every stage runs under
+/// its own event collector and the report carries the aggregated
+/// summaries.
+pub fn run_matrix(
+    benchmarks: &[Benchmark],
+    stages: &[Stage],
+    config: &SuiteRunConfig,
+) -> SuiteReport {
     let started = Instant::now();
-    let workers = if threads == 0 {
+    let tracing = config.trace().is_some();
+    let workers = if config.threads() == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
-        threads
+        config.threads()
     }
     .clamp(1, benchmarks.len().max(1));
 
     let next: Mutex<usize> = Mutex::new(0);
     let collected: Mutex<Vec<Cell>> = Mutex::new(Vec::new());
-    let compile_times: Mutex<Vec<(String, Duration)>> = Mutex::new(Vec::new());
+    let compile_walls: Mutex<Vec<(String, Duration)>> = Mutex::new(Vec::new());
+    let compile_traces: Mutex<Vec<(String, TraceSummary)>> = Mutex::new(Vec::new());
 
     // The default panic hook would spam stderr with a backtrace for every
     // isolated stage failure; silence it for the sweep and restore after.
@@ -117,13 +249,22 @@ pub fn run_matrix(benchmarks: &[Benchmark], stages: &[Stage], threads: usize) ->
                 let Some(benchmark) = benchmarks.get(index) else {
                     break;
                 };
-                let (cells, compiled_in) = evaluate_benchmark(benchmark, stages);
-                collected.lock().expect("result lock").extend(cells);
-                if let Some(wall) = compiled_in {
-                    compile_times
+                let evaluated = evaluate_benchmark(benchmark, stages, tracing);
+                collected
+                    .lock()
+                    .expect("result lock")
+                    .extend(evaluated.cells);
+                if let Some(wall) = evaluated.compile_wall {
+                    compile_walls
                         .lock()
                         .expect("compile-time lock")
                         .push((benchmark.name().to_string(), wall));
+                }
+                if let Some(trace) = evaluated.compile_trace {
+                    compile_traces
+                        .lock()
+                        .expect("compile-trace lock")
+                        .push((benchmark.name().to_string(), trace));
                 }
             });
         }
@@ -131,31 +272,62 @@ pub fn run_matrix(benchmarks: &[Benchmark], stages: &[Stage], threads: usize) ->
 
     std::panic::set_hook(prior_hook);
 
-    let mut compile_walls = compile_times.into_inner().expect("compile-time lock");
+    let mut compile_walls = compile_walls.into_inner().expect("compile-time lock");
     compile_walls.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut compile_traces = compile_traces.into_inner().expect("compile-trace lock");
+    compile_traces.sort_by(|a, b| a.0.cmp(&b.0));
     let mut report = SuiteReport {
         cells: collected.into_inner().expect("result lock"),
         stages: stages.iter().map(|s| s.name.clone()).collect(),
         threads: workers,
         total_wall: started.elapsed(),
         compile_walls,
+        compile_traces,
     };
     report.sort_cells();
     report
 }
 
+/// What [`evaluate_benchmark`] hands back for one benchmark row.
+struct EvaluatedBenchmark {
+    cells: Vec<Cell>,
+    /// Generate+compile wall time; absent when generation panicked.
+    compile_wall: Option<Duration>,
+    /// Events recorded during generate+compile; absent unless tracing.
+    compile_trace: Option<TraceSummary>,
+}
+
+/// Runs `body` under a fresh event collector when `tracing`, returning
+/// its result plus the non-empty aggregated trace.
+fn collect<T>(tracing: bool, body: impl FnOnce() -> T) -> (T, Option<TraceSummary>) {
+    if !tracing {
+        return (body(), None);
+    }
+    let collector = Arc::new(Collector::new());
+    let recorder: Arc<dyn Recorder> = Arc::clone(&collector) as Arc<dyn Recorder>;
+    let result = parchmint_obs::with_recorder(recorder, body);
+    let summary = collector.summary();
+    (result, (!summary.is_empty()).then_some(summary))
+}
+
 /// Runs the whole stage list on one benchmark, isolating each stage.
 ///
 /// The device is generated and compiled into its [`CompiledDevice`] view
-/// exactly once; every stage then borrows the same shared index. Returns
-/// the cells plus the generate+compile wall time (absent when generation
-/// panicked).
-fn evaluate_benchmark(benchmark: &Benchmark, stages: &[Stage]) -> (Vec<Cell>, Option<Duration>) {
+/// exactly once; every stage then borrows the same shared index. Under
+/// tracing, compile and each stage get their own collector, so a cell's
+/// trace covers exactly that cell's work.
+fn evaluate_benchmark(
+    benchmark: &Benchmark,
+    stages: &[Stage],
+    tracing: bool,
+) -> EvaluatedBenchmark {
     let name = benchmark.name().to_string();
     let generated = Instant::now();
-    let outcome = catch_unwind(AssertUnwindSafe(|| {
-        CompiledDevice::compile(benchmark.device()).into_shared()
-    }));
+    let (outcome, compile_trace) = collect(tracing, || {
+        catch_unwind(AssertUnwindSafe(|| {
+            CompiledDevice::compile(benchmark.device()).into_shared()
+        }))
+    });
     let compiled = match outcome {
         Ok(compiled) => compiled,
         Err(payload) => {
@@ -170,9 +342,14 @@ fn evaluate_benchmark(benchmark: &Benchmark, stages: &[Stage]) -> (Vec<Cell>, Op
                     detail: Some(format!("device generation panicked: {message}")),
                     metrics: Default::default(),
                     wall: generated.elapsed(),
+                    trace: None,
                 })
                 .collect();
-            return (cells, None);
+            return EvaluatedBenchmark {
+                cells,
+                compile_wall: None,
+                compile_trace,
+            };
         }
     };
     let compile_wall = generated.elapsed();
@@ -181,7 +358,9 @@ fn evaluate_benchmark(benchmark: &Benchmark, stages: &[Stage]) -> (Vec<Cell>, Op
         .iter()
         .map(|stage| {
             let started = Instant::now();
-            let outcome = catch_unwind(AssertUnwindSafe(|| (stage.run)(&compiled)));
+            let (outcome, trace) = collect(tracing, || {
+                catch_unwind(AssertUnwindSafe(|| (stage.run)(&compiled)))
+            });
             let wall = started.elapsed();
             let (status, detail, metrics) = match outcome {
                 Ok(Ok(StageOutcome::Metrics(metrics))) => (CellStatus::Ok, None, metrics),
@@ -202,10 +381,15 @@ fn evaluate_benchmark(benchmark: &Benchmark, stages: &[Stage]) -> (Vec<Cell>, Op
                 detail,
                 metrics,
                 wall,
+                trace,
             }
         })
         .collect();
-    (cells, Some(compile_wall))
+    EvaluatedBenchmark {
+        cells,
+        compile_wall: Some(compile_wall),
+        compile_trace,
+    }
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -231,16 +415,37 @@ mod tests {
             .collect()
     }
 
+    fn untraced(threads: usize) -> SuiteRunConfig {
+        SuiteRunConfig::builder().threads(threads).build()
+    }
+
     #[test]
     fn matrix_covers_every_cell() {
         let benchmarks = tiny_suite();
         let stages = standard_stages();
-        let report = run_matrix(&benchmarks, &stages, 2);
+        let report = run_matrix(&benchmarks, &stages, &untraced(2));
         assert_eq!(report.cells.len(), benchmarks.len() * stages.len());
         assert!(report
             .cells
             .iter()
             .all(|c| c.status == CellStatus::Ok || c.status == CellStatus::Skipped));
+        assert!(!report.has_traces(), "no tracing unless configured");
+    }
+
+    #[test]
+    fn tracing_attaches_summaries_to_cells() {
+        let benchmarks = tiny_suite();
+        let stages = standard_stages();
+        let config = SuiteRunConfig::builder().threads(2).trace("unused").build();
+        let report = run_matrix(&benchmarks, &stages, &config);
+        assert!(report.has_traces());
+        // Compile is instrumented, so every benchmark has a compile trace.
+        assert_eq!(report.compile_traces.len(), benchmarks.len());
+        let validate = report
+            .cell("logic_gate_or", "validate")
+            .expect("validate cell");
+        let trace = validate.trace.as_ref().expect("validate is instrumented");
+        assert!(trace.spans.contains_key("verify.referential"));
     }
 
     #[test]
@@ -252,7 +457,7 @@ mod tests {
                 Ok(StageOutcome::metrics([("one", Value::from(1))]))
             }),
         ];
-        let report = run_matrix(&benchmarks, &stages, 2);
+        let report = run_matrix(&benchmarks, &stages, &untraced(2));
         for benchmark in &benchmarks {
             let boom = report
                 .cell(benchmark.name(), "boom")
@@ -268,11 +473,11 @@ mod tests {
 
     #[test]
     fn unknown_names_become_failed_cells() {
-        let config = SuiteRunConfig {
-            threads: 1,
-            benchmarks: Some(vec!["logic_gate_or".into(), "no_such_chip".into()]),
-            stages: Some(vec!["validate".into(), "no_such_stage".into()]),
-        };
+        let config = SuiteRunConfig::builder()
+            .threads(1)
+            .benchmarks(["logic_gate_or", "no_such_chip"])
+            .stages(["validate", "no_such_stage"])
+            .build();
         let report = run_suite(&config);
         assert!(report
             .cells
@@ -285,5 +490,29 @@ mod tests {
         assert!(report.cells.iter().any(|c| c.benchmark == "logic_gate_or"
             && c.stage == "validate"
             && c.status == CellStatus::Ok));
+    }
+
+    #[test]
+    fn builder_round_trips_every_field() {
+        let config = SuiteRunConfig::builder()
+            .threads(3)
+            .benchmarks(["a", "b"])
+            .stages(["validate"])
+            .trace("t.json")
+            .baseline("base.json")
+            .tolerance(0.25)
+            .build();
+        assert_eq!(config.threads(), 3);
+        assert_eq!(config.benchmarks(), Some(&["a".into(), "b".into()][..]));
+        assert_eq!(config.stages(), Some(&["validate".into()][..]));
+        assert_eq!(config.trace(), Some(Path::new("t.json")));
+        assert_eq!(config.baseline(), Some(Path::new("base.json")));
+        assert_eq!(config.tolerance(), Some(0.25));
+        // Empty selections mean "no restriction".
+        let open = SuiteRunConfig::builder()
+            .benchmarks(Vec::<String>::new())
+            .build();
+        assert!(open.benchmarks().is_none());
+        assert!(open.trace().is_none());
     }
 }

@@ -75,7 +75,7 @@ fn flow_ports(
 }
 
 fn validate_stage(compiled: &CompiledDevice) -> Result<StageOutcome, String> {
-    let report = parchmint_verify::validate_compiled(compiled);
+    let report = parchmint_verify::validate(compiled);
     Ok(StageOutcome::metrics([
         ("conformant", Value::from(report.is_conformant())),
         ("diagnostics", Value::from(report.len())),
@@ -85,7 +85,7 @@ fn validate_stage(compiled: &CompiledDevice) -> Result<StageOutcome, String> {
 }
 
 fn characterize_stage(compiled: &CompiledDevice) -> Result<StageOutcome, String> {
-    let stats = parchmint_stats::DeviceStats::of_compiled(compiled);
+    let stats = parchmint_stats::DeviceStats::of(compiled);
     Ok(StageOutcome::metrics([
         ("components", Value::from(stats.components)),
         ("connections", Value::from(stats.connections)),
@@ -122,7 +122,7 @@ fn pnr_stage(
 }
 
 fn flow_stage(compiled: &CompiledDevice) -> Result<StageOutcome, String> {
-    let network = parchmint_sim::FlowNetwork::from_compiled(compiled, parchmint_sim::Fluid::WATER);
+    let network = parchmint_sim::FlowNetwork::new(compiled, parchmint_sim::Fluid::WATER);
     let ports = flow_ports(compiled, &network);
     if ports.len() < 2 {
         return Ok(StageOutcome::Skipped(format!(
@@ -153,7 +153,7 @@ fn flow_stage(compiled: &CompiledDevice) -> Result<StageOutcome, String> {
 fn control_stage(compiled: &CompiledDevice) -> Result<StageOutcome, String> {
     // Planning routes over the flow layer, so candidate endpoints are the
     // same flow-network ports the simulation stage drives.
-    let network = parchmint_sim::FlowNetwork::from_compiled(compiled, parchmint_sim::Fluid::WATER);
+    let network = parchmint_sim::FlowNetwork::new(compiled, parchmint_sim::Fluid::WATER);
     let ports = flow_ports(compiled, &network);
     let [from, .., to] = ports.as_slice() else {
         return Ok(StageOutcome::Skipped(format!(
@@ -161,15 +161,11 @@ fn control_stage(compiled: &CompiledDevice) -> Result<StageOutcome, String> {
             ports.len()
         )));
     };
-    let plan =
-        parchmint_control::plan_flow_compiled(compiled, from, to).map_err(|e| e.to_string())?;
+    let plan = parchmint_control::plan_flow(compiled, from, to).map_err(|e| e.to_string())?;
     Ok(StageOutcome::metrics([
         ("hops", Value::from(plan.hops())),
         ("constrained_valves", Value::from(plan.valve_states.len())),
-        (
-            "actuations",
-            Value::from(plan.actuations_compiled(compiled).len()),
-        ),
+        ("actuations", Value::from(plan.actuations(compiled).len())),
     ]))
 }
 

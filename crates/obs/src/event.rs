@@ -1,0 +1,37 @@
+//! The event vocabulary shared by all recorders.
+
+use std::time::Duration;
+
+/// The payload of one observability [`Event`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A monotonic counter increment (e.g. moves accepted).
+    Count(u64),
+    /// One deterministic numeric sample in emission order (e.g. the
+    /// annealing cost at the end of a sweep).
+    Sample(f64),
+    /// One observation destined for a log-scale histogram (e.g. node
+    /// expansions for a single routed net).
+    Observe(u64),
+    /// A span that closed after running for the carried wall-clock
+    /// duration. Durations are nondeterministic; aggregations keep them
+    /// separate from the deterministic kinds so traces can be compared
+    /// byte-for-byte after a timing strip.
+    Span(Duration),
+}
+
+/// One observability event emitted by instrumented pipeline code.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Dotted static metric name, e.g. `pnr.place.accepted`.
+    pub name: &'static str,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Convenience constructor.
+    pub fn new(name: &'static str, kind: EventKind) -> Self {
+        Event { name, kind }
+    }
+}

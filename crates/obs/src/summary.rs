@@ -1,0 +1,135 @@
+//! Deterministic aggregation of recorded events.
+
+use crate::event::{Event, EventKind};
+use crate::metrics::Histogram;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Aggregated timing of one span name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// How many spans closed under this name. Deterministic.
+    pub count: u64,
+    /// Total wall time across them. Nondeterministic — serializers must
+    /// keep it under a strippable timing key.
+    pub total: Duration,
+}
+
+/// Events folded into sorted maps, ready for deterministic
+/// serialization: counter totals, sample series in emission order,
+/// merged histograms, and span statistics.
+///
+/// Everything except [`SpanStats::total`] is a pure function of the
+/// emission sequence, so two runs of a deterministic pipeline produce
+/// equal summaries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Total events folded in.
+    pub events: u64,
+    /// Counter name → summed increments.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Sample name → values in emission order.
+    pub samples: BTreeMap<&'static str, Vec<f64>>,
+    /// Histogram name → merged histogram.
+    pub histograms: BTreeMap<&'static str, Histogram>,
+    /// Span name → closure count and total wall time.
+    pub spans: BTreeMap<&'static str, SpanStats>,
+}
+
+impl TraceSummary {
+    /// Aggregates a finished event sequence.
+    pub fn from_events(events: impl IntoIterator<Item = Event>) -> Self {
+        let mut summary = TraceSummary::default();
+        for event in events {
+            summary.record(event);
+        }
+        summary
+    }
+
+    /// Folds one event in.
+    pub fn record(&mut self, event: Event) {
+        self.events += 1;
+        match event.kind {
+            EventKind::Count(delta) => {
+                *self.counters.entry(event.name).or_insert(0) += delta;
+            }
+            EventKind::Sample(value) => {
+                self.samples.entry(event.name).or_default().push(value);
+            }
+            EventKind::Observe(value) => {
+                self.histograms.entry(event.name).or_default().record(value);
+            }
+            EventKind::Span(elapsed) => {
+                let stats = self.spans.entry(event.name).or_default();
+                stats.count += 1;
+                stats.total += elapsed;
+            }
+        }
+    }
+
+    /// Folds another summary in (counters add, samples append,
+    /// histograms merge, spans accumulate).
+    pub fn merge(&mut self, other: &TraceSummary) {
+        self.events += other.events;
+        for (&name, &delta) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += delta;
+        }
+        for (&name, values) in &other.samples {
+            self.samples.entry(name).or_default().extend(values);
+        }
+        for (&name, histogram) in &other.histograms {
+            self.histograms.entry(name).or_default().merge(histogram);
+        }
+        for (&name, stats) in &other.spans {
+            let mine = self.spans.entry(name).or_default();
+            mine.count += stats.count;
+            mine.total += stats.total;
+        }
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation_by_kind() {
+        let summary = TraceSummary::from_events([
+            Event::new("c", EventKind::Count(2)),
+            Event::new("c", EventKind::Count(3)),
+            Event::new("s", EventKind::Sample(1.0)),
+            Event::new("s", EventKind::Sample(0.5)),
+            Event::new("h", EventKind::Observe(9)),
+            Event::new("t", EventKind::Span(Duration::from_millis(2))),
+            Event::new("t", EventKind::Span(Duration::from_millis(3))),
+        ]);
+        assert_eq!(summary.events, 7);
+        assert_eq!(summary.counters["c"], 5);
+        assert_eq!(summary.samples["s"], vec![1.0, 0.5]);
+        assert_eq!(summary.histograms["h"].count(), 1);
+        assert_eq!(summary.spans["t"].count, 2);
+        assert_eq!(summary.spans["t"].total, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn merge_matches_concatenation() {
+        let first = [
+            Event::new("c", EventKind::Count(1)),
+            Event::new("s", EventKind::Sample(1.0)),
+        ];
+        let second = [
+            Event::new("c", EventKind::Count(4)),
+            Event::new("s", EventKind::Sample(2.0)),
+            Event::new("h", EventKind::Observe(3)),
+        ];
+        let mut merged = TraceSummary::from_events(first);
+        merged.merge(&TraceSummary::from_events(second));
+        let concatenated = TraceSummary::from_events(first.into_iter().chain(second));
+        assert_eq!(merged, concatenated);
+    }
+}

@@ -80,13 +80,19 @@ pub fn place_and_route(
     // features, which none of the report metrics read through the index.
     let unplaced = CompiledDevice::from_ref(device);
     let t0 = Instant::now();
-    let placement = p.place(&unplaced);
+    let placement = {
+        let _span = parchmint_obs::Span::enter("pnr.place");
+        p.place(&unplaced)
+    };
     let place_time = t0.elapsed();
     placement.apply_to(device);
 
     let placed = CompiledDevice::from_ref(device);
     let t1 = Instant::now();
-    let routing = r.route(&placed);
+    let routing = {
+        let _span = parchmint_obs::Span::enter("pnr.route");
+        r.route(&placed)
+    };
     let route_time = t1.elapsed();
     routing.apply_to(device);
 

@@ -210,6 +210,20 @@ impl Placer for AnnealingPlacer {
 
         let mut temperature = (sample_sum as f64 / samples as f64).max(1.0) * 2.0;
 
+        // Trace bookkeeping: counters accumulate locally and flush once
+        // (a full anneal proposes hundreds of thousands of moves), and
+        // the running total cost is only seeded when tracing is on — the
+        // Metropolis loop itself is identical either way.
+        let tracing = parchmint_obs::enabled();
+        let (mut accepted, mut rejected) = (0u64, 0u64);
+        let mut total_cost: i64 = if tracing {
+            (0..state.nets.len())
+                .map(|net| state.net_hpwl(&grid, net))
+                .sum()
+        } else {
+            0
+        };
+
         for _sweep in 0..self.config.sweeps {
             let moves = self.config.moves_per_sweep * n;
             for _ in 0..moves {
@@ -227,12 +241,27 @@ impl Placer for AnnealingPlacer {
                 let delta = after - before;
                 let accept =
                     delta <= 0 || rng.random::<f64>() < (-(delta as f64) / temperature).exp();
-                if !accept {
+                if accept {
+                    accepted += 1;
+                    total_cost += delta;
+                } else {
+                    rejected += 1;
                     // Undo.
                     state.swap(a, site_a);
                 }
             }
             temperature = (temperature * self.config.cooling).max(1e-3);
+            if tracing {
+                // One cost/temperature point per sweep: the cooling curve
+                // without per-move event volume.
+                parchmint_obs::sample("pnr.place.cost", total_cost as f64);
+                parchmint_obs::sample("pnr.place.temperature", temperature);
+            }
+        }
+        if tracing {
+            parchmint_obs::count("pnr.place.sweeps", self.config.sweeps as u64);
+            parchmint_obs::count("pnr.place.accepted", accepted);
+            parchmint_obs::count("pnr.place.rejected", rejected);
         }
 
         ids.iter()

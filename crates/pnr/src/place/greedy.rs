@@ -27,7 +27,7 @@ impl Placer for GreedyPlacer {
     }
 
     fn place(&self, compiled: &CompiledDevice) -> Placement {
-        let netlist = Netlist::from_compiled(compiled);
+        let netlist = Netlist::new(compiled);
         let graph = netlist.graph();
         let grid = SiteGrid::for_device(compiled.device());
         let sites = grid.snake_order();

@@ -157,13 +157,15 @@ const DIRS: [(i64, i64); 4] = [(1, 0), (-1, 0), (0, 1), (0, -1)];
 
 /// A* from `start` to `goal` over the grid. `free_override` marks cells
 /// passable regardless of component blockage (endpoint escape zones and
-/// the net's own previously routed cells).
+/// the net's own previously routed cells). `expanded` accumulates the
+/// number of heap pops (search effort) for trace counters.
 fn astar(
     grid: &RoutingGrid,
     config: &GridRouterConfig,
     start: (i64, i64),
     goal: (i64, i64),
     free_override: &[bool],
+    expanded: &mut u64,
 ) -> Option<Vec<(i64, i64)>> {
     let n = (grid.cols * grid.rows) as usize;
     let state = |cell: usize, dir: usize| cell * 5 + dir;
@@ -192,6 +194,7 @@ fn astar(
     heap.push(Reverse((h(start.0, start.1), start_state as u32)));
 
     while let Some(Reverse((_, s))) = heap.pop() {
+        *expanded += 1;
         let s = s as usize;
         let cell = s / 5;
         let dir = s % 5;
@@ -307,6 +310,7 @@ impl Router for AStarRouter {
         // Rip-up and re-route: when nets fail because earlier routes walled
         // them in, retry from scratch with the failed nets promoted to the
         // front of the order.
+        let mut ripup_rounds = 0u64;
         let mut best = self.route_in_order(compiled, &order);
         for _ in 0..self.config.reroute_attempts {
             if best.failed.is_empty() {
@@ -323,12 +327,18 @@ impl Router for AStarRouter {
                 .filter(|i| !failed.contains(i))
                 .collect();
             order = failed.into_iter().chain(rest).collect();
+            ripup_rounds += 1;
             let retry = self.route_in_order(compiled, &order);
             if retry.failed.len() < best.failed.len() {
                 best = retry;
             } else {
                 break;
             }
+        }
+        if parchmint_obs::enabled() {
+            parchmint_obs::count("pnr.route.ripup_rounds", ripup_rounds);
+            parchmint_obs::count("pnr.route.routed", best.routed.len() as u64);
+            parchmint_obs::count("pnr.route.failed", best.failed.len() as u64);
         }
         best
     }
@@ -340,6 +350,8 @@ impl AStarRouter {
         let mut grid = RoutingGrid::new(device, &self.config);
         let mut result = RoutingResult::default();
         let n_cells = (grid.cols * grid.rows) as usize;
+        let tracing = parchmint_obs::enabled();
+        let mut total_expanded = 0u64;
         for &i in order {
             let connection = &device.connections[i];
             let Some(src) = compiled.target_position(&connection.source) else {
@@ -364,6 +376,7 @@ impl AStarRouter {
 
             let mut branches: Vec<Vec<Point>> = Vec::with_capacity(sinks.len());
             let mut net_cells: Vec<usize> = Vec::new();
+            let mut net_expanded = 0u64;
             let mut ok = true;
             for &sink in &sinks {
                 let sink_cell = grid.cell_of(sink);
@@ -371,7 +384,14 @@ impl AStarRouter {
                     free_override[c] = true;
                 }
                 // The net's own cells are free for later branches (merging).
-                match astar(&grid, &self.config, src_cell, sink_cell, &free_override) {
+                match astar(
+                    &grid,
+                    &self.config,
+                    src_cell,
+                    sink_cell,
+                    &free_override,
+                    &mut net_expanded,
+                ) {
                     Some(cells) => {
                         branches.push(to_waypoints(&grid, src, sink, &cells));
                         for (cx, cy) in cells {
@@ -387,6 +407,10 @@ impl AStarRouter {
                 }
             }
 
+            total_expanded += net_expanded;
+            if tracing {
+                parchmint_obs::observe("pnr.route.net_expansions", net_expanded);
+            }
             if ok {
                 for idx in net_cells {
                     grid.blocked[idx] |= BLOCK_NET;
@@ -399,6 +423,9 @@ impl AStarRouter {
             } else {
                 result.failed.push(connection.id.clone());
             }
+        }
+        if tracing {
+            parchmint_obs::count("pnr.route.expansions", total_expanded);
         }
         result
     }

@@ -171,6 +171,11 @@ impl Router for StraightRouter {
                 result.failed.push(connection.id.clone());
             }
         }
+        if parchmint_obs::enabled() {
+            parchmint_obs::count("pnr.route.ripup_rounds", 0);
+            parchmint_obs::count("pnr.route.routed", result.routed.len() as u64);
+            parchmint_obs::count("pnr.route.failed", result.failed.len() as u64);
+        }
         result
     }
 }

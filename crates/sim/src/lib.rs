@@ -14,12 +14,15 @@
 //! is an open circuit.
 //!
 //! ```
+//! use parchmint::CompiledDevice;
 //! use parchmint_sim::{FlowNetwork, Fluid};
 //!
-//! let chip = parchmint_suite::by_name("rotary_pump_mixer").unwrap().device();
+//! let chip = CompiledDevice::compile(
+//!     parchmint_suite::by_name("rotary_pump_mixer").unwrap().device(),
+//! );
 //! // Drive in_a at 1 kPa against a grounded outlet; valves at rest.
 //! // (in_a's inlet valve is normally closed, so nothing flows at rest.)
-//! let network = FlowNetwork::from_device(&chip, Fluid::WATER);
+//! let network = FlowNetwork::new(&chip, Fluid::WATER);
 //! let solution = network.solve(&[("in_a".into(), 1000.0), ("out".into(), 0.0)]).unwrap();
 //! assert_eq!(solution.net_inflow(&"out".into()), 0.0);
 //! ```

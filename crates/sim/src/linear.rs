@@ -100,6 +100,9 @@ pub fn solve(mut a: DenseMatrix, mut b: Vec<f64>) -> Result<Vec<f64>, SingularMa
         .max(f64::MIN_POSITIVE);
     let tol = scale * 1e-13;
 
+    // One "iteration" per eliminated column; pivot swaps separately so
+    // traces show how often dominance alone was insufficient.
+    let mut pivot_swaps: u64 = 0;
     for col in 0..n {
         // Partial pivot.
         let pivot_row = (col..n)
@@ -114,6 +117,7 @@ pub fn solve(mut a: DenseMatrix, mut b: Vec<f64>) -> Result<Vec<f64>, SingularMa
             return Err(SingularMatrix);
         }
         if pivot_row != col {
+            pivot_swaps += 1;
             for j in 0..n {
                 let tmp = a[(col, j)];
                 a[(col, j)] = a[(pivot_row, j)];
@@ -133,6 +137,11 @@ pub fn solve(mut a: DenseMatrix, mut b: Vec<f64>) -> Result<Vec<f64>, SingularMa
             }
             b[row] -= factor * b[col];
         }
+    }
+
+    if parchmint_obs::enabled() {
+        parchmint_obs::count("sim.linear.iterations", n as u64);
+        parchmint_obs::count("sim.linear.pivot_swaps", pivot_swaps);
     }
 
     // Back-substitute.

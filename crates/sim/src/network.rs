@@ -58,16 +58,9 @@ pub struct FlowNetwork {
 }
 
 impl FlowNetwork {
-    /// Builds the network over the device's flow layers, all valves at rest.
-    ///
-    /// Compiles a throwaway [`CompiledDevice`] internally; callers that
-    /// already hold one should use [`FlowNetwork::from_compiled`].
-    pub fn from_device(device: &Device, fluid: Fluid) -> Self {
-        Self::from_compiled(&CompiledDevice::from_ref(device), fluid)
-    }
-
-    /// Builds the network from a compiled device, all valves at rest.
-    pub fn from_compiled(compiled: &CompiledDevice, fluid: Fluid) -> Self {
+    /// Builds the network from a compiled device's flow layers, all
+    /// valves at rest.
+    pub fn new(compiled: &CompiledDevice, fluid: Fluid) -> Self {
         Self::build(compiled, fluid, &BTreeMap::new())
     }
 
@@ -80,20 +73,41 @@ impl FlowNetwork {
     /// `valve_states` to confirm fluid actually moves only along the
     /// planned path.
     pub fn with_valve_states(
-        device: &Device,
-        fluid: Fluid,
-        states: &BTreeMap<ComponentId, ValveState>,
-    ) -> Self {
-        Self::build(&CompiledDevice::from_ref(device), fluid, states)
-    }
-
-    /// [`FlowNetwork::with_valve_states`] over an already-compiled device.
-    pub fn with_valve_states_compiled(
         compiled: &CompiledDevice,
         fluid: Fluid,
         states: &BTreeMap<ComponentId, ValveState>,
     ) -> Self {
         Self::build(compiled, fluid, states)
+    }
+
+    /// Builds the network from a raw device, all valves at rest.
+    ///
+    /// Compiles a throwaway [`CompiledDevice`] on every call.
+    #[deprecated(
+        since = "0.1.0",
+        note = "compile once (`CompiledDevice::from_ref(&device)`) and call \
+                `FlowNetwork::new(&compiled, fluid)`; this wrapper recompiles \
+                on every call"
+    )]
+    pub fn from_device(device: &Device, fluid: Fluid) -> Self {
+        Self::new(&CompiledDevice::from_ref(device), fluid)
+    }
+
+    /// Builds the valve-aware network from a raw device.
+    ///
+    /// Compiles a throwaway [`CompiledDevice`] on every call.
+    #[deprecated(
+        since = "0.1.0",
+        note = "compile once (`CompiledDevice::from_ref(&device)`) and call \
+                `FlowNetwork::with_valve_states(&compiled, fluid, states)`; \
+                this wrapper recompiles on every call"
+    )]
+    pub fn with_valve_states_device(
+        device: &Device,
+        fluid: Fluid,
+        states: &BTreeMap<ComponentId, ValveState>,
+    ) -> Self {
+        Self::with_valve_states(&CompiledDevice::from_ref(device), fluid, states)
     }
 
     fn build(
@@ -196,6 +210,7 @@ impl FlowNetwork {
     /// Nodes not connected (through conducting edges) to any boundary node
     /// are left at 0 Pa with zero flow — they are hydraulically floating.
     pub fn solve(&self, boundary: &[(ComponentId, f64)]) -> Result<Solution, SimError> {
+        let _span = parchmint_obs::Span::enter("sim.solve");
         if boundary.is_empty() {
             return Err(SimError::NoBoundary);
         }
@@ -236,6 +251,11 @@ impl FlowNetwork {
             unknowns.iter().enumerate().map(|(k, &i)| (i, k)).collect();
 
         let n = unknowns.len();
+        if parchmint_obs::enabled() {
+            parchmint_obs::count("sim.solve.nodes", self.nodes.len() as u64);
+            parchmint_obs::count("sim.solve.edges", self.edges.len() as u64);
+            parchmint_obs::count("sim.solve.unknowns", n as u64);
+        }
         let mut a = DenseMatrix::zeros(n);
         let mut b = vec![0.0; n];
         for edge in &self.edges {
@@ -285,6 +305,18 @@ impl FlowNetwork {
                 to: self.nodes[edge.b].clone(),
                 flow: q,
             });
+        }
+
+        // Trace-only solution quality check: the worst violation of mass
+        // conservation across the solved (unknown) nodes.
+        if parchmint_obs::enabled() {
+            let mut net = vec![0.0; self.nodes.len()];
+            for (edge, flow) in self.edges.iter().zip(&flows) {
+                net[edge.a] += flow.flow;
+                net[edge.b] -= flow.flow;
+            }
+            let residual = unknowns.iter().map(|&i| net[i].abs()).fold(0.0, f64::max);
+            parchmint_obs::sample("sim.solve.residual", residual);
         }
 
         Ok(Solution { pressures, flows })
@@ -431,7 +463,7 @@ mod tests {
     #[test]
     fn series_channel_carries_uniform_flow() {
         let device = straight_device();
-        let network = FlowNetwork::from_device(&device, Fluid::WATER);
+        let network = FlowNetwork::new(&CompiledDevice::from_ref(&device), Fluid::WATER);
         assert_eq!(network.node_count(), 3);
         assert_eq!(network.edge_count(), 2);
         let solution = network
@@ -455,7 +487,7 @@ mod tests {
     #[test]
     fn reversed_pressure_reverses_flow() {
         let device = straight_device();
-        let network = FlowNetwork::from_device(&device, Fluid::WATER);
+        let network = FlowNetwork::new(&CompiledDevice::from_ref(&device), Fluid::WATER);
         let solution = network
             .solve(&[("in".into(), 0.0), ("out".into(), 500.0)])
             .unwrap();
@@ -522,7 +554,7 @@ mod tests {
             ))
             .build()
             .unwrap();
-        let network = FlowNetwork::from_device(&device, Fluid::WATER);
+        let network = FlowNetwork::new(&CompiledDevice::from_ref(&device), Fluid::WATER);
         let solution = network
             .solve(&[("in".into(), 1000.0), ("out".into(), 0.0)])
             .unwrap();
@@ -553,14 +585,18 @@ mod tests {
             .push(parchmint::Valve::new("v1", "c2", ValveType::NormallyOpen));
 
         // At rest (normally open): conducts.
-        let open = FlowNetwork::from_device(&device, Fluid::WATER);
+        let open = FlowNetwork::new(&CompiledDevice::from_ref(&device), Fluid::WATER);
         assert_eq!(open.edge_count(), 2);
 
         // Explicitly closed: c2's conductance disappears; the outlet node
         // remains but floats.
         let mut states = BTreeMap::new();
         states.insert(ComponentId::new("v1"), ValveState::Closed);
-        let closed = FlowNetwork::with_valve_states(&device, Fluid::WATER, &states);
+        let closed = FlowNetwork::with_valve_states(
+            &CompiledDevice::from_ref(&device),
+            Fluid::WATER,
+            &states,
+        );
         assert_eq!(closed.edge_count(), 1);
         let solution = closed
             .solve(&[("in".into(), 1000.0), ("out".into(), 0.0)])
@@ -585,19 +621,23 @@ mod tests {
         device
             .valves
             .push(parchmint::Valve::new("v1", "c2", ValveType::NormallyClosed));
-        let rest = FlowNetwork::from_device(&device, Fluid::WATER);
+        let rest = FlowNetwork::new(&CompiledDevice::from_ref(&device), Fluid::WATER);
         assert_eq!(rest.edge_count(), 1);
         // Opened explicitly: conducts again.
         let mut states = BTreeMap::new();
         states.insert(ComponentId::new("v1"), ValveState::Open);
-        let open = FlowNetwork::with_valve_states(&device, Fluid::WATER, &states);
+        let open = FlowNetwork::with_valve_states(
+            &CompiledDevice::from_ref(&device),
+            Fluid::WATER,
+            &states,
+        );
         assert_eq!(open.edge_count(), 2);
     }
 
     #[test]
     fn boundary_errors() {
         let device = straight_device();
-        let network = FlowNetwork::from_device(&device, Fluid::WATER);
+        let network = FlowNetwork::new(&CompiledDevice::from_ref(&device), Fluid::WATER);
         assert!(matches!(network.solve(&[]), Err(SimError::NoBoundary)));
         let err = network.solve(&[("ghost".into(), 1.0)]).unwrap_err();
         assert!(matches!(err, SimError::UnknownNode(_)));
@@ -643,7 +683,7 @@ mod tests {
             ))
             .build()
             .unwrap();
-        let network = FlowNetwork::from_device(&device, Fluid::WATER);
+        let network = FlowNetwork::new(&CompiledDevice::from_ref(&device), Fluid::WATER);
         let solution = network
             .solve(&[("a".into(), 800.0), ("b".into(), 0.0)])
             .unwrap();
@@ -656,7 +696,7 @@ mod tests {
     fn routed_geometry_changes_resistance() {
         use parchmint::geometry::Point;
         let mut device = straight_device();
-        let base = FlowNetwork::from_device(&device, Fluid::WATER);
+        let base = FlowNetwork::new(&CompiledDevice::from_ref(&device), Fluid::WATER);
         let q_base = base
             .solve(&[("in".into(), 1000.0), ("out".into(), 0.0)])
             .unwrap()
@@ -673,7 +713,7 @@ mod tests {
             )
             .into(),
         );
-        let routed = FlowNetwork::from_device(&device, Fluid::WATER);
+        let routed = FlowNetwork::new(&CompiledDevice::from_ref(&device), Fluid::WATER);
         let q_routed = routed
             .solve(&[("in".into(), 1000.0), ("out".into(), 0.0)])
             .unwrap()

@@ -4,7 +4,7 @@
 use crate::network::FlowNetwork;
 use crate::resistance::Fluid;
 use crate::transport::concentrations;
-use parchmint::ComponentId;
+use parchmint::{CompiledDevice, ComponentId};
 use parchmint_suite::{synthetic, SyntheticConfig};
 use proptest::prelude::*;
 
@@ -26,7 +26,7 @@ proptest! {
     #[test]
     fn mass_is_conserved(config in config_strategy(), drive in 100.0f64..10_000.0) {
         let device = synthetic::generate("prop", &config);
-        let network = FlowNetwork::from_device(&device, Fluid::WATER);
+        let network = FlowNetwork::new(&CompiledDevice::from_ref(&device), Fluid::WATER);
         let ports: Vec<ComponentId> = device
             .components_of(&parchmint::Entity::Port)
             .map(|c| c.id.clone())
@@ -50,7 +50,7 @@ proptest! {
     fn pressures_obey_the_maximum_principle(config in config_strategy()) {
         // Interior pressures lie within the range of boundary pressures.
         let device = synthetic::generate("prop", &config);
-        let network = FlowNetwork::from_device(&device, Fluid::WATER);
+        let network = FlowNetwork::new(&CompiledDevice::from_ref(&device), Fluid::WATER);
         let ports: Vec<ComponentId> = device
             .components_of(&parchmint::Entity::Port)
             .map(|c| c.id.clone())
@@ -76,7 +76,7 @@ proptest! {
     #[test]
     fn concentrations_stay_in_the_inlet_hull(config in config_strategy()) {
         let device = synthetic::generate("prop", &config);
-        let network = FlowNetwork::from_device(&device, Fluid::WATER);
+        let network = FlowNetwork::new(&CompiledDevice::from_ref(&device), Fluid::WATER);
         let ports: Vec<ComponentId> = device
             .components_of(&parchmint::Entity::Port)
             .map(|c| c.id.clone())
@@ -100,7 +100,7 @@ proptest! {
     #[test]
     fn flow_scales_linearly_with_pressure(config in config_strategy()) {
         let device = synthetic::generate("prop", &config);
-        let network = FlowNetwork::from_device(&device, Fluid::WATER);
+        let network = FlowNetwork::new(&CompiledDevice::from_ref(&device), Fluid::WATER);
         let ports: Vec<ComponentId> = device
             .components_of(&parchmint::Entity::Port)
             .map(|c| c.id.clone())

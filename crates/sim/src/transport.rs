@@ -21,10 +21,13 @@ use std::collections::BTreeMap;
 /// # Examples
 ///
 /// ```
+/// use parchmint::CompiledDevice;
 /// use parchmint_sim::{concentrations, Fluid, FlowNetwork};
 ///
-/// let chip = parchmint_suite::by_name("molecular_gradient_generator").unwrap().device();
-/// let network = FlowNetwork::from_device(&chip, Fluid::WATER);
+/// let chip = CompiledDevice::compile(
+///     parchmint_suite::by_name("molecular_gradient_generator").unwrap().device(),
+/// );
+/// let network = FlowNetwork::new(&chip, Fluid::WATER);
 /// let boundary: Vec<(parchmint::ComponentId, f64)> = [
 ///     ("in_a", 1000.0), ("in_b", 1000.0),
 ///     ("out_0", 0.0), ("out_1", 0.0), ("out_2", 0.0), ("out_3", 0.0),
@@ -126,7 +129,9 @@ mod tests {
     use crate::network::FlowNetwork;
     use crate::resistance::Fluid;
     use parchmint::geometry::Span;
-    use parchmint::{Component, Connection, Device, Entity, Layer, LayerType, Port, Target};
+    use parchmint::{
+        CompiledDevice, Component, Connection, Device, Entity, Layer, LayerType, Port, Target,
+    };
 
     /// Two inlets merge at a node and exit: c_out is the flow-weighted mix.
     fn merge_device() -> Device {
@@ -178,7 +183,7 @@ mod tests {
     #[test]
     fn symmetric_merge_gives_half() {
         let device = merge_device();
-        let network = FlowNetwork::from_device(&device, Fluid::WATER);
+        let network = FlowNetwork::new(&CompiledDevice::from_ref(&device), Fluid::WATER);
         let flow = network
             .solve(&[
                 ("a".into(), 1000.0),
@@ -199,7 +204,7 @@ mod tests {
         // Symmetric resistances: the junction sits at the mean of the three
         // rails (900 Pa), so inflows are q_a ∝ 600, q_b ∝ 300 → mix = 2/3.
         let device = merge_device();
-        let network = FlowNetwork::from_device(&device, Fluid::WATER);
+        let network = FlowNetwork::new(&CompiledDevice::from_ref(&device), Fluid::WATER);
         let flow = network
             .solve(&[
                 ("a".into(), 1500.0),
@@ -216,7 +221,7 @@ mod tests {
     fn concentration_is_conserved_along_a_chain() {
         // Single path: the outlet sees exactly the inlet concentration.
         let device = crate::network::tests_support::straight_device();
-        let network = FlowNetwork::from_device(&device, Fluid::WATER);
+        let network = FlowNetwork::new(&CompiledDevice::from_ref(&device), Fluid::WATER);
         let flow = network
             .solve(&[("in".into(), 1000.0), ("out".into(), 0.0)])
             .unwrap();
@@ -228,7 +233,7 @@ mod tests {
     #[test]
     fn unknown_inlet_errors() {
         let device = merge_device();
-        let network = FlowNetwork::from_device(&device, Fluid::WATER);
+        let network = FlowNetwork::new(&CompiledDevice::from_ref(&device), Fluid::WATER);
         let flow = network
             .solve(&[("a".into(), 1000.0), ("out".into(), 0.0)])
             .unwrap();
@@ -243,7 +248,7 @@ mod tests {
         let device = parchmint_suite::by_name("molecular_gradient_generator")
             .unwrap()
             .device();
-        let network = FlowNetwork::from_device(&device, Fluid::WATER);
+        let network = FlowNetwork::new(&CompiledDevice::from_ref(&device), Fluid::WATER);
         let mut boundary: Vec<(ComponentId, f64)> =
             vec![("in_a".into(), 1000.0), ("in_b".into(), 1000.0)];
         for i in 0..7 {
@@ -276,7 +281,7 @@ mod tests {
         let device = parchmint_suite::by_name("hemagglutination_inhibition")
             .unwrap()
             .device();
-        let network = FlowNetwork::from_device(&device, Fluid::WATER);
+        let network = FlowNetwork::new(&CompiledDevice::from_ref(&device), Fluid::WATER);
         let mut boundary: Vec<(ComponentId, f64)> = vec![
             ("in_serum".into(), 1200.0),
             ("in_diluent".into(), 1200.0),

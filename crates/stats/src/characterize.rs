@@ -37,18 +37,10 @@ pub struct DeviceStats {
 }
 
 impl DeviceStats {
-    /// Computes all statistics for `device`.
-    ///
-    /// Compiles a temporary [`CompiledDevice`] view; callers that already
-    /// hold one should prefer [`DeviceStats::of_compiled`].
-    pub fn of(device: &Device) -> Self {
-        DeviceStats::of_compiled(&CompiledDevice::from_ref(device))
-    }
-
-    /// Computes all statistics from an existing compiled view.
-    pub fn of_compiled(compiled: &CompiledDevice) -> Self {
+    /// Computes all statistics from a compiled view.
+    pub fn of(compiled: &CompiledDevice) -> Self {
         let device = compiled.device();
-        let netlist = Netlist::from_compiled(compiled);
+        let netlist = Netlist::new(compiled);
         let graph = GraphMetrics::of(netlist.graph());
         let bridges = parchmint_graph::bridges(netlist.graph()).len();
 
@@ -92,6 +84,18 @@ impl DeviceStats {
         }
     }
 
+    /// Computes all statistics for a raw `device`.
+    ///
+    /// Compiles a throwaway [`CompiledDevice`] on every call.
+    #[deprecated(
+        since = "0.1.0",
+        note = "compile once (`CompiledDevice::from_ref(&device)`) and call \
+                `DeviceStats::of(&compiled)`; this wrapper recompiles on every call"
+    )]
+    pub fn of_device(device: &Device) -> Self {
+        DeviceStats::of(&CompiledDevice::from_ref(device))
+    }
+
     /// Component count in `class`.
     pub fn class_count(&self, class: EntityClass) -> usize {
         let index = EntityClass::ALL
@@ -111,7 +115,7 @@ mod tests {
         let d = parchmint_suite::by_name("chromatin_immunoprecipitation")
             .unwrap()
             .device();
-        let s = DeviceStats::of(&d);
+        let s = DeviceStats::of(&CompiledDevice::from_ref(&d));
         assert_eq!(s.name, "chromatin_immunoprecipitation");
         assert_eq!(s.layers, 2);
         assert_eq!(s.flow_layers, 1);
@@ -130,7 +134,7 @@ mod tests {
     #[test]
     fn class_histogram_sums_to_components() {
         for b in parchmint_suite::suite() {
-            let s = DeviceStats::of(&b.device());
+            let s = DeviceStats::of(&CompiledDevice::compile(b.device()));
             let total: usize = s.class_histogram.iter().sum();
             assert_eq!(total, s.components, "histogram mismatch for {}", s.name);
         }
@@ -141,7 +145,7 @@ mod tests {
         let d = parchmint_suite::by_name("molecular_gradient_generator")
             .unwrap()
             .device();
-        let s = DeviceStats::of(&d);
+        let s = DeviceStats::of(&CompiledDevice::from_ref(&d));
         assert_eq!(s.control_layers, 0);
         assert_eq!(s.valves, 0);
         assert!(s.graph.is_connected());

@@ -5,11 +5,14 @@
 //! entity-distribution companion figure.
 //!
 //! ```
+//! use parchmint::CompiledDevice;
 //! use parchmint_stats::DeviceStats;
 //!
-//! let chip = parchmint_suite::by_name("logic_gate_or").unwrap().device();
+//! let chip = CompiledDevice::compile(
+//!     parchmint_suite::by_name("logic_gate_or").unwrap().device(),
+//! );
 //! let stats = DeviceStats::of(&chip);
-//! assert_eq!(stats.components, chip.components.len());
+//! assert_eq!(stats.components, chip.device().components.len());
 //! ```
 
 #![warn(missing_docs)]

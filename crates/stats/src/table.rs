@@ -151,7 +151,7 @@ impl FromIterator<DeviceStats> for SuiteTable {
 pub fn characterize_suite() -> SuiteTable {
     parchmint_suite::suite()
         .iter()
-        .map(|b| DeviceStats::of(&b.device()))
+        .map(|b| DeviceStats::of(&parchmint::CompiledDevice::compile(b.device())))
         .collect()
 }
 
@@ -162,7 +162,11 @@ mod tests {
     fn small_table() -> SuiteTable {
         ["logic_gate_or", "rotary_pump_mixer"]
             .iter()
-            .map(|n| DeviceStats::of(&parchmint_suite::by_name(n).unwrap().device()))
+            .map(|n| {
+                DeviceStats::of(&parchmint::CompiledDevice::compile(
+                    parchmint_suite::by_name(n).unwrap().device(),
+                ))
+            })
             .collect()
     }
 

@@ -73,7 +73,7 @@ mod tests {
     #[test]
     fn serpentine_chain_is_connected() {
         let d = generate();
-        let netlist = parchmint_graph::Netlist::from_device(&d);
+        let netlist = parchmint_graph::Netlist::new(&parchmint::CompiledDevice::from_ref(&d));
         let metrics = parchmint_graph::GraphMetrics::of(netlist.graph());
         assert!(metrics.is_connected());
         // The bypass rail shortcuts the serpentine, but the network still

@@ -96,7 +96,7 @@ mod tests {
     #[test]
     fn stage_wells_all_reachable_from_serum() {
         let d = generate();
-        let netlist = parchmint_graph::Netlist::from_device(&d);
+        let netlist = parchmint_graph::Netlist::new(&parchmint::CompiledDevice::from_ref(&d));
         let comps = parchmint_graph::Components::of(netlist.graph());
         let serum = netlist.node_of(&"in_serum".into()).unwrap();
         for i in 0..STAGES {

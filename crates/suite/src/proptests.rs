@@ -28,14 +28,14 @@ proptest! {
     #[test]
     fn generated_netlists_are_connected(config in config_strategy()) {
         let device = generate("prop", &config);
-        let netlist = Netlist::from_device(&device);
+        let netlist = Netlist::new(&parchmint::CompiledDevice::from_ref(&device));
         prop_assert_eq!(Components::of(netlist.graph()).count(), 1);
     }
 
     #[test]
     fn generated_netlists_satisfy_planar_bound(config in config_strategy()) {
         let device = generate("prop", &config);
-        let netlist = Netlist::from_device(&device);
+        let netlist = Netlist::new(&parchmint::CompiledDevice::from_ref(&device));
         prop_assert!(GraphMetrics::of(netlist.graph()).satisfies_planar_bound);
     }
 
@@ -47,7 +47,7 @@ proptest! {
     #[test]
     fn generated_devices_are_conformant(config in config_strategy()) {
         let device = generate("prop", &config);
-        let report = parchmint_verify::validate(&device);
+        let report = parchmint_verify::validate(&parchmint::CompiledDevice::from_ref(&device));
         prop_assert!(report.is_conformant(), "errors:\n{}", report);
     }
 

@@ -13,7 +13,7 @@
 //! - **NET\*** — netlist connectivity and valve-binding sanity
 //!
 //! ```
-//! use parchmint::Device;
+//! use parchmint::{CompiledDevice, Device};
 //! use parchmint_verify::validate;
 //!
 //! let device = Device::from_json(r#"{
@@ -23,7 +23,7 @@
 //!         "source": {"component": "nobody"}, "sinks": []
 //!     }]
 //! }"#).unwrap();
-//! let report = validate(&device);
+//! let report = validate(&CompiledDevice::compile(device));
 //! assert!(!report.is_conformant());
 //! ```
 
@@ -35,7 +35,9 @@ mod rules;
 pub mod validator;
 
 pub use diagnostics::{Diagnostic, Report, Rule, Severity};
-pub use validator::{validate, validate_compiled, DesignRules, Validator};
+#[allow(deprecated)]
+pub use validator::validate_device;
+pub use validator::{validate, DesignRules, Validator};
 
 #[cfg(test)]
 mod validator_tests;

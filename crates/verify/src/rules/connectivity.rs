@@ -7,7 +7,7 @@ use parchmint_graph::{Components, Netlist};
 pub(crate) fn check(compiled: &CompiledDevice, report: &mut Report) {
     let device = compiled.device();
     if device.components.len() >= 2 {
-        let netlist = Netlist::from_compiled(compiled);
+        let netlist = Netlist::new(compiled);
         let components = Components::of(netlist.graph());
         if components.count() > 1 {
             report.push(Diagnostic::new(

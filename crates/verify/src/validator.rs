@@ -38,16 +38,30 @@ impl Default for DesignRules {
 /// # Examples
 ///
 /// ```
-/// use parchmint::Device;
+/// use parchmint::{CompiledDevice, Device};
 /// use parchmint_verify::Validator;
 ///
-/// let device = Device::new("empty");
-/// let report = Validator::new().validate(&device);
+/// let compiled = CompiledDevice::compile(Device::new("empty"));
+/// let report = Validator::new().validate(&compiled);
 /// assert!(report.is_conformant());
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Validator {
     rules: DesignRules,
+}
+
+/// Runs one rule group under an observability span and counts the
+/// diagnostics it contributed.
+fn rule_group(
+    span: &'static str,
+    diagnostics: &'static str,
+    report: &mut Report,
+    check: impl FnOnce(&mut Report),
+) {
+    let _span = parchmint_obs::Span::enter(span);
+    let before = report.len();
+    check(report);
+    parchmint_obs::count(diagnostics, (report.len() - before) as u64);
 }
 
 impl Validator {
@@ -66,37 +80,73 @@ impl Validator {
         &self.rules
     }
 
-    /// Runs every rule group over `device` and collects the findings.
-    ///
-    /// Compiles a throwaway [`CompiledDevice`] internally; callers that
-    /// already hold one should use [`Validator::validate_compiled`].
-    pub fn validate(&self, device: &Device) -> Report {
-        self.validate_compiled(&CompiledDevice::from_ref(device))
-    }
-
-    /// Runs every rule group over an already-compiled device.
+    /// Runs every rule group over a compiled device.
     ///
     /// Rules query the compiled index for id resolution and terminal
     /// positions; raw-vector traversals (duplicate detection, per-entity
-    /// sweeps) go through [`CompiledDevice::device`].
-    pub fn validate_compiled(&self, compiled: &CompiledDevice) -> Report {
+    /// sweeps) go through [`CompiledDevice::device`]. Each rule group
+    /// runs under its own observability span and reports how many
+    /// diagnostics it contributed.
+    pub fn validate(&self, compiled: &CompiledDevice) -> Report {
         let mut report = Report::new();
-        rules::referential::check(compiled, &mut report);
-        rules::structure::check(compiled, &mut report);
-        rules::geometry::check(compiled, &self.rules, &mut report);
-        rules::design::check(compiled, &self.rules, &mut report);
-        rules::connectivity::check(compiled, &mut report);
+        rule_group(
+            "verify.referential",
+            "verify.referential.diagnostics",
+            &mut report,
+            |r| rules::referential::check(compiled, r),
+        );
+        rule_group(
+            "verify.structure",
+            "verify.structure.diagnostics",
+            &mut report,
+            |r| rules::structure::check(compiled, r),
+        );
+        rule_group(
+            "verify.geometry",
+            "verify.geometry.diagnostics",
+            &mut report,
+            |r| rules::geometry::check(compiled, &self.rules, r),
+        );
+        rule_group(
+            "verify.design",
+            "verify.design.diagnostics",
+            &mut report,
+            |r| rules::design::check(compiled, &self.rules, r),
+        );
+        rule_group(
+            "verify.connectivity",
+            "verify.connectivity.diagnostics",
+            &mut report,
+            |r| rules::connectivity::check(compiled, r),
+        );
         report
+    }
+
+    /// Runs every rule group over `device`.
+    ///
+    /// Compiles a throwaway [`CompiledDevice`] on every call.
+    #[deprecated(
+        since = "0.1.0",
+        note = "compile once and call `Validator::validate(&compiled)`; \
+                this wrapper recompiles the device on every call"
+    )]
+    pub fn validate_device(&self, device: &Device) -> Report {
+        self.validate(&CompiledDevice::from_ref(device))
     }
 }
 
-/// Validates with default rules; shorthand for `Validator::new().validate(..)`.
-pub fn validate(device: &Device) -> Report {
-    Validator::new().validate(device)
+/// Validates a compiled device with default rules; shorthand for
+/// `Validator::new().validate(..)`.
+pub fn validate(compiled: &CompiledDevice) -> Report {
+    Validator::new().validate(compiled)
 }
 
-/// Validates a compiled device with default rules; shorthand for
-/// `Validator::new().validate_compiled(..)`.
-pub fn validate_compiled(compiled: &CompiledDevice) -> Report {
-    Validator::new().validate_compiled(compiled)
+/// Validates with default rules, compiling a throwaway view internally.
+#[deprecated(
+    since = "0.1.0",
+    note = "compile once (`CompiledDevice::from_ref(&device)`) and call \
+            `validate(&compiled)`; this wrapper recompiles on every call"
+)]
+pub fn validate_device(device: &Device) -> Report {
+    validate(&CompiledDevice::from_ref(device))
 }

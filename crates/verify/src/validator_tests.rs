@@ -1,8 +1,10 @@
 //! Rule-by-rule validator tests: each test constructs a device that
 //! violates exactly one contract and asserts the matching rule fires.
 
-use crate::{validate, DesignRules, Rule, Severity, Validator};
+use crate::diagnostics::Report;
+use crate::{DesignRules, Rule, Severity, Validator};
 use parchmint::geometry::{Point, Span};
+use parchmint::CompiledDevice;
 use parchmint::{
     Component, ComponentFeature, Connection, ConnectionFeature, Device, Entity, Layer, LayerType,
     Port, Target, Valve, ValveType, Version,
@@ -97,6 +99,11 @@ fn clean_device() -> Device {
     );
     d.set_declared_bounds(Span::new(2000, 500));
     d
+}
+
+/// Test shorthand: compile and validate with default rules.
+fn validate(device: &Device) -> Report {
+    crate::validate(&CompiledDevice::from_ref(device))
 }
 
 fn fires(device: &Device, rule: Rule) -> bool {
@@ -346,7 +353,7 @@ fn route_endpoint_mismatch_warns() {
         ..DesignRules::default()
     });
     assert!(tolerant
-        .validate(&d)
+        .validate(&CompiledDevice::from_ref(&d))
         .by_rule(Rule::GeoRouteEndpointMismatch)
         .next()
         .is_none());
@@ -426,7 +433,7 @@ fn custom_rules_change_thresholds() {
         min_channel_width: 500,
         ..DesignRules::default()
     });
-    let report = strict.validate(&clean_device());
+    let report = strict.validate(&CompiledDevice::from_ref(&clean_device()));
     assert!(report.by_rule(Rule::DrcChannelWidth).next().is_some());
     assert_eq!(strict.rules().min_channel_width, 500);
 }

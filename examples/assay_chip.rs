@@ -16,8 +16,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("class: {}", benchmark.class());
     println!("description: {}", benchmark.description());
 
+    // Compile the interned view once; validation and characterization
+    // both read it.
+    let compiled = parchmint::CompiledDevice::from_ref(&device);
+
     // Every suite device must be conformant out of the generator.
-    let report = parchmint_verify::validate(&device);
+    let report = parchmint_verify::validate(&compiled);
     assert!(
         report.is_conformant(),
         "suite device failed validation:\n{report}"
@@ -25,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("validation: conformant ({} findings)", report.len());
 
     // Characterize it (one row of the paper's Table 1 analogue).
-    let stats = parchmint_stats::DeviceStats::of(&device);
+    let stats = parchmint_stats::DeviceStats::of(&compiled);
     println!(
         "components: {}  connections: {}  ports: {}  valves: {}",
         stats.components, stats.connections, stats.ports, stats.valves

@@ -4,6 +4,7 @@
 //! Run with:
 //! `cargo run -p parchmint-examples --example control_plan [benchmark from to]`
 
+use parchmint::CompiledDevice;
 use parchmint_control::plan_flow;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -17,9 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     };
 
-    let device = parchmint_suite::by_name(&name)
-        .ok_or_else(|| format!("unknown benchmark `{name}`"))?
-        .device();
+    let device = CompiledDevice::compile(
+        parchmint_suite::by_name(&name)
+            .ok_or_else(|| format!("unknown benchmark `{name}`"))?
+            .device(),
+    );
 
     let plan = plan_flow(&device, &from.as_str().into(), &to.as_str().into())?;
     println!("plan: {plan}\n");

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run -p parchmint-examples --example flow_simulation`
 
-use parchmint::ComponentId;
+use parchmint::{CompiledDevice, ComponentId};
 use parchmint_sim::{concentrations, FlowNetwork, Fluid};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -13,7 +13,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .device();
     println!("{device}\n");
 
-    let network = FlowNetwork::from_device(&device, Fluid::WATER);
+    let network = FlowNetwork::new(&CompiledDevice::from_ref(&device), Fluid::WATER);
     println!(
         "hydraulic network: {} nodes, {} conducting segments",
         network.node_count(),

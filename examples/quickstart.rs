@@ -88,8 +88,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let json = device.to_json_pretty()?;
     println!("\n--- ParchMint JSON ({} bytes) ---\n{json}\n", json.len());
 
+    // Compile the interned view; every analysis below reads it.
+    let compiled = parchmint::CompiledDevice::from_ref(&device);
+
     // Validate conformance.
-    let report = parchmint_verify::validate(&device);
+    let report = parchmint_verify::validate(&compiled);
     println!("--- validation ---\n{report}");
     assert!(report.is_conformant());
 
@@ -99,7 +102,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("round-trip: lossless OK");
 
     // Inspect the netlist graph.
-    let netlist = parchmint_graph::Netlist::from_device(&device);
+    let netlist = parchmint_graph::Netlist::new(&compiled);
     let metrics = parchmint_graph::GraphMetrics::of(netlist.graph());
     println!(
         "graph: {} nodes, {} edges, connected = {}",

@@ -1,0 +1,108 @@
+//! The deprecated `&Device` compatibility wrappers must stay behaviorally
+//! identical to the compiled-first API they delegate to, so downstream code
+//! can migrate incrementally without result drift.
+#![allow(deprecated)]
+
+use parchmint::{CompiledDevice, ComponentId};
+use parchmint_graph::{GraphMetrics, Netlist};
+use parchmint_sim::{FlowNetwork, Fluid};
+
+fn chip() -> parchmint::Device {
+    parchmint_suite::by_name("chromatin_immunoprecipitation")
+        .unwrap()
+        .device()
+}
+
+#[test]
+fn validate_wrapper_matches_compiled_first() {
+    let device = chip();
+    let compiled = CompiledDevice::from_ref(&device);
+    assert_eq!(
+        parchmint_verify::validate_device(&device),
+        parchmint_verify::validate(&compiled)
+    );
+    let validator = parchmint_verify::Validator::new();
+    assert_eq!(
+        validator.validate_device(&device),
+        validator.validate(&compiled)
+    );
+}
+
+#[test]
+fn netlist_wrappers_match_compiled_first() {
+    let device = chip();
+    let compiled = CompiledDevice::from_ref(&device);
+    let wrapped = Netlist::from_device(&device);
+    let direct = Netlist::new(&compiled);
+    assert_eq!(
+        GraphMetrics::of(wrapped.graph()),
+        GraphMetrics::of(direct.graph())
+    );
+    for layer_type in [parchmint::LayerType::Flow, parchmint::LayerType::Control] {
+        let wrapped = Netlist::from_device_layer(&device, layer_type);
+        let direct = Netlist::new_layer(&compiled, layer_type);
+        assert_eq!(
+            GraphMetrics::of(wrapped.graph()),
+            GraphMetrics::of(direct.graph())
+        );
+    }
+}
+
+#[test]
+fn stats_wrapper_matches_compiled_first() {
+    let device = chip();
+    let compiled = CompiledDevice::from_ref(&device);
+    assert_eq!(
+        parchmint_stats::DeviceStats::of_device(&device),
+        parchmint_stats::DeviceStats::of(&compiled)
+    );
+}
+
+#[test]
+fn flow_network_wrappers_match_compiled_first() {
+    let device = parchmint_suite::by_name("molecular_gradient_generator")
+        .unwrap()
+        .device();
+    let compiled = CompiledDevice::from_ref(&device);
+    let wrapped = FlowNetwork::from_device(&device, Fluid::WATER);
+    let direct = FlowNetwork::new(&compiled, Fluid::WATER);
+    assert_eq!(wrapped.node_count(), direct.node_count());
+    assert_eq!(wrapped.edge_count(), direct.edge_count());
+
+    let mut boundary: Vec<(ComponentId, f64)> =
+        vec![("in_a".into(), 1000.0), ("in_b".into(), 1000.0)];
+    for i in 0..7 {
+        boundary.push((format!("out_{i}").into(), 0.0));
+    }
+    let from_wrapped = wrapped.solve(&boundary).unwrap();
+    let from_direct = direct.solve(&boundary).unwrap();
+    for i in 0..7 {
+        let id = ComponentId::new(format!("out_{i}"));
+        assert_eq!(from_wrapped.net_inflow(&id), from_direct.net_inflow(&id));
+    }
+}
+
+#[test]
+fn control_wrappers_match_compiled_first() {
+    let device = chip();
+    let compiled = CompiledDevice::from_ref(&device);
+    let from = ComponentId::new("in_reagent_3");
+    let to = ComponentId::new("out_eluate");
+
+    let wrapped = parchmint_control::plan_flow_device(&device, &from, &to).unwrap();
+    let direct = parchmint_control::plan_flow(&compiled, &from, &to).unwrap();
+    assert_eq!(wrapped, direct);
+    assert_eq!(
+        wrapped.actuations_device(&device),
+        direct.actuations(&compiled)
+    );
+
+    let steps = [
+        parchmint_control::Step::new("load", "in_reagent_0", "out_waste"),
+        parchmint_control::Step::new("elute", "in_reagent_7", "out_eluate"),
+    ];
+    assert_eq!(
+        parchmint_control::schedule_device(&device, &steps).unwrap(),
+        parchmint_control::schedule(&compiled, &steps).unwrap()
+    );
+}

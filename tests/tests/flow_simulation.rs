@@ -2,7 +2,7 @@
 //! solutions conserve mass on real benchmarks, and control-synthesis plans
 //! actually steer the fluid when simulated.
 
-use parchmint::ComponentId;
+use parchmint::{CompiledDevice, ComponentId};
 use parchmint_control::plan_flow;
 use parchmint_sim::{concentrations, FlowNetwork, Fluid};
 
@@ -17,7 +17,7 @@ fn mass_is_conserved_on_every_valveless_benchmark() {
         "planar_synthetic_3",
     ] {
         let device = parchmint_suite::by_name(name).unwrap().device();
-        let network = FlowNetwork::from_device(&device, Fluid::WATER);
+        let network = FlowNetwork::new(&CompiledDevice::from_ref(&device), Fluid::WATER);
         // Boundary: every external flow port, first one driven.
         let ports: Vec<ComponentId> = device
             .components_of(&parchmint::Entity::Port)
@@ -51,9 +51,10 @@ fn control_plan_steers_flow_on_the_chip() {
         .device();
     let from: ComponentId = "in_reagent_3".into();
     let to: ComponentId = "out_eluate".into();
-    let plan = plan_flow(&device, &from, &to).unwrap();
+    let compiled = CompiledDevice::from_ref(&device);
+    let plan = plan_flow(&compiled, &from, &to).unwrap();
 
-    let network = FlowNetwork::with_valve_states(&device, Fluid::WATER, &plan.valve_states);
+    let network = FlowNetwork::with_valve_states(&compiled, Fluid::WATER, &plan.valve_states);
     let solution = network
         .solve(&[(from.clone(), 2000.0), (to.clone(), 0.0)])
         .unwrap();
@@ -81,7 +82,7 @@ fn at_rest_the_chip_is_sealed() {
     let device = parchmint_suite::by_name("chromatin_immunoprecipitation")
         .unwrap()
         .device();
-    let network = FlowNetwork::from_device(&device, Fluid::WATER);
+    let network = FlowNetwork::new(&CompiledDevice::from_ref(&device), Fluid::WATER);
     let solution = network
         .solve(&[("in_reagent_0".into(), 5000.0), ("out_eluate".into(), 0.0)])
         .unwrap();
@@ -95,7 +96,7 @@ fn gradient_is_stable_across_drive_pressure() {
     let device = parchmint_suite::by_name("molecular_gradient_generator")
         .unwrap()
         .device();
-    let network = FlowNetwork::from_device(&device, Fluid::WATER);
+    let network = FlowNetwork::new(&CompiledDevice::from_ref(&device), Fluid::WATER);
     let gradient_at = |pressure: f64| -> Vec<f64> {
         let mut boundary: Vec<(ComponentId, f64)> =
             vec![("in_a".into(), pressure), ("in_b".into(), pressure)];
@@ -127,7 +128,7 @@ fn routed_devices_simulate_with_physical_lengths() {
         parchmint_pnr::PlacerChoice::Annealing,
         parchmint_pnr::RouterChoice::AStar,
     );
-    let network = FlowNetwork::from_device(&device, Fluid::WATER);
+    let network = FlowNetwork::new(&CompiledDevice::from_ref(&device), Fluid::WATER);
     let solution = network
         .solve(&[
             ("in_oil".into(), 2000.0),

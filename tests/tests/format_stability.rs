@@ -45,7 +45,9 @@ fn golden_mint_parses_and_rebuilds() {
     let device = parchmint_mint::mint_to_device(&file).unwrap();
     assert_eq!(device.name, "rotary_pump_mixer");
     assert_eq!(device.valves.len(), 5);
-    assert!(parchmint_verify::validate(&device).is_conformant());
+    assert!(
+        parchmint_verify::validate(&parchmint::CompiledDevice::from_ref(&device)).is_conformant()
+    );
 }
 
 #[test]

@@ -9,15 +9,14 @@ use parchmint_harness::{
 use serde_json::Value;
 
 fn subset_config(threads: usize) -> SuiteRunConfig {
-    SuiteRunConfig {
-        threads,
-        benchmarks: Some(vec![
-            "logic_gate_or".into(),
-            "rotary_pump_mixer".into(),
-            "molecular_gradient_generator".into(),
-        ]),
-        stages: None,
-    }
+    SuiteRunConfig::builder()
+        .threads(threads)
+        .benchmarks([
+            "logic_gate_or",
+            "rotary_pump_mixer",
+            "molecular_gradient_generator",
+        ])
+        .build()
 }
 
 #[test]
@@ -58,7 +57,7 @@ fn injected_panic_marks_cell_failed_without_killing_the_sweep() {
         .collect();
     let stages = vec![
         Stage::new("validate", |compiled| {
-            let report = parchmint_verify::validate_compiled(compiled);
+            let report = parchmint_verify::validate(compiled);
             Ok(StageOutcome::metrics([(
                 "conformant",
                 Value::from(report.is_conformant()),
@@ -71,7 +70,11 @@ fn injected_panic_marks_cell_failed_without_killing_the_sweep() {
             Ok(StageOutcome::metrics([("survived", Value::from(true))]))
         }),
     ];
-    let report = run_matrix(&benchmarks, &stages, 2);
+    let report = run_matrix(
+        &benchmarks,
+        &stages,
+        &SuiteRunConfig::builder().threads(2).build(),
+    );
 
     let exploded = report.cell("logic_gate_and", "explode").unwrap();
     assert_eq!(exploded.status, CellStatus::Failed);
@@ -87,11 +90,10 @@ fn injected_panic_marks_cell_failed_without_killing_the_sweep() {
 
 #[test]
 fn baseline_gate_flags_artificially_degraded_pnr_quality() {
-    let config = SuiteRunConfig {
-        threads: 2,
-        benchmarks: Some(vec!["logic_gate_or".into()]),
-        stages: None,
-    };
+    let config = SuiteRunConfig::builder()
+        .threads(2)
+        .benchmarks(["logic_gate_or"])
+        .build();
     let baseline = run_suite(&config).to_json(false);
 
     // Degrade one PnR quality metric in a re-serialized copy of the report.

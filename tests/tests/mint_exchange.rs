@@ -64,7 +64,7 @@ fn rebuilt_devices_are_conformant() {
     for benchmark in suite() {
         let text = print(&device_to_mint(&benchmark.device()));
         let rebuilt = mint_to_device(&parse(&text).unwrap()).unwrap();
-        let report = parchmint_verify::validate(&rebuilt);
+        let report = parchmint_verify::validate(&parchmint::CompiledDevice::from_ref(&rebuilt));
         assert!(
             report.is_conformant(),
             "{} not conformant after MINT exchange:\n{report}",

@@ -25,7 +25,7 @@ fn pnr_outputs_are_geometrically_legal() {
             endpoint_tolerance: 0,
             ..DesignRules::default()
         })
-        .validate(&device);
+        .validate(&parchmint::CompiledDevice::from_ref(&device));
         // Placement legality is absolute.
         assert!(
             report.by_rule(Rule::GeoPlacementOverlap).next().is_none(),
@@ -126,6 +126,6 @@ fn pnr_then_serialize_then_validate() {
     place_and_route(&mut device, PlacerChoice::Annealing, RouterChoice::AStar);
     let json = device.to_json().unwrap();
     let back = parchmint::Device::from_json(&json).unwrap();
-    let report = parchmint_verify::validate(&back);
+    let report = parchmint_verify::validate(&parchmint::CompiledDevice::from_ref(&back));
     assert!(report.is_conformant(), "{report}");
 }

@@ -91,7 +91,7 @@ proptest! {
 
     #[test]
     fn builder_devices_have_no_referential_errors(device in device_strategy()) {
-        let report = parchmint_verify::validate(&device);
+        let report = parchmint_verify::validate(&parchmint::CompiledDevice::from_ref(&device));
         for diagnostic in report.diagnostics() {
             prop_assert_ne!(diagnostic.rule, parchmint_verify::Rule::RefUnknownId,
                 "builder let a dangling reference through: {}", diagnostic);
@@ -102,7 +102,7 @@ proptest! {
 
     #[test]
     fn netlist_graph_respects_handshake_lemma(device in device_strategy()) {
-        let netlist = parchmint_graph::Netlist::from_device(&device);
+        let netlist = parchmint_graph::Netlist::new(&parchmint::CompiledDevice::from_ref(&device));
         let graph = netlist.graph();
         prop_assert_eq!(graph.degree_sum(), 2 * graph.edge_count());
         prop_assert_eq!(graph.node_count(), device.components.len());
@@ -110,7 +110,7 @@ proptest! {
 
     #[test]
     fn graph_metrics_are_internally_consistent(device in device_strategy()) {
-        let netlist = parchmint_graph::Netlist::from_device(&device);
+        let netlist = parchmint_graph::Netlist::new(&parchmint::CompiledDevice::from_ref(&device));
         let metrics = parchmint_graph::GraphMetrics::of(netlist.graph());
         prop_assert!(metrics.min_degree <= metrics.max_degree);
         prop_assert!(metrics.mean_degree <= metrics.max_degree as f64);

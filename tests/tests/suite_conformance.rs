@@ -8,7 +8,7 @@ use parchmint_verify::{validate, Severity};
 fn every_benchmark_is_conformant() {
     for benchmark in suite() {
         let device = benchmark.device();
-        let report = validate(&device);
+        let report = validate(&parchmint::CompiledDevice::from_ref(&device));
         assert!(
             report.is_conformant(),
             "{} has errors:\n{report}",
@@ -21,7 +21,7 @@ fn every_benchmark_is_conformant() {
 fn every_benchmark_is_warning_free() {
     for benchmark in suite() {
         let device = benchmark.device();
-        let report = validate(&device);
+        let report = validate(&parchmint::CompiledDevice::from_ref(&device));
         let warnings: Vec<_> = report.with_severity(Severity::Warning).collect();
         assert!(
             warnings.is_empty(),
@@ -49,7 +49,7 @@ fn every_benchmark_has_external_ports() {
 fn every_benchmark_netlist_is_connected() {
     for benchmark in suite() {
         let device = benchmark.device();
-        let netlist = parchmint_graph::Netlist::from_device(&device);
+        let netlist = parchmint_graph::Netlist::new(&parchmint::CompiledDevice::from_ref(&device));
         let components = parchmint_graph::Components::of(netlist.graph());
         assert_eq!(
             components.count(),
