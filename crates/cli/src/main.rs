@@ -72,6 +72,7 @@ USAGE:
   parchmint flow <FILE|benchmark> <node=Pa>... (e.g. in_a=1000 out=0)
   parchmint suite-run [BENCH...] [--threads N] [-o FILE] [--strip-timings]
                       [--baseline FILE] [--tolerance FRAC] [--trace FILE]
+                      [--faults PLAN.json] [--deadline-ms N] [--fuel N]
   parchmint schema
 ";
 
@@ -290,13 +291,22 @@ fn cmd_suite_run(args: &[String]) -> Result<(), String> {
             continue;
         }
         match arg.as_str() {
-            "--threads" | "-o" | "--baseline" | "--tolerance" | "--trace" => skip_next = true,
+            "--threads" | "-o" | "--baseline" | "--tolerance" | "--trace" | "--faults"
+            | "--deadline-ms" | "--fuel" => skip_next = true,
             "--strip-timings" => {}
             flag if flag.starts_with('-') => {
                 return Err(format!("suite-run: unknown flag `{flag}`"));
             }
             name => benchmarks.push(name.to_string()),
         }
+    }
+
+    if option_value(args, "--faults").is_some() && option_value(args, "--baseline").is_some() {
+        return Err(
+            "suite-run: --faults cannot be combined with --baseline (a faulted sweep is \
+             deliberately not comparable to a clean baseline)"
+                .into(),
+        );
     }
 
     let mut builder = parchmint_harness::SuiteRunConfig::builder().benchmarks(benchmarks);
@@ -317,6 +327,25 @@ fn cmd_suite_run(args: &[String]) -> Result<(), String> {
             text.parse()
                 .map_err(|_| format!("suite-run: bad tolerance `{text}`"))?,
         );
+    }
+    if let Some(text) = option_value(args, "--deadline-ms") {
+        let ms: u64 = text
+            .parse()
+            .map_err(|_| format!("suite-run: bad deadline `{text}` (want milliseconds)"))?;
+        builder = builder.deadline(std::time::Duration::from_millis(ms));
+    }
+    if let Some(text) = option_value(args, "--fuel") {
+        builder = builder.fuel(
+            text.parse()
+                .map_err(|_| format!("suite-run: bad fuel budget `{text}`"))?,
+        );
+    }
+    if let Some(path) = option_value(args, "--faults") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read fault plan `{path}`: {e}"))?;
+        let plan = parchmint_resilience::FaultPlan::from_json_str(&text)
+            .map_err(|e| format!("{path}: {e}"))?;
+        builder = builder.faults(plan);
     }
     let config = builder.build();
     let report = parchmint_harness::run_suite(&config);
@@ -359,12 +388,98 @@ fn cmd_suite_run(args: &[String]) -> Result<(), String> {
         println!("no regressions against {path}");
     }
 
+    if let Some(plan) = config.faults() {
+        return verify_faulted_sweep(&report, plan);
+    }
+
     if !report.is_clean() {
-        let (_, _, errors, failed) = report.counts();
+        let counts = report.counts();
+        for cell in report.failing_cells() {
+            eprintln!(
+                "failing cell {}: {} — {}",
+                cell.key(),
+                cell.status.as_str(),
+                cell.detail.as_deref().unwrap_or("no detail recorded"),
+            );
+        }
         return Err(format!(
-            "suite-run: {errors} error and {failed} failed cell(s) — see table above"
+            "suite-run: {} error and {} failed cell(s) — see list above",
+            counts.error, counts.failed
         ));
     }
+    Ok(())
+}
+
+/// Success criteria for `suite-run --faults`: the full benchmark×stage
+/// matrix is present (no cell lost to a poisoned worker), every faulted
+/// benchmark shows the fault as a recorded non-ok terminal state, and
+/// benchmarks the plan does not touch stay completely clean.
+fn verify_faulted_sweep(
+    report: &parchmint_harness::SuiteReport,
+    plan: &parchmint_resilience::FaultPlan,
+) -> Result<(), String> {
+    use parchmint_harness::CellStatus;
+
+    let mut benchmarks: Vec<&str> = Vec::new();
+    for cell in &report.cells {
+        if !benchmarks.contains(&cell.benchmark.as_str()) {
+            benchmarks.push(&cell.benchmark);
+        }
+    }
+    let mut problems = Vec::new();
+
+    let expected = benchmarks.len() * report.stages.len();
+    if report.cells.len() != expected {
+        problems.push(format!(
+            "matrix has {} cells, expected {expected} ({} benchmarks x {} stages)",
+            report.cells.len(),
+            benchmarks.len(),
+            report.stages.len()
+        ));
+    }
+
+    for name in &benchmarks {
+        let cells = report.cells.iter().filter(|c| c.benchmark == *name);
+        if plan.for_benchmark(name).is_empty() {
+            for cell in cells.filter(|c| {
+                matches!(
+                    c.status,
+                    CellStatus::Degraded | CellStatus::Error | CellStatus::Failed
+                )
+            }) {
+                problems.push(format!(
+                    "unfaulted benchmark cell {} is {}: {}",
+                    cell.key(),
+                    cell.status.as_str(),
+                    cell.detail.as_deref().unwrap_or("no detail"),
+                ));
+            }
+        } else if !cells.clone().any(|c| {
+            matches!(
+                c.status,
+                CellStatus::Degraded | CellStatus::Error | CellStatus::Failed
+            )
+        }) {
+            problems.push(format!(
+                "faulted benchmark `{name}` shows no degraded/error/failed cell — \
+                 the injected fault was silently absorbed"
+            ));
+        }
+    }
+
+    if !problems.is_empty() {
+        for problem in &problems {
+            eprintln!("fault verification: {problem}");
+        }
+        return Err(format!(
+            "suite-run: fault injection verification found {} problem(s)",
+            problems.len()
+        ));
+    }
+    println!(
+        "fault injection verified: {} cells, every fault surfaced as a recorded terminal state",
+        report.cells.len()
+    );
     Ok(())
 }
 

@@ -159,6 +159,20 @@ impl fmt::Display for ControlError {
 
 impl std::error::Error for ControlError {}
 
+impl From<ControlError> for parchmint_resilience::PipelineError {
+    fn from(error: ControlError) -> parchmint_resilience::PipelineError {
+        use parchmint_resilience::PipelineError;
+        match &error {
+            ControlError::UnknownComponent(_) => PipelineError::fatal(error.to_string())
+                .with_hint("plan endpoints must name components on a flow layer"),
+            ControlError::Unreachable { .. } => PipelineError::fatal(error.to_string())
+                .with_hint("check the valve map: every path may be pinched shut"),
+            ControlError::Conflict(_) => PipelineError::fatal(error.to_string())
+                .with_hint("the chosen path crosses a valve-isolated branch both ways"),
+        }
+    }
+}
+
 /// Plans fluid movement from `from` to `to` over the device's flow layers.
 ///
 /// The plan opens every valve pinching an on-path connection and closes
@@ -192,6 +206,7 @@ pub fn plan_flow(
     to: &ComponentId,
 ) -> Result<FlowPlan, ControlError> {
     let _span = parchmint_obs::Span::enter("control.plan");
+    parchmint_resilience::fault::inject("control.plan");
     let netlist = Netlist::new_layer(compiled, LayerType::Flow);
     let start = netlist
         .node_of(from)

@@ -180,6 +180,7 @@ impl CompiledDevice {
     /// docs for the invariants).
     pub fn compile(device: Device) -> Self {
         let _span = parchmint_obs::Span::enter("ir.compile");
+        parchmint_resilience::fault::inject("ir.compile");
         let mut layer_ix = HashMap::with_capacity(device.layers.len());
         for (i, layer) in device.layers.iter().enumerate() {
             layer_ix

@@ -23,6 +23,13 @@
 //! - **Segregated timings.** Metrics live in `cells`, wall-clock data lives
 //!   in a separate `timing` section, so stripping one key yields a
 //!   byte-stable artifact suitable for committed baselines and diffs.
+//! - **Resilient execution.** Each stage attempt can run under a
+//!   [`parchmint_resilience::Budget`] (per-stage deadline and/or
+//!   deterministic fuel) and a [`parchmint_resilience::FaultPlan`];
+//!   structured [`parchmint_resilience::PipelineError`]s map onto cell
+//!   states (`Fatal` → error, `Degraded` → degraded, `Retryable` →
+//!   bounded seed-bumped retries), and a stage that finishes after its
+//!   budget tripped is reported `degraded`, never a silent partial `ok`.
 //!
 //! ```
 //! use parchmint_harness::{run_suite, SuiteRunConfig};
@@ -45,6 +52,6 @@ pub mod runner;
 pub mod stage;
 
 pub use baseline::{compare, Regression, Tolerances};
-pub use report::{Cell, CellStatus, SuiteReport};
-pub use runner::{run_matrix, run_suite, SuiteRunConfig, SuiteRunConfigBuilder};
-pub use stage::{standard_stages, Stage, StageOutcome};
+pub use report::{Cell, CellStatus, StatusCounts, SuiteReport};
+pub use runner::{run_matrix, run_suite, SuiteRunConfig, SuiteRunConfigBuilder, MAX_ATTEMPTS};
+pub use stage::{standard_stages, Stage, StageCtx, StageOutcome};

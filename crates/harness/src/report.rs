@@ -10,6 +10,11 @@ use std::time::Duration;
 pub enum CellStatus {
     /// The stage ran and produced metrics.
     Ok,
+    /// The stage produced a usable result only by degrading — a fallback
+    /// algorithm, a partial result, or a relaxed solve (reason in `detail`,
+    /// metrics of the produced result still present). Degraded cells count
+    /// as clean for exit-code purposes but are always visible in the report.
+    Degraded,
     /// The stage does not apply to this benchmark (reason in `detail`).
     Skipped,
     /// The stage returned a structured error (message in `detail`).
@@ -23,11 +28,27 @@ impl CellStatus {
     pub fn as_str(self) -> &'static str {
         match self {
             CellStatus::Ok => "ok",
+            CellStatus::Degraded => "degraded",
             CellStatus::Skipped => "skipped",
             CellStatus::Error => "error",
             CellStatus::Failed => "failed",
         }
     }
+}
+
+/// Per-status cell totals for one sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatusCounts {
+    /// Cells that ran cleanly.
+    pub ok: usize,
+    /// Cells that completed via a recorded fallback or partial result.
+    pub degraded: usize,
+    /// Cells whose stage did not apply.
+    pub skipped: usize,
+    /// Cells with a structured error.
+    pub error: usize,
+    /// Cells whose stage panicked.
+    pub failed: usize,
 }
 
 /// One benchmark×stage result.
@@ -105,24 +126,35 @@ impl SuiteReport {
             .find(|c| c.benchmark == benchmark && c.stage == stage)
     }
 
-    /// Counts cells per status: `(ok, skipped, error, failed)`.
-    pub fn counts(&self) -> (usize, usize, usize, usize) {
-        let mut counts = (0, 0, 0, 0);
+    /// Counts cells per status.
+    pub fn counts(&self) -> StatusCounts {
+        let mut counts = StatusCounts::default();
         for cell in &self.cells {
             match cell.status {
-                CellStatus::Ok => counts.0 += 1,
-                CellStatus::Skipped => counts.1 += 1,
-                CellStatus::Error => counts.2 += 1,
-                CellStatus::Failed => counts.3 += 1,
+                CellStatus::Ok => counts.ok += 1,
+                CellStatus::Degraded => counts.degraded += 1,
+                CellStatus::Skipped => counts.skipped += 1,
+                CellStatus::Error => counts.error += 1,
+                CellStatus::Failed => counts.failed += 1,
             }
         }
         counts
     }
 
-    /// True if no cell errored or failed.
+    /// True if no cell errored or failed. Degraded cells count as clean:
+    /// the stage produced a usable result and said how.
     pub fn is_clean(&self) -> bool {
-        let (_, _, errors, failures) = self.counts();
-        errors == 0 && failures == 0
+        let counts = self.counts();
+        counts.error == 0 && counts.failed == 0
+    }
+
+    /// The cells that make the sweep unclean (`error` or `failed`), in
+    /// report order — what the CLI prints before exiting non-zero.
+    pub fn failing_cells(&self) -> Vec<&Cell> {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.status, CellStatus::Error | CellStatus::Failed))
+            .collect()
     }
 
     /// Renders the report as a JSON value.
@@ -133,7 +165,7 @@ impl SuiteReport {
     /// different thread counts are byte-identical, which is what makes
     /// committed baselines diffable.
     pub fn to_json(&self, include_timings: bool) -> Value {
-        let (ok, skipped, errors, failed) = self.counts();
+        let totals = self.counts();
         let mut root = Map::new();
         root.insert(
             "schema".to_string(),
@@ -141,10 +173,11 @@ impl SuiteReport {
         );
         let mut counts = Map::new();
         counts.insert("cells".to_string(), Value::from(self.cells.len()));
-        counts.insert("ok".to_string(), Value::from(ok));
-        counts.insert("skipped".to_string(), Value::from(skipped));
-        counts.insert("error".to_string(), Value::from(errors));
-        counts.insert("failed".to_string(), Value::from(failed));
+        counts.insert("ok".to_string(), Value::from(totals.ok));
+        counts.insert("degraded".to_string(), Value::from(totals.degraded));
+        counts.insert("skipped".to_string(), Value::from(totals.skipped));
+        counts.insert("error".to_string(), Value::from(totals.error));
+        counts.insert("failed".to_string(), Value::from(totals.failed));
         root.insert("counts".to_string(), Value::Object(counts));
 
         let cells: Vec<Value> = self
@@ -282,6 +315,7 @@ impl SuiteReport {
 
         let glyph = |status: CellStatus| match status {
             CellStatus::Ok => "ok",
+            CellStatus::Degraded => "DEG",
             CellStatus::Skipped => "--",
             CellStatus::Error => "ERR",
             CellStatus::Failed => "FAIL",
@@ -325,11 +359,16 @@ impl SuiteReport {
             }
             out.push('\n');
         }
-        let (ok, skipped, errors, failed) = self.counts();
+        let totals = self.counts();
         out.push_str(&format!(
-            "{} cells: {ok} ok, {skipped} skipped, {errors} error, {failed} failed \
+            "{} cells: {} ok, {} degraded, {} skipped, {} error, {} failed \
              ({} threads, {:.1}s)\n",
             self.cells.len(),
+            totals.ok,
+            totals.degraded,
+            totals.skipped,
+            totals.error,
+            totals.failed,
             self.threads,
             self.total_wall.as_secs_f64(),
         ));
@@ -475,6 +514,7 @@ mod tests {
         assert_eq!(json["schema"], "parchmint-suite-report/v1");
         assert_eq!(json["counts"]["cells"], 3);
         assert_eq!(json["counts"]["ok"], 1);
+        assert_eq!(json["counts"]["degraded"], 0);
         assert_eq!(json["counts"]["skipped"], 1);
         assert_eq!(json["counts"]["error"], 1);
         assert_eq!(json["counts"]["failed"], 0);
@@ -491,8 +531,27 @@ mod tests {
         let table = report.summary_table();
         assert!(table.contains("benchmark"));
         assert!(table.contains('a') && table.contains('b'));
-        assert!(table.contains("3 cells: 1 ok, 1 skipped, 1 error, 0 failed"));
+        assert!(table.contains("3 cells: 1 ok, 0 degraded, 1 skipped, 1 error, 0 failed"));
         assert!(!table.contains("(events)"), "no events row without traces");
+    }
+
+    #[test]
+    fn degraded_cells_are_visible_but_clean() {
+        let mut report = sample();
+        report.cells[1].status = CellStatus::Degraded;
+        report.cells[1].detail = Some("fell back to straight-line".into());
+        report.sort_cells();
+        let totals = report.counts();
+        assert_eq!(totals.degraded, 1);
+        assert!(!report.is_clean(), "the error cell still dirties the sweep");
+        let failing = report.failing_cells();
+        assert_eq!(failing.len(), 1, "degraded cells are not failing cells");
+        assert_eq!(failing[0].status, CellStatus::Error);
+        assert!(report.summary_table().contains("DEG"));
+        assert_eq!(report.to_json(false)["counts"]["degraded"], 1);
+        // Once the error is resolved, a degraded-only sweep is clean.
+        report.cells.retain(|c| c.status != CellStatus::Error);
+        assert!(report.is_clean());
     }
 
     #[test]

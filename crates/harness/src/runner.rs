@@ -1,20 +1,27 @@
 //! The parallel sweep: benchmarks × stages across a scoped worker pool.
 
 use crate::report::{Cell, CellStatus, SuiteReport};
-use crate::stage::{standard_stages, Stage, StageOutcome};
+use crate::stage::{standard_stages, Stage, StageCtx, StageOutcome};
 use parchmint::CompiledDevice;
 use parchmint_obs::{Collector, Recorder, TraceSummary};
+use parchmint_resilience::{Budget, FaultPlan, Severity};
 use parchmint_suite::Benchmark;
+use serde_json::Value;
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+/// Maximum stage executions per cell: the first run plus two deterministic
+/// seed-bumped retries for [`Severity::Retryable`] errors.
+pub const MAX_ATTEMPTS: u32 = 3;
+
 /// Configuration for [`run_suite`].
 ///
 /// Built with [`SuiteRunConfig::builder`]; `SuiteRunConfig::default()` is
 /// the CI sweep (whole registry, full stage matrix, one worker per core,
-/// no tracing).
+/// no tracing, no budget, no faults).
 ///
 /// # Examples
 ///
@@ -37,6 +44,9 @@ pub struct SuiteRunConfig {
     trace: Option<PathBuf>,
     baseline: Option<PathBuf>,
     tolerance: Option<f64>,
+    deadline: Option<Duration>,
+    fuel: Option<u64>,
+    faults: Option<FaultPlan>,
 }
 
 impl SuiteRunConfig {
@@ -77,6 +87,40 @@ impl SuiteRunConfig {
     /// gate's default.
     pub fn tolerance(&self) -> Option<f64> {
         self.tolerance
+    }
+
+    /// Per-stage wall-clock deadline; `None` means unbounded.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// Per-stage deterministic fuel budget in meter ticks; `None` means
+    /// unbounded.
+    pub fn fuel(&self) -> Option<u64> {
+        self.fuel
+    }
+
+    /// The fault-injection plan; `None` injects nothing.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Builds the per-attempt budget, or `None` when stages should run
+    /// without one. A plan with a `stall` fault needs a budget installed
+    /// even when no limit was configured — the stall trips the budget's
+    /// fuel — so any fault plan forces at least an unlimited budget.
+    fn stage_budget(&self) -> Option<Budget> {
+        if self.deadline.is_none() && self.fuel.is_none() && self.faults.is_none() {
+            return None;
+        }
+        let mut budget = Budget::unlimited();
+        if let Some(deadline) = self.deadline {
+            budget = budget.with_deadline(deadline);
+        }
+        if let Some(fuel) = self.fuel {
+            budget = budget.with_fuel(fuel);
+        }
+        Some(budget)
     }
 }
 
@@ -133,6 +177,29 @@ impl SuiteRunConfigBuilder {
     /// Sets the relative metric tolerance for the regression gate.
     pub fn tolerance(mut self, fraction: f64) -> Self {
         self.config.tolerance = Some(fraction);
+        self
+    }
+
+    /// Gives every stage attempt its own wall-clock deadline. Stages with
+    /// metered loops stop cooperatively within one check interval of
+    /// expiry and surface a partial result as a `degraded` cell.
+    pub fn deadline(mut self, per_stage: Duration) -> Self {
+        self.config.deadline = Some(per_stage);
+        self
+    }
+
+    /// Gives every stage attempt a deterministic fuel budget (meter
+    /// ticks). Unlike a deadline this is machine-independent, so tests
+    /// can assert exactly where a stage stops.
+    pub fn fuel(mut self, ticks: u64) -> Self {
+        self.config.fuel = Some(ticks);
+        self
+    }
+
+    /// Installs a fault-injection plan; each cell sees the slice of the
+    /// plan that applies to its benchmark.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.config.faults = Some(plan);
         self
     }
 
@@ -219,7 +286,6 @@ pub fn run_matrix(
     config: &SuiteRunConfig,
 ) -> SuiteReport {
     let started = Instant::now();
-    let tracing = config.trace().is_some();
     let workers = if config.threads() == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
@@ -249,7 +315,7 @@ pub fn run_matrix(
                 let Some(benchmark) = benchmarks.get(index) else {
                     break;
                 };
-                let evaluated = evaluate_benchmark(benchmark, stages, tracing);
+                let evaluated = evaluate_benchmark(benchmark, stages, config);
                 collected
                     .lock()
                     .expect("result lock")
@@ -310,23 +376,60 @@ fn collect<T>(tracing: bool, body: impl FnOnce() -> T) -> (T, Option<TraceSummar
     (result, (!summary.is_empty()).then_some(summary))
 }
 
+/// Runs `body` with `plan` installed as this thread's fault plan, or
+/// directly when the cell has no armed faults.
+fn with_cell_faults<T>(plan: Option<&Arc<FaultPlan>>, body: impl FnOnce() -> T) -> T {
+    match plan {
+        Some(plan) => parchmint_resilience::with_faults(Arc::clone(plan), body),
+        None => body(),
+    }
+}
+
+/// The terminal state of one stage attempt, before cell assembly.
+struct AttemptEnd {
+    status: CellStatus,
+    detail: Option<String>,
+    metrics: BTreeMap<String, Value>,
+    trace: Option<TraceSummary>,
+}
+
 /// Runs the whole stage list on one benchmark, isolating each stage.
 ///
 /// The device is generated and compiled into its [`CompiledDevice`] view
 /// exactly once; every stage then borrows the same shared index. Under
 /// tracing, compile and each stage get their own collector, so a cell's
 /// trace covers exactly that cell's work.
+///
+/// Resilience policy, per stage:
+///
+/// - each attempt runs under a fresh budget (deadline/fuel from `config`)
+///   and the benchmark's slice of the fault plan;
+/// - panics are caught and end the cell as `failed`;
+/// - [`parchmint_resilience::PipelineError`] severities map to cell
+///   status: `Fatal` → `error`,
+///   `Degraded` → `degraded`, `Retryable` → up to [`MAX_ATTEMPTS`]
+///   deterministic seed-bumped attempts, then `error`;
+/// - a stage that completes while its budget tripped ends `degraded` —
+///   a partial result is never reported as a clean `ok`.
 fn evaluate_benchmark(
     benchmark: &Benchmark,
     stages: &[Stage],
-    tracing: bool,
+    config: &SuiteRunConfig,
 ) -> EvaluatedBenchmark {
+    let tracing = config.trace().is_some();
     let name = benchmark.name().to_string();
+    let plan: Option<Arc<FaultPlan>> = config.faults().and_then(|plan| {
+        let slice = plan.for_benchmark(&name);
+        (!slice.is_empty()).then(|| Arc::new(slice))
+    });
+
     let generated = Instant::now();
     let (outcome, compile_trace) = collect(tracing, || {
-        catch_unwind(AssertUnwindSafe(|| {
-            CompiledDevice::compile(benchmark.device()).into_shared()
-        }))
+        with_cell_faults(plan.as_ref(), || {
+            catch_unwind(AssertUnwindSafe(|| {
+                CompiledDevice::compile(benchmark.device()).into_shared()
+            }))
+        })
     });
     let compiled = match outcome {
         Ok(compiled) => compiled,
@@ -358,30 +461,15 @@ fn evaluate_benchmark(
         .iter()
         .map(|stage| {
             let started = Instant::now();
-            let (outcome, trace) = collect(tracing, || {
-                catch_unwind(AssertUnwindSafe(|| (stage.run)(&compiled)))
-            });
-            let wall = started.elapsed();
-            let (status, detail, metrics) = match outcome {
-                Ok(Ok(StageOutcome::Metrics(metrics))) => (CellStatus::Ok, None, metrics),
-                Ok(Ok(StageOutcome::Skipped(reason))) => {
-                    (CellStatus::Skipped, Some(reason), Default::default())
-                }
-                Ok(Err(message)) => (CellStatus::Error, Some(message), Default::default()),
-                Err(payload) => (
-                    CellStatus::Failed,
-                    Some(panic_message(payload.as_ref())),
-                    Default::default(),
-                ),
-            };
+            let end = run_stage_with_retries(stage, &compiled, plan.as_ref(), config, tracing);
             Cell {
                 benchmark: name.clone(),
                 stage: stage.name.clone(),
-                status,
-                detail,
-                metrics,
-                wall,
-                trace,
+                status: end.status,
+                detail: end.detail,
+                metrics: end.metrics,
+                wall: started.elapsed(),
+                trace: end.trace,
             }
         })
         .collect();
@@ -389,6 +477,85 @@ fn evaluate_benchmark(
         cells,
         compile_wall: Some(compile_wall),
         compile_trace,
+    }
+}
+
+/// Executes one stage on one benchmark, retrying [`Severity::Retryable`]
+/// errors with a fresh budget and a bumped attempt counter.
+fn run_stage_with_retries(
+    stage: &Stage,
+    compiled: &CompiledDevice,
+    plan: Option<&Arc<FaultPlan>>,
+    config: &SuiteRunConfig,
+    tracing: bool,
+) -> AttemptEnd {
+    let mut attempt = 0u32;
+    loop {
+        let ctx = StageCtx { attempt };
+        let budget = config.stage_budget();
+        let (outcome, trace) = collect(tracing, || {
+            with_cell_faults(plan, || {
+                let body = || catch_unwind(AssertUnwindSafe(|| (stage.run)(compiled, &ctx)));
+                match &budget {
+                    Some(budget) => budget.enter(body),
+                    None => body(),
+                }
+            })
+        });
+        let interruption = budget.as_ref().and_then(Budget::interruption);
+        let (status, detail, metrics) = match outcome {
+            Ok(Ok(StageOutcome::Metrics(metrics))) => match interruption {
+                // The stage finished, but its budget tripped along the way:
+                // whatever it returned is a partial result, never a clean ok.
+                Some(reason) => (
+                    CellStatus::Degraded,
+                    Some(format!("completed under interruption ({reason})")),
+                    metrics,
+                ),
+                None => (CellStatus::Ok, None, metrics),
+            },
+            Ok(Ok(StageOutcome::Degraded { reason, metrics })) => {
+                (CellStatus::Degraded, Some(reason), metrics)
+            }
+            Ok(Ok(StageOutcome::Skipped(reason))) => {
+                (CellStatus::Skipped, Some(reason), Default::default())
+            }
+            Ok(Err(error)) => {
+                let error = error.in_stage(&stage.name);
+                match error.severity {
+                    Severity::Retryable if attempt + 1 < MAX_ATTEMPTS => {
+                        attempt += 1;
+                        continue;
+                    }
+                    Severity::Retryable => (
+                        CellStatus::Error,
+                        Some(format!("{error} (after {MAX_ATTEMPTS} attempts)")),
+                        Default::default(),
+                    ),
+                    Severity::Degraded => (
+                        CellStatus::Degraded,
+                        Some(error.to_string()),
+                        Default::default(),
+                    ),
+                    Severity::Fatal => (
+                        CellStatus::Error,
+                        Some(error.to_string()),
+                        Default::default(),
+                    ),
+                }
+            }
+            Err(payload) => (
+                CellStatus::Failed,
+                Some(panic_message(payload.as_ref())),
+                Default::default(),
+            ),
+        };
+        return AttemptEnd {
+            status,
+            detail,
+            metrics,
+            trace,
+        };
     }
 }
 
@@ -406,7 +573,9 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 mod tests {
     use super::*;
     use crate::stage::Stage;
+    use parchmint_resilience::{FaultKind, FaultSpec, PipelineError};
     use serde_json::Value;
+    use std::sync::atomic::{AtomicU32, Ordering};
 
     fn tiny_suite() -> Vec<Benchmark> {
         parchmint_suite::suite()
@@ -452,8 +621,8 @@ mod tests {
     fn panicking_stage_is_isolated() {
         let benchmarks = tiny_suite();
         let stages = vec![
-            Stage::new("boom", |_| panic!("injected failure")),
-            Stage::new("fine", |_| {
+            Stage::new("boom", |_, _| panic!("injected failure")),
+            Stage::new("fine", |_, _| {
                 Ok(StageOutcome::metrics([("one", Value::from(1))]))
             }),
         ];
@@ -501,6 +670,9 @@ mod tests {
             .trace("t.json")
             .baseline("base.json")
             .tolerance(0.25)
+            .deadline(Duration::from_millis(50))
+            .fuel(1_000)
+            .faults(FaultPlan::single("pnr.place", FaultKind::Panic))
             .build();
         assert_eq!(config.threads(), 3);
         assert_eq!(config.benchmarks(), Some(&["a".into(), "b".into()][..]));
@@ -508,11 +680,130 @@ mod tests {
         assert_eq!(config.trace(), Some(Path::new("t.json")));
         assert_eq!(config.baseline(), Some(Path::new("base.json")));
         assert_eq!(config.tolerance(), Some(0.25));
+        assert_eq!(config.deadline(), Some(Duration::from_millis(50)));
+        assert_eq!(config.fuel(), Some(1_000));
+        assert!(config.faults().is_some());
         // Empty selections mean "no restriction".
         let open = SuiteRunConfig::builder()
             .benchmarks(Vec::<String>::new())
             .build();
         assert!(open.benchmarks().is_none());
         assert!(open.trace().is_none());
+        assert!(open.stage_budget().is_none(), "no budget unless configured");
+    }
+
+    #[test]
+    fn error_severities_map_to_cell_status() {
+        let benchmarks: Vec<Benchmark> = tiny_suite().into_iter().take(1).collect();
+        let stages = vec![
+            Stage::new("fatal", |_, _| {
+                Err(PipelineError::fatal("broken").with_hint("fix it"))
+            }),
+            Stage::new("soft", |_, _| Err(PipelineError::degraded("partial"))),
+            Stage::new("flaky", |_, _| Err(PipelineError::retryable("try again"))),
+        ];
+        let report = run_matrix(&benchmarks, &stages, &untraced(1));
+        let name = benchmarks[0].name();
+        let fatal = report.cell(name, "fatal").unwrap();
+        assert_eq!(fatal.status, CellStatus::Error);
+        assert!(fatal.detail.as_deref().unwrap().contains("hint: fix it"));
+        assert_eq!(
+            report.cell(name, "soft").unwrap().status,
+            CellStatus::Degraded
+        );
+        let flaky = report.cell(name, "flaky").unwrap();
+        assert_eq!(flaky.status, CellStatus::Error);
+        assert!(
+            flaky
+                .detail
+                .as_deref()
+                .unwrap()
+                .contains("after 3 attempts"),
+            "detail: {:?}",
+            flaky.detail
+        );
+    }
+
+    #[test]
+    fn retryable_stage_succeeds_on_a_later_attempt() {
+        static CALLS: AtomicU32 = AtomicU32::new(0);
+        let benchmarks: Vec<Benchmark> = tiny_suite().into_iter().take(1).collect();
+        let stages = vec![Stage::new("eventually", |_, ctx| {
+            CALLS.fetch_add(1, Ordering::Relaxed);
+            if ctx.attempt < 2 {
+                Err(PipelineError::retryable("not yet"))
+            } else {
+                Ok(StageOutcome::metrics([(
+                    "attempt",
+                    Value::from(ctx.attempt),
+                )]))
+            }
+        })];
+        let report = run_matrix(&benchmarks, &stages, &untraced(1));
+        let cell = report.cell(benchmarks[0].name(), "eventually").unwrap();
+        assert_eq!(cell.status, CellStatus::Ok);
+        assert_eq!(cell.metrics["attempt"], Value::from(2));
+        assert_eq!(CALLS.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn injected_panic_hits_only_the_targeted_benchmark() {
+        let mut plan = FaultPlan::new();
+        plan.push(FaultSpec {
+            benchmark: Some("logic_gate_or".into()),
+            site: "pnr.place".into(),
+            fault: FaultKind::Panic,
+        });
+        let config = SuiteRunConfig::builder().threads(2).faults(plan).build();
+        let benchmarks = tiny_suite();
+        let stages = standard_stages();
+        let report = run_matrix(&benchmarks, &stages, &config);
+        // The `pnr.place` site lives in the annealing placer, so the fault
+        // panics annealing, which falls back to greedy — a recorded
+        // degraded cell, never a poisoned or missing one. Greedy cells and
+        // the untargeted benchmark must not see the fault at all.
+        for cell in report.cells.iter().filter(|c| c.stage.starts_with("pnr:")) {
+            if cell.benchmark == "logic_gate_or" && cell.stage.starts_with("pnr:annealing") {
+                assert_eq!(
+                    cell.status,
+                    CellStatus::Degraded,
+                    "{} escaped the fault",
+                    cell.key()
+                );
+                let detail = cell.detail.as_deref().expect("degradation is explained");
+                assert!(detail.contains("fell back to greedy"), "{detail}");
+                assert!(!cell.metrics.is_empty(), "fallback still yields metrics");
+            } else {
+                assert_eq!(
+                    cell.status,
+                    CellStatus::Ok,
+                    "{} caught a stray fault",
+                    cell.key()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stage_finishing_under_a_tripped_budget_is_degraded() {
+        let benchmarks: Vec<Benchmark> = tiny_suite().into_iter().take(1).collect();
+        let stages = vec![Stage::new("oblivious", |_, _| {
+            // Consume the whole fuel budget without ever stopping, then
+            // finish "successfully": the runner must still flag the cell.
+            let mut meter = parchmint_resilience::Meter::new(1);
+            for _ in 0..64 {
+                let _ = meter.check();
+            }
+            Ok(StageOutcome::metrics([("done", Value::from(true))]))
+        })];
+        let config = SuiteRunConfig::builder().threads(1).fuel(8).build();
+        let report = run_matrix(&benchmarks, &stages, &config);
+        let cell = report.cell(benchmarks[0].name(), "oblivious").unwrap();
+        assert_eq!(cell.status, CellStatus::Degraded);
+        assert!(cell
+            .detail
+            .as_deref()
+            .unwrap()
+            .contains("completed under interruption (fuel exhausted)"));
     }
 }

@@ -1,7 +1,8 @@
 //! The stage matrix: the analyses every benchmark is swept through.
 
 use parchmint::CompiledDevice;
-use parchmint_pnr::{place_and_route, PlacerChoice, RouterChoice};
+use parchmint_pnr::{place_and_route_resilient, PlacerChoice, RouterChoice};
+use parchmint_resilience::PipelineError;
 use serde_json::Value;
 use std::collections::BTreeMap;
 
@@ -10,6 +11,15 @@ use std::collections::BTreeMap;
 pub enum StageOutcome {
     /// The stage ran; here are its metrics.
     Metrics(BTreeMap<String, Value>),
+    /// The stage produced a usable result, but only by degrading — a
+    /// fallback algorithm, a partial result, or a relaxed solve. The
+    /// substitution is recorded in `reason`, never silent.
+    Degraded {
+        /// What degraded and which fallback was taken.
+        reason: String,
+        /// Metrics of the result that was actually produced.
+        metrics: BTreeMap<String, Value>,
+    },
     /// The stage does not apply to this device; the reason is recorded so
     /// the cell is explained rather than silently absent.
     Skipped(String),
@@ -30,26 +40,42 @@ impl StageOutcome {
     }
 }
 
+/// Per-run context the runner hands each stage invocation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageCtx {
+    /// Which retry attempt this is; `0` is the first run. Stages seed
+    /// deterministic retries from it (e.g. annealing bumps its RNG seed).
+    pub attempt: u32,
+}
+
 /// One named analysis applied to every benchmark in the sweep.
 ///
 /// Stages receive the benchmark's shared [`CompiledDevice`] view — the
 /// runner compiles each benchmark exactly once per sweep and every stage
-/// reads the same interned index. The closure returns `Err` for a
-/// structured failure (recorded as an `error` cell); panics are caught by
-/// the runner and recorded as `failed`.
+/// reads the same interned index — plus a [`StageCtx`] carrying the retry
+/// attempt. The closure returns `Err` for a structured [`PipelineError`];
+/// the runner maps its severity onto the cell status (`Fatal` → error,
+/// `Degraded` → degraded, `Retryable` → deterministic seed-bumped retry,
+/// then error when retries exhaust). Panics are caught by the runner and
+/// recorded as `failed`.
 pub struct Stage {
     /// Stable cell identifier, e.g. `pnr:annealing+astar`.
     pub name: String,
     /// The analysis body.
     #[allow(clippy::type_complexity)] // the harness's one central callback type
-    pub run: Box<dyn Fn(&CompiledDevice) -> Result<StageOutcome, String> + Send + Sync>,
+    pub run: Box<
+        dyn Fn(&CompiledDevice, &StageCtx) -> Result<StageOutcome, PipelineError> + Send + Sync,
+    >,
 }
 
 impl Stage {
     /// Builds a stage from a name and a closure.
     pub fn new(
         name: impl Into<String>,
-        run: impl Fn(&CompiledDevice) -> Result<StageOutcome, String> + Send + Sync + 'static,
+        run: impl Fn(&CompiledDevice, &StageCtx) -> Result<StageOutcome, PipelineError>
+            + Send
+            + Sync
+            + 'static,
     ) -> Self {
         Stage {
             name: name.into(),
@@ -74,7 +100,7 @@ fn flow_ports(
         .collect()
 }
 
-fn validate_stage(compiled: &CompiledDevice) -> Result<StageOutcome, String> {
+fn validate_stage(compiled: &CompiledDevice) -> Result<StageOutcome, PipelineError> {
     let report = parchmint_verify::validate(compiled);
     Ok(StageOutcome::metrics([
         ("conformant", Value::from(report.is_conformant())),
@@ -84,7 +110,7 @@ fn validate_stage(compiled: &CompiledDevice) -> Result<StageOutcome, String> {
     ]))
 }
 
-fn characterize_stage(compiled: &CompiledDevice) -> Result<StageOutcome, String> {
+fn characterize_stage(compiled: &CompiledDevice) -> Result<StageOutcome, PipelineError> {
     let stats = parchmint_stats::DeviceStats::of(compiled);
     Ok(StageOutcome::metrics([
         ("components", Value::from(stats.components)),
@@ -104,11 +130,13 @@ fn pnr_stage(
     compiled: &CompiledDevice,
     placer: PlacerChoice,
     router: RouterChoice,
-) -> Result<StageOutcome, String> {
+    ctx: &StageCtx,
+) -> Result<StageOutcome, PipelineError> {
     // PnR annotates the device with features; work on a private copy.
     let mut device = compiled.device().clone();
-    let report = place_and_route(&mut device, placer, router);
-    Ok(StageOutcome::metrics([
+    let resilient = place_and_route_resilient(&mut device, placer, router, ctx.attempt)?;
+    let report = &resilient.report;
+    let metrics: BTreeMap<String, Value> = [
         ("components", Value::from(report.components)),
         ("nets", Value::from(report.nets)),
         ("routed", Value::from(report.routed)),
@@ -118,10 +146,24 @@ fn pnr_stage(
         ("bends", Value::from(report.bends)),
         ("die_x", Value::from(report.die.x)),
         ("die_y", Value::from(report.die.y)),
-    ]))
+    ]
+    .into_iter()
+    .map(|(k, v)| (k.to_string(), v))
+    .collect();
+    if resilient.degradations.is_empty() {
+        Ok(StageOutcome::Metrics(metrics))
+    } else {
+        let reason = resilient
+            .degradations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("; ");
+        Ok(StageOutcome::Degraded { reason, metrics })
+    }
 }
 
-fn flow_stage(compiled: &CompiledDevice) -> Result<StageOutcome, String> {
+fn flow_stage(compiled: &CompiledDevice) -> Result<StageOutcome, PipelineError> {
     let network = parchmint_sim::FlowNetwork::new(compiled, parchmint_sim::Fluid::WATER);
     let ports = flow_ports(compiled, &network);
     if ports.len() < 2 {
@@ -136,9 +178,9 @@ fn flow_stage(compiled: &CompiledDevice) -> Result<StageOutcome, String> {
         .enumerate()
         .map(|(i, id)| (id.clone(), if i == 0 { 1000.0 } else { 0.0 }))
         .collect();
-    let solution = network.solve(&boundary).map_err(|e| e.to_string())?;
+    let (solution, note) = network.solve_resilient(&boundary)?;
     let driven_flow = solution.net_inflow(&ports[0]).abs();
-    Ok(StageOutcome::metrics([
+    let metrics: BTreeMap<String, Value> = [
         ("nodes", Value::from(network.node_count())),
         ("edges", Value::from(network.edge_count())),
         ("boundary_ports", Value::from(ports.len())),
@@ -147,10 +189,17 @@ fn flow_stage(compiled: &CompiledDevice) -> Result<StageOutcome, String> {
             "max_conservation_error",
             Value::from(solution.max_conservation_error(&ports)),
         ),
-    ]))
+    ]
+    .into_iter()
+    .map(|(k, v)| (k.to_string(), v))
+    .collect();
+    match note {
+        Some(reason) => Ok(StageOutcome::Degraded { reason, metrics }),
+        None => Ok(StageOutcome::Metrics(metrics)),
+    }
 }
 
-fn control_stage(compiled: &CompiledDevice) -> Result<StageOutcome, String> {
+fn control_stage(compiled: &CompiledDevice) -> Result<StageOutcome, PipelineError> {
     // Planning routes over the flow layer, so candidate endpoints are the
     // same flow-network ports the simulation stage drives.
     let network = parchmint_sim::FlowNetwork::new(compiled, parchmint_sim::Fluid::WATER);
@@ -161,7 +210,7 @@ fn control_stage(compiled: &CompiledDevice) -> Result<StageOutcome, String> {
             ports.len()
         )));
     };
-    let plan = parchmint_control::plan_flow(compiled, from, to).map_err(|e| e.to_string())?;
+    let plan = parchmint_control::plan_flow(compiled, from, to)?;
     Ok(StageOutcome::metrics([
         ("hops", Value::from(plan.hops())),
         ("constrained_valves", Value::from(plan.valve_states.len())),
@@ -173,19 +222,19 @@ fn control_stage(compiled: &CompiledDevice) -> Result<StageOutcome, String> {
 /// placer×router combination, flow simulation, and control-plan synthesis.
 pub fn standard_stages() -> Vec<Stage> {
     let mut stages = vec![
-        Stage::new("validate", validate_stage),
-        Stage::new("characterize", characterize_stage),
+        Stage::new("validate", |compiled, _| validate_stage(compiled)),
+        Stage::new("characterize", |compiled, _| characterize_stage(compiled)),
     ];
     for &placer in PlacerChoice::ALL {
         for &router in RouterChoice::ALL {
             stages.push(Stage::new(
                 format!("pnr:{}+{}", placer.placer().name(), router.router().name()),
-                move |compiled| pnr_stage(compiled, placer, router),
+                move |compiled, ctx| pnr_stage(compiled, placer, router, ctx),
             ));
         }
     }
-    stages.push(Stage::new("flow", flow_stage));
-    stages.push(Stage::new("control", control_stage));
+    stages.push(Stage::new("flow", |compiled, _| flow_stage(compiled)));
+    stages.push(Stage::new("control", |compiled, _| control_stage(compiled)));
     stages
 }
 
@@ -211,11 +260,15 @@ mod tests {
                 .expect("registered benchmark")
                 .device(),
         );
+        let ctx = StageCtx::default();
         for stage in standard_stages() {
-            let outcome = (stage.run)(&compiled)
+            let outcome = (stage.run)(&compiled, &ctx)
                 .unwrap_or_else(|e| panic!("stage {} errored: {e}", stage.name));
             match outcome {
                 StageOutcome::Metrics(m) => assert!(!m.is_empty(), "{} empty", stage.name),
+                StageOutcome::Degraded { reason, .. } => {
+                    panic!("{} degraded without a fault: {reason}", stage.name)
+                }
                 StageOutcome::Skipped(reason) => {
                     panic!("{} skipped on a full benchmark: {reason}", stage.name)
                 }

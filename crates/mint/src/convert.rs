@@ -119,9 +119,10 @@ pub fn mint_to_device(file: &MintFile) -> Result<Device, ConvertError> {
         for statement in &layer.statements {
             match statement {
                 Statement::Component { entity, id, params } => {
-                    let entity: Entity = entity
-                        .parse()
-                        .map_err(|e| ConvertError(format!("component `{id}`: {e}")))?;
+                    let entity: Entity = entity.parse().map_err(|_| ConvertError::Entity {
+                        component: id.clone(),
+                        entity: entity.clone(),
+                    })?;
                     builder = builder.component(build_component(
                         id,
                         entity,
@@ -202,7 +203,7 @@ pub fn mint_to_device(file: &MintFile) -> Result<Device, ConvertError> {
         builder = builder.valve(component.as_str(), on.as_str(), valve_type);
     }
 
-    builder.build().map_err(|e| ConvertError(e.to_string()))
+    builder.build().map_err(ConvertError::from)
 }
 
 fn target_to_ref(target: &Target) -> Ref {

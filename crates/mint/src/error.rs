@@ -31,27 +31,165 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-/// Error raised while converting between MINT and ParchMint models.
+impl From<ParseError> for parchmint_resilience::PipelineError {
+    fn from(error: ParseError) -> parchmint_resilience::PipelineError {
+        parchmint_resilience::PipelineError::fatal(format!("MINT parse error: {error}")).with_hint(
+            format!(
+                "fix the MINT source at line {}, column {}",
+                error.line, error.column
+            ),
+        )
+    }
+}
+
+/// Error raised while converting between MINT and ParchMint models, carrying
+/// the offending entity so callers can point at the exact statement.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ConvertError(pub String);
+#[non_exhaustive]
+pub enum ConvertError {
+    /// A component statement declared an entity name the model rejects.
+    Entity {
+        /// The component whose statement is at fault.
+        component: String,
+        /// The rejected entity name.
+        entity: String,
+    },
+    /// A statement referenced an identifier that was never declared
+    /// (for example a channel endpoint naming a missing component).
+    UnknownReference {
+        /// The kind of object being referenced ("layer", "component", …).
+        kind: String,
+        /// The missing identifier.
+        id: String,
+    },
+    /// The same identifier was declared twice.
+    DuplicateId {
+        /// The kind of object being defined.
+        kind: String,
+        /// The duplicated identifier.
+        id: String,
+    },
+    /// The assembled netlist violated a device invariant not covered by a
+    /// more specific variant.
+    InvalidModel {
+        /// What the device builder rejected.
+        message: String,
+    },
+}
+
+impl From<parchmint::Error> for ConvertError {
+    fn from(error: parchmint::Error) -> ConvertError {
+        match error {
+            parchmint::Error::UnknownReference { kind, id } => ConvertError::UnknownReference {
+                kind: kind.to_string(),
+                id,
+            },
+            parchmint::Error::DuplicateId { kind, id } => ConvertError::DuplicateId {
+                kind: kind.to_string(),
+                id,
+            },
+            other => ConvertError::InvalidModel {
+                message: other.to_string(),
+            },
+        }
+    }
+}
 
 impl fmt::Display for ConvertError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "MINT conversion error: {}", self.0)
+        write!(f, "MINT conversion error: ")?;
+        match self {
+            ConvertError::Entity { component, entity } => {
+                write!(f, "component `{component}`: invalid entity `{entity}`")
+            }
+            ConvertError::UnknownReference { kind, id } => {
+                write!(f, "reference to unknown {kind} `{id}`")
+            }
+            ConvertError::DuplicateId { kind, id } => {
+                write!(f, "duplicate {kind} id `{id}`")
+            }
+            ConvertError::InvalidModel { message } => f.write_str(message),
+        }
     }
 }
 
 impl std::error::Error for ConvertError {}
 
+impl From<ConvertError> for parchmint_resilience::PipelineError {
+    fn from(error: ConvertError) -> parchmint_resilience::PipelineError {
+        use parchmint_resilience::PipelineError;
+        let hint = match &error {
+            ConvertError::Entity { component, .. } => {
+                format!("check the component statement for `{component}`")
+            }
+            ConvertError::UnknownReference { kind, id } => {
+                format!("declare {kind} `{id}` before referencing it")
+            }
+            ConvertError::DuplicateId { kind, id } => {
+                format!("rename one of the `{id}` {kind} declarations")
+            }
+            ConvertError::InvalidModel { .. } => "fix the MINT netlist structure".to_string(),
+        };
+        PipelineError::fatal(error.to_string()).with_hint(hint)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use parchmint_resilience::Severity;
 
     #[test]
     fn display_includes_position() {
         let e = ParseError::new(3, 7, "unexpected token");
         assert_eq!(e.to_string(), "3:7: unexpected token");
-        let c = ConvertError("duplicate id".into());
-        assert!(c.to_string().contains("duplicate id"));
+    }
+
+    #[test]
+    fn convert_error_display_names_the_entity() {
+        let c = ConvertError::DuplicateId {
+            kind: "component".into(),
+            id: "m1".into(),
+        };
+        assert_eq!(
+            c.to_string(),
+            "MINT conversion error: duplicate component id `m1`"
+        );
+        let e = ConvertError::Entity {
+            component: "s1".into(),
+            entity: "".into(),
+        };
+        assert!(e.to_string().contains("s1"));
+    }
+
+    #[test]
+    fn core_builder_errors_map_to_structured_variants() {
+        let err: ConvertError = parchmint::Error::UnknownReference {
+            kind: "component",
+            id: "ghost".into(),
+        }
+        .into();
+        assert_eq!(
+            err,
+            ConvertError::UnknownReference {
+                kind: "component".into(),
+                id: "ghost".into()
+            }
+        );
+    }
+
+    #[test]
+    fn errors_map_into_the_pipeline_taxonomy() {
+        let parse: parchmint_resilience::PipelineError = ParseError::new(2, 5, "boom").into();
+        assert_eq!(parse.severity, Severity::Fatal);
+        assert!(parse.hint.as_deref().unwrap_or("").contains("line 2"));
+
+        let convert: parchmint_resilience::PipelineError = ConvertError::UnknownReference {
+            kind: "component".into(),
+            id: "a".into(),
+        }
+        .into();
+        assert_eq!(convert.severity, Severity::Fatal);
+        assert!(convert.message.contains("`a`"));
     }
 }

@@ -31,6 +31,9 @@ pub mod place;
 pub mod route;
 
 pub use eval::PnrReport;
-pub use pipeline::{place_and_route, PlacerChoice, RouterChoice};
+pub use pipeline::{
+    place_and_route, place_and_route_resilient, Degradation, PlacerChoice, ResilientPnr,
+    RouterChoice,
+};
 pub use place::{Placement, Placer};
 pub use route::{Router, RoutingResult};

@@ -1,9 +1,11 @@
 //! The end-to-end place-and-route pipeline.
 
 use crate::eval::PnrReport;
+use crate::place::annealing::AnnealingConfig;
 use crate::place::{annealing::AnnealingPlacer, greedy::GreedyPlacer, Placer};
 use crate::route::{grid::AStarRouter, straight::StraightRouter, Router};
 use parchmint::{CompiledDevice, Device};
+use parchmint_resilience::{attempt as catch_panic, interruption, PipelineError};
 use std::time::Instant;
 
 /// Placer selection for [`place_and_route`].
@@ -21,9 +23,21 @@ impl PlacerChoice {
 
     /// Instantiates the placer.
     pub fn placer(self) -> Box<dyn Placer> {
+        self.placer_for_attempt(0)
+    }
+
+    /// Instantiates the placer for a retry attempt: annealing bumps its
+    /// seed by `attempt` so a deterministic retry explores a different
+    /// trajectory (no wall-clock randomness). Attempt 0 is the default.
+    pub fn placer_for_attempt(self, attempt: u32) -> Box<dyn Placer> {
         match self {
             PlacerChoice::Greedy => Box::new(GreedyPlacer::new()),
-            PlacerChoice::Annealing => Box::new(AnnealingPlacer::new()),
+            PlacerChoice::Annealing if attempt == 0 => Box::new(AnnealingPlacer::new()),
+            PlacerChoice::Annealing => Box::new(AnnealingPlacer::with_seed(
+                AnnealingConfig::default()
+                    .seed
+                    .wrapping_add(u64::from(attempt)),
+            )),
         }
     }
 }
@@ -106,6 +120,174 @@ pub fn place_and_route(
         place_time,
         route_time,
     )
+}
+
+/// One recorded substitution made by [`place_and_route_resilient`]: which
+/// phase degraded and what the pipeline did about it. Never silent — the
+/// harness copies these into the cell's `degraded` outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degradation {
+    /// The phase that degraded: `place` or `route`.
+    pub phase: &'static str,
+    /// What happened and which fallback was taken.
+    pub action: String,
+}
+
+impl std::fmt::Display for Degradation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.phase, self.action)
+    }
+}
+
+/// The outcome of a resilient place-and-route run.
+#[derive(Debug, Clone)]
+pub struct ResilientPnr {
+    /// The quality report (of whatever placer/router combination actually
+    /// produced the final result).
+    pub report: PnrReport,
+    /// Fallbacks and partial results taken along the way; empty means the
+    /// primary algorithms ran to completion.
+    pub degradations: Vec<Degradation>,
+}
+
+/// Places and routes `device` with graceful degradation.
+///
+/// The fallback chains are fixed: a panicking or interrupted annealing
+/// placer falls back to greedy (an interrupted anneal keeps its legal
+/// partial placement instead); a panicking or interrupted grid router
+/// falls back to straight-line routing. Every substitution is recorded in
+/// [`ResilientPnr::degradations`]. `attempt` seeds deterministic retries
+/// (see [`PlacerChoice::placer_for_attempt`]).
+///
+/// Errors are [`PipelineError::fatal`] only when the baseline fallback
+/// itself fails — there is nothing further to degrade to.
+pub fn place_and_route_resilient(
+    device: &mut Device,
+    placer: PlacerChoice,
+    router: RouterChoice,
+    attempt: u32,
+) -> Result<ResilientPnr, PipelineError> {
+    let mut degradations = Vec::new();
+    let p = placer.placer_for_attempt(attempt);
+    let r = router.router();
+
+    let unplaced = CompiledDevice::from_ref(device);
+    let interrupted_before_place = interruption().is_some();
+    let t0 = Instant::now();
+    let placement = {
+        let _span = parchmint_obs::Span::enter("pnr.place");
+        match attempt_place(p.as_ref(), &unplaced) {
+            Ok(placement) => {
+                if !interrupted_before_place {
+                    if let Some(reason) = interruption() {
+                        degradations.push(Degradation {
+                            phase: "place",
+                            action: format!(
+                                "stopped early ({reason}); kept legal partial-anneal placement"
+                            ),
+                        });
+                    }
+                }
+                placement
+            }
+            Err(message) if placer == PlacerChoice::Annealing => {
+                degradations.push(Degradation {
+                    phase: "place",
+                    action: format!("annealing panicked ({message}); fell back to greedy"),
+                });
+                attempt_place(&GreedyPlacer::new(), &unplaced).map_err(|fallback| {
+                    PipelineError::fatal(format!("fallback greedy placer panicked: {fallback}"))
+                        .with_hint("no further placement fallback exists")
+                })?
+            }
+            Err(message) => {
+                return Err(
+                    PipelineError::fatal(format!("greedy placer panicked: {message}"))
+                        .with_hint("no further placement fallback exists"),
+                );
+            }
+        }
+    };
+    let place_time = t0.elapsed();
+    placement.apply_to(device);
+
+    let placed = CompiledDevice::from_ref(device);
+    let t1 = Instant::now();
+    let mut effective_router = r.name();
+    let routing = {
+        let _span = parchmint_obs::Span::enter("pnr.route");
+        let result = match catch_panic(|| r.route(&placed)) {
+            Ok(routing) => {
+                if router == RouterChoice::AStar && interruption().is_some() {
+                    let reason = interruption().expect("just observed");
+                    degradations.push(Degradation {
+                        phase: "route",
+                        action: format!(
+                            "grid routing interrupted ({reason}); fell back to straight-line"
+                        ),
+                    });
+                    None // rerun below with the baseline router
+                } else {
+                    Some(routing)
+                }
+            }
+            Err(message) if router == RouterChoice::AStar => {
+                degradations.push(Degradation {
+                    phase: "route",
+                    action: format!("grid router panicked ({message}); fell back to straight-line"),
+                });
+                None
+            }
+            Err(message) => {
+                return Err(
+                    PipelineError::fatal(format!("straight router panicked: {message}"))
+                        .with_hint("no further routing fallback exists"),
+                );
+            }
+        };
+        match result {
+            Some(routing) => routing,
+            None => {
+                effective_router = "straight";
+                catch_panic(|| StraightRouter::new().route(&placed)).map_err(|fallback| {
+                    PipelineError::fatal(format!("fallback straight router panicked: {fallback}"))
+                        .with_hint("no further routing fallback exists")
+                })?
+            }
+        }
+    };
+    let route_time = t1.elapsed();
+    routing.apply_to(device);
+
+    let nets = routing.routed.len() + routing.failed.len();
+    if nets > 0 && routing.routed.is_empty() && interruption().is_none() {
+        return Err(
+            PipelineError::retryable(format!("no nets routed ({nets} attempted)"))
+                .with_hint("a seed-bumped retry may find a routable placement"),
+        );
+    }
+
+    let report = PnrReport::from_run(
+        &device.name,
+        p.name(),
+        effective_router,
+        &placed,
+        &placement,
+        &routing,
+        place_time,
+        route_time,
+    );
+    Ok(ResilientPnr {
+        report,
+        degradations,
+    })
+}
+
+fn attempt_place(
+    placer: &dyn Placer,
+    compiled: &CompiledDevice,
+) -> Result<crate::place::Placement, String> {
+    catch_panic(|| placer.place(compiled))
 }
 
 #[cfg(test)]

@@ -11,8 +11,14 @@ use super::greedy::GreedyPlacer;
 use super::{Placement, Placer, SiteGrid};
 use parchmint::geometry::Point;
 use parchmint::CompiledDevice;
+use parchmint_resilience::Meter;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+
+/// Meter interval for the Metropolis loop: the installed budget is probed
+/// once per this many proposed moves, so cancellation stops the anneal
+/// within one interval.
+pub const PLACE_CHECK_INTERVAL: u32 = 512;
 
 /// Tuning knobs for [`AnnealingPlacer`].
 #[derive(Debug, Clone, PartialEq)]
@@ -131,6 +137,7 @@ impl Placer for AnnealingPlacer {
     }
 
     fn place(&self, compiled: &CompiledDevice) -> Placement {
+        parchmint_resilience::fault::inject("pnr.place");
         let device = compiled.device();
         let n = compiled.component_count();
         if n < 2 {
@@ -224,9 +231,19 @@ impl Placer for AnnealingPlacer {
             0
         };
 
-        for _sweep in 0..self.config.sweeps {
+        // Every swap keeps the assignment legal and complete, so the anneal
+        // can stop after any move and still return a usable placement —
+        // that is the cooperative-cancellation contract: the meter trips,
+        // we keep the best-so-far state, and the caller reads the trip
+        // reason from the budget.
+        let mut meter = Meter::new(PLACE_CHECK_INTERVAL);
+        let mut completed_sweeps = 0u64;
+        'sweeps: for _sweep in 0..self.config.sweeps {
             let moves = self.config.moves_per_sweep * n;
             for _ in 0..moves {
+                if meter.check().is_err() {
+                    break 'sweeps;
+                }
                 let a = rng.random_range(0..n);
                 let site_b = rng.random_range(0..grid.len());
                 let site_a = state.site_of[a];
@@ -250,6 +267,7 @@ impl Placer for AnnealingPlacer {
                     state.swap(a, site_a);
                 }
             }
+            completed_sweeps += 1;
             temperature = (temperature * self.config.cooling).max(1e-3);
             if tracing {
                 // One cost/temperature point per sweep: the cooling curve
@@ -259,7 +277,7 @@ impl Placer for AnnealingPlacer {
             }
         }
         if tracing {
-            parchmint_obs::count("pnr.place.sweeps", self.config.sweeps as u64);
+            parchmint_obs::count("pnr.place.sweeps", completed_sweeps);
             parchmint_obs::count("pnr.place.accepted", accepted);
             parchmint_obs::count("pnr.place.rejected", rejected);
         }

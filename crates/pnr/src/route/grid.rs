@@ -9,8 +9,16 @@
 use super::{RoutedNet, Router, RoutingResult};
 use parchmint::geometry::{Point, Rect};
 use parchmint::{CompiledDevice, Device};
+use parchmint_resilience::Meter;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Meter interval for the A* search: the installed budget is probed once
+/// per this many heap pops, so cancellation stops the search within one
+/// interval. An interrupted search reports the net as failed; once the
+/// budget has tripped, every remaining net fails on its first pop, so the
+/// router drains quickly into a well-formed partial [`RoutingResult`].
+pub const ROUTE_CHECK_INTERVAL: u32 = 2048;
 
 /// Tuning knobs for [`AStarRouter`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -166,6 +174,7 @@ fn astar(
     goal: (i64, i64),
     free_override: &[bool],
     expanded: &mut u64,
+    meter: &mut Meter,
 ) -> Option<Vec<(i64, i64)>> {
     let n = (grid.cols * grid.rows) as usize;
     let state = |cell: usize, dir: usize| cell * 5 + dir;
@@ -194,6 +203,9 @@ fn astar(
     heap.push(Reverse((h(start.0, start.1), start_state as u32)));
 
     while let Some(Reverse((_, s))) = heap.pop() {
+        if meter.check().is_err() {
+            return None;
+        }
         *expanded += 1;
         let s = s as usize;
         let cell = s / 5;
@@ -291,6 +303,7 @@ impl Router for AStarRouter {
     }
 
     fn route(&self, compiled: &CompiledDevice) -> RoutingResult {
+        parchmint_resilience::fault::inject("pnr.route");
         let device = compiled.device();
         // Route order: shortest estimated nets first.
         let mut order: Vec<usize> = (0..device.connections.len()).collect();
@@ -313,7 +326,9 @@ impl Router for AStarRouter {
         let mut ripup_rounds = 0u64;
         let mut best = self.route_in_order(compiled, &order);
         for _ in 0..self.config.reroute_attempts {
-            if best.failed.is_empty() {
+            // A tripped budget makes every further pass fail immediately;
+            // keep the partial result from the pass that did real work.
+            if best.failed.is_empty() || parchmint_resilience::interruption().is_some() {
                 break;
             }
             let failed: Vec<usize> = order
@@ -352,6 +367,7 @@ impl AStarRouter {
         let n_cells = (grid.cols * grid.rows) as usize;
         let tracing = parchmint_obs::enabled();
         let mut total_expanded = 0u64;
+        let mut meter = Meter::new(ROUTE_CHECK_INTERVAL);
         for &i in order {
             let connection = &device.connections[i];
             let Some(src) = compiled.target_position(&connection.source) else {
@@ -391,6 +407,7 @@ impl AStarRouter {
                     sink_cell,
                     &free_override,
                     &mut net_expanded,
+                    &mut meter,
                 ) {
                     Some(cells) => {
                         branches.push(to_waypoints(&grid, src, sink, &cells));

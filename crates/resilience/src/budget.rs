@@ -1,0 +1,399 @@
+//! Execution budgets: cooperative cancellation, wall-clock deadlines, and
+//! deterministic fuel counters.
+//!
+//! A [`Budget`] is installed for the duration of a closure with
+//! [`Budget::enter`], which stores it in a thread-local slot (the same
+//! scoped-install shape as the obs `Recorder`). Hot loops do not touch the
+//! thread-local: they construct a [`Meter`] once, which captures the current
+//! budget, and then call [`Meter::check`] per iteration. When no budget is
+//! installed the check is a single branch on a `None`; when one is installed
+//! the cost is amortized over `interval` iterations — only every
+//! `interval`-th check performs the relaxed atomic loads.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a budgeted stage was stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StopReason {
+    /// [`Budget::cancel`] was called (possibly from another thread).
+    Cancelled,
+    /// The wall-clock deadline passed.
+    DeadlineExceeded,
+    /// The deterministic fuel counter reached zero.
+    FuelExhausted,
+}
+
+impl StopReason {
+    /// Stable lower-case name, used in report details and obs counters.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StopReason::Cancelled => "cancelled",
+            StopReason::DeadlineExceeded => "deadline exceeded",
+            StopReason::FuelExhausted => "fuel exhausted",
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            StopReason::Cancelled => 1,
+            StopReason::DeadlineExceeded => 2,
+            StopReason::FuelExhausted => 3,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<StopReason> {
+        match code {
+            1 => Some(StopReason::Cancelled),
+            2 => Some(StopReason::DeadlineExceeded),
+            3 => Some(StopReason::FuelExhausted),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The error a budgeted loop returns when its budget trips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interrupted {
+    /// Why the budget tripped.
+    pub reason: StopReason,
+}
+
+impl fmt::Display for Interrupted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "interrupted: {}", self.reason)
+    }
+}
+
+impl std::error::Error for Interrupted {}
+
+#[derive(Debug)]
+struct BudgetState {
+    cancel: AtomicBool,
+    /// First trip reason (`StopReason::code`), or 0 while running. Once set
+    /// it never changes, so every later probe reports the same reason.
+    tripped: AtomicU8,
+    /// Remaining fuel in meter ticks; `i64::MAX` means unlimited.
+    fuel: AtomicI64,
+    deadline: Option<Instant>,
+}
+
+impl BudgetState {
+    /// Full probe: called only at meter-interval boundaries. `spent` is the
+    /// number of ticks since the previous probe, charged against fuel.
+    fn probe(&self, spent: u32) -> Result<(), Interrupted> {
+        if let Some(reason) = StopReason::from_code(self.tripped.load(Ordering::Relaxed)) {
+            return Err(Interrupted { reason });
+        }
+        if self.cancel.load(Ordering::Relaxed) {
+            return Err(self.trip(StopReason::Cancelled));
+        }
+        let before = self.fuel.fetch_sub(i64::from(spent), Ordering::Relaxed);
+        if before != i64::MAX && before <= i64::from(spent) {
+            return Err(self.trip(StopReason::FuelExhausted));
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(self.trip(StopReason::DeadlineExceeded));
+            }
+        }
+        Ok(())
+    }
+
+    /// Records the first trip reason and emits the obs counter for it.
+    /// Returns the reason actually recorded (a racing trip wins at most once).
+    fn trip(&self, reason: StopReason) -> Interrupted {
+        let won = self
+            .tripped
+            .compare_exchange(0, reason.code(), Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok();
+        let recorded =
+            StopReason::from_code(self.tripped.load(Ordering::Relaxed)).unwrap_or(reason);
+        if won {
+            let key = match recorded {
+                StopReason::Cancelled => "resilience.interrupted.cancelled",
+                StopReason::DeadlineExceeded => "resilience.interrupted.deadline",
+                StopReason::FuelExhausted => "resilience.interrupted.fuel",
+            };
+            parchmint_obs::count(key, 1);
+        }
+        Interrupted { reason: recorded }
+    }
+
+    fn interruption(&self) -> Option<StopReason> {
+        StopReason::from_code(self.tripped.load(Ordering::Relaxed))
+    }
+}
+
+/// A shareable execution budget: cancellation token + optional wall-clock
+/// deadline + optional deterministic fuel counter.
+///
+/// Cloning is cheap and shares state, so a controller thread can hold a
+/// clone and [`cancel`](Budget::cancel) a stage running elsewhere.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    state: Arc<BudgetState>,
+}
+
+impl Budget {
+    /// A budget with no limits — useful as a pure cancellation token.
+    pub fn unlimited() -> Budget {
+        Budget {
+            state: Arc::new(BudgetState {
+                cancel: AtomicBool::new(false),
+                tripped: AtomicU8::new(0),
+                fuel: AtomicI64::new(i64::MAX),
+                deadline: None,
+            }),
+        }
+    }
+
+    /// Adds a wall-clock deadline `duration` from now.
+    pub fn with_deadline(self, duration: Duration) -> Budget {
+        let state = BudgetState {
+            cancel: AtomicBool::new(self.state.cancel.load(Ordering::Relaxed)),
+            tripped: AtomicU8::new(self.state.tripped.load(Ordering::Relaxed)),
+            fuel: AtomicI64::new(self.state.fuel.load(Ordering::Relaxed)),
+            deadline: Some(Instant::now() + duration),
+        };
+        Budget {
+            state: Arc::new(state),
+        }
+    }
+
+    /// Limits the budget to `fuel` meter ticks (deterministic: one tick is
+    /// one unit of stage-defined work, never wall-clock time).
+    pub fn with_fuel(self, fuel: u64) -> Budget {
+        let capped = i64::try_from(fuel)
+            .unwrap_or(i64::MAX - 1)
+            .min(i64::MAX - 1);
+        let state = BudgetState {
+            cancel: AtomicBool::new(self.state.cancel.load(Ordering::Relaxed)),
+            tripped: AtomicU8::new(self.state.tripped.load(Ordering::Relaxed)),
+            fuel: AtomicI64::new(capped),
+            deadline: self.state.deadline,
+        };
+        Budget {
+            state: Arc::new(state),
+        }
+    }
+
+    /// Requests cooperative cancellation; running meters observe it at their
+    /// next interval boundary.
+    pub fn cancel(&self) {
+        self.state.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// The first trip reason, if this budget has tripped.
+    pub fn interruption(&self) -> Option<StopReason> {
+        self.state.interruption()
+    }
+
+    /// Installs this budget thread-locally for the duration of `f`.
+    ///
+    /// Nested scopes restore the previous budget on exit (including on
+    /// panic), mirroring `parchmint_obs::with_recorder`.
+    pub fn enter<T>(&self, f: impl FnOnce() -> T) -> T {
+        let previous = CURRENT.with(|slot| slot.replace(Some(self.state.clone())));
+        let _restore = Restore { previous };
+        f()
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Arc<BudgetState>>> = const { RefCell::new(None) };
+}
+
+struct Restore {
+    previous: Option<Arc<BudgetState>>,
+}
+
+impl Drop for Restore {
+    fn drop(&mut self) {
+        CURRENT.with(|slot| slot.replace(self.previous.take()));
+    }
+}
+
+fn current_state() -> Option<Arc<BudgetState>> {
+    CURRENT.with(|slot| slot.borrow().clone())
+}
+
+/// The first trip reason of the budget installed on this thread, if any.
+///
+/// Stages that complete normally call this afterwards to distinguish a full
+/// result from a partial one; `None` also when no budget is installed.
+pub fn interruption() -> Option<StopReason> {
+    current_state().and_then(|state| state.interruption())
+}
+
+/// Force-trips the budget installed on this thread with
+/// [`StopReason::FuelExhausted`].
+///
+/// This is how the fault layer models a stall deterministically: instead of
+/// sleeping, the stage's next meter check observes exhausted fuel and stops.
+/// A no-op when no budget is installed.
+pub fn exhaust_current() {
+    if let Some(state) = current_state() {
+        let _ = state.trip(StopReason::FuelExhausted);
+    }
+}
+
+/// An amortized budget checker for one hot loop.
+///
+/// Captures the thread-local budget once at construction. [`Meter::check`]
+/// is designed to sit inside the innermost loop: without a budget it is a
+/// single branch; with one it counts down locally and probes the shared
+/// atomics every `interval` ticks, so a stage stops within one interval of
+/// cancellation, deadline expiry, or fuel exhaustion.
+#[derive(Debug)]
+pub struct Meter {
+    state: Option<Arc<BudgetState>>,
+    interval: u32,
+    countdown: u32,
+    since_probe: u32,
+    /// Once a probe errs, every later check errs immediately: a meter shared
+    /// across sub-searches (e.g. one per net) must not grant each of them a
+    /// fresh interval after the budget has already tripped.
+    tripped: Option<Interrupted>,
+}
+
+impl Meter {
+    /// Captures the current thread's budget; probes every `interval` ticks
+    /// (clamped to at least 1). The first check probes immediately so a
+    /// budget tripped before the loop starts stops it on tick one.
+    pub fn new(interval: u32) -> Meter {
+        Meter {
+            state: current_state(),
+            interval: interval.max(1),
+            countdown: 1,
+            since_probe: 0,
+            tripped: None,
+        }
+    }
+
+    /// Counts one unit of work; errs when the budget has tripped. Once it
+    /// errs it stays erring — an interrupted stage must not resume after one
+    /// interval of further checks.
+    #[inline]
+    pub fn check(&mut self) -> Result<(), Interrupted> {
+        let Some(state) = &self.state else {
+            return Ok(());
+        };
+        if let Some(interrupted) = self.tripped {
+            return Err(interrupted);
+        }
+        self.since_probe += 1;
+        self.countdown -= 1;
+        if self.countdown > 0 {
+            return Ok(());
+        }
+        let spent = self.since_probe;
+        self.since_probe = 0;
+        self.countdown = self.interval;
+        match state.probe(spent) {
+            Ok(()) => Ok(()),
+            Err(interrupted) => {
+                self.tripped = Some(interrupted);
+                Err(interrupted)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_without_budget_never_trips() {
+        let mut meter = Meter::new(4);
+        for _ in 0..10_000 {
+            assert!(meter.check().is_ok());
+        }
+    }
+
+    #[test]
+    fn fuel_exhaustion_trips_within_one_interval() {
+        let budget = Budget::unlimited().with_fuel(100);
+        let ticks = budget.enter(|| {
+            let mut meter = Meter::new(16);
+            let mut ticks = 0u64;
+            loop {
+                if meter.check().is_err() {
+                    break;
+                }
+                ticks += 1;
+                assert!(ticks < 1_000, "meter never tripped");
+            }
+            ticks
+        });
+        // 100 ticks of fuel, checked every 16: trips no later than one
+        // interval past exhaustion.
+        assert!((100..=116).contains(&ticks), "stopped after {ticks} ticks");
+        assert_eq!(budget.interruption(), Some(StopReason::FuelExhausted));
+    }
+
+    #[test]
+    fn cancellation_is_observed_at_the_next_probe() {
+        let budget = Budget::unlimited();
+        budget.cancel();
+        budget.enter(|| {
+            let mut meter = Meter::new(8);
+            // First check probes immediately.
+            assert_eq!(
+                meter.check(),
+                Err(Interrupted {
+                    reason: StopReason::Cancelled
+                })
+            );
+        });
+        assert_eq!(budget.interruption(), Some(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn first_trip_reason_is_sticky() {
+        let budget = Budget::unlimited().with_fuel(1);
+        budget.enter(|| {
+            let mut meter = Meter::new(1);
+            assert!(meter.check().is_err());
+            super::exhaust_current();
+        });
+        budget.cancel();
+        assert_eq!(budget.interruption(), Some(StopReason::FuelExhausted));
+    }
+
+    #[test]
+    fn nested_enter_restores_the_outer_budget() {
+        let outer = Budget::unlimited().with_fuel(10);
+        let inner = Budget::unlimited();
+        outer.enter(|| {
+            inner.enter(|| {
+                super::exhaust_current();
+            });
+            assert_eq!(inner.interruption(), Some(StopReason::FuelExhausted));
+            assert_eq!(super::interruption(), None, "outer budget was tripped");
+        });
+        assert_eq!(super::interruption(), None, "budget leaked out of enter");
+    }
+
+    #[test]
+    fn deadline_in_the_past_trips_immediately() {
+        let budget = Budget::unlimited().with_deadline(Duration::from_secs(0));
+        budget.enter(|| {
+            let mut meter = Meter::new(1);
+            assert_eq!(
+                meter.check().unwrap_err().reason,
+                StopReason::DeadlineExceeded
+            );
+        });
+    }
+}

@@ -1,0 +1,329 @@
+//! Deterministic fault injection at named pipeline sites.
+//!
+//! A [`FaultPlan`] lists faults to arm, each at a named site (for example
+//! `pnr.place` or `sim.solve`), optionally restricted to one benchmark.
+//! The harness installs the per-benchmark slice of the plan thread-locally
+//! around each cell — the same scoped-install shape as the obs `Recorder`
+//! and the resilience `Budget` — so injection is deterministic, per-thread,
+//! and invisible to unfaulted cells.
+//!
+//! Sites call [`inject`] (handles [`FaultKind::Panic`] and
+//! [`FaultKind::Stall`] generically) and consult [`armed`] for the
+//! site-specific kinds ([`FaultKind::Nan`], [`FaultKind::MalformedParams`])
+//! whose corruption only the site itself knows how to apply.
+//!
+//! Site names follow `<subsystem>.<stage>`: `ir.compile`, `pnr.place`,
+//! `pnr.route`, `sim.solve`, `sim.boundary`, `control.plan`.
+
+use serde_json::Value;
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::Arc;
+
+/// The kinds of fault the plan can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Panic at the site (exercises cell isolation and fallback chains).
+    Panic,
+    /// Deterministic stall: force-trips the installed budget's fuel so the
+    /// stage's next meter check stops it — no wall-clock sleeping.
+    Stall,
+    /// Poison the site's numeric state with `NaN` (solver right-hand side).
+    Nan,
+    /// Feed the site malformed parameters (non-finite boundary pressure).
+    MalformedParams,
+}
+
+impl FaultKind {
+    /// Stable wire name used in fault-plan JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Stall => "stall",
+            FaultKind::Nan => "nan",
+            FaultKind::MalformedParams => "malformed_params",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(name: &str) -> Option<FaultKind> {
+        match name {
+            "panic" => Some(FaultKind::Panic),
+            "stall" => Some(FaultKind::Stall),
+            "nan" => Some(FaultKind::Nan),
+            "malformed_params" => Some(FaultKind::MalformedParams),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One armed fault: a site, a kind, and an optional benchmark restriction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Restrict to this benchmark; `None` arms the fault for every cell.
+    pub benchmark: Option<String>,
+    /// The named injection site, e.g. `pnr.place`.
+    pub site: String,
+    /// What to inject there.
+    pub fault: FaultKind,
+}
+
+/// Schema identifier for fault-plan JSON files.
+pub const FAULT_PLAN_SCHEMA: &str = "parchmint-faults/v1";
+
+/// A deterministic fault-injection plan.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A single-fault plan with no benchmark restriction — convenient in
+    /// tests.
+    pub fn single(site: impl Into<String>, fault: FaultKind) -> FaultPlan {
+        FaultPlan {
+            specs: vec![FaultSpec {
+                benchmark: None,
+                site: site.into(),
+                fault,
+            }],
+        }
+    }
+
+    /// Adds a fault spec.
+    pub fn push(&mut self, spec: FaultSpec) {
+        self.specs.push(spec);
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// All armed specs, in plan order.
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+
+    /// The slice of the plan that applies to `benchmark` (specs restricted
+    /// to other benchmarks are dropped; unrestricted specs are kept).
+    pub fn for_benchmark(&self, benchmark: &str) -> FaultPlan {
+        FaultPlan {
+            specs: self
+                .specs
+                .iter()
+                .filter(|spec| {
+                    spec.benchmark
+                        .as_deref()
+                        .map_or(true, |name| name == benchmark)
+                })
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// The names of all benchmarks the plan explicitly targets, in plan
+    /// order, deduplicated.
+    pub fn targeted_benchmarks(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = Vec::new();
+        for spec in &self.specs {
+            if let Some(name) = spec.benchmark.as_deref() {
+                if !names.contains(&name) {
+                    names.push(name);
+                }
+            }
+        }
+        names
+    }
+
+    /// The fault armed at `site` in this plan, if any (first match wins).
+    pub fn armed(&self, site: &str) -> Option<FaultKind> {
+        self.specs
+            .iter()
+            .find(|spec| spec.site == site)
+            .map(|spec| spec.fault)
+    }
+
+    /// Parses a `parchmint-faults/v1` JSON document.
+    ///
+    /// ```json
+    /// {
+    ///   "schema": "parchmint-faults/v1",
+    ///   "faults": [
+    ///     { "benchmark": "logic_gate_or", "site": "pnr.place", "fault": "panic" }
+    ///   ]
+    /// }
+    /// ```
+    pub fn from_json_str(text: &str) -> Result<FaultPlan, String> {
+        let value: Value =
+            serde_json::from_str(text).map_err(|e| format!("fault plan is not valid JSON: {e}"))?;
+        let Value::Object(root) = &value else {
+            return Err("fault plan root must be an object".to_string());
+        };
+        match root.get("schema") {
+            Some(Value::String(schema)) if schema == FAULT_PLAN_SCHEMA => {}
+            Some(Value::String(schema)) => {
+                return Err(format!(
+                    "unsupported fault plan schema `{schema}` (expected `{FAULT_PLAN_SCHEMA}`)"
+                ));
+            }
+            _ => {
+                return Err(format!(
+                    "fault plan missing `schema: \"{FAULT_PLAN_SCHEMA}\"`"
+                ))
+            }
+        }
+        let Some(Value::Array(faults)) = root.get("faults") else {
+            return Err("fault plan missing `faults` array".to_string());
+        };
+        let mut plan = FaultPlan::new();
+        for (index, entry) in faults.iter().enumerate() {
+            let Value::Object(entry) = entry else {
+                return Err(format!("faults[{index}] must be an object"));
+            };
+            let site = match entry.get("site") {
+                Some(Value::String(site)) if !site.is_empty() => site.clone(),
+                _ => return Err(format!("faults[{index}] missing string `site`")),
+            };
+            let fault = match entry.get("fault") {
+                Some(Value::String(name)) => FaultKind::parse(name)
+                    .ok_or_else(|| format!("faults[{index}] has unknown fault kind `{name}`"))?,
+                _ => return Err(format!("faults[{index}] missing string `fault`")),
+            };
+            let benchmark = match entry.get("benchmark") {
+                None | Some(Value::Null) => None,
+                Some(Value::String(name)) => Some(name.clone()),
+                Some(_) => {
+                    return Err(format!("faults[{index}] `benchmark` must be a string"));
+                }
+            };
+            plan.push(FaultSpec {
+                benchmark,
+                site,
+                fault,
+            });
+        }
+        Ok(plan)
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Arc<FaultPlan>>> = const { RefCell::new(None) };
+}
+
+struct Restore {
+    previous: Option<Arc<FaultPlan>>,
+}
+
+impl Drop for Restore {
+    fn drop(&mut self) {
+        CURRENT.with(|slot| slot.replace(self.previous.take()));
+    }
+}
+
+/// Installs `plan` thread-locally for the duration of `f` (restores the
+/// previous plan on exit, including on panic).
+pub fn with_faults<T>(plan: Arc<FaultPlan>, f: impl FnOnce() -> T) -> T {
+    let previous = CURRENT.with(|slot| slot.replace(Some(plan)));
+    let _restore = Restore { previous };
+    f()
+}
+
+/// The fault armed at `site` by the plan installed on this thread, if any.
+///
+/// Costs one thread-local borrow when a plan is installed and a single
+/// `None` branch otherwise; sites with site-specific corruption (NaN,
+/// malformed params) consult this and apply the corruption themselves.
+pub fn armed(site: &str) -> Option<FaultKind> {
+    CURRENT.with(|slot| slot.borrow().as_ref().and_then(|plan| plan.armed(site)))
+}
+
+/// Generic injection point: call at the top of a named site.
+///
+/// Fires [`FaultKind::Panic`] (panics with a recognizable message) and
+/// [`FaultKind::Stall`] (force-trips the installed budget's fuel so the
+/// site's meter stops it deterministically). Site-specific kinds are left
+/// for the site to apply via [`armed`]. No-op without an installed plan.
+pub fn inject(site: &str) {
+    match armed(site) {
+        Some(FaultKind::Panic) => {
+            parchmint_obs::count("resilience.fault.panic", 1);
+            panic!("injected fault: panic at {site}");
+        }
+        Some(FaultKind::Stall) => {
+            parchmint_obs::count("resilience.fault.stall", 1);
+            crate::budget::exhaust_current();
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_plan_and_filters_by_benchmark() {
+        let text = r#"{
+            "schema": "parchmint-faults/v1",
+            "faults": [
+                { "benchmark": "logic_gate_or", "site": "pnr.place", "fault": "panic" },
+                { "site": "sim.solve", "fault": "nan" }
+            ]
+        }"#;
+        let plan = FaultPlan::from_json_str(text).unwrap();
+        assert_eq!(plan.specs().len(), 2);
+        assert_eq!(plan.targeted_benchmarks(), vec!["logic_gate_or"]);
+
+        let or_slice = plan.for_benchmark("logic_gate_or");
+        assert_eq!(or_slice.armed("pnr.place"), Some(FaultKind::Panic));
+        assert_eq!(or_slice.armed("sim.solve"), Some(FaultKind::Nan));
+
+        let other = plan.for_benchmark("rotary_pump_mixer");
+        assert_eq!(other.armed("pnr.place"), None);
+        assert_eq!(other.armed("sim.solve"), Some(FaultKind::Nan));
+    }
+
+    #[test]
+    fn rejects_malformed_plans() {
+        assert!(FaultPlan::from_json_str("[]").is_err());
+        assert!(FaultPlan::from_json_str("{\"faults\": []}").is_err());
+        let bad_kind = r#"{"schema": "parchmint-faults/v1",
+                           "faults": [{"site": "x", "fault": "meteor"}]}"#;
+        let err = FaultPlan::from_json_str(bad_kind).unwrap_err();
+        assert!(err.contains("meteor"), "{err}");
+    }
+
+    #[test]
+    fn inject_panics_only_at_the_armed_site() {
+        let plan = Arc::new(FaultPlan::single("pnr.place", FaultKind::Panic));
+        with_faults(plan, || {
+            inject("pnr.route"); // different site: no-op
+            let caught = crate::error::attempt(|| inject("pnr.place"));
+            assert_eq!(caught.unwrap_err(), "injected fault: panic at pnr.place");
+        });
+        // Outside the scope nothing is armed.
+        assert_eq!(armed("pnr.place"), None);
+        inject("pnr.place");
+    }
+
+    #[test]
+    fn stall_trips_the_installed_budget() {
+        use crate::budget::{Budget, StopReason};
+        let plan = Arc::new(FaultPlan::single("sim.solve", FaultKind::Stall));
+        let budget = Budget::unlimited();
+        budget.enter(|| with_faults(plan, || inject("sim.solve")));
+        assert_eq!(budget.interruption(), Some(StopReason::FuelExhausted));
+    }
+}

@@ -1,0 +1,31 @@
+//! Resilient execution primitives for the ParchMint pipeline.
+//!
+//! Three layers, designed together so a misbehaving stage degrades into a
+//! *reported* outcome instead of a hung or poisoned sweep:
+//!
+//! - [`budget`] — a [`Budget`] combining a cancellation token, an optional
+//!   wall-clock deadline, and an optional deterministic fuel counter. Hot
+//!   loops poll it through an amortized [`Meter`] (one relaxed atomic load
+//!   every `interval` iterations; a single branch when no budget is
+//!   installed) and stop cooperatively with a partial result.
+//! - [`error`] — the unified [`PipelineError`] taxonomy (severity
+//!   [`Severity::Fatal`] / [`Severity::Degraded`] / [`Severity::Retryable`],
+//!   stage provenance, recovery hint) every per-crate error maps into.
+//! - [`fault`] — a deterministic [`FaultPlan`] injection layer arming
+//!   panics, stalls, NaNs, and malformed params at named sites, installed
+//!   thread-locally per benchmark cell by the harness.
+//!
+//! The thread-local scoped-install pattern (install for a closure, restore
+//! on exit including panic) deliberately mirrors `parchmint_obs`: stages
+//! need no plumbing, and nothing leaks across cells or worker threads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod error;
+pub mod fault;
+
+pub use budget::{exhaust_current, interruption, Budget, Interrupted, Meter, StopReason};
+pub use error::{attempt, panic_message, PipelineError, Severity};
+pub use fault::{armed, inject, with_faults, FaultKind, FaultPlan, FaultSpec, FAULT_PLAN_SCHEMA};

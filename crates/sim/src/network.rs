@@ -6,7 +6,7 @@
 //! pressures at the boundary ports and writing conservation of mass at
 //! every internal node yields a linear system in the node pressures.
 
-use crate::linear::{solve, DenseMatrix};
+use crate::linear::{solve_with, DenseMatrix, SolveError, SolvePolicy};
 use crate::resistance::{
     component_resistance, ChannelGeometry, Fluid, DEFAULT_CHANNEL_DEPTH, DEFAULT_CHANNEL_LENGTH,
     DEFAULT_CHANNEL_WIDTH,
@@ -27,6 +27,11 @@ pub enum SimError {
     /// The reduced system was singular (should not occur for connected
     /// networks with at least one boundary node).
     Singular,
+    /// The system contained a NaN or infinity (malformed parameters or
+    /// boundary conditions upstream).
+    NonFinite,
+    /// The installed execution budget tripped mid-solve.
+    Interrupted(parchmint_resilience::StopReason),
 }
 
 impl fmt::Display for SimError {
@@ -35,11 +40,32 @@ impl fmt::Display for SimError {
             SimError::UnknownNode(id) => write!(f, "boundary names unknown flow node `{id}`"),
             SimError::NoBoundary => f.write_str("at least one boundary pressure is required"),
             SimError::Singular => f.write_str("singular hydraulic system"),
+            SimError::NonFinite => f.write_str("non-finite value in hydraulic system"),
+            SimError::Interrupted(reason) => write!(f, "solve interrupted: {reason}"),
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+impl From<SimError> for parchmint_resilience::PipelineError {
+    fn from(error: SimError) -> parchmint_resilience::PipelineError {
+        use parchmint_resilience::PipelineError;
+        match &error {
+            SimError::UnknownNode(_) => PipelineError::fatal(error.to_string())
+                .with_hint("boundary conditions must name components on a flow layer"),
+            SimError::NoBoundary => PipelineError::fatal(error.to_string())
+                .with_hint("drive at least one port with a pressure"),
+            SimError::Singular => PipelineError::fatal(error.to_string())
+                .with_hint("check for floating islands; the relaxed solve ladder also failed"),
+            SimError::NonFinite => PipelineError::fatal(error.to_string())
+                .with_hint("check connection params and boundary pressures for NaN/infinity"),
+            SimError::Interrupted(reason) => {
+                parchmint_resilience::Interrupted { reason: *reason }.into()
+            }
+        }
+    }
+}
 
 #[derive(Debug, Clone)]
 struct NetEdge {
@@ -210,7 +236,55 @@ impl FlowNetwork {
     /// Nodes not connected (through conducting edges) to any boundary node
     /// are left at 0 Pa with zero flow — they are hydraulically floating.
     pub fn solve(&self, boundary: &[(ComponentId, f64)]) -> Result<Solution, SimError> {
+        self.solve_with_policy(boundary, &SolvePolicy::default())
+    }
+
+    /// Solves, then on a singular system walks the bounded relaxed-policy
+    /// ladder ([`SolvePolicy::relaxed`] steps 1–3) instead of giving up.
+    ///
+    /// A recovery is never silent: the returned note describes the
+    /// substitution so callers can report the outcome as degraded.
+    pub fn solve_resilient(
+        &self,
+        boundary: &[(ComponentId, f64)],
+    ) -> Result<(Solution, Option<String>), SimError> {
+        match self.solve(boundary) {
+            Ok(solution) => Ok((solution, None)),
+            Err(SimError::Singular) => {
+                for step in 1..=3u32 {
+                    match self.solve_with_policy(boundary, &SolvePolicy::relaxed(step)) {
+                        Ok(solution) => {
+                            parchmint_obs::count("sim.solve.relaxed_recoveries", 1);
+                            return Ok((
+                                solution,
+                                Some(format!(
+                                    "singular system recovered by relaxed solve (step {step})"
+                                )),
+                            ));
+                        }
+                        Err(SimError::Singular) => continue,
+                        Err(other) => return Err(other),
+                    }
+                }
+                Err(SimError::Singular)
+            }
+            Err(other) => Err(other),
+        }
+    }
+
+    /// Solves under an explicit linear-solve policy.
+    pub fn solve_with_policy(
+        &self,
+        boundary: &[(ComponentId, f64)],
+        policy: &SolvePolicy,
+    ) -> Result<Solution, SimError> {
         let _span = parchmint_obs::Span::enter("sim.solve");
+        parchmint_resilience::fault::inject("sim.solve");
+        // Fault site `sim.boundary`: model malformed upstream parameters by
+        // poisoning the pinned pressures; the solver must reject the
+        // resulting non-finite system, never crash on it.
+        let malformed = parchmint_resilience::fault::armed("sim.boundary")
+            == Some(parchmint_resilience::FaultKind::MalformedParams);
         if boundary.is_empty() {
             return Err(SimError::NoBoundary);
         }
@@ -220,7 +294,7 @@ impl FlowNetwork {
                 .index
                 .get(id)
                 .ok_or_else(|| SimError::UnknownNode(id.clone()))?;
-            pinned.insert(i, *pressure);
+            pinned.insert(i, if malformed { f64::NAN } else { *pressure });
         }
 
         // Restrict to the region reachable from boundary nodes.
@@ -274,7 +348,21 @@ impl FlowNetwork {
                 }
             }
         }
-        let x = solve(a, b).map_err(|_| SimError::Singular)?;
+        // Fault site `sim.solve` (NaN): poison the assembled right-hand
+        // side; the solver's up-front scan must turn this into a
+        // structured `NonFinite` error.
+        if parchmint_resilience::fault::armed("sim.solve")
+            == Some(parchmint_resilience::FaultKind::Nan)
+        {
+            if let Some(first) = b.first_mut() {
+                *first = f64::NAN;
+            }
+        }
+        let x = solve_with(a, b, policy).map_err(|e| match e {
+            SolveError::Singular => SimError::Singular,
+            SolveError::NonFinite => SimError::NonFinite,
+            SolveError::Interrupted(i) => SimError::Interrupted(i.reason),
+        })?;
 
         let mut pressures = BTreeMap::new();
         for (i, id) in self.nodes.iter().enumerate() {

@@ -56,14 +56,14 @@ fn injected_panic_marks_cell_failed_without_killing_the_sweep() {
         .filter(|b| b.name() == "logic_gate_or" || b.name() == "logic_gate_and")
         .collect();
     let stages = vec![
-        Stage::new("validate", |compiled| {
+        Stage::new("validate", |compiled, _| {
             let report = parchmint_verify::validate(compiled);
             Ok(StageOutcome::metrics([(
                 "conformant",
                 Value::from(report.is_conformant()),
             )]))
         }),
-        Stage::new("explode", |compiled| {
+        Stage::new("explode", |compiled, _| {
             if compiled.device().name == "logic_gate_and" {
                 panic!("deliberate test panic");
             }
@@ -86,6 +86,47 @@ fn injected_panic_marks_cell_failed_without_killing_the_sweep() {
             assert_eq!(cell.status, CellStatus::Ok, "{} not ok", cell.key());
         }
     }
+}
+
+#[test]
+fn failing_cells_single_out_fatal_and_panicked_stages() {
+    let benchmarks: Vec<_> = parchmint_suite::suite()
+        .into_iter()
+        .filter(|b| b.name() == "logic_gate_or")
+        .collect();
+    let stages = vec![
+        Stage::new("fine", |_, _| {
+            Ok(StageOutcome::metrics([("ok", Value::from(true))]))
+        }),
+        Stage::new("fatal", |_, _| {
+            Err(parchmint_resilience::PipelineError::fatal("hard failure"))
+        }),
+        Stage::new("panicky", |_, _| panic!("stage blew up")),
+        Stage::new("soft", |_, _| {
+            Err(parchmint_resilience::PipelineError::degraded(
+                "fallback used",
+            ))
+        }),
+    ];
+    let report = run_matrix(
+        &benchmarks,
+        &stages,
+        &SuiteRunConfig::builder().threads(1).build(),
+    );
+    assert!(!report.is_clean());
+    let failing: Vec<String> = report
+        .failing_cells()
+        .iter()
+        .map(|c| c.stage.clone())
+        .collect();
+    // Exactly the fatal and panicked stages — degraded cells are visible in
+    // the report but do not make the sweep fail.
+    assert_eq!(failing, ["fatal", "panicky"]);
+    let counts = report.counts();
+    assert_eq!(
+        (counts.ok, counts.degraded, counts.error, counts.failed),
+        (1, 1, 1, 1)
+    );
 }
 
 #[test]

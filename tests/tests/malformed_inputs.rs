@@ -1,0 +1,175 @@
+//! Malformed-input robustness: every file in `tests/corpus/malformed/` must
+//! flow through the MINT lexer, parser, and converter without panicking and
+//! surface a structured error (or, for merely unusual inputs, parse
+//! cleanly). A proptest sweep extends the same no-panic guarantee to
+//! arbitrary input text.
+
+use parchmint_mint::{mint_to_device, parse, ConvertError};
+use parchmint_resilience::{PipelineError, Severity};
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus/malformed")
+}
+
+fn corpus_file(name: &str) -> String {
+    let path = corpus_dir().join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// The full pipeline a corpus entry goes through: tokenize, parse, convert.
+/// Returns a human-readable outcome so assertions can pattern-match on it.
+fn run_pipeline(source: &str) -> Result<(), String> {
+    let file = parse(source).map_err(|e| format!("parse: {e}"))?;
+    mint_to_device(&file).map_err(|e| format!("convert: {e}"))?;
+    Ok(())
+}
+
+#[test]
+fn every_corpus_file_fails_with_a_structured_error_not_a_panic() {
+    let dir = corpus_dir();
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read_dir {}: {e}", dir.display()))
+        .map(|entry| entry.unwrap().file_name().into_string().unwrap())
+        .collect();
+    names.sort();
+    assert!(names.len() >= 10, "corpus unexpectedly small: {names:?}");
+
+    for name in &names {
+        let source = corpus_file(name);
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_pipeline(&source)))
+            .unwrap_or_else(|_| panic!("{name}: pipeline panicked"));
+        let error = outcome.expect_err(&format!("{name}: malformed input was accepted"));
+        assert!(
+            !error.is_empty() && (error.starts_with("parse: ") || error.starts_with("convert: ")),
+            "{name}: unstructured error {error:?}"
+        );
+    }
+}
+
+#[test]
+fn lexer_errors_carry_source_positions() {
+    let err = parse(&corpus_file("garbage-tokens.mint")).expect_err("garbage must not lex");
+    assert_eq!(err.line, 3, "{err}");
+    assert!(err.column > 0, "{err}");
+
+    let err = parse(&corpus_file("missing-semicolon.mint")).expect_err("missing `;`");
+    assert!(err.to_string().contains("expected"), "{err}");
+}
+
+#[test]
+fn conversion_errors_name_the_offending_entity() {
+    // An empty entity name cannot come from well-formed MINT text, so build
+    // the statement directly to exercise the Entity error path.
+    let file = parchmint_mint::MintFile {
+        device: "d".to_string(),
+        layers: vec![parchmint_mint::MintLayer {
+            layer_type: parchmint::LayerType::Flow,
+            name: "flow".to_string(),
+            statements: vec![parchmint_mint::Statement::Component {
+                entity: "  ".to_string(),
+                id: "f1".to_string(),
+                params: vec![],
+            }],
+        }],
+    };
+    match mint_to_device(&file).expect_err("blank entity must not convert") {
+        ConvertError::Entity { component, entity } => {
+            assert_eq!(component, "f1");
+            assert_eq!(entity, "  ");
+        }
+        other => panic!("expected an entity error, got {other}"),
+    }
+
+    let file = parse(&corpus_file("unknown-reference.mint")).expect("parses");
+    match mint_to_device(&file).expect_err("ghost endpoints must not convert") {
+        ConvertError::UnknownReference { id, .. } => {
+            assert!(id == "ghost" || id == "phantom", "unexpected id {id}")
+        }
+        other => panic!("expected an unknown-reference error, got {other}"),
+    }
+
+    let file = parse(&corpus_file("duplicate-id.mint")).expect("parses");
+    match mint_to_device(&file).expect_err("duplicate ids must not convert") {
+        ConvertError::DuplicateId { id, .. } => assert_eq!(id, "a"),
+        other => panic!("expected a duplicate-id error, got {other}"),
+    }
+}
+
+#[test]
+fn conversion_errors_map_into_fatal_pipeline_errors_with_hints() {
+    let file = parse(&corpus_file("unknown-reference.mint")).expect("parses");
+    let error: PipelineError = mint_to_device(&file).expect_err("must not convert").into();
+    assert_eq!(error.severity, Severity::Fatal);
+    assert!(
+        error.hint.as_deref().unwrap_or("").contains("declare"),
+        "{error:?}"
+    );
+
+    let error: PipelineError = parse(&corpus_file("truncated-header.mint"))
+        .expect_err("truncated header must not parse")
+        .into();
+    assert_eq!(error.severity, Severity::Fatal);
+    assert!(error.to_string().contains("MINT parse error"), "{error}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The lexer and parser never panic, whatever bytes come in.
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(source in "[ -~\n\tα-ω]{0,64}") {
+        let _ = parchmint_mint::lexer::tokenize(&source);
+        let _ = parse(&source);
+    }
+
+    /// MINT-shaped token soup: more likely to get past the lexer and deep
+    /// into the parser and converter than fully arbitrary text.
+    #[test]
+    fn pipeline_never_panics_on_token_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("DEVICE".to_string()),
+                Just("LAYER".to_string()),
+                Just("FLOW".to_string()),
+                Just("END".to_string()),
+                Just("CHANNEL".to_string()),
+                Just("PORT".to_string()),
+                Just("VALVE".to_string()),
+                Just("FROM".to_string()),
+                Just("TO".to_string()),
+                Just("ON".to_string()),
+                Just(";".to_string()),
+                Just(",".to_string()),
+                Just("=".to_string()),
+                Just(".".to_string()),
+                "[a-z][a-z0-9_-]{0,4}",
+                "[-0-9][0-9]{0,11}",
+                "[0-9]{1,4}\\.[0-9]{1,4}",
+            ],
+            0..40,
+        )
+    ) {
+        let source = words.join(" ");
+        if let Ok(file) = parse(&source) {
+            let _ = mint_to_device(&file);
+        }
+    }
+
+    /// Anything that parses converts without panicking — errors included.
+    #[test]
+    fn convert_never_panics_on_mutated_valid_source(
+        cut in 0usize..200,
+        insert in "[ ;=.,a-zA-Z0-9-]{0,8}",
+    ) {
+        let valid = "DEVICE d\nLAYER FLOW\n  PORT a;\n  PORT b;\n  MIXER m1;\n  CHANNEL c FROM a.p TO m1.1;\n  CHANNEL c2 FROM m1.2 TO b.p;\nEND LAYER\n";
+        let at = cut.min(valid.len());
+        // Splice at a char boundary (the source is ASCII, so every byte is).
+        let source = format!("{}{}{}", &valid[..at], insert, &valid[at..]);
+        if let Ok(file) = parse(&source) {
+            let _ = mint_to_device(&file);
+        }
+    }
+}
