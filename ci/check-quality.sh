@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Gates the full suite sweep on the committed quality baseline. Usage:
+#
+#   ci/check-quality.sh [REPORT.json]
+#
+# With no argument the script builds the CLI, runs the full sweep
+# (stripped, deterministic), and checks every pnr cell's quality metrics
+# — failed nets, wirelength, HPWL, bends, max congestion — against
+# ci/baseline-quality.json with the per-metric tolerances recorded in that
+# file (>2% wirelength regression or any newly failed net fails the
+# gate). Passing a report path skips the sweep and gates that report
+# directly, which is how CI's negative control proves the gate can fail.
+#
+# This gate is complementary to ci/check-regression.sh: the byte-compare
+# there proves determinism, this one bounds quality drift even when a
+# change is intentional enough to re-baseline the byte-level report.
+#
+# To refresh the quality baseline after an accepted quality change:
+#
+#   cargo run --release -p parchmint-cli -- \
+#     suite-run --strip-timings -o report.json
+#   cargo run --release -p parchmint-cli -- \
+#     quality-baseline report.json -o ci/baseline-quality.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=ci/baseline-quality.json
+
+cargo build --release -p parchmint-cli
+
+if [[ $# -ge 1 ]]; then
+  REPORT="$1"
+else
+  REPORT="${QUALITY_REPORT:-quality-report.json}"
+  target/release/parchmint suite-run --threads 0 --strip-timings -o "$REPORT"
+fi
+
+target/release/parchmint quality-check "$BASELINE" "$REPORT"

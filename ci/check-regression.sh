@@ -6,8 +6,12 @@
 #
 # With no arguments the whole registry is swept (this is what CI's gate job
 # does); naming benchmarks restricts the sweep for a quick local check.
-# Exits non-zero if any quality metric regresses beyond the tolerance or if
-# any cell errors or panics.
+# Exits non-zero if any quality metric regresses beyond the tolerance, if
+# any cell errors or panics, or (full sweeps only) if the stripped report
+# is not byte-identical to the committed baseline. On a byte mismatch the
+# script explains itself: `parchmint report-diff` prints one line per
+# changed cell (benchmark, stage, and the keys that changed) before the
+# non-zero exit.
 #
 # Set SUITE_TRACE=trace.json to also capture an observability trace of the
 # sweep. The trace is a diagnostic artifact only — it never participates in
@@ -37,3 +41,19 @@ target/release/parchmint suite-run "$@" \
   --baseline "$BASELINE" \
   --tolerance "$TOLERANCE" \
   "${TRACE_ARGS[@]}"
+
+# The metric gate above allows tolerated drift; full sweeps additionally
+# demand byte-identity of the stripped report, with report-diff as the
+# explanation when bytes disagree.
+if [[ $# -eq 0 ]]; then
+  STRIPPED="$REPORT.stripped"
+  target/release/parchmint suite-run \
+    --threads 0 --strip-timings -o "$STRIPPED"
+  if ! cmp -s "$STRIPPED" "$BASELINE"; then
+    echo "stripped report differs from $BASELINE; per-cell diff:" >&2
+    target/release/parchmint report-diff "$BASELINE" "$STRIPPED" || true
+    echo "check-regression: stripped report is not byte-identical to $BASELINE" >&2
+    exit 1
+  fi
+  echo "stripped report is byte-identical to $BASELINE"
+fi

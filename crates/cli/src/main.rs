@@ -9,7 +9,10 @@
 //! parchmint convert <FILE.json|FILE.mint> [-o FILE]  convert between formats (E5)
 //! parchmint pnr <name> [--placer P] [--router R] [-o FILE]   place & route (E4)
 //! parchmint plan <FILE|name> <from> <to>      valve-state control synthesis
-//! parchmint suite-run [BENCH...] [-o FILE] [--trace FILE]   parallel suite evaluation + regression gate
+//! parchmint suite-run [BENCH...] [-o FILE] [--trace FILE] [--pareto FILE]   parallel suite evaluation + regression gate
+//! parchmint quality-baseline <REPORT> [-o FILE]   extract a quality baseline from a suite report
+//! parchmint quality-check <BASELINE> <REPORT>     gate a report against a quality baseline
+//! parchmint report-diff <BASELINE> <CURRENT>      per-cell structural diff of two suite reports
 //! ```
 
 use parchmint::{CompiledDevice, Device};
@@ -49,6 +52,9 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         Some("flow") => cmd_flow(&args[1..]),
         Some("suite-run") => cmd_suite_run(&args[1..]),
+        Some("quality-baseline") => cmd_quality_baseline(&args[1..]),
+        Some("quality-check") => cmd_quality_check(&args[1..]),
+        Some("report-diff") => cmd_report_diff(&args[1..]),
         Some("help") | None => {
             print!("{USAGE}");
             Ok(())
@@ -67,12 +73,15 @@ USAGE:
   parchmint stats [--csv|--markdown|--json]
   parchmint render <FILE|benchmark> -o FILE.svg [--pnr]
   parchmint convert <FILE.json|FILE.mint> [-o FILE]
-  parchmint pnr <benchmark> [--placer greedy|annealing] [--router straight|astar] [-o FILE]
+  parchmint pnr <benchmark> [--placer greedy|annealing] [--router straight|astar|negotiate] [-o FILE]
   parchmint plan <FILE|benchmark> <from> <to>
   parchmint flow <FILE|benchmark> <node=Pa>... (e.g. in_a=1000 out=0)
   parchmint suite-run [BENCH...] [--threads N] [-o FILE] [--strip-timings]
                       [--baseline FILE] [--tolerance FRAC] [--trace FILE]
-                      [--faults PLAN.json] [--deadline-ms N] [--fuel N]
+                      [--pareto FILE] [--faults PLAN.json] [--deadline-ms N] [--fuel N]
+  parchmint quality-baseline <REPORT.json> [-o FILE]
+  parchmint quality-check <BASELINE.json> <REPORT.json>
+  parchmint report-diff <BASELINE.json> <CURRENT.json>
   parchmint schema
 ";
 
@@ -226,6 +235,7 @@ fn cmd_pnr(args: &[String]) -> Result<(), String> {
     let router = match option_value(args, "--router").unwrap_or("astar") {
         "straight" => RouterChoice::Straight,
         "astar" => RouterChoice::AStar,
+        "negotiate" => RouterChoice::Negotiate,
         other => return Err(format!("unknown router `{other}`")),
     };
     let report = place_and_route(&mut device, placer, router);
@@ -291,8 +301,8 @@ fn cmd_suite_run(args: &[String]) -> Result<(), String> {
             continue;
         }
         match arg.as_str() {
-            "--threads" | "-o" | "--baseline" | "--tolerance" | "--trace" | "--faults"
-            | "--deadline-ms" | "--fuel" => skip_next = true,
+            "--threads" | "-o" | "--baseline" | "--tolerance" | "--trace" | "--pareto"
+            | "--faults" | "--deadline-ms" | "--fuel" => skip_next = true,
             "--strip-timings" => {}
             flag if flag.starts_with('-') => {
                 return Err(format!("suite-run: unknown flag `{flag}`"));
@@ -318,6 +328,9 @@ fn cmd_suite_run(args: &[String]) -> Result<(), String> {
     }
     if let Some(path) = option_value(args, "--trace") {
         builder = builder.trace(path);
+    }
+    if let Some(path) = option_value(args, "--pareto") {
+        builder = builder.pareto(path);
     }
     if let Some(path) = option_value(args, "--baseline") {
         builder = builder.baseline(path);
@@ -362,6 +375,15 @@ fn cmd_suite_run(args: &[String]) -> Result<(), String> {
         std::fs::write(path, report.trace_json_string(include_timings))
             .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
         println!("trace written to {}", path.display());
+    }
+
+    if let Some(path) = config.pareto() {
+        std::fs::write(
+            path,
+            parchmint_harness::pareto_json_string(&report, include_timings),
+        )
+        .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+        println!("pareto sweep written to {}", path.display());
     }
 
     if let Some(path) = config.baseline() {
@@ -481,6 +503,158 @@ fn verify_faulted_sweep(
         report.cells.len()
     );
     Ok(())
+}
+
+fn read_json(path: &str) -> Result<serde_json::Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_quality_baseline(args: &[String]) -> Result<(), String> {
+    let source = positional(args).ok_or("quality-baseline: missing suite report")?;
+    let report = read_json(source)?;
+    write_output(
+        option_value(args, "-o"),
+        &parchmint_harness::quality_baseline_string(&report),
+    )
+}
+
+fn cmd_quality_check(args: &[String]) -> Result<(), String> {
+    let positionals: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    let [baseline_path, report_path] = positionals.as_slice() else {
+        return Err("quality-check: expected <BASELINE.json> <REPORT.json>".into());
+    };
+    let baseline = read_json(baseline_path)?;
+    if baseline.get("schema").and_then(serde_json::Value::as_str)
+        != Some(parchmint_harness::QUALITY_SCHEMA)
+    {
+        return Err(format!(
+            "quality-check: `{baseline_path}` is not a {} file",
+            parchmint_harness::QUALITY_SCHEMA
+        ));
+    }
+    let report = read_json(report_path)?;
+    let regressions = parchmint_harness::compare_quality(&baseline, &report);
+    if regressions.is_empty() {
+        let gated = baseline
+            .get("cells")
+            .and_then(serde_json::Value::as_object)
+            .map_or(0, |c| c.len());
+        println!("quality gate passed: {gated} cell(s) within tolerance of {baseline_path}");
+        return Ok(());
+    }
+    for regression in &regressions {
+        eprintln!("quality regression: {regression}");
+    }
+    Err(format!(
+        "quality-check: {} quality regression(s) against {baseline_path}",
+        regressions.len()
+    ))
+}
+
+/// Structurally diffs two suite reports, printing one line per changed
+/// cell (benchmark, stage, and which keys changed) — the explanation step
+/// behind the byte-compare regression gate.
+fn cmd_report_diff(args: &[String]) -> Result<(), String> {
+    let positionals: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    let [baseline_path, current_path] = positionals.as_slice() else {
+        return Err("report-diff: expected <BASELINE.json> <CURRENT.json>".into());
+    };
+    let baseline = read_json(baseline_path)?;
+    let current = read_json(current_path)?;
+
+    let index = |report: &serde_json::Value| {
+        let mut cells = std::collections::BTreeMap::new();
+        if let Some(array) = report.get("cells").and_then(serde_json::Value::as_array) {
+            for cell in array {
+                if let (Some(benchmark), Some(stage)) = (
+                    cell.get("benchmark").and_then(serde_json::Value::as_str),
+                    cell.get("stage").and_then(serde_json::Value::as_str),
+                ) {
+                    cells.insert(format!("{benchmark}/{stage}"), cell.clone());
+                }
+            }
+        }
+        cells
+    };
+    let base_cells = index(&baseline);
+    let cur_cells = index(&current);
+
+    let mut keys: Vec<&String> = base_cells.keys().chain(cur_cells.keys()).collect();
+    keys.sort();
+    keys.dedup();
+
+    let mut changed = 0usize;
+    for key in keys {
+        match (base_cells.get(key), cur_cells.get(key)) {
+            (Some(_), None) => {
+                changed += 1;
+                println!("{key}: only in baseline");
+            }
+            (None, Some(_)) => {
+                changed += 1;
+                println!("{key}: only in current");
+            }
+            (Some(base), Some(cur)) => {
+                let mut deltas = Vec::new();
+                for field in ["status", "detail"] {
+                    let (b, c) = (base.get(field), cur.get(field));
+                    if b != c {
+                        let show = |v: Option<&serde_json::Value>| match v {
+                            Some(v) => v.to_string(),
+                            None => "absent".to_string(),
+                        };
+                        deltas.push(format!("{field} {} -> {}", show(b), show(c)));
+                    }
+                }
+                let metrics = |cell: &serde_json::Value| {
+                    cell.get("metrics")
+                        .and_then(serde_json::Value::as_object)
+                        .cloned()
+                        .unwrap_or_default()
+                };
+                let (bm, cm) = (metrics(base), metrics(cur));
+                let mut names: Vec<&String> = bm.keys().chain(cm.keys()).collect();
+                names.sort();
+                names.dedup();
+                for name in names {
+                    let (b, c) = (bm.get(name.as_str()), cm.get(name.as_str()));
+                    if b != c {
+                        let show = |v: Option<&serde_json::Value>| match v {
+                            Some(v) => v.to_string(),
+                            None => "absent".to_string(),
+                        };
+                        deltas.push(format!("{name} {} -> {}", show(b), show(c)));
+                    }
+                }
+                if !deltas.is_empty() {
+                    changed += 1;
+                    println!("{key}: {}", deltas.join(", "));
+                }
+            }
+            (None, None) => unreachable!("key came from one of the maps"),
+        }
+    }
+
+    if changed == 0 {
+        println!(
+            "reports structurally identical: {} cell(s) compared",
+            base_cells.len()
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "report-diff: {changed} cell(s) differ between {baseline_path} and {current_path}"
+        ))
+    }
 }
 
 fn cmd_plan(args: &[String]) -> Result<(), String> {

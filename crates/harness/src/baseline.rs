@@ -8,6 +8,8 @@ const LOWER_IS_BETTER: &[&str] = &[
     "hpwl",
     "wirelength",
     "bends",
+    "failed_nets",
+    "max_congestion",
     "errors",
     "warnings",
     "diagnostics",

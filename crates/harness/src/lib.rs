@@ -47,11 +47,18 @@
 #![forbid(unsafe_code)]
 
 pub mod baseline;
+pub mod pareto;
+pub mod quality;
 pub mod report;
 pub mod runner;
 pub mod stage;
 
 pub use baseline::{compare, Regression, Tolerances};
+pub use pareto::{pareto_json, pareto_json_string, pareto_rows, ParetoPoint, ParetoRow};
+pub use quality::{
+    compare_quality, quality_baseline_json, quality_baseline_string, QualityRegression,
+    QUALITY_SCHEMA,
+};
 pub use report::{Cell, CellStatus, StatusCounts, SuiteReport};
 pub use runner::{run_matrix, run_suite, SuiteRunConfig, SuiteRunConfigBuilder, MAX_ATTEMPTS};
 pub use stage::{standard_stages, Stage, StageCtx, StageOutcome};

@@ -1,0 +1,303 @@
+//! The quality gate: per-metric tolerance comparison for CI.
+//!
+//! The byte-compare regression gate proves *determinism*; this module
+//! proves *quality*. A committed `parchmint-quality-baseline/v1` file
+//! records, for every `pnr:*` cell of a known-good sweep, the quality
+//! metrics that downstream scheduling actually depends on — failed nets,
+//! wirelength, HPWL, bends, congestion — together with the per-metric
+//! tolerance each is allowed to drift by. [`compare_quality`] then flags
+//! any current report that crosses a tolerance: a router that silently
+//! routes 2% longer channels now fails CI even though its report is
+//! perfectly deterministic.
+//!
+//! All gated metrics are lower-is-better; improvements and brand-new
+//! cells never trip the gate, so the suite can grow without re-baselining
+//! churn. Tolerances live *in the baseline file*, so loosening one is a
+//! reviewable diff, not a CI-config change.
+
+use serde_json::{Map, Value};
+
+/// Schema identifier of the committed quality baseline.
+pub const QUALITY_SCHEMA: &str = "parchmint-quality-baseline/v1";
+
+/// The gated metrics and their default tolerances, in gate order. Each is
+/// `(metric, relative, absolute)`: a current value fails when it exceeds
+/// `baseline + |baseline| * relative + absolute`. All are lower-is-better.
+///
+/// `failed_nets` gets zero slack — any newly failed net is a regression —
+/// while the continuous metrics get small relative slack for intentional
+/// tuning, and `max_congestion` one absolute step.
+pub const DEFAULT_TOLERANCES: &[(&str, f64, f64)] = &[
+    ("failed_nets", 0.0, 0.0),
+    ("wirelength", 0.02, 0.0),
+    ("hpwl", 0.02, 0.0),
+    ("bends", 0.10, 0.0),
+    ("max_congestion", 0.0, 1.0),
+];
+
+/// One quality-gate violation.
+#[derive(Debug, Clone)]
+pub struct QualityRegression {
+    /// `benchmark/stage` of the affected cell.
+    pub cell: String,
+    /// Metric name, or `presence` when the whole cell lost its metrics.
+    pub metric: String,
+    /// Baseline-side value, rendered.
+    pub baseline: String,
+    /// Current-side value, rendered.
+    pub current: String,
+    /// The limit the current value had to stay within, rendered.
+    pub allowed: String,
+}
+
+impl std::fmt::Display for QualityRegression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} regressed from {} to {} (allowed <= {})",
+            self.cell, self.metric, self.baseline, self.current, self.allowed
+        )
+    }
+}
+
+/// Extracts the quality baseline from a suite report (the JSON of
+/// [`crate::SuiteReport::to_json`]): every `pnr:*` cell's gated metrics,
+/// plus the default tolerances, rendered as `parchmint-quality-baseline/v1`.
+///
+/// The output is a pure function of the report's deterministic cells, so
+/// regenerating it from the same revision is byte-stable.
+pub fn quality_baseline_json(report: &Value) -> Value {
+    let mut root = Map::new();
+    root.insert("schema".to_string(), Value::from(QUALITY_SCHEMA));
+
+    let mut tolerances = Map::new();
+    for &(metric, relative, absolute) in DEFAULT_TOLERANCES {
+        let mut entry = Map::new();
+        if relative != 0.0 {
+            entry.insert("relative".to_string(), Value::from(relative));
+        }
+        if absolute != 0.0 {
+            entry.insert("absolute".to_string(), Value::from(absolute));
+        }
+        tolerances.insert(metric.to_string(), Value::Object(entry));
+    }
+    root.insert("tolerances".to_string(), Value::Object(tolerances));
+
+    let mut cells = Map::new();
+    if let Some(report_cells) = report.get("cells").and_then(Value::as_array) {
+        for cell in report_cells {
+            let (Some(benchmark), Some(stage)) = (
+                cell.get("benchmark").and_then(Value::as_str),
+                cell.get("stage").and_then(Value::as_str),
+            ) else {
+                continue;
+            };
+            if !stage.starts_with("pnr:") {
+                continue;
+            }
+            let Some(metrics) = cell.get("metrics").and_then(Value::as_object) else {
+                continue;
+            };
+            let mut entry = Map::new();
+            for &(metric, _, _) in DEFAULT_TOLERANCES {
+                if let Some(value) = metrics.get(metric) {
+                    entry.insert(metric.to_string(), value.clone());
+                }
+            }
+            if !entry.is_empty() {
+                cells.insert(format!("{benchmark}/{stage}"), Value::Object(entry));
+            }
+        }
+    }
+    root.insert("cells".to_string(), Value::Object(cells));
+    Value::Object(root)
+}
+
+/// Pretty-printed, newline-terminated string of [`quality_baseline_json`].
+pub fn quality_baseline_string(report: &Value) -> String {
+    let mut text = serde_json::to_string_pretty(&quality_baseline_json(report))
+        .expect("baseline serialization is infallible");
+    text.push('\n');
+    text
+}
+
+/// Reads the (relative, absolute) tolerance for `metric` from the
+/// baseline's `tolerances` section, defaulting to zero slack for metrics
+/// the baseline doesn't mention.
+fn tolerance_for(baseline: &Value, metric: &str) -> (f64, f64) {
+    let entry = baseline.get("tolerances").and_then(|t| t.get(metric));
+    let field = |name: &str| {
+        entry
+            .and_then(|e| e.get(name))
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0)
+    };
+    (field("relative"), field("absolute"))
+}
+
+/// Compares a current suite report against a committed quality baseline
+/// and returns every tolerance violation.
+///
+/// Gated conditions, per baseline cell:
+///
+/// - the cell missing from the current report, or present without the
+///   baselined metric (e.g. it now errors) — reported as `presence`;
+/// - a gated metric exceeding `baseline + |baseline| * relative + absolute`.
+///
+/// Improvements, new cells, and metrics absent from the baseline never
+/// trip the gate.
+pub fn compare_quality(baseline: &Value, current: &Value) -> Vec<QualityRegression> {
+    let mut regressions = Vec::new();
+    let Some(baseline_cells) = baseline.get("cells").and_then(Value::as_object) else {
+        return regressions;
+    };
+
+    // Index current report cells by key.
+    let mut current_cells: Map = Map::new();
+    if let Some(cells) = current.get("cells").and_then(Value::as_array) {
+        for cell in cells {
+            if let (Some(benchmark), Some(stage)) = (
+                cell.get("benchmark").and_then(Value::as_str),
+                cell.get("stage").and_then(Value::as_str),
+            ) {
+                current_cells.insert(format!("{benchmark}/{stage}"), cell.clone());
+            }
+        }
+    }
+
+    for (key, base_metrics) in baseline_cells {
+        let cur_metrics = current_cells
+            .get(key)
+            .and_then(|cell| cell.get("metrics"))
+            .and_then(Value::as_object);
+        let Some(base_metrics) = base_metrics.as_object() else {
+            continue;
+        };
+        for &(metric, _, _) in DEFAULT_TOLERANCES {
+            let Some(base) = base_metrics.get(metric).and_then(Value::as_f64) else {
+                continue;
+            };
+            let cur = cur_metrics
+                .and_then(|m| m.get(metric))
+                .and_then(Value::as_f64);
+            let Some(cur) = cur else {
+                regressions.push(QualityRegression {
+                    cell: key.clone(),
+                    metric: "presence".to_string(),
+                    baseline: format!("{metric}={base}"),
+                    current: "missing".to_string(),
+                    allowed: "present".to_string(),
+                });
+                break; // one presence regression per cell is enough
+            };
+            let (relative, absolute) = tolerance_for(baseline, metric);
+            let allowed = base + base.abs() * relative + absolute;
+            if cur > allowed {
+                regressions.push(QualityRegression {
+                    cell: key.clone(),
+                    metric: metric.to_string(),
+                    baseline: format!("{base}"),
+                    current: format!("{cur}"),
+                    allowed: format!("{allowed}"),
+                });
+            }
+        }
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn report(wirelength: i64, failed_nets: i64) -> Value {
+        json!({
+            "schema": "parchmint-suite-report/v1",
+            "cells": [
+                {
+                    "benchmark": "chip",
+                    "stage": "pnr:greedy+negotiate",
+                    "status": "ok",
+                    "metrics": {
+                        "failed_nets": failed_nets,
+                        "wirelength": wirelength,
+                        "hpwl": 500,
+                        "bends": 10,
+                        "max_congestion": 2,
+                        "routed": 9
+                    }
+                },
+                { "benchmark": "chip", "stage": "validate", "status": "ok",
+                  "metrics": { "conformant": true } }
+            ]
+        })
+    }
+
+    #[test]
+    fn baseline_extraction_keeps_only_pnr_quality_metrics() {
+        let baseline = quality_baseline_json(&report(1000, 0));
+        assert_eq!(baseline["schema"], QUALITY_SCHEMA);
+        let cell = &baseline["cells"]["chip/pnr:greedy+negotiate"];
+        assert_eq!(cell["wirelength"], 1000);
+        assert_eq!(cell["failed_nets"], 0);
+        assert!(cell.get("routed").is_none(), "non-gated metrics excluded");
+        assert!(baseline["cells"].get("chip/validate").is_none());
+        assert_eq!(baseline["tolerances"]["wirelength"]["relative"], 0.02);
+        assert!(quality_baseline_string(&report(1000, 0)).ends_with('\n'));
+    }
+
+    #[test]
+    fn within_tolerance_changes_pass() {
+        let baseline = quality_baseline_json(&report(1000, 0));
+        // +1.9% wirelength: inside the 2% budget.
+        assert!(compare_quality(&baseline, &report(1019, 0)).is_empty());
+        // Improvements always pass.
+        assert!(compare_quality(&baseline, &report(900, 0)).is_empty());
+    }
+
+    #[test]
+    fn wirelength_regression_beyond_two_percent_fails() {
+        let baseline = quality_baseline_json(&report(1000, 0));
+        let regressions = compare_quality(&baseline, &report(1021, 0));
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].metric, "wirelength");
+        assert!(regressions[0].to_string().contains("allowed <= 1020"));
+    }
+
+    #[test]
+    fn any_newly_failed_net_fails() {
+        let baseline = quality_baseline_json(&report(1000, 0));
+        let regressions = compare_quality(&baseline, &report(1000, 1));
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].metric, "failed_nets");
+    }
+
+    #[test]
+    fn cell_losing_its_metrics_is_a_presence_regression() {
+        let baseline = quality_baseline_json(&report(1000, 0));
+        let broken = json!({
+            "schema": "parchmint-suite-report/v1",
+            "cells": [
+                { "benchmark": "chip", "stage": "pnr:greedy+negotiate",
+                  "status": "error", "detail": "boom" }
+            ]
+        });
+        let regressions = compare_quality(&baseline, &broken);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].metric, "presence");
+    }
+
+    #[test]
+    fn baseline_tolerances_override_defaults() {
+        let mut baseline = quality_baseline_json(&report(1000, 0));
+        baseline
+            .as_object_mut()
+            .and_then(|root| root.get_mut("tolerances"))
+            .and_then(Value::as_object_mut)
+            .expect("tolerances object")
+            .insert("wirelength".to_string(), json!({ "relative": 0.10 }));
+        assert!(compare_quality(&baseline, &report(1090, 0)).is_empty());
+        assert_eq!(compare_quality(&baseline, &report(1110, 0)).len(), 1);
+    }
+}

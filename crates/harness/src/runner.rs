@@ -42,6 +42,7 @@ pub struct SuiteRunConfig {
     benchmarks: Option<Vec<String>>,
     stages: Option<Vec<String>>,
     trace: Option<PathBuf>,
+    pareto: Option<PathBuf>,
     baseline: Option<PathBuf>,
     tolerance: Option<f64>,
     deadline: Option<Duration>,
@@ -76,6 +77,12 @@ impl SuiteRunConfig {
     /// (the pipeline then runs with the no-op recorder path).
     pub fn trace(&self) -> Option<&Path> {
         self.trace.as_deref()
+    }
+
+    /// Where to write the Pareto sweep JSON (quality-vs-wall-time points
+    /// for every placer×router cell); `None` disables the sweep output.
+    pub fn pareto(&self) -> Option<&Path> {
+        self.pareto.as_deref()
     }
 
     /// Baseline report to gate against; `None` skips the gate.
@@ -165,6 +172,12 @@ impl SuiteRunConfigBuilder {
     /// Enables tracing and sets the trace-file destination.
     pub fn trace(mut self, path: impl Into<PathBuf>) -> Self {
         self.config.trace = Some(path.into());
+        self
+    }
+
+    /// Enables the Pareto sweep output and sets its destination.
+    pub fn pareto(mut self, path: impl Into<PathBuf>) -> Self {
+        self.config.pareto = Some(path.into());
         self
     }
 
@@ -668,6 +681,7 @@ mod tests {
             .benchmarks(["a", "b"])
             .stages(["validate"])
             .trace("t.json")
+            .pareto("pareto.json")
             .baseline("base.json")
             .tolerance(0.25)
             .deadline(Duration::from_millis(50))
@@ -678,6 +692,7 @@ mod tests {
         assert_eq!(config.benchmarks(), Some(&["a".into(), "b".into()][..]));
         assert_eq!(config.stages(), Some(&["validate".into()][..]));
         assert_eq!(config.trace(), Some(Path::new("t.json")));
+        assert_eq!(config.pareto(), Some(Path::new("pareto.json")));
         assert_eq!(config.baseline(), Some(Path::new("base.json")));
         assert_eq!(config.tolerance(), Some(0.25));
         assert_eq!(config.deadline(), Some(Duration::from_millis(50)));

@@ -141,9 +141,11 @@ fn pnr_stage(
         ("nets", Value::from(report.nets)),
         ("routed", Value::from(report.routed)),
         ("completion", Value::from(report.completion())),
+        ("failed_nets", Value::from(report.nets - report.routed)),
         ("hpwl", Value::from(report.hpwl)),
         ("wirelength", Value::from(report.wirelength)),
         ("bends", Value::from(report.bends)),
+        ("max_congestion", Value::from(report.max_congestion)),
         ("die_x", Value::from(report.die.x)),
         ("die_y", Value::from(report.die.y)),
     ]
@@ -249,8 +251,10 @@ mod tests {
         assert_eq!(names[0], "validate");
         assert_eq!(names[1], "characterize");
         assert_eq!(names.last(), Some(&"control"));
-        assert_eq!(names.iter().filter(|n| n.starts_with("pnr:")).count(), 4);
-        assert_eq!(names.len(), 8);
+        assert_eq!(names.iter().filter(|n| n.starts_with("pnr:")).count(), 6);
+        assert!(names.contains(&"pnr:greedy+negotiate"));
+        assert!(names.contains(&"pnr:annealing+negotiate"));
+        assert_eq!(names.len(), 10);
     }
 
     #[test]

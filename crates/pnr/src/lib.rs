@@ -6,9 +6,11 @@
 //!
 //! Two placers ([greedy](place::greedy::GreedyPlacer) baseline,
 //! [simulated annealing](place::annealing::AnnealingPlacer)) assign die
-//! locations on a uniform site grid; two routers
+//! locations on a uniform site grid; three routers
 //! ([straight](route::straight::StraightRouter) L-path baseline,
-//! [A* maze](route::grid::AStarRouter)) realize the channels. The
+//! [A* maze](route::grid::AStarRouter), and the
+//! [negotiated-congestion](route::negotiate::NegotiatedRouter)
+//! PathFinder-style rip-up router) realize the channels. The
 //! [`place_and_route`] pipeline ties them together and produces the
 //! [`PnrReport`] rows that regenerate the paper's algorithm-comparison
 //! experiment.
@@ -30,7 +32,7 @@ pub mod pipeline;
 pub mod place;
 pub mod route;
 
-pub use eval::PnrReport;
+pub use eval::{max_congestion, PnrReport, CONGESTION_CELL};
 pub use pipeline::{
     place_and_route, place_and_route_resilient, Degradation, PlacerChoice, ResilientPnr,
     RouterChoice,

@@ -3,7 +3,9 @@
 use crate::eval::PnrReport;
 use crate::place::annealing::AnnealingConfig;
 use crate::place::{annealing::AnnealingPlacer, greedy::GreedyPlacer, Placer};
-use crate::route::{grid::AStarRouter, straight::StraightRouter, Router};
+use crate::route::{
+    grid::AStarRouter, negotiate::NegotiatedRouter, straight::StraightRouter, Router,
+};
 use parchmint::{CompiledDevice, Device};
 use parchmint_resilience::{attempt as catch_panic, interruption, PipelineError};
 use std::time::Instant;
@@ -47,19 +49,26 @@ impl PlacerChoice {
 pub enum RouterChoice {
     /// L-path baseline.
     Straight,
-    /// A* maze router.
+    /// A* maze router (sequential, hard blocking).
     AStar,
+    /// Negotiated-congestion router (PathFinder-style iterated rip-up).
+    Negotiate,
 }
 
 impl RouterChoice {
     /// All routers, baseline first.
-    pub const ALL: &'static [RouterChoice] = &[RouterChoice::Straight, RouterChoice::AStar];
+    pub const ALL: &'static [RouterChoice] = &[
+        RouterChoice::Straight,
+        RouterChoice::AStar,
+        RouterChoice::Negotiate,
+    ];
 
     /// Instantiates the router.
     pub fn router(self) -> Box<dyn Router> {
         match self {
             RouterChoice::Straight => Box::new(StraightRouter::new()),
             RouterChoice::AStar => Box::new(AStarRouter::new()),
+            RouterChoice::Negotiate => Box::new(NegotiatedRouter::new()),
         }
     }
 }
@@ -154,8 +163,11 @@ pub struct ResilientPnr {
 ///
 /// The fallback chains are fixed: a panicking or interrupted annealing
 /// placer falls back to greedy (an interrupted anneal keeps its legal
-/// partial placement instead); a panicking or interrupted grid router
-/// falls back to straight-line routing. Every substitution is recorded in
+/// partial placement instead); a panicking or interrupted A* grid router
+/// falls back to straight-line routing; a panicking negotiated router
+/// falls back to straight-line, but an *interrupted* negotiation keeps its
+/// own conflict-free partial result (the router's internal fallback is
+/// already legal). Every substitution is recorded in
 /// [`ResilientPnr::degradations`]. `attempt` seeds deterministic retries
 /// (see [`PlacerChoice::placer_for_attempt`]).
 ///
@@ -227,14 +239,30 @@ pub fn place_and_route_resilient(
                         ),
                     });
                     None // rerun below with the baseline router
+                } else if router == RouterChoice::Negotiate && interruption().is_some() {
+                    // The negotiated router degrades internally: it returns
+                    // the conflict-free subset of its last completed
+                    // iteration, which is strictly more useful than a
+                    // straight-line rerun against a tripped budget.
+                    let reason = interruption().expect("just observed");
+                    degradations.push(Degradation {
+                        phase: "route",
+                        action: format!(
+                            "negotiation interrupted ({reason}); kept last fully-legal iteration"
+                        ),
+                    });
+                    Some(routing)
                 } else {
                     Some(routing)
                 }
             }
-            Err(message) if router == RouterChoice::AStar => {
+            Err(message) if router != RouterChoice::Straight => {
                 degradations.push(Degradation {
                     phase: "route",
-                    action: format!("grid router panicked ({message}); fell back to straight-line"),
+                    action: format!(
+                        "{} router panicked ({message}); fell back to straight-line",
+                        r.name()
+                    ),
                 });
                 None
             }
@@ -341,8 +369,9 @@ mod tests {
     #[test]
     fn choices_enumerate() {
         assert_eq!(PlacerChoice::ALL.len(), 2);
-        assert_eq!(RouterChoice::ALL.len(), 2);
+        assert_eq!(RouterChoice::ALL.len(), 3);
         assert_eq!(PlacerChoice::Greedy.placer().name(), "greedy");
         assert_eq!(RouterChoice::AStar.router().name(), "astar");
+        assert_eq!(RouterChoice::Negotiate.router().name(), "negotiate");
     }
 }

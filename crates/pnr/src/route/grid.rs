@@ -65,18 +65,22 @@ impl AStarRouter {
     }
 }
 
-const BLOCK_COMPONENT: u8 = 1;
+pub(crate) const BLOCK_COMPONENT: u8 = 1;
 const BLOCK_NET: u8 = 2;
 
-struct RoutingGrid {
-    cols: i64,
-    rows: i64,
-    cell: i64,
-    blocked: Vec<u8>,
+/// The shared routing lattice: die discretized into `cell`-sized squares
+/// with per-cell blockage flags. Built by the A* router and reused by the
+/// negotiated-congestion router (which layers its own occupancy and
+/// history arrays on top of the same geometry).
+pub(crate) struct RoutingGrid {
+    pub(crate) cols: i64,
+    pub(crate) rows: i64,
+    pub(crate) cell: i64,
+    pub(crate) blocked: Vec<u8>,
 }
 
 impl RoutingGrid {
-    fn new(device: &Device, config: &GridRouterConfig) -> Self {
+    pub(crate) fn from_device(device: &Device, cell: i64, clearance: i64) -> Self {
         let bounds = device
             .declared_bounds()
             .map(|s| Rect::new(Point::ORIGIN, s))
@@ -86,39 +90,40 @@ impl RoutingGrid {
                 parchmint::geometry::Span::square(1000),
             ));
         let max = bounds.max();
-        let cols = (max.x / config.cell + 2).max(2);
-        let rows = (max.y / config.cell + 2).max(2);
+        let cols = (max.x / cell + 2).max(2);
+        let rows = (max.y / cell + 2).max(2);
         let mut grid = RoutingGrid {
             cols,
             rows,
-            cell: config.cell,
+            cell,
             blocked: vec![0; (cols * rows) as usize],
         };
         for feature in device.features.iter().filter_map(|f| f.as_component()) {
-            grid.block_rect(
-                feature.footprint().inflated(config.clearance),
-                BLOCK_COMPONENT,
-            );
+            grid.block_rect(feature.footprint().inflated(clearance), BLOCK_COMPONENT);
         }
         grid
     }
 
-    fn index(&self, cx: i64, cy: i64) -> usize {
+    fn new(device: &Device, config: &GridRouterConfig) -> Self {
+        RoutingGrid::from_device(device, config.cell, config.clearance)
+    }
+
+    pub(crate) fn index(&self, cx: i64, cy: i64) -> usize {
         (cy * self.cols + cx) as usize
     }
 
-    fn in_bounds(&self, cx: i64, cy: i64) -> bool {
+    pub(crate) fn in_bounds(&self, cx: i64, cy: i64) -> bool {
         cx >= 0 && cy >= 0 && cx < self.cols && cy < self.rows
     }
 
-    fn cell_of(&self, p: Point) -> (i64, i64) {
+    pub(crate) fn cell_of(&self, p: Point) -> (i64, i64) {
         (
             (p.x / self.cell).clamp(0, self.cols - 1),
             (p.y / self.cell).clamp(0, self.rows - 1),
         )
     }
 
-    fn center(&self, cx: i64, cy: i64) -> Point {
+    pub(crate) fn center(&self, cx: i64, cy: i64) -> Point {
         Point::new(
             cx * self.cell + self.cell / 2,
             cy * self.cell + self.cell / 2,
@@ -147,7 +152,7 @@ impl RoutingGrid {
     }
 
     /// Cells within Chebyshev radius `r` of `cell`.
-    fn disc(&self, cell: (i64, i64), r: i64) -> Vec<usize> {
+    pub(crate) fn disc(&self, cell: (i64, i64), r: i64) -> Vec<usize> {
         let mut cells = Vec::new();
         for dy in -r..=r {
             for dx in -r..=r {
@@ -161,7 +166,7 @@ impl RoutingGrid {
     }
 }
 
-const DIRS: [(i64, i64); 4] = [(1, 0), (-1, 0), (0, 1), (0, -1)];
+pub(crate) const DIRS: [(i64, i64); 4] = [(1, 0), (-1, 0), (0, 1), (0, -1)];
 
 /// A* from `start` to `goal` over the grid. `free_override` marks cells
 /// passable regardless of component blockage (endpoint escape zones and
@@ -254,7 +259,7 @@ fn astar(
 }
 
 /// Collapses collinear runs in a waypoint list.
-fn simplify(points: Vec<Point>) -> Vec<Point> {
+pub(crate) fn simplify(points: Vec<Point>) -> Vec<Point> {
     let mut out: Vec<Point> = Vec::with_capacity(points.len());
     for p in points {
         if out.last() == Some(&p) {
@@ -275,7 +280,12 @@ fn simplify(points: Vec<Point>) -> Vec<Point> {
 
 /// Builds a rectilinear waypoint list: exact port endpoints joined to the
 /// cell-centre path with elbows.
-fn to_waypoints(grid: &RoutingGrid, src: Point, dst: Point, cells: &[(i64, i64)]) -> Vec<Point> {
+pub(crate) fn to_waypoints(
+    grid: &RoutingGrid,
+    src: Point,
+    dst: Point,
+    cells: &[(i64, i64)],
+) -> Vec<Point> {
     let mut points = Vec::with_capacity(cells.len() + 4);
     points.push(src);
     if let Some(&(cx, cy)) = cells.first() {

@@ -1,6 +1,7 @@
 //! Routing: realizing each connection as rectilinear channel geometry.
 
 pub mod grid;
+pub mod negotiate;
 pub mod straight;
 
 use parchmint::geometry::Point;
