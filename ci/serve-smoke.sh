@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Boots the `parchmint serve` daemon on an ephemeral TCP port, submits
+# the full benchmark suite over the wire, and demands the stripped
+# served report be byte-identical to the committed baseline — the same
+# artifact `suite-run` is gated on, proving the daemon and the sweep
+# share one execution engine. A second submission must then be served
+# entirely from the artifact cache, asserted from the daemon's stats
+# snapshot. Usage:
+#
+#   ci/serve-smoke.sh
+#
+# Artifacts: served-report.json / served-report-warm.json (stripped
+# suite reports), stats-cold.json / stats-warm.json (daemon stats
+# snapshots), serve.log (daemon stdout/stderr).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=ci/baseline-report.json
+WORKERS="${SERVE_WORKERS:-8}"
+
+cargo build --release -p parchmint-cli
+
+target/release/parchmint serve --tcp 127.0.0.1:0 --workers "$WORKERS" \
+  > serve.log 2>&1 &
+DAEMON=$!
+trap 'kill "$DAEMON" 2>/dev/null || true' EXIT
+
+# The daemon prints `listening on HOST:PORT` once bound.
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^listening on //p' serve.log | head -n 1)
+  [[ -n "$ADDR" ]] && break
+  sleep 0.1
+done
+if [[ -z "$ADDR" ]]; then
+  echo "serve-smoke: daemon never reported its address" >&2
+  cat serve.log >&2
+  exit 1
+fi
+echo "daemon is listening on $ADDR"
+
+# Cold pass: the whole registry, pipelined over one connection.
+target/release/parchmint submit --addr "$ADDR" \
+  --strip-timings -o served-report.json --stats-out stats-cold.json
+cmp served-report.json "$BASELINE"
+echo "served report is byte-identical to $BASELINE"
+
+# Warm pass: identical submission; every artifact must replay from
+# cache, and the report must not change by a byte.
+target/release/parchmint submit --addr "$ADDR" \
+  --strip-timings -o served-report-warm.json --stats-out stats-warm.json \
+  --shutdown
+cmp served-report-warm.json "$BASELINE"
+
+python3 - <<'EOF'
+import json
+
+with open("served-report.json") as f:
+    cells = json.load(f)["counts"]["cells"]
+with open("stats-warm.json") as f:
+    stats = json.load(f)
+
+cache, requests = stats["cache"], stats["requests"]
+entries = cache["entries"]
+assert entries > 0, cache
+assert cache["compile_hits"] == entries, (
+    f"warm pass should hit every compile: {cache}")
+assert cache["stage_hits"] == cells, (
+    f"warm pass should replay all {cells} cells from cache: {cache}")
+assert requests["rejected"] == 0, requests
+assert requests["peak_in_flight"] >= 8, (
+    f"expected >= 8 concurrent in-flight requests: {requests}")
+print(f"warm pass replayed {cells} cells from {entries} cache entries; "
+      f"peak in-flight {requests['peak_in_flight']}")
+EOF
+
+wait "$DAEMON"
+echo "daemon exited cleanly after shutdown"

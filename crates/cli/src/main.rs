@@ -13,6 +13,8 @@
 //! parchmint quality-baseline <REPORT> [-o FILE]   extract a quality baseline from a suite report
 //! parchmint quality-check <BASELINE> <REPORT>     gate a report against a quality baseline
 //! parchmint report-diff <BASELINE> <CURRENT>      per-cell structural diff of two suite reports
+//! parchmint serve [--tcp ADDR] [--workers N]      compilation-as-a-service daemon
+//! parchmint submit --addr HOST:PORT [BENCH...]    submit designs to a running daemon
 //! ```
 
 use parchmint::{CompiledDevice, Device};
@@ -55,6 +57,8 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("quality-baseline") => cmd_quality_baseline(&args[1..]),
         Some("quality-check") => cmd_quality_check(&args[1..]),
         Some("report-diff") => cmd_report_diff(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
         Some("help") | None => {
             print!("{USAGE}");
             Ok(())
@@ -82,6 +86,10 @@ USAGE:
   parchmint quality-baseline <REPORT.json> [-o FILE]
   parchmint quality-check <BASELINE.json> <REPORT.json>
   parchmint report-diff <BASELINE.json> <CURRENT.json>
+  parchmint serve [--tcp HOST:PORT] [--workers N] [--queue N]
+                  [--deadline-ms N] [--fuel N] [--faults PLAN.json]
+  parchmint submit --addr HOST:PORT [BENCH...] [--stages S1,S2] [--window N]
+                   [-o FILE] [--strip-timings] [--stats-out FILE] [--shutdown]
   parchmint schema
 ";
 
@@ -97,24 +105,60 @@ fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
 }
 
-/// The first argument that is neither a flag nor a flag's value.
-fn positional(args: &[String]) -> Option<&str> {
+/// The arguments that are neither flags (`-…`) nor the value of one of
+/// `value_flags`, in order. Every subcommand that takes free arguments
+/// goes through this one filter, so flag/positional separation behaves
+/// identically everywhere.
+fn positionals_of<'a>(args: &'a [String], value_flags: &[&str]) -> Vec<&'a str> {
+    let mut out = Vec::new();
     let mut skip_next = false;
     for arg in args {
         if skip_next {
             skip_next = false;
             continue;
         }
-        if matches!(arg.as_str(), "-o" | "--placer" | "--router") {
+        if value_flags.contains(&arg.as_str()) {
             skip_next = true;
             continue;
         }
-        if arg.starts_with("--") {
+        if arg.starts_with('-') {
             continue;
         }
-        return Some(arg);
+        out.push(arg.as_str());
     }
-    None
+    out
+}
+
+/// Like [`positionals_of`], but rejects flags outside the declared
+/// vocabulary instead of silently ignoring them.
+fn checked_positionals<'a>(
+    command: &str,
+    args: &'a [String],
+    value_flags: &[&str],
+    bool_flags: &[&str],
+) -> Result<Vec<&'a str>, String> {
+    let mut skip_next = false;
+    for arg in args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if value_flags.contains(&arg.as_str()) {
+            skip_next = true;
+            continue;
+        }
+        if arg.starts_with('-') && !bool_flags.contains(&arg.as_str()) {
+            return Err(format!("{command}: unknown flag `{arg}`"));
+        }
+    }
+    Ok(positionals_of(args, value_flags))
+}
+
+/// The first argument that is neither a flag nor a flag's value.
+fn positional(args: &[String]) -> Option<&str> {
+    positionals_of(args, &["-o", "--placer", "--router"])
+        .into_iter()
+        .next()
 }
 
 /// Loads a device from a benchmark name, a `.json` path, or a `.mint` path.
@@ -250,11 +294,7 @@ fn cmd_pnr(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_flow(args: &[String]) -> Result<(), String> {
-    let positionals: Vec<&str> = args
-        .iter()
-        .map(String::as_str)
-        .filter(|a| !a.starts_with('-'))
-        .collect();
+    let positionals = positionals_of(args, &[]);
     let [source, conditions @ ..] = positionals.as_slice() else {
         return Err("flow: expected <FILE|benchmark> <node=Pa>...".into());
     };
@@ -293,23 +333,25 @@ fn cmd_flow(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_suite_run(args: &[String]) -> Result<(), String> {
-    let mut benchmarks = Vec::new();
-    let mut skip_next = false;
-    for arg in args {
-        if skip_next {
-            skip_next = false;
-            continue;
-        }
-        match arg.as_str() {
-            "--threads" | "-o" | "--baseline" | "--tolerance" | "--trace" | "--pareto"
-            | "--faults" | "--deadline-ms" | "--fuel" => skip_next = true,
-            "--strip-timings" => {}
-            flag if flag.starts_with('-') => {
-                return Err(format!("suite-run: unknown flag `{flag}`"));
-            }
-            name => benchmarks.push(name.to_string()),
-        }
-    }
+    let benchmarks: Vec<String> = checked_positionals(
+        "suite-run",
+        args,
+        &[
+            "--threads",
+            "-o",
+            "--baseline",
+            "--tolerance",
+            "--trace",
+            "--pareto",
+            "--faults",
+            "--deadline-ms",
+            "--fuel",
+        ],
+        &["--strip-timings"],
+    )?
+    .into_iter()
+    .map(str::to_string)
+    .collect();
 
     if option_value(args, "--faults").is_some() && option_value(args, "--baseline").is_some() {
         return Err(
@@ -354,11 +396,7 @@ fn cmd_suite_run(args: &[String]) -> Result<(), String> {
         );
     }
     if let Some(path) = option_value(args, "--faults") {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read fault plan `{path}`: {e}"))?;
-        let plan = parchmint_resilience::FaultPlan::from_json_str(&text)
-            .map_err(|e| format!("{path}: {e}"))?;
-        builder = builder.faults(plan);
+        builder = builder.faults(parse_fault_plan("suite-run", path)?);
     }
     let config = builder.build();
     let report = parchmint_harness::run_suite(&config);
@@ -520,11 +558,7 @@ fn cmd_quality_baseline(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_quality_check(args: &[String]) -> Result<(), String> {
-    let positionals: Vec<&str> = args
-        .iter()
-        .map(String::as_str)
-        .filter(|a| !a.starts_with('-'))
-        .collect();
+    let positionals = positionals_of(args, &[]);
     let [baseline_path, report_path] = positionals.as_slice() else {
         return Err("quality-check: expected <BASELINE.json> <REPORT.json>".into());
     };
@@ -560,11 +594,7 @@ fn cmd_quality_check(args: &[String]) -> Result<(), String> {
 /// cell (benchmark, stage, and which keys changed) — the explanation step
 /// behind the byte-compare regression gate.
 fn cmd_report_diff(args: &[String]) -> Result<(), String> {
-    let positionals: Vec<&str> = args
-        .iter()
-        .map(String::as_str)
-        .filter(|a| !a.starts_with('-'))
-        .collect();
+    let positionals = positionals_of(args, &[]);
     let [baseline_path, current_path] = positionals.as_slice() else {
         return Err("report-diff: expected <BASELINE.json> <CURRENT.json>".into());
     };
@@ -657,12 +687,149 @@ fn cmd_report_diff(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Parses the shared execution-bound flags (`--deadline-ms`, `--fuel`,
+/// `--faults`) used by both `serve` and `suite-run`-style commands.
+fn parse_fault_plan(command: &str, path: &str) -> Result<parchmint_resilience::FaultPlan, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{command}: cannot read fault plan `{path}`: {e}"))?;
+    parchmint_resilience::FaultPlan::from_json_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use parchmint_serve::{serve_stdio, serve_tcp, ServeConfig, Service};
+
+    checked_positionals(
+        "serve",
+        args,
+        &[
+            "--tcp",
+            "--workers",
+            "--queue",
+            "--deadline-ms",
+            "--fuel",
+            "--faults",
+        ],
+        &[],
+    )?;
+    let mut config = ServeConfig::default();
+    if let Some(text) = option_value(args, "--workers") {
+        config.workers = text
+            .parse()
+            .map_err(|_| format!("serve: bad worker count `{text}`"))?;
+    }
+    if let Some(text) = option_value(args, "--queue") {
+        config.queue_capacity = text
+            .parse()
+            .map_err(|_| format!("serve: bad queue capacity `{text}`"))?;
+    }
+    if let Some(text) = option_value(args, "--deadline-ms") {
+        let ms: u64 = text
+            .parse()
+            .map_err(|_| format!("serve: bad deadline `{text}` (want milliseconds)"))?;
+        config.deadline = Some(std::time::Duration::from_millis(ms));
+    }
+    if let Some(text) = option_value(args, "--fuel") {
+        config.fuel = Some(
+            text.parse()
+                .map_err(|_| format!("serve: bad fuel budget `{text}`"))?,
+        );
+    }
+    if let Some(path) = option_value(args, "--faults") {
+        config.faults = Some(parse_fault_plan("serve", path)?);
+    }
+
+    let service = std::sync::Arc::new(Service::new(config));
+    match option_value(args, "--tcp") {
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(addr)
+                .map_err(|e| format!("serve: cannot bind `{addr}`: {e}"))?;
+            let local = listener.local_addr().map_err(|e| format!("serve: {e}"))?;
+            // Announce the bound address (stdout is line-buffered, so this
+            // is visible immediately even when piped) — with `--tcp :0`
+            // style ephemeral ports, clients read it from here.
+            println!("listening on {local}");
+            serve_tcp(service, listener).map_err(|e| format!("serve: {e}"))
+        }
+        None => serve_stdio(service).map_err(|e| format!("serve: {e}")),
+    }
+}
+
+fn cmd_submit(args: &[String]) -> Result<(), String> {
+    use parchmint_serve::{submit_suite, Client, DEFAULT_WINDOW};
+
+    let addr = option_value(args, "--addr").ok_or("submit: missing `--addr HOST:PORT`")?;
+    let benchmarks: Vec<String> = checked_positionals(
+        "submit",
+        args,
+        &["--addr", "--stages", "--window", "-o", "--stats-out"],
+        &["--strip-timings", "--shutdown"],
+    )?
+    .into_iter()
+    .map(str::to_string)
+    .collect();
+    let names = (!benchmarks.is_empty()).then_some(benchmarks);
+    let stages: Option<Vec<String>> =
+        option_value(args, "--stages").map(|text| text.split(',').map(str::to_string).collect());
+    let window = match option_value(args, "--window") {
+        Some(text) => text
+            .parse()
+            .map_err(|_| format!("submit: bad window `{text}`"))?,
+        None => DEFAULT_WINDOW,
+    };
+
+    let mut client =
+        Client::connect(addr).map_err(|e| format!("submit: cannot connect to `{addr}`: {e}"))?;
+    let submission = submit_suite(&mut client, names.as_deref(), stages.as_deref(), window)
+        .map_err(|e| format!("submit: {e}"))?;
+    let report = &submission.report;
+    print!("{}", report.summary_table());
+    println!(
+        "served: {} cells ({} from cache), {} compiles shared, {} busy retries",
+        report.cells.len(),
+        submission.cached_cells,
+        submission.cached_compiles,
+        submission.busy_retries,
+    );
+
+    let include_timings = !has_flag(args, "--strip-timings");
+    if let Some(path) = option_value(args, "-o") {
+        std::fs::write(path, report.to_json_string(include_timings))
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("report written to {path}");
+    }
+    if let Some(path) = option_value(args, "--stats-out") {
+        let stats = client.stats().map_err(|e| format!("submit: {e}"))?;
+        let mut text =
+            serde_json::to_string_pretty(&stats).expect("stats serialization is infallible");
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("daemon stats written to {path}");
+    }
+    if has_flag(args, "--shutdown") {
+        client.shutdown().map_err(|e| format!("submit: {e}"))?;
+        println!("daemon shutdown acknowledged");
+    }
+
+    if !report.is_clean() {
+        let counts = report.counts();
+        for cell in report.failing_cells() {
+            eprintln!(
+                "failing cell {}: {} — {}",
+                cell.key(),
+                cell.status.as_str(),
+                cell.detail.as_deref().unwrap_or("no detail recorded"),
+            );
+        }
+        return Err(format!(
+            "submit: {} error and {} failed cell(s) — see list above",
+            counts.error, counts.failed
+        ));
+    }
+    Ok(())
+}
+
 fn cmd_plan(args: &[String]) -> Result<(), String> {
-    let positionals: Vec<&str> = args
-        .iter()
-        .map(String::as_str)
-        .filter(|a| !a.starts_with('-'))
-        .collect();
+    let positionals = positionals_of(args, &[]);
     let [source, from, to] = positionals.as_slice() else {
         return Err("plan: expected <FILE|benchmark> <from> <to>".into());
     };

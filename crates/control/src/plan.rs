@@ -100,6 +100,7 @@ impl FlowPlan {
     /// [`FlowPlan::actuations`] over a raw device.
     ///
     /// Compiles a throwaway [`CompiledDevice`] on every call.
+    #[doc(hidden)]
     #[deprecated(
         since = "0.1.0",
         note = "compile once (`CompiledDevice::from_ref(&device)`) and call \
@@ -284,6 +285,7 @@ pub fn plan_flow(
 /// [`plan_flow`] over a raw device.
 ///
 /// Compiles a throwaway [`CompiledDevice`] on every call.
+#[doc(hidden)]
 #[deprecated(
     since = "0.1.0",
     note = "compile once (`CompiledDevice::from_ref(&device)`) and call \

@@ -210,6 +210,7 @@ pub fn schedule(
 /// [`schedule`] over a raw device.
 ///
 /// Compiles a throwaway [`CompiledDevice`] once for the whole protocol.
+#[doc(hidden)]
 #[deprecated(
     since = "0.1.0",
     note = "compile once (`CompiledDevice::from_ref(&device)`) and call \

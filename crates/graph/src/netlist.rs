@@ -38,6 +38,7 @@ impl Netlist {
     /// Builds the full netlist graph from a raw device.
     ///
     /// Compiles a throwaway [`CompiledDevice`] on every call.
+    #[doc(hidden)]
     #[deprecated(
         since = "0.1.0",
         note = "compile once (`CompiledDevice::from_ref(&device)`) and call \
@@ -50,6 +51,7 @@ impl Netlist {
     /// Builds the layer-restricted netlist graph from a raw device.
     ///
     /// Compiles a throwaway [`CompiledDevice`] on every call.
+    #[doc(hidden)]
     #[deprecated(
         since = "0.1.0",
         note = "compile once (`CompiledDevice::from_ref(&device)`) and call \

@@ -47,6 +47,8 @@
 #![forbid(unsafe_code)]
 
 pub mod baseline;
+pub mod engine;
+pub mod matrix;
 pub mod pareto;
 pub mod quality;
 pub mod report;
@@ -54,6 +56,8 @@ pub mod runner;
 pub mod stage;
 
 pub use baseline::{compare, Regression, Tolerances};
+pub use engine::{compile_device, execute_stage, CompileExec, ExecPolicy, StageExec};
+pub use matrix::{resolve_matrix, select_benchmarks, select_stages, stage_matches, ResolvedMatrix};
 pub use pareto::{pareto_json, pareto_json_string, pareto_rows, ParetoPoint, ParetoRow};
 pub use quality::{
     compare_quality, quality_baseline_json, quality_baseline_string, QualityRegression,

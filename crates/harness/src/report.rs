@@ -34,6 +34,19 @@ impl CellStatus {
             CellStatus::Failed => "failed",
         }
     }
+
+    /// The inverse of [`CellStatus::as_str`], for consumers that read
+    /// cells back off a report or the daemon wire protocol.
+    pub fn parse(name: &str) -> Option<CellStatus> {
+        match name {
+            "ok" => Some(CellStatus::Ok),
+            "degraded" => Some(CellStatus::Degraded),
+            "skipped" => Some(CellStatus::Skipped),
+            "error" => Some(CellStatus::Error),
+            "failed" => Some(CellStatus::Failed),
+            _ => None,
+        }
+    }
 }
 
 /// Per-status cell totals for one sweep.

@@ -1,21 +1,23 @@
 //! The parallel sweep: benchmarks × stages across a scoped worker pool.
+//!
+//! The runner owns only the *batch* concerns — fanning benchmarks across
+//! a worker pool, collecting cells, and rendering a deterministic report.
+//! How a single stage executes (budgets, retries, panic isolation,
+//! severity mapping) lives in [`crate::engine`], which the `parchmint
+//! serve` daemon shares; this module is one client of that engine.
 
+use crate::engine::{self, ExecPolicy};
+use crate::matrix;
 use crate::report::{Cell, CellStatus, SuiteReport};
-use crate::stage::{standard_stages, Stage, StageCtx, StageOutcome};
-use parchmint::CompiledDevice;
-use parchmint_obs::{Collector, Recorder, TraceSummary};
-use parchmint_resilience::{Budget, FaultPlan, Severity};
+use crate::stage::Stage;
+use parchmint_obs::TraceSummary;
+use parchmint_resilience::FaultPlan;
 use parchmint_suite::Benchmark;
-use serde_json::Value;
-use std::collections::BTreeMap;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// Maximum stage executions per cell: the first run plus two deterministic
-/// seed-bumped retries for [`Severity::Retryable`] errors.
-pub const MAX_ATTEMPTS: u32 = 3;
+pub use crate::engine::MAX_ATTEMPTS;
 
 /// Configuration for [`run_suite`].
 ///
@@ -112,22 +114,13 @@ impl SuiteRunConfig {
         self.faults.as_ref()
     }
 
-    /// Builds the per-attempt budget, or `None` when stages should run
-    /// without one. A plan with a `stall` fault needs a budget installed
-    /// even when no limit was configured — the stall trips the budget's
-    /// fuel — so any fault plan forces at least an unlimited budget.
-    fn stage_budget(&self) -> Option<Budget> {
-        if self.deadline.is_none() && self.fuel.is_none() && self.faults.is_none() {
-            return None;
-        }
-        let mut budget = Budget::unlimited();
-        if let Some(deadline) = self.deadline {
-            budget = budget.with_deadline(deadline);
-        }
-        if let Some(fuel) = self.fuel {
-            budget = budget.with_fuel(fuel);
-        }
-        Some(budget)
+    /// The stage-execution policy this configuration implies — the
+    /// deadline/fuel limits and the standard retry ceiling, in the form
+    /// the shared [`crate::engine`] consumes.
+    pub fn exec_policy(&self) -> ExecPolicy {
+        ExecPolicy::new()
+            .with_deadline(self.deadline)
+            .with_fuel(self.fuel)
     }
 }
 
@@ -229,57 +222,9 @@ impl SuiteRunConfigBuilder {
 /// than silently dropped, so a typo in CI configuration cannot shrink the
 /// sweep unnoticed.
 pub fn run_suite(config: &SuiteRunConfig) -> SuiteReport {
-    let registry = parchmint_suite::suite();
-    let mut benchmarks = Vec::new();
-    let mut bad_cells = Vec::new();
-    match config.benchmarks() {
-        None => benchmarks = registry,
-        Some(names) => {
-            for name in names {
-                match registry.iter().find(|b| b.name() == name.as_str()) {
-                    Some(benchmark) => benchmarks.push(benchmark.clone()),
-                    None => bad_cells.push(Cell {
-                        benchmark: name.clone(),
-                        stage: "resolve".into(),
-                        status: CellStatus::Failed,
-                        detail: Some(format!("unknown benchmark `{name}`")),
-                        metrics: Default::default(),
-                        wall: Duration::ZERO,
-                        trace: None,
-                    }),
-                }
-            }
-        }
-    }
-
-    let mut stages = standard_stages();
-    if let Some(wanted) = config.stages() {
-        let known: Vec<String> = stages.iter().map(|s| s.name.clone()).collect();
-        for name in wanted {
-            let matches_any = known
-                .iter()
-                .any(|k| k == name || (name == "pnr" && k.starts_with("pnr:")));
-            if !matches_any {
-                bad_cells.push(Cell {
-                    benchmark: "*".into(),
-                    stage: name.clone(),
-                    status: CellStatus::Failed,
-                    detail: Some(format!("unknown stage `{name}`")),
-                    metrics: Default::default(),
-                    wall: Duration::ZERO,
-                    trace: None,
-                });
-            }
-        }
-        stages.retain(|s| {
-            wanted
-                .iter()
-                .any(|w| w == &s.name || (w == "pnr" && s.name.starts_with("pnr:")))
-        });
-    }
-
-    let mut report = run_matrix(&benchmarks, &stages, config);
-    report.cells.extend(bad_cells);
+    let matrix = matrix::resolve_matrix(config.benchmarks(), config.stages());
+    let mut report = run_matrix(&matrix.benchmarks, &matrix.stages, config);
+    report.cells.extend(matrix.bad_cells);
     report.sort_cells();
     report
 }
@@ -376,54 +321,15 @@ struct EvaluatedBenchmark {
     compile_trace: Option<TraceSummary>,
 }
 
-/// Runs `body` under a fresh event collector when `tracing`, returning
-/// its result plus the non-empty aggregated trace.
-fn collect<T>(tracing: bool, body: impl FnOnce() -> T) -> (T, Option<TraceSummary>) {
-    if !tracing {
-        return (body(), None);
-    }
-    let collector = Arc::new(Collector::new());
-    let recorder: Arc<dyn Recorder> = Arc::clone(&collector) as Arc<dyn Recorder>;
-    let result = parchmint_obs::with_recorder(recorder, body);
-    let summary = collector.summary();
-    (result, (!summary.is_empty()).then_some(summary))
-}
-
-/// Runs `body` with `plan` installed as this thread's fault plan, or
-/// directly when the cell has no armed faults.
-fn with_cell_faults<T>(plan: Option<&Arc<FaultPlan>>, body: impl FnOnce() -> T) -> T {
-    match plan {
-        Some(plan) => parchmint_resilience::with_faults(Arc::clone(plan), body),
-        None => body(),
-    }
-}
-
-/// The terminal state of one stage attempt, before cell assembly.
-struct AttemptEnd {
-    status: CellStatus,
-    detail: Option<String>,
-    metrics: BTreeMap<String, Value>,
-    trace: Option<TraceSummary>,
-}
-
 /// Runs the whole stage list on one benchmark, isolating each stage.
 ///
-/// The device is generated and compiled into its [`CompiledDevice`] view
-/// exactly once; every stage then borrows the same shared index. Under
-/// tracing, compile and each stage get their own collector, so a cell's
-/// trace covers exactly that cell's work.
-///
-/// Resilience policy, per stage:
-///
-/// - each attempt runs under a fresh budget (deadline/fuel from `config`)
-///   and the benchmark's slice of the fault plan;
-/// - panics are caught and end the cell as `failed`;
-/// - [`parchmint_resilience::PipelineError`] severities map to cell
-///   status: `Fatal` → `error`,
-///   `Degraded` → `degraded`, `Retryable` → up to [`MAX_ATTEMPTS`]
-///   deterministic seed-bumped attempts, then `error`;
-/// - a stage that completes while its budget tripped ends `degraded` —
-///   a partial result is never reported as a clean `ok`.
+/// The device is generated and compiled into its shared view exactly once
+/// via [`engine::compile_device`]; every stage then borrows the same
+/// interned index and runs through [`engine::execute_stage`] under the
+/// configuration's [`ExecPolicy`] and the benchmark's slice of the fault
+/// plan. The severity→status mapping, panic isolation, and the
+/// deterministic attempt/seed retry schedule all live in the engine — the
+/// daemon's workers share them verbatim.
 fn evaluate_benchmark(
     benchmark: &Benchmark,
     stages: &[Stage],
@@ -436,19 +342,11 @@ fn evaluate_benchmark(
         (!slice.is_empty()).then(|| Arc::new(slice))
     });
 
-    let generated = Instant::now();
-    let (outcome, compile_trace) = collect(tracing, || {
-        with_cell_faults(plan.as_ref(), || {
-            catch_unwind(AssertUnwindSafe(|| {
-                CompiledDevice::compile(benchmark.device()).into_shared()
-            }))
-        })
-    });
-    let compiled = match outcome {
+    let compile = engine::compile_device(|| benchmark.device(), plan.as_ref(), tracing);
+    let compiled = match compile.compiled {
         Ok(compiled) => compiled,
-        Err(payload) => {
+        Err(message) => {
             // Generator panicked: every cell of this row fails, explained.
-            let message = panic_message(payload.as_ref());
             let cells = stages
                 .iter()
                 .map(|stage| Cell {
@@ -457,135 +355,46 @@ fn evaluate_benchmark(
                     status: CellStatus::Failed,
                     detail: Some(format!("device generation panicked: {message}")),
                     metrics: Default::default(),
-                    wall: generated.elapsed(),
+                    wall: compile.wall,
                     trace: None,
                 })
                 .collect();
             return EvaluatedBenchmark {
                 cells,
                 compile_wall: None,
-                compile_trace,
+                compile_trace: compile.trace,
             };
         }
     };
-    let compile_wall = generated.elapsed();
 
+    let policy = config.exec_policy();
     let cells = stages
         .iter()
         .map(|stage| {
             let started = Instant::now();
-            let end = run_stage_with_retries(stage, &compiled, plan.as_ref(), config, tracing);
+            let exec = engine::execute_stage(stage, &compiled, &policy, plan.as_ref(), tracing);
             Cell {
                 benchmark: name.clone(),
                 stage: stage.name.clone(),
-                status: end.status,
-                detail: end.detail,
-                metrics: end.metrics,
+                status: exec.status,
+                detail: exec.detail,
+                metrics: exec.metrics,
                 wall: started.elapsed(),
-                trace: end.trace,
+                trace: exec.trace,
             }
         })
         .collect();
     EvaluatedBenchmark {
         cells,
-        compile_wall: Some(compile_wall),
-        compile_trace,
-    }
-}
-
-/// Executes one stage on one benchmark, retrying [`Severity::Retryable`]
-/// errors with a fresh budget and a bumped attempt counter.
-fn run_stage_with_retries(
-    stage: &Stage,
-    compiled: &CompiledDevice,
-    plan: Option<&Arc<FaultPlan>>,
-    config: &SuiteRunConfig,
-    tracing: bool,
-) -> AttemptEnd {
-    let mut attempt = 0u32;
-    loop {
-        let ctx = StageCtx { attempt };
-        let budget = config.stage_budget();
-        let (outcome, trace) = collect(tracing, || {
-            with_cell_faults(plan, || {
-                let body = || catch_unwind(AssertUnwindSafe(|| (stage.run)(compiled, &ctx)));
-                match &budget {
-                    Some(budget) => budget.enter(body),
-                    None => body(),
-                }
-            })
-        });
-        let interruption = budget.as_ref().and_then(Budget::interruption);
-        let (status, detail, metrics) = match outcome {
-            Ok(Ok(StageOutcome::Metrics(metrics))) => match interruption {
-                // The stage finished, but its budget tripped along the way:
-                // whatever it returned is a partial result, never a clean ok.
-                Some(reason) => (
-                    CellStatus::Degraded,
-                    Some(format!("completed under interruption ({reason})")),
-                    metrics,
-                ),
-                None => (CellStatus::Ok, None, metrics),
-            },
-            Ok(Ok(StageOutcome::Degraded { reason, metrics })) => {
-                (CellStatus::Degraded, Some(reason), metrics)
-            }
-            Ok(Ok(StageOutcome::Skipped(reason))) => {
-                (CellStatus::Skipped, Some(reason), Default::default())
-            }
-            Ok(Err(error)) => {
-                let error = error.in_stage(&stage.name);
-                match error.severity {
-                    Severity::Retryable if attempt + 1 < MAX_ATTEMPTS => {
-                        attempt += 1;
-                        continue;
-                    }
-                    Severity::Retryable => (
-                        CellStatus::Error,
-                        Some(format!("{error} (after {MAX_ATTEMPTS} attempts)")),
-                        Default::default(),
-                    ),
-                    Severity::Degraded => (
-                        CellStatus::Degraded,
-                        Some(error.to_string()),
-                        Default::default(),
-                    ),
-                    Severity::Fatal => (
-                        CellStatus::Error,
-                        Some(error.to_string()),
-                        Default::default(),
-                    ),
-                }
-            }
-            Err(payload) => (
-                CellStatus::Failed,
-                Some(panic_message(payload.as_ref())),
-                Default::default(),
-            ),
-        };
-        return AttemptEnd {
-            status,
-            detail,
-            metrics,
-            trace,
-        };
-    }
-}
-
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
+        compile_wall: Some(compile.wall),
+        compile_trace: compile.trace,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::stage::Stage;
+    use crate::stage::{standard_stages, Stage, StageOutcome};
     use parchmint_resilience::{FaultKind, FaultSpec, PipelineError};
     use serde_json::Value;
     use std::sync::atomic::{AtomicU32, Ordering};
@@ -704,7 +513,10 @@ mod tests {
             .build();
         assert!(open.benchmarks().is_none());
         assert!(open.trace().is_none());
-        assert!(open.stage_budget().is_none(), "no budget unless configured");
+        assert!(
+            !open.exec_policy().is_bounded(),
+            "no budget unless configured"
+        );
     }
 
     #[test]

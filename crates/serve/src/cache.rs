@@ -1,0 +1,197 @@
+//! The content-hash artifact cache.
+//!
+//! Keyed by the canonical content hash of the submitted design
+//! document (see [`crate::hash`]), each entry pins the compiled
+//! [`CompiledDevice`] behind an `Arc` plus every downstream stage
+//! result already computed for it, so resubmitting an identical design
+//! re-runs nothing: the compile is shared by reference and each
+//! already-seen stage replays its recorded [`StageExec`].
+//!
+//! Only *unconditioned* executions are cacheable — a request that runs
+//! under a deadline/fuel budget or with a fault plan armed can produce
+//! degraded or injected results that must never be replayed for a
+//! clean request. The service enforces that; the cache itself is
+//! policy-free storage.
+
+use parchmint::ir::CompiledDevice;
+use parchmint_harness::StageExec;
+use serde_json::{Map, Value};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// One cached design: the shared compile plus per-stage results.
+pub struct CacheEntry {
+    /// The compiled view every request for this design shares.
+    pub compiled: Arc<CompiledDevice>,
+    /// How long the original generate+compile took.
+    pub compile_wall: Duration,
+    stages: Mutex<BTreeMap<String, StageExec>>,
+}
+
+impl CacheEntry {
+    /// A fresh entry holding only the compile artifact.
+    pub fn new(compiled: Arc<CompiledDevice>, compile_wall: Duration) -> CacheEntry {
+        CacheEntry {
+            compiled,
+            compile_wall,
+            stages: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The recorded result of `stage`, if this design already ran it.
+    pub fn stage(&self, stage: &str) -> Option<StageExec> {
+        self.stages
+            .lock()
+            .expect("cache entry lock")
+            .get(stage)
+            .cloned()
+    }
+
+    /// Records the result of `stage` for replay.
+    pub fn store_stage(&self, stage: &str, exec: &StageExec) {
+        self.stages
+            .lock()
+            .expect("cache entry lock")
+            .insert(stage.to_string(), exec.clone());
+    }
+
+    /// How many stage results this entry holds.
+    pub fn stage_count(&self) -> usize {
+        self.stages.lock().expect("cache entry lock").len()
+    }
+}
+
+/// The daemon-wide cache: content hash → [`CacheEntry`], with hit/miss
+/// counters for both the compile and stage layers.
+#[derive(Default)]
+pub struct ArtifactCache {
+    entries: Mutex<HashMap<u64, Arc<CacheEntry>>>,
+    compile_hits: AtomicU64,
+    compile_misses: AtomicU64,
+    stage_hits: AtomicU64,
+    stage_misses: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// An empty cache.
+    pub fn new() -> ArtifactCache {
+        ArtifactCache::default()
+    }
+
+    /// Looks up `key`, counting a compile hit or miss.
+    pub fn lookup(&self, key: u64) -> Option<Arc<CacheEntry>> {
+        let found = self.entries.lock().expect("cache lock").get(&key).cloned();
+        match &found {
+            Some(_) => self.compile_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.compile_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Inserts `entry` under `key`. When two workers race to compile
+    /// the same design, the first insert wins and both use it — the
+    /// loser's compile is discarded, never half-merged.
+    pub fn insert(&self, key: u64, entry: Arc<CacheEntry>) -> Arc<CacheEntry> {
+        let mut entries = self.entries.lock().expect("cache lock");
+        Arc::clone(entries.entry(key).or_insert(entry))
+    }
+
+    /// Counts a stage-layer hit (replayed) or miss (executed).
+    pub fn count_stage(&self, hit: bool) {
+        let counter = if hit {
+            &self.stage_hits
+        } else {
+            &self.stage_misses
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of distinct designs cached.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot: `(compile_hits, compile_misses, stage_hits,
+    /// stage_misses)`.
+    pub fn counters(&self) -> (u64, u64, u64, u64) {
+        (
+            self.compile_hits.load(Ordering::Relaxed),
+            self.compile_misses.load(Ordering::Relaxed),
+            self.stage_hits.load(Ordering::Relaxed),
+            self.stage_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The cache section of the daemon's `stats` response.
+    pub fn stats_json(&self) -> Value {
+        let (compile_hits, compile_misses, stage_hits, stage_misses) = self.counters();
+        let mut object = Map::new();
+        object.insert("entries".to_string(), Value::from(self.len()));
+        object.insert("compile_hits".to_string(), Value::from(compile_hits));
+        object.insert("compile_misses".to_string(), Value::from(compile_misses));
+        object.insert("stage_hits".to_string(), Value::from(stage_hits));
+        object.insert("stage_misses".to_string(), Value::from(stage_misses));
+        Value::Object(object)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parchmint::Device;
+    use parchmint_harness::CellStatus;
+
+    fn entry() -> Arc<CacheEntry> {
+        let device = Device::new("cached");
+        Arc::new(CacheEntry::new(
+            CompiledDevice::compile(device).into_shared(),
+            Duration::from_millis(1),
+        ))
+    }
+
+    fn exec(status: CellStatus) -> StageExec {
+        StageExec {
+            status,
+            detail: None,
+            metrics: BTreeMap::new(),
+            trace: None,
+            attempts: 1,
+        }
+    }
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let cache = ArtifactCache::new();
+        assert!(cache.lookup(7).is_none());
+        cache.insert(7, entry());
+        assert!(cache.lookup(7).is_some());
+        assert_eq!(cache.counters(), (1, 1, 0, 0));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn racing_inserts_converge_on_the_first() {
+        let cache = ArtifactCache::new();
+        let first = cache.insert(3, entry());
+        let second = cache.insert(3, entry());
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn stage_results_replay_per_entry() {
+        let entry = entry();
+        assert!(entry.stage("validate").is_none());
+        entry.store_stage("validate", &exec(CellStatus::Ok));
+        let replayed = entry.stage("validate").expect("stored");
+        assert_eq!(replayed.status, CellStatus::Ok);
+        assert_eq!(entry.stage_count(), 1);
+    }
+}

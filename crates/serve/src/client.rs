@@ -1,0 +1,310 @@
+//! A pipelining TCP client: submit designs, reassemble a
+//! [`SuiteReport`] from the streamed events.
+//!
+//! The client keeps a bounded *window* of submissions in flight on one
+//! connection — enough to exercise the daemon's worker pool and
+//! admission queue concurrently — and demultiplexes the interleaved
+//! `cell`/`done`/`error` events by their echoed ids. A `busy` refusal
+//! re-queues that submission for the next window slot, so the client
+//! cooperates with backpressure instead of failing.
+//!
+//! [`submit_suite`] reproduces the harness's matrix semantics on top
+//! of that: registry benchmarks are serialized and submitted as inline
+//! ParchMint JSON, unknown benchmark/stage selectors become the same
+//! `failed` marker cells `suite-run` emits, and the merged report is
+//! sorted with [`SuiteReport::sort_cells`] — so a full-suite
+//! submission, stripped of timings, is byte-identical to a local
+//! `suite-run` report.
+
+use crate::protocol;
+use parchmint_harness::{resolve_matrix, Cell, CellStatus, SuiteReport};
+use serde_json::{Map, Value};
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Default submission window (requests in flight at once).
+pub const DEFAULT_WINDOW: usize = 16;
+
+/// One connection to a daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// The merged outcome of a batch submission.
+pub struct Submission {
+    /// All cells, in arrival order (callers sort via a report).
+    pub cells: Vec<Cell>,
+    /// Per-design compile wall times reported by the daemon, for
+    /// designs whose compile actually ran on this submission.
+    pub compile_walls: Vec<(String, Duration)>,
+    /// Cells served from the daemon's artifact cache.
+    pub cached_cells: usize,
+    /// Designs whose compile was shared from the cache.
+    pub cached_compiles: usize,
+    /// `busy` refusals that were retried.
+    pub busy_retries: usize,
+    /// End-to-end wall time of the batch.
+    pub wall: Duration,
+}
+
+/// A suite submission: the reassembled report plus cache/backpressure
+/// observations.
+pub struct SuiteSubmission {
+    /// The merged report, sorted exactly like a local `suite-run`.
+    pub report: SuiteReport,
+    /// Cells served from the daemon's artifact cache.
+    pub cached_cells: usize,
+    /// Designs whose compile was shared from the cache.
+    pub cached_compiles: usize,
+    /// `busy` refusals that were retried.
+    pub busy_retries: usize,
+}
+
+impl Client {
+    /// Connects to a daemon at `addr` (`host:port`).
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn send(&mut self, request: &Value) -> Result<(), String> {
+        let line = protocol::to_line(request);
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("send failed: {e}"))
+    }
+
+    fn read_event(&mut self) -> Result<Value, String> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self
+                .reader
+                .read_line(&mut line)
+                .map_err(|e| format!("read failed: {e}"))?;
+            if n == 0 {
+                return Err("daemon closed the connection".to_string());
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            return serde_json::from_str(line.trim())
+                .map_err(|e| format!("unparseable event: {e}"));
+        }
+    }
+
+    /// Round-trips a `ping`.
+    pub fn ping(&mut self) -> Result<(), String> {
+        self.send(&request("ping", Value::from("ping")))?;
+        let event = self.read_event()?;
+        match event["event"].as_str() {
+            Some("pong") => Ok(()),
+            other => Err(format!("expected pong, got {other:?}")),
+        }
+    }
+
+    /// Fetches the daemon's counter snapshot.
+    pub fn stats(&mut self) -> Result<Value, String> {
+        self.send(&request("stats", Value::from("stats")))?;
+        let event = self.read_event()?;
+        match event["event"].as_str() {
+            Some("stats") => Ok(event["stats"].clone()),
+            Some("error") => Err(format!("stats refused: {}", event["error"]["message"])),
+            other => Err(format!("expected stats, got {other:?}")),
+        }
+    }
+
+    /// Asks the daemon to drain and exit; returns once acknowledged.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        self.send(&request("shutdown", Value::Null))?;
+        let event = self.read_event()?;
+        match event["event"].as_str() {
+            Some("shutting_down") => Ok(()),
+            other => Err(format!("expected shutting_down, got {other:?}")),
+        }
+    }
+
+    /// Submits `designs` (inline ParchMint JSON documents), keeping up
+    /// to `window` requests in flight, and merges the streamed events.
+    ///
+    /// Any non-`busy` error event for a design fails the whole batch:
+    /// partial suite reports are worse than loud failures.
+    pub fn submit_designs(
+        &mut self,
+        designs: &[Value],
+        stage_names: Option<&[String]>,
+        window: usize,
+    ) -> Result<Submission, String> {
+        let started = Instant::now();
+        let window = window.max(1);
+        let mut pending: Vec<usize> = (0..designs.len()).collect();
+        pending.reverse(); // pop() takes from the front of the original order
+        let mut in_flight = 0usize;
+        let mut done = 0usize;
+        let mut submission = Submission {
+            cells: Vec::new(),
+            compile_walls: Vec::new(),
+            cached_cells: 0,
+            cached_compiles: 0,
+            busy_retries: 0,
+            wall: Duration::ZERO,
+        };
+
+        while done < designs.len() {
+            while in_flight < window {
+                let Some(index) = pending.pop() else {
+                    break;
+                };
+                self.send(&submit_request(index, &designs[index], stage_names))?;
+                in_flight += 1;
+            }
+            let event = self.read_event()?;
+            let Some(index) = event["id"].as_str().and_then(parse_id) else {
+                return Err(format!("event with unknown id: {event}"));
+            };
+            match event["event"].as_str() {
+                Some("cell") => {
+                    if event["cached"].as_bool() == Some(true) {
+                        submission.cached_cells += 1;
+                    }
+                    submission.cells.push(parse_cell(&event)?);
+                }
+                Some("done") => {
+                    in_flight -= 1;
+                    done += 1;
+                    if event["cached"].as_bool() == Some(true) {
+                        submission.cached_compiles += 1;
+                    } else if let Some(ms) = event["compile_ms"].as_f64() {
+                        let design = event["design"].as_str().unwrap_or_default().to_string();
+                        submission
+                            .compile_walls
+                            .push((design, Duration::from_secs_f64(ms / 1e3)));
+                    }
+                }
+                Some("error") => {
+                    in_flight -= 1;
+                    if event["error"]["kind"].as_str() == Some("busy") {
+                        // Cooperate with backpressure: brief pause, then
+                        // resubmit in a later window slot.
+                        submission.busy_retries += 1;
+                        std::thread::sleep(Duration::from_millis(5));
+                        pending.push(index);
+                    } else {
+                        return Err(format!(
+                            "design {index} refused ({}): {}",
+                            event["error"]["kind"], event["error"]["message"]
+                        ));
+                    }
+                }
+                other => return Err(format!("unexpected event {other:?}")),
+            }
+        }
+        submission.wall = started.elapsed();
+        Ok(submission)
+    }
+}
+
+/// Submits benchmarks through a daemon and reassembles the same report
+/// `run_suite` would produce locally (see module docs).
+pub fn submit_suite(
+    client: &mut Client,
+    benchmarks: Option<&[String]>,
+    stage_selectors: Option<&[String]>,
+    window: usize,
+) -> Result<SuiteSubmission, String> {
+    let matrix = resolve_matrix(benchmarks, stage_selectors);
+    let stage_names: Vec<String> = matrix.stages.iter().map(|s| s.name.clone()).collect();
+
+    let mut designs = Vec::with_capacity(matrix.benchmarks.len());
+    for benchmark in &matrix.benchmarks {
+        let json = benchmark
+            .device()
+            .to_json()
+            .map_err(|e| format!("serializing {}: {e}", benchmark.name()))?;
+        let doc: Value = serde_json::from_str(&json)
+            .map_err(|e| format!("reparsing {}: {e}", benchmark.name()))?;
+        designs.push(doc);
+    }
+
+    // Only resolved stage names go on the wire; unknown selectors become
+    // the same `failed` marker cells the local harness emits (they ride
+    // along in `matrix.bad_cells`).
+    let wire_stages = stage_selectors.map(|_| stage_names.as_slice());
+    let submission = client.submit_designs(&designs, wire_stages, window)?;
+
+    let mut cells = submission.cells;
+    cells.extend(matrix.bad_cells);
+
+    let mut compile_walls = submission.compile_walls;
+    compile_walls.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut report = SuiteReport {
+        cells,
+        stages: stage_names,
+        threads: 0,
+        total_wall: submission.wall,
+        compile_walls,
+        compile_traces: Vec::new(),
+    };
+    report.sort_cells();
+    Ok(SuiteSubmission {
+        report,
+        cached_cells: submission.cached_cells,
+        cached_compiles: submission.cached_compiles,
+        busy_retries: submission.busy_retries,
+    })
+}
+
+fn request(op: &str, id: Value) -> Value {
+    let mut object = Map::new();
+    object.insert("op".to_string(), Value::from(op));
+    if id != Value::Null {
+        object.insert("id".to_string(), id);
+    }
+    Value::Object(object)
+}
+
+fn submit_request(index: usize, design: &Value, stage_names: Option<&[String]>) -> Value {
+    let mut object = Map::new();
+    object.insert("op".to_string(), Value::from("submit"));
+    object.insert("id".to_string(), Value::from(format!("d{index}")));
+    object.insert("design".to_string(), design.clone());
+    if let Some(names) = stage_names {
+        let names: Vec<Value> = names.iter().map(|n| Value::from(n.as_str())).collect();
+        object.insert("stages".to_string(), Value::Array(names));
+    }
+    Value::Object(object)
+}
+
+fn parse_id(id: &str) -> Option<usize> {
+    id.strip_prefix('d')?.parse().ok()
+}
+
+fn parse_cell(event: &Value) -> Result<Cell, String> {
+    let cell = &event["cell"];
+    let status = cell["status"]
+        .as_str()
+        .and_then(CellStatus::parse)
+        .ok_or_else(|| format!("cell event with bad status: {event}"))?;
+    let metrics: BTreeMap<String, Value> = cell["metrics"]
+        .as_object()
+        .map(|object| object.iter().map(|(k, v)| (k.clone(), v.clone())).collect())
+        .unwrap_or_default();
+    let wall_ms = event["wall_ms"].as_f64().unwrap_or(0.0);
+    Ok(Cell {
+        benchmark: cell["benchmark"].as_str().unwrap_or_default().to_string(),
+        stage: cell["stage"].as_str().unwrap_or_default().to_string(),
+        status,
+        detail: cell["detail"].as_str().map(str::to_string),
+        metrics,
+        wall: Duration::from_secs_f64(wall_ms.max(0.0) / 1e3),
+        trace: None,
+    })
+}

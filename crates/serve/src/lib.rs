@@ -1,0 +1,45 @@
+//! # parchmint-serve
+//!
+//! Compilation-as-a-service: a multi-threaded daemon that accepts
+//! ParchMint/MINT designs as line-delimited JSON — over stdin/stdout or
+//! TCP — and runs each through the same parse → compile → verify → pnr
+//! → sim → control pipeline the `suite-run` harness sweeps, streaming
+//! per-stage results back in the harness's cell schema.
+//!
+//! Layers, bottom up:
+//!
+//! - [`hash`] — canonical content hashing of design documents
+//!   (whitespace- and key-order-insensitive FNV-1a 64);
+//! - [`queue`] — the bounded admission queue whose fail-fast `try_push`
+//!   is the daemon's backpressure boundary;
+//! - [`cache`] — content hash → `Arc<CompiledDevice>` plus downstream
+//!   stage artifacts, so identical designs never recompile or re-run;
+//! - [`protocol`] — the wire format: `submit`/`stats`/`ping`/`shutdown`
+//!   requests, `cell`/`done`/`error` events, and the closed error
+//!   taxonomy (`bad_request`, `invalid_design`, `busy`,
+//!   `shutting_down`);
+//! - [`service`] — the transport-agnostic request path, built directly
+//!   on [`parchmint_harness::engine`] so daemon cells and harness cells
+//!   are produced by the identical compile/retry/severity machinery;
+//! - [`server`] — the stdio and TCP front-ends over one worker pool;
+//! - [`client`] — a pipelining TCP client that reassembles a
+//!   [`parchmint_harness::SuiteReport`] from streamed events
+//!   (byte-identical, stripped, to a local `suite-run`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod client;
+pub mod hash;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod service;
+
+pub use cache::{ArtifactCache, CacheEntry};
+pub use client::{submit_suite, Client, Submission, SuiteSubmission, DEFAULT_WINDOW};
+pub use protocol::{parse_request, DesignSource, ErrorKind, Request, SubmitRequest, WireError};
+pub use queue::{Bounded, PushError};
+pub use server::{serve_stdio, serve_tcp, LineOutcome, Server, SharedWriter};
+pub use service::{ServeConfig, Service, DEFAULT_QUEUE_CAPACITY};

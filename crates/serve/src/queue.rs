@@ -1,0 +1,137 @@
+//! A bounded MPMC job queue — the daemon's backpressure boundary.
+//!
+//! Admission control is a [`Bounded::try_push`] that *fails fast*: when
+//! the queue is at capacity the submitter gets an immediate `busy` error
+//! instead of an unbounded buffer silently absorbing load. Workers block
+//! on [`Bounded::pop`]; closing the queue drains it and then wakes every
+//! worker with `None` so shutdown never strands a thread.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity — back off and resubmit.
+    Full,
+    /// The queue was closed — the daemon is shutting down.
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue over a mutex+condvar.
+pub struct Bounded<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> Bounded<T> {
+    /// A queue admitting at most `capacity` pending items (min 1).
+    pub fn new(capacity: usize) -> Bounded<T> {
+        Bounded {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The admission capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Pending items right now.
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// Enqueues `item`, or returns it with the refusal reason when the
+    /// queue is full or closed. Never blocks.
+    pub fn try_push(&self, item: T) -> Result<(), (T, PushError)> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed {
+            return Err((item, PushError::Closed));
+        }
+        if state.items.len() >= self.capacity {
+            return Err((item, PushError::Full));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next item; `None` once the queue is closed and
+    /// drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Closes the queue: pending items still drain, new pushes fail, and
+    /// blocked workers wake with `None` once empty.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let queue = Bounded::new(4);
+        queue.try_push(1).unwrap();
+        queue.try_push(2).unwrap();
+        assert_eq!(queue.depth(), 2);
+        assert_eq!(queue.pop(), Some(1));
+        assert_eq!(queue.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_refuses_without_blocking() {
+        let queue = Bounded::new(1);
+        queue.try_push("a").unwrap();
+        assert_eq!(queue.try_push("b"), Err(("b", PushError::Full)));
+        assert_eq!(queue.pop(), Some("a"));
+        queue.try_push("c").unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_wakes_consumers() {
+        let queue = Arc::new(Bounded::new(8));
+        queue.try_push(7).unwrap();
+        queue.close();
+        assert_eq!(queue.try_push(8), Err((8, PushError::Closed)));
+        assert_eq!(queue.pop(), Some(7), "pending work still drains");
+        assert_eq!(queue.pop(), None, "then consumers see the close");
+
+        // A consumer already blocked on an empty queue wakes on close.
+        let queue = Arc::new(Bounded::<u32>::new(8));
+        let waiter = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.pop())
+        };
+        queue.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+}

@@ -1,0 +1,339 @@
+//! Daemon transports: stdio and TCP front-ends over one worker pool.
+//!
+//! Both transports share the same shape: a reader parses request
+//! lines, control ops (`ping`, `stats`, `shutdown`) are answered
+//! inline, and submissions are pushed onto the bounded admission
+//! queue. Worker threads — each with the service's collector installed
+//! as its observability recorder — pop jobs and run
+//! [`Service::process_submit`], streaming events back through the
+//! submitting connection's shared writer.
+//!
+//! Backpressure is the queue itself: when it is full, admission fails
+//! *immediately* with a `busy` error rather than buffering without
+//! bound, and the client decides whether to back off or give up.
+//! Shutdown closes the queue, which drains pending jobs, then wakes
+//! every worker; responses for already-admitted work are still
+//! delivered before the daemon exits.
+
+use crate::protocol::{self, Request, SubmitRequest, WireError};
+use crate::queue::{Bounded, PushError};
+use crate::service::Service;
+use parchmint_obs::Recorder;
+use serde_json::Value;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A line-oriented output shared between the reader (inline control
+/// responses) and the workers (streamed submission events).
+pub type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
+
+/// One admitted submission waiting for a worker.
+struct Job {
+    request: Box<SubmitRequest>,
+    out: SharedWriter,
+}
+
+/// What the reader loop should do after a handled line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineOutcome {
+    /// Keep reading.
+    Continue,
+    /// A `shutdown` was acknowledged — stop reading and drain.
+    Shutdown,
+}
+
+/// Serializes `event` onto `out` as one line. Write errors are
+/// swallowed: a vanished client must not take a worker down.
+fn write_event(out: &SharedWriter, event: &Value) {
+    let line = protocol::to_line(event);
+    let mut out = out.lock().expect("writer lock");
+    let _ = out.write_all(line.as_bytes());
+    let _ = out.flush();
+}
+
+/// The daemon: service semantics plus queue, workers, and shutdown
+/// state. Transports drive it through [`Server::handle_line`].
+pub struct Server {
+    service: Arc<Service>,
+    queue: Arc<Bounded<Job>>,
+    shutdown: AtomicBool,
+}
+
+impl Server {
+    /// A server over `service`, with the admission queue sized from the
+    /// service's config.
+    pub fn new(service: Arc<Service>) -> Server {
+        let capacity = service.config().effective_queue_capacity();
+        Server {
+            service,
+            queue: Arc::new(Bounded::new(capacity)),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Spawns the worker pool. Each worker installs the service's
+    /// collector as its thread recorder, so stage-level observability
+    /// from every request aggregates into the daemon's `stats`.
+    pub fn start_workers(self: &Arc<Server>) -> Vec<JoinHandle<()>> {
+        let count = self.service.config().effective_workers();
+        (0..count)
+            .map(|index| {
+                let server = Arc::clone(self);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{index}"))
+                    .spawn(move || {
+                        let recorder: Arc<dyn Recorder> = server.service.collector();
+                        parchmint_obs::with_recorder(recorder, || loop {
+                            let Some(job) = server.queue.pop() else {
+                                break;
+                            };
+                            let mut emit = |event: Value| write_event(&job.out, &event);
+                            server.service.process_submit(&job.request, &mut emit);
+                        });
+                    })
+                    .expect("spawn worker")
+            })
+            .collect()
+    }
+
+    /// Whether shutdown has begun.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Begins shutdown: stops admission and closes the queue so pending
+    /// jobs drain and idle workers wake.
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        self.queue.close();
+    }
+
+    /// The full `stats` snapshot: service counters plus this server's
+    /// queue and worker facts.
+    pub fn stats_json(&self) -> Value {
+        let mut stats = self.service.stats_json();
+        if let Some(object) = stats.as_object_mut() {
+            let mut queue = serde_json::Map::new();
+            queue.insert("capacity".to_string(), Value::from(self.queue.capacity()));
+            queue.insert("depth".to_string(), Value::from(self.queue.depth()));
+            object.insert("queue".to_string(), Value::Object(queue));
+            object.insert(
+                "workers".to_string(),
+                Value::from(self.service.config().effective_workers()),
+            );
+        }
+        stats
+    }
+
+    /// Handles one request line from a connection writing to `out`.
+    pub fn handle_line(&self, line: &str, out: &SharedWriter) -> LineOutcome {
+        let request = match protocol::parse_request(line) {
+            Ok(request) => request,
+            Err((id, error)) => {
+                write_event(out, &protocol::error_event(&id, &error));
+                return LineOutcome::Continue;
+            }
+        };
+        match request {
+            Request::Ping { id } => write_event(out, &protocol::pong_event(&id)),
+            Request::Stats { id } => {
+                write_event(out, &protocol::stats_event(&id, self.stats_json()));
+            }
+            Request::Shutdown { id } => {
+                write_event(out, &protocol::shutting_down_event(&id));
+                self.begin_shutdown();
+                return LineOutcome::Shutdown;
+            }
+            Request::Submit(request) => self.admit(request, out),
+        }
+        LineOutcome::Continue
+    }
+
+    /// Admission control: queue the job or refuse with `busy` /
+    /// `shutting_down`, never blocking the reader.
+    fn admit(&self, request: Box<SubmitRequest>, out: &SharedWriter) {
+        use protocol::ErrorKind;
+        let draining = WireError::new(ErrorKind::ShuttingDown, "daemon is draining");
+        if self.is_shutting_down() {
+            write_event(out, &protocol::error_event(&request.id, &draining));
+            return;
+        }
+        let job = Job {
+            request,
+            out: Arc::clone(out),
+        };
+        match self.queue.try_push(job) {
+            Ok(()) => {}
+            Err((job, PushError::Full)) => {
+                self.service.count_rejected();
+                let busy = WireError::new(
+                    ErrorKind::Busy,
+                    format!("admission queue full (capacity {})", self.queue.capacity()),
+                );
+                write_event(out, &protocol::error_event(&job.request.id, &busy));
+            }
+            Err((job, PushError::Closed)) => {
+                write_event(out, &protocol::error_event(&job.request.id, &draining));
+            }
+        }
+    }
+}
+
+/// Runs the daemon over stdin/stdout until EOF or a `shutdown`
+/// request, then drains admitted work and joins the workers.
+pub fn serve_stdio(service: Arc<Service>) -> io::Result<()> {
+    let server = Arc::new(Server::new(service));
+    let workers = server.start_workers();
+    let out: SharedWriter = Arc::new(Mutex::new(Box::new(io::stdout())));
+    for line in io::stdin().lock().lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if server.handle_line(&line, &out) == LineOutcome::Shutdown {
+            break;
+        }
+    }
+    server.begin_shutdown();
+    for worker in workers {
+        let _ = worker.join();
+    }
+    Ok(())
+}
+
+/// Runs the daemon over `listener`, one reader thread per connection,
+/// until some connection sends `shutdown`; then drains admitted work
+/// and joins the workers. Responses to a submission always go to the
+/// connection that made it.
+pub fn serve_tcp(service: Arc<Service>, listener: TcpListener) -> io::Result<()> {
+    let server = Arc::new(Server::new(service));
+    let workers = server.start_workers();
+    let local = listener.local_addr()?;
+    for stream in listener.incoming() {
+        if server.is_shutting_down() {
+            break;
+        }
+        let Ok(stream) = stream else {
+            continue;
+        };
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || {
+            let Ok(write_half) = stream.try_clone() else {
+                return;
+            };
+            let out: SharedWriter = Arc::new(Mutex::new(Box::new(write_half)));
+            let reader = BufReader::new(stream);
+            for line in reader.lines() {
+                let Ok(line) = line else {
+                    break;
+                };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                if server.handle_line(&line, &out) == LineOutcome::Shutdown {
+                    // Unblock the accept loop so it can observe shutdown.
+                    let _ = TcpStream::connect(local);
+                    break;
+                }
+            }
+        });
+    }
+    server.begin_shutdown();
+    for worker in workers {
+        let _ = worker.join();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServeConfig;
+
+    fn capture() -> (SharedWriter, Arc<Mutex<Vec<u8>>>) {
+        #[derive(Clone)]
+        struct Sink(Arc<Mutex<Vec<u8>>>);
+        impl Write for Sink {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let buffer = Arc::new(Mutex::new(Vec::new()));
+        let sink = Sink(Arc::clone(&buffer));
+        (Arc::new(Mutex::new(Box::new(sink))), buffer)
+    }
+
+    fn lines(buffer: &Arc<Mutex<Vec<u8>>>) -> Vec<Value> {
+        String::from_utf8(buffer.lock().unwrap().clone())
+            .unwrap()
+            .lines()
+            .map(|line| serde_json::from_str(line).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn control_ops_answer_inline() {
+        let server = Arc::new(Server::new(Arc::new(Service::new(ServeConfig::default()))));
+        let (out, buffer) = capture();
+        assert_eq!(
+            server.handle_line(r#"{"op":"ping","id":"p"}"#, &out),
+            LineOutcome::Continue
+        );
+        assert_eq!(
+            server.handle_line(r#"{"op":"stats","id":"s"}"#, &out),
+            LineOutcome::Continue
+        );
+        assert_eq!(
+            server.handle_line(r#"{"op":"shutdown"}"#, &out),
+            LineOutcome::Shutdown
+        );
+        let events = lines(&buffer);
+        assert_eq!(events[0]["event"], Value::from("pong"));
+        assert_eq!(events[1]["event"], Value::from("stats"));
+        assert_eq!(events[1]["stats"]["queue"]["capacity"], Value::from(64));
+        assert_eq!(events[2]["event"], Value::from("shutting_down"));
+        assert!(server.is_shutting_down());
+    }
+
+    #[test]
+    fn full_queue_refuses_busy_and_counts_it() {
+        let config = ServeConfig {
+            queue_capacity: 1,
+            ..ServeConfig::default()
+        };
+        // No workers started: admitted jobs stay queued, so the second
+        // submission must bounce off the full queue.
+        let server = Arc::new(Server::new(Arc::new(Service::new(config))));
+        let (out, buffer) = capture();
+        let submit = r#"{"op":"submit","id":"a","benchmark":"logic_gate_or"}"#;
+        server.handle_line(submit, &out);
+        server.handle_line(submit, &out);
+        let events = lines(&buffer);
+        assert_eq!(events.len(), 1, "only the refusal responds inline");
+        assert_eq!(events[0]["error"]["kind"], Value::from("busy"));
+        assert_eq!(
+            server.stats_json()["requests"]["rejected"],
+            Value::from(1u64)
+        );
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_refused() {
+        let server = Arc::new(Server::new(Arc::new(Service::new(ServeConfig::default()))));
+        server.begin_shutdown();
+        let (out, buffer) = capture();
+        server.handle_line(
+            r#"{"op":"submit","id":"late","benchmark":"logic_gate_or"}"#,
+            &out,
+        );
+        let events = lines(&buffer);
+        assert_eq!(events[0]["error"]["kind"], Value::from("shutting_down"));
+    }
+}

@@ -1,0 +1,512 @@
+//! The transport-agnostic service core: resolve → hash → compile →
+//! stages, emitting wire events.
+//!
+//! [`Service::process_submit`] is the single code path every daemon
+//! worker runs, and it executes stages through exactly the same
+//! [`parchmint_harness::engine`] the `suite-run` sweep uses — compile
+//! once behind an `Arc`, panic isolation, severity→status mapping, and
+//! the seed-bumped retry schedule all live there, so a design served
+//! by the daemon and the same design swept by the harness end in
+//! byte-identical cells.
+//!
+//! Caching rule: a submission is *cacheable* only when it runs
+//! unconditioned — no deadline, no fuel, no armed fault plan. Bounded
+//! or fault-injected runs execute fresh every time and their results
+//! are never stored, so a degraded partial result can never be
+//! replayed to a clean request.
+
+use crate::cache::{ArtifactCache, CacheEntry};
+use crate::hash;
+use crate::protocol::{
+    cell_event, done_event, error_event, DesignSource, ErrorKind, SubmitRequest, WireError,
+};
+use parchmint::Device;
+use parchmint_harness::{engine, stage_matches, standard_stages, ExecPolicy, Stage};
+use parchmint_obs::Collector;
+use parchmint_resilience::FaultPlan;
+use serde_json::{Map, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Daemon-side execution defaults and limits.
+#[derive(Debug, Clone, Default)]
+pub struct ServeConfig {
+    /// Worker threads; `0` means one per available core.
+    pub workers: usize,
+    /// Admission-queue capacity; `0` means [`DEFAULT_QUEUE_CAPACITY`].
+    pub queue_capacity: usize,
+    /// Default per-attempt deadline applied when a submission names none.
+    pub deadline: Option<Duration>,
+    /// Default per-attempt fuel applied when a submission names none.
+    pub fuel: Option<u64>,
+    /// Fault plan armed for matching designs (testing the daemon's own
+    /// resilience); requests touched by it bypass the cache.
+    pub faults: Option<FaultPlan>,
+}
+
+/// Queue capacity when [`ServeConfig::queue_capacity`] is `0`.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
+
+impl ServeConfig {
+    /// The effective worker count.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// The effective admission-queue capacity.
+    pub fn effective_queue_capacity(&self) -> usize {
+        if self.queue_capacity > 0 {
+            self.queue_capacity
+        } else {
+            DEFAULT_QUEUE_CAPACITY
+        }
+    }
+}
+
+/// The shared service state: stage matrix, artifact cache, collector,
+/// and request counters. Transports ([`crate::server`]) own sockets
+/// and threads; the service owns semantics.
+pub struct Service {
+    stages: Vec<Stage>,
+    config: ServeConfig,
+    cache: ArtifactCache,
+    collector: Arc<Collector>,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    in_flight: AtomicU64,
+    peak_in_flight: AtomicU64,
+}
+
+impl Service {
+    /// A service running the standard stage matrix.
+    pub fn new(config: ServeConfig) -> Service {
+        Service::with_stages(config, standard_stages())
+    }
+
+    /// A service running a caller-supplied stage matrix (tests use this
+    /// to pin engine parity with synthetic stages).
+    pub fn with_stages(config: ServeConfig, stages: Vec<Stage>) -> Service {
+        Service {
+            stages,
+            config,
+            cache: ArtifactCache::new(),
+            collector: Arc::new(Collector::new()),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            peak_in_flight: AtomicU64::new(0),
+        }
+    }
+
+    /// The daemon's execution defaults.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The artifact cache (exposed for stats and tests).
+    pub fn cache(&self) -> &ArtifactCache {
+        &self.cache
+    }
+
+    /// The collector workers install while processing jobs.
+    pub fn collector(&self) -> Arc<Collector> {
+        Arc::clone(&self.collector)
+    }
+
+    /// Counts a submission refused at admission (queue full/closed).
+    pub fn count_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Resolves a design source to a device plus the canonical document
+    /// the cache key is derived from.
+    fn resolve(&self, source: &DesignSource) -> Result<(Device, Value), WireError> {
+        let invalid = |message: String| WireError::new(ErrorKind::InvalidDesign, message);
+        match source {
+            DesignSource::Json(value) => {
+                let device = Device::from_json(&hash::canonical_string(value))
+                    .map_err(|e| invalid(format!("invalid ParchMint design: {e}")))?;
+                Ok((device, value.clone()))
+            }
+            DesignSource::Mint(text) => {
+                let file = parchmint_mint::parse(text)
+                    .map_err(|e| invalid(format!("invalid MINT: {e}")))?;
+                let device = parchmint_mint::mint_to_device(&file)
+                    .map_err(|e| invalid(format!("MINT conversion failed: {e}")))?;
+                let doc = device_document(&device)?;
+                Ok((device, doc))
+            }
+            DesignSource::Benchmark(name) => {
+                let benchmark = parchmint_suite::by_name(name)
+                    .ok_or_else(|| invalid(format!("unknown benchmark `{name}`")))?;
+                let device = benchmark.device();
+                let doc = device_document(&device)?;
+                Ok((device, doc))
+            }
+        }
+    }
+
+    /// The execution policy for one submission: request-level bounds win,
+    /// daemon defaults fill the gaps.
+    fn policy_for(&self, request: &SubmitRequest) -> ExecPolicy {
+        let deadline = request
+            .deadline_ms
+            .map(Duration::from_millis)
+            .or(self.config.deadline);
+        let fuel = request.fuel.or(self.config.fuel);
+        ExecPolicy::new().with_deadline(deadline).with_fuel(fuel)
+    }
+
+    /// The slice of the daemon's fault plan that applies to `design`.
+    fn faults_for(&self, design: &str) -> Option<Arc<FaultPlan>> {
+        let plan = self.config.faults.as_ref()?.for_benchmark(design);
+        (!plan.is_empty()).then(|| Arc::new(plan))
+    }
+
+    /// Selects the stages a submission asked for, in matrix order, plus
+    /// any selectors that matched nothing.
+    fn select_stages(&self, selectors: Option<&[String]>) -> (Vec<&Stage>, Vec<String>) {
+        let Some(selectors) = selectors else {
+            return (self.stages.iter().collect(), Vec::new());
+        };
+        let selected: Vec<&Stage> = self
+            .stages
+            .iter()
+            .filter(|stage| selectors.iter().any(|s| stage_matches(s, &stage.name)))
+            .collect();
+        let unknown = selectors
+            .iter()
+            .filter(|s| {
+                !self
+                    .stages
+                    .iter()
+                    .any(|stage| stage_matches(s, &stage.name))
+            })
+            .cloned()
+            .collect();
+        (selected, unknown)
+    }
+
+    /// Runs one submission to completion, streaming `cell` events and a
+    /// final `done` (or a single `error`) through `emit`.
+    ///
+    /// This is the daemon's entire request path; transports only parse
+    /// lines and queue jobs.
+    pub fn process_submit(&self, request: &SubmitRequest, emit: &mut dyn FnMut(Value)) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        let in_flight = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_in_flight.fetch_max(in_flight, Ordering::Relaxed);
+        self.run_submission(request, emit);
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn run_submission(&self, request: &SubmitRequest, emit: &mut dyn FnMut(Value)) {
+        let (device, doc) = match self.resolve(&request.source) {
+            Ok(resolved) => resolved,
+            Err(error) => {
+                emit(error_event(&request.id, &error));
+                return;
+            }
+        };
+        let key = hash::content_hash(&doc);
+        let design = device.name.clone();
+        let policy = self.policy_for(request);
+        let faults = self.faults_for(&design);
+        let cacheable = !policy.is_bounded() && faults.is_none();
+        let (selected, unknown) = self.select_stages(request.stages.as_deref());
+
+        let mut cells = 0usize;
+        for selector in &unknown {
+            cells += 1;
+            emit(cell_event(
+                &request.id,
+                &design,
+                selector,
+                "failed",
+                Some(&format!("unknown stage `{selector}`")),
+                &Default::default(),
+                0.0,
+                false,
+            ));
+        }
+
+        // Compile: shared from the cache when possible, fresh otherwise.
+        let (entry, compile_hit, compile_wall) = self.obtain_compile(key, cacheable, device);
+        let entry = match entry {
+            Ok(entry) => entry,
+            Err(panic) => {
+                // Generation/compilation panicked: every selected stage is
+                // a failed cell, exactly as the harness reports it.
+                for stage in &selected {
+                    cells += 1;
+                    emit(cell_event(
+                        &request.id,
+                        &design,
+                        &stage.name,
+                        "failed",
+                        Some(&format!("compile panicked: {panic}")),
+                        &Default::default(),
+                        0.0,
+                        false,
+                    ));
+                }
+                emit(done_event(
+                    &request.id,
+                    &design,
+                    &hash::hex(key),
+                    false,
+                    None,
+                    cells,
+                ));
+                return;
+            }
+        };
+
+        for stage in &selected {
+            let started = Instant::now();
+            let (exec, cached) = match cacheable.then(|| entry.stage(&stage.name)).flatten() {
+                Some(replayed) => (replayed, true),
+                None => {
+                    let exec = engine::execute_stage(
+                        stage,
+                        &entry.compiled,
+                        &policy,
+                        faults.as_ref(),
+                        false,
+                    );
+                    if cacheable {
+                        entry.store_stage(&stage.name, &exec);
+                    }
+                    (exec, false)
+                }
+            };
+            if cacheable {
+                self.cache.count_stage(cached);
+            }
+            parchmint_obs::count(
+                if cached {
+                    "serve.stage.replayed"
+                } else {
+                    "serve.stage.executed"
+                },
+                1,
+            );
+            cells += 1;
+            emit(cell_event(
+                &request.id,
+                &design,
+                &stage.name,
+                exec.status.as_str(),
+                exec.detail.as_deref(),
+                &exec.metrics,
+                started.elapsed().as_secs_f64() * 1e3,
+                cached,
+            ));
+        }
+
+        emit(done_event(
+            &request.id,
+            &design,
+            &hash::hex(key),
+            compile_hit,
+            compile_wall.map(|wall| wall.as_secs_f64() * 1e3),
+            cells,
+        ));
+    }
+
+    /// Gets the compile artifact for `key`: from the cache (hit), by
+    /// compiling and inserting (cacheable miss), or by compiling without
+    /// touching the cache (unconditioned runs only may share artifacts).
+    ///
+    /// Returns `(entry, was_cache_hit, compile_wall)`; `compile_wall` is
+    /// `None` on hits (nothing was compiled by *this* request).
+    #[allow(clippy::type_complexity)]
+    fn obtain_compile(
+        &self,
+        key: u64,
+        cacheable: bool,
+        device: Device,
+    ) -> (Result<Arc<CacheEntry>, String>, bool, Option<Duration>) {
+        if cacheable {
+            if let Some(entry) = self.cache.lookup(key) {
+                parchmint_obs::count("serve.compile.replayed", 1);
+                return (Ok(entry), true, None);
+            }
+        }
+        let design = device.name.clone();
+        let compile =
+            engine::compile_device(move || device, self.faults_for(&design).as_ref(), false);
+        parchmint_obs::count("serve.compile.executed", 1);
+        match compile.compiled {
+            Ok(compiled) => {
+                let mut entry = Arc::new(CacheEntry::new(compiled, compile.wall));
+                if cacheable {
+                    entry = self.cache.insert(key, entry);
+                }
+                (Ok(entry), false, Some(compile.wall))
+            }
+            Err(panic) => (Err(panic), false, Some(compile.wall)),
+        }
+    }
+
+    /// The daemon's counter snapshot: request counters, cache layer, and
+    /// the aggregated observability counters workers recorded.
+    pub fn stats_json(&self) -> Value {
+        let mut object = Map::new();
+        object.insert(
+            "schema".to_string(),
+            Value::from("parchmint-serve-stats/v1"),
+        );
+        let mut requests = Map::new();
+        requests.insert(
+            "submitted".to_string(),
+            Value::from(self.submitted.load(Ordering::Relaxed)),
+        );
+        requests.insert(
+            "completed".to_string(),
+            Value::from(self.completed.load(Ordering::Relaxed)),
+        );
+        requests.insert(
+            "rejected".to_string(),
+            Value::from(self.rejected.load(Ordering::Relaxed)),
+        );
+        requests.insert(
+            "in_flight".to_string(),
+            Value::from(self.in_flight.load(Ordering::Relaxed)),
+        );
+        requests.insert(
+            "peak_in_flight".to_string(),
+            Value::from(self.peak_in_flight.load(Ordering::Relaxed)),
+        );
+        object.insert("requests".to_string(), Value::Object(requests));
+        object.insert("cache".to_string(), self.cache.stats_json());
+        let summary = self.collector.summary();
+        let mut counters = Map::new();
+        for (name, total) in &summary.counters {
+            counters.insert((*name).to_string(), Value::from(*total));
+        }
+        object.insert("counters".to_string(), Value::Object(counters));
+        Value::Object(object)
+    }
+}
+
+/// Re-parses a device's own serialization into the canonical document
+/// hashed for cache keying, so MINT and registry submissions share
+/// cache entries with the equivalent inline-JSON submission.
+fn device_document(device: &Device) -> Result<Value, WireError> {
+    let json = device.to_json().map_err(|e| {
+        WireError::new(
+            ErrorKind::InvalidDesign,
+            format!("unserializable design: {e}"),
+        )
+    })?;
+    serde_json::from_str(&json).map_err(|e| {
+        WireError::new(
+            ErrorKind::InvalidDesign,
+            format!("unserializable design: {e}"),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn submit(benchmark: &str) -> SubmitRequest {
+        SubmitRequest {
+            id: Value::from(1),
+            source: DesignSource::Benchmark(benchmark.to_string()),
+            stages: Some(vec!["validate".to_string()]),
+            deadline_ms: None,
+            fuel: None,
+        }
+    }
+
+    fn events_of(service: &Service, request: &SubmitRequest) -> Vec<Value> {
+        let mut events = Vec::new();
+        service.process_submit(request, &mut |event| events.push(event));
+        events
+    }
+
+    #[test]
+    fn a_benchmark_submission_streams_cells_then_done() {
+        let service = Service::new(ServeConfig::default());
+        let events = events_of(&service, &submit("logic_gate_or"));
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0]["event"], Value::from("cell"));
+        assert_eq!(events[0]["cell"]["stage"], Value::from("validate"));
+        assert_eq!(events[0]["cell"]["status"], Value::from("ok"));
+        assert_eq!(events[0]["cached"], Value::from(false));
+        assert_eq!(events[1]["event"], Value::from("done"));
+        assert_eq!(events[1]["design"], Value::from("logic_gate_or"));
+    }
+
+    #[test]
+    fn resubmission_replays_from_the_cache() {
+        let service = Service::new(ServeConfig::default());
+        let first = events_of(&service, &submit("logic_gate_or"));
+        let second = events_of(&service, &submit("logic_gate_or"));
+        assert_eq!(second[0]["cached"], Value::from(true));
+        assert_eq!(second[1]["cached"], Value::from(true));
+        assert_eq!(
+            first[0]["cell"], second[0]["cell"],
+            "replayed cell is identical"
+        );
+        let (compile_hits, _, stage_hits, _) = service.cache().counters();
+        assert_eq!((compile_hits, stage_hits), (1, 1));
+    }
+
+    #[test]
+    fn bounded_requests_bypass_the_cache() {
+        let service = Service::new(ServeConfig::default());
+        let mut bounded = submit("logic_gate_or");
+        bounded.fuel = Some(u64::MAX);
+        let first = events_of(&service, &bounded);
+        let second = events_of(&service, &bounded);
+        assert_eq!(first[0]["cached"], Value::from(false));
+        assert_eq!(second[0]["cached"], Value::from(false));
+        assert_eq!(service.cache().len(), 0);
+        let (hits, misses, _, _) = service.cache().counters();
+        assert_eq!((hits, misses), (0, 0), "bounded runs never touch the cache");
+    }
+
+    #[test]
+    fn unknown_designs_error_and_unknown_stages_fail_cells() {
+        let service = Service::new(ServeConfig::default());
+        let mut missing = submit("no_such_benchmark");
+        missing.stages = None;
+        let events = events_of(&service, &missing);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0]["event"], Value::from("error"));
+        assert_eq!(events[0]["error"]["kind"], Value::from("invalid_design"));
+
+        let mut odd = submit("logic_gate_or");
+        odd.stages = Some(vec!["validate".to_string(), "no_such_stage".to_string()]);
+        let events = events_of(&service, &odd);
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0]["cell"]["status"], Value::from("failed"));
+        assert_eq!(events[0]["cell"]["stage"], Value::from("no_such_stage"));
+    }
+
+    #[test]
+    fn stats_snapshot_counts_requests_and_cache_layers() {
+        let service = Service::new(ServeConfig::default());
+        events_of(&service, &submit("logic_gate_or"));
+        events_of(&service, &submit("logic_gate_or"));
+        let stats = service.stats_json();
+        assert_eq!(stats["requests"]["submitted"], Value::from(2u64));
+        assert_eq!(stats["requests"]["completed"], Value::from(2u64));
+        assert_eq!(stats["cache"]["entries"], Value::from(1));
+        assert_eq!(stats["cache"]["compile_hits"], Value::from(1u64));
+        assert_eq!(stats["cache"]["stage_hits"], Value::from(1u64));
+    }
+}

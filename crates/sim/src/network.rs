@@ -109,6 +109,7 @@ impl FlowNetwork {
     /// Builds the network from a raw device, all valves at rest.
     ///
     /// Compiles a throwaway [`CompiledDevice`] on every call.
+    #[doc(hidden)]
     #[deprecated(
         since = "0.1.0",
         note = "compile once (`CompiledDevice::from_ref(&device)`) and call \
@@ -122,6 +123,7 @@ impl FlowNetwork {
     /// Builds the valve-aware network from a raw device.
     ///
     /// Compiles a throwaway [`CompiledDevice`] on every call.
+    #[doc(hidden)]
     #[deprecated(
         since = "0.1.0",
         note = "compile once (`CompiledDevice::from_ref(&device)`) and call \

@@ -87,6 +87,7 @@ impl DeviceStats {
     /// Computes all statistics for a raw `device`.
     ///
     /// Compiles a throwaway [`CompiledDevice`] on every call.
+    #[doc(hidden)]
     #[deprecated(
         since = "0.1.0",
         note = "compile once (`CompiledDevice::from_ref(&device)`) and call \

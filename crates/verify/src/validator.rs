@@ -125,6 +125,7 @@ impl Validator {
     /// Runs every rule group over `device`.
     ///
     /// Compiles a throwaway [`CompiledDevice`] on every call.
+    #[doc(hidden)]
     #[deprecated(
         since = "0.1.0",
         note = "compile once and call `Validator::validate(&compiled)`; \
@@ -142,6 +143,7 @@ pub fn validate(compiled: &CompiledDevice) -> Report {
 }
 
 /// Validates with default rules, compiling a throwaway view internally.
+#[doc(hidden)]
 #[deprecated(
     since = "0.1.0",
     note = "compile once (`CompiledDevice::from_ref(&device)`) and call \

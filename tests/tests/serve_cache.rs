@@ -1,0 +1,162 @@
+//! The daemon's artifact cache: identical designs are served from
+//! cache with byte-identical stage results, and the content hash is
+//! insensitive to whitespace and member order by construction.
+
+use parchmint_serve::hash::{content_hash, hash_json_str, hex};
+use parchmint_serve::protocol::{DesignSource, SubmitRequest};
+use parchmint_serve::{ServeConfig, Service};
+use proptest::prelude::*;
+use serde_json::Value;
+
+fn submit(service: &Service, source: DesignSource) -> Vec<Value> {
+    let request = SubmitRequest {
+        id: Value::from("t"),
+        source,
+        stages: None,
+        deadline_ms: None,
+        fuel: None,
+    };
+    let mut events = Vec::new();
+    service.process_submit(&request, &mut |event| events.push(event));
+    events
+}
+
+/// Strips the wall-clock fields and the cache provenance flag, leaving
+/// exactly the payload that must replay byte-identically.
+fn stripped(events: &[Value]) -> Vec<Value> {
+    events
+        .iter()
+        .map(|event| {
+            let mut event = event.clone();
+            if let Some(object) = event.as_object_mut() {
+                object.remove("wall_ms");
+                object.remove("compile_ms");
+                object.remove("cached");
+            }
+            event
+        })
+        .collect()
+}
+
+#[test]
+fn resubmitting_the_same_design_replays_every_stage_from_cache() {
+    let service = Service::new(ServeConfig::default());
+    let design: Value = serde_json::from_str(
+        &parchmint_suite::by_name("logic_gate_or")
+            .expect("registered benchmark")
+            .device()
+            .to_json()
+            .expect("serializes"),
+    )
+    .expect("parses");
+
+    let first = submit(&service, DesignSource::Json(design.clone()));
+    let second = submit(&service, DesignSource::Json(design));
+    assert_eq!(first.len(), 11, "10 stage cells + done");
+
+    // Every event of the second run is flagged cached, and — with the
+    // wall-clock stripped — is byte-identical to the first run's.
+    for event in &second {
+        assert_eq!(event["cached"], Value::from(true), "{event}");
+    }
+    assert_eq!(
+        serde_json::to_string(&stripped(&first)).unwrap(),
+        serde_json::to_string(&stripped(&second)).unwrap(),
+        "replayed results must be byte-identical"
+    );
+
+    let (compile_hits, compile_misses, stage_hits, stage_misses) = service.cache().counters();
+    assert_eq!((compile_hits, compile_misses), (1, 1));
+    assert_eq!((stage_hits, stage_misses), (10, 10));
+    assert_eq!(service.cache().len(), 1);
+}
+
+#[test]
+fn benchmark_mint_and_json_submissions_share_one_cache_entry() {
+    // The same design arriving by registry name, as MINT text, and as
+    // inline JSON must hash to the same key: the canonical document is
+    // derived from the device, not from the transport encoding.
+    let service = Service::new(ServeConfig::default());
+    let device = parchmint_suite::by_name("logic_gate_or")
+        .expect("registered benchmark")
+        .device();
+    let json: Value = serde_json::from_str(&device.to_json().expect("serializes")).unwrap();
+
+    submit(&service, DesignSource::Benchmark("logic_gate_or".into()));
+    let second = submit(&service, DesignSource::Json(json));
+    assert_eq!(second[0]["cached"], Value::from(true));
+    assert_eq!(service.cache().len(), 1, "one entry, two encodings");
+}
+
+#[test]
+fn pretty_and_compact_serializations_hash_identically() {
+    let device = parchmint_suite::by_name("rotary_pump_mixer")
+        .expect("registered benchmark")
+        .device();
+    let compact = device.to_json().expect("serializes");
+    let pretty = device.to_json_pretty().expect("serializes");
+    assert_ne!(compact, pretty);
+    assert_eq!(
+        hash_json_str(&compact).unwrap(),
+        hash_json_str(&pretty).unwrap()
+    );
+}
+
+/// Renders `pairs` as a JSON object, optionally reversed and with
+/// noisy-but-legal whitespace.
+fn render(pairs: &[(&String, &i64)], reversed: bool, noisy: bool) -> String {
+    let mut ordered: Vec<_> = pairs.to_vec();
+    if reversed {
+        ordered.reverse();
+    }
+    let sep = if noisy { " ,\n\t" } else { "," };
+    let colon = if noisy { " :  " } else { ":" };
+    let body: Vec<String> = ordered
+        .iter()
+        .map(|(k, v)| format!("\"{k}\"{colon}{v}"))
+        .collect();
+    if noisy {
+        format!("{{\n {} }}", body.join(sep))
+    } else {
+        format!("{{{}}}", body.join(sep))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pinned over the vendored serde_json: parsing erases whitespace
+    /// and the BTreeMap-backed object erases member order, so the
+    /// canonical hash sees neither.
+    #[test]
+    fn content_hash_ignores_whitespace_and_member_order(
+        map in proptest::collection::btree_map("[a-z]{1,8}", -1000i64..1000, 1..8)
+    ) {
+        let pairs: Vec<_> = map.iter().collect();
+        let forward = render(&pairs, false, false);
+        let backward_noisy = render(&pairs, true, true);
+        prop_assert_eq!(
+            hash_json_str(&forward).unwrap(),
+            hash_json_str(&backward_noisy).unwrap()
+        );
+    }
+
+    /// Changing any one value changes the hash (FNV is not collision-
+    /// proof, but it must at least separate these).
+    #[test]
+    fn content_hash_separates_single_value_edits(
+        map in proptest::collection::btree_map("[a-z]{1,8}", -1000i64..1000, 1..8)
+    ) {
+        let base: Value = serde_json::from_str(
+            &render(&map.iter().collect::<Vec<_>>(), false, false)
+        ).unwrap();
+        let key = map.keys().next().unwrap().clone();
+        let mut edited = map.clone();
+        edited.insert(key, 5000);
+        let edited: Value = serde_json::from_str(
+            &render(&edited.iter().collect::<Vec<_>>(), false, false)
+        ).unwrap();
+        prop_assert_ne!(content_hash(&base), content_hash(&edited));
+        prop_assert_eq!(hex(content_hash(&base)).len(), 16);
+    }
+}
