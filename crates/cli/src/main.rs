@@ -86,7 +86,8 @@ USAGE:
   parchmint quality-baseline <REPORT.json> [-o FILE]
   parchmint quality-check <BASELINE.json> <REPORT.json>
   parchmint report-diff <BASELINE.json> <CURRENT.json>
-  parchmint serve [--tcp HOST:PORT] [--workers N] [--queue N]
+  parchmint serve [--tcp HOST:PORT] [--http HOST:PORT] [--workers N] [--queue N]
+                  [--cache-bytes N] [--cache-dir PATH]
                   [--deadline-ms N] [--fuel N] [--faults PLAN.json]
   parchmint submit --addr HOST:PORT [BENCH...] [--stages S1,S2] [--window N]
                    [-o FILE] [--strip-timings] [--stats-out FILE] [--shutdown]
@@ -696,62 +697,68 @@ fn parse_fault_plan(command: &str, path: &str) -> Result<parchmint_resilience::F
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    use parchmint_serve::{serve_stdio, serve_tcp, ServeConfig, Service};
+    use parchmint_serve::ServeConfig;
 
     checked_positionals(
         "serve",
         args,
         &[
             "--tcp",
+            "--http",
             "--workers",
             "--queue",
+            "--cache-bytes",
+            "--cache-dir",
             "--deadline-ms",
             "--fuel",
             "--faults",
         ],
         &[],
     )?;
-    let mut config = ServeConfig::default();
+    let mut builder = ServeConfig::builder();
     if let Some(text) = option_value(args, "--workers") {
-        config.workers = text
-            .parse()
-            .map_err(|_| format!("serve: bad worker count `{text}`"))?;
+        builder = builder.workers(
+            text.parse()
+                .map_err(|_| format!("serve: bad worker count `{text}`"))?,
+        );
     }
     if let Some(text) = option_value(args, "--queue") {
-        config.queue_capacity = text
-            .parse()
-            .map_err(|_| format!("serve: bad queue capacity `{text}`"))?;
+        builder = builder.queue_capacity(
+            text.parse()
+                .map_err(|_| format!("serve: bad queue capacity `{text}`"))?,
+        );
+    }
+    if let Some(text) = option_value(args, "--cache-bytes") {
+        builder = builder.cache_bytes(
+            text.parse()
+                .map_err(|_| format!("serve: bad cache byte budget `{text}`"))?,
+        );
+    }
+    if let Some(path) = option_value(args, "--cache-dir") {
+        builder = builder.cache_dir(path);
     }
     if let Some(text) = option_value(args, "--deadline-ms") {
         let ms: u64 = text
             .parse()
             .map_err(|_| format!("serve: bad deadline `{text}` (want milliseconds)"))?;
-        config.deadline = Some(std::time::Duration::from_millis(ms));
+        builder = builder.deadline(Some(std::time::Duration::from_millis(ms)));
     }
     if let Some(text) = option_value(args, "--fuel") {
-        config.fuel = Some(
+        builder = builder.fuel(Some(
             text.parse()
                 .map_err(|_| format!("serve: bad fuel budget `{text}`"))?,
-        );
+        ));
     }
     if let Some(path) = option_value(args, "--faults") {
-        config.faults = Some(parse_fault_plan("serve", path)?);
+        builder = builder.faults(Some(parse_fault_plan("serve", path)?));
     }
-
-    let service = std::sync::Arc::new(Service::new(config));
-    match option_value(args, "--tcp") {
-        Some(addr) => {
-            let listener = std::net::TcpListener::bind(addr)
-                .map_err(|e| format!("serve: cannot bind `{addr}`: {e}"))?;
-            let local = listener.local_addr().map_err(|e| format!("serve: {e}"))?;
-            // Announce the bound address (stdout is line-buffered, so this
-            // is visible immediately even when piped) — with `--tcp :0`
-            // style ephemeral ports, clients read it from here.
-            println!("listening on {local}");
-            serve_tcp(service, listener).map_err(|e| format!("serve: {e}"))
-        }
-        None => serve_stdio(service).map_err(|e| format!("serve: {e}")),
+    if let Some(addr) = option_value(args, "--tcp") {
+        builder = builder.tcp(addr);
     }
+    if let Some(addr) = option_value(args, "--http") {
+        builder = builder.http(addr);
+    }
+    parchmint_serve::run(builder.build()).map_err(|e| format!("serve: {e}"))
 }
 
 fn cmd_submit(args: &[String]) -> Result<(), String> {

@@ -25,9 +25,5 @@
 pub mod plan;
 pub mod protocol;
 
-#[allow(deprecated)]
-pub use plan::plan_flow_device;
 pub use plan::{plan_flow, Actuation, ControlError, FlowPlan, ValveState};
-#[allow(deprecated)]
-pub use protocol::schedule_device;
 pub use protocol::{schedule, ProtocolError, Schedule, ScheduledStep, Step};

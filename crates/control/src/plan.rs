@@ -1,7 +1,7 @@
 //! Flow planning: which valves must open or close to drive fluid from one
 //! component to another.
 
-use parchmint::{CompiledDevice, ComponentId, ConnectionId, Device, LayerType, ValveType};
+use parchmint::{CompiledDevice, ComponentId, ConnectionId, LayerType, ValveType};
 use parchmint_graph::{shortest_path, Netlist};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -95,19 +95,6 @@ impl FlowPlan {
             .collect::<Vec<_>>();
         parchmint_obs::count("control.plan.actuations", actuations.len() as u64);
         actuations
-    }
-
-    /// [`FlowPlan::actuations`] over a raw device.
-    ///
-    /// Compiles a throwaway [`CompiledDevice`] on every call.
-    #[doc(hidden)]
-    #[deprecated(
-        since = "0.1.0",
-        note = "compile once (`CompiledDevice::from_ref(&device)`) and call \
-                `plan.actuations(&compiled)`; this wrapper recompiles on every call"
-    )]
-    pub fn actuations_device(&self, device: &Device) -> Vec<Actuation> {
-        self.actuations(&CompiledDevice::from_ref(device))
     }
 }
 
@@ -280,23 +267,6 @@ pub fn plan_flow(
         path,
         valve_states,
     })
-}
-
-/// [`plan_flow`] over a raw device.
-///
-/// Compiles a throwaway [`CompiledDevice`] on every call.
-#[doc(hidden)]
-#[deprecated(
-    since = "0.1.0",
-    note = "compile once (`CompiledDevice::from_ref(&device)`) and call \
-            `plan_flow(&compiled, from, to)`; this wrapper recompiles on every call"
-)]
-pub fn plan_flow_device(
-    device: &Device,
-    from: &ComponentId,
-    to: &ComponentId,
-) -> Result<FlowPlan, ControlError> {
-    plan_flow(&CompiledDevice::from_ref(device), from, to)
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 //! pressure controller actually consumes.
 
 use crate::plan::{plan_flow, Actuation, ControlError, FlowPlan};
-use parchmint::{CompiledDevice, ComponentId, Device};
+use parchmint::{CompiledDevice, ComponentId};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -205,19 +205,6 @@ pub fn schedule(
         );
     }
     Ok(schedule)
-}
-
-/// [`schedule`] over a raw device.
-///
-/// Compiles a throwaway [`CompiledDevice`] once for the whole protocol.
-#[doc(hidden)]
-#[deprecated(
-    since = "0.1.0",
-    note = "compile once (`CompiledDevice::from_ref(&device)`) and call \
-            `schedule(&compiled, steps)`"
-)]
-pub fn schedule_device(device: &Device, steps: &[Step]) -> Result<Schedule, ProtocolError> {
-    schedule(&CompiledDevice::from_ref(device), steps)
 }
 
 #[cfg(test)]

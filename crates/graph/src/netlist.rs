@@ -6,7 +6,7 @@
 //! analyses can map graph structure back to the device.
 
 use crate::graph::{Graph, NodeIx};
-use parchmint::{CompIx, CompiledDevice, ComponentId, ConnectionId, Device, LayerType};
+use parchmint::{CompIx, CompiledDevice, ComponentId, ConnectionId, LayerType};
 use std::collections::HashMap;
 
 /// The component-connectivity graph of a device.
@@ -33,33 +33,6 @@ impl Netlist {
     /// cross-layer and therefore excluded here.
     pub fn new_layer(compiled: &CompiledDevice, layer_type: LayerType) -> Self {
         Self::project(compiled, Some(layer_type), false)
-    }
-
-    /// Builds the full netlist graph from a raw device.
-    ///
-    /// Compiles a throwaway [`CompiledDevice`] on every call.
-    #[doc(hidden)]
-    #[deprecated(
-        since = "0.1.0",
-        note = "compile once (`CompiledDevice::from_ref(&device)`) and call \
-                `Netlist::new(&compiled)`; this wrapper recompiles on every call"
-    )]
-    pub fn from_device(device: &Device) -> Self {
-        Self::new(&CompiledDevice::from_ref(device))
-    }
-
-    /// Builds the layer-restricted netlist graph from a raw device.
-    ///
-    /// Compiles a throwaway [`CompiledDevice`] on every call.
-    #[doc(hidden)]
-    #[deprecated(
-        since = "0.1.0",
-        note = "compile once (`CompiledDevice::from_ref(&device)`) and call \
-                `Netlist::new_layer(&compiled, layer_type)`; this wrapper \
-                recompiles on every call"
-    )]
-    pub fn from_device_layer(device: &Device, layer_type: LayerType) -> Self {
-        Self::new_layer(&CompiledDevice::from_ref(device), layer_type)
     }
 
     /// The projection itself: nodes are components in declaration order,
@@ -144,7 +117,7 @@ impl Netlist {
 mod tests {
     use super::*;
     use parchmint::geometry::Span;
-    use parchmint::{Component, Connection, Entity, Layer, Port, Target};
+    use parchmint::{Component, Connection, Device, Entity, Layer, Port, Target};
 
     fn fan_device() -> Device {
         // tree t1 fans out to sinks a and b on flow; control line on c0.

@@ -92,11 +92,5 @@ fn ir_projection_matches_seed_on_all_benchmarks() {
                 &seed_build(&device, |layer| matching.contains(&layer), false),
             );
         }
-
-        // The deprecated &Device compatibility wrappers route through the
-        // same projection.
-        #[allow(deprecated)]
-        let wrapped = Netlist::from_device(&device);
-        assert_identical(wrapped.graph(), full.graph());
     }
 }

@@ -1,11 +1,21 @@
-//! The content-hash artifact cache.
+//! The tiered content-hash artifact cache.
 //!
-//! Keyed by the canonical content hash of the submitted design
-//! document (see [`crate::hash`]), each entry pins the compiled
-//! [`CompiledDevice`] behind an `Arc` plus every downstream stage
-//! result already computed for it, so resubmitting an identical design
-//! re-runs nothing: the compile is shared by reference and each
-//! already-seen stage replays its recorded [`StageExec`].
+//! Three tiers, probed in order:
+//!
+//! 1. **Memory** — content hash → [`CacheEntry`] under an LRU index
+//!    with an optional byte budget (`--cache-bytes`). Entries carry an
+//!    approximate byte cost (canonical document + recorded stage
+//!    cells); inserting or growing past the budget evicts
+//!    least-recently-used entries until the total fits again (the
+//!    single most-recently-used entry is always kept, even oversized).
+//! 2. **Spill** — an optional disk directory (`--cache-dir`) holding
+//!    one atomic file per design (see [`crate::spill`]). Every memory
+//!    insert and stage store is mirrored down, so eviction and daemon
+//!    restarts lose nothing: a memory miss that hits spill rehydrates
+//!    the entry (stage cells replay; the compile artifact itself
+//!    re-materializes lazily only if a new stage needs it).
+//! 3. **Compute** — a true miss; the service compiles, then publishes
+//!    the result back through both tiers.
 //!
 //! Only *unconditioned* executions are cacheable — a request that runs
 //! under a deadline/fuel budget or with a fault plan armed can produce
@@ -13,31 +23,76 @@
 //! clean request. The service enforces that; the cache itself is
 //! policy-free storage.
 
+use crate::hash;
+use crate::spill::Spill;
 use parchmint::ir::CompiledDevice;
 use parchmint_harness::StageExec;
 use serde_json::{Map, Value};
 use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
-/// One cached design: the shared compile plus per-stage results.
+/// One cached design: the canonical document, the (lazily
+/// re-materializable) compiled view, and per-stage results.
 pub struct CacheEntry {
-    /// The compiled view every request for this design shares.
-    pub compiled: Arc<CompiledDevice>,
-    /// How long the original generate+compile took.
-    pub compile_wall: Duration,
+    doc: Value,
+    compile_wall: Duration,
+    compiled: OnceLock<Arc<CompiledDevice>>,
     stages: Mutex<BTreeMap<String, StageExec>>,
 }
 
 impl CacheEntry {
-    /// A fresh entry holding only the compile artifact.
-    pub fn new(compiled: Arc<CompiledDevice>, compile_wall: Duration) -> CacheEntry {
+    /// A fresh entry holding a just-compiled artifact.
+    pub fn new(doc: Value, compiled: Arc<CompiledDevice>, compile_wall: Duration) -> CacheEntry {
+        let cell = OnceLock::new();
+        let _ = cell.set(compiled);
         CacheEntry {
-            compiled,
+            doc,
             compile_wall,
+            compiled: cell,
             stages: Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// An entry rehydrated from the spill tier: stage results are
+    /// present, the compiled view is not (it re-materializes on
+    /// demand via [`CacheEntry::materialize`]).
+    pub fn warm(
+        doc: Value,
+        compile_wall: Duration,
+        stages: BTreeMap<String, StageExec>,
+    ) -> CacheEntry {
+        CacheEntry {
+            doc,
+            compile_wall,
+            compiled: OnceLock::new(),
+            stages: Mutex::new(stages),
+        }
+    }
+
+    /// The canonical design document this entry was keyed from.
+    pub fn doc(&self) -> &Value {
+        &self.doc
+    }
+
+    /// How long the original generate+compile took.
+    pub fn compile_wall(&self) -> Duration {
+        self.compile_wall
+    }
+
+    /// The compiled view, if this entry holds one (spill-rehydrated
+    /// entries start without).
+    pub fn compiled(&self) -> Option<Arc<CompiledDevice>> {
+        self.compiled.get().cloned()
+    }
+
+    /// Publishes a re-materialized compile. When two stage leaders race
+    /// to materialize, the first wins and both share it.
+    pub fn materialize(&self, compiled: Arc<CompiledDevice>) -> Arc<CompiledDevice> {
+        let _ = self.compiled.set(compiled);
+        self.compiled.get().cloned().expect("just set")
     }
 
     /// The recorded result of `stage`, if this design already ran it.
@@ -49,7 +104,9 @@ impl CacheEntry {
             .cloned()
     }
 
-    /// Records the result of `stage` for replay.
+    /// Records the result of `stage` for replay. Prefer
+    /// [`TieredCache::store_stage`], which also accounts bytes and
+    /// mirrors to spill.
     pub fn store_stage(&self, stage: &str, exec: &StageExec) {
         self.stages
             .lock()
@@ -61,41 +118,291 @@ impl CacheEntry {
     pub fn stage_count(&self) -> usize {
         self.stages.lock().expect("cache entry lock").len()
     }
+
+    /// A snapshot of every recorded stage (what the spill tier persists).
+    pub fn stages_snapshot(&self) -> BTreeMap<String, StageExec> {
+        self.stages.lock().expect("cache entry lock").clone()
+    }
+
+    /// Approximate resident cost of the entry skeleton (map slot,
+    /// `Arc`s, document). The compiled view itself is deliberately not
+    /// charged: it is shared by reference and proportional to the
+    /// document we do charge for.
+    fn base_cost(&self) -> u64 {
+        128 + 3 * hash::canonical_string(&self.doc).len() as u64
+    }
+
+    fn total_cost(&self) -> u64 {
+        let stages = self.stages.lock().expect("cache entry lock");
+        self.base_cost() + stages.values().map(stage_cost).sum::<u64>()
+    }
 }
 
-/// The daemon-wide cache: content hash → [`CacheEntry`], with hit/miss
-/// counters for both the compile and stage layers.
+/// Approximate resident cost of one recorded stage cell.
+fn stage_cost(exec: &StageExec) -> u64 {
+    let detail = exec.detail.as_ref().map_or(0, String::len) as u64;
+    let metrics: u64 = exec
+        .metrics
+        .iter()
+        .map(|(name, value)| {
+            name.len() as u64 + serde_json::to_string(value).map_or(16, |s| s.len() as u64)
+        })
+        .sum();
+    96 + detail + metrics
+}
+
+/// Which tier a counted hit came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HitTier {
+    /// Found resident in memory.
+    Memory,
+    /// Rehydrated from the disk spill.
+    Spill,
+}
+
+/// A snapshot of every cache counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups served from the memory tier.
+    pub memory_hits: u64,
+    /// Lookups served by rehydrating a spill file.
+    pub spill_hits: u64,
+    /// Lookups that found nothing in any tier.
+    pub misses: u64,
+    /// Stage cells replayed from a cached entry.
+    pub stage_hits: u64,
+    /// Stage cells that had to execute.
+    pub stage_misses: u64,
+    /// Requests that parked behind an identical in-flight execution
+    /// instead of duplicating it.
+    pub coalesced: u64,
+    /// Entries evicted from the memory tier by the byte budget.
+    pub evicted_entries: u64,
+    /// Approximate bytes reclaimed by those evictions.
+    pub evicted_bytes: u64,
+    /// Spill files that were present but could not be trusted.
+    pub spill_corrupt: u64,
+}
+
+struct Slot {
+    entry: Arc<CacheEntry>,
+    bytes: u64,
+    tick: u64,
+}
+
 #[derive(Default)]
-pub struct ArtifactCache {
-    entries: Mutex<HashMap<u64, Arc<CacheEntry>>>,
-    compile_hits: AtomicU64,
-    compile_misses: AtomicU64,
+struct MemoryTier {
+    entries: HashMap<u64, Slot>,
+    /// Recency index: strictly increasing touch tick → key. The lowest
+    /// tick is the least recently used entry.
+    recency: BTreeMap<u64, u64>,
+    next_tick: u64,
+    bytes: u64,
+}
+
+impl MemoryTier {
+    fn touch(&mut self, key: u64) {
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        if let Some(slot) = self.entries.get_mut(&key) {
+            self.recency.remove(&slot.tick);
+            slot.tick = tick;
+            self.recency.insert(tick, key);
+        }
+    }
+
+    /// Evicts least-recently-used entries until the budget fits,
+    /// always keeping at least the most recent entry.
+    fn evict_to(&mut self, budget: u64) -> (u64, u64) {
+        let (mut entries, mut bytes) = (0u64, 0u64);
+        while self.bytes > budget && self.entries.len() > 1 {
+            let Some((&tick, &key)) = self.recency.iter().next() else {
+                break;
+            };
+            self.recency.remove(&tick);
+            if let Some(slot) = self.entries.remove(&key) {
+                self.bytes = self.bytes.saturating_sub(slot.bytes);
+                entries += 1;
+                bytes += slot.bytes;
+            }
+        }
+        (entries, bytes)
+    }
+}
+
+/// The daemon-wide cache: memory tier, optional spill tier, and the
+/// counters the `stats` op reports.
+pub struct TieredCache {
+    memory: Mutex<MemoryTier>,
+    budget: Option<u64>,
+    spill: Option<Spill>,
+    memory_hits: AtomicU64,
+    spill_hits: AtomicU64,
+    misses: AtomicU64,
     stage_hits: AtomicU64,
     stage_misses: AtomicU64,
+    coalesced: AtomicU64,
+    evicted_entries: AtomicU64,
+    evicted_bytes: AtomicU64,
 }
 
-impl ArtifactCache {
-    /// An empty cache.
-    pub fn new() -> ArtifactCache {
-        ArtifactCache::default()
+impl Default for TieredCache {
+    fn default() -> Self {
+        TieredCache::with_limits(None, None::<PathBuf>)
+    }
+}
+
+impl TieredCache {
+    /// An unbounded, memory-only cache.
+    pub fn new() -> TieredCache {
+        TieredCache::default()
     }
 
-    /// Looks up `key`, counting a compile hit or miss.
-    pub fn lookup(&self, key: u64) -> Option<Arc<CacheEntry>> {
-        let found = self.entries.lock().expect("cache lock").get(&key).cloned();
-        match &found {
-            Some(_) => self.compile_hits.fetch_add(1, Ordering::Relaxed),
-            None => self.compile_misses.fetch_add(1, Ordering::Relaxed),
-        };
-        found
+    /// A cache with an optional memory byte budget and an optional
+    /// spill directory.
+    pub fn with_limits(budget: Option<u64>, dir: Option<impl Into<PathBuf>>) -> TieredCache {
+        TieredCache {
+            memory: Mutex::new(MemoryTier::default()),
+            budget,
+            spill: dir.map(Spill::open),
+            memory_hits: AtomicU64::new(0),
+            spill_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stage_hits: AtomicU64::new(0),
+            stage_misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            evicted_entries: AtomicU64::new(0),
+            evicted_bytes: AtomicU64::new(0),
+        }
     }
 
-    /// Inserts `entry` under `key`. When two workers race to compile
-    /// the same design, the first insert wins and both use it — the
-    /// loser's compile is discarded, never half-merged.
+    /// The configured memory byte budget, if any.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// The spill directory, if the disk tier is enabled.
+    pub fn spill_dir(&self) -> Option<&std::path::Path> {
+        self.spill.as_ref().map(Spill::dir)
+    }
+
+    /// Looks up `key` through the tiers, counting exactly one of
+    /// memory-hit / spill-hit / miss.
+    pub fn lookup(&self, key: u64) -> Option<(Arc<CacheEntry>, HitTier)> {
+        {
+            let mut memory = self.memory.lock().expect("cache lock");
+            if let Some(slot) = memory.entries.get(&key) {
+                let entry = Arc::clone(&slot.entry);
+                memory.touch(key);
+                self.memory_hits.fetch_add(1, Ordering::Relaxed);
+                return Some((entry, HitTier::Memory));
+            }
+        }
+        if let Some(spill) = &self.spill {
+            if let Some(loaded) = spill.load(&hash::hex(key)) {
+                let entry = Arc::new(CacheEntry::warm(
+                    loaded.doc,
+                    loaded.compile_wall,
+                    loaded.stages,
+                ));
+                // Another thread may have raced the rehydration; whoever
+                // inserted first wins, exactly like a compile race.
+                let entry = self.insert_memory_only(key, entry);
+                self.spill_hits.fetch_add(1, Ordering::Relaxed);
+                return Some((entry, HitTier::Spill));
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// An uncounted, memory-only probe. Single-flight leaders use this
+    /// to re-check for a result published between their counted miss
+    /// and their promotion, without double-counting either way.
+    pub fn peek(&self, key: u64) -> Option<Arc<CacheEntry>> {
+        let mut memory = self.memory.lock().expect("cache lock");
+        let entry = memory.entries.get(&key).map(|s| Arc::clone(&s.entry))?;
+        memory.touch(key);
+        Some(entry)
+    }
+
+    /// Inserts `entry` under `key` into both tiers. When two workers
+    /// race to publish the same design, the first insert wins and both
+    /// use it — the loser's artifact is discarded, never half-merged.
     pub fn insert(&self, key: u64, entry: Arc<CacheEntry>) -> Arc<CacheEntry> {
-        let mut entries = self.entries.lock().expect("cache lock");
-        Arc::clone(entries.entry(key).or_insert(entry))
+        let entry = self.insert_memory_only(key, entry);
+        self.spill_entry(key, &entry);
+        entry
+    }
+
+    fn insert_memory_only(&self, key: u64, entry: Arc<CacheEntry>) -> Arc<CacheEntry> {
+        let mut memory = self.memory.lock().expect("cache lock");
+        if let Some(slot) = memory.entries.get(&key) {
+            let existing = Arc::clone(&slot.entry);
+            memory.touch(key);
+            return existing;
+        }
+        let bytes = entry.total_cost();
+        let tick = memory.next_tick;
+        memory.next_tick += 1;
+        memory.entries.insert(
+            key,
+            Slot {
+                entry: Arc::clone(&entry),
+                bytes,
+                tick,
+            },
+        );
+        memory.recency.insert(tick, key);
+        memory.bytes += bytes;
+        self.enforce_budget(&mut memory);
+        entry
+    }
+
+    /// Records the result of `stage` on `entry`: grows the entry's byte
+    /// accounting (evicting if the budget overflows) and mirrors the
+    /// updated entry down to the spill tier.
+    pub fn store_stage(&self, key: u64, entry: &Arc<CacheEntry>, stage: &str, exec: &StageExec) {
+        entry.store_stage(stage, exec);
+        let delta = stage_cost(exec);
+        {
+            let mut memory = self.memory.lock().expect("cache lock");
+            // Only charge the slot if this exact entry is still resident
+            // (it may have been evicted while the stage ran).
+            if let Some(slot) = memory.entries.get_mut(&key) {
+                if Arc::ptr_eq(&slot.entry, entry) {
+                    slot.bytes += delta;
+                    memory.bytes += delta;
+                    self.enforce_budget(&mut memory);
+                }
+            }
+        }
+        self.spill_entry(key, entry);
+    }
+
+    fn spill_entry(&self, key: u64, entry: &Arc<CacheEntry>) {
+        if let Some(spill) = &self.spill {
+            spill.store(
+                &hash::hex(key),
+                entry.doc(),
+                entry.compile_wall(),
+                &entry.stages_snapshot(),
+            );
+        }
+    }
+
+    fn enforce_budget(&self, memory: &mut MemoryTier) {
+        let Some(budget) = self.budget else {
+            return;
+        };
+        let (entries, bytes) = memory.evict_to(budget);
+        if entries > 0 {
+            self.evicted_entries.fetch_add(entries, Ordering::Relaxed);
+            self.evicted_bytes.fetch_add(bytes, Ordering::Relaxed);
+            parchmint_obs::count("cache.evicted.entries", entries);
+            parchmint_obs::count("cache.evicted.bytes", bytes);
+        }
+        parchmint_obs::observe("cache.bytes", memory.bytes);
     }
 
     /// Counts a stage-layer hit (replayed) or miss (executed).
@@ -108,36 +415,87 @@ impl ArtifactCache {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Number of distinct designs cached.
-    pub fn len(&self) -> usize {
-        self.entries.lock().expect("cache lock").len()
+    /// Counts one request parking behind an identical in-flight
+    /// execution. Counted when the waiter parks — before the leader
+    /// finishes — so a concurrent duplicate pair is observable mid-flight.
+    pub fn count_coalesced(&self) {
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
+        parchmint_obs::count("cache.coalesced", 1);
     }
 
-    /// Whether the cache holds nothing.
+    /// Number of designs resident in the memory tier.
+    pub fn len(&self) -> usize {
+        self.memory.lock().expect("cache lock").entries.len()
+    }
+
+    /// Whether the memory tier holds nothing.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Counter snapshot: `(compile_hits, compile_misses, stage_hits,
-    /// stage_misses)`.
-    pub fn counters(&self) -> (u64, u64, u64, u64) {
-        (
-            self.compile_hits.load(Ordering::Relaxed),
-            self.compile_misses.load(Ordering::Relaxed),
-            self.stage_hits.load(Ordering::Relaxed),
-            self.stage_misses.load(Ordering::Relaxed),
-        )
+    /// Approximate bytes resident in the memory tier.
+    pub fn bytes(&self) -> u64 {
+        self.memory.lock().expect("cache lock").bytes
+    }
+
+    /// Memory-tier keys in least-recently-used-first order (tests pin
+    /// eviction order through this).
+    pub fn lru_keys(&self) -> Vec<u64> {
+        let memory = self.memory.lock().expect("cache lock");
+        memory.recency.values().copied().collect()
+    }
+
+    /// A snapshot of every counter.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            memory_hits: self.memory_hits.load(Ordering::Relaxed),
+            spill_hits: self.spill_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stage_hits: self.stage_hits.load(Ordering::Relaxed),
+            stage_misses: self.stage_misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            evicted_entries: self.evicted_entries.load(Ordering::Relaxed),
+            evicted_bytes: self.evicted_bytes.load(Ordering::Relaxed),
+            spill_corrupt: self.spill.as_ref().map_or(0, Spill::corrupt_loads),
+        }
     }
 
     /// The cache section of the daemon's `stats` response.
     pub fn stats_json(&self) -> Value {
-        let (compile_hits, compile_misses, stage_hits, stage_misses) = self.counters();
+        let counters = self.counters();
         let mut object = Map::new();
         object.insert("entries".to_string(), Value::from(self.len()));
-        object.insert("compile_hits".to_string(), Value::from(compile_hits));
-        object.insert("compile_misses".to_string(), Value::from(compile_misses));
-        object.insert("stage_hits".to_string(), Value::from(stage_hits));
-        object.insert("stage_misses".to_string(), Value::from(stage_misses));
+        object.insert("bytes".to_string(), Value::from(self.bytes()));
+        object.insert(
+            "budget_bytes".to_string(),
+            self.budget.map_or(Value::Null, Value::from),
+        );
+        object.insert(
+            "spill_dir".to_string(),
+            self.spill_dir()
+                .map_or(Value::Null, |dir| Value::from(dir.display().to_string())),
+        );
+        object.insert("memory_hits".to_string(), Value::from(counters.memory_hits));
+        object.insert("spill_hits".to_string(), Value::from(counters.spill_hits));
+        object.insert("misses".to_string(), Value::from(counters.misses));
+        object.insert("stage_hits".to_string(), Value::from(counters.stage_hits));
+        object.insert(
+            "stage_misses".to_string(),
+            Value::from(counters.stage_misses),
+        );
+        object.insert("coalesced".to_string(), Value::from(counters.coalesced));
+        object.insert(
+            "evicted_entries".to_string(),
+            Value::from(counters.evicted_entries),
+        );
+        object.insert(
+            "evicted_bytes".to_string(),
+            Value::from(counters.evicted_bytes),
+        );
+        object.insert(
+            "spill_corrupt".to_string(),
+            Value::from(counters.spill_corrupt),
+        );
         Value::Object(object)
     }
 }
@@ -148,9 +506,16 @@ mod tests {
     use parchmint::Device;
     use parchmint_harness::CellStatus;
 
-    fn entry() -> Arc<CacheEntry> {
-        let device = Device::new("cached");
+    fn doc(name: &str) -> Value {
+        let mut object = Map::new();
+        object.insert("name".to_string(), Value::from(name));
+        Value::Object(object)
+    }
+
+    fn entry(name: &str) -> Arc<CacheEntry> {
+        let device = Device::new(name);
         Arc::new(CacheEntry::new(
+            doc(name),
             CompiledDevice::compile(device).into_shared(),
             Duration::from_millis(1),
         ))
@@ -168,30 +533,106 @@ mod tests {
 
     #[test]
     fn lookup_counts_hits_and_misses() {
-        let cache = ArtifactCache::new();
+        let cache = TieredCache::new();
         assert!(cache.lookup(7).is_none());
-        cache.insert(7, entry());
-        assert!(cache.lookup(7).is_some());
-        assert_eq!(cache.counters(), (1, 1, 0, 0));
+        cache.insert(7, entry("a"));
+        let (_, tier) = cache.lookup(7).expect("resident");
+        assert_eq!(tier, HitTier::Memory);
+        let counters = cache.counters();
+        assert_eq!(counters.memory_hits, 1);
+        assert_eq!(counters.misses, 1);
+        assert_eq!(counters.spill_hits, 0);
         assert_eq!(cache.len(), 1);
+        assert!(cache.bytes() > 0);
     }
 
     #[test]
     fn racing_inserts_converge_on_the_first() {
-        let cache = ArtifactCache::new();
-        let first = cache.insert(3, entry());
-        let second = cache.insert(3, entry());
+        let cache = TieredCache::new();
+        let first = cache.insert(3, entry("a"));
+        let second = cache.insert(3, entry("a"));
         assert!(Arc::ptr_eq(&first, &second));
         assert_eq!(cache.len(), 1);
     }
 
     #[test]
+    fn peek_is_uncounted() {
+        let cache = TieredCache::new();
+        assert!(cache.peek(5).is_none());
+        cache.insert(5, entry("a"));
+        assert!(cache.peek(5).is_some());
+        let counters = cache.counters();
+        assert_eq!((counters.memory_hits, counters.misses), (0, 0));
+    }
+
+    #[test]
     fn stage_results_replay_per_entry() {
-        let entry = entry();
+        let cache = TieredCache::new();
+        let entry = cache.insert(11, entry("a"));
         assert!(entry.stage("validate").is_none());
-        entry.store_stage("validate", &exec(CellStatus::Ok));
+        let before = cache.bytes();
+        cache.store_stage(11, &entry, "validate", &exec(CellStatus::Ok));
         let replayed = entry.stage("validate").expect("stored");
         assert_eq!(replayed.status, CellStatus::Ok);
         assert_eq!(entry.stage_count(), 1);
+        assert!(cache.bytes() > before, "stage storage is accounted");
+    }
+
+    #[test]
+    fn budget_evicts_least_recently_used_first() {
+        // Budget fits roughly two bare entries.
+        let budget = entry("a").total_cost() * 2 + 32;
+        let cache = TieredCache::with_limits(Some(budget), None::<PathBuf>);
+        cache.insert(1, entry("a"));
+        cache.insert(2, entry("b"));
+        assert_eq!(cache.lru_keys(), vec![1, 2]);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.lookup(1).is_some());
+        cache.insert(3, entry("c"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.peek(2).is_none(), "LRU entry evicted");
+        assert!(cache.peek(1).is_some());
+        assert!(cache.peek(3).is_some());
+        assert!(cache.bytes() <= budget);
+        let counters = cache.counters();
+        assert_eq!(counters.evicted_entries, 1);
+        assert!(counters.evicted_bytes > 0);
+    }
+
+    #[test]
+    fn an_oversized_sole_entry_is_kept() {
+        let cache = TieredCache::with_limits(Some(1), None::<PathBuf>);
+        cache.insert(1, entry("oversized"));
+        assert_eq!(cache.len(), 1, "never evict down to empty");
+        assert_eq!(cache.counters().evicted_entries, 0);
+        // A second insert evicts the older one but keeps the newest.
+        cache.insert(2, entry("also-oversized"));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.peek(2).is_some());
+        assert_eq!(cache.counters().evicted_entries, 1);
+    }
+
+    #[test]
+    fn spill_round_trips_through_a_fresh_cache() {
+        let dir =
+            std::env::temp_dir().join(format!("parchmint-cache-spill-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let cache = TieredCache::with_limits(None, Some(&dir));
+            let entry = cache.insert(77, entry("persisted"));
+            cache.store_stage(77, &entry, "validate", &exec(CellStatus::Ok));
+        }
+        let cache = TieredCache::with_limits(None, Some(&dir));
+        let (entry, tier) = cache.lookup(77).expect("rehydrated");
+        assert_eq!(tier, HitTier::Spill);
+        assert!(entry.compiled().is_none(), "compile re-materializes lazily");
+        assert_eq!(entry.stage("validate").unwrap().status, CellStatus::Ok);
+        assert_eq!(entry.doc(), &doc("persisted"));
+        // Now resident: the next lookup is a memory hit.
+        let (_, tier) = cache.lookup(77).expect("resident");
+        assert_eq!(tier, HitTier::Memory);
+        let counters = cache.counters();
+        assert_eq!((counters.spill_hits, counters.memory_hits), (1, 1));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

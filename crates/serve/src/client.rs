@@ -265,6 +265,7 @@ pub fn submit_suite(
 fn request(op: &str, id: Value) -> Value {
     let mut object = Map::new();
     object.insert("op".to_string(), Value::from(op));
+    object.insert("proto".to_string(), Value::from(protocol::PROTO));
     if id != Value::Null {
         object.insert("id".to_string(), id);
     }
@@ -274,6 +275,7 @@ fn request(op: &str, id: Value) -> Value {
 fn submit_request(index: usize, design: &Value, stage_names: Option<&[String]>) -> Value {
     let mut object = Map::new();
     object.insert("op".to_string(), Value::from("submit"));
+    object.insert("proto".to_string(), Value::from(protocol::PROTO));
     object.insert("id".to_string(), Value::from(format!("d{index}")));
     object.insert("design".to_string(), design.clone());
     if let Some(names) = stage_names {

@@ -1,0 +1,253 @@
+//! Single-flight deduplication of in-flight work.
+//!
+//! When two requests need the same artifact (a compile, a stage
+//! execution) at the same time, exactly one of them — the *leader* —
+//! does the work; everyone else parks on a `Condvar` until the leader
+//! finishes, then re-reads the published result from the cache. The
+//! table never stores results itself: it only coordinates *who
+//! executes*, which keeps it policy-free and panic-safe.
+//!
+//! Poisoned-leader recovery: the leader holds an RAII [`FlightToken`].
+//! Completing the work consumes the token; dropping it any other way
+//! (a panic unwinding through the leader, an early return) marks the
+//! flight *abandoned* and wakes every waiter, whose [`FlightWait::wait`]
+//! reports that no result was published — the caller loops, and one
+//! waiter promotes itself to leader. A panicking leader therefore costs
+//! one retry, never a wedged daemon.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Condvar, Mutex};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlightState {
+    /// The leader is executing.
+    Running,
+    /// The leader finished and published its result.
+    Done,
+    /// The leader vanished without publishing (panic, early drop).
+    Abandoned,
+}
+
+struct FlightCell {
+    state: Mutex<FlightState>,
+    settled: Condvar,
+}
+
+impl FlightCell {
+    fn settle(&self, state: FlightState) {
+        *self.state.lock().expect("flight state lock") = state;
+        self.settled.notify_all();
+    }
+}
+
+/// How a [`SingleFlight::join`] resolved.
+pub enum Flight<K: Eq + Hash + Clone> {
+    /// This caller leads: execute the work, publish the result, then
+    /// call [`FlightToken::complete`].
+    Leader(FlightToken<K>),
+    /// Another caller is already executing the same work. Count the
+    /// coalescing, then [`FlightWait::wait`] for the leader to settle.
+    Waiter(FlightWait),
+}
+
+/// The leader's obligation. Dropping it without [`complete`] counts as
+/// abandonment and wakes waiters to retry.
+///
+/// [`complete`]: FlightToken::complete
+pub struct FlightToken<K: Eq + Hash + Clone> {
+    table: Arc<Mutex<HashMap<K, Arc<FlightCell>>>>,
+    key: K,
+    done: bool,
+}
+
+impl<K: Eq + Hash + Clone> FlightToken<K> {
+    /// The work is finished and its result is visible to waiters
+    /// (published to the cache *before* this call).
+    pub fn complete(mut self) {
+        self.settle(FlightState::Done);
+    }
+
+    fn settle(&mut self, state: FlightState) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        let cell = self
+            .table
+            .lock()
+            .expect("flight table lock")
+            .remove(&self.key);
+        if let Some(cell) = cell {
+            cell.settle(state);
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone> Drop for FlightToken<K> {
+    fn drop(&mut self) {
+        // Reaching here without `complete` means the leader unwound.
+        self.settle(FlightState::Abandoned);
+    }
+}
+
+/// A parked waiter's handle.
+pub struct FlightWait {
+    cell: Arc<FlightCell>,
+}
+
+impl FlightWait {
+    /// Blocks until the leader settles. Returns `true` when the leader
+    /// completed (the result is now in the cache) and `false` when it
+    /// abandoned the flight (re-join and possibly lead the retry).
+    pub fn wait(self) -> bool {
+        let mut state = self.cell.state.lock().expect("flight state lock");
+        while *state == FlightState::Running {
+            state = self.cell.settled.wait(state).expect("flight state lock");
+        }
+        *state == FlightState::Done
+    }
+}
+
+/// The in-flight work table, keyed by whatever identifies the work
+/// (content hash for compiles, `(hash, stage)` for stage executions).
+pub struct SingleFlight<K: Eq + Hash + Clone> {
+    table: Arc<Mutex<HashMap<K, Arc<FlightCell>>>>,
+}
+
+impl<K: Eq + Hash + Clone> Default for SingleFlight<K> {
+    fn default() -> Self {
+        SingleFlight {
+            table: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone> SingleFlight<K> {
+    /// An empty table.
+    pub fn new() -> Self {
+        SingleFlight::default()
+    }
+
+    /// Joins the flight for `key`: the first caller becomes the leader,
+    /// everyone else gets a waiter handle on the leader's flight.
+    pub fn join(&self, key: K) -> Flight<K> {
+        let mut table = self.table.lock().expect("flight table lock");
+        if let Some(cell) = table.get(&key) {
+            return Flight::Waiter(FlightWait {
+                cell: Arc::clone(cell),
+            });
+        }
+        table.insert(
+            key.clone(),
+            Arc::new(FlightCell {
+                state: Mutex::new(FlightState::Running),
+                settled: Condvar::new(),
+            }),
+        );
+        Flight::Leader(FlightToken {
+            table: Arc::clone(&self.table),
+            key,
+            done: false,
+        })
+    }
+
+    /// Flights currently executing (for stats).
+    pub fn in_flight(&self) -> usize {
+        self.table.lock().expect("flight table lock").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn first_joiner_leads_second_waits() {
+        let flights: SingleFlight<u64> = SingleFlight::new();
+        let Flight::Leader(token) = flights.join(7) else {
+            panic!("first joiner must lead");
+        };
+        assert_eq!(flights.in_flight(), 1);
+        let Flight::Waiter(wait) = flights.join(7) else {
+            panic!("second joiner must wait");
+        };
+        token.complete();
+        assert!(wait.wait(), "leader completed");
+        assert_eq!(flights.in_flight(), 0);
+        // The settled flight is gone: the next joiner leads again.
+        assert!(matches!(flights.join(7), Flight::Leader(_)));
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let flights: SingleFlight<(u64, &'static str)> = SingleFlight::new();
+        let Flight::Leader(a) = flights.join((1, "a")) else {
+            panic!("fresh key must lead");
+        };
+        let Flight::Leader(b) = flights.join((1, "b")) else {
+            panic!("distinct key must lead too");
+        };
+        assert_eq!(flights.in_flight(), 2);
+        a.complete();
+        b.complete();
+        assert_eq!(flights.in_flight(), 0);
+    }
+
+    #[test]
+    fn panicking_leader_wakes_waiters_as_abandoned() {
+        let flights = Arc::new(SingleFlight::<u64>::new());
+        let Flight::Leader(token) = flights.join(3) else {
+            panic!("leader");
+        };
+        let waiter = {
+            let flights = Arc::clone(&flights);
+            std::thread::spawn(move || {
+                let Flight::Waiter(wait) = flights.join(3) else {
+                    panic!("waiter");
+                };
+                wait.wait()
+            })
+        };
+        // Give the waiter a moment to park, then unwind the leader.
+        std::thread::sleep(Duration::from_millis(20));
+        let leader = std::thread::spawn(move || {
+            let _token = token;
+            panic!("leader exploded");
+        });
+        assert!(leader.join().is_err());
+        assert!(!waiter.join().unwrap(), "abandonment is reported");
+        // Recovery: the key is free again; a waiter can promote itself.
+        assert!(matches!(flights.join(3), Flight::Leader(_)));
+    }
+
+    #[test]
+    fn many_waiters_all_wake() {
+        let flights = Arc::new(SingleFlight::<u64>::new());
+        let Flight::Leader(token) = flights.join(9) else {
+            panic!("leader");
+        };
+        let woke = Arc::new(AtomicUsize::new(0));
+        let waiters: Vec<_> = (0..8)
+            .map(|_| {
+                let flights = Arc::clone(&flights);
+                let woke = Arc::clone(&woke);
+                std::thread::spawn(move || {
+                    let Flight::Waiter(wait) = flights.join(9) else {
+                        panic!("waiter");
+                    };
+                    assert!(wait.wait());
+                    woke.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(20));
+        token.complete();
+        for waiter in waiters {
+            waiter.join().unwrap();
+        }
+        assert_eq!(woke.load(Ordering::Relaxed), 8);
+    }
+}

@@ -1,0 +1,309 @@
+//! A minimal, hand-rolled HTTP/1.1 front end beside the line-JSON
+//! protocol.
+//!
+//! Three routes, all JSON, all served by the *same* [`Service`], worker
+//! pool, admission queue, and tiered cache as the line protocol:
+//!
+//! - `POST /v1/submit` — body is the same object as a line-protocol
+//!   `submit` (`op` optional; the route implies it). The connection
+//!   blocks until the submission finishes, then gets the full event
+//!   stream as `{"proto":…,"events":[…]}` with the status derived from
+//!   the final event.
+//! - `GET /v1/stats` — the daemon's counter snapshot.
+//! - `GET /v1/healthz` — `200 {"status":"ok"}` while accepting,
+//!   `503 {"status":"draining"}` once shutdown begins.
+//!
+//! The error taxonomy maps onto status codes: `bad_request` and
+//! `unsupported_proto` → 400, `invalid_design` → 422, `busy` and
+//! `shutting_down` → 503. Parsing covers exactly what those routes
+//! need — request line, headers, `Content-Length` bodies, keep-alive —
+//! and nothing else; malformed framing closes the connection after a
+//! 400.
+
+use crate::protocol::{self, ErrorKind, WireError, PROTO};
+use crate::server::{Server, SharedWriter};
+use serde_json::{Map, Value};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Upper bound on accepted request bodies (a full ParchMint design is
+/// well under this; anything larger is hostile or broken).
+const MAX_BODY_BYTES: usize = 8 << 20;
+
+/// One parsed HTTP request.
+struct HttpRequest {
+    method: String,
+    path: String,
+    body: String,
+    keep_alive: bool,
+}
+
+/// Reads one request from `reader`; `Ok(None)` is a clean EOF between
+/// requests, `Err` is a framing problem worth a 400.
+fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<HttpRequest>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "malformed request line",
+        ));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unsupported HTTP version",
+        ));
+    }
+    let mut keep_alive = version != "HTTP/1.0";
+    let (method, path) = (method.to_string(), path.to_string());
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-headers",
+            ));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length"))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "request body too large",
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "request body is not UTF-8"))?;
+    Ok(Some(HttpRequest {
+        method,
+        path,
+        body,
+        keep_alive,
+    }))
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        422 => "Unprocessable Entity",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// The status code the closed error taxonomy maps an error event to.
+fn status_for(kind: &str) -> u16 {
+    match kind {
+        "bad_request" | "unsupported_proto" => 400,
+        "invalid_design" => 422,
+        "busy" | "shutting_down" => 503,
+        _ => 500,
+    }
+}
+
+fn write_response(stream: &mut TcpStream, status: u16, body: &Value, keep_alive: bool) -> bool {
+    let body = serde_json::to_string(body).expect("response serializes");
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        reason(status),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes()).is_ok()
+        && stream.write_all(body.as_bytes()).is_ok()
+        && stream.flush().is_ok()
+}
+
+fn error_body(kind: ErrorKind, message: &str) -> (u16, Value) {
+    let error = WireError::new(kind, message);
+    (
+        status_for(kind.as_str()),
+        protocol::error_event(&Value::Null, &error),
+    )
+}
+
+/// The write half a submitted HTTP job streams its events into: every
+/// line the workers emit is parsed and collected, and the final
+/// `done`/`error` event flips `finished`, waking the parked connection
+/// handler.
+struct EventCollector {
+    state: Arc<(Mutex<CollectState>, Condvar)>,
+}
+
+#[derive(Default)]
+struct CollectState {
+    buffer: Vec<u8>,
+    events: Vec<Value>,
+    finished: bool,
+}
+
+impl Write for EventCollector {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        let (lock, signal) = &*self.state;
+        let mut state = lock.lock().expect("collector lock");
+        state.buffer.extend_from_slice(data);
+        while let Some(newline) = state.buffer.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = state.buffer.drain(..=newline).collect();
+            let Ok(text) = std::str::from_utf8(&line) else {
+                continue;
+            };
+            let Ok(event) = serde_json::from_str::<Value>(text.trim()) else {
+                continue;
+            };
+            let kind = event["event"].as_str().unwrap_or_default();
+            if kind == "done" || kind == "error" {
+                state.finished = true;
+            }
+            state.events.push(event);
+        }
+        if state.finished {
+            signal.notify_all();
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Admits the submit body through the shared queue and blocks until the
+/// submission's final event, returning `(status, body)`.
+fn handle_submit(server: &Server, body: &str) -> (u16, Value) {
+    let request = match protocol::parse_submit_body(body) {
+        Ok(request) => request,
+        Err((id, error)) => {
+            return (
+                status_for(error.kind.as_str()),
+                protocol::error_event(&id, &error),
+            )
+        }
+    };
+    let state = Arc::new((Mutex::new(CollectState::default()), Condvar::new()));
+    let out: SharedWriter = Arc::new(Mutex::new(Box::new(EventCollector {
+        state: Arc::clone(&state),
+    })));
+    // Refusals (busy/shutting_down) are written through the same
+    // collector, so waiting on `finished` covers both outcomes.
+    server.admit(request, &out);
+    let (lock, signal) = &*state;
+    let mut collected = lock.lock().expect("collector lock");
+    while !collected.finished {
+        collected = signal.wait(collected).expect("collector lock");
+    }
+    let events = std::mem::take(&mut collected.events);
+    let status = match events.last() {
+        Some(last) if last["event"].as_str() == Some("done") => 200,
+        Some(last) => status_for(last["error"]["kind"].as_str().unwrap_or_default()),
+        None => 500,
+    };
+    let mut body = Map::new();
+    body.insert("proto".to_string(), Value::from(PROTO));
+    body.insert("events".to_string(), Value::Array(events));
+    (status, Value::Object(body))
+}
+
+fn handle_request(server: &Server, request: &HttpRequest) -> (u16, Value) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/v1/healthz") => {
+            let mut body = Map::new();
+            if server.is_shutting_down() {
+                body.insert("status".to_string(), Value::from("draining"));
+                (503, Value::Object(body))
+            } else {
+                body.insert("status".to_string(), Value::from("ok"));
+                body.insert("proto".to_string(), Value::from(PROTO));
+                (200, Value::Object(body))
+            }
+        }
+        ("GET", "/v1/stats") => (200, server.stats_json()),
+        ("POST", "/v1/submit") => handle_submit(server, &request.body),
+        ("GET" | "POST", path) => (
+            404,
+            protocol::error_event(
+                &Value::Null,
+                &WireError::new(ErrorKind::BadRequest, format!("no such route `{path}`")),
+            ),
+        ),
+        _ => (
+            405,
+            protocol::error_event(
+                &Value::Null,
+                &WireError::new(
+                    ErrorKind::BadRequest,
+                    format!("method `{}` not allowed", request.method),
+                ),
+            ),
+        ),
+    }
+}
+
+/// One connection: serve requests until close, EOF, or a framing error.
+fn handle_connection(server: &Arc<Server>, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    let mut reader = BufReader::new(read_half);
+    loop {
+        match read_request(&mut reader) {
+            Ok(Some(request)) => {
+                let (status, body) = handle_request(server, &request);
+                if !write_response(&mut writer, status, &body, request.keep_alive)
+                    || !request.keep_alive
+                {
+                    return;
+                }
+            }
+            Ok(None) => return,
+            Err(error) => {
+                let (_, body) = error_body(ErrorKind::BadRequest, &error.to_string());
+                let _ = write_response(&mut writer, 400, &body, false);
+                return;
+            }
+        }
+    }
+}
+
+/// The HTTP accept loop: one handler thread per connection, until the
+/// server begins shutdown (the transport owner unblocks the accept with
+/// a self-connection, exactly like the line-protocol TCP loop).
+pub(crate) fn run_http(server: &Arc<Server>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if server.is_shutting_down() {
+            break;
+        }
+        let Ok(stream) = stream else {
+            continue;
+        };
+        let server = Arc::clone(server);
+        std::thread::spawn(move || handle_connection(&server, stream));
+    }
+}

@@ -1,10 +1,11 @@
 //! # parchmint-serve
 //!
 //! Compilation-as-a-service: a multi-threaded daemon that accepts
-//! ParchMint/MINT designs as line-delimited JSON — over stdin/stdout or
-//! TCP — and runs each through the same parse → compile → verify → pnr
-//! → sim → control pipeline the `suite-run` harness sweeps, streaming
-//! per-stage results back in the harness's cell schema.
+//! ParchMint/MINT designs — as line-delimited JSON over stdin/stdout or
+//! TCP, or as HTTP/1.1 — and runs each through the same parse →
+//! compile → verify → pnr → sim → control pipeline the `suite-run`
+//! harness sweeps, streaming per-stage results back in the harness's
+//! cell schema.
 //!
 //! Layers, bottom up:
 //!
@@ -12,16 +13,25 @@
 //!   (whitespace- and key-order-insensitive FNV-1a 64);
 //! - [`queue`] — the bounded admission queue whose fail-fast `try_push`
 //!   is the daemon's backpressure boundary;
-//! - [`cache`] — content hash → `Arc<CompiledDevice>` plus downstream
-//!   stage artifacts, so identical designs never recompile or re-run;
-//! - [`protocol`] — the wire format: `submit`/`stats`/`ping`/`shutdown`
-//!   requests, `cell`/`done`/`error` events, and the closed error
-//!   taxonomy (`bad_request`, `invalid_design`, `busy`,
-//!   `shutting_down`);
+//! - [`flight`] — single-flight deduplication: concurrent identical
+//!   work coalesces onto one leader, with poisoned-leader recovery;
+//! - [`spill`] — the persistent disk tier: one atomic
+//!   content-hash-named file per design, corruption-tolerant loads;
+//! - [`cache`] — the tiered cache (size-budgeted LRU memory tier over
+//!   the spill tier) of compiled devices plus downstream stage
+//!   artifacts, so identical designs never recompile or re-run — not
+//!   even across daemon restarts;
+//! - [`protocol`] — the versioned wire format (`parchmint-serve/1`):
+//!   `submit`/`stats`/`ping`/`shutdown` requests, `cell`/`done`/`error`
+//!   events, and the closed error taxonomy (`bad_request`,
+//!   `unsupported_proto`, `invalid_design`, `busy`, `shutting_down`);
 //! - [`service`] — the transport-agnostic request path, built directly
 //!   on [`parchmint_harness::engine`] so daemon cells and harness cells
 //!   are produced by the identical compile/retry/severity machinery;
-//! - [`server`] — the stdio and TCP front-ends over one worker pool;
+//! - [`server`] — the stdio/TCP line transports and the worker pool,
+//!   plus [`server::run`] which assembles every configured transport;
+//! - [`http`] — the hand-rolled HTTP/1.1 front end (`POST /v1/submit`,
+//!   `GET /v1/stats`, `GET /v1/healthz`) over the same server;
 //! - [`client`] — a pipelining TCP client that reassembles a
 //!   [`parchmint_harness::SuiteReport`] from streamed events
 //!   (byte-identical, stripped, to a local `suite-run`).
@@ -31,15 +41,23 @@
 
 pub mod cache;
 pub mod client;
+pub mod flight;
 pub mod hash;
+pub mod http;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod service;
+pub mod spill;
 
-pub use cache::{ArtifactCache, CacheEntry};
+pub use cache::{CacheCounters, CacheEntry, HitTier, TieredCache};
 pub use client::{submit_suite, Client, Submission, SuiteSubmission, DEFAULT_WINDOW};
-pub use protocol::{parse_request, DesignSource, ErrorKind, Request, SubmitRequest, WireError};
+pub use flight::{Flight, FlightToken, FlightWait, SingleFlight};
+pub use protocol::{
+    parse_request, parse_submit_body, DesignSource, ErrorKind, Request, SubmitRequest, WireError,
+    PROTO, PROTO_MAJOR,
+};
 pub use queue::{Bounded, PushError};
-pub use server::{serve_stdio, serve_tcp, LineOutcome, Server, SharedWriter};
-pub use service::{ServeConfig, Service, DEFAULT_QUEUE_CAPACITY};
+pub use server::{run, serve, serve_stdio, serve_tcp, LineOutcome, Server, SharedWriter};
+pub use service::{ServeConfig, ServeConfigBuilder, Service, DEFAULT_QUEUE_CAPACITY};
+pub use spill::{Spill, SpillEntry, SPILL_SCHEMA};

@@ -16,8 +16,21 @@
 //! finishes, in stage order), a final `done` with the cache key and
 //! status counts, or an `error` carrying a machine-readable `kind`
 //! from the closed taxonomy in [`ErrorKind`].
+//!
+//! The envelope is versioned: requests may carry a
+//! `proto: "parchmint-serve/1"` field (absent means v1, for
+//! compatibility with pre-versioning clients), every response carries
+//! the daemon's negotiated version, and a request naming an unknown
+//! major is refused with the `unsupported_proto` error kind before any
+//! other field is interpreted.
 
 use serde_json::{Map, Value};
+
+/// The wire-protocol version this daemon speaks.
+pub const PROTO: &str = "parchmint-serve/1";
+
+/// The sole protocol major this daemon accepts.
+pub const PROTO_MAJOR: u64 = 1;
 
 /// Where a submitted design comes from.
 #[derive(Debug, Clone)]
@@ -69,12 +82,14 @@ pub enum Request {
 }
 
 /// The closed error taxonomy. Everything a client can get back is one
-/// of these four kinds; the `message` is human-readable detail.
+/// of these five kinds; the `message` is human-readable detail.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrorKind {
     /// The line was not a valid request (bad JSON, unknown op, wrong
     /// field types, missing design source).
     BadRequest,
+    /// The request named a protocol version this daemon does not speak.
+    UnsupportedProto,
     /// The request was well-formed but the design was not: unparseable
     /// ParchMint JSON, invalid MINT, or an unknown benchmark name.
     InvalidDesign,
@@ -89,6 +104,7 @@ impl ErrorKind {
     pub fn as_str(self) -> &'static str {
         match self {
             ErrorKind::BadRequest => "bad_request",
+            ErrorKind::UnsupportedProto => "unsupported_proto",
             ErrorKind::InvalidDesign => "invalid_design",
             ErrorKind::Busy => "busy",
             ErrorKind::ShuttingDown => "shutting_down",
@@ -145,6 +161,38 @@ fn opt_string_list(object: &Map, key: &str) -> Result<Option<Vec<String>>, WireE
     }
 }
 
+/// Checks the envelope's `proto` field. Absence (or an explicit null)
+/// negotiates v1 for compatibility with pre-versioning clients; a
+/// present field must name a `parchmint-serve/<major>` this daemon
+/// speaks or the request is refused before any other field matters.
+fn check_proto(object: &Map) -> Result<(), WireError> {
+    let unsupported = |message: String| WireError::new(ErrorKind::UnsupportedProto, message);
+    match object.get("proto") {
+        None | Some(Value::Null) => Ok(()),
+        Some(Value::String(proto)) => {
+            let major = proto
+                .strip_prefix("parchmint-serve/")
+                .and_then(|rest| rest.split('.').next())
+                .and_then(|major| major.parse::<u64>().ok())
+                .ok_or_else(|| {
+                    unsupported(format!(
+                        "unrecognized protocol `{proto}` (this daemon speaks {PROTO})"
+                    ))
+                })?;
+            if major == PROTO_MAJOR {
+                Ok(())
+            } else {
+                Err(unsupported(format!(
+                    "unsupported protocol major in `{proto}` (this daemon speaks {PROTO})"
+                )))
+            }
+        }
+        Some(_) => Err(unsupported(format!(
+            "`proto` must be a string (this daemon speaks {PROTO})"
+        ))),
+    }
+}
+
 /// Parses one request line. On failure the error comes back paired
 /// with whatever `id` could be recovered from the line, so the error
 /// response still correlates.
@@ -158,48 +206,72 @@ pub fn parse_request(line: &str) -> Result<Request, (Value, WireError)> {
     parse_object(&object, id.clone()).map_err(|error| (id, error))
 }
 
+/// Parses an HTTP `POST /v1/submit` body: the same object as a
+/// line-protocol submit, with `op` optional (it is implied by the
+/// route, but `"submit"` is accepted).
+pub fn parse_submit_body(body: &str) -> Result<Box<SubmitRequest>, (Value, WireError)> {
+    let value: Value = serde_json::from_str(body)
+        .map_err(|e| (Value::Null, bad(format!("body is not valid JSON: {e}"))))?;
+    let Value::Object(object) = value else {
+        return Err((Value::Null, bad("body must be a JSON object")));
+    };
+    let id = object.get("id").cloned().unwrap_or(Value::Null);
+    let build = || -> Result<Box<SubmitRequest>, WireError> {
+        check_proto(&object)?;
+        match object.get("op").and_then(Value::as_str) {
+            None | Some("submit") => {}
+            Some(other) => return Err(bad(format!("`op` must be `submit`, not `{other}`"))),
+        }
+        parse_submit(&object, id.clone())
+    };
+    build().map_err(|error| (id, error))
+}
+
 fn parse_object(object: &Map, id: Value) -> Result<Request, WireError> {
+    check_proto(object)?;
     let op = object
         .get("op")
         .and_then(Value::as_str)
         .ok_or_else(|| bad("missing string field `op`"))?;
     match op {
-        "submit" => {
-            let source = match (
-                object.get("design"),
-                object.get("mint"),
-                object.get("benchmark"),
-            ) {
-                (Some(design), None, None) => DesignSource::Json(design.clone()),
-                (None, Some(Value::String(text)), None) => DesignSource::Mint(text.clone()),
-                (None, None, Some(Value::String(name))) => DesignSource::Benchmark(name.clone()),
-                (None, Some(_), None) | (None, None, Some(_)) => {
-                    return Err(bad("`mint` and `benchmark` must be strings"))
-                }
-                (None, None, None) => {
-                    return Err(bad(
-                        "submit needs exactly one of `design`, `mint`, `benchmark`",
-                    ))
-                }
-                _ => {
-                    return Err(bad(
-                        "submit takes exactly one of `design`, `mint`, `benchmark`",
-                    ))
-                }
-            };
-            Ok(Request::Submit(Box::new(SubmitRequest {
-                id,
-                source,
-                stages: opt_string_list(object, "stages")?,
-                deadline_ms: opt_u64(object, "deadline_ms")?,
-                fuel: opt_u64(object, "fuel")?,
-            })))
-        }
+        "submit" => Ok(Request::Submit(parse_submit(object, id)?)),
         "stats" => Ok(Request::Stats { id }),
         "ping" => Ok(Request::Ping { id }),
         "shutdown" => Ok(Request::Shutdown { id }),
         other => Err(bad(format!("unknown op `{other}`"))),
     }
+}
+
+fn parse_submit(object: &Map, id: Value) -> Result<Box<SubmitRequest>, WireError> {
+    let source = match (
+        object.get("design"),
+        object.get("mint"),
+        object.get("benchmark"),
+    ) {
+        (Some(design), None, None) => DesignSource::Json(design.clone()),
+        (None, Some(Value::String(text)), None) => DesignSource::Mint(text.clone()),
+        (None, None, Some(Value::String(name))) => DesignSource::Benchmark(name.clone()),
+        (None, Some(_), None) | (None, None, Some(_)) => {
+            return Err(bad("`mint` and `benchmark` must be strings"))
+        }
+        (None, None, None) => {
+            return Err(bad(
+                "submit needs exactly one of `design`, `mint`, `benchmark`",
+            ))
+        }
+        _ => {
+            return Err(bad(
+                "submit takes exactly one of `design`, `mint`, `benchmark`",
+            ))
+        }
+    };
+    Ok(Box::new(SubmitRequest {
+        id,
+        source,
+        stages: opt_string_list(object, "stages")?,
+        deadline_ms: opt_u64(object, "deadline_ms")?,
+        fuel: opt_u64(object, "fuel")?,
+    }))
 }
 
 /// Serializes a response value as one wire line (compact, `\n`-terminated).
@@ -213,6 +285,7 @@ fn event(id: &Value, name: &str) -> Map {
     let mut object = Map::new();
     object.insert("id".to_string(), id.clone());
     object.insert("event".to_string(), Value::from(name));
+    object.insert("proto".to_string(), Value::from(PROTO));
     object
 }
 
@@ -368,5 +441,48 @@ mod tests {
 
         let error = error_event(&Value::Null, &WireError::new(ErrorKind::Busy, "queue full"));
         assert_eq!(error["error"]["kind"], Value::from("busy"));
+    }
+
+    #[test]
+    fn responses_carry_the_protocol_version() {
+        let pong = pong_event(&Value::Null);
+        assert_eq!(pong["proto"], Value::from(PROTO));
+        let done = done_event(&Value::Null, "d", "00", false, None, 0);
+        assert_eq!(done["proto"], Value::from(PROTO));
+    }
+
+    #[test]
+    fn proto_negotiation_accepts_v1_and_refuses_the_rest() {
+        // Absent and explicit v1 both negotiate.
+        assert!(parse_request(r#"{"op":"ping"}"#).is_ok());
+        assert!(parse_request(r#"{"op":"ping","proto":"parchmint-serve/1"}"#).is_ok());
+        assert!(parse_request(r#"{"op":"ping","proto":null}"#).is_ok());
+
+        // Unknown majors, foreign protocols, and non-strings are refused
+        // with the dedicated kind, id still recovered.
+        let (id, error) =
+            parse_request(r#"{"op":"ping","id":9,"proto":"parchmint-serve/2"}"#).unwrap_err();
+        assert_eq!(id, Value::from(9));
+        assert_eq!(error.kind, ErrorKind::UnsupportedProto);
+        assert!(error.message.contains("parchmint-serve/1"));
+
+        let (_, error) = parse_request(r#"{"op":"ping","proto":"grpc"}"#).unwrap_err();
+        assert_eq!(error.kind, ErrorKind::UnsupportedProto);
+        let (_, error) = parse_request(r#"{"op":"ping","proto":7}"#).unwrap_err();
+        assert_eq!(error.kind, ErrorKind::UnsupportedProto);
+    }
+
+    #[test]
+    fn http_submit_bodies_parse_without_an_op() {
+        let request = parse_submit_body(r#"{"id":"h","benchmark":"logic_gate_or"}"#).unwrap();
+        assert_eq!(request.id, Value::from("h"));
+        assert!(matches!(request.source, DesignSource::Benchmark(_)));
+        // An explicit submit op is tolerated; any other op is not.
+        assert!(parse_submit_body(r#"{"op":"submit","benchmark":"b"}"#).is_ok());
+        let (_, error) = parse_submit_body(r#"{"op":"stats","benchmark":"b"}"#).unwrap_err();
+        assert_eq!(error.kind, ErrorKind::BadRequest);
+        let (_, error) =
+            parse_submit_body(r#"{"benchmark":"b","proto":"parchmint-serve/9"}"#).unwrap_err();
+        assert_eq!(error.kind, ErrorKind::UnsupportedProto);
     }
 }

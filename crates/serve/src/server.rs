@@ -1,12 +1,15 @@
-//! Daemon transports: stdio and TCP front-ends over one worker pool.
+//! Daemon transports: stdio, TCP, and HTTP front-ends over one worker
+//! pool.
 //!
-//! Both transports share the same shape: a reader parses request
+//! The line transports share the same shape: a reader parses request
 //! lines, control ops (`ping`, `stats`, `shutdown`) are answered
 //! inline, and submissions are pushed onto the bounded admission
 //! queue. Worker threads — each with the service's collector installed
 //! as its observability recorder — pop jobs and run
 //! [`Service::process_submit`], streaming events back through the
-//! submitting connection's shared writer.
+//! submitting connection's shared writer. The HTTP front end
+//! ([`crate::http`]) rides the same [`Server`]: its submit handler
+//! admits through the same queue and collects the same event stream.
 //!
 //! Backpressure is the queue itself: when it is full, admission fails
 //! *immediately* with a `busy` error rather than buffering without
@@ -17,7 +20,7 @@
 
 use crate::protocol::{self, Request, SubmitRequest, WireError};
 use crate::queue::{Bounded, PushError};
-use crate::service::Service;
+use crate::service::{ServeConfig, Service};
 use parchmint_obs::Recorder;
 use serde_json::Value;
 use std::io::{self, BufRead, BufReader, Write};
@@ -153,8 +156,10 @@ impl Server {
     }
 
     /// Admission control: queue the job or refuse with `busy` /
-    /// `shutting_down`, never blocking the reader.
-    fn admit(&self, request: Box<SubmitRequest>, out: &SharedWriter) {
+    /// `shutting_down`, never blocking the reader. The refusal is
+    /// written through `out`, so callers only ever wait on the event
+    /// stream.
+    pub(crate) fn admit(&self, request: Box<SubmitRequest>, out: &SharedWriter) {
         use protocol::ErrorKind;
         let draining = WireError::new(ErrorKind::ShuttingDown, "daemon is draining");
         if self.is_shutting_down() {
@@ -182,11 +187,9 @@ impl Server {
     }
 }
 
-/// Runs the daemon over stdin/stdout until EOF or a `shutdown`
-/// request, then drains admitted work and joins the workers.
-pub fn serve_stdio(service: Arc<Service>) -> io::Result<()> {
-    let server = Arc::new(Server::new(service));
-    let workers = server.start_workers();
+/// The stdio main loop: request lines on stdin, events on stdout,
+/// until EOF or a `shutdown` request.
+fn stdio_loop(server: &Arc<Server>) -> io::Result<()> {
     let out: SharedWriter = Arc::new(Mutex::new(Box::new(io::stdout())));
     for line in io::stdin().lock().lines() {
         let line = line?;
@@ -197,20 +200,13 @@ pub fn serve_stdio(service: Arc<Service>) -> io::Result<()> {
             break;
         }
     }
-    server.begin_shutdown();
-    for worker in workers {
-        let _ = worker.join();
-    }
     Ok(())
 }
 
-/// Runs the daemon over `listener`, one reader thread per connection,
-/// until some connection sends `shutdown`; then drains admitted work
-/// and joins the workers. Responses to a submission always go to the
-/// connection that made it.
-pub fn serve_tcp(service: Arc<Service>, listener: TcpListener) -> io::Result<()> {
-    let server = Arc::new(Server::new(service));
-    let workers = server.start_workers();
+/// The TCP main loop: one reader thread per connection, until some
+/// connection sends `shutdown`. Responses to a submission always go to
+/// the connection that made it.
+fn tcp_loop(server: &Arc<Server>, listener: TcpListener) -> io::Result<()> {
     let local = listener.local_addr()?;
     for stream in listener.incoming() {
         if server.is_shutting_down() {
@@ -219,7 +215,7 @@ pub fn serve_tcp(service: Arc<Service>, listener: TcpListener) -> io::Result<()>
         let Ok(stream) = stream else {
             continue;
         };
-        let server = Arc::clone(&server);
+        let server = Arc::clone(server);
         std::thread::spawn(move || {
             let Ok(write_half) = stream.try_clone() else {
                 return;
@@ -241,11 +237,90 @@ pub fn serve_tcp(service: Arc<Service>, listener: TcpListener) -> io::Result<()>
             }
         });
     }
+    Ok(())
+}
+
+/// Runs the daemon over the given transports until shutdown, then
+/// drains admitted work and joins everything.
+///
+/// The line protocol runs on `tcp` when given, stdin/stdout otherwise;
+/// `http` additionally serves the HTTP/1.1 front end beside it. All
+/// transports share one [`Server`] — one queue, one worker pool, one
+/// cache.
+pub fn serve(
+    service: Arc<Service>,
+    tcp: Option<TcpListener>,
+    http: Option<TcpListener>,
+) -> io::Result<()> {
+    let server = Arc::new(Server::new(service));
+    let workers = server.start_workers();
+    let http_acceptor = http.map(|listener| {
+        let local = listener.local_addr();
+        let server = Arc::clone(&server);
+        let handle = std::thread::Builder::new()
+            .name("serve-http".to_string())
+            .spawn(move || crate::http::run_http(&server, listener))
+            .expect("spawn http acceptor");
+        (handle, local)
+    });
+    let result = match tcp {
+        Some(listener) => tcp_loop(&server, listener),
+        None => stdio_loop(&server),
+    };
     server.begin_shutdown();
+    if let Some((handle, local)) = http_acceptor {
+        // Unblock the HTTP accept loop so it can observe shutdown.
+        if let Ok(local) = local {
+            let _ = TcpStream::connect(local);
+        }
+        let _ = handle.join();
+    }
     for worker in workers {
         let _ = worker.join();
     }
-    Ok(())
+    result
+}
+
+/// Runs the daemon over stdin/stdout until EOF or a `shutdown`
+/// request, then drains admitted work and joins the workers.
+pub fn serve_stdio(service: Arc<Service>) -> io::Result<()> {
+    serve(service, None, None)
+}
+
+/// Runs the daemon over `listener` until some connection sends
+/// `shutdown`, then drains admitted work and joins the workers.
+pub fn serve_tcp(service: Arc<Service>, listener: TcpListener) -> io::Result<()> {
+    serve(service, Some(listener), None)
+}
+
+/// Binds the transports named by `config`, announces them, and runs
+/// the daemon to completion. This is the `parchmint serve` entry
+/// point: the TCP line protocol prints `listening on ADDR`, the HTTP
+/// front end prints `http listening on ADDR` (both on stdout, which
+/// stays free of protocol traffic unless stdio is the line transport —
+/// in that case the HTTP announcement goes to stderr instead).
+pub fn run(config: ServeConfig) -> io::Result<()> {
+    if let Some(dir) = config.cache_dir() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let tcp = config.tcp().map(TcpListener::bind).transpose()?;
+    let http = config.http().map(TcpListener::bind).transpose()?;
+    if let Some(listener) = &tcp {
+        // Announce the bound address (stdout is line-buffered, so this
+        // is visible immediately even when piped) — with `--tcp :0`
+        // style ephemeral ports, clients read it from here.
+        println!("listening on {}", listener.local_addr()?);
+    }
+    if let Some(listener) = &http {
+        let addr = listener.local_addr()?;
+        if tcp.is_some() {
+            println!("http listening on {addr}");
+        } else {
+            eprintln!("http listening on {addr}");
+        }
+    }
+    let service = Arc::new(Service::new(config));
+    serve(service, tcp, http)
 }
 
 #[cfg(test)]
@@ -304,10 +379,7 @@ mod tests {
 
     #[test]
     fn full_queue_refuses_busy_and_counts_it() {
-        let config = ServeConfig {
-            queue_capacity: 1,
-            ..ServeConfig::default()
-        };
+        let config = ServeConfig::builder().queue_capacity(1).build();
         // No workers started: admitted jobs stay queued, so the second
         // submission must bounce off the full queue.
         let server = Arc::new(Server::new(Arc::new(Service::new(config))));

@@ -9,46 +9,112 @@
 //! by the daemon and the same design swept by the harness end in
 //! byte-identical cells.
 //!
+//! Cache discipline, per artifact:
+//!
+//! 1. probe the [`TieredCache`] (memory, then spill);
+//! 2. on a miss, join the [`SingleFlight`] table for the artifact's
+//!    key — the leader computes and publishes, every concurrent
+//!    duplicate parks (counted under `cache.coalesced`) and replays the
+//!    published result; an abandoned flight (panicked leader) wakes the
+//!    waiters to retry, one of which promotes itself to leader.
+//!
 //! Caching rule: a submission is *cacheable* only when it runs
 //! unconditioned — no deadline, no fuel, no armed fault plan. Bounded
 //! or fault-injected runs execute fresh every time and their results
 //! are never stored, so a degraded partial result can never be
 //! replayed to a clean request.
 
-use crate::cache::{ArtifactCache, CacheEntry};
+use crate::cache::{CacheEntry, TieredCache};
+use crate::flight::{Flight, SingleFlight};
 use crate::hash;
 use crate::protocol::{
-    cell_event, done_event, error_event, DesignSource, ErrorKind, SubmitRequest, WireError,
+    cell_event, done_event, error_event, DesignSource, ErrorKind, SubmitRequest, WireError, PROTO,
+    PROTO_MAJOR,
 };
-use parchmint::Device;
-use parchmint_harness::{engine, stage_matches, standard_stages, ExecPolicy, Stage};
+use parchmint::{CompiledDevice, Device};
+use parchmint_harness::{engine, stage_matches, standard_stages, ExecPolicy, Stage, StageExec};
 use parchmint_obs::Collector;
 use parchmint_resilience::FaultPlan;
 use serde_json::{Map, Value};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Daemon-side execution defaults and limits.
-#[derive(Debug, Clone, Default)]
-pub struct ServeConfig {
-    /// Worker threads; `0` means one per available core.
-    pub workers: usize,
-    /// Admission-queue capacity; `0` means [`DEFAULT_QUEUE_CAPACITY`].
-    pub queue_capacity: usize,
-    /// Default per-attempt deadline applied when a submission names none.
-    pub deadline: Option<Duration>,
-    /// Default per-attempt fuel applied when a submission names none.
-    pub fuel: Option<u64>,
-    /// Fault plan armed for matching designs (testing the daemon's own
-    /// resilience); requests touched by it bypass the cache.
-    pub faults: Option<FaultPlan>,
-}
-
-/// Queue capacity when [`ServeConfig::queue_capacity`] is `0`.
+/// Queue capacity when none is configured.
 pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
 
+/// Daemon configuration: execution defaults, cache limits, and
+/// transport endpoints. Opaque — build one with
+/// [`ServeConfig::builder`].
+#[derive(Debug, Clone, Default)]
+pub struct ServeConfig {
+    workers: usize,
+    queue_capacity: usize,
+    deadline: Option<Duration>,
+    fuel: Option<u64>,
+    faults: Option<FaultPlan>,
+    cache_bytes: Option<u64>,
+    cache_dir: Option<PathBuf>,
+    tcp: Option<String>,
+    http: Option<String>,
+}
+
 impl ServeConfig {
+    /// Starts a builder holding the default configuration.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            config: ServeConfig::default(),
+        }
+    }
+
+    /// Worker threads; `0` means one per available core.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Admission-queue capacity; `0` means [`DEFAULT_QUEUE_CAPACITY`].
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// Default per-attempt deadline applied when a submission names none.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// Default per-attempt fuel applied when a submission names none.
+    pub fn fuel(&self) -> Option<u64> {
+        self.fuel
+    }
+
+    /// Fault plan armed for matching designs (testing the daemon's own
+    /// resilience); requests touched by it bypass the cache.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Memory-tier byte budget; `None` means unbounded.
+    pub fn cache_bytes(&self) -> Option<u64> {
+        self.cache_bytes
+    }
+
+    /// Disk-spill directory; `None` disables the persistent tier.
+    pub fn cache_dir(&self) -> Option<&Path> {
+        self.cache_dir.as_deref()
+    }
+
+    /// TCP listen address (`HOST:PORT`); `None` serves stdio.
+    pub fn tcp(&self) -> Option<&str> {
+        self.tcp.as_deref()
+    }
+
+    /// HTTP listen address (`HOST:PORT`); `None` disables the HTTP
+    /// front end.
+    pub fn http(&self) -> Option<&str> {
+        self.http.as_deref()
+    }
+
     /// The effective worker count.
     pub fn effective_workers(&self) -> usize {
         if self.workers > 0 {
@@ -69,13 +135,94 @@ impl ServeConfig {
     }
 }
 
-/// The shared service state: stage matrix, artifact cache, collector,
-/// and request counters. Transports ([`crate::server`]) own sockets
-/// and threads; the service owns semantics.
+/// Builder for [`ServeConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Sets the worker-thread count (`0` = one per core).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Sets the admission-queue capacity (`0` = the default).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the default per-attempt deadline.
+    pub fn deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.config.deadline = deadline;
+        self
+    }
+
+    /// Sets the default per-attempt fuel budget.
+    pub fn fuel(mut self, fuel: Option<u64>) -> Self {
+        self.config.fuel = fuel;
+        self
+    }
+
+    /// Arms a fault plan for matching designs.
+    pub fn faults(mut self, faults: Option<FaultPlan>) -> Self {
+        self.config.faults = faults;
+        self
+    }
+
+    /// Budgets the memory cache tier in approximate bytes.
+    pub fn cache_bytes(mut self, bytes: u64) -> Self {
+        self.config.cache_bytes = Some(bytes);
+        self
+    }
+
+    /// Enables the disk-spill tier rooted at `dir`.
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.config.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Serves the line-JSON protocol on a TCP address instead of stdio.
+    pub fn tcp(mut self, addr: impl Into<String>) -> Self {
+        self.config.tcp = Some(addr.into());
+        self
+    }
+
+    /// Serves the HTTP/1.1 front end on a TCP address.
+    pub fn http(mut self, addr: impl Into<String>) -> Self {
+        self.config.http = Some(addr.into());
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> ServeConfig {
+        self.config
+    }
+}
+
+/// How the compile artifact for one submission was obtained.
+enum CompileOutcome {
+    /// Served from the cache (memory or spill) or from a coalesced
+    /// in-flight compile.
+    Hit(Arc<CacheEntry>),
+    /// This request compiled it (and published it, when cacheable).
+    Compiled(Arc<CacheEntry>, Duration),
+    /// Generation or compilation panicked.
+    Panicked(String),
+}
+
+/// The shared service state: stage matrix, tiered cache, single-flight
+/// tables, collector, and request counters. Transports
+/// ([`crate::server`], [`crate::http`]) own sockets and threads; the
+/// service owns semantics.
 pub struct Service {
     stages: Vec<Stage>,
     config: ServeConfig,
-    cache: ArtifactCache,
+    cache: TieredCache,
+    compile_flights: SingleFlight<u64>,
+    stage_flights: SingleFlight<(u64, String)>,
     collector: Arc<Collector>,
     submitted: AtomicU64,
     completed: AtomicU64,
@@ -93,10 +240,13 @@ impl Service {
     /// A service running a caller-supplied stage matrix (tests use this
     /// to pin engine parity with synthetic stages).
     pub fn with_stages(config: ServeConfig, stages: Vec<Stage>) -> Service {
+        let cache = TieredCache::with_limits(config.cache_bytes(), config.cache_dir.clone());
         Service {
             stages,
             config,
-            cache: ArtifactCache::new(),
+            cache,
+            compile_flights: SingleFlight::new(),
+            stage_flights: SingleFlight::new(),
             collector: Arc::new(Collector::new()),
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
@@ -106,13 +256,13 @@ impl Service {
         }
     }
 
-    /// The daemon's execution defaults.
+    /// The daemon's configuration.
     pub fn config(&self) -> &ServeConfig {
         &self.config
     }
 
-    /// The artifact cache (exposed for stats and tests).
-    pub fn cache(&self) -> &ArtifactCache {
+    /// The tiered cache (exposed for stats and tests).
+    pub fn cache(&self) -> &TieredCache {
         &self.cache
     }
 
@@ -239,56 +389,44 @@ impl Service {
             ));
         }
 
-        // Compile: shared from the cache when possible, fresh otherwise.
-        let (entry, compile_hit, compile_wall) = self.obtain_compile(key, cacheable, device);
-        let entry = match entry {
-            Ok(entry) => entry,
-            Err(panic) => {
-                // Generation/compilation panicked: every selected stage is
-                // a failed cell, exactly as the harness reports it.
-                for stage in &selected {
-                    cells += 1;
-                    emit(cell_event(
+        // Compile: shared from the cache / an in-flight duplicate when
+        // possible, fresh otherwise.
+        let (entry, compile_hit, compile_wall) =
+            match self.obtain_compile(key, cacheable, &device, &doc, faults.as_ref()) {
+                CompileOutcome::Hit(entry) => (entry, true, None),
+                CompileOutcome::Compiled(entry, wall) => (entry, false, Some(wall)),
+                CompileOutcome::Panicked(panic) => {
+                    // Generation/compilation panicked: every selected stage
+                    // is a failed cell, exactly as the harness reports it.
+                    for stage in &selected {
+                        cells += 1;
+                        emit(cell_event(
+                            &request.id,
+                            &design,
+                            &stage.name,
+                            "failed",
+                            Some(&format!("compile panicked: {panic}")),
+                            &Default::default(),
+                            0.0,
+                            false,
+                        ));
+                    }
+                    emit(done_event(
                         &request.id,
                         &design,
-                        &stage.name,
-                        "failed",
-                        Some(&format!("compile panicked: {panic}")),
-                        &Default::default(),
-                        0.0,
+                        &hash::hex(key),
                         false,
+                        None,
+                        cells,
                     ));
+                    return;
                 }
-                emit(done_event(
-                    &request.id,
-                    &design,
-                    &hash::hex(key),
-                    false,
-                    None,
-                    cells,
-                ));
-                return;
-            }
-        };
+            };
 
         for stage in &selected {
             let started = Instant::now();
-            let (exec, cached) = match cacheable.then(|| entry.stage(&stage.name)).flatten() {
-                Some(replayed) => (replayed, true),
-                None => {
-                    let exec = engine::execute_stage(
-                        stage,
-                        &entry.compiled,
-                        &policy,
-                        faults.as_ref(),
-                        false,
-                    );
-                    if cacheable {
-                        entry.store_stage(&stage.name, &exec);
-                    }
-                    (exec, false)
-                }
-            };
+            let (exec, cached) =
+                self.obtain_stage(key, &entry, stage, &policy, faults.as_ref(), cacheable);
             if cacheable {
                 self.cache.count_stage(cached);
             }
@@ -323,49 +461,160 @@ impl Service {
         ));
     }
 
-    /// Gets the compile artifact for `key`: from the cache (hit), by
-    /// compiling and inserting (cacheable miss), or by compiling without
-    /// touching the cache (unconditioned runs only may share artifacts).
-    ///
-    /// Returns `(entry, was_cache_hit, compile_wall)`; `compile_wall` is
-    /// `None` on hits (nothing was compiled by *this* request).
-    #[allow(clippy::type_complexity)]
+    /// Gets the compile artifact for `key`: from the tiered cache, by
+    /// winning the single-flight and compiling, or by parking behind an
+    /// identical in-flight compile. Non-cacheable requests compile
+    /// fresh without touching cache or flights.
     fn obtain_compile(
         &self,
         key: u64,
         cacheable: bool,
-        device: Device,
-    ) -> (Result<Arc<CacheEntry>, String>, bool, Option<Duration>) {
-        if cacheable {
-            if let Some(entry) = self.cache.lookup(key) {
-                parchmint_obs::count("serve.compile.replayed", 1);
-                return (Ok(entry), true, None);
-            }
+        device: &Device,
+        doc: &Value,
+        faults: Option<&Arc<FaultPlan>>,
+    ) -> CompileOutcome {
+        if !cacheable {
+            let device = device.clone();
+            let compile = engine::compile_device(move || device, faults, false);
+            parchmint_obs::count("serve.compile.executed", 1);
+            return match compile.compiled {
+                Ok(compiled) => CompileOutcome::Compiled(
+                    Arc::new(CacheEntry::new(doc.clone(), compiled, compile.wall)),
+                    compile.wall,
+                ),
+                Err(panic) => CompileOutcome::Panicked(panic),
+            };
         }
-        let design = device.name.clone();
-        let compile =
-            engine::compile_device(move || device, self.faults_for(&design).as_ref(), false);
-        parchmint_obs::count("serve.compile.executed", 1);
-        match compile.compiled {
-            Ok(compiled) => {
-                let mut entry = Arc::new(CacheEntry::new(compiled, compile.wall));
-                if cacheable {
-                    entry = self.cache.insert(key, entry);
-                }
-                (Ok(entry), false, Some(compile.wall))
+        loop {
+            if let Some((entry, _tier)) = self.cache.lookup(key) {
+                parchmint_obs::count("serve.compile.replayed", 1);
+                return CompileOutcome::Hit(entry);
             }
-            Err(panic) => (Err(panic), false, Some(compile.wall)),
+            match self.compile_flights.join(key) {
+                Flight::Leader(token) => {
+                    // A leader that finished between our counted miss and
+                    // this promotion already published; don't recompile.
+                    if let Some(entry) = self.cache.peek(key) {
+                        token.complete();
+                        parchmint_obs::count("serve.compile.replayed", 1);
+                        return CompileOutcome::Hit(entry);
+                    }
+                    let device = device.clone();
+                    let compile = engine::compile_device(move || device, None, false);
+                    parchmint_obs::count("serve.compile.executed", 1);
+                    return match compile.compiled {
+                        Ok(compiled) => {
+                            let entry = self.cache.insert(
+                                key,
+                                Arc::new(CacheEntry::new(doc.clone(), compiled, compile.wall)),
+                            );
+                            token.complete();
+                            CompileOutcome::Compiled(entry, compile.wall)
+                        }
+                        // The token drops unfinished → the flight is
+                        // abandoned and every waiter retries for itself.
+                        Err(panic) => CompileOutcome::Panicked(panic),
+                    };
+                }
+                Flight::Waiter(wait) => {
+                    self.cache.count_coalesced();
+                    // True → the leader published; retry the lookup.
+                    // False → the leader abandoned; retry the join and
+                    // possibly lead ourselves.
+                    let _ = wait.wait();
+                }
+            }
         }
     }
 
-    /// The daemon's counter snapshot: request counters, cache layer, and
-    /// the aggregated observability counters workers recorded.
+    /// Gets one stage result: replayed from the entry, by winning the
+    /// stage single-flight and executing, or by parking behind an
+    /// identical in-flight execution.
+    fn obtain_stage(
+        &self,
+        key: u64,
+        entry: &Arc<CacheEntry>,
+        stage: &Stage,
+        policy: &ExecPolicy,
+        faults: Option<&Arc<FaultPlan>>,
+        cacheable: bool,
+    ) -> (StageExec, bool) {
+        let execute = |compiled: &CompiledDevice| {
+            engine::execute_stage(stage, compiled, policy, faults, false)
+        };
+        if !cacheable {
+            let compiled = entry.compiled().expect("fresh compiles always materialize");
+            return (execute(&compiled), false);
+        }
+        loop {
+            if let Some(replayed) = entry.stage(&stage.name) {
+                return (replayed, true);
+            }
+            match self.stage_flights.join((key, stage.name.clone())) {
+                Flight::Leader(token) => {
+                    if let Some(replayed) = entry.stage(&stage.name) {
+                        token.complete();
+                        return (replayed, true);
+                    }
+                    let compiled = match self.materialize(entry) {
+                        Ok(compiled) => compiled,
+                        // The dropped token wakes waiters to retry (and
+                        // fail the same way, each reporting for itself).
+                        Err(panic) => {
+                            return (
+                                StageExec {
+                                    status: parchmint_harness::CellStatus::Failed,
+                                    detail: Some(format!("compile panicked: {panic}")),
+                                    metrics: Default::default(),
+                                    trace: None,
+                                    attempts: 1,
+                                },
+                                false,
+                            )
+                        }
+                    };
+                    let exec = execute(&compiled);
+                    self.cache.store_stage(key, entry, &stage.name, &exec);
+                    token.complete();
+                    return (exec, false);
+                }
+                Flight::Waiter(wait) => {
+                    self.cache.count_coalesced();
+                    let _ = wait.wait();
+                }
+            }
+        }
+    }
+
+    /// The compiled view for `entry`, re-materializing it from the
+    /// canonical document when the entry was rehydrated from spill.
+    fn materialize(&self, entry: &Arc<CacheEntry>) -> Result<Arc<CompiledDevice>, String> {
+        if let Some(compiled) = entry.compiled() {
+            return Ok(compiled);
+        }
+        let device = Device::from_json(&hash::canonical_string(entry.doc()))
+            .map_err(|e| format!("spilled design no longer parses: {e}"))?;
+        let compile = engine::compile_device(move || device, None, false);
+        parchmint_obs::count("serve.compile.executed", 1);
+        compile.compiled.map(|compiled| entry.materialize(compiled))
+    }
+
+    /// The daemon's counter snapshot: protocol version, request
+    /// counters, cache tiers, and the aggregated observability counters
+    /// workers recorded.
     pub fn stats_json(&self) -> Value {
         let mut object = Map::new();
         object.insert(
             "schema".to_string(),
-            Value::from("parchmint-serve-stats/v1"),
+            Value::from("parchmint-serve-stats/v2"),
         );
+        let mut proto = Map::new();
+        proto.insert("negotiated".to_string(), Value::from(PROTO));
+        proto.insert(
+            "supported_majors".to_string(),
+            Value::Array(vec![Value::from(PROTO_MAJOR)]),
+        );
+        object.insert("proto".to_string(), Value::Object(proto));
         let mut requests = Map::new();
         requests.insert(
             "submitted".to_string(),
@@ -389,6 +638,16 @@ impl Service {
         );
         object.insert("requests".to_string(), Value::Object(requests));
         object.insert("cache".to_string(), self.cache.stats_json());
+        let mut flights = Map::new();
+        flights.insert(
+            "compiles".to_string(),
+            Value::from(self.compile_flights.in_flight()),
+        );
+        flights.insert(
+            "stages".to_string(),
+            Value::from(self.stage_flights.in_flight()),
+        );
+        object.insert("flights".to_string(), Value::Object(flights));
         let summary = self.collector.summary();
         let mut counters = Map::new();
         for (name, total) in &summary.counters {
@@ -438,6 +697,36 @@ mod tests {
     }
 
     #[test]
+    fn config_builder_round_trips() {
+        let config = ServeConfig::builder()
+            .workers(3)
+            .queue_capacity(9)
+            .deadline(Some(Duration::from_millis(5)))
+            .fuel(Some(100))
+            .cache_bytes(1 << 20)
+            .cache_dir("/tmp/somewhere")
+            .tcp("127.0.0.1:0")
+            .http("127.0.0.1:0")
+            .build();
+        assert_eq!(config.workers(), 3);
+        assert_eq!(config.queue_capacity(), 9);
+        assert_eq!(config.effective_queue_capacity(), 9);
+        assert_eq!(config.deadline(), Some(Duration::from_millis(5)));
+        assert_eq!(config.fuel(), Some(100));
+        assert_eq!(config.cache_bytes(), Some(1 << 20));
+        assert_eq!(
+            config.cache_dir(),
+            Some(std::path::Path::new("/tmp/somewhere"))
+        );
+        assert_eq!(config.tcp(), Some("127.0.0.1:0"));
+        assert_eq!(config.http(), Some("127.0.0.1:0"));
+        let defaults = ServeConfig::default();
+        assert_eq!(defaults.effective_queue_capacity(), DEFAULT_QUEUE_CAPACITY);
+        assert!(defaults.cache_bytes().is_none());
+        assert!(defaults.cache_dir().is_none());
+    }
+
+    #[test]
     fn a_benchmark_submission_streams_cells_then_done() {
         let service = Service::new(ServeConfig::default());
         let events = events_of(&service, &submit("logic_gate_or"));
@@ -461,8 +750,9 @@ mod tests {
             first[0]["cell"], second[0]["cell"],
             "replayed cell is identical"
         );
-        let (compile_hits, _, stage_hits, _) = service.cache().counters();
-        assert_eq!((compile_hits, stage_hits), (1, 1));
+        let counters = service.cache().counters();
+        assert_eq!((counters.memory_hits, counters.stage_hits), (1, 1));
+        assert_eq!(counters.misses, 1);
     }
 
     #[test]
@@ -475,8 +765,12 @@ mod tests {
         assert_eq!(first[0]["cached"], Value::from(false));
         assert_eq!(second[0]["cached"], Value::from(false));
         assert_eq!(service.cache().len(), 0);
-        let (hits, misses, _, _) = service.cache().counters();
-        assert_eq!((hits, misses), (0, 0), "bounded runs never touch the cache");
+        let counters = service.cache().counters();
+        assert_eq!(
+            (counters.memory_hits, counters.misses),
+            (0, 0),
+            "bounded runs never touch the cache"
+        );
     }
 
     #[test]
@@ -503,10 +797,13 @@ mod tests {
         events_of(&service, &submit("logic_gate_or"));
         events_of(&service, &submit("logic_gate_or"));
         let stats = service.stats_json();
+        assert_eq!(stats["schema"], Value::from("parchmint-serve-stats/v2"));
+        assert_eq!(stats["proto"]["negotiated"], Value::from(PROTO));
         assert_eq!(stats["requests"]["submitted"], Value::from(2u64));
         assert_eq!(stats["requests"]["completed"], Value::from(2u64));
         assert_eq!(stats["cache"]["entries"], Value::from(1));
-        assert_eq!(stats["cache"]["compile_hits"], Value::from(1u64));
+        assert_eq!(stats["cache"]["memory_hits"], Value::from(1u64));
         assert_eq!(stats["cache"]["stage_hits"], Value::from(1u64));
+        assert_eq!(stats["flights"]["compiles"], Value::from(0));
     }
 }

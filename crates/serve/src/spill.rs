@@ -1,0 +1,327 @@
+//! The persistent disk-spill cache tier.
+//!
+//! One file per cached design, named by the same 16-hex-digit FNV-1a
+//! content hash that keys the in-memory tier, holding the canonical
+//! device document plus every recorded stage cell
+//! (`parchmint-spill/v1`). A daemon restarted with the same
+//! `--cache-dir` therefore serves warm resubmissions without
+//! recompiling anything: the entry is rehydrated from disk, its stages
+//! replay byte-identically, and the compile artifact itself is only
+//! re-materialized if a *new* stage needs it.
+//!
+//! Two durability rules:
+//!
+//! - **Writes are atomic.** Every store writes a unique temp file in
+//!   the cache directory and renames it over the final name, so a
+//!   crashed daemon can leave stray `*.tmp` files but never a
+//!   half-written entry under a real key.
+//! - **Loads are corruption-tolerant.** A spill file that is missing,
+//!   unreadable, unparseable, schema-mismatched, or keyed wrong is a
+//!   cache *miss* (counted under `spill_corrupt`), never an error — the
+//!   design simply recompiles and the bad file is overwritten by the
+//!   next store.
+
+use parchmint_harness::{CellStatus, StageExec};
+use serde_json::{Map, Value};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The spill file schema tag.
+pub const SPILL_SCHEMA: &str = "parchmint-spill/v1";
+
+/// A stage map plus compile metadata rehydrated from one spill file.
+pub struct SpillEntry {
+    /// The canonical design document (the hash preimage).
+    pub doc: Value,
+    /// The original compile wall time, as recorded by the daemon that
+    /// first compiled the design.
+    pub compile_wall: Duration,
+    /// Every stage cell recorded for the design.
+    pub stages: BTreeMap<String, StageExec>,
+}
+
+/// The disk tier: a directory of content-hash-named entry files.
+pub struct Spill {
+    dir: PathBuf,
+    seq: AtomicU64,
+    corrupt: AtomicU64,
+}
+
+impl Spill {
+    /// A spill tier rooted at `dir`. The directory is created if
+    /// missing; failure to create it degrades the tier to a no-op
+    /// (every load misses, every store is dropped) rather than failing
+    /// the daemon — callers that want a hard error create the directory
+    /// themselves first.
+    pub fn open(dir: impl Into<PathBuf>) -> Spill {
+        let dir = dir.into();
+        let _ = fs::create_dir_all(&dir);
+        Spill {
+            dir,
+            seq: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+        }
+    }
+
+    /// The spill directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// How many loads found a file that could not be trusted.
+    pub fn corrupt_loads(&self) -> u64 {
+        self.corrupt.load(Ordering::Relaxed)
+    }
+
+    fn entry_path(&self, key_hex: &str) -> PathBuf {
+        self.dir.join(format!("{key_hex}.json"))
+    }
+
+    /// Loads the entry spilled under `key_hex`, tolerating every form
+    /// of corruption as a miss. A missing file is a plain miss; a
+    /// present-but-bad file additionally counts under `corrupt_loads`.
+    pub fn load(&self, key_hex: &str) -> Option<SpillEntry> {
+        let path = self.entry_path(key_hex);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(error) if error.kind() == std::io::ErrorKind::NotFound => return None,
+            Err(_) => {
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match decode_entry(&text, key_hex) {
+            Some(entry) => Some(entry),
+            None => {
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Spills an entry: canonical document, compile wall time, and the
+    /// current stage snapshot. Atomic (tmp-then-rename) and best-effort
+    /// — a full disk loses persistence, never correctness.
+    pub fn store(
+        &self,
+        key_hex: &str,
+        doc: &Value,
+        compile_wall: Duration,
+        stages: &BTreeMap<String, StageExec>,
+    ) {
+        let body = encode_entry(key_hex, doc, compile_wall, stages);
+        let unique = self.seq.fetch_add(1, Ordering::Relaxed);
+        let tmp = self
+            .dir
+            .join(format!("{key_hex}.{}.{unique}.tmp", std::process::id()));
+        if fs::write(&tmp, body).is_err() {
+            let _ = fs::remove_file(&tmp);
+            return;
+        }
+        if fs::rename(&tmp, self.entry_path(key_hex)).is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+    }
+}
+
+fn encode_entry(
+    key_hex: &str,
+    doc: &Value,
+    compile_wall: Duration,
+    stages: &BTreeMap<String, StageExec>,
+) -> String {
+    let mut object = Map::new();
+    object.insert("schema".to_string(), Value::from(SPILL_SCHEMA));
+    object.insert("key".to_string(), Value::from(key_hex));
+    object.insert("design".to_string(), doc.clone());
+    object.insert(
+        "compile_ms".to_string(),
+        Value::from(compile_wall.as_secs_f64() * 1e3),
+    );
+    let mut cells = Map::new();
+    for (name, exec) in stages {
+        let mut cell = Map::new();
+        cell.insert("status".to_string(), Value::from(exec.status.as_str()));
+        if let Some(detail) = &exec.detail {
+            cell.insert("detail".to_string(), Value::from(detail.clone()));
+        }
+        if !exec.metrics.is_empty() {
+            let metrics: Map = exec
+                .metrics
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            cell.insert("metrics".to_string(), Value::Object(metrics));
+        }
+        cell.insert("attempts".to_string(), Value::from(exec.attempts));
+        cells.insert(name.clone(), Value::Object(cell));
+    }
+    object.insert("stages".to_string(), Value::Object(cells));
+    serde_json::to_string(&Value::Object(object)).expect("spill entry serializes")
+}
+
+fn decode_entry(text: &str, key_hex: &str) -> Option<SpillEntry> {
+    let value: Value = serde_json::from_str(text).ok()?;
+    let object = value.as_object()?;
+    if object.get("schema")?.as_str()? != SPILL_SCHEMA {
+        return None;
+    }
+    if object.get("key")?.as_str()? != key_hex {
+        return None;
+    }
+    let doc = object.get("design")?.clone();
+    let compile_ms = object.get("compile_ms")?.as_f64()?;
+    if !compile_ms.is_finite() || compile_ms < 0.0 {
+        return None;
+    }
+    let mut stages = BTreeMap::new();
+    for (name, cell) in object.get("stages")?.as_object()? {
+        let cell = cell.as_object()?;
+        let status = CellStatus::parse(cell.get("status")?.as_str()?)?;
+        let detail = match cell.get("detail") {
+            None => None,
+            Some(value) => Some(value.as_str()?.to_string()),
+        };
+        let metrics = match cell.get("metrics") {
+            None => BTreeMap::new(),
+            Some(value) => value
+                .as_object()?
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        };
+        let attempts = u32::try_from(cell.get("attempts")?.as_u64()?).ok()?;
+        stages.insert(
+            name.clone(),
+            StageExec {
+                status,
+                detail,
+                metrics,
+                trace: None,
+                attempts,
+            },
+        );
+    }
+    Some(SpillEntry {
+        doc,
+        compile_wall: Duration::from_secs_f64(compile_ms / 1e3),
+        stages,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("parchmint-spill-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_stages() -> BTreeMap<String, StageExec> {
+        let mut stages = BTreeMap::new();
+        stages.insert(
+            "validate".to_string(),
+            StageExec {
+                status: CellStatus::Ok,
+                detail: None,
+                metrics: BTreeMap::from([("rules".to_string(), Value::from(12))]),
+                trace: None,
+                attempts: 1,
+            },
+        );
+        stages.insert(
+            "route:astar".to_string(),
+            StageExec {
+                status: CellStatus::Degraded,
+                detail: Some("fell back".to_string()),
+                metrics: BTreeMap::new(),
+                trace: None,
+                attempts: 2,
+            },
+        );
+        stages
+    }
+
+    #[test]
+    fn round_trips_an_entry() {
+        let dir = temp_dir("roundtrip");
+        let spill = Spill::open(&dir);
+        let doc = Value::Object(Map::from_iter([(
+            "name".to_string(),
+            Value::from("roundtrip"),
+        )]));
+        spill.store(
+            "00000000deadbeef",
+            &doc,
+            Duration::from_millis(5),
+            &sample_stages(),
+        );
+        let loaded = spill.load("00000000deadbeef").expect("stored entry loads");
+        assert_eq!(loaded.doc, doc);
+        assert_eq!(loaded.stages.len(), 2);
+        assert_eq!(loaded.stages["validate"].status, CellStatus::Ok);
+        assert_eq!(loaded.stages["validate"].metrics["rules"], Value::from(12));
+        let degraded = &loaded.stages["route:astar"];
+        assert_eq!(degraded.status, CellStatus::Degraded);
+        assert_eq!(degraded.detail.as_deref(), Some("fell back"));
+        assert_eq!(degraded.attempts, 2);
+        assert_eq!(spill.corrupt_loads(), 0);
+        // No temp droppings survive a store.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|ext| ext == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_is_a_miss_not_an_error() {
+        let dir = temp_dir("corrupt");
+        let spill = Spill::open(&dir);
+        assert!(spill.load("0000000000000001").is_none());
+        assert_eq!(spill.corrupt_loads(), 0, "absent files are plain misses");
+
+        fs::write(dir.join("0000000000000002.json"), "{truncated").unwrap();
+        assert!(spill.load("0000000000000002").is_none());
+
+        fs::write(
+            dir.join("0000000000000003.json"),
+            r#"{"schema":"other/v9","key":"0000000000000003","design":{},"compile_ms":1,"stages":{}}"#,
+        )
+        .unwrap();
+        assert!(spill.load("0000000000000003").is_none());
+
+        // A file renamed under the wrong hash must not poison that key.
+        let doc = Value::Object(Map::new());
+        spill.store("000000000000000a", &doc, Duration::ZERO, &BTreeMap::new());
+        fs::rename(
+            dir.join("000000000000000a.json"),
+            dir.join("000000000000000b.json"),
+        )
+        .unwrap();
+        assert!(spill.load("000000000000000b").is_none());
+        assert_eq!(spill.corrupt_loads(), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_overwrites_a_corrupt_file() {
+        let dir = temp_dir("overwrite");
+        let spill = Spill::open(&dir);
+        fs::write(dir.join("00000000000000ff.json"), "garbage").unwrap();
+        assert!(spill.load("00000000000000ff").is_none());
+        let doc = Value::Object(Map::new());
+        spill.store("00000000000000ff", &doc, Duration::ZERO, &sample_stages());
+        let loaded = spill.load("00000000000000ff").expect("healed");
+        assert_eq!(loaded.stages.len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

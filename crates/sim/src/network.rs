@@ -11,7 +11,7 @@ use crate::resistance::{
     component_resistance, ChannelGeometry, Fluid, DEFAULT_CHANNEL_DEPTH, DEFAULT_CHANNEL_LENGTH,
     DEFAULT_CHANNEL_WIDTH,
 };
-use parchmint::{CompiledDevice, ComponentId, ConnIx, ConnectionId, Device, LayerType};
+use parchmint::{CompiledDevice, ComponentId, ConnIx, ConnectionId, LayerType};
 use parchmint_control::ValveState;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
@@ -104,38 +104,6 @@ impl FlowNetwork {
         states: &BTreeMap<ComponentId, ValveState>,
     ) -> Self {
         Self::build(compiled, fluid, states)
-    }
-
-    /// Builds the network from a raw device, all valves at rest.
-    ///
-    /// Compiles a throwaway [`CompiledDevice`] on every call.
-    #[doc(hidden)]
-    #[deprecated(
-        since = "0.1.0",
-        note = "compile once (`CompiledDevice::from_ref(&device)`) and call \
-                `FlowNetwork::new(&compiled, fluid)`; this wrapper recompiles \
-                on every call"
-    )]
-    pub fn from_device(device: &Device, fluid: Fluid) -> Self {
-        Self::new(&CompiledDevice::from_ref(device), fluid)
-    }
-
-    /// Builds the valve-aware network from a raw device.
-    ///
-    /// Compiles a throwaway [`CompiledDevice`] on every call.
-    #[doc(hidden)]
-    #[deprecated(
-        since = "0.1.0",
-        note = "compile once (`CompiledDevice::from_ref(&device)`) and call \
-                `FlowNetwork::with_valve_states(&compiled, fluid, states)`; \
-                this wrapper recompiles on every call"
-    )]
-    pub fn with_valve_states_device(
-        device: &Device,
-        fluid: Fluid,
-        states: &BTreeMap<ComponentId, ValveState>,
-    ) -> Self {
-        Self::with_valve_states(&CompiledDevice::from_ref(device), fluid, states)
     }
 
     fn build(
@@ -548,7 +516,7 @@ mod tests {
     use super::tests_support::straight_device;
     use super::*;
     use parchmint::geometry::Span;
-    use parchmint::{Component, Connection, Entity, Layer, Port, Target, ValveType};
+    use parchmint::{Component, Connection, Device, Entity, Layer, Port, Target, ValveType};
 
     #[test]
     fn series_channel_carries_uniform_flow() {

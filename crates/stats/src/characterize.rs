@@ -1,6 +1,6 @@
 //! Per-device characterization statistics.
 
-use parchmint::{CompiledDevice, Device, EntityClass, LayerType};
+use parchmint::{CompiledDevice, EntityClass, LayerType};
 use parchmint_graph::{GraphMetrics, Netlist};
 use serde::{Deserialize, Serialize};
 
@@ -82,19 +82,6 @@ impl DeviceStats {
             bridges,
             json_bytes,
         }
-    }
-
-    /// Computes all statistics for a raw `device`.
-    ///
-    /// Compiles a throwaway [`CompiledDevice`] on every call.
-    #[doc(hidden)]
-    #[deprecated(
-        since = "0.1.0",
-        note = "compile once (`CompiledDevice::from_ref(&device)`) and call \
-                `DeviceStats::of(&compiled)`; this wrapper recompiles on every call"
-    )]
-    pub fn of_device(device: &Device) -> Self {
-        DeviceStats::of(&CompiledDevice::from_ref(device))
     }
 
     /// Component count in `class`.

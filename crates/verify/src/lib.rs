@@ -35,8 +35,6 @@ mod rules;
 pub mod validator;
 
 pub use diagnostics::{Diagnostic, Report, Rule, Severity};
-#[allow(deprecated)]
-pub use validator::validate_device;
 pub use validator::{validate, DesignRules, Validator};
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 
 use crate::diagnostics::Report;
 use crate::rules;
-use parchmint::{CompiledDevice, Device};
+use parchmint::CompiledDevice;
 
 /// Fabrication limits the `DRC*` and `GEO*` rules enforce.
 ///
@@ -121,34 +121,10 @@ impl Validator {
         );
         report
     }
-
-    /// Runs every rule group over `device`.
-    ///
-    /// Compiles a throwaway [`CompiledDevice`] on every call.
-    #[doc(hidden)]
-    #[deprecated(
-        since = "0.1.0",
-        note = "compile once and call `Validator::validate(&compiled)`; \
-                this wrapper recompiles the device on every call"
-    )]
-    pub fn validate_device(&self, device: &Device) -> Report {
-        self.validate(&CompiledDevice::from_ref(device))
-    }
 }
 
 /// Validates a compiled device with default rules; shorthand for
 /// `Validator::new().validate(..)`.
 pub fn validate(compiled: &CompiledDevice) -> Report {
     Validator::new().validate(compiled)
-}
-
-/// Validates with default rules, compiling a throwaway view internally.
-#[doc(hidden)]
-#[deprecated(
-    since = "0.1.0",
-    note = "compile once (`CompiledDevice::from_ref(&device)`) and call \
-            `validate(&compiled)`; this wrapper recompiles on every call"
-)]
-pub fn validate_device(device: &Device) -> Report {
-    validate(&CompiledDevice::from_ref(device))
 }

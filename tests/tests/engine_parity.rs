@@ -78,10 +78,7 @@ fn harness_shapes() -> Vec<Shape> {
 }
 
 fn daemon_shapes() -> Vec<Shape> {
-    let config = ServeConfig {
-        faults: Some(fault_plan()),
-        ..ServeConfig::default()
-    };
+    let config = ServeConfig::builder().faults(Some(fault_plan())).build();
     let service = Service::with_stages(config, make_stages());
     let request = SubmitRequest {
         id: Value::from("parity"),

@@ -65,9 +65,9 @@ fn resubmitting_the_same_design_replays_every_stage_from_cache() {
         "replayed results must be byte-identical"
     );
 
-    let (compile_hits, compile_misses, stage_hits, stage_misses) = service.cache().counters();
-    assert_eq!((compile_hits, compile_misses), (1, 1));
-    assert_eq!((stage_hits, stage_misses), (10, 10));
+    let counters = service.cache().counters();
+    assert_eq!((counters.memory_hits, counters.misses), (1, 1));
+    assert_eq!((counters.stage_hits, counters.stage_misses), (10, 10));
     assert_eq!(service.cache().len(), 1);
 }
 

@@ -1,0 +1,149 @@
+//! The HTTP/1.1 front end: routes, the error-taxonomy status mapping,
+//! and parity with the line protocol (both transports share one
+//! service, queue, and cache).
+
+use parchmint_serve::{serve, Client, ServeConfig, Service};
+use serde_json::Value;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Starts a daemon with both transports; returns (tcp addr, http addr).
+fn start_daemon() -> (String, String, JoinHandle<()>) {
+    let tcp = TcpListener::bind("127.0.0.1:0").expect("bind tcp");
+    let http = TcpListener::bind("127.0.0.1:0").expect("bind http");
+    let tcp_addr = tcp.local_addr().expect("tcp addr").to_string();
+    let http_addr = http.local_addr().expect("http addr").to_string();
+    let service = Arc::new(Service::new(ServeConfig::builder().workers(2).build()));
+    let handle = std::thread::spawn(move || {
+        serve(service, Some(tcp), Some(http)).expect("daemon runs");
+    });
+    (tcp_addr, http_addr, handle)
+}
+
+/// One plain HTTP/1.1 round trip on a fresh connection.
+fn roundtrip(addr: &str, method: &str, path: &str, body: Option<&str>) -> (u16, Value) {
+    let mut stream = TcpStream::connect(addr).expect("connect http");
+    let body = body.unwrap_or_default();
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(request.as_bytes()).expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let payload = response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body)
+        .expect("header/body split");
+    let payload: Value = serde_json::from_str(payload.trim()).expect("JSON body");
+    (status, payload)
+}
+
+#[test]
+fn http_routes_and_status_codes_follow_the_taxonomy() {
+    let (tcp_addr, http_addr, handle) = start_daemon();
+
+    // healthz: alive and versioned.
+    let (status, body) = roundtrip(&http_addr, "GET", "/v1/healthz", None);
+    assert_eq!(status, 200);
+    assert_eq!(body["status"].as_str(), Some("ok"));
+    assert_eq!(body["proto"].as_str(), Some("parchmint-serve/1"));
+
+    // A good submission: 200 with the full event stream, done last.
+    let (status, body) = roundtrip(
+        &http_addr,
+        "POST",
+        "/v1/submit",
+        Some(r#"{"benchmark":"logic_gate_or","stages":["validate"]}"#),
+    );
+    assert_eq!(status, 200, "{body}");
+    let events = body["events"].as_array().expect("events array");
+    assert_eq!(events.last().unwrap()["event"].as_str(), Some("done"));
+    assert_eq!(events[0]["cell"]["status"].as_str(), Some("ok"));
+
+    // Unparseable body → 400 bad_request.
+    let (status, body) = roundtrip(&http_addr, "POST", "/v1/submit", Some("not json"));
+    assert_eq!(status, 400);
+    assert_eq!(body["error"]["kind"].as_str(), Some("bad_request"));
+
+    // Wrong protocol major → 400 unsupported_proto.
+    let (status, body) = roundtrip(
+        &http_addr,
+        "POST",
+        "/v1/submit",
+        Some(r#"{"proto":"parchmint-serve/9","benchmark":"logic_gate_or"}"#),
+    );
+    assert_eq!(status, 400);
+    assert_eq!(body["error"]["kind"].as_str(), Some("unsupported_proto"));
+
+    // Unknown benchmark → admitted, then refused: 422 with the
+    // `invalid_design` error event in the stream.
+    let (status, body) = roundtrip(
+        &http_addr,
+        "POST",
+        "/v1/submit",
+        Some(r#"{"benchmark":"not_a_benchmark"}"#),
+    );
+    assert_eq!(status, 422);
+    let last = body["events"]
+        .as_array()
+        .and_then(|e| e.last())
+        .expect("events");
+    assert_eq!(last["error"]["kind"].as_str(), Some("invalid_design"));
+
+    // Stats: both transports' traffic lands in one counter set.
+    let (status, body) = roundtrip(&http_addr, "GET", "/v1/stats", None);
+    assert_eq!(status, 200);
+    assert_eq!(body["schema"].as_str(), Some("parchmint-serve-stats/v2"));
+    assert!(body["requests"]["submitted"].as_u64().unwrap() >= 1);
+    assert_eq!(
+        body["proto"]["negotiated"].as_str(),
+        Some("parchmint-serve/1")
+    );
+
+    // Unknown route → 404; unsupported method → 405.
+    let (status, _) = roundtrip(&http_addr, "GET", "/v1/nope", None);
+    assert_eq!(status, 404);
+    let (status, _) = roundtrip(&http_addr, "DELETE", "/v1/stats", None);
+    assert_eq!(status, 405);
+
+    // The line protocol sees the HTTP submission's cache entry.
+    let mut client = Client::connect(&tcp_addr).expect("connect tcp");
+    let stats = client.stats().expect("stats over tcp");
+    assert_eq!(stats["cache"]["entries"].as_u64(), Some(1));
+    client.shutdown().expect("shutdown ack");
+    handle.join().expect("daemon exits");
+}
+
+#[test]
+fn http_keep_alive_serves_sequential_requests_on_one_connection() {
+    let (tcp_addr, http_addr, handle) = start_daemon();
+
+    let mut stream = TcpStream::connect(&http_addr).expect("connect http");
+    for _ in 0..2 {
+        stream
+            .write_all(b"GET /v1/healthz HTTP/1.1\r\nHost: test\r\n\r\n")
+            .expect("write request");
+        let mut buffer = [0u8; 4096];
+        let mut response = String::new();
+        while !response.contains("\r\n\r\n") || !response.contains("\"ok\"") {
+            let n = stream.read(&mut buffer).expect("read");
+            assert_ne!(n, 0, "connection closed early");
+            response.push_str(std::str::from_utf8(&buffer[..n]).expect("utf8"));
+        }
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    }
+    drop(stream);
+
+    let mut client = Client::connect(&tcp_addr).expect("connect tcp");
+    client.shutdown().expect("shutdown ack");
+    handle.join().expect("daemon exits");
+}

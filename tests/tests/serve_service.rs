@@ -23,10 +23,7 @@ fn start_daemon(config: ServeConfig) -> (String, JoinHandle<()>) {
 }
 
 fn two_workers() -> ServeConfig {
-    ServeConfig {
-        workers: 2,
-        ..ServeConfig::default()
-    }
+    ServeConfig::builder().workers(2).build()
 }
 
 #[test]
