@@ -1,0 +1,80 @@
+//! FPVA-scale ingest: streaming fast path vs the `Value` reference
+//! path, plus parallel batch throughput.
+//!
+//! The committed `BENCH_ingest.json` (regenerated with
+//! `parchmint bench-ingest`) tracks the same quantities over the whole
+//! FPVA ladder; this criterion harness is the interactive view on the
+//! small and medium rungs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parchmint::Device;
+use std::hint::black_box;
+
+fn print_ladder() {
+    println!("\n=== FPVA ingest ladder ===");
+    println!(
+        "{:<10} {:>10} {:>8} {:>12}",
+        "tier", "components", "valves", "json_bytes"
+    );
+    for benchmark in parchmint_suite::fpva_suite() {
+        if benchmark.name() == "fpva_100k" {
+            continue; // too large for an interactive print loop
+        }
+        let device = benchmark.device();
+        let json = device.to_json().unwrap();
+        println!(
+            "{:<10} {:>10} {:>8} {:>12}",
+            benchmark.name(),
+            device.components.len(),
+            device.valves.len(),
+            json.len()
+        );
+        assert_eq!(
+            Device::from_json_fast(&json).unwrap(),
+            Device::from_json(&json).unwrap(),
+            "{} must ingest identically on both paths",
+            benchmark.name()
+        );
+    }
+    println!();
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    print_ladder();
+
+    let mut group = c.benchmark_group("ingest_parse");
+    for tier in ["fpva_1k", "fpva_4k"] {
+        let device = parchmint_suite::by_name(tier).unwrap().device();
+        let json = device.to_json().unwrap();
+        group.throughput(Throughput::Bytes(json.len() as u64));
+        group.bench_with_input(BenchmarkId::new("value", tier), &json, |b, j| {
+            b.iter(|| Device::from_json(black_box(j)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("fast", tier), &json, |b, j| {
+            b.iter(|| Device::from_json_fast(black_box(j)).unwrap())
+        });
+    }
+    group.finish();
+
+    // Parallel batch: eight copies of the 1k tier across the core pool.
+    let json = parchmint_suite::by_name("fpva_1k")
+        .unwrap()
+        .device()
+        .to_json()
+        .unwrap();
+    let documents = vec![json; 8];
+    let config = parchmint_harness::BatchIngestConfig::new();
+    c.bench_function("ingest_batch_8x_fpva_1k", |b| {
+        b.iter(|| {
+            let outcomes = parchmint_harness::ingest_batch(black_box(&documents), &config);
+            assert!(outcomes.iter().all(|o| o.compiled.is_ok()));
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ingest
+}
+criterion_main!(benches);

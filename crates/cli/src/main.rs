@@ -15,6 +15,7 @@
 //! parchmint report-diff <BASELINE> <CURRENT>      per-cell structural diff of two suite reports
 //! parchmint serve [--tcp ADDR] [--workers N]      compilation-as-a-service daemon
 //! parchmint submit --addr HOST:PORT [BENCH...]    submit designs to a running daemon
+//! parchmint bench-ingest [TIER...] [-o FILE]      FPVA ingest throughput report
 //! ```
 
 use parchmint::{CompiledDevice, Device};
@@ -59,6 +60,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("report-diff") => cmd_report_diff(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
+        Some("bench-ingest") => cmd_bench_ingest(&args[1..]),
         Some("help") | None => {
             print!("{USAGE}");
             Ok(())
@@ -87,10 +89,12 @@ USAGE:
   parchmint quality-check <BASELINE.json> <REPORT.json>
   parchmint report-diff <BASELINE.json> <CURRENT.json>
   parchmint serve [--tcp HOST:PORT] [--http HOST:PORT] [--workers N] [--queue N]
-                  [--cache-bytes N] [--cache-dir PATH]
+                  [--cache-bytes N] [--cache-dir PATH] [--http-max-body BYTES]
                   [--deadline-ms N] [--fuel N] [--faults PLAN.json]
   parchmint submit --addr HOST:PORT [BENCH...] [--stages S1,S2] [--window N]
                    [-o FILE] [--strip-timings] [--stats-out FILE] [--shutdown]
+  parchmint bench-ingest [TIER...] [-o FILE] [--repeats N] [--threads N]
+                         [--parallel-docs N]
   parchmint schema
 ";
 
@@ -709,6 +713,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--queue",
             "--cache-bytes",
             "--cache-dir",
+            "--http-max-body",
             "--deadline-ms",
             "--fuel",
             "--faults",
@@ -736,6 +741,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     if let Some(path) = option_value(args, "--cache-dir") {
         builder = builder.cache_dir(path);
+    }
+    if let Some(text) = option_value(args, "--http-max-body") {
+        builder = builder.http_max_body(
+            text.parse()
+                .map_err(|_| format!("serve: bad body cap `{text}` (want bytes)"))?,
+        );
     }
     if let Some(text) = option_value(args, "--deadline-ms") {
         let ms: u64 = text
@@ -835,6 +846,67 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Default FPVA tiers `bench-ingest` sweeps when none are named. The
+/// 100k rung exists (`parchmint bench-ingest fpva_100k`) but is left
+/// out of the default so an unqualified run finishes in seconds.
+const BENCH_INGEST_DEFAULT_TIERS: &[&str] = &["fpva_1k", "fpva_4k", "fpva_10k"];
+
+fn cmd_bench_ingest(args: &[String]) -> Result<(), String> {
+    let tiers: Vec<String> = checked_positionals(
+        "bench-ingest",
+        args,
+        &["-o", "--repeats", "--threads", "--parallel-docs"],
+        &[],
+    )?
+    .into_iter()
+    .map(str::to_string)
+    .collect();
+    let tiers: Vec<&str> = if tiers.is_empty() {
+        BENCH_INGEST_DEFAULT_TIERS.to_vec()
+    } else {
+        tiers.iter().map(String::as_str).collect()
+    };
+    let parse_count = |flag: &str, default: usize| -> Result<usize, String> {
+        match option_value(args, flag) {
+            Some(text) => text
+                .parse()
+                .map_err(|_| format!("bench-ingest: bad `{flag}` value `{text}`")),
+            None => Ok(default),
+        }
+    };
+    let repeats = parse_count("--repeats", 3)?;
+    let threads = parse_count("--threads", 0)?;
+    let parallel_docs = parse_count("--parallel-docs", 8)?;
+
+    let mut reports = Vec::with_capacity(tiers.len());
+    for tier in &tiers {
+        let report = parchmint_benches::measure_ingest_tier(tier, repeats, threads, parallel_docs)
+            .map_err(|e| format!("bench-ingest: {e}"))?;
+        eprintln!(
+            "{tier}: {} components, fast path {:.1} MB/s ({:.2}x vs value path)",
+            report["components"].as_i64().unwrap_or_default(),
+            report["fast_path"]["mb_per_sec"]
+                .as_f64()
+                .unwrap_or_default(),
+            report["fast_path"]["speedup_vs_value"]
+                .as_f64()
+                .unwrap_or_default(),
+        );
+        reports.push(report);
+    }
+    let document = parchmint_benches::ingest_report(reports);
+    let mut text = serde_json::to_string_pretty(&document).expect("report serializes");
+    text.push('\n');
+    match option_value(args, "-o") {
+        Some(path) => {
+            std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            eprintln!("ingest report written to {path}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
 fn cmd_plan(args: &[String]) -> Result<(), String> {
     let positionals = positionals_of(args, &[]);
     let [source, from, to] = positionals.as_slice() else {
@@ -879,6 +951,37 @@ mod tests {
         let d = load_device("logic_gate_or").unwrap();
         assert_eq!(d.name, "logic_gate_or");
         assert!(load_device("no_such_benchmark.json").is_err());
+    }
+
+    #[test]
+    fn bench_ingest_writes_a_schema_tagged_report() {
+        let path = std::env::temp_dir().join("parchmint_bench_ingest_test.json");
+        run(&strings(&[
+            "bench-ingest",
+            "fpva_1k",
+            "--repeats",
+            "1",
+            "--parallel-docs",
+            "2",
+            "-o",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let report: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(
+            report["schema"],
+            serde_json::Value::from("parchmint-bench-ingest/v1")
+        );
+        assert_eq!(
+            report["tiers"][0]["name"],
+            serde_json::Value::from("fpva_1k")
+        );
+        assert!(report["tiers"][0]["fast_path"]["speedup_vs_value"]
+            .as_f64()
+            .is_some());
+        let _ = std::fs::remove_file(&path);
+        assert!(run(&strings(&["bench-ingest", "--bogus"])).is_err());
     }
 
     #[test]

@@ -101,6 +101,18 @@ impl Device {
         Ok(serde_json::from_str(json)?)
     }
 
+    /// Parses a device from ParchMint JSON text via the streaming
+    /// zero-copy reader — the hot path for large (FPVA-scale) devices.
+    ///
+    /// Semantically identical to [`Device::from_json`] (the `Value` tree
+    /// path stays as the reference implementation; an equivalence
+    /// proptest pins the two together), but runs in a single pass over
+    /// the input with borrowed keys/strings and no intermediate
+    /// `Value`/`Fragment` materialization.
+    pub fn from_json_fast(json: &str) -> Result<Self> {
+        crate::ingest::device_from_str(json)
+    }
+
     /// Serializes the device to compact ParchMint JSON.
     pub fn to_json(&self) -> Result<String> {
         Ok(serde_json::to_string(self)?)
@@ -394,58 +406,91 @@ impl TryFrom<DeviceRepr> for Device {
     type Error = Error;
 
     fn try_from(repr: DeviceRepr) -> Result<Self> {
-        let mut valves = Vec::with_capacity(repr.valve_map.len());
-        for (component, controls) in &repr.valve_map {
-            let valve_type = match repr.valve_type_map.get(component) {
-                Some(s) => s
-                    .parse::<ValveType>()
-                    .map_err(|e| Error::invalid_model(format!("valve `{component}`: {e}")))?,
-                None => ValveType::default(),
-            };
-            valves.push(Valve::new(
-                component.as_str(),
-                controls.as_str(),
-                valve_type,
-            ));
-        }
-        for orphan in repr.valve_type_map.keys() {
-            if !repr.valve_map.contains_key(orphan) {
-                return Err(Error::invalid_model(format!(
-                    "valveTypeMap entry `{orphan}` has no valveMap partner"
-                )));
-            }
-        }
-
-        let inferred = if !valves.is_empty() {
-            Version::V1_2
-        } else if !repr.features.is_empty() {
-            Version::V1_1
-        } else {
-            Version::V1_0
-        };
-        let version = repr.version.unwrap_or(inferred);
-        if version < Version::V1_1 && !repr.features.is_empty() {
-            return Err(Error::invalid_model(format!(
-                "version {version} does not support features (requires >= 1.1)"
-            )));
-        }
-        if version < Version::V1_2 && !valves.is_empty() {
-            return Err(Error::invalid_model(format!(
-                "version {version} does not support valve maps (requires >= 1.2)"
-            )));
-        }
-
-        Ok(Device {
+        finish_device(RawDevice {
             name: repr.name,
-            version,
+            version: repr.version,
             layers: repr.layers,
             components: repr.components,
             connections: repr.connections,
             features: repr.features,
-            valves,
+            valve_map: repr.valve_map,
+            valve_type_map: repr.valve_type_map,
             params: repr.params,
         })
     }
+}
+
+/// Parsed-but-unvalidated device fields, shared between the `Value`
+/// reference path ([`DeviceRepr`]) and the streaming fast path
+/// (`crate::ingest`): both funnel through [`finish_device`] so valve-map
+/// resolution, version inference, and the version/content checks — and
+/// their error messages — cannot drift apart.
+pub(crate) struct RawDevice {
+    pub(crate) name: String,
+    pub(crate) version: Option<Version>,
+    pub(crate) layers: Vec<Layer>,
+    pub(crate) components: Vec<Component>,
+    pub(crate) connections: Vec<Connection>,
+    pub(crate) features: Vec<Feature>,
+    pub(crate) valve_map: BTreeMap<String, String>,
+    pub(crate) valve_type_map: BTreeMap<String, String>,
+    pub(crate) params: Params,
+}
+
+/// Resolves valve maps, infers/validates the version, and assembles the
+/// final [`Device`].
+pub(crate) fn finish_device(raw: RawDevice) -> Result<Device> {
+    let mut valves = Vec::with_capacity(raw.valve_map.len());
+    for (component, controls) in &raw.valve_map {
+        let valve_type = match raw.valve_type_map.get(component) {
+            Some(s) => s
+                .parse::<ValveType>()
+                .map_err(|e| Error::invalid_model(format!("valve `{component}`: {e}")))?,
+            None => ValveType::default(),
+        };
+        valves.push(Valve::new(
+            component.as_str(),
+            controls.as_str(),
+            valve_type,
+        ));
+    }
+    for orphan in raw.valve_type_map.keys() {
+        if !raw.valve_map.contains_key(orphan) {
+            return Err(Error::invalid_model(format!(
+                "valveTypeMap entry `{orphan}` has no valveMap partner"
+            )));
+        }
+    }
+
+    let inferred = if !valves.is_empty() {
+        Version::V1_2
+    } else if !raw.features.is_empty() {
+        Version::V1_1
+    } else {
+        Version::V1_0
+    };
+    let version = raw.version.unwrap_or(inferred);
+    if version < Version::V1_1 && !raw.features.is_empty() {
+        return Err(Error::invalid_model(format!(
+            "version {version} does not support features (requires >= 1.1)"
+        )));
+    }
+    if version < Version::V1_2 && !valves.is_empty() {
+        return Err(Error::invalid_model(format!(
+            "version {version} does not support valve maps (requires >= 1.2)"
+        )));
+    }
+
+    Ok(Device {
+        name: raw.name,
+        version,
+        layers: raw.layers,
+        components: raw.components,
+        connections: raw.connections,
+        features: raw.features,
+        valves,
+        params: raw.params,
+    })
 }
 
 #[cfg(test)]

@@ -65,6 +65,7 @@ pub mod error;
 pub mod feature;
 pub mod geometry;
 pub mod ids;
+mod ingest;
 pub mod ir;
 pub mod layer;
 pub mod params;

@@ -1,10 +1,16 @@
 //! Property-based tests on the core data structures.
 
+use crate::component::{Component, Port};
+use crate::connection::{Connection, Target};
 use crate::entity::Entity;
+use crate::feature::{ComponentFeature, ConnectionFeature};
 use crate::geometry::{Point, Rect, Span};
+use crate::ir::CompiledDevice;
+use crate::layer::{Layer, LayerType};
 use crate::params::Params;
-use crate::valve::ValveType;
+use crate::valve::{Valve, ValveType};
 use crate::version::Version;
+use crate::Device;
 use proptest::prelude::*;
 
 fn point_strategy() -> impl Strategy<Value = Point> {
@@ -14,6 +20,121 @@ fn point_strategy() -> impl Strategy<Value = Point> {
 fn rect_strategy() -> impl Strategy<Value = Rect> {
     (point_strategy(), 0i64..5_000, 0i64..5_000)
         .prop_map(|(min, w, h)| Rect::new(min, Span::new(w, h)))
+}
+
+/// Structurally varied devices for the ingest-equivalence property:
+/// 0–4 components in a chain of connections, optional ports, optional
+/// placements/routes, optional valve bindings, and parameter bags with
+/// both integer and string values. Names mix in escape-needing
+/// characters so the borrowed-string fast path's owned fallback is
+/// exercised too.
+fn device_strategy() -> impl Strategy<Value = Device> {
+    (
+        "[a-z][a-z0-9 _-]{0,12}",
+        // escape-needing name · ports on components · placement/route
+        // features · valve binding on the first connection
+        (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()),
+        0usize..5, // components
+        proptest::collection::btree_map("[a-z]{1,6}", -1000i64..1000, 0..4),
+        point_strategy(),
+    )
+        .prop_map(
+            |(name, (escapes, ports, features, valved), n_components, params, origin)| {
+                let mut d = Device::new(if escapes {
+                    format!("{name} \"é\n\t\\😀")
+                } else {
+                    name
+                });
+                d.layers.push(Layer::new("f0", "flow", LayerType::Flow));
+                for i in 0..n_components {
+                    let mut c = Component::new(
+                        format!("c{i}"),
+                        format!("comp {i}"),
+                        if i % 2 == 0 {
+                            Entity::Mixer
+                        } else {
+                            Entity::Port
+                        },
+                        ["f0"],
+                        Span::new(100 + i as i64, 200),
+                    );
+                    if ports {
+                        c = c
+                            .with_port(Port::new("in", "f0", 0, 100))
+                            .with_port(Port::new("out", "f0", 100 + i as i64, 100));
+                    }
+                    for (key, value) in &params {
+                        c.params.set(key.clone(), *value);
+                    }
+                    c.params.set("note", "weiß\u{7}");
+                    d.components.push(c);
+                }
+                for i in 1..n_components {
+                    let (source, sink) = if ports {
+                        (
+                            Target::new(format!("c{}", i - 1), "out"),
+                            Target::new(format!("c{i}"), "in"),
+                        )
+                    } else {
+                        (
+                            Target::component_only(format!("c{}", i - 1)),
+                            Target::component_only(format!("c{i}")),
+                        )
+                    };
+                    d.connections.push(Connection::new(
+                        format!("ch{i}"),
+                        format!("link {i}"),
+                        "f0",
+                        source,
+                        [sink],
+                    ));
+                }
+                if features {
+                    for (i, c) in d.components.iter().enumerate() {
+                        d.features.push(
+                            ComponentFeature::new(
+                                format!("pf{i}"),
+                                c.id.as_str(),
+                                "f0",
+                                origin + Point::new(i as i64 * 500, 0),
+                                c.span,
+                                50,
+                            )
+                            .into(),
+                        );
+                    }
+                    for (i, ch) in d.connections.iter().enumerate() {
+                        d.features.push(
+                            ConnectionFeature::new(
+                                format!("rf{i}"),
+                                ch.id.as_str(),
+                                "f0",
+                                400,
+                                50,
+                                [origin, origin + Point::new(0, i as i64 + 1)],
+                            )
+                            .into(),
+                        );
+                    }
+                }
+                if valved && !d.connections.is_empty() {
+                    d.layers.push(Layer::new("c0", "ctl", LayerType::Control));
+                    d.components.push(Component::new(
+                        "v0",
+                        "valve",
+                        Entity::Valve,
+                        ["c0"],
+                        Span::square(300),
+                    ));
+                    d.valves
+                        .push(Valve::new("v0", "ch1", ValveType::NormallyClosed));
+                }
+                for (key, value) in &params {
+                    d.params.set(key.clone(), *value);
+                }
+                d
+            },
+        )
 }
 
 proptest! {
@@ -104,6 +225,32 @@ proptest! {
         let json = serde_json::to_string(&params).unwrap();
         let back: Params = serde_json::from_str(&json).unwrap();
         prop_assert_eq!(back, params);
+    }
+
+    // ---- ingest fast path ------------------------------------------------
+
+    #[test]
+    fn fast_ingest_matches_value_path(device in device_strategy(), pretty in any::<bool>()) {
+        // The streaming zero-copy reader must reproduce the `Value`
+        // reference path exactly: equal `Device`, and a byte-identical
+        // `CompiledDevice` projection.
+        let json = if pretty {
+            device.to_json_pretty().unwrap()
+        } else {
+            device.to_json().unwrap()
+        };
+        let reference = Device::from_json(&json).unwrap();
+        let fast = Device::from_json_fast(&json).unwrap();
+        prop_assert_eq!(&fast, &reference);
+        let reference_compiled = CompiledDevice::compile(reference)
+            .into_device()
+            .to_json()
+            .unwrap();
+        let fast_compiled = CompiledDevice::compile(fast)
+            .into_device()
+            .to_json()
+            .unwrap();
+        prop_assert_eq!(reference_compiled, fast_compiled);
     }
 
     #[test]

@@ -8,7 +8,12 @@
 //!   `submit` (`op` optional; the route implies it). The connection
 //!   blocks until the submission finishes, then gets the full event
 //!   stream as `{"proto":…,"events":[…]}` with the status derived from
-//!   the final event.
+//!   the final event. A JSON **array** body is a batch: every element
+//!   is one submission, fanned out across the service's sharded batch
+//!   path (duplicate designs coalesce on the single-flight tables), and
+//!   the response is `{"proto":…,"results":[{"events":[…]},…]}` in
+//!   element order. A malformed element errors in its own slot without
+//!   disturbing its neighbours.
 //! - `GET /v1/stats` — the daemon's counter snapshot.
 //! - `GET /v1/healthz` — `200 {"status":"ok"}` while accepting,
 //!   `503 {"status":"draining"}` once shutdown begins.
@@ -18,7 +23,9 @@
 //! `shutting_down` → 503. Parsing covers exactly what those routes
 //! need — request line, headers, `Content-Length` bodies, keep-alive —
 //! and nothing else; malformed framing closes the connection after a
-//! 400.
+//! 400. Request bodies are capped (default 8 MiB, raise with
+//! `--http-max-body` for FPVA-scale documents); an oversized
+//! `Content-Length` gets a 400 naming the limit.
 
 use crate::protocol::{self, ErrorKind, WireError, PROTO};
 use crate::server::{Server, SharedWriter};
@@ -26,10 +33,6 @@ use serde_json::{Map, Value};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::{Arc, Condvar, Mutex};
-
-/// Upper bound on accepted request bodies (a full ParchMint design is
-/// well under this; anything larger is hostile or broken).
-const MAX_BODY_BYTES: usize = 8 << 20;
 
 /// One parsed HTTP request.
 struct HttpRequest {
@@ -40,8 +43,12 @@ struct HttpRequest {
 }
 
 /// Reads one request from `reader`; `Ok(None)` is a clean EOF between
-/// requests, `Err` is a framing problem worth a 400.
-fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<HttpRequest>> {
+/// requests, `Err` is a framing problem worth a 400. Bodies longer
+/// than `max_body` are refused before any byte is read.
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    max_body: usize,
+) -> io::Result<Option<HttpRequest>> {
     let mut line = String::new();
     if reader.read_line(&mut line)? == 0 {
         return Ok(None);
@@ -88,10 +95,13 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<HttpRequ
             keep_alive = !value.eq_ignore_ascii_case("close");
         }
     }
-    if content_length > MAX_BODY_BYTES {
+    if content_length > max_body {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            "request body too large",
+            format!(
+                "request body too large ({content_length} > {max_body} byte limit; \
+                 raise --http-max-body)"
+            ),
         ));
     }
     let mut body = vec![0u8; content_length];
@@ -194,10 +204,33 @@ impl Write for EventCollector {
     }
 }
 
-/// Admits the submit body through the shared queue and blocks until the
-/// submission's final event, returning `(status, body)`.
+/// Derives the HTTP status for one submission from its final event.
+fn status_of(events: &[Value]) -> u16 {
+    match events.last() {
+        Some(last) if last["event"].as_str() == Some("done") => 200,
+        Some(last) => status_for(last["error"]["kind"].as_str().unwrap_or_default()),
+        None => 500,
+    }
+}
+
+/// Handles a `POST /v1/submit` body: an object is one submission
+/// admitted through the shared queue; an array is a batch fanned out
+/// through [`crate::service::Service::process_submit_batch`]. Blocks
+/// until every submission finishes, returning `(status, body)`.
 fn handle_submit(server: &Server, body: &str) -> (u16, Value) {
-    let request = match protocol::parse_submit_body(body) {
+    let value: Value = match serde_json::from_str(body) {
+        Ok(value) => value,
+        Err(error) => {
+            return error_body(
+                ErrorKind::BadRequest,
+                &format!("body is not valid JSON: {error}"),
+            )
+        }
+    };
+    if let Value::Array(items) = value {
+        return handle_submit_batch(server, &items);
+    }
+    let request = match protocol::parse_submit_value(&value) {
         Ok(request) => request,
         Err((id, error)) => {
             return (
@@ -219,14 +252,64 @@ fn handle_submit(server: &Server, body: &str) -> (u16, Value) {
         collected = signal.wait(collected).expect("collector lock");
     }
     let events = std::mem::take(&mut collected.events);
-    let status = match events.last() {
-        Some(last) if last["event"].as_str() == Some("done") => 200,
-        Some(last) => status_for(last["error"]["kind"].as_str().unwrap_or_default()),
-        None => 500,
-    };
+    let status = status_of(&events);
     let mut body = Map::new();
     body.insert("proto".to_string(), Value::from(PROTO));
     body.insert("events".to_string(), Value::Array(events));
+    (status, Value::Object(body))
+}
+
+/// Runs a batch body: every array element is one submission. Parsed
+/// elements fan out across the service's sharded batch path (so
+/// duplicate designs within the batch coalesce to one compile);
+/// malformed elements become single-error slots. The overall status is
+/// 200 only when every slot finished `done`; otherwise it is the first
+/// failing slot's status.
+fn handle_submit_batch(server: &Server, items: &[Value]) -> (u16, Value) {
+    if server.is_shutting_down() {
+        return error_body(ErrorKind::ShuttingDown, "daemon is draining");
+    }
+    let mut slots: Vec<Option<Vec<Value>>> = Vec::with_capacity(items.len());
+    let mut indices = Vec::new();
+    let mut parsed = Vec::new();
+    for (index, item) in items.iter().enumerate() {
+        match protocol::parse_submit_value(item) {
+            Ok(request) => {
+                indices.push(index);
+                parsed.push(*request);
+                slots.push(None);
+            }
+            Err((id, error)) => slots.push(Some(vec![protocol::error_event(&id, &error)])),
+        }
+    }
+    let outcomes = server.service().process_submit_batch(&parsed);
+    for (index, events) in indices.into_iter().zip(outcomes) {
+        slots[index] = Some(events);
+    }
+    let results: Vec<Vec<Value>> = slots
+        .into_iter()
+        .map(|slot| slot.expect("every batch slot is filled"))
+        .collect();
+    let status = results
+        .iter()
+        .map(|events| status_of(events))
+        .find(|status| *status != 200)
+        .unwrap_or(200);
+    let mut body = Map::new();
+    body.insert("proto".to_string(), Value::from(PROTO));
+    body.insert(
+        "results".to_string(),
+        Value::Array(
+            results
+                .into_iter()
+                .map(|events| {
+                    let mut result = Map::new();
+                    result.insert("events".to_string(), Value::Array(events));
+                    Value::Object(result)
+                })
+                .collect(),
+        ),
+    );
     (status, Value::Object(body))
 }
 
@@ -272,8 +355,9 @@ fn handle_connection(server: &Arc<Server>, stream: TcpStream) {
     };
     let mut writer = stream;
     let mut reader = BufReader::new(read_half);
+    let max_body = server.service().config().effective_http_max_body();
     loop {
-        match read_request(&mut reader) {
+        match read_request(&mut reader, max_body) {
             Ok(Some(request)) => {
                 let (status, body) = handle_request(server, &request);
                 if !write_response(&mut writer, status, &body, request.keep_alive)

@@ -54,8 +54,8 @@ pub use cache::{CacheCounters, CacheEntry, HitTier, TieredCache};
 pub use client::{submit_suite, Client, Submission, SuiteSubmission, DEFAULT_WINDOW};
 pub use flight::{Flight, FlightToken, FlightWait, SingleFlight};
 pub use protocol::{
-    parse_request, parse_submit_body, DesignSource, ErrorKind, Request, SubmitRequest, WireError,
-    PROTO, PROTO_MAJOR,
+    parse_request, parse_submit_body, parse_submit_value, DesignSource, ErrorKind, Request,
+    SubmitRequest, WireError, PROTO, PROTO_MAJOR,
 };
 pub use queue::{Bounded, PushError};
 pub use server::{run, serve, serve_stdio, serve_tcp, LineOutcome, Server, SharedWriter};

@@ -212,17 +212,24 @@ pub fn parse_request(line: &str) -> Result<Request, (Value, WireError)> {
 pub fn parse_submit_body(body: &str) -> Result<Box<SubmitRequest>, (Value, WireError)> {
     let value: Value = serde_json::from_str(body)
         .map_err(|e| (Value::Null, bad(format!("body is not valid JSON: {e}"))))?;
+    parse_submit_value(&value)
+}
+
+/// Parses one submit object that has already been read as a [`Value`] —
+/// the single HTTP body, or one element of an HTTP batch array. The
+/// same shape as a line-protocol submit, with `op` optional.
+pub fn parse_submit_value(value: &Value) -> Result<Box<SubmitRequest>, (Value, WireError)> {
     let Value::Object(object) = value else {
-        return Err((Value::Null, bad("body must be a JSON object")));
+        return Err((Value::Null, bad("submit must be a JSON object")));
     };
     let id = object.get("id").cloned().unwrap_or(Value::Null);
     let build = || -> Result<Box<SubmitRequest>, WireError> {
-        check_proto(&object)?;
+        check_proto(object)?;
         match object.get("op").and_then(Value::as_str) {
             None | Some("submit") => {}
             Some(other) => return Err(bad(format!("`op` must be `submit`, not `{other}`"))),
         }
-        parse_submit(&object, id.clone())
+        parse_submit(object, id.clone())
     };
     build().map_err(|error| (id, error))
 }

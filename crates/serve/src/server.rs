@@ -102,6 +102,12 @@ impl Server {
             .collect()
     }
 
+    /// The service this server fronts (the HTTP transport uses it for
+    /// config and the batch fan-out).
+    pub(crate) fn service(&self) -> &Service {
+        &self.service
+    }
+
     /// Whether shutdown has begun.
     pub fn is_shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::Relaxed)

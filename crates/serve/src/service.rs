@@ -44,6 +44,11 @@ use std::time::{Duration, Instant};
 /// Queue capacity when none is configured.
 pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
 
+/// HTTP request-body cap when none is configured. A full ParchMint
+/// design is well under this; FPVA-scale documents (a 100k-component
+/// grid serializes to ~100 MiB) need `--http-max-body` raised.
+pub const DEFAULT_HTTP_MAX_BODY: usize = 8 << 20;
+
 /// Daemon configuration: execution defaults, cache limits, and
 /// transport endpoints. Opaque — build one with
 /// [`ServeConfig::builder`].
@@ -58,6 +63,7 @@ pub struct ServeConfig {
     cache_dir: Option<PathBuf>,
     tcp: Option<String>,
     http: Option<String>,
+    http_max_body: usize,
 }
 
 impl ServeConfig {
@@ -113,6 +119,21 @@ impl ServeConfig {
     /// front end.
     pub fn http(&self) -> Option<&str> {
         self.http.as_deref()
+    }
+
+    /// HTTP request-body cap in bytes; `0` means
+    /// [`DEFAULT_HTTP_MAX_BODY`].
+    pub fn http_max_body(&self) -> usize {
+        self.http_max_body
+    }
+
+    /// The effective HTTP request-body cap.
+    pub fn effective_http_max_body(&self) -> usize {
+        if self.http_max_body > 0 {
+            self.http_max_body
+        } else {
+            DEFAULT_HTTP_MAX_BODY
+        }
     }
 
     /// The effective worker count.
@@ -193,6 +214,12 @@ impl ServeConfigBuilder {
     /// Serves the HTTP/1.1 front end on a TCP address.
     pub fn http(mut self, addr: impl Into<String>) -> Self {
         self.config.http = Some(addr.into());
+        self
+    }
+
+    /// Caps HTTP request bodies at `bytes` (`0` = the default).
+    pub fn http_max_body(mut self, bytes: usize) -> Self {
+        self.config.http_max_body = bytes;
         self
     }
 
@@ -282,7 +309,10 @@ impl Service {
         let invalid = |message: String| WireError::new(ErrorKind::InvalidDesign, message);
         match source {
             DesignSource::Json(value) => {
-                let device = Device::from_json(&hash::canonical_string(value))
+                // The streaming zero-copy parser: same accepted language
+                // as `Device::from_json` (pinned by the core equivalence
+                // proptest), one pass, no intermediate `Value` tree.
+                let device = Device::from_json_fast(&hash::canonical_string(value))
                     .map_err(|e| invalid(format!("invalid ParchMint design: {e}")))?;
                 Ok((device, value.clone()))
             }
@@ -357,6 +387,28 @@ impl Service {
         self.run_submission(request, emit);
         self.in_flight.fetch_sub(1, Ordering::Relaxed);
         self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Runs many submissions as one sharded fan-out, returning each
+    /// request's full event list, in request order.
+    ///
+    /// Requests are chunked across the configured worker width (the
+    /// same count the daemon's queue workers use) on a scoped pool, and
+    /// every one runs the full [`Service::process_submit`] path —
+    /// including the single-flight tables, so duplicate designs in one
+    /// batch coalesce onto a single compile and a single stage
+    /// execution exactly like concurrent connections would. Each shard
+    /// installs the service collector, so observability counters from
+    /// batch work aggregate into `stats` like worker-pool traffic.
+    pub fn process_submit_batch(&self, requests: &[SubmitRequest]) -> Vec<Vec<Value>> {
+        parchmint_harness::shard_map(requests, self.config.effective_workers(), |_, request| {
+            let recorder: Arc<dyn parchmint_obs::Recorder> = self.collector();
+            parchmint_obs::with_recorder(recorder, || {
+                let mut events = Vec::new();
+                self.process_submit(request, &mut |event| events.push(event));
+                events
+            })
+        })
     }
 
     fn run_submission(&self, request: &SubmitRequest, emit: &mut dyn FnMut(Value)) {
@@ -592,7 +644,7 @@ impl Service {
         if let Some(compiled) = entry.compiled() {
             return Ok(compiled);
         }
-        let device = Device::from_json(&hash::canonical_string(entry.doc()))
+        let device = Device::from_json_fast(&hash::canonical_string(entry.doc()))
             .map_err(|e| format!("spilled design no longer parses: {e}"))?;
         let compile = engine::compile_device(move || device, None, false);
         parchmint_obs::count("serve.compile.executed", 1);
@@ -707,8 +759,11 @@ mod tests {
             .cache_dir("/tmp/somewhere")
             .tcp("127.0.0.1:0")
             .http("127.0.0.1:0")
+            .http_max_body(1 << 10)
             .build();
         assert_eq!(config.workers(), 3);
+        assert_eq!(config.http_max_body(), 1 << 10);
+        assert_eq!(config.effective_http_max_body(), 1 << 10);
         assert_eq!(config.queue_capacity(), 9);
         assert_eq!(config.effective_queue_capacity(), 9);
         assert_eq!(config.deadline(), Some(Duration::from_millis(5)));
@@ -722,8 +777,54 @@ mod tests {
         assert_eq!(config.http(), Some("127.0.0.1:0"));
         let defaults = ServeConfig::default();
         assert_eq!(defaults.effective_queue_capacity(), DEFAULT_QUEUE_CAPACITY);
+        assert_eq!(defaults.effective_http_max_body(), DEFAULT_HTTP_MAX_BODY);
         assert!(defaults.cache_bytes().is_none());
         assert!(defaults.cache_dir().is_none());
+    }
+
+    #[test]
+    fn batch_results_preserve_request_order() {
+        let service = Service::new(ServeConfig::default());
+        let names = ["logic_gate_or", "logic_gate_and", "rotary_pump_mixer"];
+        let requests: Vec<SubmitRequest> = names.iter().map(|name| submit(name)).collect();
+        let results = service.process_submit_batch(&requests);
+        assert_eq!(results.len(), names.len());
+        for (events, name) in results.iter().zip(names) {
+            let done = events.last().expect("events");
+            assert_eq!(done["event"], Value::from("done"));
+            assert_eq!(done["design"], Value::from(name));
+        }
+    }
+
+    #[test]
+    fn batch_submissions_coalesce_duplicate_designs() {
+        // Six identical submissions fanned out over four shards must
+        // compile and validate exactly once — the rest replay from the
+        // cache or park behind the in-flight leader. This is the
+        // single-flight guarantee the batch path inherits.
+        let service = Service::new(ServeConfig::builder().workers(4).build());
+        let requests: Vec<SubmitRequest> = (0..6u64)
+            .map(|i| {
+                let mut request = submit("logic_gate_or");
+                request.id = Value::from(i);
+                request
+            })
+            .collect();
+        let results = service.process_submit_batch(&requests);
+        assert_eq!(results.len(), 6);
+        for (i, events) in results.iter().enumerate() {
+            let done = events.last().expect("events");
+            assert_eq!(done["event"], Value::from("done"));
+            assert_eq!(done["id"], Value::from(i as u64));
+        }
+        let stats = service.stats_json();
+        assert_eq!(stats["requests"]["submitted"], Value::from(6u64));
+        assert_eq!(
+            stats["counters"]["serve.compile.executed"],
+            Value::from(1u64)
+        );
+        assert_eq!(stats["counters"]["serve.stage.executed"], Value::from(1u64));
+        assert_eq!(stats["counters"]["serve.stage.replayed"], Value::from(5u64));
     }
 
     #[test]

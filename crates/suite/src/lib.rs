@@ -9,6 +9,12 @@
 //! - **synthetic** (7 devices): a seeded, planar-by-construction netlist
 //!   ladder (`planar_synthetic_1..7`) doubling from ~12 to ~768 components.
 //!
+//! Beyond the core suite, an FPVA-scale size tier ([`fpva_suite`],
+//! `fpva_1k`..`fpva_100k`) provides seeded m×n valve-grid devices from
+//! ~1k to ~100k components for ingest/throughput benchmarking. The tier
+//! is reachable via [`by_name`] but excluded from [`suite`], so tier-1
+//! tests and baseline sweeps stay fast.
+//!
 //! ```
 //! use parchmint_suite::{suite, by_name, BenchmarkClass};
 //!
@@ -26,9 +32,9 @@ pub mod registry;
 pub mod sketch;
 pub mod synthetic;
 
-pub use registry::{by_name, suite, Benchmark, BenchmarkClass};
+pub use registry::{by_name, fpva_suite, suite, Benchmark, BenchmarkClass};
 pub use sketch::{Handle, Sketch};
-pub use synthetic::{planar_synthetic, SyntheticConfig};
+pub use synthetic::{fpva_rung, generate_fpva, planar_synthetic, FpvaConfig, SyntheticConfig};
 
 #[cfg(test)]
 mod proptests;

@@ -196,9 +196,50 @@ pub fn suite() -> Vec<Benchmark> {
     ]
 }
 
-/// Looks a benchmark up by name.
+/// The FPVA-scale size tier: seeded m×n valve-grid devices from ~1k to
+/// ~100k components.
+///
+/// Deliberately *not* part of [`suite`] — tier-1 tests, full-suite
+/// sweeps, and the committed baselines all iterate [`suite`], and the
+/// large rungs would dominate their runtime. The rungs are reachable by
+/// name (see [`by_name`]) for the ingest benchmark, `bench-ingest`, and
+/// explicit suite-run/serve requests.
+pub fn fpva_suite() -> Vec<Benchmark> {
+    vec![
+        bench!(
+            "fpva_1k",
+            Synthetic,
+            || synthetic::fpva_rung(1),
+            "19x19 fully programmable valve array, 1047 components"
+        ),
+        bench!(
+            "fpva_4k",
+            Synthetic,
+            || synthetic::fpva_rung(2),
+            "37x37 fully programmable valve array, 4035 components"
+        ),
+        bench!(
+            "fpva_10k",
+            Synthetic,
+            || synthetic::fpva_rung(3),
+            "58x58 fully programmable valve array, 9978 components"
+        ),
+        bench!(
+            "fpva_100k",
+            Synthetic,
+            || synthetic::fpva_rung(4),
+            "183x183 fully programmable valve array, 100103 components"
+        ),
+    ]
+}
+
+/// Looks a benchmark up by name, across [`suite`] and the
+/// [`fpva_suite`] size tier.
 pub fn by_name(name: &str) -> Option<Benchmark> {
-    suite().into_iter().find(|b| b.name == name)
+    suite()
+        .into_iter()
+        .chain(fpva_suite())
+        .find(|b| b.name == name)
 }
 
 #[cfg(test)]
@@ -249,6 +290,26 @@ mod tests {
             assert_eq!(found.class(), b.class());
         }
         assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn fpva_tier_reachable_by_name_but_not_in_suite() {
+        let tier = fpva_suite();
+        assert_eq!(tier.len(), 4);
+        let suite_names: Vec<&str> = suite().iter().map(|b| b.name()).collect();
+        for b in &tier {
+            assert!(
+                !suite_names.contains(&b.name()),
+                "{} must stay behind the size tier",
+                b.name()
+            );
+            assert!(by_name(b.name()).is_some(), "{} unreachable", b.name());
+        }
+        // Only the smallest rung is generated in tests; the large rungs
+        // exist for the ingest benchmark.
+        let device = by_name("fpva_1k").unwrap().device();
+        assert_eq!(device.name, "fpva_1k");
+        assert_eq!(device.components.len(), 1047);
     }
 
     #[test]

@@ -1,0 +1,719 @@
+//! Zero-copy pull-event JSON reader.
+//!
+//! [`EventReader`] walks a JSON document in a single pass, yielding
+//! borrowed [`Event`]s instead of materializing a [`Value`] tree. Keys
+//! and strings come back as `Cow::Borrowed` slices of the input
+//! whenever they contain no escape sequences, so a consumer that mostly
+//! interns or compares strings never allocates for them.
+//!
+//! The grammar, recursion limit, and every error message/position are
+//! kept byte-for-byte identical to [`parse_value`](crate::parse_value):
+//! a document either yields the same value through both paths or fails
+//! with the same `Error` through both paths.
+
+use crate::{Error, Map, Number, NumberRepr, Result, Value};
+use std::borrow::Cow;
+
+/// Mirrors the recursion limit of the tree parser.
+const MAX_DEPTH: usize = 128;
+
+/// One parse event. Strings borrow from the input unless they contained
+/// escape sequences.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event<'a> {
+    /// JSON `null`.
+    Null,
+    /// `true` or `false`.
+    Bool(bool),
+    /// A number, already classified i64 → u64 → f64.
+    Number(Number),
+    /// A string value.
+    String(Cow<'a, str>),
+    /// `[` — an array begins; elements follow until [`Event::EndArray`].
+    StartArray,
+    /// `]` — the innermost array is complete.
+    EndArray,
+    /// `{` — an object begins; key/value pairs follow until
+    /// [`Event::EndObject`].
+    StartObject,
+    /// An object key; the member's value event(s) come next.
+    Key(Cow<'a, str>),
+    /// `}` — the innermost object is complete.
+    EndObject,
+}
+
+/// What the reader expects next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// A value (the document root, after `[`, `,` in an array, or `:`).
+    Value,
+    /// The first element of a just-opened array, or `]`.
+    ArrayFirst,
+    /// `,` or `]` after an array element.
+    ArrayNext,
+    /// The first key of a just-opened object, or `}`.
+    ObjectFirst,
+    /// A key (after `,` in an object).
+    ObjectKey,
+    /// `:` and then the member value (after a key).
+    ObjectColon,
+    /// `,` or `}` after an object member.
+    ObjectNext,
+    /// The root value is complete; only trailing whitespace may remain.
+    Finished,
+}
+
+/// Which container a stack entry is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Frame {
+    Array,
+    Object,
+}
+
+/// A single-pass pull parser over `&str`, yielding borrowed [`Event`]s.
+///
+/// ```
+/// use serde_json::{Event, EventReader};
+/// use std::borrow::Cow;
+///
+/// let mut reader = EventReader::new(r#"{"name": "chip"}"#);
+/// assert_eq!(reader.next_event().unwrap(), Some(Event::StartObject));
+/// let Some(Event::Key(Cow::Borrowed(key))) = reader.next_event().unwrap() else {
+///     panic!("expected a borrowed key");
+/// };
+/// assert_eq!(key, "name");
+/// ```
+pub struct EventReader<'a> {
+    text: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    stack: Vec<Frame>,
+    state: State,
+}
+
+impl<'a> EventReader<'a> {
+    /// Starts reading `text` from the beginning.
+    pub fn new(text: &'a str) -> EventReader<'a> {
+        EventReader {
+            text,
+            bytes: text.as_bytes(),
+            pos: 0,
+            stack: Vec::new(),
+            state: State::Value,
+        }
+    }
+
+    /// The next event, or `Ok(None)` exactly once when the document is
+    /// complete (trailing content past the root value is rejected here,
+    /// matching the tree parser).
+    #[inline]
+    pub fn next_event(&mut self) -> Result<Option<Event<'a>>> {
+        match self.state {
+            State::Value => {
+                self.skip_whitespace();
+                self.value().map(Some)
+            }
+            State::ArrayFirst => {
+                self.skip_whitespace();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return self.close(Frame::Array).map(Some);
+                }
+                self.skip_whitespace();
+                self.value().map(Some)
+            }
+            State::ArrayNext => {
+                self.skip_whitespace();
+                match self.peek() {
+                    Some(b',') => {
+                        self.pos += 1;
+                        self.skip_whitespace();
+                        self.value().map(Some)
+                    }
+                    Some(b']') => {
+                        self.pos += 1;
+                        self.close(Frame::Array).map(Some)
+                    }
+                    Some(_) => Err(self.error("expected `,` or `]`")),
+                    None => Err(self.error("EOF while parsing a list")),
+                }
+            }
+            State::ObjectFirst => {
+                self.skip_whitespace();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return self.close(Frame::Object).map(Some);
+                }
+                self.key().map(Some)
+            }
+            State::ObjectKey => {
+                self.skip_whitespace();
+                self.key().map(Some)
+            }
+            State::ObjectColon => {
+                self.skip_whitespace();
+                self.expect(b':')?;
+                self.skip_whitespace();
+                self.value().map(Some)
+            }
+            State::ObjectNext => {
+                self.skip_whitespace();
+                match self.peek() {
+                    Some(b',') => {
+                        self.pos += 1;
+                        self.state = State::ObjectKey;
+                        self.next_event()
+                    }
+                    Some(b'}') => {
+                        self.pos += 1;
+                        self.close(Frame::Object).map(Some)
+                    }
+                    Some(_) => Err(self.error("expected `,` or `}`")),
+                    None => Err(self.error("EOF while parsing an object")),
+                }
+            }
+            State::Finished => {
+                self.skip_whitespace();
+                if self.pos < self.bytes.len() {
+                    return Err(self.error("trailing characters"));
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// Consumes exactly one complete value (scalar or whole container)
+    /// from a position where a value is expected.
+    pub fn skip_value(&mut self) -> Result<()> {
+        let mut depth = 0usize;
+        loop {
+            match self.next_event()? {
+                Some(Event::StartArray | Event::StartObject) => depth += 1,
+                Some(Event::EndArray | Event::EndObject) => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Ok(());
+                    }
+                }
+                Some(Event::Key(_)) => {}
+                Some(_) if depth == 0 => return Ok(()),
+                Some(_) => {}
+                None => return Err(self.error("EOF while parsing a value")),
+            }
+        }
+    }
+
+    /// Reads one complete value into an owned [`Value`] tree, from a
+    /// position where a value is expected. Duplicate object keys keep
+    /// the last occurrence, matching the tree parser.
+    pub fn read_value(&mut self) -> Result<Value> {
+        let event = self
+            .next_event()?
+            .ok_or_else(|| self.error("EOF while parsing a value"))?;
+        self.value_from(event)
+    }
+
+    fn value_from(&mut self, event: Event<'a>) -> Result<Value> {
+        Ok(match event {
+            Event::Null => Value::Null,
+            Event::Bool(b) => Value::Bool(b),
+            Event::Number(n) => Value::Number(n),
+            Event::String(s) => Value::String(s.into_owned()),
+            Event::StartArray => {
+                let mut items = Vec::new();
+                loop {
+                    match self.require_event()? {
+                        Event::EndArray => break,
+                        event => items.push(self.value_from(event)?),
+                    }
+                }
+                Value::Array(items)
+            }
+            Event::StartObject => {
+                let mut map = Map::new();
+                loop {
+                    match self.require_event()? {
+                        Event::EndObject => break,
+                        Event::Key(key) => {
+                            let value = self.read_value()?;
+                            map.insert(key.into_owned(), value);
+                        }
+                        _ => return Err(self.error("key must be a string")),
+                    }
+                }
+                Value::Object(map)
+            }
+            Event::Key(_) | Event::EndArray | Event::EndObject => {
+                return Err(self.error("expected value"))
+            }
+        })
+    }
+
+    fn require_event(&mut self) -> Result<Event<'a>> {
+        self.next_event()?
+            .ok_or_else(|| self.error("EOF while parsing a value"))
+    }
+
+    // ---- scanning helpers (identical behavior to the tree parser) ------
+
+    fn error(&self, message: &str) -> Error {
+        let mut line = 1;
+        let mut column = 1;
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                column = 1;
+            } else {
+                column += 1;
+            }
+        }
+        Error::syntax(message, line, column)
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    #[inline]
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Advances past the run of bytes satisfying `keep`, starting at the
+    /// current position. A straight slice scan — no per-byte bounds
+    /// check — so the string/number hot loops vectorize.
+    #[inline]
+    fn scan_while(&mut self, keep: impl Fn(u8) -> bool) {
+        let rest = &self.bytes[self.pos..];
+        let run = rest.iter().position(|&b| !keep(b)).unwrap_or(rest.len());
+        self.pos += run;
+    }
+
+    /// The input slice between byte positions `start..end`.
+    ///
+    /// Sound without re-validation: the input arrived as `&str`, and
+    /// every scanner stops only at ASCII delimiters (quotes, escapes,
+    /// digits' neighbours), so `start`/`end` always sit on char
+    /// boundaries — `&str` slicing checks exactly that.
+    #[inline]
+    fn slice(&self, start: usize, end: usize) -> &'a str {
+        &self.text[start..end]
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The state to enter after a value completes at the current depth.
+    fn after_value(&mut self) {
+        self.state = match self.stack.last() {
+            None => State::Finished,
+            Some(Frame::Array) => State::ArrayNext,
+            Some(Frame::Object) => State::ObjectNext,
+        };
+    }
+
+    /// Pops `frame` and emits the matching end event.
+    fn close(&mut self, frame: Frame) -> Result<Event<'a>> {
+        debug_assert_eq!(self.stack.last(), Some(&frame));
+        self.stack.pop();
+        self.after_value();
+        Ok(match frame {
+            Frame::Array => Event::EndArray,
+            Frame::Object => Event::EndObject,
+        })
+    }
+
+    /// Dispatches one value whose first byte is at the current position.
+    fn value(&mut self) -> Result<Event<'a>> {
+        if self.stack.len() > MAX_DEPTH {
+            return Err(self.error("recursion limit exceeded"));
+        }
+        let event = match self.peek() {
+            None => return Err(self.error("EOF while parsing a value")),
+            Some(b'n') => {
+                if self.eat_literal("null") {
+                    Event::Null
+                } else {
+                    return Err(self.error("expected ident `null`"));
+                }
+            }
+            Some(b't') => {
+                if self.eat_literal("true") {
+                    Event::Bool(true)
+                } else {
+                    return Err(self.error("expected ident `true`"));
+                }
+            }
+            Some(b'f') => {
+                if self.eat_literal("false") {
+                    Event::Bool(false)
+                } else {
+                    return Err(self.error("expected ident `false`"));
+                }
+            }
+            Some(b'"') => Event::String(self.string()?),
+            Some(b'[') => {
+                self.pos += 1;
+                self.stack.push(Frame::Array);
+                self.state = State::ArrayFirst;
+                return Ok(Event::StartArray);
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                self.stack.push(Frame::Object);
+                self.state = State::ObjectFirst;
+                return Ok(Event::StartObject);
+            }
+            Some(b'-' | b'0'..=b'9') => Event::Number(self.number()?),
+            Some(_) => return Err(self.error("expected value")),
+        };
+        self.after_value();
+        Ok(event)
+    }
+
+    /// Reads an object key (a string) and arms the colon/value state.
+    fn key(&mut self) -> Result<Event<'a>> {
+        if self.peek() != Some(b'"') {
+            return Err(self.error("key must be a string"));
+        }
+        let key = self.string()?;
+        self.state = State::ObjectColon;
+        Ok(Event::Key(key))
+    }
+
+    /// Reads a string, borrowing when it contains no escapes.
+    fn string(&mut self) -> Result<Cow<'a, str>> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        self.scan_while(|b| b != b'"' && b != b'\\' && b >= 0x20);
+        if self.peek() == Some(b'"') {
+            // Escape-free: hand back a slice of the input.
+            let chunk = self.slice(start, self.pos);
+            self.pos += 1;
+            return Ok(Cow::Borrowed(chunk));
+        }
+        // Escapes (or an error) ahead: rewind past the opening quote and
+        // run the owned decoder, which reproduces the tree parser's
+        // behavior exactly.
+        self.pos = start;
+        self.string_owned().map(Cow::Owned)
+    }
+
+    /// The tree parser's string decoder, building an owned `String`.
+    /// Entered with the opening quote already consumed.
+    fn string_owned(&mut self) -> Result<String> {
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            self.scan_while(|b| b != b'"' && b != b'\\' && b >= 0x20);
+            if self.pos > start {
+                out.push_str(self.slice(start, self.pos));
+            }
+            match self.peek() {
+                None => return Err(self.error("EOF while parsing a string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek().ok_or_else(|| self.error("EOF in escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let first = self.hex4()?;
+                            let ch = if (0xD800..0xDC00).contains(&first) {
+                                // High surrogate: require a low surrogate pair.
+                                if !self.eat_literal("\\u") {
+                                    return Err(self.error("unexpected end of hex escape"));
+                                }
+                                let second = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&second) {
+                                    return Err(self.error("lone leading surrogate"));
+                                }
+                                let combined =
+                                    0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| self.error("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(first)
+                                    .ok_or_else(|| self.error("lone trailing surrogate"))?
+                            };
+                            out.push(ch);
+                        }
+                        _ => return Err(self.error("invalid escape")),
+                    }
+                }
+                Some(_) => return Err(self.error("control character in string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        let mut acc = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .peek()
+                .ok_or_else(|| self.error("EOF in unicode escape"))?;
+            let digit = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.error("invalid hex digit"))?;
+            acc = acc * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(acc)
+    }
+
+    /// The tree parser's number scanner, classifying i64 → u64 → f64.
+    fn number(&mut self) -> Result<Number> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'0'..=b'9')) {
+                    return Err(self.error("leading zeros are not allowed"));
+                }
+            }
+            Some(b'1'..=b'9') => self.scan_while(|b| b.is_ascii_digit()),
+            _ => return Err(self.error("expected digit")),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("expected digit after decimal point"));
+            }
+            self.scan_while(|b| b.is_ascii_digit());
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("expected digit in exponent"));
+            }
+            self.scan_while(|b| b.is_ascii_digit());
+        }
+        let text = self.slice(start, self.pos);
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Number(NumberRepr::I64(i)));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Number(NumberRepr::U64(u)));
+            }
+        }
+        let f: f64 = text
+            .parse()
+            .map_err(|_| self.error("number out of range"))?;
+        if f.is_finite() {
+            Ok(Number(NumberRepr::F64(f)))
+        } else {
+            Err(self.error("number out of range"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_value;
+
+    /// Drains a reader into events, panicking on error.
+    fn events(text: &str) -> Vec<Event<'_>> {
+        let mut reader = EventReader::new(text);
+        let mut out = Vec::new();
+        while let Some(event) = reader.next_event().unwrap() {
+            out.push(event);
+        }
+        out
+    }
+
+    #[test]
+    fn scalars_and_containers_stream_in_order() {
+        let got = events(r#"{"a": [1, true, null], "b": "x"}"#);
+        assert_eq!(got.len(), 10);
+        assert_eq!(got[0], Event::StartObject);
+        assert!(matches!(&got[1], Event::Key(k) if k == "a"));
+        assert_eq!(got[2], Event::StartArray);
+        assert!(matches!(&got[3], Event::Number(n) if n.as_i64() == Some(1)));
+        assert_eq!(got[4], Event::Bool(true));
+        assert_eq!(got[5], Event::Null);
+        assert_eq!(got[6], Event::EndArray);
+        assert!(matches!(&got[7], Event::Key(k) if k == "b"));
+        assert!(matches!(&got[8], Event::String(s) if s == "x"));
+        assert_eq!(got[9], Event::EndObject);
+    }
+
+    #[test]
+    fn escape_free_strings_borrow_escaped_strings_own() {
+        let text = r#"["plain", "with\nescape"]"#;
+        let got = events(text);
+        assert!(matches!(&got[1], Event::String(Cow::Borrowed(s)) if *s == "plain"));
+        assert!(matches!(&got[2], Event::String(Cow::Owned(s)) if s == "with\nescape"));
+    }
+
+    #[test]
+    fn read_value_matches_tree_parser() {
+        for text in [
+            "null",
+            "[]",
+            "{}",
+            r#"{"a": {"b": [1, 2.5, -3]}, "a": "dup wins", "c": "\u00e9\ud83d\ude00"}"#
+                .replace("\\u", "\\u")
+                .as_str(),
+            "  [1, [2, [3]], {\"k\": []}]  ",
+        ] {
+            let mut reader = EventReader::new(text);
+            let streamed = reader.read_value().unwrap();
+            assert_eq!(reader.next_event().unwrap(), None, "document consumed");
+            assert_eq!(streamed, parse_value(text).unwrap(), "doc: {text}");
+        }
+    }
+
+    #[test]
+    fn skip_value_positions_past_one_member() {
+        let mut reader = EventReader::new(r#"{"skip": {"deep": [1, {"x": 2}]}, "keep": 7}"#);
+        assert_eq!(reader.next_event().unwrap(), Some(Event::StartObject));
+        assert!(matches!(reader.next_event().unwrap(), Some(Event::Key(_))));
+        reader.skip_value().unwrap();
+        assert!(matches!(
+            reader.next_event().unwrap(),
+            Some(Event::Key(k)) if k == "keep"
+        ));
+        assert!(matches!(
+            reader.next_event().unwrap(),
+            Some(Event::Number(n)) if n.as_i64() == Some(7)
+        ));
+        assert_eq!(reader.next_event().unwrap(), Some(Event::EndObject));
+        assert_eq!(reader.next_event().unwrap(), None);
+    }
+
+    /// Runs the reader to completion, returning the first error.
+    fn stream_error(text: &str) -> Error {
+        let mut reader = EventReader::new(text);
+        loop {
+            match reader.next_event() {
+                Ok(Some(_)) => {}
+                Ok(None) => panic!("no error in {text:?}"),
+                Err(e) => return e,
+            }
+        }
+    }
+
+    #[test]
+    fn errors_match_the_tree_parser_exactly() {
+        for text in [
+            "",
+            "  ",
+            "nul",
+            "truth",
+            "falsy",
+            "[1, 2",
+            "[1 2]",
+            "[1,]",
+            "{\"a\" 1}",
+            "{\"a\": 1,}",
+            "{\"a\": 1 \"b\": 2}",
+            "{1: 2}",
+            "{\"a\": }",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "\"ctrl \u{0}\"",
+            "\"\\ud800\"",
+            "\"\\ud800\\u0041\"",
+            "\"\\udc00x\"",
+            "\"\\u12\"",
+            "\"\\uzzzz\"",
+            "01",
+            "-",
+            "1.",
+            "1e",
+            "1e+",
+            "1e999",
+            "@",
+            "1 2",
+            "[] []",
+            "{\"a\": 1}}",
+        ] {
+            let tree = parse_value(text).expect_err(&format!("tree accepts {text:?}"));
+            let stream = stream_error(text);
+            assert_eq!(stream, tree, "doc: {text:?}");
+        }
+    }
+
+    #[test]
+    fn recursion_limit_matches_the_tree_parser() {
+        // 128 nested arrays parse (the innermost scalar sits at depth
+        // 128, the limit); 129 exceed it.
+        let ok = format!("{}1{}", "[".repeat(128), "]".repeat(128));
+        let mut reader = EventReader::new(&ok);
+        assert!(reader.read_value().is_ok());
+        assert!(parse_value(&ok).is_ok());
+
+        let too_deep = format!("{}1{}", "[".repeat(129), "]".repeat(129));
+        let tree = parse_value(&too_deep).unwrap_err();
+        let stream = stream_error(&too_deep);
+        assert_eq!(stream, tree);
+        assert!(stream.to_string().contains("recursion limit exceeded"));
+    }
+
+    #[test]
+    fn number_classification_matches() {
+        for text in [
+            "0",
+            "-0",
+            "9223372036854775807",
+            "-9223372036854775808",
+            "9223372036854775808",
+            "18446744073709551615",
+            "18446744073709551616",
+            "1.5",
+            "-2e10",
+            "0.0",
+        ] {
+            let Value::Number(tree) = parse_value(text).unwrap() else {
+                panic!("not a number: {text}");
+            };
+            let mut reader = EventReader::new(text);
+            let Some(Event::Number(streamed)) = reader.next_event().unwrap() else {
+                panic!("not a number event: {text}");
+            };
+            assert_eq!(streamed.is_i64(), tree.is_i64(), "{text}");
+            assert_eq!(streamed.is_u64(), tree.is_u64(), "{text}");
+            assert_eq!(streamed.as_f64(), tree.as_f64(), "{text}");
+        }
+    }
+}

@@ -18,9 +18,11 @@ use serde::Fragment;
 use std::collections::BTreeMap;
 use std::fmt;
 
+mod event;
 mod parse;
 mod print;
 
+pub use event::{Event, EventReader};
 pub use parse::parse_value;
 
 // ---------------------------------------------------------------------------
