@@ -15,6 +15,7 @@
 //! parchmint report-diff <BASELINE> <CURRENT>      per-cell structural diff of two suite reports
 //! parchmint serve [--tcp ADDR] [--workers N]      compilation-as-a-service daemon
 //! parchmint submit --addr HOST:PORT [BENCH...]    submit designs to a running daemon
+//! parchmint chaos-proxy PLAN.json --upstream ADDR deterministic wire-fault proxy
 //! parchmint bench-ingest [TIER...] [-o FILE]      FPVA ingest throughput report
 //! ```
 
@@ -60,6 +61,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("report-diff") => cmd_report_diff(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
+        Some("chaos-proxy") => cmd_chaos_proxy(&args[1..]),
         Some("bench-ingest") => cmd_bench_ingest(&args[1..]),
         Some("help") | None => {
             print!("{USAGE}");
@@ -91,8 +93,13 @@ USAGE:
   parchmint serve [--tcp HOST:PORT] [--http HOST:PORT] [--workers N] [--queue N]
                   [--cache-bytes N] [--cache-dir PATH] [--http-max-body BYTES]
                   [--deadline-ms N] [--fuel N] [--faults PLAN.json]
+                  [--read-timeout-ms N] [--write-timeout-ms N] [--idle-timeout-ms N]
+                  [--line-max-bytes N]   (0 disables a timeout)
   parchmint submit --addr HOST:PORT [BENCH...] [--stages S1,S2] [--window N]
                    [-o FILE] [--strip-timings] [--stats-out FILE] [--shutdown]
+                   [--connect-timeout-ms N] [--read-timeout-ms N]
+                   [--retry-max N] [--backoff-seed N]
+  parchmint chaos-proxy <PLAN.json> --upstream HOST:PORT [--listen HOST:PORT]
   parchmint bench-ingest [TIER...] [-o FILE] [--repeats N] [--threads N]
                          [--parallel-docs N]
   parchmint schema
@@ -717,10 +724,37 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--deadline-ms",
             "--fuel",
             "--faults",
+            "--read-timeout-ms",
+            "--write-timeout-ms",
+            "--idle-timeout-ms",
+            "--line-max-bytes",
         ],
         &[],
     )?;
+    let socket_ms = |flag: &str| -> Result<Option<u64>, String> {
+        match option_value(args, flag) {
+            None => Ok(None),
+            Some(text) => text.parse().map(Some).map_err(|_| {
+                format!("serve: bad `{flag}` value `{text}` (want milliseconds, 0 disables)")
+            }),
+        }
+    };
     let mut builder = ServeConfig::builder();
+    if let Some(ms) = socket_ms("--read-timeout-ms")? {
+        builder = builder.read_timeout_ms(ms);
+    }
+    if let Some(ms) = socket_ms("--write-timeout-ms")? {
+        builder = builder.write_timeout_ms(ms);
+    }
+    if let Some(ms) = socket_ms("--idle-timeout-ms")? {
+        builder = builder.idle_timeout_ms(ms);
+    }
+    if let Some(text) = option_value(args, "--line-max-bytes") {
+        builder = builder.line_max_bytes(
+            text.parse()
+                .map_err(|_| format!("serve: bad frame cap `{text}` (want bytes)"))?,
+        );
+    }
     if let Some(text) = option_value(args, "--workers") {
         builder = builder.workers(
             text.parse()
@@ -773,18 +807,53 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_submit(args: &[String]) -> Result<(), String> {
-    use parchmint_serve::{submit_suite, Client, DEFAULT_WINDOW};
+    use parchmint_serve::{submit_suite, Client, ClientConfig, DEFAULT_WINDOW};
 
     let addr = option_value(args, "--addr").ok_or("submit: missing `--addr HOST:PORT`")?;
     let benchmarks: Vec<String> = checked_positionals(
         "submit",
         args,
-        &["--addr", "--stages", "--window", "-o", "--stats-out"],
+        &[
+            "--addr",
+            "--stages",
+            "--window",
+            "-o",
+            "--stats-out",
+            "--connect-timeout-ms",
+            "--read-timeout-ms",
+            "--retry-max",
+            "--backoff-seed",
+        ],
         &["--strip-timings", "--shutdown"],
     )?
     .into_iter()
     .map(str::to_string)
     .collect();
+    let mut config = ClientConfig::default();
+    if let Some(text) = option_value(args, "--connect-timeout-ms") {
+        let ms: u64 = text
+            .parse()
+            .map_err(|_| format!("submit: bad connect timeout `{text}` (want milliseconds)"))?;
+        config = config.with_connect_timeout(std::time::Duration::from_millis(ms));
+    }
+    if let Some(text) = option_value(args, "--read-timeout-ms") {
+        let ms: u64 = text
+            .parse()
+            .map_err(|_| format!("submit: bad read timeout `{text}` (want milliseconds)"))?;
+        config = config.with_read_timeout(std::time::Duration::from_millis(ms));
+    }
+    if let Some(text) = option_value(args, "--retry-max") {
+        config = config.with_max_reconnects(
+            text.parse()
+                .map_err(|_| format!("submit: bad retry budget `{text}`"))?,
+        );
+    }
+    if let Some(text) = option_value(args, "--backoff-seed") {
+        config = config.with_backoff_seed(
+            text.parse()
+                .map_err(|_| format!("submit: bad backoff seed `{text}`"))?,
+        );
+    }
     let names = (!benchmarks.is_empty()).then_some(benchmarks);
     let stages: Option<Vec<String>> =
         option_value(args, "--stages").map(|text| text.split(',').map(str::to_string).collect());
@@ -795,8 +864,8 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
         None => DEFAULT_WINDOW,
     };
 
-    let mut client =
-        Client::connect(addr).map_err(|e| format!("submit: cannot connect to `{addr}`: {e}"))?;
+    let mut client = Client::connect_with(addr, config)
+        .map_err(|e| format!("submit: cannot connect to `{addr}`: {e}"))?;
     let submission = submit_suite(&mut client, names.as_deref(), stages.as_deref(), window)
         .map_err(|e| format!("submit: {e}"))?;
     let report = &submission.report;
@@ -807,6 +876,10 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
         submission.cached_cells,
         submission.cached_compiles,
         submission.busy_retries,
+    );
+    println!(
+        "wire: {} reconnects, {} designs resumed",
+        submission.reconnects, submission.resumed_designs,
     );
 
     let include_timings = !has_flag(args, "--strip-timings");
@@ -843,6 +916,34 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
             counts.error, counts.failed
         ));
     }
+    Ok(())
+}
+
+/// Runs the deterministic wire-fault proxy in the foreground until the
+/// process is killed: accepts on `--listen`, forwards to `--upstream`,
+/// and injects the faults a `parchmint-chaos/v1` plan assigns to each
+/// connection (counted in accept order).
+fn cmd_chaos_proxy(args: &[String]) -> Result<(), String> {
+    use parchmint_serve::{ChaosPlan, ChaosProxy};
+
+    let positionals = checked_positionals("chaos-proxy", args, &["--listen", "--upstream"], &[])?;
+    let [plan_path] = positionals.as_slice() else {
+        return Err("chaos-proxy: expected exactly one positional argument, <PLAN.json>".into());
+    };
+    let upstream =
+        option_value(args, "--upstream").ok_or("chaos-proxy: missing `--upstream HOST:PORT`")?;
+    let listen = option_value(args, "--listen").unwrap_or("127.0.0.1:0");
+
+    let text = std::fs::read_to_string(plan_path)
+        .map_err(|e| format!("chaos-proxy: cannot read chaos plan `{plan_path}`: {e}"))?;
+    let plan = ChaosPlan::from_json_str(&text).map_err(|e| format!("{plan_path}: {e}"))?;
+    let proxy = ChaosProxy::spawn(plan, listen, upstream)
+        .map_err(|e| format!("chaos-proxy: cannot listen on `{listen}`: {e}"))?;
+    println!(
+        "chaos proxy listening on {} -> {upstream}",
+        proxy.local_addr()
+    );
+    proxy.join();
     Ok(())
 }
 

@@ -20,19 +20,38 @@
 //!
 //! The error taxonomy maps onto status codes: `bad_request` and
 //! `unsupported_proto` → 400, `invalid_design` → 422, `busy` and
-//! `shutting_down` → 503. Parsing covers exactly what those routes
-//! need — request line, headers, `Content-Length` bodies, keep-alive —
-//! and nothing else; malformed framing closes the connection after a
-//! 400. Request bodies are capped (default 8 MiB, raise with
-//! `--http-max-body` for FPVA-scale documents); an oversized
-//! `Content-Length` gets a 400 naming the limit.
+//! `shutting_down` → 503 (with a `Retry-After` header derived from the
+//! queue's deterministic `retry_after_ms` hint). Parsing covers exactly
+//! what those routes need — request line, headers, `Content-Length`
+//! bodies, keep-alive — and nothing else; malformed framing closes the
+//! connection after a clean 4xx, never a hang:
+//!
+//! - request lines and header lines are size-capped, the header count
+//!   is bounded, and the whole head is read under the connection read
+//!   timeout, so a slowloris dripping one byte per second is evicted
+//!   with a 408 no matter which line it drips into;
+//! - `Content-Length` must be numeric, and conflicting duplicates are
+//!   refused (request-smuggling hygiene); `Transfer-Encoding` is not
+//!   supported and is refused outright;
+//! - bodies are capped (default 8 MiB, raise with `--http-max-body`
+//!   for FPVA-scale documents) and read under a fresh read-timeout
+//!   deadline — a truncated body is a 400, a stalled one a 408.
 
+use crate::net::{self, BodyError, LineReader, Poll};
 use crate::protocol::{self, ErrorKind, WireError, PROTO};
 use crate::server::{Server, SharedWriter};
+use parchmint_obs::Recorder;
 use serde_json::{Map, Value};
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Longest accepted request line or single header line, in bytes.
+const MAX_HEAD_LINE: usize = 8 << 10;
+
+/// Most headers accepted on one request.
+const MAX_HEADERS: usize = 128;
 
 /// One parsed HTTP request.
 struct HttpRequest {
@@ -42,72 +61,201 @@ struct HttpRequest {
     keep_alive: bool,
 }
 
-/// Reads one request from `reader`; `Ok(None)` is a clean EOF between
-/// requests, `Err` is a framing problem worth a 400. Bodies longer
-/// than `max_body` are refused before any byte is read.
-fn read_request(
-    reader: &mut BufReader<TcpStream>,
-    max_body: usize,
-) -> io::Result<Option<HttpRequest>> {
-    let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
-        return Ok(None);
+/// A framing refusal: respond with `status` and close the connection.
+struct HttpFail {
+    status: u16,
+    message: String,
+}
+
+impl HttpFail {
+    fn new(status: u16, message: impl Into<String>) -> HttpFail {
+        HttpFail {
+            status,
+            message: message.into(),
+        }
     }
+}
+
+/// Read/idle limits a connection enforces while assembling requests.
+struct HttpLimits {
+    read_timeout: Option<Duration>,
+    idle_timeout: Option<Duration>,
+    max_body: usize,
+}
+
+/// Reads one request from `reader`; `Ok(None)` is a clean end of the
+/// connection (EOF between requests, or keep-alive idle eviction),
+/// `Err` is a framing problem answered with its status and a close.
+fn read_request(
+    reader: &mut LineReader,
+    limits: &HttpLimits,
+) -> Result<Option<HttpRequest>, HttpFail> {
+    // Request line: wait across keep-alive idleness, but never let a
+    // partial line outlive the read timeout.
+    let idle_since = Instant::now();
+    let mut stalled = false;
+    let line = loop {
+        match reader.poll_line() {
+            Ok(Poll::Frame(bytes)) => break bytes,
+            Ok(Poll::Pending {
+                frame_age: Some(age),
+            }) => {
+                if !stalled {
+                    stalled = true;
+                    parchmint_obs::count("serve.net.frames.stalled", 1);
+                }
+                if limits.read_timeout.is_some_and(|timeout| age >= timeout) {
+                    parchmint_obs::count("serve.net.read_timeouts", 1);
+                    return Err(HttpFail::new(408, "request line read timed out"));
+                }
+            }
+            Ok(Poll::Pending { frame_age: None }) => {
+                if limits
+                    .idle_timeout
+                    .is_some_and(|timeout| idle_since.elapsed() >= timeout)
+                {
+                    parchmint_obs::count("serve.net.idle_closed", 1);
+                    return Ok(None);
+                }
+            }
+            Ok(Poll::Oversized { limit }) => {
+                parchmint_obs::count("serve.net.frames.oversized", 1);
+                return Err(HttpFail::new(
+                    400,
+                    format!("request line exceeds {limit} bytes"),
+                ));
+            }
+            Ok(Poll::Eof { torn }) => {
+                if torn {
+                    parchmint_obs::count("serve.net.frames.torn", 1);
+                }
+                return Ok(None);
+            }
+            Err(_) => {
+                parchmint_obs::count("serve.net.io_errors", 1);
+                return Ok(None);
+            }
+        }
+    };
+    let Ok(line) = String::from_utf8(line) else {
+        return Err(HttpFail::new(400, "request line is not UTF-8"));
+    };
     let mut parts = line.split_whitespace();
     let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
     else {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "malformed request line",
-        ));
+        return Err(HttpFail::new(400, "malformed request line"));
     };
     if !version.starts_with("HTTP/1.") {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "unsupported HTTP version",
-        ));
+        return Err(HttpFail::new(400, "unsupported HTTP version"));
     }
     let mut keep_alive = version != "HTTP/1.0";
     let (method, path) = (method.to_string(), path.to_string());
 
-    let mut content_length = 0usize;
+    // Headers: the whole head shares one deadline from here, so a peer
+    // dripping bytes *across* header lines is still evicted on time.
+    let head_deadline = limits.read_timeout.map(|timeout| Instant::now() + timeout);
+    let mut content_length: Option<usize> = None;
+    let mut header_count = 0usize;
     loop {
-        let mut header = String::new();
-        if reader.read_line(&mut header)? == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "connection closed mid-headers",
-            ));
-        }
+        let header = loop {
+            match reader.poll_line() {
+                Ok(Poll::Frame(bytes)) => break bytes,
+                Ok(Poll::Pending { .. }) => {
+                    if head_deadline.is_some_and(|deadline| Instant::now() >= deadline) {
+                        parchmint_obs::count("serve.net.read_timeouts", 1);
+                        return Err(HttpFail::new(408, "request head read timed out"));
+                    }
+                }
+                Ok(Poll::Oversized { limit }) => {
+                    parchmint_obs::count("serve.net.frames.oversized", 1);
+                    return Err(HttpFail::new(
+                        400,
+                        format!("header line exceeds {limit} bytes"),
+                    ));
+                }
+                Ok(Poll::Eof { torn }) => {
+                    if torn {
+                        parchmint_obs::count("serve.net.frames.torn", 1);
+                    }
+                    return Err(HttpFail::new(400, "connection closed mid-headers"));
+                }
+                Err(_) => {
+                    parchmint_obs::count("serve.net.io_errors", 1);
+                    return Err(HttpFail::new(400, "read failed mid-headers"));
+                }
+            }
+        };
+        let Ok(header) = String::from_utf8(header) else {
+            return Err(HttpFail::new(400, "header line is not UTF-8"));
+        };
         let header = header.trim_end();
         if header.is_empty() {
             break;
+        }
+        header_count += 1;
+        if header_count > MAX_HEADERS {
+            return Err(HttpFail::new(
+                400,
+                format!("more than {MAX_HEADERS} headers"),
+            ));
         }
         let Some((name, value)) = header.split_once(':') else {
             continue;
         };
         let value = value.trim();
         if name.eq_ignore_ascii_case("content-length") {
-            content_length = value
-                .parse()
-                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length"))?;
+            let Ok(parsed) = value.parse::<usize>() else {
+                return Err(HttpFail::new(
+                    400,
+                    format!("Content-Length {value:?} is not a number"),
+                ));
+            };
+            match content_length {
+                Some(previous) if previous != parsed => {
+                    return Err(HttpFail::new(400, "conflicting Content-Length headers"));
+                }
+                _ => content_length = Some(parsed),
+            }
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(HttpFail::new(400, "Transfer-Encoding is not supported"));
         } else if name.eq_ignore_ascii_case("connection") {
             keep_alive = !value.eq_ignore_ascii_case("close");
         }
     }
-    if content_length > max_body {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
+    let content_length = content_length.unwrap_or(0);
+    if content_length > limits.max_body {
+        return Err(HttpFail::new(
+            400,
             format!(
-                "request body too large ({content_length} > {max_body} byte limit; \
-                 raise --http-max-body)"
+                "request body too large ({content_length} > {} byte limit; \
+                 raise --http-max-body)",
+                limits.max_body
             ),
         ));
     }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
-    let body = String::from_utf8(body)
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "request body is not UTF-8"))?;
+    // The body gets a fresh read-timeout deadline of its own.
+    let body_deadline = limits.read_timeout.map(|timeout| Instant::now() + timeout);
+    let body = match reader.read_exact_timed(content_length, body_deadline) {
+        Ok(body) => body,
+        Err(BodyError::Eof) => {
+            parchmint_obs::count("serve.net.frames.torn", 1);
+            return Err(HttpFail::new(
+                400,
+                "connection closed before the declared Content-Length arrived",
+            ));
+        }
+        Err(BodyError::TimedOut) => {
+            parchmint_obs::count("serve.net.read_timeouts", 1);
+            return Err(HttpFail::new(408, "request body read timed out"));
+        }
+        Err(_) => {
+            parchmint_obs::count("serve.net.io_errors", 1);
+            return Err(HttpFail::new(400, "read failed mid-body"));
+        }
+    };
+    let Ok(body) = String::from_utf8(body) else {
+        return Err(HttpFail::new(400, "request body is not UTF-8"));
+    };
     Ok(Some(HttpRequest {
         method,
         path,
@@ -122,6 +270,7 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         422 => "Unprocessable Entity",
         503 => "Service Unavailable",
         _ => "Internal Server Error",
@@ -138,11 +287,35 @@ fn status_for(kind: &str) -> u16 {
     }
 }
 
-fn write_response(stream: &mut TcpStream, status: u16, body: &Value, keep_alive: bool) -> bool {
+/// The `retry_after_ms` hint carried by a refusal body, wherever the
+/// taxonomy put it: a bare error event or the last event of a stream.
+fn retry_after_ms_in(body: &Value) -> Option<u64> {
+    if let Some(ms) = body["error"]["retry_after_ms"].as_u64() {
+        return Some(ms);
+    }
+    body["events"]
+        .as_array()?
+        .iter()
+        .rev()
+        .find_map(|event| event["error"]["retry_after_ms"].as_u64())
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &Value,
+    keep_alive: bool,
+    retry_after_ms: Option<u64>,
+) -> bool {
     let body = serde_json::to_string(body).expect("response serializes");
     let connection = if keep_alive { "keep-alive" } else { "close" };
+    // Retry-After is whole seconds; round the hint up so a client
+    // honoring the header never retries before the hinted instant.
+    let retry_after = retry_after_ms
+        .map(|ms| format!("Retry-After: {}\r\n", ms.div_ceil(1000).max(1)))
+        .unwrap_or_default();
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{retry_after}Connection: {connection}\r\n\r\n",
         reason(status),
         body.len(),
     );
@@ -245,7 +418,7 @@ fn handle_submit(server: &Server, body: &str) -> (u16, Value) {
     })));
     // Refusals (busy/shutting_down) are written through the same
     // collector, so waiting on `finished` covers both outcomes.
-    server.admit(request, &out);
+    server.admit(request, &out, None);
     let (lock, signal) = &*state;
     let mut collected = lock.lock().expect("collector lock");
     while !collected.finished {
@@ -348,37 +521,63 @@ fn handle_request(server: &Server, request: &HttpRequest) -> (u16, Value) {
     }
 }
 
-/// One connection: serve requests until close, EOF, or a framing error.
+/// One connection: serve requests until close, EOF, idle eviction, or
+/// a framing error (answered with its 4xx, then closed).
 fn handle_connection(server: &Arc<Server>, stream: TcpStream) {
-    let Ok(read_half) = stream.try_clone() else {
+    parchmint_obs::count("serve.net.http.accepted", 1);
+    let config = server.service().config();
+    let limits = HttpLimits {
+        read_timeout: config.effective_read_timeout(),
+        idle_timeout: config.effective_idle_timeout(),
+        max_body: config.effective_http_max_body(),
+    };
+    if let Some(timeout) = config.effective_write_timeout() {
+        let _ = stream.set_write_timeout(Some(timeout));
+    }
+    let Ok(mut writer) = stream.try_clone() else {
         return;
     };
-    let mut writer = stream;
-    let mut reader = BufReader::new(read_half);
-    let max_body = server.service().config().effective_http_max_body();
+    let poll = net::poll_interval(limits.read_timeout, limits.idle_timeout);
+    let Ok(mut reader) = LineReader::new(stream, poll, MAX_HEAD_LINE) else {
+        return;
+    };
     loop {
-        match read_request(&mut reader, max_body) {
+        match read_request(&mut reader, &limits) {
             Ok(Some(request)) => {
                 let (status, body) = handle_request(server, &request);
-                if !write_response(&mut writer, status, &body, request.keep_alive)
+                let retry_after = (status == 503).then(|| retry_after_ms_in(&body)).flatten();
+                if !write_response(&mut writer, status, &body, request.keep_alive, retry_after)
                     || !request.keep_alive
                 {
-                    return;
+                    break;
                 }
             }
-            Ok(None) => return,
-            Err(error) => {
-                let (_, body) = error_body(ErrorKind::BadRequest, &error.to_string());
-                let _ = write_response(&mut writer, 400, &body, false);
-                return;
+            Ok(None) => break,
+            Err(fail) => {
+                let kind = if fail.status == 503 {
+                    ErrorKind::Busy
+                } else {
+                    ErrorKind::BadRequest
+                };
+                let (_, body) = error_body(kind, &fail.message);
+                let _ = write_response(&mut writer, fail.status, &body, false, None);
+                // The peer may still be mid-send; close without a
+                // drain and the kernel's reset can destroy the 4xx
+                // before it is read.
+                let _ = writer.shutdown(std::net::Shutdown::Write);
+                reader.drain_for(Duration::from_millis(500));
+                break;
             }
         }
     }
+    parchmint_obs::count("serve.net.http.closed", 1);
 }
 
 /// The HTTP accept loop: one handler thread per connection, until the
 /// server begins shutdown (the transport owner unblocks the accept with
-/// a self-connection, exactly like the line-protocol TCP loop).
+/// a self-connection, exactly like the line-protocol TCP loop). Each
+/// handler installs the service's collector so its `serve.net.*`
+/// counters aggregate into `stats`.
 pub(crate) fn run_http(server: &Arc<Server>, listener: TcpListener) {
     for stream in listener.incoming() {
         if server.is_shutting_down() {
@@ -388,6 +587,9 @@ pub(crate) fn run_http(server: &Arc<Server>, listener: TcpListener) {
             continue;
         };
         let server = Arc::clone(server);
-        std::thread::spawn(move || handle_connection(&server, stream));
+        std::thread::spawn(move || {
+            let recorder: Arc<dyn Recorder> = server.service().collector();
+            parchmint_obs::with_recorder(recorder, || handle_connection(&server, stream));
+        });
     }
 }

@@ -32,18 +32,30 @@
 //!   plus [`server::run`] which assembles every configured transport;
 //! - [`http`] — the hand-rolled HTTP/1.1 front end (`POST /v1/submit`,
 //!   `GET /v1/stats`, `GET /v1/healthz`) over the same server;
-//! - [`client`] — a pipelining TCP client that reassembles a
-//!   [`parchmint_harness::SuiteReport`] from streamed events
-//!   (byte-identical, stripped, to a local `suite-run`).
+//! - [`client`] — a pipelining, fault-tolerant TCP client that
+//!   reassembles a [`parchmint_harness::SuiteReport`] from streamed
+//!   events (byte-identical, stripped, to a local `suite-run`), with
+//!   connect/read deadlines, seeded decorrelated-jitter backoff, and
+//!   idempotent partial-batch resume across reconnects;
+//! - [`net`] — the poll-based line framer shared by the TCP and HTTP
+//!   transports: bounded frames, stall detection from the *start* of a
+//!   partial frame (so a 1 byte/sec dripper cannot hold a socket), and
+//!   deadline-bounded body reads;
+//! - [`chaos`] — deterministic wire-fault injection: a seeded TCP
+//!   proxy ([`chaos::ChaosProxy`]) that delays, throttles, truncates,
+//!   garbles, or severs connections according to a
+//!   `parchmint-chaos/v1` plan, for proving the defenses above.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod chaos;
 pub mod client;
 pub mod flight;
 pub mod hash;
 pub mod http;
+pub mod net;
 pub mod protocol;
 pub mod queue;
 pub mod server;
@@ -51,8 +63,13 @@ pub mod service;
 pub mod spill;
 
 pub use cache::{CacheCounters, CacheEntry, HitTier, TieredCache};
-pub use client::{submit_suite, Client, Submission, SuiteSubmission, DEFAULT_WINDOW};
+pub use chaos::{ChaosCounters, ChaosPlan, ChaosProxy, Direction, FaultKind, CHAOS_SCHEMA};
+pub use client::{
+    submit_suite, Backoff, Client, ClientConfig, ClientError, Submission, SuiteSubmission,
+    DEFAULT_WINDOW,
+};
 pub use flight::{Flight, FlightToken, FlightWait, SingleFlight};
+pub use net::{LineReader, Poll};
 pub use protocol::{
     parse_request, parse_submit_body, parse_submit_value, DesignSource, ErrorKind, Request,
     SubmitRequest, WireError, PROTO, PROTO_MAJOR,

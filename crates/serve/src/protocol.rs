@@ -119,6 +119,10 @@ pub struct WireError {
     pub kind: ErrorKind,
     /// Human-readable detail.
     pub message: String,
+    /// Deterministic backoff hint for retryable refusals (`busy`):
+    /// how long the client should wait before resubmitting, derived
+    /// from queue depth. Absent for non-retryable kinds.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl WireError {
@@ -127,7 +131,14 @@ impl WireError {
         WireError {
             kind,
             message: message.into(),
+            retry_after_ms: None,
         }
+    }
+
+    /// Attaches a retry hint (milliseconds) to a retryable refusal.
+    pub fn with_retry_after_ms(mut self, ms: u64) -> WireError {
+        self.retry_after_ms = Some(ms);
+        self
     }
 }
 
@@ -302,6 +313,9 @@ pub fn error_event(id: &Value, error: &WireError) -> Value {
     let mut body = Map::new();
     body.insert("kind".to_string(), Value::from(error.kind.as_str()));
     body.insert("message".to_string(), Value::from(error.message.clone()));
+    if let Some(ms) = error.retry_after_ms {
+        body.insert("retry_after_ms".to_string(), Value::from(ms));
+    }
     object.insert("error".to_string(), Value::Object(body));
     Value::Object(object)
 }
@@ -448,6 +462,19 @@ mod tests {
 
         let error = error_event(&Value::Null, &WireError::new(ErrorKind::Busy, "queue full"));
         assert_eq!(error["error"]["kind"], Value::from("busy"));
+    }
+
+    #[test]
+    fn retry_hints_ride_on_busy_errors_only_when_set() {
+        let plain = error_event(&Value::Null, &WireError::new(ErrorKind::Busy, "queue full"));
+        assert!(plain["error"]["retry_after_ms"].is_null());
+
+        let hinted = error_event(
+            &Value::from("r1"),
+            &WireError::new(ErrorKind::Busy, "queue full").with_retry_after_ms(125),
+        );
+        assert_eq!(hinted["error"]["retry_after_ms"], Value::from(125u64));
+        assert_eq!(hinted["error"]["kind"], Value::from("busy"));
     }
 
     #[test]

@@ -84,6 +84,18 @@ impl<T> Bounded<T> {
         }
     }
 
+    /// Deterministic backoff hint for a refused submission: how long a
+    /// polite client should wait before retrying, in milliseconds,
+    /// scaled linearly with queue occupancy. An empty queue hints the
+    /// 25 ms floor; a full queue hints 125 ms. Pure arithmetic on
+    /// depth/capacity — no clock, no randomness — so identical load
+    /// histories produce identical hints.
+    pub fn retry_after_hint_ms(&self) -> u64 {
+        let capacity = self.capacity as u64;
+        let depth = self.depth().min(self.capacity) as u64;
+        25 + depth * 100 / capacity
+    }
+
     /// Closes the queue: pending items still drain, new pushes fail, and
     /// blocked workers wake with `None` once empty.
     pub fn close(&self) {
@@ -114,6 +126,30 @@ mod tests {
         assert_eq!(queue.try_push("b"), Err(("b", PushError::Full)));
         assert_eq!(queue.pop(), Some("a"));
         queue.try_push("c").unwrap();
+    }
+
+    #[test]
+    fn retry_hints_scale_with_occupancy() {
+        let queue = Bounded::new(4);
+        assert_eq!(
+            queue.retry_after_hint_ms(),
+            25,
+            "empty queue hints the floor"
+        );
+        queue.try_push(1).unwrap();
+        queue.try_push(2).unwrap();
+        assert_eq!(
+            queue.retry_after_hint_ms(),
+            75,
+            "half full hints the midpoint"
+        );
+        queue.try_push(3).unwrap();
+        queue.try_push(4).unwrap();
+        assert_eq!(
+            queue.retry_after_hint_ms(),
+            125,
+            "full queue hints the ceiling"
+        );
     }
 
     #[test]

@@ -13,21 +13,38 @@
 //!
 //! Backpressure is the queue itself: when it is full, admission fails
 //! *immediately* with a `busy` error rather than buffering without
-//! bound, and the client decides whether to back off or give up.
+//! bound — and the refusal carries a deterministic `retry_after_ms`
+//! hint scaled with queue occupancy, so polite clients spread their
+//! retries instead of stampeding.
+//!
+//! TCP connections are defended, not trusted: frames are read through
+//! [`crate::net::LineReader`] under the configured read timeout (a
+//! partial frame older than the timeout is a slow-drip peer and is
+//! evicted), idle connections with nothing in flight are closed after
+//! the idle timeout, frames are size-capped, and every wire event —
+//! accepted/closed connections, torn/stalled/oversized/bad frames,
+//! timeouts — lands in a `serve.net.*` counter visible in `stats`.
+//!
+//! Workers are supervised: a panicking worker (a poisoned writer lock,
+//! a bug in a stage) is counted in `stats` as `workers_respawned` and
+//! replaced on the spot, so one bad job cannot shrink the pool.
+//!
 //! Shutdown closes the queue, which drains pending jobs, then wakes
 //! every worker; responses for already-admitted work are still
 //! delivered before the daemon exits.
 
-use crate::protocol::{self, Request, SubmitRequest, WireError};
+use crate::net::{self, LineReader, Poll};
+use crate::protocol::{self, ErrorKind, Request, SubmitRequest, WireError};
 use crate::queue::{Bounded, PushError};
 use crate::service::{ServeConfig, Service};
 use parchmint_obs::Recorder;
 use serde_json::Value;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// A line-oriented output shared between the reader (inline control
 /// responses) and the workers (streamed submission events).
@@ -37,6 +54,23 @@ pub type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
 struct Job {
     request: Box<SubmitRequest>,
     out: SharedWriter,
+    /// The submitting connection's in-flight count; decremented when
+    /// the job finishes (or its worker dies), so the connection loop
+    /// can tell a quietly-waiting client from an abandoned one.
+    tracker: Option<Arc<AtomicUsize>>,
+}
+
+/// Decrements a connection's in-flight count when the job ends — in a
+/// `Drop` so a panicking worker cannot leak the count and turn a live
+/// connection into an unevictable one.
+struct InFlightGuard(Option<Arc<AtomicUsize>>);
+
+impl Drop for InFlightGuard {
+    fn drop(&mut self) {
+        if let Some(tracker) = &self.0 {
+            tracker.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
 }
 
 /// What the reader loop should do after a handled line.
@@ -53,8 +87,9 @@ pub enum LineOutcome {
 fn write_event(out: &SharedWriter, event: &Value) {
     let line = protocol::to_line(event);
     let mut out = out.lock().expect("writer lock");
-    let _ = out.write_all(line.as_bytes());
-    let _ = out.flush();
+    if out.write_all(line.as_bytes()).is_err() || out.flush().is_err() {
+        parchmint_obs::count("serve.net.write_errors", 1);
+    }
 }
 
 /// The daemon: service semantics plus queue, workers, and shutdown
@@ -63,6 +98,59 @@ pub struct Server {
     service: Arc<Service>,
     queue: Arc<Bounded<Job>>,
     shutdown: AtomicBool,
+    /// Workers respawned after a panic; joined at serve() teardown.
+    respawned: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Spawns one supervised worker thread. The [`RespawnGuard`] watches
+/// for a panic unwinding out of the job loop and replaces the thread.
+fn spawn_worker(server: &Arc<Server>, index: usize) -> JoinHandle<()> {
+    let server = Arc::clone(server);
+    std::thread::Builder::new()
+        .name(format!("serve-worker-{index}"))
+        .spawn(move || {
+            let mut guard = RespawnGuard {
+                server: Arc::clone(&server),
+                index,
+                armed: true,
+            };
+            let recorder: Arc<dyn Recorder> = server.service.collector();
+            parchmint_obs::with_recorder(recorder, || loop {
+                let Some(job) = server.queue.pop() else {
+                    break;
+                };
+                let _in_flight = InFlightGuard(job.tracker.clone());
+                let mut emit = |event: Value| write_event(&job.out, &event);
+                server.service.process_submit(&job.request, &mut emit);
+            });
+            guard.armed = false;
+        })
+        .expect("spawn worker")
+}
+
+/// Worker supervision: if the thread unwinds while the guard is armed,
+/// the panic is counted and a replacement worker is spawned. The job
+/// that killed the worker was already popped, so a poisoned job cannot
+/// respawn-loop; its in-flight count is released by [`InFlightGuard`].
+struct RespawnGuard {
+    server: Arc<Server>,
+    index: usize,
+    armed: bool,
+}
+
+impl Drop for RespawnGuard {
+    fn drop(&mut self) {
+        if !self.armed || !std::thread::panicking() {
+            return;
+        }
+        self.server.service.count_worker_respawn();
+        let handle = spawn_worker(&self.server, self.index);
+        self.server
+            .respawned
+            .lock()
+            .expect("respawn list")
+            .push(handle);
+    }
 }
 
 impl Server {
@@ -74,32 +162,17 @@ impl Server {
             service,
             queue: Arc::new(Bounded::new(capacity)),
             shutdown: AtomicBool::new(false),
+            respawned: Mutex::new(Vec::new()),
         }
     }
 
     /// Spawns the worker pool. Each worker installs the service's
     /// collector as its thread recorder, so stage-level observability
-    /// from every request aggregates into the daemon's `stats`.
+    /// from every request aggregates into the daemon's `stats`; each
+    /// is supervised, so a panicked worker is counted and replaced.
     pub fn start_workers(self: &Arc<Server>) -> Vec<JoinHandle<()>> {
         let count = self.service.config().effective_workers();
-        (0..count)
-            .map(|index| {
-                let server = Arc::clone(self);
-                std::thread::Builder::new()
-                    .name(format!("serve-worker-{index}"))
-                    .spawn(move || {
-                        let recorder: Arc<dyn Recorder> = server.service.collector();
-                        parchmint_obs::with_recorder(recorder, || loop {
-                            let Some(job) = server.queue.pop() else {
-                                break;
-                            };
-                            let mut emit = |event: Value| write_event(&job.out, &event);
-                            server.service.process_submit(&job.request, &mut emit);
-                        });
-                    })
-                    .expect("spawn worker")
-            })
-            .collect()
+        (0..count).map(|index| spawn_worker(self, index)).collect()
     }
 
     /// The service this server fronts (the HTTP transport uses it for
@@ -133,15 +206,32 @@ impl Server {
                 "workers".to_string(),
                 Value::from(self.service.config().effective_workers()),
             );
+            object.insert(
+                "workers_respawned".to_string(),
+                Value::from(self.service.worker_respawns()),
+            );
         }
         stats
     }
 
     /// Handles one request line from a connection writing to `out`.
     pub fn handle_line(&self, line: &str, out: &SharedWriter) -> LineOutcome {
+        self.handle_line_tracked(line, out, None)
+    }
+
+    /// [`Server::handle_line`] with the connection's in-flight tracker,
+    /// bumped for every admitted submission so the connection loop can
+    /// distinguish waiting clients from idle ones.
+    pub(crate) fn handle_line_tracked(
+        &self,
+        line: &str,
+        out: &SharedWriter,
+        tracker: Option<&Arc<AtomicUsize>>,
+    ) -> LineOutcome {
         let request = match protocol::parse_request(line) {
             Ok(request) => request,
             Err((id, error)) => {
+                parchmint_obs::count("serve.net.bad_requests", 1);
                 write_event(out, &protocol::error_event(&id, &error));
                 return LineOutcome::Continue;
             }
@@ -156,7 +246,7 @@ impl Server {
                 self.begin_shutdown();
                 return LineOutcome::Shutdown;
             }
-            Request::Submit(request) => self.admit(request, out),
+            Request::Submit(request) => self.admit(request, out, tracker),
         }
         LineOutcome::Continue
     }
@@ -164,29 +254,42 @@ impl Server {
     /// Admission control: queue the job or refuse with `busy` /
     /// `shutting_down`, never blocking the reader. The refusal is
     /// written through `out`, so callers only ever wait on the event
-    /// stream.
-    pub(crate) fn admit(&self, request: Box<SubmitRequest>, out: &SharedWriter) {
-        use protocol::ErrorKind;
+    /// stream; a `busy` refusal carries the queue's deterministic
+    /// `retry_after_ms` hint.
+    pub(crate) fn admit(
+        &self,
+        request: Box<SubmitRequest>,
+        out: &SharedWriter,
+        tracker: Option<&Arc<AtomicUsize>>,
+    ) {
         let draining = WireError::new(ErrorKind::ShuttingDown, "daemon is draining");
         if self.is_shutting_down() {
             write_event(out, &protocol::error_event(&request.id, &draining));
             return;
         }
+        if let Some(tracker) = tracker {
+            tracker.fetch_add(1, Ordering::AcqRel);
+        }
         let job = Job {
             request,
             out: Arc::clone(out),
+            tracker: tracker.map(Arc::clone),
         };
         match self.queue.try_push(job) {
             Ok(()) => {}
             Err((job, PushError::Full)) => {
+                drop(InFlightGuard(job.tracker));
                 self.service.count_rejected();
+                parchmint_obs::count("serve.net.shed", 1);
                 let busy = WireError::new(
                     ErrorKind::Busy,
                     format!("admission queue full (capacity {})", self.queue.capacity()),
-                );
+                )
+                .with_retry_after_ms(self.queue.retry_after_hint_ms());
                 write_event(out, &protocol::error_event(&job.request.id, &busy));
             }
             Err((job, PushError::Closed)) => {
+                drop(InFlightGuard(job.tracker));
                 write_event(out, &protocol::error_event(&job.request.id, &draining));
             }
         }
@@ -194,7 +297,8 @@ impl Server {
 }
 
 /// The stdio main loop: request lines on stdin, events on stdout,
-/// until EOF or a `shutdown` request.
+/// until EOF or a `shutdown` request. Stdio is a trusted local pipe —
+/// the socket defenses don't apply.
 fn stdio_loop(server: &Arc<Server>) -> io::Result<()> {
     let out: SharedWriter = Arc::new(Mutex::new(Box::new(io::stdout())));
     for line in io::stdin().lock().lines() {
@@ -207,6 +311,117 @@ fn stdio_loop(server: &Arc<Server>) -> io::Result<()> {
         }
     }
     Ok(())
+}
+
+/// One TCP line-protocol connection, driven through the hardened
+/// [`LineReader`]: slow-drip partial frames are evicted at the read
+/// timeout, idle connections (nothing buffered, nothing in flight) at
+/// the idle timeout, oversized and non-UTF-8 frames are refused, and
+/// every outcome is counted under `serve.net.*`.
+fn line_connection(server: &Arc<Server>, stream: TcpStream, local: std::net::SocketAddr) {
+    parchmint_obs::count("serve.net.conn.accepted", 1);
+    let config = server.service.config();
+    let read_timeout = config.effective_read_timeout();
+    let idle_timeout = config.effective_idle_timeout();
+    if let Some(timeout) = config.effective_write_timeout() {
+        let _ = stream.set_write_timeout(Some(timeout));
+    }
+    let out: SharedWriter = match stream.try_clone() {
+        Ok(write_half) => Arc::new(Mutex::new(Box::new(write_half))),
+        Err(_) => return,
+    };
+    let tracker = Arc::new(AtomicUsize::new(0));
+    let poll = net::poll_interval(read_timeout, idle_timeout);
+    let mut reader = match LineReader::new(stream, poll, config.effective_line_max_bytes()) {
+        Ok(reader) => reader,
+        Err(_) => return,
+    };
+    let mut idle_since = Instant::now();
+    let mut frame_stalled = false;
+    let mut refused = false;
+    loop {
+        match reader.poll_line() {
+            Ok(Poll::Frame(bytes)) => {
+                idle_since = Instant::now();
+                frame_stalled = false;
+                let Ok(line) = String::from_utf8(bytes) else {
+                    parchmint_obs::count("serve.net.frames.bad", 1);
+                    let error = WireError::new(ErrorKind::BadRequest, "request line is not UTF-8");
+                    write_event(&out, &protocol::error_event(&Value::Null, &error));
+                    refused = true;
+                    break;
+                };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                parchmint_obs::count("serve.net.frames", 1);
+                if server.handle_line_tracked(&line, &out, Some(&tracker)) == LineOutcome::Shutdown
+                {
+                    // Unblock the accept loop so it can observe shutdown.
+                    let _ = TcpStream::connect(local);
+                    break;
+                }
+            }
+            Ok(Poll::Pending {
+                frame_age: Some(age),
+            }) => {
+                if !frame_stalled {
+                    // First tick with an incomplete frame on the floor:
+                    // the peer paused mid-frame (or is dripping).
+                    frame_stalled = true;
+                    parchmint_obs::count("serve.net.frames.stalled", 1);
+                }
+                if read_timeout.is_some_and(|timeout| age >= timeout) {
+                    parchmint_obs::count("serve.net.read_timeouts", 1);
+                    let error = WireError::new(
+                        ErrorKind::BadRequest,
+                        format!(
+                            "request frame incomplete after {} ms — closing",
+                            age.as_millis()
+                        ),
+                    );
+                    write_event(&out, &protocol::error_event(&Value::Null, &error));
+                    refused = true;
+                    break;
+                }
+            }
+            Ok(Poll::Pending { frame_age: None }) => {
+                if tracker.load(Ordering::Acquire) > 0 {
+                    // Quiet but waiting on responses — never evicted.
+                    idle_since = Instant::now();
+                } else if idle_timeout.is_some_and(|timeout| idle_since.elapsed() >= timeout) {
+                    parchmint_obs::count("serve.net.idle_closed", 1);
+                    break;
+                }
+            }
+            Ok(Poll::Oversized { limit }) => {
+                parchmint_obs::count("serve.net.frames.oversized", 1);
+                let error = WireError::new(
+                    ErrorKind::BadRequest,
+                    format!("request frame exceeds {limit} bytes"),
+                );
+                write_event(&out, &protocol::error_event(&Value::Null, &error));
+                refused = true;
+                break;
+            }
+            Ok(Poll::Eof { torn }) => {
+                if torn {
+                    parchmint_obs::count("serve.net.frames.torn", 1);
+                }
+                break;
+            }
+            Err(_) => {
+                parchmint_obs::count("serve.net.io_errors", 1);
+                break;
+            }
+        }
+    }
+    if refused {
+        // Lingering close: let the refusal reach a peer that is still
+        // sending instead of being destroyed by a reset.
+        reader.drain_for(Duration::from_millis(500));
+    }
+    parchmint_obs::count("serve.net.conn.closed", 1);
 }
 
 /// The TCP main loop: one reader thread per connection, until some
@@ -223,24 +438,10 @@ fn tcp_loop(server: &Arc<Server>, listener: TcpListener) -> io::Result<()> {
         };
         let server = Arc::clone(server);
         std::thread::spawn(move || {
-            let Ok(write_half) = stream.try_clone() else {
-                return;
-            };
-            let out: SharedWriter = Arc::new(Mutex::new(Box::new(write_half)));
-            let reader = BufReader::new(stream);
-            for line in reader.lines() {
-                let Ok(line) = line else {
-                    break;
-                };
-                if line.trim().is_empty() {
-                    continue;
-                }
-                if server.handle_line(&line, &out) == LineOutcome::Shutdown {
-                    // Unblock the accept loop so it can observe shutdown.
-                    let _ = TcpStream::connect(local);
-                    break;
-                }
-            }
+            // The connection thread gets the collector too, so the
+            // serve.net.* counters it emits aggregate into stats.
+            let recorder: Arc<dyn Recorder> = server.service.collector();
+            parchmint_obs::with_recorder(recorder, || line_connection(&server, stream, local));
         });
     }
     Ok(())
@@ -283,6 +484,20 @@ pub fn serve(
     }
     for worker in workers {
         let _ = worker.join();
+    }
+    // Workers respawned after panics appear here; a respawn can race
+    // teardown, so drain until the list stays empty.
+    loop {
+        let drained: Vec<JoinHandle<()>> = {
+            let mut respawned = server.respawned.lock().expect("respawn list");
+            respawned.drain(..).collect()
+        };
+        if drained.is_empty() {
+            break;
+        }
+        for handle in drained {
+            let _ = handle.join();
+        }
     }
     result
 }
@@ -333,6 +548,7 @@ pub fn run(config: ServeConfig) -> io::Result<()> {
 mod tests {
     use super::*;
     use crate::service::ServeConfig;
+    use std::time::Duration;
 
     fn capture() -> (SharedWriter, Arc<Mutex<Vec<u8>>>) {
         #[derive(Clone)]
@@ -379,6 +595,7 @@ mod tests {
         assert_eq!(events[0]["event"], Value::from("pong"));
         assert_eq!(events[1]["event"], Value::from("stats"));
         assert_eq!(events[1]["stats"]["queue"]["capacity"], Value::from(64));
+        assert_eq!(events[1]["stats"]["workers_respawned"], Value::from(0u64));
         assert_eq!(events[2]["event"], Value::from("shutting_down"));
         assert!(server.is_shutting_down());
     }
@@ -397,6 +614,11 @@ mod tests {
         assert_eq!(events.len(), 1, "only the refusal responds inline");
         assert_eq!(events[0]["error"]["kind"], Value::from("busy"));
         assert_eq!(
+            events[0]["error"]["retry_after_ms"],
+            Value::from(125u64),
+            "a full queue hints the deterministic ceiling"
+        );
+        assert_eq!(
             server.stats_json()["requests"]["rejected"],
             Value::from(1u64)
         );
@@ -413,5 +635,55 @@ mod tests {
         );
         let events = lines(&buffer);
         assert_eq!(events[0]["error"]["kind"], Value::from("shutting_down"));
+    }
+
+    #[test]
+    fn a_panicked_worker_is_respawned_and_counted() {
+        let config = ServeConfig::builder().workers(1).queue_capacity(8).build();
+        let server = Arc::new(Server::new(Arc::new(Service::new(config))));
+        let _workers = server.start_workers();
+
+        // Poison a connection's writer lock: the worker panics inside
+        // write_event's `.expect("writer lock")` while emitting events.
+        let (poisoned, _buffer) = capture();
+        {
+            let out = Arc::clone(&poisoned);
+            let _ = std::thread::spawn(move || {
+                let _guard = out.lock().unwrap();
+                panic!("poison the writer lock");
+            })
+            .join();
+        }
+        assert!(poisoned.lock().is_err(), "lock must be poisoned");
+        server.handle_line(
+            r#"{"op":"submit","id":"boom","benchmark":"logic_gate_or"}"#,
+            &poisoned,
+        );
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while server.service.worker_respawns() == 0 {
+            assert!(Instant::now() < deadline, "worker was never respawned");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(server.stats_json()["workers_respawned"], Value::from(1u64));
+
+        // The replacement worker must still serve jobs end to end.
+        let (out, buffer) = capture();
+        server.handle_line(
+            r#"{"op":"submit","id":"after","benchmark":"logic_gate_or"}"#,
+            &out,
+        );
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let done = lines(&buffer).iter().any(|event| event["event"] == "done");
+            if done {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "respawned worker never completed a job"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        server.begin_shutdown();
     }
 }

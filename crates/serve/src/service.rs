@@ -49,6 +49,36 @@ pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
 /// grid serializes to ~100 MiB) need `--http-max-body` raised.
 pub const DEFAULT_HTTP_MAX_BODY: usize = 8 << 20;
 
+/// Per-connection read timeout when none is configured: how long a
+/// *partial* frame (line or HTTP head) may sit unfinished before the
+/// connection is evicted as a slow-drip peer. Measured from the first
+/// byte of the frame, not from last progress — a slowloris dripping
+/// one byte per second makes progress forever but never finishes.
+pub const DEFAULT_READ_TIMEOUT_MS: u64 = 10_000;
+
+/// Per-connection socket write timeout when none is configured.
+pub const DEFAULT_WRITE_TIMEOUT_MS: u64 = 10_000;
+
+/// Keep-alive idle timeout when none is configured: a connection with
+/// an empty read buffer and no requests in flight is closed after this
+/// long. Connections awaiting responses are never idle-evicted.
+pub const DEFAULT_IDLE_TIMEOUT_MS: u64 = 60_000;
+
+/// Line-protocol frame cap when none is configured. An FPVA-scale
+/// inline design serializes to ~100 MiB, so the default is generous;
+/// it exists to bound memory, not to police well-formed clients.
+pub const DEFAULT_LINE_MAX_BYTES: usize = 256 << 20;
+
+/// Resolves a timeout knob: `None` = the default, `Some(0)` =
+/// disabled, anything else verbatim.
+fn effective_timeout(configured: Option<u64>, default_ms: u64) -> Option<Duration> {
+    match configured {
+        None => Some(Duration::from_millis(default_ms)),
+        Some(0) => None,
+        Some(ms) => Some(Duration::from_millis(ms)),
+    }
+}
+
 /// Daemon configuration: execution defaults, cache limits, and
 /// transport endpoints. Opaque — build one with
 /// [`ServeConfig::builder`].
@@ -64,6 +94,10 @@ pub struct ServeConfig {
     tcp: Option<String>,
     http: Option<String>,
     http_max_body: usize,
+    read_timeout_ms: Option<u64>,
+    write_timeout_ms: Option<u64>,
+    idle_timeout_ms: Option<u64>,
+    line_max_bytes: usize,
 }
 
 impl ServeConfig {
@@ -133,6 +167,54 @@ impl ServeConfig {
             self.http_max_body
         } else {
             DEFAULT_HTTP_MAX_BODY
+        }
+    }
+
+    /// Configured read timeout in milliseconds; `None` means
+    /// [`DEFAULT_READ_TIMEOUT_MS`], `Some(0)` disables it.
+    pub fn read_timeout_ms(&self) -> Option<u64> {
+        self.read_timeout_ms
+    }
+
+    /// Configured write timeout in milliseconds; `None` means
+    /// [`DEFAULT_WRITE_TIMEOUT_MS`], `Some(0)` disables it.
+    pub fn write_timeout_ms(&self) -> Option<u64> {
+        self.write_timeout_ms
+    }
+
+    /// Configured keep-alive idle timeout in milliseconds; `None`
+    /// means [`DEFAULT_IDLE_TIMEOUT_MS`], `Some(0)` disables it.
+    pub fn idle_timeout_ms(&self) -> Option<u64> {
+        self.idle_timeout_ms
+    }
+
+    /// Configured line-frame cap in bytes; `0` means
+    /// [`DEFAULT_LINE_MAX_BYTES`].
+    pub fn line_max_bytes(&self) -> usize {
+        self.line_max_bytes
+    }
+
+    /// The effective partial-frame read timeout (`None` = disabled).
+    pub fn effective_read_timeout(&self) -> Option<Duration> {
+        effective_timeout(self.read_timeout_ms, DEFAULT_READ_TIMEOUT_MS)
+    }
+
+    /// The effective socket write timeout (`None` = disabled).
+    pub fn effective_write_timeout(&self) -> Option<Duration> {
+        effective_timeout(self.write_timeout_ms, DEFAULT_WRITE_TIMEOUT_MS)
+    }
+
+    /// The effective keep-alive idle timeout (`None` = disabled).
+    pub fn effective_idle_timeout(&self) -> Option<Duration> {
+        effective_timeout(self.idle_timeout_ms, DEFAULT_IDLE_TIMEOUT_MS)
+    }
+
+    /// The effective line-frame byte cap.
+    pub fn effective_line_max_bytes(&self) -> usize {
+        if self.line_max_bytes > 0 {
+            self.line_max_bytes
+        } else {
+            DEFAULT_LINE_MAX_BYTES
         }
     }
 
@@ -223,6 +305,32 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Sets the partial-frame read timeout in milliseconds (`0` =
+    /// disabled).
+    pub fn read_timeout_ms(mut self, ms: u64) -> Self {
+        self.config.read_timeout_ms = Some(ms);
+        self
+    }
+
+    /// Sets the socket write timeout in milliseconds (`0` = disabled).
+    pub fn write_timeout_ms(mut self, ms: u64) -> Self {
+        self.config.write_timeout_ms = Some(ms);
+        self
+    }
+
+    /// Sets the keep-alive idle timeout in milliseconds (`0` =
+    /// disabled).
+    pub fn idle_timeout_ms(mut self, ms: u64) -> Self {
+        self.config.idle_timeout_ms = Some(ms);
+        self
+    }
+
+    /// Caps line-protocol frames at `bytes` (`0` = the default).
+    pub fn line_max_bytes(mut self, bytes: usize) -> Self {
+        self.config.line_max_bytes = bytes;
+        self
+    }
+
     /// Finishes the configuration.
     pub fn build(self) -> ServeConfig {
         self.config
@@ -256,6 +364,7 @@ pub struct Service {
     rejected: AtomicU64,
     in_flight: AtomicU64,
     peak_in_flight: AtomicU64,
+    worker_respawns: AtomicU64,
 }
 
 impl Service {
@@ -280,6 +389,7 @@ impl Service {
             rejected: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
             peak_in_flight: AtomicU64::new(0),
+            worker_respawns: AtomicU64::new(0),
         }
     }
 
@@ -301,6 +411,16 @@ impl Service {
     /// Counts a submission refused at admission (queue full/closed).
     pub fn count_rejected(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a panicked worker thread replaced by its supervisor.
+    pub fn count_worker_respawn(&self) {
+        self.worker_respawns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Worker threads respawned after a panic since startup.
+    pub fn worker_respawns(&self) -> u64 {
+        self.worker_respawns.load(Ordering::Relaxed)
     }
 
     /// Resolves a design source to a device plus the canonical document
@@ -760,6 +880,10 @@ mod tests {
             .tcp("127.0.0.1:0")
             .http("127.0.0.1:0")
             .http_max_body(1 << 10)
+            .read_timeout_ms(1500)
+            .write_timeout_ms(0)
+            .idle_timeout_ms(7000)
+            .line_max_bytes(4 << 10)
             .build();
         assert_eq!(config.workers(), 3);
         assert_eq!(config.http_max_body(), 1 << 10);
@@ -775,11 +899,30 @@ mod tests {
         );
         assert_eq!(config.tcp(), Some("127.0.0.1:0"));
         assert_eq!(config.http(), Some("127.0.0.1:0"));
+        assert_eq!(
+            config.effective_read_timeout(),
+            Some(Duration::from_millis(1500))
+        );
+        assert_eq!(config.effective_write_timeout(), None, "0 disables");
+        assert_eq!(
+            config.effective_idle_timeout(),
+            Some(Duration::from_millis(7000))
+        );
+        assert_eq!(config.effective_line_max_bytes(), 4 << 10);
         let defaults = ServeConfig::default();
         assert_eq!(defaults.effective_queue_capacity(), DEFAULT_QUEUE_CAPACITY);
         assert_eq!(defaults.effective_http_max_body(), DEFAULT_HTTP_MAX_BODY);
         assert!(defaults.cache_bytes().is_none());
         assert!(defaults.cache_dir().is_none());
+        assert_eq!(
+            defaults.effective_read_timeout(),
+            Some(Duration::from_millis(DEFAULT_READ_TIMEOUT_MS))
+        );
+        assert_eq!(
+            defaults.effective_idle_timeout(),
+            Some(Duration::from_millis(DEFAULT_IDLE_TIMEOUT_MS))
+        );
+        assert_eq!(defaults.effective_line_max_bytes(), DEFAULT_LINE_MAX_BYTES);
     }
 
     #[test]

@@ -11,10 +11,12 @@
 //!
 //! Two durability rules:
 //!
-//! - **Writes are atomic.** Every store writes a unique temp file in
-//!   the cache directory and renames it over the final name, so a
-//!   crashed daemon can leave stray `*.tmp` files but never a
-//!   half-written entry under a real key.
+//! - **Writes are atomic and durable.** Every store writes a unique
+//!   temp file in the cache directory, fsyncs it, and only then renames
+//!   it over the final name (followed by a best-effort directory sync),
+//!   so neither a crashed daemon nor a machine power loss can leave a
+//!   half-written entry under a real key — at worst, stray `*.tmp`
+//!   files.
 //! - **Loads are corruption-tolerant.** A spill file that is missing,
 //!   unreadable, unparseable, schema-mismatched, or keyed wrong is a
 //!   cache *miss* (counted under `spill_corrupt`), never an error — the
@@ -117,14 +119,28 @@ impl Spill {
         let tmp = self
             .dir
             .join(format!("{key_hex}.{}.{unique}.tmp", std::process::id()));
-        if fs::write(&tmp, body).is_err() {
+        if write_synced(&tmp, body.as_bytes()).is_err() {
             let _ = fs::remove_file(&tmp);
             return;
         }
         if fs::rename(&tmp, self.entry_path(key_hex)).is_err() {
             let _ = fs::remove_file(&tmp);
+            return;
         }
+        // Best effort: persist the rename itself. A directory that
+        // cannot be opened or synced (some filesystems refuse) costs
+        // durability of this one entry, not correctness.
+        let _ = fs::File::open(&self.dir).and_then(|dir| dir.sync_all());
     }
+}
+
+/// Writes `body` to `path` and fsyncs it before returning, so the
+/// subsequent rename can never expose a partially flushed file.
+fn write_synced(path: &Path, body: &[u8]) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let mut file = fs::File::create(path)?;
+    file.write_all(body)?;
+    file.sync_all()
 }
 
 fn encode_entry(
@@ -309,6 +325,29 @@ mod tests {
         .unwrap();
         assert!(spill.load("000000000000000b").is_none());
         assert_eq!(spill.corrupt_loads(), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_truncated_entry_is_a_counted_miss() {
+        // Simulate the crash the fsync-then-rename dance prevents: a
+        // real entry whose tail never reached disk. Loading it must be
+        // a corrupt-counted miss, and a fresh store must heal the key.
+        let dir = temp_dir("truncate");
+        let spill = Spill::open(&dir);
+        let key = "0000000000000042";
+        let doc = Value::Object(Map::from_iter([(
+            "name".to_string(),
+            Value::from("truncated"),
+        )]));
+        spill.store(key, &doc, Duration::from_millis(3), &sample_stages());
+        let path = dir.join(format!("{key}.json"));
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(spill.load(key).is_none(), "half a file is not an entry");
+        assert_eq!(spill.corrupt_loads(), 1);
+        spill.store(key, &doc, Duration::from_millis(3), &sample_stages());
+        assert!(spill.load(key).is_some(), "a fresh store heals the key");
         let _ = fs::remove_dir_all(&dir);
     }
 

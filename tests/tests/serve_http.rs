@@ -123,6 +123,92 @@ fn http_routes_and_status_codes_follow_the_taxonomy() {
     handle.join().expect("daemon exits");
 }
 
+/// Sends raw bytes on a fresh connection, half-closes, and returns the
+/// status code of every response the server produced before closing.
+fn raw_statuses(addr: &str, payload: &[u8]) -> Vec<u16> {
+    let mut stream = TcpStream::connect(addr).expect("connect http");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .expect("read timeout");
+    // The server may refuse and close while the payload is still being
+    // written — a broken pipe here is part of the scenario, not a
+    // test failure.
+    let _ = stream.write_all(payload);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("read responses");
+    // Responses are not newline-separated (a JSON body runs straight
+    // into the next status line), so scan for status-line starts.
+    response
+        .match_indices("HTTP/1.1 ")
+        .map(|(at, _)| {
+            response[at..]
+                .split_whitespace()
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .expect("status code")
+        })
+        .collect()
+}
+
+#[test]
+fn malformed_http_is_refused_cleanly_never_hung() {
+    let (tcp_addr, http_addr, handle) = start_daemon();
+
+    // An absurd request line: refused at the size cap, not buffered.
+    let huge_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(16 << 10));
+    assert_eq!(raw_statuses(&http_addr, huge_line.as_bytes()), vec![400]);
+
+    // One oversized header line.
+    let huge_header = format!(
+        "GET /v1/healthz HTTP/1.1\r\nX-Padding: {}\r\n\r\n",
+        "b".repeat(16 << 10)
+    );
+    assert_eq!(raw_statuses(&http_addr, huge_header.as_bytes()), vec![400]);
+
+    // Unbounded header *count* is as dangerous as header size.
+    let mut many_headers = String::from("GET /v1/healthz HTTP/1.1\r\n");
+    for i in 0..200 {
+        many_headers.push_str(&format!("X-F{i}: v\r\n"));
+    }
+    many_headers.push_str("\r\n");
+    assert_eq!(raw_statuses(&http_addr, many_headers.as_bytes()), vec![400]);
+
+    // A Content-Length that is not a number.
+    let bad_length = "POST /v1/submit HTTP/1.1\r\nContent-Length: banana\r\n\r\n";
+    assert_eq!(raw_statuses(&http_addr, bad_length.as_bytes()), vec![400]);
+
+    // Two Content-Length headers that disagree — the classic request
+    // smuggling vector. Refuse, don't pick one.
+    let conflicting =
+        "POST /v1/submit HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 9\r\n\r\n{}";
+    assert_eq!(raw_statuses(&http_addr, conflicting.as_bytes()), vec![400]);
+
+    // A body shorter than its declared Content-Length, then EOF.
+    let truncated = "POST /v1/submit HTTP/1.1\r\nContent-Length: 500\r\n\r\n{\"benchmark\":";
+    assert_eq!(raw_statuses(&http_addr, truncated.as_bytes()), vec![400]);
+
+    // Pipelined garbage after a valid request: the good request is
+    // answered, the garbage gets a 400, the connection closes — no
+    // hang, no smuggled interpretation.
+    let pipelined = "GET /v1/healthz HTTP/1.1\r\n\r\nTOTAL GARBAGE\r\nmore garbage\r\n\r\n";
+    assert_eq!(
+        raw_statuses(&http_addr, pipelined.as_bytes()),
+        vec![200, 400]
+    );
+
+    // After all of that abuse, the daemon still serves.
+    let (status, body) = roundtrip(&http_addr, "GET", "/v1/healthz", None);
+    assert_eq!(status, 200);
+    assert_eq!(body["status"].as_str(), Some("ok"));
+
+    let mut client = Client::connect(&tcp_addr).expect("connect tcp");
+    client.shutdown().expect("shutdown ack");
+    handle.join().expect("daemon exits");
+}
+
 #[test]
 fn http_keep_alive_serves_sequential_requests_on_one_connection() {
     let (tcp_addr, http_addr, handle) = start_daemon();
